@@ -1,0 +1,358 @@
+// Benchmarks regenerating every evaluation artifact of the reproduction:
+// one benchmark per table/figure (E1-E8) plus the design ablations (A1, A2)
+// and micro-benchmarks of the solver substrate. Run with:
+//
+//	go test -bench=. -benchmem
+package secmon_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/core"
+	"secmon/internal/experiment"
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+	"secmon/internal/simulate"
+	"secmon/internal/synth"
+)
+
+// caseIndex builds the case-study index or aborts the benchmark.
+func caseIndex(b *testing.B) *model.Index {
+	b.Helper()
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		b.Fatalf("case study: %v", err)
+	}
+	return idx
+}
+
+// synthIndex builds a synthetic index of the given size.
+func synthIndex(b *testing.B, monitors, attacks int) *model.Index {
+	b.Helper()
+	sys, err := synth.Generate(synth.Config{Seed: 1, Monitors: monitors, Attacks: attacks})
+	if err != nil {
+		b.Fatalf("synth: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		b.Fatalf("index: %v", err)
+	}
+	return idx
+}
+
+// BenchmarkE1CaseStudyBuild measures building and indexing the enterprise
+// Web service model (experiment E1's underlying work).
+func BenchmarkE1CaseStudyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := casestudy.BuildIndex(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2AttackEvidenceMap measures resolving the attack-evidence
+// relation across the case study (experiment E2).
+func BenchmarkE2AttackEvidenceMap(b *testing.B) {
+	idx := caseIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, aid := range idx.AttackIDs() {
+			total += len(idx.AttackEvidence(aid)) + idx.ObservableEvidence(aid)
+		}
+		if total == 0 {
+			b.Fatal("no evidence")
+		}
+	}
+}
+
+// BenchmarkE3OptimalDeployment measures the exact MaxUtility solve at the
+// half budget on the case study (experiment E3's central row).
+func BenchmarkE3OptimalDeployment(b *testing.B) {
+	idx := caseIndex(b)
+	budget := idx.System().TotalMonitorCost() * 0.5
+	opt := core.NewOptimizer(idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.MaxUtility(budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4BudgetSweep measures the full utility-vs-budget curve with
+// baselines (experiment E4).
+func BenchmarkE4BudgetSweep(b *testing.B) {
+	idx := caseIndex(b)
+	opt := core.NewOptimizer(idx)
+	grid := core.BudgetGrid(idx, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.ParetoSweep(grid, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5MetricsEvaluation measures the full metric report of a
+// mid-size deployment (experiment E5).
+func BenchmarkE5MetricsEvaluation(b *testing.B) {
+	idx := caseIndex(b)
+	res, err := core.NewOptimizer(idx).MaxUtility(idx.System().TotalMonitorCost() * 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := metrics.Evaluate(idx, res.Deployment); rep.Utility <= 0 {
+			b.Fatal("zero utility")
+		}
+	}
+}
+
+// BenchmarkE6MinCost measures the MinCost solve at the 90% coverage target
+// (experiment E6's hardest feasible row).
+func BenchmarkE6MinCost(b *testing.B) {
+	idx := caseIndex(b)
+	opt := core.NewOptimizer(idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.MinCost(core.CoverageTargets{Global: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Scalability measures the MaxUtility solve across synthetic
+// system sizes (experiment E7); the generation is excluded from the timing.
+func BenchmarkE7Scalability(b *testing.B) {
+	for _, size := range []struct{ monitors, attacks int }{
+		{50, 50}, {100, 100}, {200, 100}, {100, 200}, {400, 100},
+	} {
+		b.Run(fmt.Sprintf("m=%d/a=%d", size.monitors, size.attacks), func(b *testing.B) {
+			idx := synthIndex(b, size.monitors, size.attacks)
+			budget := idx.System().TotalMonitorCost() * 0.3
+			opt := core.NewOptimizer(idx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.MaxUtility(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Simulation measures the Monte-Carlo validation run (experiment
+// E8) at 100 trials per attack.
+func BenchmarkE8Simulation(b *testing.B) {
+	idx := caseIndex(b)
+	res, err := core.NewOptimizer(idx).MaxUtility(idx.System().TotalMonitorCost() * 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := simulate.Config{Seed: int64(i), Trials: 100, ManifestProb: 0.9, CaptureProb: 0.8}
+		if _, err := simulate.Run(idx, res.Deployment, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1Diving measures branch-and-bound effort with and without the
+// root diving heuristic on a 120x120 synthetic system (ablation A1).
+func BenchmarkA1Diving(b *testing.B) {
+	idx := synthIndex(b, 120, 120)
+	budget := idx.System().TotalMonitorCost() * 0.3
+	for _, mode := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "on"},
+		{name: "off", opts: []core.Option{core.WithSolverOptions(ilp.WithoutDiving())}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := core.NewOptimizer(idx, mode.opts...)
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.MaxUtility(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA2Formulation measures the compact shared-coverage encoding
+// against the expanded per-(attack, evidence) encoding (ablation A2).
+func BenchmarkA2Formulation(b *testing.B) {
+	idx := synthIndex(b, 120, 120)
+	budget := idx.System().TotalMonitorCost() * 0.3
+	for _, mode := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "compact"},
+		{name: "expanded", opts: []core.Option{core.WithExpandedFormulation()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := core.NewOptimizer(idx, mode.opts...)
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.MaxUtility(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimplexSolve measures the raw LP substrate on the case-study
+// relaxation-sized problem.
+func BenchmarkSimplexSolve(b *testing.B) {
+	build := func() *lp.Problem {
+		p := lp.NewProblem(lp.Maximize)
+		const n = 60
+		vars := make([]lp.VarID, n)
+		for i := range vars {
+			v, err := p.AddVariable("x", 0, 1, float64(i%7+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			vars[i] = v
+		}
+		for r := 0; r < 40; r++ {
+			terms := make([]lp.Term, 0, 8)
+			for k := 0; k < 8; k++ {
+				terms = append(terms, lp.Term{Var: vars[(r*3+k*5)%n], Coeff: float64(k%5 + 1)})
+			}
+			if _, err := p.AddConstraint("row", terms, lp.LE, float64(10+r%13)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return p
+	}
+	prob := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := prob.Solve()
+		if err != nil || sol.Status != lp.StatusOptimal {
+			b.Fatalf("solve: %v %v", err, sol.Status)
+		}
+	}
+}
+
+// BenchmarkGreedyBaseline measures the greedy heuristic on a 200x200
+// synthetic system.
+func BenchmarkGreedyBaseline(b *testing.B) {
+	idx := synthIndex(b, 200, 200)
+	budget := idx.System().TotalMonitorCost() * 0.3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Greedy(idx, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentSuite measures regenerating the fast experiment tables
+// end to end (E1, E2, E5 discard their output).
+func BenchmarkExperimentSuite(b *testing.B) {
+	for _, id := range []string{"E1", "E2", "E5"} {
+		e, ok := experiment.ByID(id)
+		if !ok {
+			b.Fatalf("experiment %s missing", id)
+		}
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := e.Run(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9MultiObjective measures the weighted utility/richness/
+// redundancy solve at the half budget (experiment E9).
+func BenchmarkE9MultiObjective(b *testing.B) {
+	idx := caseIndex(b)
+	budget := idx.System().TotalMonitorCost() * 0.5
+	opt := core.NewOptimizer(idx)
+	weights := core.Objectives{Utility: 1, Richness: 0.5, Redundancy: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.MaxWeighted(budget, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Corroboration measures the corroborated (k=2) MaxUtility
+// solve at the half budget (experiment E10).
+func BenchmarkE10Corroboration(b *testing.B) {
+	idx := caseIndex(b)
+	budget := idx.System().TotalMonitorCost() * 0.5
+	opt := core.NewOptimizer(idx, core.WithCorroboration(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.MaxUtility(budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11ShadowPrices measures the budget shadow-price sweep
+// (experiment E11).
+func BenchmarkE11ShadowPrices(b *testing.B) {
+	e, ok := experiment.ByID("E11")
+	if !ok {
+		b.Fatal("experiment E11 missing")
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12Robust measures the robust expected-utility solve at a 30%
+// failure probability (experiment E12).
+func BenchmarkE12Robust(b *testing.B) {
+	idx := caseIndex(b)
+	budget := idx.System().TotalMonitorCost() * 0.5
+	opt := core.NewOptimizer(idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.MaxExpectedUtility(budget, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA3BranchRule measures most-fractional vs pseudo-cost branching
+// on a 120x120 synthetic system (ablation A3).
+func BenchmarkA3BranchRule(b *testing.B) {
+	idx := synthIndex(b, 120, 120)
+	budget := idx.System().TotalMonitorCost() * 0.3
+	for _, mode := range []struct {
+		name string
+		rule ilp.BranchRule
+	}{
+		{name: "most-fractional", rule: ilp.BranchMostFractional},
+		{name: "pseudo-cost", rule: ilp.BranchPseudoCost},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := core.NewOptimizer(idx, core.WithSolverOptions(ilp.WithBranchRule(mode.rule)))
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.MaxUtility(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Command secmon is the command-line interface to the security monitor
+// deployment library: it validates and inspects system models, evaluates
+// deployments, computes optimal deployments under budget or coverage
+// constraints, generates synthetic models, simulates attacks, and
+// regenerates the paper-reproduction experiments.
+//
+// Usage:
+//
+//	secmon <subcommand> [flags]
+//
+// Subcommands:
+//
+//	show         print a summary of a system model
+//	validate     validate a JSON system model
+//	evaluate     compute the metric report of a deployment
+//	optimize     compute a cost-optimal deployment (max-utility or min-cost)
+//	sweep        trace the utility-vs-budget curve with baselines
+//	synth        generate a synthetic system model as JSON
+//	simulate     Monte-Carlo attack simulation against a deployment
+//	graph        export the model (and optional deployment) as GraphViz DOT
+//	trace        generate/replay attack event traces and attribute them
+//	report       write a Markdown monitoring assessment for a deployment
+//	compare      compare two deployments metric by metric
+//	experiments  regenerate the evaluation tables and figures (E1..E11, A1, A2)
+//
+// Every subcommand accepts -model <file.json> to load a system; without it
+// the built-in enterprise Web service case study is used.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "secmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "show":
+		return cmdShow(rest, out)
+	case "validate":
+		return cmdValidate(rest, out)
+	case "evaluate":
+		return cmdEvaluate(rest, out)
+	case "optimize":
+		return cmdOptimize(rest, out)
+	case "sweep":
+		return cmdSweep(rest, out)
+	case "synth":
+		return cmdSynth(rest, out)
+	case "simulate":
+		return cmdSimulate(rest, out)
+	case "graph":
+		return cmdGraph(rest, out)
+	case "trace":
+		return cmdTrace(rest, out)
+	case "report":
+		return cmdReport(rest, out)
+	case "compare":
+		return cmdCompare(rest, out)
+	case "experiments":
+		return cmdExperiments(rest, out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprint(out, `secmon - quantitative security monitor deployment (DSN 2016 reproduction)
+
+subcommands:
+  show         print a summary of a system model
+  validate     validate a JSON system model
+  evaluate     compute the metric report of a deployment
+  optimize     compute a cost-optimal deployment (max-utility or min-cost)
+  sweep        trace the utility-vs-budget curve with baselines
+  synth        generate a synthetic system model as JSON
+  simulate     Monte-Carlo attack simulation against a deployment
+  graph        export the model (and optional deployment) as GraphViz DOT
+  trace        generate/replay attack event traces and attribute them
+  report       write a Markdown monitoring assessment for a deployment
+  compare      compare two deployments metric by metric
+  experiments  regenerate the evaluation tables and figures (E1..E11, A1, A2)
+
+run 'secmon <subcommand> -h' for flags; -model <file.json> selects a model,
+the default is the built-in enterprise Web service case study.
+`)
+}

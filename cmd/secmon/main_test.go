@@ -1,0 +1,319 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func mustRunCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("run(%v): %v\noutput: %s", args, err, out)
+	}
+	return out
+}
+
+func TestNoSubcommand(t *testing.T) {
+	out, err := runCLI(t)
+	if err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if !strings.Contains(out, "subcommands:") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if _, err := runCLI(t, "bogus"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out := mustRunCLI(t, "help")
+	if !strings.Contains(out, "secmon") {
+		t.Errorf("help output: %s", out)
+	}
+}
+
+func TestShowCaseStudy(t *testing.T) {
+	out := mustRunCLI(t, "show")
+	for _, want := range []string{"enterprise-web-service", "total monitor cost", "sql-injection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q", want)
+		}
+	}
+}
+
+func TestValidateCaseStudy(t *testing.T) {
+	out := mustRunCLI(t, "validate")
+	if !strings.Contains(out, "valid:") {
+		t.Errorf("validate output: %s", out)
+	}
+}
+
+func TestSynthAndModelRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	mustRunCLI(t, "synth", "-monitors", "10", "-attacks", "8", "-seed", "3", "-o", path)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("synth output missing: %v", err)
+	}
+	out := mustRunCLI(t, "validate", "-model", path)
+	if !strings.Contains(out, "10 monitors") {
+		t.Errorf("validate output: %s", out)
+	}
+	out = mustRunCLI(t, "show", "-model", path)
+	if !strings.Contains(out, "8 attacks") {
+		t.Errorf("show output: %s", out)
+	}
+}
+
+func TestSynthToStdout(t *testing.T) {
+	out := mustRunCLI(t, "synth", "-monitors", "3", "-attacks", "2")
+	if !strings.Contains(out, `"monitors"`) {
+		t.Errorf("synth stdout: %s", out)
+	}
+}
+
+func TestValidateMissingFile(t *testing.T) {
+	if _, err := runCLI(t, "validate", "-model", "/nonexistent/x.json"); err == nil {
+		t.Error("missing model file accepted")
+	}
+}
+
+func TestEvaluateDeployment(t *testing.T) {
+	out := mustRunCLI(t, "evaluate", "-monitors", "nids@core-net,netflow-probe@core-net")
+	if !strings.Contains(out, "utility") {
+		t.Errorf("evaluate output: %s", out)
+	}
+}
+
+func TestEvaluateAll(t *testing.T) {
+	out := mustRunCLI(t, "evaluate", "-all")
+	if !strings.Contains(out, "utility 1.0000") {
+		t.Errorf("evaluate -all output: %s", out)
+	}
+}
+
+func TestEvaluateUnknownMonitor(t *testing.T) {
+	if _, err := runCLI(t, "evaluate", "-monitors", "ghost"); err == nil {
+		t.Error("unknown monitor accepted")
+	}
+}
+
+func TestOptimizeMaxUtility(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget-fraction", "0.25")
+	for _, want := range []string{"deployment", "utility", "proven-optimal true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("optimize output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptimizeMinCost(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-min-cost", "-target", "0.75")
+	if !strings.Contains(out, "cost") {
+		t.Errorf("optimize -min-cost output: %s", out)
+	}
+}
+
+func TestOptimizeIncremental(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget", "500", "-existing", "nids@core-net")
+	if !strings.Contains(out, "nids@core-net") {
+		t.Errorf("incremental output dropped existing monitor:\n%s", out)
+	}
+}
+
+func TestOptimizeExpandedAndClamp(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget", "1000", "-expanded")
+	if !strings.Contains(out, "utility") {
+		t.Errorf("expanded output: %s", out)
+	}
+	out = mustRunCLI(t, "optimize", "-min-cost", "-target", "1", "-clamp")
+	if !strings.Contains(out, "utility") {
+		t.Errorf("clamp output: %s", out)
+	}
+}
+
+func TestOptimizeMissingBudget(t *testing.T) {
+	if _, err := runCLI(t, "optimize"); err == nil {
+		t.Error("optimize without budget accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	out := mustRunCLI(t, "sweep", "-steps", "4")
+	if !strings.Contains(out, "optimal") || !strings.Contains(out, "greedy") {
+		t.Errorf("sweep output: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 points
+		t.Errorf("sweep lines = %d, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	out := mustRunCLI(t, "simulate", "-all", "-trials", "5")
+	if !strings.Contains(out, "weighted detection rate") {
+		t.Errorf("simulate output: %s", out)
+	}
+}
+
+func TestSimulateLossy(t *testing.T) {
+	out := mustRunCLI(t, "simulate", "-monitors", "nids@core-net", "-trials", "5",
+		"-manifest", "0.8", "-capture", "0.7", "-threshold", "0.5")
+	if !strings.Contains(out, "weighted detection rate") {
+		t.Errorf("simulate output: %s", out)
+	}
+}
+
+func TestSimulateBadConfig(t *testing.T) {
+	if _, err := runCLI(t, "simulate", "-manifest", "2"); err == nil {
+		t.Error("bad manifest probability accepted")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	out := mustRunCLI(t, "experiments", "-list")
+	for _, id := range []string{"E1", "E8", "A2"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("experiments -list missing %s", id)
+		}
+	}
+}
+
+func TestExperimentsRunOne(t *testing.T) {
+	out := mustRunCLI(t, "experiments", "-run", "E1")
+	if !strings.Contains(out, "== E1") {
+		t.Errorf("experiments -run E1 output: %s", out)
+	}
+}
+
+func TestExperimentsUnknown(t *testing.T) {
+	if _, err := runCLI(t, "experiments", "-run", "E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFlagParseError(t *testing.T) {
+	if _, err := runCLI(t, "show", "-bogus"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestOptimizeCorroboration(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget-fraction", "0.3", "-corroboration", "2")
+	if !strings.Contains(out, "proven-optimal true") {
+		t.Errorf("corroborated optimize output:\n%s", out)
+	}
+}
+
+func TestOptimizeWeighted(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget", "3000", "-w-utility", "1", "-w-richness", "0.5")
+	if !strings.Contains(out, "weighted score") {
+		t.Errorf("weighted optimize output:\n%s", out)
+	}
+}
+
+func TestOptimizeShadowPriceShown(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget-fraction", "0.1")
+	if !strings.Contains(out, "shadow price") {
+		t.Errorf("optimize output missing shadow price:\n%s", out)
+	}
+}
+
+func TestGraphExport(t *testing.T) {
+	out := mustRunCLI(t, "graph", "-monitors", "nids@core-net")
+	if !strings.Contains(out, "digraph secmon") {
+		t.Errorf("graph output: %s", out)
+	}
+	path := filepath.Join(t.TempDir(), "model.dot")
+	mustRunCLI(t, "graph", "-o", path)
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("graph -o did not create file: %v", err)
+	}
+}
+
+func TestOptimizeRobust(t *testing.T) {
+	out := mustRunCLI(t, "optimize", "-budget-fraction", "0.4", "-failure-prob", "0.3")
+	if !strings.Contains(out, "expected utility") {
+		t.Errorf("robust optimize output:\n%s", out)
+	}
+}
+
+func TestTraceGenerateAndAttribute(t *testing.T) {
+	out := mustRunCLI(t, "trace", "-attack", "sql-injection", "-all")
+	if !strings.Contains(out, "attack hypothesis") || !strings.Contains(out, "sql-injection") {
+		t.Errorf("trace output:\n%s", out)
+	}
+	// The simulated attack must rank first with a full deployment.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[2], "sql-injection") {
+		t.Errorf("sql-injection not ranked first:\n%s", out)
+	}
+}
+
+func TestTraceRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	mustRunCLI(t, "trace", "-attack", "denial-of-service", "-all", "-o", path)
+	out := mustRunCLI(t, "trace", "-in", path)
+	if !strings.Contains(out, "denial-of-service") {
+		t.Errorf("replayed trace output:\n%s", out)
+	}
+}
+
+func TestTraceRequiresAttackOrInput(t *testing.T) {
+	if _, err := runCLI(t, "trace"); err == nil {
+		t.Error("trace without -attack or -in accepted")
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	out := mustRunCLI(t, "report", "-monitors", "nids@core-net")
+	if !strings.Contains(out, "# Monitoring assessment") {
+		t.Errorf("report output:\n%s", out)
+	}
+	out = mustRunCLI(t, "report", "-optimal-budget", "3000")
+	if !strings.Contains(out, "## Posture") {
+		t.Errorf("optimal report output:\n%s", out)
+	}
+	path := filepath.Join(t.TempDir(), "report.md")
+	mustRunCLI(t, "report", "-all", "-o", path)
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("report -o did not create file: %v", err)
+	}
+}
+
+func TestSmallBusinessModelSelector(t *testing.T) {
+	out := mustRunCLI(t, "show", "-model", "small-business")
+	if !strings.Contains(out, "small-business-web") {
+		t.Errorf("small-business show output:\n%s", out)
+	}
+}
+
+func TestOptimizeSaveAndReuseDeployment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deployment.json")
+	mustRunCLI(t, "optimize", "-budget-fraction", "0.25", "-save", path)
+	out := mustRunCLI(t, "evaluate", "-deployment", path)
+	if !strings.Contains(out, "utility") {
+		t.Errorf("evaluate -deployment output:\n%s", out)
+	}
+	out = mustRunCLI(t, "report", "-deployment", path)
+	if !strings.Contains(out, "## Posture") {
+		t.Errorf("report -deployment output:\n%s", out)
+	}
+	if _, err := runCLI(t, "evaluate", "-deployment", "/nonexistent.json"); err == nil {
+		t.Error("missing deployment file accepted")
+	}
+}

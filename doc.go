@@ -1,0 +1,21 @@
+// Package secmon is a production-quality Go reproduction of "A Quantitative
+// Methodology for Security Monitor Deployment" (Thakore, Weaver, Sanders;
+// DSN 2016).
+//
+// The library models systems, deployable monitors and attacks
+// (internal/model), quantifies deployments with the paper's metric suite
+// (internal/metrics), and computes cost-optimal maximum-utility monitor
+// placements with an exact integer-programming solver built from scratch on
+// the standard library (internal/lp, internal/ilp, internal/core). The
+// enterprise Web service case study of the paper (and a small-business
+// variant) lives in internal/catalog and internal/casestudy; synthetic
+// scalability models in internal/synth; a Monte-Carlo attack/detection
+// simulator in internal/simulate; forensic trace persistence and attribution
+// in internal/trace; GraphViz export in internal/graph; Markdown assessments
+// in internal/report; and the experiment suite that regenerates every
+// evaluation table and figure in internal/experiment.
+//
+// See README.md for a tour, DESIGN.md for the architecture and experiment
+// index, and EXPERIMENTS.md for measured results. The benchmarks in
+// bench_test.go regenerate one table or figure each.
+package secmon

@@ -1,0 +1,80 @@
+// Incremental: plan monitoring upgrades for a system that already has some
+// monitors deployed — the existing monitors are kept, only new spending is
+// optimized — then find the cheapest path to a coverage requirement.
+//
+// Run with:
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/core"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		return err
+	}
+
+	// The organization already collects syslog everywhere and has a network
+	// IDS: a typical brownfield starting point.
+	existing := model.NewDeployment(
+		casestudy.MonitorID("syslog-agent", "web-1"),
+		casestudy.MonitorID("syslog-agent", "web-2"),
+		casestudy.MonitorID("syslog-agent", "app-1"),
+		casestudy.MonitorID("syslog-agent", "db-1"),
+		casestudy.MonitorID("nids", "core-net"),
+	)
+	fmt.Printf("existing deployment (%d monitors, sunk cost %.0f): utility %.4f\n",
+		existing.Len(), metrics.Cost(idx, existing), metrics.Utility(idx, existing))
+
+	// Plan upgrades at increasing incremental budgets.
+	opt := core.NewOptimizer(idx)
+	fmt.Printf("\n%12s %10s %10s %s\n", "new budget", "utility", "new spend", "added monitors")
+	for _, budget := range []float64{500, 1000, 2000, 4000} {
+		res, err := opt.MaxUtilityIncremental(budget, existing)
+		if err != nil {
+			return err
+		}
+		var added []string
+		newSpend := 0.0
+		for _, id := range res.Monitors {
+			if !existing.Contains(id) {
+				added = append(added, string(id))
+				m, _ := idx.Monitor(id)
+				newSpend += m.TotalCost()
+			}
+		}
+		fmt.Printf("%12.0f %10.4f %10.0f %v\n", budget, res.Utility, newSpend, added)
+	}
+
+	// Finally: what is the cheapest way to guarantee 90% coverage of every
+	// attack, keeping what is already installed?
+	res, err := opt.MinCostIncremental(core.CoverageTargets{Global: 0.9}, existing)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncheapest plan reaching 90%% coverage everywhere: total cost %.0f, utility %.4f\n",
+		res.Cost, res.Utility)
+	for _, id := range res.Monitors {
+		marker := " "
+		if !existing.Contains(id) {
+			marker = "+"
+		}
+		fmt.Printf("  %s %s\n", marker, id)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: model a tiny system, evaluate a hand-picked deployment, and
+// let the optimizer find the best deployment for the same budget.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secmon/internal/core"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Describe the system: assets, the data observable on them, the
+	// monitors that could collect that data, and the attacks to detect.
+	sys, err := model.NewBuilder("quickstart").
+		Asset("web", "Web server", "host").
+		Asset("db", "Database server", "host").
+		DataType("http-log", "HTTP access log", "web", "src_ip", "path", "status").
+		DataType("sql-audit", "SQL audit log", "db", "user", "statement").
+		DataType("netflow", "Netflow records", "", "src", "dst", "bytes").
+		Monitor("web-logger", "Web log collector", "web", 100, 50, "http-log").
+		Monitor("db-audit", "Database auditor", "db", 400, 200, "sql-audit").
+		Monitor("net-probe", "Network probe", "", 250, 100, "netflow", "http-log").
+		Attack("sql-injection", "SQL injection", 3).
+		Step("probe", "http-log").
+		Step("inject", "http-log", "sql-audit").
+		Done().
+		Attack("exfiltration", "Data exfiltration", 2).
+		Step("transfer", "netflow").
+		Done().
+		Build()
+	if err != nil {
+		return err
+	}
+
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys)
+	fmt.Printf("total cost of deploying everything: %.0f\n\n", sys.TotalMonitorCost())
+
+	// 2. Evaluate a deployment an operator might pick by hand.
+	manual := model.NewDeployment("web-logger", "db-audit")
+	fmt.Println("manual deployment {web-logger, db-audit}:")
+	fmt.Print(metrics.Evaluate(idx, manual))
+
+	// 3. Ask the optimizer for the best deployment with the same spend.
+	budget := metrics.Cost(idx, manual)
+	res, err := core.NewOptimizer(idx).MaxUtility(budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimal deployment for the same budget (%.0f):\n", budget)
+	fmt.Print(metrics.Evaluate(idx, res.Deployment))
+	fmt.Printf("\nsolver: %d branch-and-bound nodes, %d LP pivots, %s, proven optimal: %v\n",
+		res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed, res.Proven)
+	return nil
+}

@@ -1,0 +1,53 @@
+// Scalability: reproduce the paper's scalability claim — optimal monitor
+// deployments for systems with hundreds of monitors and attacks compute
+// within minutes — on seeded synthetic systems.
+//
+// Run with:
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secmon/internal/core"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Printf("%9s %8s %9s %9s %10s %12s\n",
+		"monitors", "attacks", "utility", "bb-nodes", "lp-pivots", "solve-time")
+	for _, size := range []struct{ monitors, attacks int }{
+		{50, 50}, {100, 100}, {200, 200}, {300, 300},
+	} {
+		sys, err := synth.Generate(synth.Config{
+			Seed:     int64(size.monitors),
+			Monitors: size.monitors,
+			Attacks:  size.attacks,
+		})
+		if err != nil {
+			return err
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			return err
+		}
+		// A 30% budget sits in the hard middle of the trade-off curve.
+		res, err := core.NewOptimizer(idx).MaxUtility(sys.TotalMonitorCost() * 0.3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%9d %8d %9.4f %9d %10d %12s\n",
+			size.monitors, size.attacks, res.Utility,
+			res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed)
+	}
+	return nil
+}

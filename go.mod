@@ -1,0 +1,3 @@
+module secmon
+
+go 1.22

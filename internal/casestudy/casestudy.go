@@ -1,0 +1,223 @@
+// Package casestudy builds the enterprise Web service use case of the DSN
+// 2016 paper: a concrete topology (edge firewall, network fabric, load
+// balancer, two Web servers, an application server and a database server)
+// instantiated with the monitor templates and common Web attacks of
+// internal/catalog.
+//
+// The enterprise model has 34 deployable monitors and 17 weighted attacks
+// and is the subject of experiments E1-E6 and E8-E13; a small-business
+// variant topology (experiment E14) and arbitrary multi-role topologies are
+// also supported.
+package casestudy
+
+import (
+	"fmt"
+
+	"secmon/internal/catalog"
+	"secmon/internal/model"
+)
+
+// AssetSpec places one asset of a case-study topology. An asset may carry
+// several roles (a small-business host often runs the Web, application and
+// database tiers together).
+type AssetSpec struct {
+	ID          model.AssetID
+	Name        string
+	Roles       []catalog.Role
+	Criticality float64
+}
+
+// Topology returns the enterprise case-study assets in a stable order.
+func Topology() []AssetSpec {
+	return []AssetSpec{
+		{ID: "edge-fw", Name: "Internet edge firewall", Roles: []catalog.Role{catalog.RoleEdge}, Criticality: 2},
+		{ID: "core-net", Name: "Core network fabric", Roles: []catalog.Role{catalog.RoleNet}, Criticality: 2},
+		{ID: "lb-1", Name: "Load balancer", Roles: []catalog.Role{catalog.RoleLB}, Criticality: 2},
+		{ID: "web-1", Name: "Web server 1", Roles: []catalog.Role{catalog.RoleWeb}, Criticality: 3},
+		{ID: "web-2", Name: "Web server 2", Roles: []catalog.Role{catalog.RoleWeb}, Criticality: 3},
+		{ID: "app-1", Name: "Application server", Roles: []catalog.Role{catalog.RoleApp}, Criticality: 4},
+		{ID: "db-1", Name: "Database server", Roles: []catalog.Role{catalog.RoleDB}, Criticality: 5},
+	}
+}
+
+// SmallBusinessTopology returns a minimal variant of the same service: a
+// single all-in-one host runs the Web, application and database tiers
+// behind one firewall, with a flat office network. It demonstrates how the
+// same catalog instantiates against a different topology and how optimal
+// deployments change shape (experiment E14).
+func SmallBusinessTopology() []AssetSpec {
+	return []AssetSpec{
+		{ID: "edge-fw", Name: "Office edge firewall", Roles: []catalog.Role{catalog.RoleEdge}, Criticality: 2},
+		{ID: "office-net", Name: "Office network", Roles: []catalog.Role{catalog.RoleNet}, Criticality: 1},
+		{ID: "allinone-1", Name: "All-in-one server",
+			Roles:       []catalog.Role{catalog.RoleWeb, catalog.RoleApp, catalog.RoleDB},
+			Criticality: 5},
+	}
+}
+
+// DataTypeID names the concrete data type for a kind observed on an asset.
+func DataTypeID(kind catalog.DataKind, asset model.AssetID) model.DataTypeID {
+	return model.DataTypeID(fmt.Sprintf("%s@%s", kind, asset))
+}
+
+// MonitorID names the concrete monitor instance of a template on an asset.
+func MonitorID(slug string, asset model.AssetID) model.MonitorID {
+	return model.MonitorID(fmt.Sprintf("%s@%s", slug, asset))
+}
+
+// Build instantiates the enterprise Web service model: every data kind and
+// monitor template is bound to each topology asset whose role matches, and
+// every catalog attack's evidence is resolved to the concrete data types of
+// the topology.
+func Build() (*model.System, error) {
+	return BuildTopology("enterprise-web-service", Topology())
+}
+
+// BuildSmallBusiness instantiates the same catalog against the
+// small-business topology.
+func BuildSmallBusiness() (*model.System, error) {
+	return BuildTopology("small-business-web", SmallBusinessTopology())
+}
+
+// BuildTopology instantiates the catalog against an arbitrary topology.
+func BuildTopology(name string, assets []AssetSpec) (*model.System, error) {
+	sys := &model.System{Name: name}
+	for _, a := range assets {
+		kind := ""
+		if len(a.Roles) > 0 {
+			kind = string(a.Roles[0])
+		}
+		sys.Assets = append(sys.Assets, model.Asset{
+			ID:          a.ID,
+			Name:        a.Name,
+			Kind:        kind,
+			Criticality: a.Criticality,
+		})
+	}
+
+	// Data types: one per (kind, asset) pair where the kind is observable
+	// on any of the asset's roles.
+	for _, a := range assets {
+		for _, spec := range catalog.DataKindSpecs() {
+			if !observableOnAny(spec.Kind, a.Roles) {
+				continue
+			}
+			sys.DataTypes = append(sys.DataTypes, model.DataType{
+				ID:     DataTypeID(spec.Kind, a.ID),
+				Name:   fmt.Sprintf("%s on %s", spec.Name, a.Name),
+				Asset:  a.ID,
+				Fields: append([]string(nil), spec.Fields...),
+			})
+		}
+	}
+
+	// Monitors: one instance per (template, matching asset) pair.
+	for _, a := range assets {
+		for _, spec := range catalog.MonitorSpecs() {
+			if !rolesIntersect(spec.Roles, a.Roles) {
+				continue
+			}
+			var produces []model.DataTypeID
+			for _, kind := range spec.Kinds {
+				if observableOnAny(kind, a.Roles) {
+					produces = append(produces, DataTypeID(kind, a.ID))
+				}
+			}
+			if len(produces) == 0 {
+				continue
+			}
+			sys.Monitors = append(sys.Monitors, model.Monitor{
+				ID:              MonitorID(spec.Slug, a.ID),
+				Name:            fmt.Sprintf("%s on %s", spec.Name, a.Name),
+				Asset:           a.ID,
+				Produces:        produces,
+				CapitalCost:     spec.Capital,
+				OperationalCost: spec.Operational,
+			})
+		}
+	}
+
+	// Attacks: resolve each evidence specification against the topology.
+	for _, spec := range catalog.WebAttacks() {
+		attack := model.Attack{
+			ID:     model.AttackID(spec.Slug),
+			Name:   spec.Name,
+			Weight: spec.Weight,
+		}
+		for _, stepSpec := range spec.Steps {
+			step := model.AttackStep{Name: stepSpec.Name}
+			seen := make(map[model.DataTypeID]bool)
+			for _, ev := range stepSpec.Evidence {
+				for _, dt := range resolveEvidence(ev, assets) {
+					if !seen[dt] {
+						seen[dt] = true
+						step.Evidence = append(step.Evidence, dt)
+					}
+				}
+			}
+			attack.Steps = append(attack.Steps, step)
+		}
+		sys.Attacks = append(sys.Attacks, attack)
+	}
+
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("casestudy: %w", err)
+	}
+	return sys, nil
+}
+
+// BuildIndex builds and indexes the enterprise case-study system.
+func BuildIndex() (*model.Index, error) {
+	sys, err := Build()
+	if err != nil {
+		return nil, err
+	}
+	return model.NewIndex(sys)
+}
+
+// BuildSmallBusinessIndex builds and indexes the small-business system.
+func BuildSmallBusinessIndex() (*model.Index, error) {
+	sys, err := BuildSmallBusiness()
+	if err != nil {
+		return nil, err
+	}
+	return model.NewIndex(sys)
+}
+
+// resolveEvidence maps an evidence specification to the concrete data types
+// of every topology asset it applies to. A role-restricted specification
+// matches an asset carrying any of the listed roles, provided the data kind
+// is observable there.
+func resolveEvidence(ev catalog.EvidenceSpec, assets []AssetSpec) []model.DataTypeID {
+	var out []model.DataTypeID
+	for _, a := range assets {
+		if len(ev.Roles) > 0 && !rolesIntersect(ev.Roles, a.Roles) {
+			continue
+		}
+		if !observableOnAny(ev.Kind, a.Roles) {
+			continue
+		}
+		out = append(out, DataTypeID(ev.Kind, a.ID))
+	}
+	return out
+}
+
+func rolesIntersect(a, b []catalog.Role) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func observableOnAny(kind catalog.DataKind, roles []catalog.Role) bool {
+	for _, r := range roles {
+		if catalog.KindObservableOn(kind, r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package casestudy
+
+import (
+	"reflect"
+	"testing"
+
+	"secmon/internal/catalog"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+func TestBuildValidSystem(t *testing.T) {
+	sys, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(sys.Assets) != len(Topology()) {
+		t.Errorf("assets = %d, want %d", len(sys.Assets), len(Topology()))
+	}
+	if len(sys.Monitors) < 25 {
+		t.Errorf("monitors = %d, want >= 25 (a realistic enterprise inventory)", len(sys.Monitors))
+	}
+	if len(sys.Attacks) != len(catalog.WebAttacks()) {
+		t.Errorf("attacks = %d, want %d", len(sys.Attacks), len(catalog.WebAttacks()))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Build is not deterministic")
+	}
+}
+
+func TestWebTierReplication(t *testing.T) {
+	idx, err := BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	// Both web servers carry an HTTP access log and its collector.
+	for _, asset := range []model.AssetID{"web-1", "web-2"} {
+		dt := DataTypeID(catalog.KindHTTPAccess, asset)
+		if _, ok := idx.DataType(dt); !ok {
+			t.Errorf("missing data type %s", dt)
+		}
+		mon := MonitorID("http-access-logger", asset)
+		if _, ok := idx.Monitor(mon); !ok {
+			t.Errorf("missing monitor %s", mon)
+		}
+	}
+	// The DB auditor exists only on the database server.
+	if _, ok := idx.Monitor(MonitorID("db-auditor", "db-1")); !ok {
+		t.Error("missing db-auditor@db-1")
+	}
+	if _, ok := idx.Monitor(MonitorID("db-auditor", "web-1")); ok {
+		t.Error("db-auditor instantiated on a web server")
+	}
+}
+
+func TestEveryAttackFullyObservable(t *testing.T) {
+	// The case-study monitor inventory covers every attack's evidence: the
+	// utility ceiling is 1.
+	idx, err := BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	for _, aid := range idx.AttackIDs() {
+		ev := idx.AttackEvidence(aid)
+		if idx.ObservableEvidence(aid) != len(ev) {
+			t.Errorf("attack %s has unobservable evidence", aid)
+		}
+	}
+	if got := metrics.MaxUtility(idx); got != 1 {
+		t.Errorf("MaxUtility = %v, want 1", got)
+	}
+}
+
+func TestEvidenceRespectsRoleRestrictions(t *testing.T) {
+	idx, err := BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	// directory-traversal's "sensitive file read" restricts proc-audit to
+	// web servers: db-1's proc-audit must not be evidence.
+	atk, ok := idx.Attack("directory-traversal")
+	if !ok {
+		t.Fatal("missing directory-traversal attack")
+	}
+	var step *model.AttackStep
+	for i := range atk.Steps {
+		if atk.Steps[i].Name == "sensitive file read" {
+			step = &atk.Steps[i]
+		}
+	}
+	if step == nil {
+		t.Fatal("missing step")
+	}
+	for _, e := range step.Evidence {
+		if e == DataTypeID(catalog.KindProcAudit, "db-1") {
+			t.Error("role-restricted evidence leaked to db-1")
+		}
+	}
+	found := false
+	for _, e := range step.Evidence {
+		if e == DataTypeID(catalog.KindProcAudit, "web-1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected proc-audit@web-1 evidence")
+	}
+}
+
+func TestTotalCostPlausible(t *testing.T) {
+	sys, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sys.TotalMonitorCost()
+	if total <= 0 {
+		t.Fatalf("total cost = %v", total)
+	}
+	// Each monitor's cost must be positive so budget trade-offs are real.
+	for _, m := range sys.Monitors {
+		if m.TotalCost() <= 0 {
+			t.Errorf("monitor %s has non-positive cost", m.ID)
+		}
+	}
+}
+
+func TestBundledSensorsEnableCorroboration(t *testing.T) {
+	// The EDR suite overlaps the point agents and the packet capture sensor
+	// overlaps the network probes, so corroborated (two-monitor) coverage
+	// is achievable for host and network evidence.
+	idx, err := BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	corroborable := 0
+	for _, d := range idx.DataTypeIDs() {
+		if len(idx.Producers(d)) >= 2 {
+			corroborable++
+		}
+	}
+	if corroborable < 10 {
+		t.Errorf("only %d data types have >= 2 producers; corroboration experiments need overlap", corroborable)
+	}
+	// Specific overlaps.
+	if got := idx.Producers(DataTypeID(catalog.KindSyslog, "web-1")); len(got) != 2 {
+		t.Errorf("syslog@web-1 producers = %v, want syslog-agent + edr-agent", got)
+	}
+	if got := idx.Producers(DataTypeID(catalog.KindNetflow, "core-net")); len(got) != 2 {
+		t.Errorf("netflow@core-net producers = %v, want netflow-probe + pcap-sensor", got)
+	}
+}
+
+func TestBuildSmallBusiness(t *testing.T) {
+	idx, err := BuildSmallBusinessIndex()
+	if err != nil {
+		t.Fatalf("BuildSmallBusinessIndex: %v", err)
+	}
+	sys := idx.System()
+	if len(sys.Assets) != 3 {
+		t.Errorf("assets = %d, want 3", len(sys.Assets))
+	}
+	if len(sys.Attacks) != len(catalog.WebAttacks()) {
+		t.Errorf("attacks = %d, want %d", len(sys.Attacks), len(catalog.WebAttacks()))
+	}
+	// The all-in-one host carries monitors of all three tiers.
+	for _, slug := range []string{"http-access-logger", "app-logger", "db-auditor", "edr-agent"} {
+		if _, ok := idx.Monitor(MonitorID(slug, "allinone-1")); !ok {
+			t.Errorf("missing %s on the all-in-one host", slug)
+		}
+	}
+	// Far fewer monitors than the enterprise topology.
+	entIdx, err := BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Monitors) >= len(entIdx.System().Monitors) {
+		t.Errorf("small business has %d monitors, enterprise %d", len(sys.Monitors), len(entIdx.System().Monitors))
+	}
+	// Every attack remains fully observable.
+	for _, aid := range idx.AttackIDs() {
+		if idx.ObservableEvidence(aid) != len(idx.AttackEvidence(aid)) {
+			t.Errorf("attack %s has unobservable evidence on the small topology", aid)
+		}
+	}
+}
+
+func TestBuildTopologyCustom(t *testing.T) {
+	sys, err := BuildTopology("custom", []AssetSpec{
+		{ID: "net", Name: "Net", Roles: []catalog.Role{catalog.RoleNet}, Criticality: 1},
+		{ID: "host", Name: "Host", Roles: []catalog.Role{catalog.RoleWeb, catalog.RoleDB}, Criticality: 2},
+	})
+	if err != nil {
+		t.Fatalf("BuildTopology: %v", err)
+	}
+	if sys.Name != "custom" {
+		t.Errorf("name = %q", sys.Name)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package catalog provides a reusable vocabulary for building enterprise Web
+// service monitoring models in the style of the DSN 2016 case study: the
+// observable data kinds produced in such systems, templates for the monitors
+// that collect them, and a library of common attacks on Web servers together
+// with the evidence each attack step generates.
+//
+// The catalog is abstract over concrete systems: data kinds and monitor
+// templates are bound to deployment roles (edge firewall, load balancer, Web
+// server, ...) and are instantiated against a concrete topology by
+// internal/casestudy.
+package catalog
+
+// Role classifies where in an enterprise Web service an asset sits; monitor
+// templates and evidence specifications are bound to roles.
+type Role string
+
+// Deployment roles of the enterprise Web service reference architecture.
+const (
+	// RoleEdge is the Internet-facing firewall/router.
+	RoleEdge Role = "edge"
+	// RoleNet is the internal network fabric (span ports, taps).
+	RoleNet Role = "net"
+	// RoleLB is the load balancer / reverse proxy tier.
+	RoleLB Role = "lb"
+	// RoleWeb is the Web server tier.
+	RoleWeb Role = "web"
+	// RoleApp is the application server tier.
+	RoleApp Role = "app"
+	// RoleDB is the database tier.
+	RoleDB Role = "db"
+)
+
+// Roles lists every role in a stable order.
+func Roles() []Role {
+	return []Role{RoleEdge, RoleNet, RoleLB, RoleWeb, RoleApp, RoleDB}
+}
+
+// DataKind names a class of observable data independent of the asset that
+// produces it; concrete data types are instantiated per asset.
+type DataKind string
+
+// Data kinds observable in an enterprise Web service.
+const (
+	KindFirewallLog DataKind = "fw-log"
+	KindNIDSAlert   DataKind = "nids-alert"
+	KindNetflow     DataKind = "netflow"
+	KindDNSLog      DataKind = "dns-log"
+	KindLBAccess    DataKind = "lb-access"
+	KindWAFLog      DataKind = "waf-log"
+	KindHTTPAccess  DataKind = "http-access"
+	KindHTTPError   DataKind = "http-error"
+	KindAppLog      DataKind = "app-log"
+	KindSyslog      DataKind = "syslog"
+	KindAuthLog     DataKind = "auth-log"
+	KindFIMEvent    DataKind = "fim-event"
+	KindProcAudit   DataKind = "proc-audit"
+	KindDBAudit     DataKind = "db-audit"
+	KindDBQueryLog  DataKind = "db-query-log"
+)
+
+// DataKindSpec describes one data kind: the event fields it carries and the
+// roles on which it is observable.
+type DataKindSpec struct {
+	Kind   DataKind
+	Name   string
+	Fields []string
+	Roles  []Role
+}
+
+// DataKindSpecs returns the full data-kind vocabulary in a stable order.
+func DataKindSpecs() []DataKindSpec {
+	return []DataKindSpec{
+		{Kind: KindFirewallLog, Name: "Firewall connection log", Roles: []Role{RoleEdge},
+			Fields: []string{"timestamp", "src_ip", "dst_ip", "dst_port", "action", "bytes"}},
+		{Kind: KindNIDSAlert, Name: "Network IDS alert", Roles: []Role{RoleNet},
+			Fields: []string{"timestamp", "signature", "src_ip", "dst_ip", "severity", "payload_excerpt"}},
+		{Kind: KindNetflow, Name: "Netflow record", Roles: []Role{RoleNet},
+			Fields: []string{"timestamp", "src_ip", "dst_ip", "src_port", "dst_port", "bytes", "packets", "duration"}},
+		{Kind: KindDNSLog, Name: "DNS query log", Roles: []Role{RoleNet},
+			Fields: []string{"timestamp", "client_ip", "query", "qtype", "answer"}},
+		{Kind: KindLBAccess, Name: "Load balancer access log", Roles: []Role{RoleLB},
+			Fields: []string{"timestamp", "client_ip", "backend", "path", "status", "latency_ms"}},
+		{Kind: KindWAFLog, Name: "Web application firewall log", Roles: []Role{RoleLB},
+			Fields: []string{"timestamp", "client_ip", "rule_id", "path", "action", "match"}},
+		{Kind: KindHTTPAccess, Name: "HTTP access log", Roles: []Role{RoleWeb},
+			Fields: []string{"timestamp", "client_ip", "method", "path", "status", "bytes", "user_agent", "referer"}},
+		{Kind: KindHTTPError, Name: "HTTP error log", Roles: []Role{RoleWeb},
+			Fields: []string{"timestamp", "severity", "client_ip", "message", "module"}},
+		{Kind: KindAppLog, Name: "Application log", Roles: []Role{RoleApp},
+			Fields: []string{"timestamp", "level", "component", "user", "message", "session_id"}},
+		{Kind: KindSyslog, Name: "System log", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Fields: []string{"timestamp", "facility", "severity", "process", "message"}},
+		{Kind: KindAuthLog, Name: "Authentication log", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Fields: []string{"timestamp", "user", "source_ip", "method", "outcome"}},
+		{Kind: KindFIMEvent, Name: "File integrity event", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Fields: []string{"timestamp", "path", "change", "hash_before", "hash_after", "process"}},
+		{Kind: KindProcAudit, Name: "Process audit record", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Fields: []string{"timestamp", "uid", "exe", "args", "parent", "syscall"}},
+		{Kind: KindDBAudit, Name: "Database audit log", Roles: []Role{RoleDB},
+			Fields: []string{"timestamp", "user", "client", "statement", "object", "rows"}},
+		{Kind: KindDBQueryLog, Name: "Database slow/verbose query log", Roles: []Role{RoleDB},
+			Fields: []string{"timestamp", "user", "duration_ms", "query", "rows_examined"}},
+	}
+}
+
+// MonitorSpec is a deployable monitor template: the data kinds it produces,
+// the roles it can be deployed on, and its cost structure (capital once,
+// operational per planning period; arbitrary consistent currency units).
+type MonitorSpec struct {
+	Slug        string
+	Name        string
+	Kinds       []DataKind
+	Roles       []Role
+	Capital     float64
+	Operational float64
+}
+
+// MonitorSpecs returns the monitor template library in a stable order.
+func MonitorSpecs() []MonitorSpec {
+	return []MonitorSpec{
+		{Slug: "fw-logger", Name: "Firewall log collector", Roles: []Role{RoleEdge},
+			Kinds: []DataKind{KindFirewallLog}, Capital: 200, Operational: 100},
+		{Slug: "nids", Name: "Network intrusion detection sensor", Roles: []Role{RoleNet},
+			Kinds: []DataKind{KindNIDSAlert}, Capital: 800, Operational: 400},
+		{Slug: "netflow-probe", Name: "Netflow probe", Roles: []Role{RoleNet},
+			Kinds: []DataKind{KindNetflow}, Capital: 300, Operational: 150},
+		{Slug: "dns-logger", Name: "DNS query logger", Roles: []Role{RoleNet},
+			Kinds: []DataKind{KindDNSLog}, Capital: 180, Operational: 90},
+		{Slug: "lb-logger", Name: "Load balancer access logger", Roles: []Role{RoleLB},
+			Kinds: []DataKind{KindLBAccess}, Capital: 150, Operational: 80},
+		{Slug: "waf", Name: "Web application firewall", Roles: []Role{RoleLB},
+			Kinds: []DataKind{KindWAFLog}, Capital: 600, Operational: 300},
+		{Slug: "http-access-logger", Name: "HTTP access log collector", Roles: []Role{RoleWeb},
+			Kinds: []DataKind{KindHTTPAccess}, Capital: 100, Operational: 60},
+		{Slug: "http-error-logger", Name: "HTTP error log collector", Roles: []Role{RoleWeb},
+			Kinds: []DataKind{KindHTTPError}, Capital: 80, Operational: 40},
+		{Slug: "app-logger", Name: "Application log collector", Roles: []Role{RoleApp},
+			Kinds: []DataKind{KindAppLog}, Capital: 150, Operational: 80},
+		{Slug: "syslog-agent", Name: "Syslog agent", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Kinds: []DataKind{KindSyslog}, Capital: 60, Operational: 30},
+		{Slug: "auth-logger", Name: "Authentication log collector", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Kinds: []DataKind{KindAuthLog}, Capital: 60, Operational: 30},
+		{Slug: "fim-agent", Name: "File integrity monitoring agent", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Kinds: []DataKind{KindFIMEvent}, Capital: 250, Operational: 120},
+		{Slug: "proc-auditor", Name: "Process auditing daemon", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Kinds: []DataKind{KindProcAudit}, Capital: 200, Operational: 150},
+		{Slug: "db-auditor", Name: "Database audit logger", Roles: []Role{RoleDB},
+			Kinds: []DataKind{KindDBAudit}, Capital: 500, Operational: 250},
+		{Slug: "db-query-logger", Name: "Database query logger", Roles: []Role{RoleDB},
+			Kinds: []DataKind{KindDBQueryLog}, Capital: 120, Operational: 60},
+		// Bundled sensors overlap the point collectors above: they make
+		// corroborated (multi-monitor) coverage possible and create
+		// bundle-versus-parts cost trade-offs for the optimizer.
+		{Slug: "edr-agent", Name: "Endpoint detection and response suite", Roles: []Role{RoleWeb, RoleApp, RoleDB},
+			Kinds:   []DataKind{KindSyslog, KindAuthLog, KindFIMEvent, KindProcAudit},
+			Capital: 500, Operational: 300},
+		{Slug: "pcap-sensor", Name: "Full packet capture sensor", Roles: []Role{RoleNet},
+			Kinds:   []DataKind{KindNetflow, KindDNSLog, KindNIDSAlert},
+			Capital: 700, Operational: 400},
+	}
+}
+
+// EvidenceSpec names the data kind an attack step manifests in, optionally
+// restricted to specific roles (empty Roles means every role the kind is
+// observable on).
+type EvidenceSpec struct {
+	Kind  DataKind
+	Roles []Role
+}
+
+// AttackStepSpec is one stage of an attack template.
+type AttackStepSpec struct {
+	Name     string
+	Evidence []EvidenceSpec
+}
+
+// AttackSpec is a weighted attack template on the Web service, with evidence
+// expressed over the data-kind vocabulary.
+type AttackSpec struct {
+	Slug   string
+	Name   string
+	Weight float64
+	Steps  []AttackStepSpec
+}
+
+// WebAttacks returns the library of common attacks on Web servers used by
+// the case study, in a stable order. Weights approximate likelihood times
+// impact on a 1-5 scale.
+func WebAttacks() []AttackSpec {
+	return []AttackSpec{
+		{
+			Slug: "sql-injection", Name: "SQL injection", Weight: 5,
+			Steps: []AttackStepSpec{
+				{Name: "parameter probing", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog}}},
+				{Name: "injection", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog}, {Kind: KindDBAudit}}},
+				{Name: "data extraction", Evidence: []EvidenceSpec{
+					{Kind: KindDBAudit}, {Kind: KindDBQueryLog}, {Kind: KindNetflow}}},
+			},
+		},
+		{
+			Slug: "xss", Name: "Cross-site scripting", Weight: 3,
+			Steps: []AttackStepSpec{
+				{Name: "payload injection", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog}}},
+				{Name: "victim execution", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindLBAccess}}},
+			},
+		},
+		{
+			Slug: "brute-force-login", Name: "Credential brute forcing", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "password guessing", Evidence: []EvidenceSpec{
+					{Kind: KindAuthLog, Roles: []Role{RoleWeb, RoleApp}},
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog}}},
+				{Name: "account takeover", Evidence: []EvidenceSpec{
+					{Kind: KindAuthLog, Roles: []Role{RoleWeb, RoleApp}},
+					{Kind: KindAppLog}}},
+			},
+		},
+		{
+			Slug: "directory-traversal", Name: "Directory traversal", Weight: 3,
+			Steps: []AttackStepSpec{
+				{Name: "path probing", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindHTTPError}, {Kind: KindWAFLog}}},
+				{Name: "sensitive file read", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit, Roles: []Role{RoleWeb}},
+					{Kind: KindSyslog, Roles: []Role{RoleWeb}}}},
+			},
+		},
+		{
+			Slug: "remote-file-inclusion", Name: "Remote file inclusion", Weight: 3,
+			Steps: []AttackStepSpec{
+				{Name: "inclusion request", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog}, {Kind: KindHTTPError}}},
+				{Name: "payload retrieval", Evidence: []EvidenceSpec{
+					{Kind: KindNetflow}, {Kind: KindDNSLog}, {Kind: KindFirewallLog}}},
+				{Name: "payload execution", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit, Roles: []Role{RoleWeb}},
+					{Kind: KindAppLog}}},
+			},
+		},
+		{
+			Slug: "command-injection", Name: "OS command injection", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "injection request", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog}}},
+				{Name: "command execution", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit, Roles: []Role{RoleWeb, RoleApp}},
+					{Kind: KindSyslog, Roles: []Role{RoleWeb, RoleApp}}}},
+				{Name: "persistence", Evidence: []EvidenceSpec{
+					{Kind: KindFIMEvent, Roles: []Role{RoleWeb, RoleApp}}}},
+			},
+		},
+		{
+			Slug: "denial-of-service", Name: "Denial of service", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "traffic flood", Evidence: []EvidenceSpec{
+					{Kind: KindNetflow}, {Kind: KindFirewallLog},
+					{Kind: KindNIDSAlert}, {Kind: KindLBAccess}}},
+				{Name: "service degradation", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPError}, {Kind: KindSyslog, Roles: []Role{RoleWeb}}}},
+			},
+		},
+		{
+			Slug: "web-shell-upload", Name: "Web shell upload", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "shell upload", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindWAFLog},
+					{Kind: KindFIMEvent, Roles: []Role{RoleWeb}}}},
+				{Name: "shell execution", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit, Roles: []Role{RoleWeb}},
+					{Kind: KindHTTPAccess}}},
+			},
+		},
+		{
+			Slug: "lateral-movement", Name: "Credential theft and lateral movement", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "credential theft", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit, Roles: []Role{RoleWeb, RoleApp}},
+					{Kind: KindAuthLog, Roles: []Role{RoleWeb, RoleApp}}}},
+				{Name: "lateral login", Evidence: []EvidenceSpec{
+					{Kind: KindAuthLog, Roles: []Role{RoleApp, RoleDB}},
+					{Kind: KindNIDSAlert}}},
+			},
+		},
+		{
+			Slug: "data-exfiltration", Name: "Bulk data exfiltration", Weight: 5,
+			Steps: []AttackStepSpec{
+				{Name: "data staging", Evidence: []EvidenceSpec{
+					{Kind: KindDBAudit}, {Kind: KindDBQueryLog},
+					{Kind: KindProcAudit, Roles: []Role{RoleDB}}}},
+				{Name: "outbound transfer", Evidence: []EvidenceSpec{
+					{Kind: KindNetflow}, {Kind: KindFirewallLog},
+					{Kind: KindDNSLog}, {Kind: KindNIDSAlert}}},
+			},
+		},
+		{
+			Slug: "defacement", Name: "Site defacement", Weight: 2,
+			Steps: []AttackStepSpec{
+				{Name: "content modification", Evidence: []EvidenceSpec{
+					{Kind: KindFIMEvent, Roles: []Role{RoleWeb}},
+					{Kind: KindHTTPAccess}}},
+				{Name: "defaced page served", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindLBAccess}}},
+			},
+		},
+		{
+			Slug: "scraping-abuse", Name: "API abuse and scraping", Weight: 2,
+			Steps: []AttackStepSpec{
+				{Name: "systematic crawling", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindLBAccess}, {Kind: KindWAFLog}}},
+				{Name: "volume anomaly", Evidence: []EvidenceSpec{
+					{Kind: KindNetflow}}},
+			},
+		},
+		{
+			Slug: "csrf", Name: "Cross-site request forgery", Weight: 2,
+			Steps: []AttackStepSpec{
+				{Name: "forged request", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindLBAccess}}},
+				{Name: "unauthorized state change", Evidence: []EvidenceSpec{
+					{Kind: KindAppLog}, {Kind: KindDBAudit}}},
+			},
+		},
+		{
+			Slug: "session-hijacking", Name: "Session hijacking", Weight: 3,
+			Steps: []AttackStepSpec{
+				{Name: "token interception", Evidence: []EvidenceSpec{
+					{Kind: KindNetflow}, {Kind: KindNIDSAlert}}},
+				{Name: "session reuse", Evidence: []EvidenceSpec{
+					{Kind: KindHTTPAccess}, {Kind: KindAuthLog, Roles: []Role{RoleWeb, RoleApp}},
+					{Kind: KindAppLog}}},
+			},
+		},
+		{
+			Slug: "ransomware", Name: "Ransomware detonation", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "payload execution", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit}, {Kind: KindSyslog}}},
+				{Name: "command and control", Evidence: []EvidenceSpec{
+					{Kind: KindNetflow}, {Kind: KindDNSLog},
+					{Kind: KindFirewallLog}, {Kind: KindNIDSAlert}}},
+				{Name: "mass encryption", Evidence: []EvidenceSpec{
+					{Kind: KindFIMEvent}, {Kind: KindSyslog}}},
+			},
+		},
+		{
+			Slug: "privilege-escalation", Name: "Local privilege escalation", Weight: 4,
+			Steps: []AttackStepSpec{
+				{Name: "exploit execution", Evidence: []EvidenceSpec{
+					{Kind: KindProcAudit}, {Kind: KindSyslog}}},
+				{Name: "privileged account use", Evidence: []EvidenceSpec{
+					{Kind: KindAuthLog}, {Kind: KindSyslog}}},
+				{Name: "persistence installation", Evidence: []EvidenceSpec{
+					{Kind: KindFIMEvent}, {Kind: KindProcAudit}}},
+			},
+		},
+		{
+			Slug: "dns-tunneling", Name: "DNS tunneling exfiltration", Weight: 3,
+			Steps: []AttackStepSpec{
+				{Name: "tunnel establishment", Evidence: []EvidenceSpec{
+					{Kind: KindDNSLog}}},
+				{Name: "sustained covert queries", Evidence: []EvidenceSpec{
+					{Kind: KindDNSLog}, {Kind: KindNetflow}, {Kind: KindNIDSAlert}}},
+			},
+		},
+	}
+}
+
+// KindSpec returns the specification of one data kind.
+func KindSpec(kind DataKind) (DataKindSpec, bool) {
+	for _, spec := range DataKindSpecs() {
+		if spec.Kind == kind {
+			return spec, true
+		}
+	}
+	return DataKindSpec{}, false
+}
+
+// KindObservableOn reports whether the data kind is observable on the role.
+func KindObservableOn(kind DataKind, role Role) bool {
+	spec, ok := KindSpec(kind)
+	if !ok {
+		return false
+	}
+	for _, r := range spec.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package catalog
+
+import "testing"
+
+func TestDataKindSpecsWellFormed(t *testing.T) {
+	seen := make(map[DataKind]bool)
+	roles := make(map[Role]bool)
+	for _, r := range Roles() {
+		roles[r] = true
+	}
+	for _, spec := range DataKindSpecs() {
+		if spec.Kind == "" || spec.Name == "" {
+			t.Errorf("spec %+v missing kind or name", spec)
+		}
+		if seen[spec.Kind] {
+			t.Errorf("duplicate data kind %s", spec.Kind)
+		}
+		seen[spec.Kind] = true
+		if len(spec.Fields) == 0 {
+			t.Errorf("kind %s has no fields", spec.Kind)
+		}
+		if len(spec.Roles) == 0 {
+			t.Errorf("kind %s has no roles", spec.Kind)
+		}
+		for _, r := range spec.Roles {
+			if !roles[r] {
+				t.Errorf("kind %s references unknown role %s", spec.Kind, r)
+			}
+		}
+	}
+}
+
+func TestMonitorSpecsWellFormed(t *testing.T) {
+	kinds := make(map[DataKind]bool)
+	for _, spec := range DataKindSpecs() {
+		kinds[spec.Kind] = true
+	}
+	seen := make(map[string]bool)
+	coveredKinds := make(map[DataKind]bool)
+	for _, spec := range MonitorSpecs() {
+		if spec.Slug == "" || spec.Name == "" {
+			t.Errorf("spec %+v missing slug or name", spec)
+		}
+		if seen[spec.Slug] {
+			t.Errorf("duplicate monitor slug %s", spec.Slug)
+		}
+		seen[spec.Slug] = true
+		if spec.Capital < 0 || spec.Operational < 0 {
+			t.Errorf("monitor %s has negative cost", spec.Slug)
+		}
+		if len(spec.Kinds) == 0 || len(spec.Roles) == 0 {
+			t.Errorf("monitor %s has no kinds or roles", spec.Slug)
+		}
+		for _, k := range spec.Kinds {
+			if !kinds[k] {
+				t.Errorf("monitor %s produces unknown kind %s", spec.Slug, k)
+			}
+			coveredKinds[k] = true
+			// Every produced kind must be observable on at least one of the
+			// monitor's deployment roles.
+			ok := false
+			for _, r := range spec.Roles {
+				if KindObservableOn(k, r) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("monitor %s produces %s on roles where it is unobservable", spec.Slug, k)
+			}
+		}
+	}
+	// The template library must be able to produce every data kind.
+	for _, spec := range DataKindSpecs() {
+		if !coveredKinds[spec.Kind] {
+			t.Errorf("no monitor template produces kind %s", spec.Kind)
+		}
+	}
+}
+
+func TestWebAttacksWellFormed(t *testing.T) {
+	kinds := make(map[DataKind]bool)
+	for _, spec := range DataKindSpecs() {
+		kinds[spec.Kind] = true
+	}
+	seen := make(map[string]bool)
+	for _, atk := range WebAttacks() {
+		if atk.Slug == "" || atk.Name == "" {
+			t.Errorf("attack %+v missing slug or name", atk)
+		}
+		if seen[atk.Slug] {
+			t.Errorf("duplicate attack slug %s", atk.Slug)
+		}
+		seen[atk.Slug] = true
+		if atk.Weight <= 0 || atk.Weight > 5 {
+			t.Errorf("attack %s has weight %v outside (0, 5]", atk.Slug, atk.Weight)
+		}
+		if len(atk.Steps) == 0 {
+			t.Errorf("attack %s has no steps", atk.Slug)
+		}
+		for _, step := range atk.Steps {
+			if len(step.Evidence) == 0 {
+				t.Errorf("attack %s step %q has no evidence", atk.Slug, step.Name)
+			}
+			for _, ev := range step.Evidence {
+				if !kinds[ev.Kind] {
+					t.Errorf("attack %s step %q references unknown kind %s", atk.Slug, step.Name, ev.Kind)
+				}
+				for _, r := range ev.Roles {
+					if !KindObservableOn(ev.Kind, r) {
+						t.Errorf("attack %s step %q: kind %s not observable on role %s",
+							atk.Slug, step.Name, ev.Kind, r)
+					}
+				}
+			}
+		}
+	}
+	if len(WebAttacks()) < 10 {
+		t.Errorf("attack library has %d attacks, want >= 10", len(WebAttacks()))
+	}
+}
+
+func TestKindSpecLookup(t *testing.T) {
+	spec, ok := KindSpec(KindNetflow)
+	if !ok || spec.Kind != KindNetflow {
+		t.Errorf("KindSpec(netflow) = (%+v, %v)", spec, ok)
+	}
+	if _, ok := KindSpec("ghost"); ok {
+		t.Error("KindSpec(ghost) found")
+	}
+}
+
+func TestKindObservableOn(t *testing.T) {
+	if !KindObservableOn(KindHTTPAccess, RoleWeb) {
+		t.Error("http-access should be observable on web")
+	}
+	if KindObservableOn(KindHTTPAccess, RoleDB) {
+		t.Error("http-access should not be observable on db")
+	}
+	if KindObservableOn("ghost", RoleWeb) {
+		t.Error("unknown kind observable")
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// Greedy computes a deployment under the budget with the classic cost-benefit
+// heuristic: repeatedly add the affordable monitor with the highest marginal
+// utility per unit cost (marginal utility breaking ties, then identifier
+// order) until no affordable monitor improves utility. It is the baseline the
+// exact optimization is compared against; its utility is always <= the ILP
+// optimum for the same budget.
+func Greedy(idx *model.Index, budget float64) (*Result, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	contrib := evidenceContribution(idx)
+
+	deployment := model.NewDeployment()
+	covered := make(map[model.DataTypeID]bool)
+	remaining := budget
+
+	// marginal returns the utility gained by adding monitor id given the
+	// currently covered data types.
+	marginal := func(id model.MonitorID) float64 {
+		m, _ := idx.Monitor(id)
+		gain := 0.0
+		for _, d := range m.Produces {
+			if !covered[d] {
+				gain += contrib[d]
+			}
+		}
+		return gain
+	}
+
+	ids := idx.MonitorIDs()
+	for {
+		best := model.MonitorID("")
+		bestRatio, bestGain := 0.0, 0.0
+		for _, id := range ids {
+			if deployment.Contains(id) {
+				continue
+			}
+			m, _ := idx.Monitor(id)
+			cost := m.TotalCost()
+			if cost > remaining {
+				continue
+			}
+			gain := marginal(id)
+			if gain <= 0 {
+				continue
+			}
+			ratio := gain / math.Max(cost, 1e-12)
+			if best == "" || ratio > bestRatio+1e-15 ||
+				(math.Abs(ratio-bestRatio) <= 1e-15 && gain > bestGain) {
+				best, bestRatio, bestGain = id, ratio, gain
+			}
+		}
+		if best == "" {
+			break
+		}
+		deployment.Add(best)
+		m, _ := idx.Monitor(best)
+		remaining -= m.TotalCost()
+		for _, d := range m.Produces {
+			covered[d] = true
+		}
+	}
+
+	return &Result{
+		Deployment: deployment,
+		Monitors:   deployment.IDs(),
+		Utility:    metrics.Utility(idx, deployment),
+		Cost:       metrics.Cost(idx, deployment),
+		Budget:     budget,
+	}, nil
+}
+
+// RandomDeployment adds monitors in a seeded random order while they fit the
+// budget; it is the weak baseline of the comparison experiments.
+func RandomDeployment(idx *model.Index, budget float64, seed int64) (*Result, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	r := rand.New(rand.NewSource(seed))
+	ids := idx.MonitorIDs()
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+
+	deployment := model.NewDeployment()
+	remaining := budget
+	for _, id := range ids {
+		m, _ := idx.Monitor(id)
+		if m.TotalCost() <= remaining {
+			deployment.Add(id)
+			remaining -= m.TotalCost()
+		}
+	}
+	return &Result{
+		Deployment: deployment,
+		Monitors:   deployment.IDs(),
+		Utility:    metrics.Utility(idx, deployment),
+		Cost:       metrics.Cost(idx, deployment),
+		Budget:     budget,
+	}, nil
+}
+
+// exhaustiveLimit bounds the subset enumeration of Exhaustive (2^16 subsets).
+const exhaustiveLimit = 16
+
+// Exhaustive enumerates every subset of monitors within the budget and
+// returns the best; it exists to cross-check the exact solver on small
+// systems and fails with ErrTooLarge beyond 16 monitors.
+func Exhaustive(idx *model.Index, budget float64) (*Result, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	ids := idx.MonitorIDs()
+	n := len(ids)
+	if n > exhaustiveLimit {
+		return nil, fmt.Errorf("%w: %d monitors (limit %d)", ErrTooLarge, n, exhaustiveLimit)
+	}
+	costs := make([]float64, n)
+	for i, id := range ids {
+		m, _ := idx.Monitor(id)
+		costs[i] = m.TotalCost()
+	}
+
+	var (
+		bestUtility = -1.0
+		bestCost    = 0.0
+		bestMask    = 0
+	)
+	for mask := 0; mask < 1<<n; mask++ {
+		cost := 0.0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				cost += costs[i]
+			}
+		}
+		if cost > budget {
+			continue
+		}
+		d := model.NewDeployment()
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				d.Add(ids[i])
+			}
+		}
+		u := metrics.Utility(idx, d)
+		if u > bestUtility+1e-12 || (math.Abs(u-bestUtility) <= 1e-12 && cost < bestCost) {
+			bestUtility, bestCost, bestMask = u, cost, mask
+		}
+	}
+
+	d := model.NewDeployment()
+	for i := 0; i < n; i++ {
+		if bestMask>>i&1 == 1 {
+			d.Add(ids[i])
+		}
+	}
+	return &Result{
+		Deployment: d,
+		Monitors:   d.IDs(),
+		Utility:    metrics.Utility(idx, d),
+		Cost:       bestCost,
+		Budget:     budget,
+		Proven:     true,
+	}, nil
+}

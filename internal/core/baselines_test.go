@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+func TestGreedyRespectsBudgetAndIsReasonable(t *testing.T) {
+	idx := testIndex(t)
+	for _, budget := range []float64{0, 15, 30, 45, 115} {
+		res, err := Greedy(idx, budget)
+		if err != nil {
+			t.Fatalf("Greedy(%v): %v", budget, err)
+		}
+		if res.Cost > budget+testTol {
+			t.Errorf("budget %v: cost %v over budget", budget, res.Cost)
+		}
+		opt, err := Exhaustive(idx, budget)
+		if err != nil {
+			t.Fatalf("Exhaustive(%v): %v", budget, err)
+		}
+		if res.Utility > opt.Utility+testTol {
+			t.Errorf("budget %v: greedy %v beats optimum %v", budget, res.Utility, opt.Utility)
+		}
+	}
+}
+
+func TestGreedyFullBudgetReachesCeiling(t *testing.T) {
+	idx := testIndex(t)
+	res, err := Greedy(idx, idx.System().TotalMonitorCost())
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if !approx(res.Utility, 1) {
+		t.Errorf("utility = %v, want 1 at full budget", res.Utility)
+	}
+}
+
+func TestGreedyStopsWhenNoGain(t *testing.T) {
+	idx := testIndex(t)
+	res, err := Greedy(idx, idx.System().TotalMonitorCost())
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	// m-http adds nothing once m-net is selected; greedy must not buy it.
+	if res.Deployment.Contains("m-net") && res.Deployment.Contains("m-http") {
+		t.Errorf("greedy bought redundant monitor: %v", res.Monitors)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	idx := testIndex(t)
+	a, err := Greedy(idx, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(idx, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Deployment.Equal(b.Deployment) {
+		t.Errorf("greedy not deterministic: %v vs %v", a.Monitors, b.Monitors)
+	}
+}
+
+func TestGreedyBadBudget(t *testing.T) {
+	idx := testIndex(t)
+	if _, err := Greedy(idx, -1); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+}
+
+func TestRandomDeploymentRespectsBudget(t *testing.T) {
+	idx := testIndex(t)
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := RandomDeployment(idx, 50, seed)
+		if err != nil {
+			t.Fatalf("RandomDeployment: %v", err)
+		}
+		if res.Cost > 50+testTol {
+			t.Errorf("seed %d: cost %v over budget", seed, res.Cost)
+		}
+	}
+}
+
+func TestRandomDeploymentSeeded(t *testing.T) {
+	idx := testIndex(t)
+	a, err := RandomDeployment(idx, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomDeployment(idx, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Deployment.Equal(b.Deployment) {
+		t.Error("same seed produced different deployments")
+	}
+	if _, err := RandomDeployment(idx, math.Inf(1), 7); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+}
+
+func TestExhaustiveTooLarge(t *testing.T) {
+	sys := testIndex(t).System().Clone()
+	for i := 0; i < 20; i++ {
+		sys.Monitors = append(sys.Monitors, model.Monitor{
+			ID:       model.MonitorID(rune('A'+i)) + "-extra",
+			Name:     "Extra",
+			Produces: []model.DataTypeID{"http-log"},
+		})
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exhaustive(idx, 100); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExhaustiveBadBudget(t *testing.T) {
+	idx := testIndex(t)
+	if _, err := Exhaustive(idx, math.NaN()); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+}
+
+func TestBudgetGrid(t *testing.T) {
+	idx := testIndex(t)
+	grid := BudgetGrid(idx, 4)
+	if len(grid) != 5 {
+		t.Fatalf("grid size = %d, want 5", len(grid))
+	}
+	total := idx.System().TotalMonitorCost()
+	if grid[0] != 0 || !approx(grid[4], total) {
+		t.Errorf("grid = %v", grid)
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Errorf("grid not increasing: %v", grid)
+		}
+	}
+	if BudgetGrid(idx, 0) != nil {
+		t.Error("BudgetGrid(0) should be nil")
+	}
+}
+
+func TestParetoSweep(t *testing.T) {
+	idx := testIndex(t)
+	opt := NewOptimizer(idx)
+	points, err := opt.ParetoSweep(BudgetGrid(idx, 4), 1)
+	if err != nil {
+		t.Fatalf("ParetoSweep: %v", err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d, want 5", len(points))
+	}
+	prev := -1.0
+	for _, p := range points {
+		if p.Optimal.Utility < prev-testTol {
+			t.Errorf("optimal utility not monotone over budgets: %v", points)
+		}
+		prev = p.Optimal.Utility
+		if p.Greedy.Utility > p.Optimal.Utility+testTol {
+			t.Errorf("budget %v: greedy beats optimal", p.Budget)
+		}
+		if p.Random.Utility > p.Optimal.Utility+testTol {
+			t.Errorf("budget %v: random beats optimal", p.Budget)
+		}
+	}
+	if !approx(points[4].Optimal.Utility, 1) {
+		t.Errorf("full-budget optimal utility = %v, want 1", points[4].Optimal.Utility)
+	}
+}
+
+func TestParetoSweepParallelMatchesSequential(t *testing.T) {
+	idx := testIndex(t)
+	opt := NewOptimizer(idx)
+	grid := BudgetGrid(idx, 8)
+
+	seq, err := opt.ParetoSweep(grid, 3)
+	if err != nil {
+		t.Fatalf("ParetoSweep: %v", err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		par, err := opt.ParetoSweepParallel(grid, 3, workers)
+		if err != nil {
+			t.Fatalf("ParetoSweepParallel(%d): %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Budget != seq[i].Budget {
+				t.Errorf("workers=%d point %d: budget %v != %v", workers, i, par[i].Budget, seq[i].Budget)
+			}
+			if !approx(par[i].Optimal.Utility, seq[i].Optimal.Utility) {
+				t.Errorf("workers=%d point %d: optimal %v != %v", workers, i, par[i].Optimal.Utility, seq[i].Optimal.Utility)
+			}
+			if !par[i].Optimal.Deployment.Equal(seq[i].Optimal.Deployment) {
+				t.Errorf("workers=%d point %d: deployments differ", workers, i)
+			}
+			if !par[i].Random.Deployment.Equal(seq[i].Random.Deployment) {
+				t.Errorf("workers=%d point %d: random baselines differ", workers, i)
+			}
+		}
+	}
+}

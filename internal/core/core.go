@@ -1,0 +1,345 @@
+// Package core implements the primary contribution of Thakore, Weaver and
+// Sanders (DSN 2016): computing cost-optimal, maximum-utility placements of
+// security monitors.
+//
+// Two exact formulations are provided, both solved with the in-repo
+// branch-and-bound solver (internal/ilp):
+//
+//   - MaxUtility: given a budget, choose the set of monitors that maximizes
+//     detection utility (attack-weighted evidence coverage).
+//   - MinCost: given per-attack coverage targets, choose the cheapest set of
+//     monitors that meets them.
+//
+// Both support incremental planning, in which an existing deployment is kept
+// and only new spending is optimized. The package also provides greedy,
+// random and exhaustive baselines used by the paper-reproduction experiments,
+// and Pareto sweeps over budget grids.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"secmon/internal/ilp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// Errors reported by the optimizer.
+var (
+	// ErrBadBudget is returned for negative or non-finite budgets.
+	ErrBadBudget = errors.New("core: invalid budget")
+	// ErrBadTarget is returned for coverage targets outside [0, 1].
+	ErrBadTarget = errors.New("core: invalid coverage target")
+	// ErrInfeasible is returned by MinCost when the targets cannot be met
+	// even by deploying every monitor.
+	ErrInfeasible = errors.New("core: coverage targets unachievable")
+	// ErrUnknownMonitor is returned when a fixed deployment references a
+	// monitor absent from the system.
+	ErrUnknownMonitor = errors.New("core: unknown monitor")
+	// ErrTooLarge is returned by Exhaustive for systems beyond its subset
+	// enumeration limit.
+	ErrTooLarge = errors.New("core: system too large for exhaustive search")
+)
+
+// SolveStats records the effort spent by an exact solve.
+type SolveStats struct {
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int `json:"nodes"`
+	// LPIterations is the total simplex pivots across all relaxations.
+	LPIterations int `json:"lpIterations"`
+	// Elapsed is the wall-clock solve duration.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// Result is the outcome of a deployment computation.
+type Result struct {
+	// Deployment is the selected set of monitors.
+	Deployment *model.Deployment `json:"-"`
+	// Monitors is the sorted identifier list of the deployment.
+	Monitors []model.MonitorID `json:"monitors"`
+	// Utility is the detection utility of the deployment, in [0, 1].
+	Utility float64 `json:"utility"`
+	// Cost is the total cost of the deployment.
+	Cost float64 `json:"cost"`
+	// Budget is the budget the computation was given (MaxUtility flavors)
+	// or 0 for MinCost.
+	Budget float64 `json:"budget,omitempty"`
+	// Proven is true when the result was proven optimal.
+	Proven bool `json:"proven"`
+	// BudgetShadowPrice estimates the marginal utility of one additional
+	// unit of budget, taken from the root LP relaxation's dual price of the
+	// budget row (MaxUtility flavors only; zero otherwise). It is the
+	// standard what-if answer for "is the monitoring budget worth raising?".
+	BudgetShadowPrice float64 `json:"budgetShadowPrice,omitempty"`
+	// RelaxationUtility is the root LP relaxation bound on utility
+	// (MaxUtility flavors only); the integrality gap is
+	// RelaxationUtility - Utility.
+	RelaxationUtility float64 `json:"relaxationUtility,omitempty"`
+	// Stats describes solver effort; zero for the heuristic baselines.
+	Stats SolveStats `json:"stats"`
+}
+
+// Optimizer computes deployments for one indexed system.
+type Optimizer struct {
+	idx *model.Index
+	cfg options
+}
+
+// Option configures an Optimizer.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	expanded      bool
+	noPrune       bool
+	clampTargets  bool
+	corroboration int
+	solverOptions []ilp.Option
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithExpandedFormulation selects the per-(attack, evidence) coverage
+// variables used by the paper's straightforward ILP encoding instead of the
+// compact shared-per-data-type encoding. Both are exact; the expanded form
+// exists for the formulation-size ablation experiment.
+func WithExpandedFormulation() Option {
+	return optionFunc(func(o *options) { o.expanded = true })
+}
+
+// WithoutPruning disables the minimality post-pass that removes monitors
+// whose removal does not reduce utility (only MaxUtility results are pruned;
+// pruning never changes utility, only cost).
+func WithoutPruning() Option {
+	return optionFunc(func(o *options) { o.noPrune = true })
+}
+
+// WithClampToAchievable makes MinCost clamp each attack's coverage target to
+// the achievable maximum (some evidence may have no producer) instead of
+// reporting ErrInfeasible.
+func WithClampToAchievable() Option {
+	return optionFunc(func(o *options) { o.clampTargets = true })
+}
+
+// WithCorroboration requires every counted evidence item to be produced by
+// at least k deployed monitors (k >= 2; k <= 1 is the default single-monitor
+// coverage). MaxUtility then maximizes metrics.CorroboratedUtility and
+// MinCost targets corroborated coverage — the deployment stays effective
+// when any single monitor is compromised or fails.
+func WithCorroboration(k int) Option {
+	return optionFunc(func(o *options) { o.corroboration = k })
+}
+
+// WithSolverOptions passes options to the branch-and-bound solver (node and
+// time limits, gap tolerance, diving ablation).
+func WithSolverOptions(opts ...ilp.Option) Option {
+	return optionFunc(func(o *options) { o.solverOptions = opts })
+}
+
+// NewOptimizer returns an optimizer for the indexed system.
+func NewOptimizer(idx *model.Index, opts ...Option) *Optimizer {
+	o := &Optimizer{idx: idx}
+	for _, opt := range opts {
+		opt.apply(&o.cfg)
+	}
+	return o
+}
+
+// MaxUtility computes the deployment of maximum detection utility whose cost
+// does not exceed budget.
+func (o *Optimizer) MaxUtility(budget float64) (*Result, error) {
+	return o.MaxUtilityIncremental(budget, nil)
+}
+
+// MaxUtilityIncremental computes the maximum-utility deployment that keeps
+// every monitor of the existing deployment and spends at most budget on new
+// monitors. The existing monitors' cost does not count against the budget.
+func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deployment) (*Result, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	fixed, err := o.fixedSet(existing)
+	if err != nil {
+		return nil, err
+	}
+	if len(o.idx.MonitorIDs()) == 0 {
+		res := o.emptyResult()
+		res.Budget = budget
+		return res, nil
+	}
+
+	f, err := o.buildFormulation(formulationSpec{budget: budget, fixed: fixed})
+	if err != nil {
+		return nil, err
+	}
+	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: max-utility solve: %w", err)
+	}
+	switch sol.Status {
+	case ilp.StatusOptimal, ilp.StatusFeasible:
+	case ilp.StatusInfeasible:
+		// Only possible when fixing an existing deployment that itself
+		// exceeds... fixing never conflicts with the budget (fixed cost is
+		// excluded), so treat as a solver-level surprise.
+		return nil, fmt.Errorf("core: max-utility unexpectedly infeasible")
+	default:
+		return nil, fmt.Errorf("core: max-utility solve stopped with status %v and no incumbent", sol.Status)
+	}
+
+	deployment := f.decode(sol)
+	if !o.cfg.noPrune {
+		o.pruneRedundant(deployment, fixed)
+	}
+	res := o.newResult(deployment, sol)
+	res.Budget = budget
+	res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
+	res.RelaxationUtility = sol.RootObjective
+	return res, nil
+}
+
+// CoverageTargets specifies MinCost requirements: Global applies to every
+// attack unless overridden in PerAttack. Targets are fractions of each
+// attack's evidence union, in [0, 1].
+type CoverageTargets struct {
+	Global    float64
+	PerAttack map[model.AttackID]float64
+}
+
+// Target returns the effective target for an attack.
+func (c CoverageTargets) Target(a model.AttackID) float64 {
+	if t, ok := c.PerAttack[a]; ok {
+		return t
+	}
+	return c.Global
+}
+
+// MinCost computes the cheapest deployment meeting the coverage targets.
+func (o *Optimizer) MinCost(targets CoverageTargets) (*Result, error) {
+	return o.MinCostIncremental(targets, nil)
+}
+
+// MinCostIncremental computes the cheapest deployment that meets the
+// coverage targets while keeping every monitor of the existing deployment.
+func (o *Optimizer) MinCostIncremental(targets CoverageTargets, existing *model.Deployment) (*Result, error) {
+	if err := o.validateTargets(targets); err != nil {
+		return nil, err
+	}
+	fixed, err := o.fixedSet(existing)
+	if err != nil {
+		return nil, err
+	}
+	if len(o.idx.MonitorIDs()) == 0 {
+		for _, aid := range o.idx.AttackIDs() {
+			if _, err := o.requiredEvidence(aid, &targets); err != nil {
+				return nil, err
+			}
+		}
+		return o.emptyResult(), nil
+	}
+
+	f, err := o.buildFormulation(formulationSpec{minCost: true, targets: &targets, fixed: fixed})
+	if err != nil {
+		return nil, err
+	}
+	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: min-cost solve: %w", err)
+	}
+	switch sol.Status {
+	case ilp.StatusOptimal, ilp.StatusFeasible:
+	case ilp.StatusInfeasible:
+		return nil, ErrInfeasible
+	default:
+		return nil, fmt.Errorf("core: min-cost solve stopped with status %v and no incumbent", sol.Status)
+	}
+
+	deployment := f.decode(sol)
+	return o.newResult(deployment, sol), nil
+}
+
+func (o *Optimizer) validateTargets(targets CoverageTargets) error {
+	check := func(t float64) error {
+		if t < 0 || t > 1 || math.IsNaN(t) {
+			return fmt.Errorf("%w: %v", ErrBadTarget, t)
+		}
+		return nil
+	}
+	if err := check(targets.Global); err != nil {
+		return err
+	}
+	for a, t := range targets.PerAttack {
+		if _, ok := o.idx.Attack(a); !ok {
+			return fmt.Errorf("%w: coverage target for unknown attack %q", ErrBadTarget, a)
+		}
+		if err := check(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fixedSet validates an existing deployment against the system.
+func (o *Optimizer) fixedSet(existing *model.Deployment) (*model.Deployment, error) {
+	if existing == nil {
+		return model.NewDeployment(), nil
+	}
+	for _, id := range existing.IDs() {
+		if _, ok := o.idx.Monitor(id); !ok {
+			return nil, fmt.Errorf("%w: %q in existing deployment", ErrUnknownMonitor, id)
+		}
+	}
+	return existing.Clone(), nil
+}
+
+// pruneRedundant removes monitors (except fixed ones) whose removal leaves
+// the optimized objective unchanged, making reported deployments minimal.
+// Under corroboration the corroborated utility is preserved (plain utility
+// alone would wrongly discard corroborating monitors). Deterministic:
+// monitors are considered in sorted order.
+func (o *Optimizer) pruneRedundant(d *model.Deployment, fixed *model.Deployment) {
+	k := o.corroborationLevel()
+	objective := func() float64 { return metrics.CorroboratedUtility(o.idx, d, k) }
+	utility := objective()
+	for _, id := range d.IDs() {
+		if fixed.Contains(id) {
+			continue
+		}
+		d.Remove(id)
+		if objective() < utility-1e-12 {
+			d.Add(id)
+		}
+	}
+}
+
+// corroborationLevel returns the effective corroboration requirement (>= 1).
+func (o *Optimizer) corroborationLevel() int {
+	if o.cfg.corroboration < 1 {
+		return 1
+	}
+	return o.cfg.corroboration
+}
+
+func (o *Optimizer) newResult(d *model.Deployment, sol *ilp.Solution) *Result {
+	return &Result{
+		Deployment: d,
+		Monitors:   d.IDs(),
+		Utility:    metrics.Utility(o.idx, d),
+		Cost:       metrics.Cost(o.idx, d),
+		Proven:     sol.Status == ilp.StatusOptimal,
+		Stats: SolveStats{
+			Nodes:        sol.Nodes,
+			LPIterations: sol.LPIterations,
+			Elapsed:      sol.Elapsed,
+		},
+	}
+}
+
+// Index returns the optimizer's system index.
+func (o *Optimizer) Index() *model.Index { return o.idx }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// corroborationIndex builds a fixture with duplicated producers so that
+// corroborated coverage is achievable:
+//
+//	data http-log: produced by m-a (10) and m-b (12)
+//	data netflow:  produced by m-c (8) only
+func corroborationIndex(t *testing.T) *model.Index {
+	t.Helper()
+	sys, err := model.NewBuilder("corroboration").
+		Asset("h", "Host", "host").
+		DataType("http-log", "HTTP log", "h", "src", "path").
+		DataType("netflow", "Netflow", "h", "src", "dst").
+		Monitor("m-a", "Collector A", "h", 5, 5, "http-log").
+		Monitor("m-b", "Collector B", "h", 6, 6, "http-log").
+		Monitor("m-c", "Probe C", "h", 4, 4, "netflow").
+		Attack("web", "Web attack", 1).Step("req", "http-log").Done().
+		Attack("exfil", "Exfiltration", 1).Step("xfer", "netflow").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestMaxUtilityWithCorroborationRequiresTwoProducers(t *testing.T) {
+	idx := corroborationIndex(t)
+	opt := NewOptimizer(idx, WithCorroboration(2))
+
+	// Budget 22 affords m-a + m-b (http-log corroborated) but not all
+	// three. Corroborated utility: web 1, exfil 0 (netflow has a single
+	// producer, can never be corroborated) -> 0.5.
+	res, err := opt.MaxUtility(22)
+	if err != nil {
+		t.Fatalf("MaxUtility: %v", err)
+	}
+	if !res.Deployment.Contains("m-a") || !res.Deployment.Contains("m-b") {
+		t.Errorf("deployment %v, want both http-log producers", res.Monitors)
+	}
+	if got := metrics.CorroboratedUtility(idx, res.Deployment, 2); !approx(got, 0.5) {
+		t.Errorf("corroborated utility = %v, want 0.5", got)
+	}
+}
+
+func TestMaxUtilityWithCorroborationPruningKeepsCorroborators(t *testing.T) {
+	// The minimality pruning must not strip the second producer: plain
+	// utility would not drop, but corroborated utility would.
+	idx := corroborationIndex(t)
+	res, err := NewOptimizer(idx, WithCorroboration(2)).MaxUtility(idx.System().TotalMonitorCost())
+	if err != nil {
+		t.Fatalf("MaxUtility: %v", err)
+	}
+	if !res.Deployment.Contains("m-a") || !res.Deployment.Contains("m-b") {
+		t.Errorf("pruning removed a corroborating monitor: %v", res.Monitors)
+	}
+}
+
+func TestMinCostWithCorroboration(t *testing.T) {
+	idx := corroborationIndex(t)
+
+	// Full corroborated coverage of "web" needs both m-a and m-b (cost 22).
+	opt := NewOptimizer(idx, WithCorroboration(2))
+	res, err := opt.MinCost(CoverageTargets{
+		PerAttack: map[model.AttackID]float64{"web": 1},
+	})
+	if err != nil {
+		t.Fatalf("MinCost: %v", err)
+	}
+	if !approx(res.Cost, 22) {
+		t.Errorf("cost = %v, want 22 (%v)", res.Cost, res.Monitors)
+	}
+
+	// Corroborating "exfil" is impossible (single producer): infeasible
+	// without the clamp.
+	if _, err := opt.MinCost(CoverageTargets{Global: 1}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+	clamped := NewOptimizer(idx, WithCorroboration(2), WithClampToAchievable())
+	if _, err := clamped.MinCost(CoverageTargets{Global: 1}); err != nil {
+		t.Errorf("clamped MinCost: %v", err)
+	}
+}
+
+func TestCorroborationLevelOneIsDefaultBehavior(t *testing.T) {
+	idx := testIndex(t)
+	a, err := NewOptimizer(idx).MaxUtility(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOptimizer(idx, WithCorroboration(1)).MaxUtility(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.Utility, b.Utility) {
+		t.Errorf("k=1 changed the optimum: %v vs %v", a.Utility, b.Utility)
+	}
+}
+
+// TestQuickCorroboratedOptimumMatchesExhaustive cross-checks the k=2
+// optimization against enumeration of the corroborated-utility objective.
+func TestQuickCorroboratedOptimumMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 4+r.Intn(5), 2+r.Intn(4))
+		budget := idx.System().TotalMonitorCost() * (0.3 + 0.7*r.Float64())
+
+		res, err := NewOptimizer(idx, WithCorroboration(2)).MaxUtility(budget)
+		if err != nil {
+			t.Logf("MaxUtility: %v", err)
+			return false
+		}
+		got := metrics.CorroboratedUtility(idx, res.Deployment, 2)
+
+		ids := idx.MonitorIDs()
+		best := 0.0
+		for mask := 0; mask < 1<<len(ids); mask++ {
+			d := model.NewDeployment()
+			for i := range ids {
+				if mask>>i&1 == 1 {
+					d.Add(ids[i])
+				}
+			}
+			if metrics.Cost(idx, d) > budget {
+				continue
+			}
+			if u := metrics.CorroboratedUtility(idx, d, 2); u > best {
+				best = u
+			}
+		}
+		if got < best-1e-6 || got > best+1e-6 {
+			t.Logf("seed %d: corroborated ILP %v != exhaustive %v", seed, got, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetShadowPriceReported(t *testing.T) {
+	idx := testIndex(t)
+	// At a tight budget the budget row binds: positive shadow price.
+	res, err := NewOptimizer(idx).MaxUtility(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetShadowPrice <= 0 {
+		t.Errorf("shadow price = %v, want > 0 at a binding budget", res.BudgetShadowPrice)
+	}
+	if res.RelaxationUtility < res.Utility-testTol {
+		t.Errorf("relaxation bound %v below achieved utility %v", res.RelaxationUtility, res.Utility)
+	}
+
+	// With the full budget the row is slack: zero shadow price.
+	slack, err := NewOptimizer(idx).MaxUtility(idx.System().TotalMonitorCost() * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(slack.BudgetShadowPrice, 0) {
+		t.Errorf("shadow price = %v, want 0 at a slack budget", slack.BudgetShadowPrice)
+	}
+}

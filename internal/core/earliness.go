@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// EarlinessResult extends Result with the earliness achieved by an
+// earliness-aware solve.
+type EarlinessResult struct {
+	Result
+	// EarlinessValue is metrics.Earliness of the selected deployment.
+	EarlinessValue float64 `json:"earliness"`
+	// Score is the achieved weighted objective
+	// utilityWeight*Utility + earlinessWeight*Earliness.
+	Score float64 `json:"score"`
+}
+
+// MaxEarliness computes the deployment maximizing
+//
+//	utilityWeight * Utility + earlinessWeight * Earliness
+//
+// under the budget. Earliness rewards observing attacks in their earliest
+// steps: an attack whose first observable step is step s of S contributes
+// 1 - (s-1)/S (1 for the first step, decreasing linearly, 0 if unobserved).
+//
+// Although earliness is a maximum over steps, it is encoded exactly: with
+// per-step observability indicators u_s and the telescoping identity
+//
+//	max_s e_s*u_s = sum_s (e_s - e_{s+1}) * OR(u_1..u_s)
+//
+// for decreasing step values e_s, the OR terms relax to linear rows whose
+// objective coefficients are non-negative, so the LP drives them to their
+// exact values once the monitor variables are integral.
+func (o *Optimizer) MaxEarliness(budget, utilityWeight, earlinessWeight float64) (*EarlinessResult, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	if utilityWeight < 0 || earlinessWeight < 0 ||
+		math.IsNaN(utilityWeight) || math.IsNaN(earlinessWeight) ||
+		math.IsInf(utilityWeight, 0) || math.IsInf(earlinessWeight, 0) ||
+		(utilityWeight == 0 && earlinessWeight == 0) {
+		return nil, fmt.Errorf("%w: utility %v, earliness %v", ErrBadObjectives, utilityWeight, earlinessWeight)
+	}
+	if len(o.idx.MonitorIDs()) == 0 {
+		res := o.emptyResult()
+		res.Budget = budget
+		return &EarlinessResult{Result: *res}, nil
+	}
+
+	f, err := o.buildEarlinessFormulation(budget, utilityWeight, earlinessWeight)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: earliness solve: %w", err)
+	}
+	switch sol.Status {
+	case ilp.StatusOptimal, ilp.StatusFeasible:
+	default:
+		return nil, fmt.Errorf("core: earliness solve stopped with status %v and no incumbent", sol.Status)
+	}
+
+	deployment := f.decode(sol)
+	objective := func() float64 {
+		return utilityWeight*metrics.Utility(o.idx, deployment) +
+			earlinessWeight*metrics.Earliness(o.idx, deployment)
+	}
+	if !o.cfg.noPrune {
+		before := objective()
+		for _, id := range deployment.IDs() {
+			deployment.Remove(id)
+			if objective() < before-1e-12 {
+				deployment.Add(id)
+			}
+		}
+	}
+
+	res := o.newResult(deployment, sol)
+	res.Budget = budget
+	res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
+	res.RelaxationUtility = sol.RootObjective
+	earliness := metrics.Earliness(o.idx, deployment)
+	return &EarlinessResult{
+		Result:         *res,
+		EarlinessValue: earliness,
+		Score:          utilityWeight*res.Utility + earlinessWeight*earliness,
+	}, nil
+}
+
+// buildEarlinessFormulation constructs the weighted utility+earliness ILP.
+func (o *Optimizer) buildEarlinessFormulation(budget, utilityWeight, earlinessWeight float64) (*formulation, error) {
+	prob := ilp.NewProblem(lp.Maximize)
+	f := &formulation{
+		prob:      prob,
+		fixed:     model.NewDeployment(),
+		monitors:  o.idx.MonitorIDs(),
+		budgetRow: -1,
+	}
+	f.xVars = make([]lp.VarID, len(f.monitors))
+
+	var budgetTerms []lp.Term
+	for i, id := range f.monitors {
+		m, _ := o.idx.Monitor(id)
+		v, err := prob.AddBinaryVariable("x:"+string(id), 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: add monitor variable: %w", err)
+		}
+		f.xVars[i] = v
+		prob.SetBranchPriority(v, 1)
+		budgetTerms = append(budgetTerms, lp.Term{Var: v, Coeff: m.TotalCost()})
+	}
+	row, err := prob.AddConstraint("budget", budgetTerms, lp.LE, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: budget row: %w", err)
+	}
+	f.budgetRow = row
+
+	// Shared coverage variables carry the utility objective.
+	contrib := evidenceContribution(o.idx)
+	zVars := make(map[model.DataTypeID]lp.VarID, len(contrib))
+	for _, d := range o.idx.DataTypeIDs() {
+		share, relevant := contrib[d]
+		if !relevant || len(o.idx.Producers(d)) == 0 {
+			continue
+		}
+		z, err := prob.AddVariable("z:"+string(d), 0, 1, utilityWeight*share)
+		if err != nil {
+			return nil, fmt.Errorf("core: add coverage variable: %w", err)
+		}
+		zVars[d] = z
+		terms := []lp.Term{{Var: z, Coeff: 1}}
+		for _, mid := range o.idx.Producers(d) {
+			terms = append(terms, lp.Term{Var: f.xVars[f.monitorIndex(mid)], Coeff: -1})
+		}
+		if _, err := prob.AddConstraint("link:"+string(d), terms, lp.LE, 0); err != nil {
+			return nil, fmt.Errorf("core: link row: %w", err)
+		}
+	}
+
+	if earlinessWeight == 0 {
+		return f, nil
+	}
+
+	// Earliness: per attack, per step, u_s <= sum of the step's covered
+	// evidence, and prefix OR variables v_s <= u_1 + ... + u_s with the
+	// telescoped objective coefficients.
+	totalWeight := o.idx.System().TotalAttackWeight()
+	if totalWeight == 0 {
+		return f, nil
+	}
+	for _, aid := range o.idx.AttackIDs() {
+		attack, _ := o.idx.Attack(aid)
+		nSteps := len(attack.Steps)
+		if nSteps == 0 {
+			continue
+		}
+		weight := model.AttackWeight(*attack) / totalWeight
+
+		uVars := make([]lp.Term, 0, nSteps)
+		for si, step := range attack.Steps {
+			var evTerms []lp.Term
+			for _, e := range step.Evidence {
+				if z, ok := zVars[e]; ok {
+					evTerms = append(evTerms, lp.Term{Var: z, Coeff: -1})
+				}
+			}
+			u, err := prob.AddVariable(fmt.Sprintf("u:%s:%d", aid, si), 0, 1, 0)
+			if err != nil {
+				return nil, fmt.Errorf("core: add step variable: %w", err)
+			}
+			terms := append([]lp.Term{{Var: u, Coeff: 1}}, evTerms...)
+			if _, err := prob.AddConstraint(fmt.Sprintf("step:%s:%d", aid, si), terms, lp.LE, 0); err != nil {
+				return nil, fmt.Errorf("core: step row: %w", err)
+			}
+			uVars = append(uVars, lp.Term{Var: u, Coeff: -1})
+
+			// Prefix OR variable for steps 1..si with telescoped objective
+			// coefficient e_si - e_{si+1} (e_s = 1 - s/S, e_{S+1} = 0).
+			eHere := 1 - float64(si)/float64(nSteps)
+			eNext := 0.0
+			if si+1 < nSteps {
+				eNext = 1 - float64(si+1)/float64(nSteps)
+			}
+			coeff := weight * earlinessWeight * (eHere - eNext)
+			v, err := prob.AddVariable(fmt.Sprintf("v:%s:%d", aid, si), 0, 1, coeff)
+			if err != nil {
+				return nil, fmt.Errorf("core: add prefix variable: %w", err)
+			}
+			prefix := append([]lp.Term{{Var: v, Coeff: 1}}, uVars...)
+			if _, err := prob.AddConstraint(fmt.Sprintf("prefix:%s:%d", aid, si), prefix, lp.LE, 0); err != nil {
+				return nil, fmt.Errorf("core: prefix row: %w", err)
+			}
+		}
+	}
+	return f, nil
+}

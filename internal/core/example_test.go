@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"secmon/internal/core"
+	"secmon/internal/model"
+)
+
+// Example builds a three-monitor system and computes both optimization
+// flavors of the methodology: the maximum-utility deployment under a budget
+// and the cheapest deployment meeting a coverage target.
+func Example() {
+	sys, err := model.NewBuilder("example").
+		Asset("web", "Web server", "host").
+		Asset("db", "Database", "host").
+		DataType("http-log", "HTTP access log", "web", "src", "path").
+		DataType("sql-audit", "SQL audit log", "db", "user", "query").
+		DataType("netflow", "Netflow", "", "src", "dst").
+		Monitor("web-logger", "Web log collector", "web", 100, 50, "http-log").
+		Monitor("db-audit", "Database auditor", "db", 400, 200, "sql-audit").
+		Monitor("net-probe", "Network probe", "", 250, 100, "netflow", "http-log").
+		Attack("sqli", "SQL injection", 3).
+		Step("probe", "http-log").
+		Step("inject", "http-log", "sql-audit").
+		Done().
+		Attack("exfil", "Exfiltration", 2).
+		Step("transfer", "netflow").
+		Done().
+		Build()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opt := core.NewOptimizer(idx)
+
+	best, err := opt.MaxUtility(400)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("max utility at budget 400: %.2f with %v\n", best.Utility, best.Monitors)
+
+	cheap, err := opt.MinCost(core.CoverageTargets{Global: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("full coverage costs %.0f with %v\n", cheap.Cost, cheap.Monitors)
+	// Output:
+	// max utility at budget 400: 0.70 with [net-probe]
+	// full coverage costs 950 with [db-audit net-probe]
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// formulationSpec selects which ILP to build.
+type formulationSpec struct {
+	// budget is the new-spend budget (MaxUtility flavors).
+	budget float64
+	// minCost selects the MinCost formulation with the given targets.
+	minCost bool
+	targets *CoverageTargets
+	// fixed monitors are forced into the deployment; their cost is excluded
+	// from the budget row and the MinCost objective.
+	fixed *model.Deployment
+}
+
+// formulation is a built ILP together with the variable mapping needed to
+// decode solutions.
+type formulation struct {
+	prob     *ilp.Problem
+	monitors []model.MonitorID
+	xVars    []lp.VarID
+	fixed    *model.Deployment
+	// budgetRow is the ConID of the budget constraint (MaxUtility flavors
+	// only); -1 when absent.
+	budgetRow lp.ConID
+}
+
+// evidenceContribution computes, for every data type, its marginal utility
+// contribution: the sum over attacks using it as evidence of
+// weight / (totalWeight * |evidence union|). Covering data type d adds
+// exactly contribution[d] to the system utility.
+func evidenceContribution(idx *model.Index) map[model.DataTypeID]float64 {
+	total := idx.System().TotalAttackWeight()
+	contrib := make(map[model.DataTypeID]float64)
+	if total == 0 {
+		return contrib
+	}
+	for _, a := range idx.System().Attacks {
+		ev := idx.AttackEvidence(a.ID)
+		if len(ev) == 0 {
+			continue
+		}
+		share := model.AttackWeight(a) / (total * float64(len(ev)))
+		for _, e := range ev {
+			contrib[e] += share
+		}
+	}
+	return contrib
+}
+
+// buildFormulation constructs the exact ILP for the spec, using the compact
+// shared-coverage encoding unless the expanded ablation encoding was
+// selected.
+func (o *Optimizer) buildFormulation(spec formulationSpec) (*formulation, error) {
+	sense := lp.Maximize
+	if spec.minCost {
+		sense = lp.Minimize
+	}
+	prob := ilp.NewProblem(sense)
+
+	f := &formulation{prob: prob, fixed: spec.fixed, monitors: o.idx.MonitorIDs(), budgetRow: -1}
+	f.xVars = make([]lp.VarID, len(f.monitors))
+
+	// Monitor selection variables.
+	var budgetTerms []lp.Term
+	for i, id := range f.monitors {
+		m, _ := o.idx.Monitor(id)
+		objCost := 0.0
+		if spec.minCost && !spec.fixed.Contains(id) {
+			objCost = m.TotalCost()
+		}
+		v, err := prob.AddBinaryVariable("x:"+string(id), objCost)
+		if err != nil {
+			return nil, fmt.Errorf("core: add monitor variable: %w", err)
+		}
+		f.xVars[i] = v
+		prob.SetBranchPriority(v, 1)
+		if spec.fixed.Contains(id) {
+			if err := prob.SetVariableBounds(v, 1, 1); err != nil {
+				return nil, fmt.Errorf("core: fix monitor %q: %w", id, err)
+			}
+			continue
+		}
+		if !spec.minCost {
+			budgetTerms = append(budgetTerms, lp.Term{Var: v, Coeff: m.TotalCost()})
+		}
+	}
+	if !spec.minCost {
+		row, err := prob.AddConstraint("budget", budgetTerms, lp.LE, spec.budget)
+		if err != nil {
+			return nil, fmt.Errorf("core: budget row: %w", err)
+		}
+		f.budgetRow = row
+	}
+
+	if o.cfg.expanded {
+		if err := o.addExpandedCoverage(prob, f, spec); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := o.addCompactCoverage(prob, f, spec); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// addLinkRows ties a coverage variable to the monitors producing its data
+// type. Without corroboration a single aggregated row z <= sum(x) suffices
+// and z stays implied-integral. With corroboration level k >= 2 the variable
+// becomes integer and, in addition to the aggregated row k*z <= sum(x), one
+// disaggregated row (k-1)*z <= sum(x) - x_m per producer m tightens the LP
+// relaxation (z = 1 then provably needs k distinct producers even
+// fractionally).
+func (o *Optimizer) addLinkRows(prob *ilp.Problem, f *formulation, d model.DataTypeID, z lp.VarID) error {
+	producers := o.idx.Producers(d)
+	producerTerms := func(skip model.MonitorID) []lp.Term {
+		terms := make([]lp.Term, 0, len(producers))
+		for _, mid := range producers {
+			if mid == skip {
+				continue
+			}
+			terms = append(terms, lp.Term{Var: f.xVars[f.monitorIndex(mid)], Coeff: -1})
+		}
+		return terms
+	}
+
+	k := o.corroborationLevel()
+	if k > 1 {
+		// Corroboration makes z no longer implied integral by the monitor
+		// variables (z <= sum(x)/k can be fractional), so z must be branched
+		// on too; monitor variables keep priority.
+		prob.SetInteger(z)
+	}
+	terms := append([]lp.Term{{Var: z, Coeff: float64(k)}}, producerTerms("")...)
+	if _, err := prob.AddConstraint("link:"+string(d), terms, lp.LE, 0); err != nil {
+		return fmt.Errorf("core: link row: %w", err)
+	}
+	if k > 1 {
+		for _, mid := range producers {
+			terms := append([]lp.Term{{Var: z, Coeff: float64(k - 1)}}, producerTerms(mid)...)
+			rowName := fmt.Sprintf("link:%s-minus-%s", d, mid)
+			if _, err := prob.AddConstraint(rowName, terms, lp.LE, 0); err != nil {
+				return fmt.Errorf("core: disaggregated link row: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// addCompactCoverage adds one shared coverage variable z_d per producible
+// evidence data type with z_d <= sum of producing monitors, plus either the
+// utility objective (MaxUtility) or per-attack coverage rows (MinCost).
+func (o *Optimizer) addCompactCoverage(prob *ilp.Problem, f *formulation, spec formulationSpec) error {
+	contrib := evidenceContribution(o.idx)
+
+	zVars := make(map[model.DataTypeID]lp.VarID, len(contrib))
+	for _, d := range o.idx.DataTypeIDs() {
+		if _, relevant := contrib[d]; !relevant {
+			continue
+		}
+		if len(o.idx.Producers(d)) == 0 {
+			continue // nobody can cover it; identically zero
+		}
+		obj := 0.0
+		if !spec.minCost {
+			obj = contrib[d]
+		}
+		z, err := prob.AddVariable("z:"+string(d), 0, 1, obj)
+		if err != nil {
+			return fmt.Errorf("core: add coverage variable: %w", err)
+		}
+		zVars[d] = z
+		if err := o.addLinkRows(prob, f, d, z); err != nil {
+			return err
+		}
+	}
+
+	if !spec.minCost {
+		return nil
+	}
+	for _, aid := range o.idx.AttackIDs() {
+		required, err := o.requiredEvidence(aid, spec.targets)
+		if err != nil {
+			return err
+		}
+		if required <= 0 {
+			continue
+		}
+		var terms []lp.Term
+		for _, e := range o.idx.AttackEvidence(aid) {
+			if z, ok := zVars[e]; ok {
+				terms = append(terms, lp.Term{Var: z, Coeff: 1})
+			}
+		}
+		if _, err := prob.AddConstraint("cover:"+string(aid), terms, lp.GE, required); err != nil {
+			return fmt.Errorf("core: coverage row: %w", err)
+		}
+	}
+	return nil
+}
+
+// addExpandedCoverage adds one coverage variable per (attack, evidence)
+// pair, the paper's direct encoding; kept for the formulation ablation.
+func (o *Optimizer) addExpandedCoverage(prob *ilp.Problem, f *formulation, spec formulationSpec) error {
+	totalWeight := o.idx.System().TotalAttackWeight()
+	for _, aid := range o.idx.AttackIDs() {
+		attack, _ := o.idx.Attack(aid)
+		ev := o.idx.AttackEvidence(aid)
+		share := 0.0
+		if totalWeight > 0 && len(ev) > 0 {
+			share = model.AttackWeight(*attack) / (totalWeight * float64(len(ev)))
+		}
+
+		var attackTerms []lp.Term
+		for _, e := range ev {
+			if len(o.idx.Producers(e)) == 0 {
+				continue
+			}
+			obj := 0.0
+			if !spec.minCost {
+				obj = share
+			}
+			y, err := prob.AddVariable(fmt.Sprintf("y:%s:%s", aid, e), 0, 1, obj)
+			if err != nil {
+				return fmt.Errorf("core: add pair variable: %w", err)
+			}
+			if err := o.addLinkRows(prob, f, e, y); err != nil {
+				return err
+			}
+			attackTerms = append(attackTerms, lp.Term{Var: y, Coeff: 1})
+		}
+
+		if spec.minCost {
+			required, err := o.requiredEvidence(aid, spec.targets)
+			if err != nil {
+				return err
+			}
+			if required <= 0 {
+				continue
+			}
+			if _, err := prob.AddConstraint("cover:"+string(aid), attackTerms, lp.GE, required); err != nil {
+				return fmt.Errorf("core: coverage row: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// requiredEvidence converts an attack's coverage target into a required
+// number of covered evidence items, applying the achievability clamp or
+// reporting infeasibility. A tiny slack absorbs floating-point rounding.
+func (o *Optimizer) requiredEvidence(aid model.AttackID, targets *CoverageTargets) (float64, error) {
+	ev := o.idx.AttackEvidence(aid)
+	target := targets.Target(aid)
+	required := target * float64(len(ev))
+	k := o.corroborationLevel()
+	achievableCount := 0
+	for _, e := range ev {
+		if len(o.idx.Producers(e)) >= k {
+			achievableCount++
+		}
+	}
+	achievable := float64(achievableCount)
+	if required > achievable+1e-9 {
+		if !o.cfg.clampTargets {
+			return 0, fmt.Errorf("%w: attack %q needs %.3f of %d evidence items but only %d are observable",
+				ErrInfeasible, aid, required, len(ev), int(achievable))
+		}
+		required = achievable
+	}
+	if required < 1e-9 {
+		return 0, nil
+	}
+	return required - 1e-9, nil
+}
+
+// monitorIndex locates a monitor's position in the sorted monitor list.
+func (f *formulation) monitorIndex(id model.MonitorID) int {
+	lo, hi := 0, len(f.monitors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.monitors[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// decode extracts the selected deployment from an ILP solution.
+func (f *formulation) decode(sol *ilp.Solution) *model.Deployment {
+	d := model.NewDeployment()
+	for i, id := range f.monitors {
+		if sol.Value(f.xVars[i]) > 0.5 {
+			d.Add(id)
+		}
+	}
+	return d
+}
+
+// emptyResult builds a Result for the trivial empty deployment.
+func (o *Optimizer) emptyResult() *Result {
+	d := model.NewDeployment()
+	return &Result{
+		Deployment: d,
+		Monitors:   d.IDs(),
+		Utility:    metrics.Utility(o.idx, d),
+		Cost:       0,
+		Proven:     true,
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+func randomIndex(t *testing.T, seed int64, monitors, attacks int) *model.Index {
+	t.Helper()
+	sys, err := synth.Generate(synth.Config{
+		Seed:      seed,
+		Monitors:  monitors,
+		Attacks:   attacks,
+		Assets:    3,
+		DataTypes: monitors + 2,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	return idx
+}
+
+// TestQuickMaxUtilityMatchesExhaustive cross-checks the ILP against subset
+// enumeration on random systems small enough to enumerate.
+func TestQuickMaxUtilityMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 4+r.Intn(6), 2+r.Intn(6))
+		budget := idx.System().TotalMonitorCost() * r.Float64()
+
+		opt := NewOptimizer(idx)
+		res, err := opt.MaxUtility(budget)
+		if err != nil {
+			t.Logf("MaxUtility: %v", err)
+			return false
+		}
+		ref, err := Exhaustive(idx, budget)
+		if err != nil {
+			t.Logf("Exhaustive: %v", err)
+			return false
+		}
+		if !approx(res.Utility, ref.Utility) {
+			t.Logf("seed %d budget %v: ILP %v != exhaustive %v", seed, budget, res.Utility, ref.Utility)
+			return false
+		}
+		if res.Cost > budget+1e-6 {
+			t.Logf("seed %d: cost %v over budget %v", seed, res.Cost, budget)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGreedyNeverBeatsILP checks the dominance relation that experiment
+// E4 visualizes.
+func TestQuickGreedyNeverBeatsILP(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 5+r.Intn(10), 3+r.Intn(8))
+		budget := idx.System().TotalMonitorCost() * r.Float64()
+
+		opt := NewOptimizer(idx)
+		exact, err := opt.MaxUtility(budget)
+		if err != nil {
+			return false
+		}
+		greedy, err := Greedy(idx, budget)
+		if err != nil {
+			return false
+		}
+		rnd, err := RandomDeployment(idx, budget, seed)
+		if err != nil {
+			return false
+		}
+		if greedy.Utility > exact.Utility+1e-6 {
+			t.Logf("seed %d: greedy %v beats exact %v", seed, greedy.Utility, exact.Utility)
+			return false
+		}
+		if rnd.Utility > exact.Utility+1e-6 {
+			t.Logf("seed %d: random %v beats exact %v", seed, rnd.Utility, exact.Utility)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompactAndExpandedFormulationsAgree checks the formulation
+// ablation: both encodings must produce the same optimum.
+func TestQuickCompactAndExpandedFormulationsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 4+r.Intn(6), 2+r.Intn(5))
+		budget := idx.System().TotalMonitorCost() * r.Float64()
+
+		a, err := NewOptimizer(idx).MaxUtility(budget)
+		if err != nil {
+			return false
+		}
+		b, err := NewOptimizer(idx, WithExpandedFormulation()).MaxUtility(budget)
+		if err != nil {
+			return false
+		}
+		if !approx(a.Utility, b.Utility) {
+			t.Logf("seed %d: compact %v != expanded %v", seed, a.Utility, b.Utility)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinCostMeetsTargets verifies that MinCost solutions actually
+// satisfy the requested coverage on every attack (with the achievability
+// clamp, since random systems may contain unobservable evidence).
+func TestQuickMinCostMeetsTargets(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 5+r.Intn(8), 3+r.Intn(6))
+		tau := 0.25 + 0.75*r.Float64()
+
+		opt := NewOptimizer(idx, WithClampToAchievable())
+		res, err := opt.MinCost(CoverageTargets{Global: tau})
+		if err != nil {
+			t.Logf("MinCost: %v", err)
+			return false
+		}
+		for _, aid := range idx.AttackIDs() {
+			ev := idx.AttackEvidence(aid)
+			achievable := float64(idx.ObservableEvidence(aid)) / float64(len(ev))
+			want := tau
+			if achievable < want {
+				want = achievable
+			}
+			if metrics.AttackCoverage(idx, res.Deployment, aid) < want-1e-6 {
+				t.Logf("seed %d: attack %s coverage %v below target %v",
+					seed, aid, metrics.AttackCoverage(idx, res.Deployment, aid), want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinCostIsCheapestAmongExhaustive cross-checks MinCost against
+// enumeration: no subset meeting the targets may be cheaper.
+func TestQuickMinCostIsCheapestAmongExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 4+r.Intn(5), 2+r.Intn(4))
+		tau := 0.25 + 0.7*r.Float64()
+
+		opt := NewOptimizer(idx, WithClampToAchievable())
+		res, err := opt.MinCost(CoverageTargets{Global: tau})
+		if err != nil {
+			t.Logf("MinCost: %v", err)
+			return false
+		}
+
+		// Enumerate all subsets; find the cheapest meeting the clamped
+		// targets.
+		ids := idx.MonitorIDs()
+		n := len(ids)
+		best := -1.0
+		for mask := 0; mask < 1<<n; mask++ {
+			d := model.NewDeployment()
+			for i := 0; i < n; i++ {
+				if mask>>i&1 == 1 {
+					d.Add(ids[i])
+				}
+			}
+			ok := true
+			for _, aid := range idx.AttackIDs() {
+				ev := idx.AttackEvidence(aid)
+				achievable := float64(idx.ObservableEvidence(aid)) / float64(len(ev))
+				want := tau
+				if achievable < want {
+					want = achievable
+				}
+				if metrics.AttackCoverage(idx, d, aid) < want-1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			c := metrics.Cost(idx, d)
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if best < 0 {
+			t.Logf("seed %d: enumeration found no feasible subset but MinCost did", seed)
+			return false
+		}
+		if res.Cost > best+1e-6 {
+			t.Logf("seed %d: MinCost %v but enumeration found %v", seed, res.Cost, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// ErrBadFailureProb is returned for failure probabilities outside [0, 1).
+var ErrBadFailureProb = errors.New("core: invalid failure probability")
+
+// RobustResult extends Result with the expected utility under monitor
+// failures.
+type RobustResult struct {
+	Result
+	// FailureProb is the per-monitor independent failure probability the
+	// deployment was optimized for.
+	FailureProb float64 `json:"failureProb"`
+	// ExpectedUtility is metrics.ExpectedUtility of the deployment at
+	// FailureProb: the objective that was maximized.
+	ExpectedUtility float64 `json:"expectedUtility"`
+}
+
+// MaxExpectedUtility computes the deployment maximizing the expected
+// detection utility when every deployed monitor independently fails (or is
+// silently compromised) with probability failProb, subject to the budget.
+//
+// The expectation 1 - failProb^r of covering evidence with r deployed
+// producers is concave in r, so it is encoded exactly with one coverage
+// level variable per producer rank whose objective weights
+// failProb^(j-1) * (1-failProb) decrease with the rank j: the LP fills lower
+// levels first, making the encoding exact without extra integrality.
+// With failProb = 0 the problem reduces to MaxUtility.
+func (o *Optimizer) MaxExpectedUtility(budget, failProb float64) (*RobustResult, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	if failProb < 0 || failProb >= 1 || math.IsNaN(failProb) {
+		return nil, fmt.Errorf("%w: %v", ErrBadFailureProb, failProb)
+	}
+	if failProb == 0 {
+		res, err := o.MaxUtility(budget)
+		if err != nil {
+			return nil, err
+		}
+		return &RobustResult{Result: *res, ExpectedUtility: res.Utility}, nil
+	}
+	if len(o.idx.MonitorIDs()) == 0 {
+		res := o.emptyResult()
+		res.Budget = budget
+		return &RobustResult{Result: *res, FailureProb: failProb}, nil
+	}
+
+	f, err := o.buildRobustFormulation(budget, failProb)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: robust solve: %w", err)
+	}
+	switch sol.Status {
+	case ilp.StatusOptimal, ilp.StatusFeasible:
+	default:
+		return nil, fmt.Errorf("core: robust solve stopped with status %v and no incumbent", sol.Status)
+	}
+
+	deployment := f.decode(sol)
+	// Prune monitors that contribute nothing to the *expected* utility.
+	objective := func() float64 { return metrics.ExpectedUtility(o.idx, deployment, failProb) }
+	if !o.cfg.noPrune {
+		before := objective()
+		for _, id := range deployment.IDs() {
+			deployment.Remove(id)
+			if objective() < before-1e-12 {
+				deployment.Add(id)
+			}
+		}
+	}
+
+	res := o.newResult(deployment, sol)
+	res.Budget = budget
+	res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
+	res.RelaxationUtility = sol.RootObjective
+	return &RobustResult{
+		Result:          *res,
+		FailureProb:     failProb,
+		ExpectedUtility: objective(),
+	}, nil
+}
+
+// buildRobustFormulation encodes the concave expected-coverage objective
+// with per-rank coverage level variables.
+func (o *Optimizer) buildRobustFormulation(budget, failProb float64) (*formulation, error) {
+	prob := ilp.NewProblem(lp.Maximize)
+	f := &formulation{
+		prob:      prob,
+		fixed:     model.NewDeployment(),
+		monitors:  o.idx.MonitorIDs(),
+		budgetRow: -1,
+	}
+	f.xVars = make([]lp.VarID, len(f.monitors))
+
+	var budgetTerms []lp.Term
+	for i, id := range f.monitors {
+		m, _ := o.idx.Monitor(id)
+		v, err := prob.AddBinaryVariable("x:"+string(id), 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: add monitor variable: %w", err)
+		}
+		f.xVars[i] = v
+		prob.SetBranchPriority(v, 1)
+		budgetTerms = append(budgetTerms, lp.Term{Var: v, Coeff: m.TotalCost()})
+	}
+	row, err := prob.AddConstraint("budget", budgetTerms, lp.LE, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: budget row: %w", err)
+	}
+	f.budgetRow = row
+
+	contrib := evidenceContribution(o.idx)
+	for _, d := range o.idx.DataTypeIDs() {
+		share, relevant := contrib[d]
+		if !relevant {
+			continue
+		}
+		producers := o.idx.Producers(d)
+		if len(producers) == 0 {
+			continue
+		}
+		// Level variables: z_j = 1 when at least j producers are deployed;
+		// the marginal value of the j-th producer is share * q^(j-1)*(1-q).
+		levelTerms := make([]lp.Term, 0, len(producers)+1)
+		marginal := share * (1 - failProb)
+		for j := 1; j <= len(producers); j++ {
+			z, err := prob.AddVariable(fmt.Sprintf("z:%s:%d", d, j), 0, 1, marginal)
+			if err != nil {
+				return nil, fmt.Errorf("core: add level variable: %w", err)
+			}
+			levelTerms = append(levelTerms, lp.Term{Var: z, Coeff: 1})
+			marginal *= failProb
+		}
+		// sum_j z_j <= sum of deployed producers.
+		terms := make([]lp.Term, 0, 2*len(producers))
+		terms = append(terms, levelTerms...)
+		for _, mid := range producers {
+			terms = append(terms, lp.Term{Var: f.xVars[f.monitorIndex(mid)], Coeff: -1})
+		}
+		if _, err := prob.AddConstraint("levels:"+string(d), terms, lp.LE, 0); err != nil {
+			return nil, fmt.Errorf("core: level row: %w", err)
+		}
+	}
+	return f, nil
+}

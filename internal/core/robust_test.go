@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+func TestMaxExpectedUtilityZeroFailureMatchesMaxUtility(t *testing.T) {
+	idx := testIndex(t)
+	for _, budget := range []float64{30, 60, 115} {
+		plain, err := NewOptimizer(idx).MaxUtility(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		robust, err := NewOptimizer(idx).MaxExpectedUtility(budget, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(plain.Utility, robust.ExpectedUtility) {
+			t.Errorf("budget %v: robust(0) %v != plain %v", budget, robust.ExpectedUtility, plain.Utility)
+		}
+	}
+}
+
+func TestMaxExpectedUtilityBuysRedundancy(t *testing.T) {
+	// Fixture from the corroboration tests: http-log has two producers.
+	// With a high failure probability and budget for two monitors, buying
+	// both http-log producers (redundancy) can beat spreading coverage.
+	idx := corroborationIndex(t)
+
+	// Budget 15: m-a (10) + m-c... no: m-a=10, m-b=12, m-c=8. Budget 18
+	// affords {m-a, m-c} (coverage of both attacks once, E[U] at q:
+	// (1-q)/1 for each -> (2(1-q))/2 = 1-q) or {m-a, m-b}? cost 22 > 18.
+	// Budget 22: {m-a, m-b} gives web evidence twice: E[U] =
+	// ((1-q^2) + 0)/2; {m-a, m-c} gives (1-q + 1-q)/2 = 1-q.
+	// 1-q > (1-q^2)/2 for q < 1, so diversification wins here; check the
+	// optimizer agrees with brute force at q=0.4 and budget 22.
+	q := 0.4
+	res, err := NewOptimizer(idx).MaxExpectedUtility(22, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceExpected(t, idx, 22, q)
+	if !approx(res.ExpectedUtility, want) {
+		t.Errorf("expected utility %v != brute force %v (%v)", res.ExpectedUtility, want, res.Monitors)
+	}
+
+	// With budget for all three, all three are deployed: every producer
+	// adds expected value.
+	all, err := NewOptimizer(idx).MaxExpectedUtility(30, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Monitors) != 3 {
+		t.Errorf("full budget deployment = %v, want all three", all.Monitors)
+	}
+}
+
+func TestMaxExpectedUtilityValidation(t *testing.T) {
+	idx := testIndex(t)
+	opt := NewOptimizer(idx)
+	for _, q := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := opt.MaxExpectedUtility(10, q); !errors.Is(err, ErrBadFailureProb) {
+			t.Errorf("MaxExpectedUtility(q=%v) error = %v, want ErrBadFailureProb", q, err)
+		}
+	}
+	if _, err := opt.MaxExpectedUtility(math.Inf(1), 0.1); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+}
+
+// bruteForceExpected enumerates all subsets within the budget and returns
+// the best metrics.ExpectedUtility.
+func bruteForceExpected(t *testing.T, idx *model.Index, budget, failProb float64) float64 {
+	t.Helper()
+	ids := idx.MonitorIDs()
+	best := 0.0
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		d := model.NewDeployment()
+		for i := range ids {
+			if mask>>i&1 == 1 {
+				d.Add(ids[i])
+			}
+		}
+		if metrics.Cost(idx, d) > budget {
+			continue
+		}
+		if u := metrics.ExpectedUtility(idx, d, failProb); u > best {
+			best = u
+		}
+	}
+	return best
+}
+
+// TestQuickRobustOptimumMatchesExhaustive cross-checks the level encoding
+// against enumeration of the expected utility on random systems.
+func TestQuickRobustOptimumMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 4+r.Intn(5), 2+r.Intn(4))
+		budget := idx.System().TotalMonitorCost() * (0.2 + 0.8*r.Float64())
+		q := 0.1 + 0.7*r.Float64()
+
+		res, err := NewOptimizer(idx).MaxExpectedUtility(budget, q)
+		if err != nil {
+			t.Logf("MaxExpectedUtility: %v", err)
+			return false
+		}
+		want := bruteForceExpected(t, idx, budget, q)
+		if math.Abs(res.ExpectedUtility-want) > 1e-6 {
+			t.Logf("seed %d q %v: robust ILP %v != exhaustive %v", seed, q, res.ExpectedUtility, want)
+			return false
+		}
+		if res.Cost > budget+1e-6 {
+			t.Logf("seed %d: cost %v over budget %v", seed, res.Cost, budget)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExpectedUtilityMetricProperties checks the analytic expected
+// utility: bounded, monotone in deployments, decreasing in failure
+// probability, and consistent with plain utility at the extremes.
+func TestQuickExpectedUtilityMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	property := func(seed int64) bool {
+		idx := randomIndex(t, seed, 3+r.Intn(8), 2+r.Intn(5))
+		d := model.NewDeployment()
+		for i, id := range idx.MonitorIDs() {
+			if i%2 == 0 {
+				d.Add(id)
+			}
+		}
+		u := metrics.Utility(idx, d)
+		prev := u
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.8} {
+			eu := metrics.ExpectedUtility(idx, d, q)
+			if eu < 0 || eu > u+1e-12 {
+				t.Logf("expected utility %v outside [0, %v]", eu, u)
+				return false
+			}
+			if eu > prev+1e-12 {
+				t.Logf("expected utility increased with failure probability")
+				return false
+			}
+			prev = eu
+		}
+		if metrics.ExpectedUtility(idx, d, 1) != 0 {
+			t.Logf("expected utility at q=1 not zero")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"secmon/internal/model"
+)
+
+// BudgetGrid returns n+1 evenly spaced budgets from 0 to the system's total
+// monitor cost (inclusive); it is the x-axis of the utility-versus-budget
+// experiments. n must be positive.
+func BudgetGrid(idx *model.Index, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	total := idx.System().TotalMonitorCost()
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = total * float64(i) / float64(n)
+	}
+	return out
+}
+
+// SweepPoint is one budget level of a Pareto sweep.
+type SweepPoint struct {
+	Budget float64 `json:"budget"`
+	// Optimal is the exact ILP result at this budget.
+	Optimal *Result `json:"optimal"`
+	// Greedy is the cost-benefit heuristic at this budget.
+	Greedy *Result `json:"greedy"`
+	// Random is the seeded random baseline at this budget.
+	Random *Result `json:"random"`
+}
+
+// ParetoSweep computes the optimal and baseline deployments at each budget,
+// tracing the utility-cost trade-off curve of the paper's evaluation. The
+// seed drives the random baseline.
+func (o *Optimizer) ParetoSweep(budgets []float64, seed int64) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(budgets))
+	for _, b := range budgets {
+		p, err := o.sweepPoint(b, seed)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// ParetoSweepParallel computes the same sweep as ParetoSweep using up to
+// `workers` concurrent solves (GOMAXPROCS when workers <= 0). Budget points
+// are independent and the optimizer's index is read-only, so the result is
+// byte-for-byte identical to the sequential sweep, point order included.
+func (o *Optimizer) ParetoSweepParallel(budgets []float64, seed int64, workers int) ([]SweepPoint, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(budgets) {
+		workers = len(budgets)
+	}
+	if workers <= 1 {
+		return o.ParetoSweep(budgets, seed)
+	}
+
+	points := make([]SweepPoint, len(budgets))
+	errs := make([]error, len(budgets))
+	next := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				points[i], errs[i] = o.sweepPoint(budgets[i], seed)
+			}
+		}()
+	}
+	for i := range budgets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// sweepPoint solves one budget level with all three strategies.
+func (o *Optimizer) sweepPoint(budget float64, seed int64) (SweepPoint, error) {
+	opt, err := o.MaxUtility(budget)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("core: sweep at budget %v: %w", budget, err)
+	}
+	gr, err := Greedy(o.idx, budget)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("core: greedy at budget %v: %w", budget, err)
+	}
+	rnd, err := RandomDeployment(o.idx, budget, seed)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("core: random at budget %v: %w", budget, err)
+	}
+	return SweepPoint{Budget: budget, Optimal: opt, Greedy: gr, Random: rnd}, nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// ErrBadObjectives is returned for negative, non-finite or all-zero
+// objective weights.
+var ErrBadObjectives = errors.New("core: invalid objective weights")
+
+// Objectives weights the linear goals of the multi-objective deployment
+// optimization. All three metrics are linear in the decision variables, so a
+// weighted combination remains an exact ILP:
+//
+//   - Utility: detection utility (evidence coverage), as in MaxUtility.
+//   - Richness: data richness (fraction of security-relevant event fields
+//     recorded), valuable for forensics beyond mere detection.
+//   - Redundancy: mean evidence redundancy (independent monitors per
+//     evidence item), valuable against monitor compromise. Unlike the other
+//     two it is not capped at 1 per evidence item — each extra producer
+//     keeps adding value.
+type Objectives struct {
+	Utility    float64
+	Richness   float64
+	Redundancy float64
+}
+
+func (w Objectives) validate() error {
+	for _, v := range []float64{w.Utility, w.Richness, w.Redundancy} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %+v", ErrBadObjectives, w)
+		}
+	}
+	if w.Utility == 0 && w.Richness == 0 && w.Redundancy == 0 {
+		return fmt.Errorf("%w: all weights zero", ErrBadObjectives)
+	}
+	return nil
+}
+
+// WeightedResult extends Result with the component metrics of a
+// multi-objective solve.
+type WeightedResult struct {
+	Result
+	// Score is the achieved weighted objective value.
+	Score float64 `json:"score"`
+	// RichnessValue and RedundancyValue are the component metrics of the
+	// selected deployment (Utility lives in the embedded Result).
+	RichnessValue   float64 `json:"richness"`
+	RedundancyValue float64 `json:"redundancy"`
+}
+
+// MaxWeighted computes the deployment maximizing the weighted combination of
+// utility, richness and redundancy under the budget. With Objectives{Utility: 1}
+// it reduces to MaxUtility (without the minimality pruning, which is only
+// valid for pure utility objectives).
+func (o *Optimizer) MaxWeighted(budget float64, weights Objectives) (*WeightedResult, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	if err := weights.validate(); err != nil {
+		return nil, err
+	}
+	if len(o.idx.MonitorIDs()) == 0 {
+		res := o.emptyResult()
+		res.Budget = budget
+		return &WeightedResult{Result: *res}, nil
+	}
+
+	f, err := o.buildWeightedFormulation(budget, weights)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: weighted solve: %w", err)
+	}
+	switch sol.Status {
+	case ilp.StatusOptimal, ilp.StatusFeasible:
+	default:
+		return nil, fmt.Errorf("core: weighted solve stopped with status %v and no incumbent", sol.Status)
+	}
+
+	deployment := f.decode(sol)
+	res := o.newResult(deployment, sol)
+	res.Budget = budget
+	res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
+	res.RelaxationUtility = sol.RootObjective
+
+	richness := metrics.Richness(o.idx, deployment)
+	redundancy := metrics.MeanRedundancy(o.idx, deployment)
+	return &WeightedResult{
+		Result:          *res,
+		Score:           weights.Utility*res.Utility + weights.Richness*richness + weights.Redundancy*redundancy,
+		RichnessValue:   richness,
+		RedundancyValue: redundancy,
+	}, nil
+}
+
+// buildWeightedFormulation is the compact coverage formulation with the
+// weighted objective: coverage variables carry utility and richness
+// contributions, monitor variables carry redundancy contributions.
+func (o *Optimizer) buildWeightedFormulation(budget float64, weights Objectives) (*formulation, error) {
+	prob := ilp.NewProblem(lp.Maximize)
+	f := &formulation{
+		prob:      prob,
+		fixed:     model.NewDeployment(),
+		monitors:  o.idx.MonitorIDs(),
+		budgetRow: -1,
+	}
+	f.xVars = make([]lp.VarID, len(f.monitors))
+
+	contrib := evidenceContribution(o.idx)
+	fieldShare, totalFields := richnessShares(o.idx, contrib)
+	relevantCount := len(contrib)
+
+	// Monitor variables: redundancy contribution is the number of relevant
+	// evidence data types the monitor produces, normalized the same way as
+	// metrics.MeanRedundancy.
+	var budgetTerms []lp.Term
+	for i, id := range f.monitors {
+		m, _ := o.idx.Monitor(id)
+		redContribution := 0.0
+		if weights.Redundancy > 0 && relevantCount > 0 {
+			produced := 0
+			for _, d := range m.Produces {
+				if _, ok := contrib[d]; ok {
+					produced++
+				}
+			}
+			redContribution = weights.Redundancy * float64(produced) / float64(relevantCount)
+		}
+		v, err := prob.AddBinaryVariable("x:"+string(id), redContribution)
+		if err != nil {
+			return nil, fmt.Errorf("core: add monitor variable: %w", err)
+		}
+		f.xVars[i] = v
+		prob.SetBranchPriority(v, 1)
+		budgetTerms = append(budgetTerms, lp.Term{Var: v, Coeff: m.TotalCost()})
+	}
+	row, err := prob.AddConstraint("budget", budgetTerms, lp.LE, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: budget row: %w", err)
+	}
+	f.budgetRow = row
+
+	// Coverage variables carry the utility and richness objective shares.
+	k := o.corroborationLevel()
+	for _, d := range o.idx.DataTypeIDs() {
+		u, relevant := contrib[d]
+		if !relevant || len(o.idx.Producers(d)) == 0 {
+			continue
+		}
+		obj := weights.Utility * u
+		if totalFields > 0 {
+			obj += weights.Richness * fieldShare[d]
+		}
+		z, err := prob.AddVariable("z:"+string(d), 0, 1, obj)
+		if err != nil {
+			return nil, fmt.Errorf("core: add coverage variable: %w", err)
+		}
+		if k > 1 {
+			prob.SetInteger(z)
+		}
+		terms := []lp.Term{{Var: z, Coeff: float64(k)}}
+		for _, mid := range o.idx.Producers(d) {
+			terms = append(terms, lp.Term{Var: f.xVars[f.monitorIndex(mid)], Coeff: -1})
+		}
+		if _, err := prob.AddConstraint("link:"+string(d), terms, lp.LE, 0); err != nil {
+			return nil, fmt.Errorf("core: link row: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// richnessShares computes each relevant data type's share of the richness
+// metric: fields(d) / total relevant fields (field-less data types count
+// one, matching metrics.Richness).
+func richnessShares(idx *model.Index, relevant map[model.DataTypeID]float64) (map[model.DataTypeID]float64, int) {
+	shares := make(map[model.DataTypeID]float64, len(relevant))
+	total := 0
+	for d := range relevant {
+		info, ok := idx.DataType(d)
+		if !ok {
+			continue
+		}
+		nf := len(info.Fields)
+		if nf == 0 {
+			nf = 1
+		}
+		shares[d] = float64(nf)
+		total += nf
+	}
+	if total > 0 {
+		for d := range shares {
+			shares[d] /= float64(total)
+		}
+	}
+	return shares, total
+}

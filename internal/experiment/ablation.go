@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"io"
+	"time"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/core"
+	"secmon/internal/ilp"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// a1System builds the synthetic system used by both ablations; the case
+// study alone is too easy to separate solver configurations.
+func ablationIndexes() (*model.Index, *model.Index, error) {
+	caseIdx, err := casestudy.BuildIndex()
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := synth.Generate(synth.Config{Seed: 99, Monitors: 120, Attacks: 120})
+	if err != nil {
+		return nil, nil, err
+	}
+	synthIdx, err := model.NewIndex(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	return caseIdx, synthIdx, nil
+}
+
+// RunA1DivingAblation renders branch-and-bound effort with and without the
+// root diving heuristic: the heuristic only changes how quickly incumbents
+// appear, never the optimum (asserted by the property tests).
+func RunA1DivingAblation(w io.Writer) error {
+	caseIdx, synthIdx, err := ablationIndexes()
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "system", "diving", "utility", "bb-nodes", "lp-iters", "time")
+	for _, sys := range []struct {
+		name string
+		idx  *model.Index
+	}{
+		{name: "case-study", idx: caseIdx},
+		{name: "synthetic-120x120", idx: synthIdx},
+	} {
+		budget := sys.idx.System().TotalMonitorCost() * 0.3
+		for _, dive := range []bool{true, false} {
+			var opts []core.Option
+			if !dive {
+				opts = append(opts, core.WithSolverOptions(ilp.WithoutDiving()))
+			}
+			res, err := core.NewOptimizer(sys.idx, opts...).MaxUtility(budget)
+			if err != nil {
+				return err
+			}
+			t.rowf("%s\t%v\t%.4f\t%d\t%d\t%s",
+				sys.name, dive, res.Utility, res.Stats.Nodes, res.Stats.LPIterations,
+				res.Stats.Elapsed.Round(time.Millisecond))
+		}
+	}
+	return t.flush()
+}
+
+// RunA2FormulationAblation renders solve effort for the compact
+// shared-coverage encoding against the expanded per-(attack, evidence)
+// encoding: same optimum, very different problem sizes.
+func RunA2FormulationAblation(w io.Writer) error {
+	caseIdx, synthIdx, err := ablationIndexes()
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "system", "formulation", "utility", "bb-nodes", "lp-iters", "time")
+	for _, sys := range []struct {
+		name string
+		idx  *model.Index
+	}{
+		{name: "case-study", idx: caseIdx},
+		{name: "synthetic-120x120", idx: synthIdx},
+	} {
+		budget := sys.idx.System().TotalMonitorCost() * 0.3
+		for _, expanded := range []bool{false, true} {
+			name := "compact"
+			var opts []core.Option
+			if expanded {
+				name = "expanded"
+				opts = append(opts, core.WithExpandedFormulation())
+			}
+			res, err := core.NewOptimizer(sys.idx, opts...).MaxUtility(budget)
+			if err != nil {
+				return err
+			}
+			t.rowf("%s\t%s\t%.4f\t%d\t%d\t%s",
+				sys.name, name, res.Utility, res.Stats.Nodes, res.Stats.LPIterations,
+				res.Stats.Elapsed.Round(time.Millisecond))
+		}
+	}
+	return t.flush()
+}
+
+// RunA3BranchRuleAblation renders branch-and-bound effort under
+// most-fractional versus pseudo-cost branching: both rules are exact, the
+// node counts differ.
+func RunA3BranchRuleAblation(w io.Writer) error {
+	caseIdx, synthIdx, err := ablationIndexes()
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "system", "branch-rule", "utility", "bb-nodes", "lp-iters", "time")
+	for _, sys := range []struct {
+		name string
+		idx  *model.Index
+	}{
+		{name: "case-study", idx: caseIdx},
+		{name: "synthetic-120x120", idx: synthIdx},
+	} {
+		budget := sys.idx.System().TotalMonitorCost() * 0.3
+		for _, rule := range []struct {
+			name string
+			rule ilp.BranchRule
+		}{
+			{name: "most-fractional", rule: ilp.BranchMostFractional},
+			{name: "pseudo-cost", rule: ilp.BranchPseudoCost},
+		} {
+			opt := core.NewOptimizer(sys.idx, core.WithSolverOptions(ilp.WithBranchRule(rule.rule)))
+			res, err := opt.MaxUtility(budget)
+			if err != nil {
+				return err
+			}
+			t.rowf("%s\t%s\t%.4f\t%d\t%d\t%s",
+				sys.name, rule.name, res.Utility, res.Stats.Nodes, res.Stats.LPIterations,
+				res.Stats.Elapsed.Round(time.Millisecond))
+		}
+	}
+	return t.flush()
+}

@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Errorf("registered experiments = %d, want 17", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if e.Kind != "table" && e.Kind != "figure" {
+			t.Errorf("experiment %s has kind %q", e.ID, e.Kind)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("e3"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+	if got := IDs(); len(got) != len(all) {
+		t.Errorf("IDs = %v", got)
+	}
+}
+
+func TestE1MonitorInventory(t *testing.T) {
+	out := runExperiment(t, "E1")
+	for _, want := range []string{"monitor", "db-auditor@db-1", "nids@core-net", "TOTAL (34 monitors)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q", want)
+		}
+	}
+}
+
+func TestE2AttackInventory(t *testing.T) {
+	out := runExperiment(t, "E2")
+	for _, want := range []string{"sql-injection", "denial-of-service", "attacks: 17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 output missing %q", want)
+		}
+	}
+}
+
+func TestE3OptimalDeployments(t *testing.T) {
+	out := runExperiment(t, "E3")
+	for _, want := range []string{"budget", "100%", "1.0000", "deployment:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 output missing %q", want)
+		}
+	}
+}
+
+func TestE4BudgetCurveSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runE4BudgetCurve(&buf, 4); err != nil {
+		t.Fatalf("runE4BudgetCurve: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "optimal") || !strings.Contains(out, "greedy") {
+		t.Errorf("E4 output missing columns:\n%s", out)
+	}
+	// Final budget point must reach the ceiling.
+	if !strings.Contains(out, "1.0000") {
+		t.Errorf("E4 output missing full-budget utility:\n%s", out)
+	}
+}
+
+func TestE5AttackMetrics(t *testing.T) {
+	out := runExperiment(t, "E5")
+	for _, want := range []string{"attack", "coverage", "confidence", "richness", "distinguishability"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E5 output missing %q", want)
+		}
+	}
+}
+
+func TestE6MinCost(t *testing.T) {
+	out := runExperiment(t, "E6")
+	for _, want := range []string{"target", "100%", "utility"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E6 output missing %q", want)
+		}
+	}
+}
+
+func TestE8SimulationValidation(t *testing.T) {
+	out := runExperiment(t, "E8")
+	if !strings.Contains(out, "analytic-utility") || !strings.Contains(out, "sim-recall(ideal)") {
+		t.Errorf("E8 output missing columns:\n%s", out)
+	}
+	// The ideal simulation must agree with the analytic utility: every row
+	// repeats the same value in columns 2 and 3.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] == "budget" || strings.HasPrefix(fields[0], "-") {
+			continue
+		}
+		if fields[1] != fields[2] {
+			t.Errorf("analytic %s != ideal simulated %s in row %q", fields[1], fields[2], line)
+		}
+	}
+}
+
+func TestScalabilityPointSmall(t *testing.T) {
+	p, err := ScalabilityPoint(20, 20, 7)
+	if err != nil {
+		t.Fatalf("ScalabilityPoint: %v", err)
+	}
+	if p.Monitors != 20 || p.Attacks != 20 {
+		t.Errorf("point = %+v", p)
+	}
+	if p.Utility <= 0 || p.Utility > 1 {
+		t.Errorf("utility = %v", p.Utility)
+	}
+	if p.Nodes < 1 {
+		t.Errorf("nodes = %d", p.Nodes)
+	}
+}
+
+func TestE7ScalabilityFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E7 sweeps systems with hundreds of monitors; skipped in -short")
+	}
+	out := runExperiment(t, "E7")
+	if !strings.Contains(out, "400") || !strings.Contains(out, "solve-time") {
+		t.Errorf("E7 output missing content:\n%s", out)
+	}
+}
+
+func TestA1DivingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations solve a 120x120 synthetic system; skipped in -short")
+	}
+	out := runExperiment(t, "A1")
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Errorf("A1 output missing rows:\n%s", out)
+	}
+	// Both configurations must reach the same optimum per system.
+	assertSameUtilityPerSystem(t, out)
+}
+
+func TestA2FormulationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations solve a 120x120 synthetic system; skipped in -short")
+	}
+	out := runExperiment(t, "A2")
+	if !strings.Contains(out, "compact") || !strings.Contains(out, "expanded") {
+		t.Errorf("A2 output missing rows:\n%s", out)
+	}
+	assertSameUtilityPerSystem(t, out)
+}
+
+// assertSameUtilityPerSystem checks that the utility column agrees between
+// consecutive rows of the same system in an ablation table.
+func assertSameUtilityPerSystem(t *testing.T, out string) {
+	t.Helper()
+	utilities := make(map[string][]string)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 6 || fields[0] == "system" || strings.HasPrefix(fields[0], "-") {
+			continue
+		}
+		utilities[fields[0]] = append(utilities[fields[0]], fields[2])
+	}
+	for system, vals := range utilities {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Errorf("system %s: ablation changed the optimum: %v", system, vals)
+			}
+		}
+	}
+}
+
+func TestA3BranchRuleAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations solve a 120x120 synthetic system; skipped in -short")
+	}
+	out := runExperiment(t, "A3")
+	if !strings.Contains(out, "most-fractional") || !strings.Contains(out, "pseudo-cost") {
+		t.Errorf("A3 output missing rows:\n%s", out)
+	}
+	assertSameUtilityPerSystem(t, out)
+}
+
+func TestRunOneAndRunAllSmall(t *testing.T) {
+	// RunOne adds the header line.
+	e, _ := ByID("E1")
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e); err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	if !strings.Contains(buf.String(), "== E1 (table)") {
+		t.Errorf("RunOne missing header:\n%s", buf.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 10); got != "#####....." {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	if got := bar(-1, 4); got != "...." {
+		t.Errorf("bar(-1) = %q", got)
+	}
+	if got := bar(2, 4); got != "####" {
+		t.Errorf("bar(2) = %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE9MultiObjective(t *testing.T) {
+	out := runExperiment(t, "E9")
+	for _, want := range []string{"utility", "richness", "redundancy", "1.0/0.0/0.0", "0.0/0.0/1.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE10Corroboration(t *testing.T) {
+	out := runExperiment(t, "E10")
+	if !strings.Contains(out, "k1-utility") || !strings.Contains(out, "k2-corroborated") {
+		t.Fatalf("E10 output missing columns:\n%s", out)
+	}
+	// On every budget row the k2-optimized deployment must achieve at least
+	// the corroborated utility of the k1-optimized one, and the k1 plain
+	// utility must be at least the k2 plain utility.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] == "budget" || strings.HasPrefix(fields[0], "-") {
+			continue
+		}
+		vals := make([]float64, 4)
+		ok := true
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		k1u, k1c, k2u, k2c := vals[0], vals[1], vals[2], vals[3]
+		if k2c < k1c-1e-9 {
+			t.Errorf("row %q: corroborated optimization lost corroborated utility", line)
+		}
+		if k2u > k1u+1e-9 {
+			t.Errorf("row %q: corroborated optimization beat plain utility optimum", line)
+		}
+	}
+}
+
+func TestE11ShadowPrices(t *testing.T) {
+	out := runExperiment(t, "E11")
+	if !strings.Contains(out, "shadow-price") {
+		t.Fatalf("E11 output missing column:\n%s", out)
+	}
+	// Shadow prices along a concave utility-of-budget curve must be
+	// non-increasing (diminishing marginal returns).
+	var prices []float64
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] == "budget" || strings.HasPrefix(fields[0], "-") {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[3], 64); err == nil {
+			prices = append(prices, v)
+		}
+	}
+	if len(prices) < 3 {
+		t.Fatalf("parsed %d shadow prices:\n%s", len(prices), out)
+	}
+	for i := 1; i < len(prices); i++ {
+		if prices[i] > prices[i-1]+1e-6 {
+			t.Errorf("shadow prices not diminishing: %v", prices)
+			break
+		}
+	}
+	if prices[len(prices)-1] != 0 {
+		t.Errorf("full-budget shadow price = %v, want 0", prices[len(prices)-1])
+	}
+}
+
+func TestE12RobustDeployment(t *testing.T) {
+	out := runExperiment(t, "E12")
+	if !strings.Contains(out, "expected-utility") || !strings.Contains(out, "simulated-recall") {
+		t.Fatalf("E12 output missing columns:\n%s", out)
+	}
+	// Analytic expected utility and simulated recall must agree within
+	// Monte-Carlo noise on every row.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] == "fail-prob" || strings.HasPrefix(fields[0], "-") {
+			continue
+		}
+		analytic, err1 := strconv.ParseFloat(fields[3], 64)
+		simulated, err2 := strconv.ParseFloat(fields[4], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if diff := analytic - simulated; diff > 0.05 || diff < -0.05 {
+			t.Errorf("row %q: analytic %v vs simulated %v differ beyond noise", line, analytic, simulated)
+		}
+	}
+}
+
+func TestE13Earliness(t *testing.T) {
+	out := runExperiment(t, "E13")
+	if !strings.Contains(out, "earliness") || !strings.Contains(out, "staged-60x40") {
+		t.Fatalf("E13 output missing content:\n%s", out)
+	}
+	// Within each system: the pure-earliness row must have earliness >= the
+	// pure-utility row, and the pure-utility row must have utility >= the
+	// pure-earliness row.
+	type row struct{ utility, earliness float64 }
+	rows := make(map[string][]row)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 6 || fields[0] == "system" || strings.HasPrefix(fields[0], "-") {
+			continue
+		}
+		u, err1 := strconv.ParseFloat(fields[2], 64)
+		e, err2 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		rows[fields[0]] = append(rows[fields[0]], row{u, e})
+	}
+	for system, rs := range rows {
+		if len(rs) != 3 {
+			t.Errorf("system %s has %d rows, want 3", system, len(rs))
+			continue
+		}
+		if rs[2].earliness < rs[0].earliness-1e-9 {
+			t.Errorf("%s: pure-earliness earliness %v below pure-utility %v", system, rs[2].earliness, rs[0].earliness)
+		}
+		if rs[0].utility < rs[2].utility-1e-9 {
+			t.Errorf("%s: pure-utility utility %v below pure-earliness %v", system, rs[0].utility, rs[2].utility)
+		}
+	}
+}
+
+func TestE14TopologyComparison(t *testing.T) {
+	out := runExperiment(t, "E14")
+	if !strings.Contains(out, "enterprise") || !strings.Contains(out, "small-business") {
+		t.Fatalf("E14 output missing rows:\n%s", out)
+	}
+}

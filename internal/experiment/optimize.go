@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/core"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// e3BudgetFractions are the budget levels (fractions of the total monitor
+// cost) at which E3 reports optimal deployments.
+var e3BudgetFractions = []float64{0.10, 0.25, 0.50, 0.75, 1.00}
+
+// RunE3OptimalDeployments renders the cost-optimal maximum-utility
+// deployments of the case study at several budget levels, with the solver
+// effort. It reproduces the paper's optimal-deployment table.
+func RunE3OptimalDeployments(w io.Writer) error {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		return err
+	}
+	opt := core.NewOptimizer(idx)
+	total := idx.System().TotalMonitorCost()
+
+	t := newTable(w, "budget", "fraction", "utility", "cost", "monitors", "nodes", "lp-iters", "time")
+	var results []*core.Result
+	for _, frac := range e3BudgetFractions {
+		res, err := opt.MaxUtility(total * frac)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		t.rowf("%.0f\t%.0f%%\t%.4f\t%.0f\t%d\t%d\t%d\t%s",
+			res.Budget, frac*100, res.Utility, res.Cost, len(res.Monitors),
+			res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed.Round(100_000).String())
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	for i, frac := range e3BudgetFractions {
+		if _, err := fmt.Fprintf(w, "  %3.0f%% budget deployment: %s\n",
+			frac*100, joinMonitors(results[i].Monitors)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunE4BudgetCurve renders the utility-versus-budget trade-off curve of the
+// exact ILP against the greedy and random baselines: the paper's headline
+// figure showing where optimization pays off.
+func RunE4BudgetCurve(w io.Writer) error {
+	return runE4BudgetCurve(w, 20)
+}
+
+func runE4BudgetCurve(w io.Writer, steps int) error {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		return err
+	}
+	opt := core.NewOptimizer(idx)
+	points, err := opt.ParetoSweepParallel(core.BudgetGrid(idx, steps), 1, 0)
+	if err != nil {
+		return err
+	}
+
+	t := newTable(w, "budget", "optimal", "greedy", "random", "opt-vs-greedy", "utility (optimal)")
+	for _, p := range points {
+		gap := p.Optimal.Utility - p.Greedy.Utility
+		t.rowf("%.0f\t%.4f\t%.4f\t%.4f\t%+.4f\t|%s|",
+			p.Budget, p.Optimal.Utility, p.Greedy.Utility, p.Random.Utility, gap,
+			bar(p.Optimal.Utility, 30))
+	}
+	return t.flush()
+}
+
+// e5BudgetFraction is the budget level (as a fraction of total cost) whose
+// optimal deployment E5 analyzes in depth.
+const e5BudgetFraction = 0.5
+
+// RunE5AttackMetrics renders the full metric breakdown (coverage,
+// confidence, richness, redundancy, distinguishability) of the optimal
+// deployment at half the total budget: the paper's per-attack analysis
+// table.
+func RunE5AttackMetrics(w io.Writer) error {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		return err
+	}
+	opt := core.NewOptimizer(idx)
+	res, err := opt.MaxUtility(idx.System().TotalMonitorCost() * e5BudgetFraction)
+	if err != nil {
+		return err
+	}
+	rep := metrics.Evaluate(idx, res.Deployment)
+
+	t := newTable(w, "attack", "weight", "covered", "coverage", "confidence")
+	for _, a := range rep.Attacks {
+		t.rowf("%s\t%.0f\t%d/%d\t%.3f\t%.3f",
+			a.ID, a.Weight, a.EvidenceCovered, a.EvidenceTotal, a.Coverage, a.Confidence)
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"deployment (%d monitors, cost %.0f): %s\nutility %.4f richness %.4f mean-redundancy %.2f distinguishability %.4f\n",
+		len(rep.Deployment), rep.Cost, joinMonitors(rep.Deployment),
+		rep.Utility, rep.Richness, rep.MeanRedundancy, rep.Distinguishability)
+	return err
+}
+
+// e6Targets are the global coverage targets of the MinCost experiment.
+var e6Targets = []float64{0.50, 0.75, 0.90, 1.00}
+
+// RunE6MinCost renders the cheapest deployments achieving each global
+// coverage target: the paper's inverse optimization table.
+func RunE6MinCost(w io.Writer) error {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		return err
+	}
+	opt := core.NewOptimizer(idx)
+
+	t := newTable(w, "target", "cost", "cost-fraction", "monitors", "utility", "nodes", "time")
+	total := idx.System().TotalMonitorCost()
+	for _, tau := range e6Targets {
+		res, err := opt.MinCost(core.CoverageTargets{Global: tau})
+		if err != nil {
+			return err
+		}
+		t.rowf("%.0f%%\t%.0f\t%.1f%%\t%d\t%.4f\t%d\t%s",
+			tau*100, res.Cost, 100*res.Cost/total, len(res.Monitors), res.Utility,
+			res.Stats.Nodes, res.Stats.Elapsed.Round(100_000).String())
+	}
+	return t.flush()
+}
+
+func joinMonitors(ids []model.MonitorID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ", ")
+}

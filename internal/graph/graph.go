@@ -1,0 +1,158 @@
+// Package graph renders system models as GraphViz DOT documents: monitors,
+// the data types they produce, and the attacks evidenced by that data, with
+// an optional deployment highlighted. The output is a plain bipartite-style
+// diagram that renders with `dot -Tsvg`.
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"secmon/internal/model"
+)
+
+// WriteDOT writes the model's monitor-data-attack graph to w. When
+// deployment is non-nil, deployed monitors and the data they cover are
+// filled; undeployed monitors are dashed. Assets group their monitors and
+// data types into clusters.
+func WriteDOT(w io.Writer, idx *model.Index, deployment *model.Deployment) error {
+	var b strings.Builder
+	b.WriteString("digraph secmon {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"Helvetica\", fontsize=10];\n")
+
+	covered := make(map[model.DataTypeID]bool)
+	if deployment != nil {
+		for _, id := range deployment.IDs() {
+			m, ok := idx.Monitor(id)
+			if !ok {
+				continue
+			}
+			for _, d := range m.Produces {
+				covered[d] = true
+			}
+		}
+	}
+
+	// Group monitors and data types per asset into clusters.
+	type assetGroup struct {
+		monitors []*model.Monitor
+		data     []*model.DataType
+	}
+	groups := make(map[model.AssetID]*assetGroup)
+	group := func(a model.AssetID) *assetGroup {
+		g, ok := groups[a]
+		if !ok {
+			g = &assetGroup{}
+			groups[a] = g
+		}
+		return g
+	}
+	for _, id := range idx.MonitorIDs() {
+		m, _ := idx.Monitor(id)
+		group(m.Asset).monitors = append(group(m.Asset).monitors, m)
+	}
+	for _, id := range idx.DataTypeIDs() {
+		d, _ := idx.DataType(id)
+		group(d.Asset).data = append(group(d.Asset).data, d)
+	}
+
+	clusterIdx := 0
+	emitMonitor := func(m *model.Monitor) {
+		style := "solid"
+		fill := ""
+		if deployment != nil {
+			if deployment.Contains(m.ID) {
+				fill = ", style=filled, fillcolor=\"#a6d96a\""
+			} else {
+				style = "dashed"
+			}
+		}
+		fmt.Fprintf(&b, "    %s [shape=box, style=%q%s, label=\"%s\\ncost %.0f\"];\n",
+			nodeID("m", string(m.ID)), style, fill, escape(string(m.ID)), m.TotalCost())
+	}
+	emitData := func(d *model.DataType) {
+		fill := ""
+		if covered[d.ID] {
+			fill = ", style=filled, fillcolor=\"#d9ef8b\""
+		}
+		fmt.Fprintf(&b, "    %s [shape=ellipse%s, label=%q];\n",
+			nodeID("d", string(d.ID)), fill, escape(string(d.ID)))
+	}
+
+	// Clusters per asset, in sorted order via the system slice.
+	for _, a := range idx.System().Assets {
+		g, ok := groups[a.ID]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    color=gray;\n",
+			clusterIdx, escape(a.Name))
+		clusterIdx++
+		for _, m := range g.monitors {
+			emitMonitor(m)
+		}
+		for _, d := range g.data {
+			emitData(d)
+		}
+		b.WriteString("  }\n")
+	}
+	// Unanchored monitors and data (no asset).
+	if g, ok := groups[""]; ok {
+		for _, m := range g.monitors {
+			emitMonitor(m)
+		}
+		for _, d := range g.data {
+			emitData(d)
+		}
+	}
+
+	// Attacks.
+	for _, id := range idx.AttackIDs() {
+		a, _ := idx.Attack(id)
+		fmt.Fprintf(&b, "  %s [shape=diamond, color=red, label=\"%s\\nw=%.1f\"];\n",
+			nodeID("a", string(id)), escape(string(id)), model.AttackWeight(*a))
+	}
+
+	// Edges: monitor -> data (produces).
+	for _, id := range idx.MonitorIDs() {
+		m, _ := idx.Monitor(id)
+		for _, d := range m.Produces {
+			fmt.Fprintf(&b, "  %s -> %s;\n", nodeID("m", string(id)), nodeID("d", string(d)))
+		}
+	}
+	// Edges: data -> attack (evidence).
+	for _, id := range idx.AttackIDs() {
+		for _, e := range idx.AttackEvidence(id) {
+			fmt.Fprintf(&b, "  %s -> %s [color=red, style=dotted];\n",
+				nodeID("d", string(e)), nodeID("a", string(id)))
+		}
+	}
+	b.WriteString("}\n")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// nodeID builds a DOT-safe node identifier with a namespace prefix.
+func nodeID(prefix, id string) string {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	sb.WriteByte('_')
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// escape makes a string safe inside a double-quoted DOT label.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/model"
+)
+
+func testIndex(t *testing.T) *model.Index {
+	t.Helper()
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+func TestWriteDOTStructure(t *testing.T) {
+	idx := testIndex(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, idx, nil); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"digraph secmon {",
+		"rankdir=LR",
+		"subgraph cluster_0",
+		"shape=box",     // monitors
+		"shape=ellipse", // data types
+		"shape=diamond", // attacks
+		"m_nids_core_net -> d_nids_alert_core_net;",
+		"d_nids_alert_core_net -> a_denial_of_service",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestWriteDOTDeploymentHighlight(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment(casestudy.MonitorID("nids", "core-net"))
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, idx, d); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fillcolor=\"#a6d96a\"") {
+		t.Error("deployed monitor not highlighted")
+	}
+	if !strings.Contains(out, "fillcolor=\"#d9ef8b\"") {
+		t.Error("covered data not highlighted")
+	}
+	if !strings.Contains(out, "style=\"dashed\"") {
+		t.Error("undeployed monitors not dashed")
+	}
+}
+
+func TestNodeIDSanitization(t *testing.T) {
+	if got := nodeID("m", "a@b-c.d"); got != "m_a_b_c_d" {
+		t.Errorf("nodeID = %q", got)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a"b\c`); got != `a\"b\\c` {
+		t.Errorf("escape = %q", got)
+	}
+}

@@ -1,0 +1,33 @@
+package ilp_test
+
+import (
+	"fmt"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+)
+
+// Example solves the classic 0-1 knapsack exactly with branch-and-bound.
+func Example() {
+	p := ilp.NewProblem(lp.Maximize)
+	values := []float64{60, 100, 120}
+	weights := []float64{10, 20, 30}
+	vars := make([]lp.VarID, len(values))
+	terms := make([]lp.Term, len(values))
+	for i := range values {
+		vars[i], _ = p.AddBinaryVariable(fmt.Sprintf("item%d", i), values[i])
+		terms[i] = lp.Term{Var: vars[i], Coeff: weights[i]}
+	}
+	p.AddConstraint("capacity", terms, lp.LE, 50)
+
+	sol, err := p.Solve()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("status: %v, value: %.0f\n", sol.Status, sol.Objective)
+	fmt.Printf("take items: %v %v %v\n", sol.Value(vars[0]), sol.Value(vars[1]), sol.Value(vars[2]))
+	// Output:
+	// status: optimal, value: 220
+	// take items: 0 1 1
+}

@@ -1,0 +1,845 @@
+// Package ilp provides an exact mixed 0-1/integer linear-programming solver
+// built on the simplex solver of internal/lp.
+//
+// The solver is a best-first branch-and-bound with depth plunging, branching
+// priorities, most-fractional variable selection and an optional root diving
+// heuristic that quickly produces incumbents for pruning. It is deterministic
+// for a given problem and configuration.
+//
+// The monitor-deployment formulations of Thakore et al. (DSN 2016) are pure
+// 0-1 programs over monitor-selection variables, with continuous coverage
+// variables that become integral automatically once the binaries are fixed;
+// declaring only the monitor variables integer keeps the search tree small.
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"secmon/internal/lp"
+)
+
+// Status describes the outcome of a branch-and-bound run.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means an integer-feasible solution was found and proven
+	// optimal (within the configured gap tolerance).
+	StatusOptimal Status = iota + 1
+	// StatusFeasible means an integer-feasible incumbent was found but the
+	// node/time budget ran out before optimality was proven.
+	StatusFeasible
+	// StatusInfeasible means no integer-feasible solution exists.
+	StatusInfeasible
+	// StatusUnbounded means the relaxation is unbounded.
+	StatusUnbounded
+	// StatusLimit means the budget ran out before any incumbent was found.
+	StatusLimit
+)
+
+// String returns a human-readable name for the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusLimit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is an integer linear program under construction. It wraps an
+// lp.Problem and records which variables must take integer values.
+type Problem struct {
+	lp       *lp.Problem
+	integer  []lp.VarID
+	isInt    map[lp.VarID]bool
+	priority map[lp.VarID]int
+}
+
+// NewProblem returns an empty integer program with the given sense.
+func NewProblem(sense lp.Sense) *Problem {
+	return &Problem{
+		lp:       lp.NewProblem(sense),
+		isInt:    make(map[lp.VarID]bool),
+		priority: make(map[lp.VarID]int),
+	}
+}
+
+// AddVariable adds a continuous variable; see lp.Problem.AddVariable.
+func (p *Problem) AddVariable(name string, lower, upper, cost float64) (lp.VarID, error) {
+	return p.lp.AddVariable(name, lower, upper, cost)
+}
+
+// AddIntegerVariable adds a variable restricted to integer values in
+// [lower, upper].
+func (p *Problem) AddIntegerVariable(name string, lower, upper, cost float64) (lp.VarID, error) {
+	v, err := p.lp.AddVariable(name, lower, upper, cost)
+	if err != nil {
+		return 0, err
+	}
+	p.markInteger(v)
+	return v, nil
+}
+
+// AddBinaryVariable adds a 0-1 variable.
+func (p *Problem) AddBinaryVariable(name string, cost float64) (lp.VarID, error) {
+	return p.AddIntegerVariable(name, 0, 1, cost)
+}
+
+// AddConstraint adds a linear row; see lp.Problem.AddConstraint.
+func (p *Problem) AddConstraint(name string, terms []lp.Term, op lp.Op, rhs float64) (lp.ConID, error) {
+	return p.lp.AddConstraint(name, terms, op, rhs)
+}
+
+// SetVariableBounds replaces the bounds of an existing variable; see
+// lp.Problem.SetVariableBounds. Setting equal bounds fixes a variable, which
+// is how callers pin pre-existing deployments.
+func (p *Problem) SetVariableBounds(v lp.VarID, lower, upper float64) error {
+	return p.lp.SetVariableBounds(v, lower, upper)
+}
+
+// SetInteger marks an existing variable as integer-valued.
+func (p *Problem) SetInteger(v lp.VarID) {
+	p.markInteger(v)
+}
+
+func (p *Problem) markInteger(v lp.VarID) {
+	if !p.isInt[v] {
+		p.isInt[v] = true
+		p.integer = append(p.integer, v)
+	}
+}
+
+// SetBranchPriority assigns a branching priority to a variable. Variables
+// with higher priority are branched on before variables with lower priority;
+// the default priority is zero.
+func (p *Problem) SetBranchPriority(v lp.VarID, priority int) {
+	p.priority[v] = priority
+}
+
+// NumVariables reports the number of variables (continuous and integer).
+func (p *Problem) NumVariables() int { return p.lp.NumVariables() }
+
+// NumConstraints reports the number of constraints.
+func (p *Problem) NumConstraints() int { return p.lp.NumConstraints() }
+
+// NumIntegerVariables reports how many variables are integer-constrained.
+func (p *Problem) NumIntegerVariables() int { return len(p.integer) }
+
+// Solution holds the result of a branch-and-bound run.
+type Solution struct {
+	// Status describes the outcome; X and Objective are meaningful for
+	// StatusOptimal and StatusFeasible.
+	Status Status
+	// Objective is the incumbent objective value in the problem's sense.
+	Objective float64
+	// X holds one value per variable; integer variables are exactly
+	// integral.
+	X []float64
+	// BestBound is the tightest proven bound on the optimal objective.
+	BestBound float64
+	// RootObjective is the objective of the root LP relaxation.
+	RootObjective float64
+	// RootDuals holds the shadow prices of the root LP relaxation, indexed
+	// by ConID. Integer programs have no exact duals; the root relaxation
+	// prices are the standard estimate of marginal constraint value.
+	RootDuals []float64
+	// Gap is the relative optimality gap |Objective-BestBound| /
+	// max(1, |Objective|); zero when proven optimal.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+	// LPIterations is the total simplex pivots across all node solves.
+	LPIterations int
+	// Elapsed is the wall-clock duration of the solve.
+	Elapsed time.Duration
+}
+
+// Value returns the solution value of the given variable, or 0 if out of
+// range.
+func (s *Solution) Value(v lp.VarID) float64 {
+	if v < 0 || int(v) >= len(s.X) {
+		return 0
+	}
+	return s.X[v]
+}
+
+// RootDual returns the root-relaxation shadow price of the given
+// constraint, or 0 if out of range.
+func (s *Solution) RootDual(c lp.ConID) float64 {
+	if c < 0 || int(c) >= len(s.RootDuals) {
+		return 0
+	}
+	return s.RootDuals[c]
+}
+
+// BranchRule selects how the branching variable is chosen among the
+// fractional integer variables (after branching priority).
+type BranchRule int
+
+// Branching rules.
+const (
+	// BranchMostFractional picks the variable whose relaxation value is
+	// closest to one half (the default).
+	BranchMostFractional BranchRule = iota
+	// BranchPseudoCost picks the variable with the best product of observed
+	// up/down objective degradations (pseudo-costs), falling back to
+	// most-fractional until observations exist.
+	BranchPseudoCost
+)
+
+// Option configures a solve.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	maxNodes     int
+	timeLimit    time.Duration
+	gapTolerance float64
+	intTolerance float64
+	disableDive  bool
+	branchRule   BranchRule
+	lpOptions    []lp.Option
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithMaxNodes caps the number of branch-and-bound nodes. Non-positive means
+// the default of 200000.
+func WithMaxNodes(n int) Option {
+	return optionFunc(func(o *options) { o.maxNodes = n })
+}
+
+// WithTimeLimit caps the wall-clock duration of the solve. Zero or negative
+// means no limit.
+func WithTimeLimit(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.timeLimit = d })
+}
+
+// WithGapTolerance sets the relative optimality gap at which the search
+// stops and reports optimal. Default 1e-9.
+func WithGapTolerance(gap float64) Option {
+	return optionFunc(func(o *options) { o.gapTolerance = gap })
+}
+
+// WithoutDiving disables the root diving heuristic (useful for ablation
+// studies; the search remains exact, only incumbent discovery changes).
+func WithoutDiving() Option {
+	return optionFunc(func(o *options) { o.disableDive = true })
+}
+
+// WithBranchRule selects the branching variable rule.
+func WithBranchRule(rule BranchRule) Option {
+	return optionFunc(func(o *options) { o.branchRule = rule })
+}
+
+// WithLPOptions passes options through to every LP relaxation solve.
+func WithLPOptions(opts ...lp.Option) Option {
+	return optionFunc(func(o *options) { o.lpOptions = opts })
+}
+
+// node is an open branch-and-bound subproblem, defined by bounds on the
+// integer variables.
+type node struct {
+	lo, hi []float64 // per integer variable, parallel to Problem.integer
+	bound  float64   // LP relaxation bound inherited from the parent
+	depth  int
+	seq    int // insertion order; later nodes win ties (plunging)
+
+	// Pseudo-cost bookkeeping: which branch created this node.
+	branchedVar  int // index into Problem.integer; -1 at the root
+	branchedUp   bool
+	branchedFrac float64 // fractional part of the parent relaxation value
+}
+
+// nodeHeap orders nodes best-bound-first in maximize form, breaking ties by
+// depth (deeper first) then recency, which makes the search plunge.
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth
+	}
+	return h[i].seq > h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}
+
+var _ heap.Interface = (*nodeHeap)(nil)
+
+// Solve runs branch-and-bound and returns the outcome. An error is returned
+// only for structurally invalid problems or numerical failure of the
+// underlying LP solver.
+func (p *Problem) Solve(opts ...Option) (*Solution, error) {
+	cfg := options{}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.maxNodes <= 0 {
+		cfg.maxNodes = 200000
+	}
+	if cfg.gapTolerance <= 0 {
+		cfg.gapTolerance = 1e-9
+	}
+	if cfg.intTolerance <= 0 {
+		cfg.intTolerance = 1e-6
+	}
+	s := &search{
+		prob:    p,
+		cfg:     cfg,
+		work:    p.lp.Clone(),
+		started: time.Now(),
+	}
+	return s.run()
+}
+
+// search carries the state of one branch-and-bound run.
+type search struct {
+	prob    *Problem
+	cfg     options
+	work    *lp.Problem // mutated in place as nodes are explored
+	started time.Time
+
+	maximize  bool
+	incumbent []float64
+	incObj    float64 // in maximize form
+	hasInc    bool
+
+	nodes   int
+	lpIters int
+	seq     int
+
+	rootObjective float64
+	rootDuals     []float64
+
+	// Pseudo-cost tables, indexed like Problem.integer.
+	pcDownSum, pcUpSum []float64
+	pcDownN, pcUpN     []int
+}
+
+func (s *search) run() (*Solution, error) {
+	s.maximize = s.work.Sense() == lp.Maximize
+
+	nInt := len(s.prob.integer)
+	rootLo := make([]float64, nInt)
+	rootHi := make([]float64, nInt)
+	for k, v := range s.prob.integer {
+		lo, hi, err := s.work.VariableBounds(v)
+		if err != nil {
+			return nil, fmt.Errorf("ilp: read bounds: %w", err)
+		}
+		// Tighten fractional bounds to the integer lattice up front.
+		rootLo[k] = math.Ceil(lo - s.cfg.intTolerance)
+		rootHi[k] = math.Floor(hi + s.cfg.intTolerance)
+		if rootLo[k] > rootHi[k] {
+			return s.finish(StatusInfeasible), nil
+		}
+	}
+
+	s.pcDownSum = make([]float64, nInt)
+	s.pcUpSum = make([]float64, nInt)
+	s.pcDownN = make([]int, nInt)
+	s.pcUpN = make([]int, nInt)
+
+	open := &nodeHeap{}
+	heap.Init(open)
+
+	rootBound := math.Inf(1) // in maximize form
+	root := &node{lo: rootLo, hi: rootHi, bound: rootBound, depth: 0, seq: s.nextSeq(), branchedVar: -1}
+	heap.Push(open, root)
+
+	firstNode := true
+	for open.Len() > 0 {
+		if s.limitReached() {
+			return s.finishWithBound(limitStatus(s.hasInc), bestOpenBound(open)), nil
+		}
+		nd := heap.Pop(open).(*node)
+		// A node whose inherited bound cannot beat the incumbent is pruned
+		// without an LP solve.
+		if s.hasInc && nd.bound <= s.incObj+s.pruneSlack() {
+			continue
+		}
+
+		sol, err := s.solveRelaxation(nd)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes++
+
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			if firstNode {
+				return s.finish(StatusUnbounded), nil
+			}
+			// Bounded roots cannot spawn unbounded children; treat as a
+			// numerical failure.
+			return nil, fmt.Errorf("ilp: child relaxation unbounded: %w", lp.ErrNumerical)
+		case lp.StatusIterationLimit:
+			return nil, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", s.nodes)
+		}
+		if firstNode {
+			s.rootObjective = sol.Objective
+			s.rootDuals = sol.DualValues
+		}
+		firstNode = false
+
+		bound := s.toMax(sol.Objective)
+		s.observePseudoCost(nd, bound)
+		if s.hasInc && bound <= s.incObj+s.pruneSlack() {
+			continue
+		}
+
+		branchVar := s.pickBranchVariable(sol.X)
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			s.offerIncumbent(sol.X)
+			continue
+		}
+
+		// Dive at the root and, until a first incumbent exists, from every
+		// node: without an incumbent best-first cannot prune and degrades
+		// into breadth-first over bound plateaus.
+		if !s.cfg.disableDive && (nd.depth == 0 || !s.hasInc) {
+			if err := s.dive(nd, sol.X); err != nil {
+				return nil, err
+			}
+			if s.hasInc && bound <= s.incObj+s.pruneSlack() {
+				continue
+			}
+		}
+
+		frac := sol.X[s.prob.integer[branchVar]]
+		down, up := s.childNodes(nd, branchVar, frac, bound)
+		fracPart := frac - math.Floor(frac)
+		down.branchedVar, down.branchedUp, down.branchedFrac = branchVar, false, fracPart
+		up.branchedVar, up.branchedUp, up.branchedFrac = branchVar, true, fracPart
+		// Push the preferred child (nearest rounding) last so that the
+		// tie-break explores it first.
+		if frac-math.Floor(frac) <= 0.5 {
+			heap.Push(open, up)
+			heap.Push(open, down)
+		} else {
+			heap.Push(open, down)
+			heap.Push(open, up)
+		}
+	}
+
+	if s.hasInc {
+		return s.finish(StatusOptimal), nil
+	}
+	return s.finish(StatusInfeasible), nil
+}
+
+func (s *search) nextSeq() int {
+	s.seq++
+	return s.seq
+}
+
+func (s *search) limitReached() bool {
+	if s.nodes >= s.cfg.maxNodes {
+		return true
+	}
+	if s.cfg.timeLimit > 0 && time.Since(s.started) > s.cfg.timeLimit {
+		return true
+	}
+	return false
+}
+
+// pruneSlack is the absolute amount by which a node bound must beat the
+// incumbent to stay open, derived from the relative gap tolerance.
+func (s *search) pruneSlack() float64 {
+	return s.cfg.gapTolerance * math.Max(1, math.Abs(s.incObj))
+}
+
+// toMax converts an objective in the problem's sense to maximize form.
+func (s *search) toMax(obj float64) float64 {
+	if s.maximize {
+		return obj
+	}
+	return -obj
+}
+
+// solveRelaxation applies the node's integer bounds to the working problem
+// and solves the LP relaxation.
+func (s *search) solveRelaxation(nd *node) (*lp.Solution, error) {
+	for k, v := range s.prob.integer {
+		if err := s.work.SetVariableBounds(v, nd.lo[k], nd.hi[k]); err != nil {
+			return nil, fmt.Errorf("ilp: apply node bounds: %w", err)
+		}
+	}
+	sol, err := s.work.Solve(s.cfg.lpOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("ilp: relaxation: %w", err)
+	}
+	s.lpIters += sol.Iterations
+	return sol, nil
+}
+
+// pickBranchVariable returns the index (into Problem.integer) of the integer
+// variable to branch on, or -1 if all integer variables are integral.
+// Selection: highest branching priority first, then the configured rule
+// (most-fractional by default, pseudo-cost product when selected).
+func (s *search) pickBranchVariable(x []float64) int {
+	best := -1
+	bestPri := math.MinInt32
+	bestScore := -1.0
+	for k, v := range s.prob.integer {
+		val := x[v]
+		frac := val - math.Floor(val)
+		dist := math.Min(frac, 1-frac)
+		if dist <= s.cfg.intTolerance {
+			continue
+		}
+		score := dist
+		if s.cfg.branchRule == BranchPseudoCost {
+			down, up := s.pseudoCost(k)
+			const eps = 1e-6
+			score = math.Max(down*frac, eps) * math.Max(up*(1-frac), eps)
+		}
+		pri := s.prob.priority[v]
+		if pri > bestPri || (pri == bestPri && score > bestScore) {
+			best, bestPri, bestScore = k, pri, score
+		}
+	}
+	return best
+}
+
+// childNodes creates the floor/ceil children for branching variable k at
+// fractional value frac.
+func (s *search) childNodes(parent *node, k int, frac, bound float64) (down, up *node) {
+	mkChild := func() *node {
+		lo := make([]float64, len(parent.lo))
+		hi := make([]float64, len(parent.hi))
+		copy(lo, parent.lo)
+		copy(hi, parent.hi)
+		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1}
+	}
+	down = mkChild()
+	down.hi[k] = math.Floor(frac)
+	down.seq = s.nextSeq()
+	up = mkChild()
+	up.lo[k] = math.Ceil(frac)
+	up.seq = s.nextSeq()
+	return down, up
+}
+
+// observePseudoCost records the objective degradation of a branched child:
+// the per-unit-fraction drop of the relaxation bound relative to the parent.
+func (s *search) observePseudoCost(nd *node, childBound float64) {
+	if nd.branchedVar < 0 || math.IsInf(nd.bound, 0) {
+		return
+	}
+	drop := nd.bound - childBound
+	if drop < 0 {
+		drop = 0
+	}
+	if nd.branchedUp {
+		f := 1 - nd.branchedFrac
+		if f > 1e-9 {
+			s.pcUpSum[nd.branchedVar] += drop / f
+			s.pcUpN[nd.branchedVar]++
+		}
+		return
+	}
+	if nd.branchedFrac > 1e-9 {
+		s.pcDownSum[nd.branchedVar] += drop / nd.branchedFrac
+		s.pcDownN[nd.branchedVar]++
+	}
+}
+
+// pseudoCost returns the estimated up/down per-unit degradations for an
+// integer variable, falling back to the global averages, then to 1.
+func (s *search) pseudoCost(k int) (down, up float64) {
+	avg := func(sums []float64, ns []int, k int) float64 {
+		if ns[k] > 0 {
+			return sums[k] / float64(ns[k])
+		}
+		totalSum, totalN := 0.0, 0
+		for i := range ns {
+			totalSum += sums[i]
+			totalN += ns[i]
+		}
+		if totalN > 0 {
+			return totalSum / float64(totalN)
+		}
+		return 1
+	}
+	return avg(s.pcDownSum, s.pcDownN, k), avg(s.pcUpSum, s.pcUpN, k)
+}
+
+// offerIncumbent records x as the incumbent if it improves on the current
+// one. Integer variables are snapped exactly to the lattice.
+func (s *search) offerIncumbent(x []float64) {
+	snapped := make([]float64, len(x))
+	copy(snapped, x)
+	for _, v := range s.prob.integer {
+		snapped[v] = math.Round(snapped[v])
+	}
+	obj := 0.0
+	for j := range snapped {
+		obj += s.work.ObjectiveCoefficient(lp.VarID(j)) * snapped[j]
+	}
+	objMax := s.toMax(obj)
+	if !s.hasInc || objMax > s.incObj {
+		s.hasInc = true
+		s.incObj = objMax
+		s.incumbent = snapped
+	}
+}
+
+// dive runs a depth-limited diving heuristic from the given relaxation
+// point: repeatedly fix the fractional variable closest to an integer to its
+// rounding and re-solve, stopping at integrality or infeasibility.
+func (s *search) dive(nd *node, x []float64) error {
+	lo := make([]float64, len(nd.lo))
+	hi := make([]float64, len(nd.hi))
+	copy(lo, nd.lo)
+	copy(hi, nd.hi)
+	cur := x
+	for step := 0; step <= len(s.prob.integer); step++ {
+		// Find the fractional variable closest to integral.
+		pick, pickDist := -1, 2.0
+		for k, v := range s.prob.integer {
+			frac := cur[v] - math.Floor(cur[v])
+			dist := math.Min(frac, 1-frac)
+			if dist <= s.cfg.intTolerance {
+				continue
+			}
+			if dist < pickDist {
+				pick, pickDist = k, dist
+			}
+		}
+		if pick < 0 {
+			s.offerIncumbent(cur)
+			return nil
+		}
+		val := cur[s.prob.integer[pick]]
+		fixed := math.Round(val)
+		fixed = math.Max(lo[pick], math.Min(hi[pick], fixed))
+		origLo, origHi := lo[pick], hi[pick]
+		lo[pick], hi[pick] = fixed, fixed
+
+		sol, err := s.solveRelaxation(&node{lo: lo, hi: hi})
+		if err != nil {
+			return err
+		}
+		if sol.Status != lp.StatusOptimal {
+			// Dead end in the preferred direction: retry the other
+			// rounding before abandoning the dive.
+			alt := math.Floor(val)
+			if alt == fixed {
+				alt = math.Ceil(val)
+			}
+			alt = math.Max(origLo, math.Min(origHi, alt))
+			if alt == fixed {
+				return nil
+			}
+			lo[pick], hi[pick] = alt, alt
+			sol, err = s.solveRelaxation(&node{lo: lo, hi: hi})
+			if err != nil {
+				return err
+			}
+			if sol.Status != lp.StatusOptimal {
+				return nil // dead end both ways; the exact search continues
+			}
+		}
+		cur = sol.X
+	}
+	return nil
+}
+
+// finish assembles a Solution for a completed (not limit-stopped) search.
+func (s *search) finish(status Status) *Solution {
+	sol := &Solution{
+		Status:        status,
+		Nodes:         s.nodes,
+		LPIterations:  s.lpIters,
+		Elapsed:       time.Since(s.started),
+		RootObjective: s.rootObjective,
+		RootDuals:     s.rootDuals,
+	}
+	if s.hasInc {
+		sol.X = s.incumbent
+		sol.Objective = s.fromMax(s.incObj)
+		sol.BestBound = sol.Objective
+	}
+	return sol
+}
+
+// finishWithBound assembles a Solution when the search stopped on a limit,
+// using the best open node bound to report the optimality gap.
+func (s *search) finishWithBound(status Status, openBound float64) *Solution {
+	sol := s.finish(status)
+	bound := openBound
+	if s.hasInc && s.incObj > bound {
+		bound = s.incObj
+	}
+	if !math.IsInf(bound, 0) {
+		sol.BestBound = s.fromMax(bound)
+	}
+	if s.hasInc && !math.IsInf(bound, 0) {
+		sol.Gap = math.Abs(bound-s.incObj) / math.Max(1, math.Abs(s.incObj))
+	}
+	return sol
+}
+
+func (s *search) fromMax(obj float64) float64 {
+	if s.maximize {
+		return obj
+	}
+	return -obj
+}
+
+func limitStatus(hasIncumbent bool) Status {
+	if hasIncumbent {
+		return StatusFeasible
+	}
+	return StatusLimit
+}
+
+// bestOpenBound returns the best (maximize-form) bound among open nodes.
+func bestOpenBound(open *nodeHeap) float64 {
+	best := math.Inf(-1)
+	for _, nd := range *open {
+		if nd.bound > best {
+			best = nd.bound
+		}
+	}
+	return best
+}
+
+// Enumerate exhaustively enumerates all assignments of the integer variables
+// within their bounds and returns the best integer-feasible solution. It is
+// exponential and intended only for cross-checking the branch-and-bound on
+// small instances (tests and examples).
+func (p *Problem) Enumerate() (*Solution, error) {
+	started := time.Now()
+	work := p.lp.Clone()
+	maximize := work.Sense() == lp.Maximize
+
+	nInt := len(p.integer)
+	type rng struct{ lo, hi int }
+	ranges := make([]rng, nInt)
+	for k, v := range p.integer {
+		lo, hi, err := work.VariableBounds(v)
+		if err != nil {
+			return nil, fmt.Errorf("ilp: read bounds: %w", err)
+		}
+		ranges[k] = rng{lo: int(math.Ceil(lo - 1e-9)), hi: int(math.Floor(hi + 1e-9))}
+		if ranges[k].lo > ranges[k].hi {
+			return &Solution{Status: StatusInfeasible, Elapsed: time.Since(started)}, nil
+		}
+	}
+
+	var (
+		bestX   []float64
+		bestObj float64
+		found   bool
+		nodes   int
+		lpIters int
+	)
+	assign := make([]int, nInt)
+	var recurse func(k int) error
+	recurse = func(k int) error {
+		if k == nInt {
+			for i, v := range p.integer {
+				if err := work.SetVariableBounds(v, float64(assign[i]), float64(assign[i])); err != nil {
+					return err
+				}
+			}
+			sol, err := work.Solve()
+			if err != nil {
+				return err
+			}
+			nodes++
+			lpIters += sol.Iterations
+			if sol.Status != lp.StatusOptimal {
+				return nil
+			}
+			obj := sol.Objective
+			objMax := obj
+			if !maximize {
+				objMax = -obj
+			}
+			bestMax := bestObj
+			if !maximize {
+				bestMax = -bestObj
+			}
+			if !found || objMax > bestMax {
+				found = true
+				bestObj = obj
+				bestX = make([]float64, len(sol.X))
+				copy(bestX, sol.X)
+				for _, v := range p.integer {
+					bestX[v] = math.Round(bestX[v])
+				}
+			}
+			return nil
+		}
+		for val := ranges[k].lo; val <= ranges[k].hi; val++ {
+			assign[k] = val
+			if err := recurse(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, fmt.Errorf("ilp: enumerate: %w", err)
+	}
+
+	sol := &Solution{Nodes: nodes, LPIterations: lpIters, Elapsed: time.Since(started)}
+	if !found {
+		sol.Status = StatusInfeasible
+		return sol, nil
+	}
+	sol.Status = StatusOptimal
+	sol.Objective = bestObj
+	sol.BestBound = bestObj
+	sol.X = bestX
+	return sol, nil
+}
+
+// sortedIntegerVariables returns the integer variable identifiers in
+// ascending order; exposed for deterministic reporting by callers.
+func (p *Problem) sortedIntegerVariables() []lp.VarID {
+	out := make([]lp.VarID, len(p.integer))
+	copy(out, p.integer)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IntegerVariables returns the integer variable identifiers in ascending
+// order.
+func (p *Problem) IntegerVariables() []lp.VarID {
+	return p.sortedIntegerVariables()
+}

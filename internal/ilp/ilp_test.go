@@ -1,0 +1,348 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"secmon/internal/lp"
+)
+
+const testTol = 1e-6
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= testTol*(1+math.Abs(a)+math.Abs(b)) }
+
+func mustBin(t *testing.T, p *Problem, name string, cost float64) lp.VarID {
+	t.Helper()
+	v, err := p.AddBinaryVariable(name, cost)
+	if err != nil {
+		t.Fatalf("AddBinaryVariable(%q): %v", name, err)
+	}
+	return v
+}
+
+func mustCon(t *testing.T, p *Problem, name string, terms []lp.Term, op lp.Op, rhs float64) {
+	t.Helper()
+	if _, err := p.AddConstraint(name, terms, op, rhs); err != nil {
+		t.Fatalf("AddConstraint(%q): %v", name, err)
+	}
+}
+
+func solveOptimal(t *testing.T, p *Problem, opts ...Option) *Solution {
+	t.Helper()
+	sol, err := p.Solve(opts...)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Solve status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+// buildKnapsack builds max sum(values) s.t. sum(weights) <= capacity over
+// binary variables.
+func buildKnapsack(t *testing.T, values, weights []float64, capacity float64) (*Problem, []lp.VarID) {
+	t.Helper()
+	p := NewProblem(lp.Maximize)
+	ids := make([]lp.VarID, len(values))
+	terms := make([]lp.Term, len(values))
+	for i := range values {
+		ids[i] = mustBin(t, p, "item", values[i])
+		terms[i] = lp.Term{Var: ids[i], Coeff: weights[i]}
+	}
+	mustCon(t, p, "capacity", terms, lp.LE, capacity)
+	return p, ids
+}
+
+func TestSolveKnapsack(t *testing.T) {
+	// Classic: values 60,100,120 weights 10,20,30 cap 50 -> take items 2,3
+	// for value 220. The LP relaxation is fractional (240), so branching is
+	// exercised.
+	p, ids := buildKnapsack(t, []float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 220) {
+		t.Errorf("objective = %v, want 220", sol.Objective)
+	}
+	if sol.Value(ids[0]) != 0 || sol.Value(ids[1]) != 1 || sol.Value(ids[2]) != 1 {
+		t.Errorf("selection = (%v,%v,%v), want (0,1,1)",
+			sol.Value(ids[0]), sol.Value(ids[1]), sol.Value(ids[2]))
+	}
+}
+
+func TestSolveSetCoverMinimize(t *testing.T) {
+	// min x1+x2+x3 s.t. x1+x2>=1, x2+x3>=1, x1+x3>=1: optimum is 2.
+	p := NewProblem(lp.Minimize)
+	x1 := mustBin(t, p, "x1", 1)
+	x2 := mustBin(t, p, "x2", 1)
+	x3 := mustBin(t, p, "x3", 1)
+	mustCon(t, p, "c12", []lp.Term{{Var: x1, Coeff: 1}, {Var: x2, Coeff: 1}}, lp.GE, 1)
+	mustCon(t, p, "c23", []lp.Term{{Var: x2, Coeff: 1}, {Var: x3, Coeff: 1}}, lp.GE, 1)
+	mustCon(t, p, "c13", []lp.Term{{Var: x1, Coeff: 1}, {Var: x3, Coeff: 1}}, lp.GE, 1)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 2) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveGeneralInteger(t *testing.T) {
+	// max 7x + 2y s.t. 3x + y <= 10, x,y integer in [0,4]: x=3,y=1 -> 23.
+	p := NewProblem(lp.Maximize)
+	x, err := p.AddIntegerVariable("x", 0, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := p.AddIntegerVariable("y", 0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCon(t, p, "cap", []lp.Term{{Var: x, Coeff: 3}, {Var: y, Coeff: 1}}, lp.LE, 10)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 23) {
+		t.Errorf("objective = %v, want 23", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 3) || !almostEqual(sol.Value(y), 1) {
+		t.Errorf("solution = (%v, %v), want (3, 1)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveMixedIntegerContinuous(t *testing.T) {
+	// max 5b + c s.t. 4b + c <= 6, 0 <= c <= 3, b binary.
+	// b=1 -> c <= 2 -> 7; b=0 -> c=3 -> 3. Optimum 7 with c=2.
+	p := NewProblem(lp.Maximize)
+	b := mustBin(t, p, "b", 5)
+	c, err := p.AddVariable("c", 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCon(t, p, "cap", []lp.Term{{Var: b, Coeff: 4}, {Var: c, Coeff: 1}}, lp.LE, 6)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 7) {
+		t.Errorf("objective = %v, want 7", sol.Objective)
+	}
+	if sol.Value(b) != 1 || !almostEqual(sol.Value(c), 2) {
+		t.Errorf("solution = (%v, %v), want (1, 2)", sol.Value(b), sol.Value(c))
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	x := mustBin(t, p, "x", 1)
+	mustCon(t, p, "ge", []lp.Term{{Var: x, Coeff: 1}}, lp.GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveIntegerGapInfeasible(t *testing.T) {
+	// 0.4 <= x <= 0.6 admits no integer: detected before any LP solve.
+	p := NewProblem(lp.Maximize)
+	if _, err := p.AddIntegerVariable("x", 0.4, 0.6, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+	if sol.Nodes != 0 {
+		t.Errorf("nodes = %d, want 0", sol.Nodes)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	if _, err := p.AddIntegerVariable("x", 0, math.Inf(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNodeLimit(t *testing.T) {
+	// A knapsack big enough to need several nodes, with a node budget of 1.
+	values := []float64{9, 14, 23, 31, 44, 53, 61, 70, 82, 95}
+	weights := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	p, _ := buildKnapsack(t, values, weights, 27)
+	sol, err := p.Solve(WithMaxNodes(1), WithoutDiving())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusFeasible && sol.Status != StatusLimit {
+		t.Errorf("status = %v, want feasible or limit", sol.Status)
+	}
+	if sol.Status == StatusFeasible && sol.Gap <= 0 {
+		t.Errorf("gap = %v, want > 0 for a limit-stopped feasible solve", sol.Gap)
+	}
+}
+
+func TestSolveTimeLimitImmediate(t *testing.T) {
+	values := []float64{9, 14, 23, 31, 44}
+	weights := []float64{2, 3, 4, 5, 6}
+	p, _ := buildKnapsack(t, values, weights, 11)
+	sol, err := p.Solve(WithTimeLimit(time.Nanosecond))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusLimit {
+		t.Errorf("status = %v, want limit", sol.Status)
+	}
+}
+
+func TestSolveWithoutDivingStillOptimal(t *testing.T) {
+	values := []float64{9, 14, 23, 31, 44, 53, 61, 70}
+	weights := []float64{2, 3, 4, 5, 6, 7, 8, 9}
+	p1, _ := buildKnapsack(t, values, weights, 20)
+	p2, _ := buildKnapsack(t, values, weights, 20)
+	s1 := solveOptimal(t, p1)
+	s2 := solveOptimal(t, p2, WithoutDiving())
+	if !almostEqual(s1.Objective, s2.Objective) {
+		t.Errorf("diving objective %v != no-diving objective %v", s1.Objective, s2.Objective)
+	}
+}
+
+func TestSolveBranchPriorityStillOptimal(t *testing.T) {
+	values := []float64{9, 14, 23, 31, 44, 53}
+	weights := []float64{2, 3, 4, 5, 6, 7}
+	p, ids := buildKnapsack(t, values, weights, 15)
+	for i, v := range ids {
+		p.SetBranchPriority(v, len(ids)-i)
+	}
+	sol := solveOptimal(t, p)
+	ref, _ := buildKnapsack(t, values, weights, 15)
+	refSol := solveOptimal(t, ref)
+	if !almostEqual(sol.Objective, refSol.Objective) {
+		t.Errorf("priority objective %v != default objective %v", sol.Objective, refSol.Objective)
+	}
+}
+
+func TestSolveGapTolerance(t *testing.T) {
+	// With a huge gap tolerance, any incumbent is acceptable, so the solve
+	// must still report optimal and terminate quickly.
+	values := []float64{9, 14, 23, 31, 44, 53, 61, 70, 82, 95, 12, 34}
+	weights := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 3, 6}
+	p, _ := buildKnapsack(t, values, weights, 30)
+	sol, err := p.Solve(WithGapTolerance(0.5))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Errorf("status = %v, want optimal", sol.Status)
+	}
+	exact, _ := buildKnapsack(t, values, weights, 30)
+	ref := solveOptimal(t, exact)
+	if sol.Objective < ref.Objective*0.5-testTol {
+		t.Errorf("objective %v below half of exact optimum %v", sol.Objective, ref.Objective)
+	}
+}
+
+func TestEnumerateMatchesKnownOptimum(t *testing.T) {
+	p, _ := buildKnapsack(t, []float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	sol, err := p.Enumerate()
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if sol.Status != StatusOptimal || !almostEqual(sol.Objective, 220) {
+		t.Errorf("Enumerate = (%v, %v), want (optimal, 220)", sol.Status, sol.Objective)
+	}
+}
+
+func TestEnumerateInfeasible(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	x := mustBin(t, p, "x", 1)
+	mustCon(t, p, "ge", []lp.Term{{Var: x, Coeff: 1}}, lp.GE, 2)
+	sol, err := p.Enumerate()
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolutionValueOutOfRange(t *testing.T) {
+	s := &Solution{X: []float64{1}}
+	if s.Value(lp.VarID(-1)) != 0 || s.Value(lp.VarID(2)) != 0 {
+		t.Error("out-of-range Value should be 0")
+	}
+}
+
+func TestProblemAccessors(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	b := mustBin(t, p, "b", 1)
+	if _, err := p.AddVariable("c", 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.SetInteger(b) // idempotent
+	if p.NumVariables() != 2 || p.NumConstraints() != 0 || p.NumIntegerVariables() != 1 {
+		t.Errorf("sizes = (%d, %d, %d), want (2, 0, 1)",
+			p.NumVariables(), p.NumConstraints(), p.NumIntegerVariables())
+	}
+	vars := p.IntegerVariables()
+	if len(vars) != 1 || vars[0] != b {
+		t.Errorf("IntegerVariables = %v, want [%v]", vars, b)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{StatusOptimal.String(), "optimal"},
+		{StatusFeasible.String(), "feasible"},
+		{StatusInfeasible.String(), "infeasible"},
+		{StatusUnbounded.String(), "unbounded"},
+		{StatusLimit.String(), "limit"},
+		{Status(0).String(), "Status(0)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestSolvePseudoCostKnapsack(t *testing.T) {
+	values := []float64{9, 14, 23, 31, 44, 53, 61, 70, 82, 95}
+	weights := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	p, _ := buildKnapsack(t, values, weights, 27)
+	sol := solveOptimal(t, p, WithBranchRule(BranchPseudoCost))
+	ref, _ := buildKnapsack(t, values, weights, 27)
+	refSol := solveOptimal(t, ref)
+	if !almostEqual(sol.Objective, refSol.Objective) {
+		t.Errorf("pseudo-cost objective %v != most-fractional %v", sol.Objective, refSol.Objective)
+	}
+}
+
+func TestSolveContinuousOnlyProblem(t *testing.T) {
+	// No integer variables: branch-and-bound reduces to a single LP solve.
+	p := NewProblem(lp.Maximize)
+	x, err := p.AddVariable("x", 0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := p.AddVariable("y", 0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCon(t, p, "cap", []lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.LE, 5)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 9) { // x=4, y=1
+		t.Errorf("objective = %v, want 9", sol.Objective)
+	}
+	if sol.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", sol.Nodes)
+	}
+}

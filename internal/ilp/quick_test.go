@@ -1,0 +1,292 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/lp"
+)
+
+// randomBinaryProgram describes a small random 0-1 program with <= and >=
+// rows chosen so the all-zero point is always feasible.
+type randomBinaryProgram struct {
+	costs []float64
+	rows  []struct {
+		coeffs []float64
+		op     lp.Op
+		rhs    float64
+	}
+}
+
+func genBinaryProgram(r *rand.Rand) randomBinaryProgram {
+	n := 2 + r.Intn(7) // up to 8 binaries: enumeration stays cheap
+	m := 1 + r.Intn(4)
+	g := randomBinaryProgram{costs: make([]float64, n)}
+	for j := range g.costs {
+		g.costs[j] = math.Round(20*r.Float64() - 5)
+	}
+	for i := 0; i < m; i++ {
+		coeffs := make([]float64, n)
+		for j := range coeffs {
+			coeffs[j] = math.Round(8*r.Float64() - 2)
+		}
+		row := struct {
+			coeffs []float64
+			op     lp.Op
+			rhs    float64
+		}{coeffs: coeffs, op: lp.LE, rhs: math.Round(12 * r.Float64())}
+		if r.Intn(3) == 0 {
+			row.op = lp.GE
+			row.rhs = -math.Round(6 * r.Float64())
+		}
+		g.rows = append(g.rows, row)
+	}
+	return g
+}
+
+func (g randomBinaryProgram) build(t *testing.T) *Problem {
+	t.Helper()
+	p := NewProblem(lp.Maximize)
+	ids := make([]lp.VarID, len(g.costs))
+	for j, c := range g.costs {
+		ids[j] = mustBin(t, p, "x", c)
+	}
+	for _, row := range g.rows {
+		terms := make([]lp.Term, len(row.coeffs))
+		for j, c := range row.coeffs {
+			terms[j] = lp.Term{Var: ids[j], Coeff: c}
+		}
+		mustCon(t, p, "r", terms, row.op, row.rhs)
+	}
+	return p
+}
+
+// bruteForce evaluates every 0-1 assignment directly.
+func (g randomBinaryProgram) bruteForce() (best float64, found bool) {
+	n := len(g.costs)
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, row := range g.rows {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if mask>>j&1 == 1 {
+					sum += row.coeffs[j]
+				}
+			}
+			if row.op == lp.LE && sum > row.rhs+1e-9 {
+				ok = false
+				break
+			}
+			if row.op == lp.GE && sum < row.rhs-1e-9 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			if mask>>j&1 == 1 {
+				obj += g.costs[j]
+			}
+		}
+		if !found || obj > best {
+			best, found = obj, true
+		}
+	}
+	return best, found
+}
+
+// TestQuickBranchAndBoundMatchesBruteForce cross-checks the exact search
+// against direct enumeration of all binary assignments.
+func TestQuickBranchAndBoundMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	property := func() bool {
+		g := genBinaryProgram(r)
+		want, feasible := g.bruteForce()
+		p := g.build(t)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Logf("solve error: %v", err)
+			return false
+		}
+		if !feasible {
+			if sol.Status != StatusInfeasible {
+				t.Logf("status = %v on infeasible program", sol.Status)
+				return false
+			}
+			return true
+		}
+		if sol.Status != StatusOptimal {
+			t.Logf("status = %v on feasible program (brute force %v)", sol.Status, want)
+			return false
+		}
+		if !almostEqual(sol.Objective, want) {
+			t.Logf("objective %v != brute force %v", sol.Objective, want)
+			return false
+		}
+		// The returned point must itself be feasible and match the objective.
+		obj := 0.0
+		for j, c := range g.costs {
+			v := sol.X[j]
+			if math.Abs(v-math.Round(v)) > 1e-9 || v < -1e-9 || v > 1+1e-9 {
+				t.Logf("x[%d] = %v not binary", j, v)
+				return false
+			}
+			obj += c * v
+		}
+		if !almostEqual(obj, want) {
+			t.Logf("recomputed objective %v != %v", obj, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnumerateMatchesBranchAndBound cross-checks Enumerate against the
+// branch-and-bound on the same random instances.
+func TestQuickEnumerateMatchesBranchAndBound(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	property := func() bool {
+		g := genBinaryProgram(r)
+		p1 := g.build(t)
+		p2 := g.build(t)
+		bb, err1 := p1.Solve()
+		en, err2 := p2.Enumerate()
+		if err1 != nil || err2 != nil {
+			t.Logf("errors: %v / %v", err1, err2)
+			return false
+		}
+		if (bb.Status == StatusOptimal) != (en.Status == StatusOptimal) {
+			t.Logf("status mismatch: bb=%v enum=%v", bb.Status, en.Status)
+			return false
+		}
+		if bb.Status == StatusOptimal && !almostEqual(bb.Objective, en.Objective) {
+			t.Logf("objective mismatch: bb=%v enum=%v", bb.Objective, en.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDivingAblationAgrees checks that disabling the diving heuristic
+// never changes the optimum (only the path to it).
+func TestQuickDivingAblationAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	property := func() bool {
+		g := genBinaryProgram(r)
+		p1 := g.build(t)
+		p2 := g.build(t)
+		withDive, err1 := p1.Solve()
+		noDive, err2 := p2.Solve(WithoutDiving())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if withDive.Status != noDive.Status {
+			return false
+		}
+		if withDive.Status == StatusOptimal && !almostEqual(withDive.Objective, noDive.Objective) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPseudoCostBranchingAgrees checks that the pseudo-cost branching
+// rule reaches the same optimum as most-fractional branching.
+func TestQuickPseudoCostBranchingAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	property := func() bool {
+		g := genBinaryProgram(r)
+		p1 := g.build(t)
+		p2 := g.build(t)
+		mf, err1 := p1.Solve()
+		pc, err2 := p2.Solve(WithBranchRule(BranchPseudoCost))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if mf.Status != pc.Status {
+			return false
+		}
+		if mf.Status == StatusOptimal && !almostEqual(mf.Objective, pc.Objective) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeneralIntegerMatchesEnumerate extends the cross-check to
+// general (non-binary) integer variables with small ranges.
+func TestQuickGeneralIntegerMatchesEnumerate(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	property := func() bool {
+		n := 2 + r.Intn(4)
+		p1 := NewProblem(lp.Maximize)
+		p2 := NewProblem(lp.Maximize)
+		type spec struct {
+			hi   float64
+			cost float64
+		}
+		specs := make([]spec, n)
+		vars1 := make([]lp.VarID, n)
+		vars2 := make([]lp.VarID, n)
+		for j := 0; j < n; j++ {
+			specs[j] = spec{hi: float64(1 + r.Intn(3)), cost: math.Round(10*r.Float64() - 3)}
+			var err error
+			vars1[j], err = p1.AddIntegerVariable("v", 0, specs[j].hi, specs[j].cost)
+			if err != nil {
+				return false
+			}
+			vars2[j], _ = p2.AddIntegerVariable("v", 0, specs[j].hi, specs[j].cost)
+		}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			terms1 := make([]lp.Term, n)
+			terms2 := make([]lp.Term, n)
+			for j := 0; j < n; j++ {
+				c := math.Round(6*r.Float64() - 2)
+				terms1[j] = lp.Term{Var: vars1[j], Coeff: c}
+				terms2[j] = lp.Term{Var: vars2[j], Coeff: c}
+			}
+			rhs := math.Round(15 * r.Float64())
+			if _, err := p1.AddConstraint("r", terms1, lp.LE, rhs); err != nil {
+				return false
+			}
+			if _, err := p2.AddConstraint("r", terms2, lp.LE, rhs); err != nil {
+				return false
+			}
+		}
+		bb, err1 := p1.Solve()
+		en, err2 := p2.Enumerate()
+		if err1 != nil || err2 != nil {
+			t.Logf("errors: %v / %v", err1, err2)
+			return false
+		}
+		if (bb.Status == StatusOptimal) != (en.Status == StatusOptimal) {
+			t.Logf("status mismatch: bb=%v enum=%v", bb.Status, en.Status)
+			return false
+		}
+		if bb.Status == StatusOptimal && !almostEqual(bb.Objective, en.Objective) {
+			t.Logf("objective mismatch: bb=%v enum=%v", bb.Objective, en.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

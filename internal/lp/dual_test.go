@@ -1,0 +1,163 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualValuesClassicMax(t *testing.T) {
+	// max 3x + 2y s.t. x + 2y <= 14, 3x - y >= 0, x - y <= 2.
+	// Optimum (6, 4); rows 1 and 3 bind with duals 5/3 and 4/3, row 2 is
+	// slack with dual 0.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 3)
+	y := mustVar(t, p, "y", 0, Inf, 2)
+	mustCon(t, p, "c1", []Term{{x, 1}, {y, 2}}, LE, 14)
+	mustCon(t, p, "c2", []Term{{x, 3}, {y, -1}}, GE, 0)
+	mustCon(t, p, "c3", []Term{{x, 1}, {y, -1}}, LE, 2)
+
+	sol := solveOptimal(t, p)
+	want := []float64{5.0 / 3, 0, 4.0 / 3}
+	for i, w := range want {
+		if got := sol.Dual(ConID(i)); !almostEqual(got, w) {
+			t.Errorf("dual[%d] = %v, want %v", i, got, w)
+		}
+	}
+	// Basic variables have zero reduced cost.
+	if !almostEqual(sol.ReducedCost(x), 0) || !almostEqual(sol.ReducedCost(y), 0) {
+		t.Errorf("reduced costs = (%v, %v), want 0", sol.ReducedCost(x), sol.ReducedCost(y))
+	}
+}
+
+func TestDualValuesMinimize(t *testing.T) {
+	// min x + y s.t. x + y >= 3: shadow price of the covering row is 1
+	// (raising the requirement by one unit costs one unit).
+	p := NewProblem(Minimize)
+	x := mustVar(t, p, "x", 0, 10, 1)
+	y := mustVar(t, p, "y", 0, 10, 1)
+	mustCon(t, p, "cover", []Term{{x, 1}, {y, 1}}, GE, 3)
+	sol := solveOptimal(t, p)
+	if got := sol.Dual(0); !almostEqual(got, 1) {
+		t.Errorf("dual = %v, want 1", got)
+	}
+}
+
+func TestDualValuesNegatedRow(t *testing.T) {
+	// x - y >= -2 is internally flipped; the user-facing shadow price must
+	// still be reported against the original orientation. At the optimum
+	// y = x + 2 with max y, raising the -2 by one unit lowers y by... the
+	// row binds as y - x <= 2, so d(obj)/d(rhs of x-y >= -2) = -1.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 4, 0)
+	y := mustVar(t, p, "y", 0, Inf, 1)
+	mustCon(t, p, "gap", []Term{{x, 1}, {y, -1}}, GE, -2)
+	sol := solveOptimal(t, p)
+	// Optimum: x = 4 (at upper), y = 6. Increasing the rhs from -2 to -1
+	// forces y <= x + 1 = 5: objective falls by 1.
+	if got := sol.Dual(0); !almostEqual(got, -1) {
+		t.Errorf("dual = %v, want -1", got)
+	}
+	// x sits at its upper bound with positive marginal value 1 (raising
+	// the bound raises y one for one).
+	if got := sol.ReducedCost(x); !almostEqual(got, 1) {
+		t.Errorf("reduced cost of x = %v, want 1", got)
+	}
+}
+
+func TestReducedCostAtBounds(t *testing.T) {
+	// max x + 0.1y with x + y <= 10, x <= 4 (bound): x pegged at upper with
+	// reduced cost 0.9 (its value above the row price 0.1).
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 4, 1)
+	y := mustVar(t, p, "y", 0, Inf, 0.1)
+	mustCon(t, p, "cap", []Term{{x, 1}, {y, 1}}, LE, 10)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(x), 4) || !almostEqual(sol.Value(y), 6) {
+		t.Fatalf("solution = (%v, %v)", sol.Value(x), sol.Value(y))
+	}
+	if got := sol.ReducedCost(x); !almostEqual(got, 0.9) {
+		t.Errorf("reduced cost of x = %v, want 0.9", got)
+	}
+	if got := sol.Dual(0); !almostEqual(got, 0.1) {
+		t.Errorf("dual = %v, want 0.1", got)
+	}
+}
+
+func TestDualAccessorsOutOfRange(t *testing.T) {
+	s := &Solution{DualValues: []float64{1}, ReducedCosts: []float64{2}}
+	if s.Dual(ConID(-1)) != 0 || s.Dual(ConID(5)) != 0 {
+		t.Error("out-of-range Dual should be 0")
+	}
+	if s.ReducedCost(VarID(-1)) != 0 || s.ReducedCost(VarID(5)) != 0 {
+		t.Error("out-of-range ReducedCost should be 0")
+	}
+}
+
+// TestQuickStrongDuality checks on random box LPs (zero lower bounds) that
+// the primal objective equals the dual objective
+//
+//	sum_i y_i b_i + sum_j max(d_j, 0) u_j
+//
+// and that complementary slackness holds: positive-price rows bind.
+func TestQuickStrongDuality(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	property := func() bool {
+		g := genBoxLP(r)
+		p, _ := g.build(t)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != StatusOptimal {
+			t.Logf("status: %v err: %v", sol.Status, err)
+			return false
+		}
+
+		dualObj := 0.0
+		for i, row := range g.rows {
+			dualObj += sol.Dual(ConID(i)) * row.rhs
+		}
+		for j, spec := range g.upper {
+			if d := sol.ReducedCost(VarID(j)); d > 0 {
+				dualObj += d * spec[0]
+			}
+		}
+		if math.Abs(dualObj-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Logf("duality gap: primal %v dual %v", sol.Objective, dualObj)
+			return false
+		}
+
+		// Complementary slackness: a row with non-zero price must bind.
+		for i, row := range g.rows {
+			yv := sol.Dual(ConID(i))
+			if math.Abs(yv) <= 1e-7 {
+				continue
+			}
+			activity := 0.0
+			for j, c := range row.coeffs {
+				activity += c * sol.X[j]
+			}
+			if math.Abs(activity-row.rhs) > 1e-6*(1+math.Abs(row.rhs)) {
+				t.Logf("row %d: price %v but slack %v", i, yv, activity-row.rhs)
+				return false
+			}
+		}
+
+		// Sign conventions for a maximization: LE rows have y >= 0, GE rows
+		// y <= 0.
+		for i, row := range g.rows {
+			yv := sol.Dual(ConID(i))
+			if row.op == LE && yv < -1e-7 {
+				t.Logf("LE row %d has negative price %v", i, yv)
+				return false
+			}
+			if row.op == GE && yv > 1e-7 {
+				t.Logf("GE row %d has positive price %v", i, yv)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"secmon/internal/lp"
+)
+
+// Example solves a two-variable production-planning LP and reads the
+// optimum, the solution point, and the binding constraints' shadow prices.
+func Example() {
+	p := lp.NewProblem(lp.Maximize)
+	x, _ := p.AddVariable("x", 0, lp.Inf, 3)
+	y, _ := p.AddVariable("y", 0, lp.Inf, 2)
+	c1, _ := p.AddConstraint("c1", []lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 2}}, lp.LE, 14)
+	p.AddConstraint("c2", []lp.Term{{Var: x, Coeff: 3}, {Var: y, Coeff: -1}}, lp.GE, 0)
+	p.AddConstraint("c3", []lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: -1}}, lp.LE, 2)
+
+	sol, err := p.Solve()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	fmt.Printf("objective: %.0f at (%.0f, %.0f)\n", sol.Objective, sol.Value(x), sol.Value(y))
+	fmt.Printf("shadow price of c1: %.4f\n", sol.Dual(c1))
+	// Output:
+	// status: optimal
+	// objective: 26 at (6, 4)
+	// shadow price of c1: 1.6667
+}

@@ -1,0 +1,366 @@
+// Package lp provides a self-contained linear-programming solver based on a
+// dense, bounded-variable, two-phase primal simplex method.
+//
+// The package exists because the monitor-deployment optimization of Thakore,
+// Weaver and Sanders (DSN 2016) is formulated as an integer linear program,
+// and this repository is restricted to the Go standard library. The solver
+// supports minimization and maximization, <=, >= and = rows, and per-variable
+// lower/upper bounds (upper bounds may be +Inf). It is exact up to floating
+// point tolerances and is deterministic for a given problem.
+//
+// Typical usage:
+//
+//	p := lp.NewProblem(lp.Maximize)
+//	x, _ := p.AddVariable("x", 0, 10, 3)
+//	y, _ := p.AddVariable("y", 0, lp.Inf, 2)
+//	_, _ = p.AddConstraint("cap", []lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 2}}, lp.LE, 14)
+//	sol, err := p.Solve()
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is a convenience alias for positive infinity, used for unbounded
+// variable upper bounds.
+var Inf = math.Inf(1)
+
+// Sense states whether the objective is minimized or maximized.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// String returns a human-readable name for the sense.
+func (s Sense) String() string {
+	switch s {
+	case Minimize:
+		return "minimize"
+	case Maximize:
+		return "maximize"
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	// LE constrains the row to be less than or equal to the right-hand side.
+	LE Op = iota + 1
+	// GE constrains the row to be greater than or equal to the right-hand side.
+	GE
+	// EQ constrains the row to equal the right-hand side.
+	EQ
+)
+
+// String returns the mathematical symbol for the operator.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota + 1
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective can be improved without limit.
+	StatusUnbounded
+	// StatusIterationLimit means the pivot budget was exhausted before
+	// optimality was proven.
+	StatusIterationLimit
+)
+
+// String returns a human-readable name for the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// VarID identifies a variable within a Problem.
+type VarID int
+
+// ConID identifies a constraint within a Problem.
+type ConID int
+
+// Term is a single coefficient*variable product in a constraint row.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+// Errors returned when building or solving malformed problems.
+var (
+	// ErrBadBounds is returned when a variable's lower bound exceeds its
+	// upper bound or a bound is NaN.
+	ErrBadBounds = errors.New("lp: invalid variable bounds")
+	// ErrBadCoefficient is returned for NaN or infinite coefficients.
+	ErrBadCoefficient = errors.New("lp: invalid coefficient")
+	// ErrUnknownVariable is returned when a Term references a variable that
+	// was not added to the problem.
+	ErrUnknownVariable = errors.New("lp: unknown variable")
+	// ErrEmptyProblem is returned when solving a problem with no variables.
+	ErrEmptyProblem = errors.New("lp: problem has no variables")
+)
+
+type variable struct {
+	name  string
+	lower float64
+	upper float64
+	cost  float64
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewProblem returns an empty linear program with the given objective sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// Sense reports the problem's objective sense.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// NumVariables reports the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.vars) }
+
+// NumConstraints reports the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVariable adds a variable with bounds [lower, upper] and the given
+// objective coefficient, returning its identifier. The lower bound must be
+// finite; the upper bound may be Inf.
+func (p *Problem) AddVariable(name string, lower, upper, cost float64) (VarID, error) {
+	switch {
+	case math.IsNaN(lower) || math.IsNaN(upper) || math.IsInf(lower, 0):
+		return 0, fmt.Errorf("%w: variable %q has bounds [%v, %v]", ErrBadBounds, name, lower, upper)
+	case lower > upper:
+		return 0, fmt.Errorf("%w: variable %q has lower %v > upper %v", ErrBadBounds, name, lower, upper)
+	case math.IsNaN(cost) || math.IsInf(cost, 0):
+		return 0, fmt.Errorf("%w: variable %q has objective coefficient %v", ErrBadCoefficient, name, cost)
+	}
+	p.vars = append(p.vars, variable{name: name, lower: lower, upper: upper, cost: cost})
+	return VarID(len(p.vars) - 1), nil
+}
+
+// AddConstraint adds the row sum(terms) op rhs and returns its identifier.
+// Terms referencing the same variable are summed. The terms slice is copied.
+func (p *Problem) AddConstraint(name string, terms []Term, op Op, rhs float64) (ConID, error) {
+	if op != LE && op != GE && op != EQ {
+		return 0, fmt.Errorf("lp: constraint %q has invalid operator %d", name, int(op))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return 0, fmt.Errorf("%w: constraint %q has right-hand side %v", ErrBadCoefficient, name, rhs)
+	}
+	copied := make([]Term, len(terms))
+	for i, t := range terms {
+		if t.Var < 0 || int(t.Var) >= len(p.vars) {
+			return 0, fmt.Errorf("%w: constraint %q references variable %d", ErrUnknownVariable, name, int(t.Var))
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			return 0, fmt.Errorf("%w: constraint %q has coefficient %v", ErrBadCoefficient, name, t.Coeff)
+		}
+		copied[i] = t
+	}
+	p.cons = append(p.cons, constraint{name: name, terms: copied, op: op, rhs: rhs})
+	return ConID(len(p.cons) - 1), nil
+}
+
+// SetVariableBounds replaces the bounds of an existing variable. It is the
+// primary mutation used by branch-and-bound to explore subproblems.
+func (p *Problem) SetVariableBounds(v VarID, lower, upper float64) error {
+	if v < 0 || int(v) >= len(p.vars) {
+		return fmt.Errorf("%w: variable %d", ErrUnknownVariable, int(v))
+	}
+	switch {
+	case math.IsNaN(lower) || math.IsNaN(upper) || math.IsInf(lower, 0):
+		return fmt.Errorf("%w: variable %q bounds [%v, %v]", ErrBadBounds, p.vars[v].name, lower, upper)
+	case lower > upper:
+		return fmt.Errorf("%w: variable %q lower %v > upper %v", ErrBadBounds, p.vars[v].name, lower, upper)
+	}
+	p.vars[v].lower = lower
+	p.vars[v].upper = upper
+	return nil
+}
+
+// VariableBounds reports the current bounds of a variable.
+func (p *Problem) VariableBounds(v VarID) (lower, upper float64, err error) {
+	if v < 0 || int(v) >= len(p.vars) {
+		return 0, 0, fmt.Errorf("%w: variable %d", ErrUnknownVariable, int(v))
+	}
+	return p.vars[v].lower, p.vars[v].upper, nil
+}
+
+// VariableName reports the name given to a variable at creation.
+func (p *Problem) VariableName(v VarID) string {
+	if v < 0 || int(v) >= len(p.vars) {
+		return ""
+	}
+	return p.vars[v].name
+}
+
+// ObjectiveCoefficient reports the objective coefficient of a variable.
+func (p *Problem) ObjectiveCoefficient(v VarID) float64 {
+	if v < 0 || int(v) >= len(p.vars) {
+		return 0
+	}
+	return p.vars[v].cost
+}
+
+// Clone returns a deep copy of the problem. Solutions of the copy are
+// independent of later mutations to the original.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{
+		sense: p.sense,
+		vars:  make([]variable, len(p.vars)),
+		cons:  make([]constraint, len(p.cons)),
+	}
+	copy(cp.vars, p.vars)
+	for i, c := range p.cons {
+		terms := make([]Term, len(c.terms))
+		copy(terms, c.terms)
+		cp.cons[i] = constraint{name: c.name, terms: terms, op: c.op, rhs: c.rhs}
+	}
+	return cp
+}
+
+// Solution holds the result of solving a Problem.
+type Solution struct {
+	// Status describes the solve outcome. X and Objective are only
+	// meaningful when Status is StatusOptimal.
+	Status Status
+	// Objective is the optimal objective value in the problem's sense.
+	Objective float64
+	// X holds one value per variable, indexed by VarID.
+	X []float64
+	// DualValues holds one shadow price per constraint, indexed by ConID:
+	// the rate of change of the optimal objective (in the problem's sense)
+	// per unit increase of the constraint's right-hand side. Populated only
+	// at optimality.
+	DualValues []float64
+	// ReducedCosts holds one reduced cost per variable, indexed by VarID:
+	// c_j minus the dual prices of the variable's column. At optimality of
+	// a maximization, variables at their lower bound have non-positive and
+	// variables at their upper bound non-negative reduced cost (signs flip
+	// for minimization). Populated only at optimality.
+	ReducedCosts []float64
+	// Iterations is the total number of simplex pivots performed across
+	// both phases.
+	Iterations int
+}
+
+// Dual returns the shadow price of the given constraint, or 0 if out of
+// range.
+func (s *Solution) Dual(c ConID) float64 {
+	if c < 0 || int(c) >= len(s.DualValues) {
+		return 0
+	}
+	return s.DualValues[c]
+}
+
+// ReducedCost returns the reduced cost of the given variable, or 0 if out of
+// range.
+func (s *Solution) ReducedCost(v VarID) float64 {
+	if v < 0 || int(v) >= len(s.ReducedCosts) {
+		return 0
+	}
+	return s.ReducedCosts[v]
+}
+
+// Value returns the solution value of the given variable, or 0 if the
+// identifier is out of range.
+func (s *Solution) Value(v VarID) float64 {
+	if v < 0 || int(v) >= len(s.X) {
+		return 0
+	}
+	return s.X[v]
+}
+
+// Option configures a solve.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	maxIterations int
+	tolerance     float64
+}
+
+type maxIterationsOption int
+
+func (o maxIterationsOption) apply(opts *options) { opts.maxIterations = int(o) }
+
+// WithMaxIterations caps the total number of simplex pivots. A non-positive
+// value selects the default budget, which scales with problem size.
+func WithMaxIterations(n int) Option { return maxIterationsOption(n) }
+
+type toleranceOption float64
+
+func (o toleranceOption) apply(opts *options) { opts.tolerance = float64(o) }
+
+// WithTolerance sets the optimality/feasibility tolerance. A non-positive
+// value selects the default of 1e-9.
+func WithTolerance(eps float64) Option { return toleranceOption(eps) }
+
+// Solve optimizes the problem and returns the outcome. An error is returned
+// only for structurally invalid problems; infeasibility, unboundedness and
+// iteration exhaustion are reported through Solution.Status.
+func (p *Problem) Solve(opts ...Option) (*Solution, error) {
+	if len(p.vars) == 0 {
+		return nil, ErrEmptyProblem
+	}
+	cfg := options{}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.tolerance <= 0 {
+		cfg.tolerance = 1e-9
+	}
+	if cfg.maxIterations <= 0 {
+		cfg.maxIterations = 20000 + 100*(len(p.vars)+len(p.cons))
+	}
+	s := newSimplex(p, cfg)
+	return s.solve()
+}

@@ -1,0 +1,468 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+const testTol = 1e-6
+
+func mustVar(t *testing.T, p *Problem, name string, lower, upper, cost float64) VarID {
+	t.Helper()
+	v, err := p.AddVariable(name, lower, upper, cost)
+	if err != nil {
+		t.Fatalf("AddVariable(%q): %v", name, err)
+	}
+	return v
+}
+
+func mustCon(t *testing.T, p *Problem, name string, terms []Term, op Op, rhs float64) {
+	t.Helper()
+	if _, err := p.AddConstraint(name, terms, op, rhs); err != nil {
+		t.Fatalf("AddConstraint(%q): %v", name, err)
+	}
+}
+
+func solveOptimal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Solve status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= testTol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSolveClassicMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + 2y <= 14, 3x - y >= 0, x - y <= 2.
+	// Optimum at x = 6, y = 4 with objective 26.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 3)
+	y := mustVar(t, p, "y", 0, Inf, 2)
+	mustCon(t, p, "c1", []Term{{x, 1}, {y, 2}}, LE, 14)
+	mustCon(t, p, "c2", []Term{{x, 3}, {y, -1}}, GE, 0)
+	mustCon(t, p, "c3", []Term{{x, 1}, {y, -1}}, LE, 2)
+
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 26) {
+		t.Errorf("objective = %v, want 26", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 6) || !almostEqual(sol.Value(y), 4) {
+		t.Errorf("solution = (%v, %v), want (6, 4)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveMinimization(t *testing.T) {
+	// min x + y s.t. x + y >= 3, x <= 10, y <= 10. Optimum objective 3.
+	p := NewProblem(Minimize)
+	x := mustVar(t, p, "x", 0, 10, 1)
+	y := mustVar(t, p, "y", 0, 10, 1)
+	mustCon(t, p, "cover", []Term{{x, 1}, {y, 1}}, GE, 3)
+
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 3) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+	if got := sol.Value(x) + sol.Value(y); !almostEqual(got, 3) {
+		t.Errorf("x+y = %v, want 3", got)
+	}
+}
+
+func TestSolveBoundFlipOnly(t *testing.T) {
+	// max x with 0 <= x <= 5 and no constraints needs only a bound flip.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 5, 1)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(x), 5) || !almostEqual(sol.Objective, 5) {
+		t.Errorf("got x=%v obj=%v, want 5, 5", sol.Value(x), sol.Objective)
+	}
+}
+
+func TestSolveUpperBoundedVariables(t *testing.T) {
+	// max x + y, x <= 3, y <= 3 (bounds), x + y <= 4 (row). Optimum 4.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 3, 1)
+	y := mustVar(t, p, "y", 0, 3, 1)
+	mustCon(t, p, "cap", []Term{{x, 1}, {y, 1}}, LE, 4)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 4) {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestSolveNegativeLowerBounds(t *testing.T) {
+	// max x with x in [-5, -1]: the shifted formulation must recover -1.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", -5, -1, 1)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(x), -1) {
+		t.Errorf("x = %v, want -1", sol.Value(x))
+	}
+
+	// min x over the same box recovers -5.
+	q := NewProblem(Minimize)
+	x2 := mustVar(t, q, "x", -5, -1, 1)
+	sol2 := solveOptimal(t, q)
+	if !almostEqual(sol2.Value(x2), -5) {
+		t.Errorf("x = %v, want -5", sol2.Value(x2))
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// max 2x + y s.t. x + y = 10, x <= 6. Optimum x=6, y=4, obj 16.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 6, 2)
+	y := mustVar(t, p, "y", 0, Inf, 1)
+	mustCon(t, p, "sum", []Term{{x, 1}, {y, 1}}, EQ, 10)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 16) {
+		t.Errorf("objective = %v, want 16", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 6) || !almostEqual(sol.Value(y), 4) {
+		t.Errorf("solution = (%v, %v), want (6, 4)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// x + y = 4 stated twice (scaled) exercises the redundant-row path in
+	// phase 1.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 1)
+	y := mustVar(t, p, "y", 0, Inf, 2)
+	mustCon(t, p, "sum", []Term{{x, 1}, {y, 1}}, EQ, 4)
+	mustCon(t, p, "sum2", []Term{{x, 2}, {y, 2}}, EQ, 8)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 8) {
+		t.Errorf("objective = %v, want 8 (x=0, y=4)", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 1)
+	mustCon(t, p, "lo", []Term{{x, 1}}, GE, 5)
+	mustCon(t, p, "hi", []Term{{x, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveInfeasibleEmptyRow(t *testing.T) {
+	// A constraint with no terms: 0 >= 5 is infeasible, 0 <= 5 is not.
+	p := NewProblem(Maximize)
+	mustVar(t, p, "x", 0, 1, 1)
+	mustCon(t, p, "impossible", nil, GE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+
+	q := NewProblem(Maximize)
+	x := mustVar(t, q, "x", 0, 1, 1)
+	mustCon(t, q, "vacuous", nil, LE, 5)
+	sol2 := solveOptimal(t, q)
+	if !almostEqual(sol2.Value(x), 1) {
+		t.Errorf("x = %v, want 1", sol2.Value(x))
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 1)
+	y := mustVar(t, p, "y", 0, Inf, 0)
+	mustCon(t, p, "link", []Term{{x, 1}, {y, -1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveUnboundedNoConstraints(t *testing.T) {
+	p := NewProblem(Maximize)
+	mustVar(t, p, "x", 0, Inf, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHSNormalization(t *testing.T) {
+	// x - y >= -2 with max y, y <= 5 by bound: y = 5 needs x >= 3.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 4, 0)
+	y := mustVar(t, p, "y", 0, 5, 1)
+	mustCon(t, p, "gap", []Term{{x, 1}, {y, -1}}, GE, -2)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(y), 5) {
+		t.Errorf("y = %v, want 5", sol.Value(y))
+	}
+	if sol.Value(x) < 3-testTol {
+		t.Errorf("x = %v, want >= 3", sol.Value(x))
+	}
+}
+
+func TestSolveIterationLimit(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 3)
+	y := mustVar(t, p, "y", 0, Inf, 2)
+	mustCon(t, p, "c1", []Term{{x, 1}, {y, 2}}, LE, 14)
+	mustCon(t, p, "c2", []Term{{x, 3}, {y, -1}}, GE, 0)
+	mustCon(t, p, "c3", []Term{{x, 1}, {y, -1}}, LE, 2)
+	sol, err := p.Solve(WithMaxIterations(1))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusIterationLimit {
+		t.Errorf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestSolveFixedVariable(t *testing.T) {
+	// A variable fixed by equal bounds participates correctly.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 2, 2, 1)
+	y := mustVar(t, p, "y", 0, Inf, 1)
+	mustCon(t, p, "cap", []Term{{x, 1}, {y, 1}}, LE, 5)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(x), 2) || !almostEqual(sol.Value(y), 3) {
+		t.Errorf("solution = (%v, %v), want (2, 3)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Multiple constraints active at the optimum (degenerate vertex).
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 1)
+	y := mustVar(t, p, "y", 0, Inf, 1)
+	mustCon(t, p, "c1", []Term{{x, 1}, {y, 1}}, LE, 2)
+	mustCon(t, p, "c2", []Term{{x, 1}}, LE, 1)
+	mustCon(t, p, "c3", []Term{{y, 1}}, LE, 1)
+	mustCon(t, p, "c4", []Term{{x, 2}, {y, 1}}, LE, 3)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 2) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveDuplicateTermsSummed(t *testing.T) {
+	// Terms mentioning the same variable accumulate: x + x <= 4 means 2x <= 4.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, Inf, 1)
+	mustCon(t, p, "dup", []Term{{x, 1}, {x, 1}}, LE, 4)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(x), 2) {
+		t.Errorf("x = %v, want 2", sol.Value(x))
+	}
+}
+
+func TestAddVariableErrors(t *testing.T) {
+	p := NewProblem(Maximize)
+	tests := []struct {
+		name         string
+		lower, upper float64
+		cost         float64
+	}{
+		{name: "lower above upper", lower: 2, upper: 1, cost: 0},
+		{name: "nan lower", lower: math.NaN(), upper: 1, cost: 0},
+		{name: "nan upper", lower: 0, upper: math.NaN(), cost: 0},
+		{name: "infinite lower", lower: math.Inf(-1), upper: 1, cost: 0},
+		{name: "nan cost", lower: 0, upper: 1, cost: math.NaN()},
+		{name: "infinite cost", lower: 0, upper: 1, cost: math.Inf(1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := p.AddVariable("v", tt.lower, tt.upper, tt.cost); err == nil {
+				t.Errorf("AddVariable(%v, %v, %v) succeeded, want error", tt.lower, tt.upper, tt.cost)
+			}
+		})
+	}
+}
+
+func TestAddConstraintErrors(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 1, 1)
+	if _, err := p.AddConstraint("bad-var", []Term{{Var: 42, Coeff: 1}}, LE, 1); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("unknown variable error = %v, want ErrUnknownVariable", err)
+	}
+	if _, err := p.AddConstraint("bad-op", []Term{{x, 1}}, Op(9), 1); err == nil {
+		t.Error("invalid op accepted")
+	}
+	if _, err := p.AddConstraint("nan-rhs", []Term{{x, 1}}, LE, math.NaN()); !errors.Is(err, ErrBadCoefficient) {
+		t.Errorf("nan rhs error = %v, want ErrBadCoefficient", err)
+	}
+	if _, err := p.AddConstraint("nan-coeff", []Term{{x, math.NaN()}}, LE, 1); !errors.Is(err, ErrBadCoefficient) {
+		t.Errorf("nan coeff error = %v, want ErrBadCoefficient", err)
+	}
+}
+
+func TestSolveEmptyProblem(t *testing.T) {
+	p := NewProblem(Maximize)
+	if _, err := p.Solve(); !errors.Is(err, ErrEmptyProblem) {
+		t.Errorf("error = %v, want ErrEmptyProblem", err)
+	}
+}
+
+func TestSetVariableBounds(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 10, 1)
+	if err := p.SetVariableBounds(x, 0, 4); err != nil {
+		t.Fatalf("SetVariableBounds: %v", err)
+	}
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Value(x), 4) {
+		t.Errorf("x = %v, want 4", sol.Value(x))
+	}
+
+	if err := p.SetVariableBounds(x, 5, 4); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if err := p.SetVariableBounds(VarID(9), 0, 1); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("error = %v, want ErrUnknownVariable", err)
+	}
+	lo, hi, err := p.VariableBounds(x)
+	if err != nil || lo != 0 || hi != 4 {
+		t.Errorf("VariableBounds = (%v, %v, %v), want (0, 4, nil)", lo, hi, err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 10, 1)
+	mustCon(t, p, "cap", []Term{{x, 1}}, LE, 7)
+
+	cp := p.Clone()
+	if err := p.SetVariableBounds(x, 0, 2); err != nil {
+		t.Fatalf("SetVariableBounds: %v", err)
+	}
+
+	sol := solveOptimal(t, cp)
+	if !almostEqual(sol.Value(x), 7) {
+		t.Errorf("clone x = %v, want 7 (mutation leaked)", sol.Value(x))
+	}
+}
+
+func TestProblemAccessors(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := mustVar(t, p, "alpha", 1, 3, 2.5)
+	mustCon(t, p, "c", []Term{{x, 1}}, LE, 3)
+
+	if p.Sense() != Minimize {
+		t.Errorf("Sense = %v", p.Sense())
+	}
+	if p.NumVariables() != 1 || p.NumConstraints() != 1 {
+		t.Errorf("sizes = (%d, %d), want (1, 1)", p.NumVariables(), p.NumConstraints())
+	}
+	if p.VariableName(x) != "alpha" {
+		t.Errorf("VariableName = %q", p.VariableName(x))
+	}
+	if p.VariableName(VarID(5)) != "" {
+		t.Error("out-of-range VariableName should be empty")
+	}
+	if p.ObjectiveCoefficient(x) != 2.5 {
+		t.Errorf("ObjectiveCoefficient = %v", p.ObjectiveCoefficient(x))
+	}
+	if p.ObjectiveCoefficient(VarID(5)) != 0 {
+		t.Error("out-of-range ObjectiveCoefficient should be 0")
+	}
+}
+
+func TestSolutionValueOutOfRange(t *testing.T) {
+	s := &Solution{X: []float64{1}}
+	if s.Value(VarID(-1)) != 0 || s.Value(VarID(3)) != 0 {
+		t.Error("out-of-range Value should be 0")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{Minimize.String(), "minimize"},
+		{Maximize.String(), "maximize"},
+		{Sense(0).String(), "Sense(0)"},
+		{LE.String(), "<="},
+		{GE.String(), ">="},
+		{EQ.String(), "="},
+		{Op(0).String(), "Op(0)"},
+		{StatusOptimal.String(), "optimal"},
+		{StatusInfeasible.String(), "infeasible"},
+		{StatusUnbounded.String(), "unbounded"},
+		{StatusIterationLimit.String(), "iteration-limit"},
+		{Status(0).String(), "Status(0)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestSolveAllVariablesFixed(t *testing.T) {
+	// Every variable eliminated: feasibility is decided purely by the
+	// shifted right-hand sides.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 2, 2, 3)
+	y := mustVar(t, p, "y", 1, 1, 1)
+	mustCon(t, p, "cap", []Term{{x, 1}, {y, 1}}, LE, 5)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 7) {
+		t.Errorf("objective = %v, want 7", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 2) || !almostEqual(sol.Value(y), 1) {
+		t.Errorf("solution = (%v, %v), want (2, 1)", sol.Value(x), sol.Value(y))
+	}
+
+	// Fixed values violating a row must be infeasible.
+	q := NewProblem(Maximize)
+	x2 := mustVar(t, q, "x", 2, 2, 1)
+	mustCon(t, q, "cap", []Term{{x2, 1}}, LE, 1)
+	res, err := q.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestFixedVariableReducedCost(t *testing.T) {
+	// max 3x + y, x fixed at 1, x + y <= 4: y basic (rc 0), row dual 1,
+	// and the eliminated x has rc = 3 - 1*1 = 2 (raising x's bound is worth
+	// 2 per unit).
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 1, 1, 3)
+	y := mustVar(t, p, "y", 0, Inf, 1)
+	mustCon(t, p, "cap", []Term{{x, 1}, {y, 1}}, LE, 4)
+	sol := solveOptimal(t, p)
+	if !almostEqual(sol.Objective, 6) {
+		t.Fatalf("objective = %v, want 6", sol.Objective)
+	}
+	if !almostEqual(sol.Dual(0), 1) {
+		t.Errorf("dual = %v, want 1", sol.Dual(0))
+	}
+	if !almostEqual(sol.ReducedCost(x), 2) {
+		t.Errorf("reduced cost of fixed x = %v, want 2", sol.ReducedCost(x))
+	}
+	if !almostEqual(sol.ReducedCost(y), 0) {
+		t.Errorf("reduced cost of y = %v, want 0", sol.ReducedCost(y))
+	}
+}

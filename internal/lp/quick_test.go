@@ -1,0 +1,265 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBoxLP builds a random feasible, bounded LP: every variable has a
+// finite box [0, u], every <= row has a non-negative right-hand side and
+// every >= row a non-positive one, so the origin is always feasible and the
+// boxes guarantee boundedness.
+type randomBoxLP struct {
+	upper [][2]float64 // (upper bound, objective coefficient) per variable
+	rows  []randomRow
+}
+
+type randomRow struct {
+	coeffs []float64
+	op     Op
+	rhs    float64
+}
+
+func genBoxLP(r *rand.Rand) randomBoxLP {
+	n := 1 + r.Intn(6)
+	m := r.Intn(6)
+	g := randomBoxLP{upper: make([][2]float64, n), rows: make([]randomRow, m)}
+	for j := range g.upper {
+		g.upper[j] = [2]float64{10 * r.Float64(), 4*r.Float64() - 2}
+	}
+	for i := range g.rows {
+		coeffs := make([]float64, n)
+		for j := range coeffs {
+			coeffs[j] = 6*r.Float64() - 3
+		}
+		row := randomRow{coeffs: coeffs, op: LE, rhs: 20 * r.Float64()}
+		if r.Intn(2) == 0 {
+			row.op = GE
+			row.rhs = -20 * r.Float64()
+		}
+		g.rows[i] = row
+	}
+	return g
+}
+
+func (g randomBoxLP) build(t *testing.T) (*Problem, []VarID) {
+	t.Helper()
+	p := NewProblem(Maximize)
+	ids := make([]VarID, len(g.upper))
+	for j, spec := range g.upper {
+		ids[j] = mustVar(t, p, "v", 0, spec[0], spec[1])
+	}
+	for i, row := range g.rows {
+		terms := make([]Term, len(row.coeffs))
+		for j, c := range row.coeffs {
+			terms[j] = Term{Var: ids[j], Coeff: c}
+		}
+		if _, err := p.AddConstraint("r", terms, row.op, row.rhs); err != nil {
+			t.Fatalf("constraint %d: %v", i, err)
+		}
+	}
+	return p, ids
+}
+
+// feasible reports whether point x satisfies all rows and boxes of g within
+// tolerance.
+func (g randomBoxLP) feasible(x []float64, tol float64) bool {
+	for j, spec := range g.upper {
+		if x[j] < -tol || x[j] > spec[0]+tol {
+			return false
+		}
+	}
+	for _, row := range g.rows {
+		sum := 0.0
+		for j, c := range row.coeffs {
+			sum += c * x[j]
+		}
+		switch row.op {
+		case LE:
+			if sum > row.rhs+tol {
+				return false
+			}
+		case GE:
+			if sum < row.rhs-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g randomBoxLP) objective(x []float64) float64 {
+	sum := 0.0
+	for j, spec := range g.upper {
+		sum += spec[1] * x[j]
+	}
+	return sum
+}
+
+// TestQuickSimplexOptimalAndFeasible checks on random feasible bounded LPs
+// that the solver (a) reports optimal, (b) returns a feasible point, and
+// (c) is not beaten by any of a batch of random feasible sample points.
+func TestQuickSimplexOptimalAndFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	property := func() bool {
+		g := genBoxLP(r)
+		p, _ := g.build(t)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Logf("solve error: %v", err)
+			return false
+		}
+		if sol.Status != StatusOptimal {
+			t.Logf("status = %v on a feasible bounded LP", sol.Status)
+			return false
+		}
+		if !g.feasible(sol.X, 1e-6) {
+			t.Logf("returned point infeasible: %v", sol.X)
+			return false
+		}
+		// The origin is feasible by construction.
+		origin := make([]float64, len(g.upper))
+		if g.objective(origin) > sol.Objective+1e-6 {
+			t.Logf("origin beats reported optimum")
+			return false
+		}
+		// Random feasible sample points must not beat the optimum.
+		for trial := 0; trial < 120; trial++ {
+			x := make([]float64, len(g.upper))
+			for j, spec := range g.upper {
+				x[j] = spec[0] * r.Float64()
+			}
+			if !g.feasible(x, 0) {
+				continue
+			}
+			if g.objective(x) > sol.Objective+1e-6 {
+				t.Logf("sample %v (obj %v) beats optimum %v", x, g.objective(x), sol.Objective)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEqualityFeasiblePoint builds LPs whose equality rows are
+// constructed to pass through a known interior point x0, then checks that the
+// solver finds a feasible solution at least as good as x0.
+func TestQuickEqualityFeasiblePoint(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	property := func() bool {
+		n := 1 + r.Intn(5)
+		mEq := 1 + r.Intn(2)
+		upper := make([]float64, n)
+		x0 := make([]float64, n)
+		cost := make([]float64, n)
+		for j := 0; j < n; j++ {
+			upper[j] = 1 + 9*r.Float64()
+			x0[j] = upper[j] * r.Float64()
+			cost[j] = 4*r.Float64() - 2
+		}
+
+		p := NewProblem(Maximize)
+		ids := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			var err error
+			ids[j], err = p.AddVariable("v", 0, upper[j], cost[j])
+			if err != nil {
+				t.Logf("AddVariable: %v", err)
+				return false
+			}
+		}
+		rows := make([][]float64, mEq)
+		rhs := make([]float64, mEq)
+		for i := 0; i < mEq; i++ {
+			rows[i] = make([]float64, n)
+			terms := make([]Term, n)
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				c := 6*r.Float64() - 3
+				rows[i][j] = c
+				terms[j] = Term{Var: ids[j], Coeff: c}
+				sum += c * x0[j]
+			}
+			rhs[i] = sum
+			if _, err := p.AddConstraint("eq", terms, EQ, sum); err != nil {
+				t.Logf("AddConstraint: %v", err)
+				return false
+			}
+		}
+
+		sol, err := p.Solve()
+		if err != nil {
+			t.Logf("solve error: %v", err)
+			return false
+		}
+		if sol.Status != StatusOptimal {
+			t.Logf("status = %v for LP feasible at %v", sol.Status, x0)
+			return false
+		}
+		objX0 := 0.0
+		for j := 0; j < n; j++ {
+			objX0 += cost[j] * x0[j]
+			if sol.X[j] < -1e-6 || sol.X[j] > upper[j]+1e-6 {
+				t.Logf("bound violated: x[%d]=%v not in [0,%v]", j, sol.X[j], upper[j])
+				return false
+			}
+		}
+		for i := 0; i < mEq; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += rows[i][j] * sol.X[j]
+			}
+			if math.Abs(sum-rhs[i]) > 1e-5*(1+math.Abs(rhs[i])) {
+				t.Logf("equality %d violated: %v != %v", i, sum, rhs[i])
+				return false
+			}
+		}
+		if sol.Objective < objX0-1e-6 {
+			t.Logf("optimum %v worse than known feasible %v", sol.Objective, objX0)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolveDeterministic checks that solving the same problem twice
+// yields identical results.
+func TestQuickSolveDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	property := func() bool {
+		g := genBoxLP(r)
+		p1, _ := g.build(t)
+		p2, _ := g.build(t)
+		s1, err1 := p1.Solve()
+		s2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if s1.Status != s2.Status || s1.Iterations != s2.Iterations {
+			return false
+		}
+		if s1.Status != StatusOptimal {
+			return true
+		}
+		if s1.Objective != s2.Objective {
+			return false
+		}
+		for j := range s1.X {
+			if s1.X[j] != s2.X[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,594 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNumerical is returned when the solver encounters a numerically
+// degenerate situation it cannot recover from (for example, an unbounded
+// phase-1 ray, which cannot occur for exactly represented inputs).
+var ErrNumerical = errors.New("lp: numerical failure")
+
+type varStatus uint8
+
+const (
+	statusLower varStatus = iota // nonbasic at lower bound (0 in shifted space)
+	statusUpper                  // nonbasic at upper bound
+	statusBasic                  // basic
+)
+
+// simplex is a dense, bounded-variable, two-phase primal simplex tableau.
+// All structural variables are shifted so that their lower bound is zero;
+// the shifted upper bound may be +Inf. Rows are normalized so that the
+// initial right-hand side is non-negative, which lets <= rows start with a
+// basic slack and restricts artificial variables to >= and = rows.
+type simplex struct {
+	cfg options
+
+	m       int // number of rows
+	nStruct int // structural columns (problem variables)
+	nCols   int // structural + slack/surplus + artificial columns
+
+	tab    []float64 // m x nCols tableau, row-major
+	x      []float64 // current value of every column (shifted space)
+	upper  []float64 // shifted upper bound per column (may be +Inf)
+	cost   []float64 // phase-2 objective per column, in maximize form
+	basis  []int     // basic column per row
+	status []varStatus
+	artAt  int // first artificial column index; nCols if none
+
+	shift     []float64 // lower bound of each compact structural column
+	objShift  float64   // constant objective term from the shift
+	negate    bool      // true when the original sense is Minimize
+	redundant []bool    // rows proven redundant during phase 1
+
+	// Fixed-variable elimination: variables with equal bounds never enter
+	// the tableau. colOf maps every original variable to its compact column
+	// (-1 when eliminated); structOrig is the inverse for compact columns.
+	prob       *Problem
+	origN      int
+	colOf      []int
+	structOrig []int
+
+	// rowDualCol and rowDualSign recover internal dual values from the
+	// final reduced-cost row: y_i = rowDualSign[i] * d[rowDualCol[i]].
+	rowDualCol  []int
+	rowDualSign []float64
+	rowFlipped  []bool    // rows multiplied by -1 during normalization
+	phase2D     []float64 // final phase-2 reduced-cost row
+
+	iterations int
+	degenerate int  // consecutive degenerate pivots
+	useBland   bool // anti-cycling mode engaged
+}
+
+func newSimplex(p *Problem, cfg options) *simplex {
+	n := len(p.vars)
+	m := len(p.cons)
+
+	s := &simplex{
+		cfg:    cfg,
+		m:      m,
+		prob:   p,
+		origN:  n,
+		colOf:  make([]int, n),
+		negate: p.sense == Minimize,
+	}
+
+	// Shifted bounds and maximize-form costs for structural columns.
+	// Variables fixed by equal bounds are eliminated: their contribution
+	// lives entirely in the shifted right-hand sides and the objective
+	// constant. Branch-and-bound fixes many variables at deep nodes, so the
+	// elimination shrinks those relaxations substantially.
+	var structUpper, structCost []float64
+	for j, v := range p.vars {
+		c := v.cost
+		if s.negate {
+			c = -c
+		}
+		s.objShift += c * v.lower
+		if v.upper == v.lower {
+			s.colOf[j] = -1
+			continue
+		}
+		s.colOf[j] = len(s.structOrig)
+		s.structOrig = append(s.structOrig, j)
+		s.shift = append(s.shift, v.lower)
+		if math.IsInf(v.upper, 1) {
+			structUpper = append(structUpper, Inf)
+		} else {
+			structUpper = append(structUpper, v.upper-v.lower)
+		}
+		structCost = append(structCost, c)
+	}
+	s.nStruct = len(s.structOrig)
+	n = s.nStruct
+
+	// Normalize rows: substitute the shift into the right-hand side and
+	// flip rows so that rhs >= 0.
+	type rowSpec struct {
+		terms   []Term
+		op      Op
+		rhs     float64
+		flipped bool
+	}
+	rows := make([]rowSpec, m)
+	nSlack, nArt := 0, 0
+	for i, c := range p.cons {
+		rhs := c.rhs
+		for _, t := range c.terms {
+			rhs -= t.Coeff * p.vars[t.Var].lower
+		}
+		op := c.op
+		terms := c.terms
+		flip := false
+		if rhs < 0 {
+			rhs = -rhs
+			flip = true
+			negated := make([]Term, len(terms))
+			for k, t := range terms {
+				negated[k] = Term{Var: t.Var, Coeff: -t.Coeff}
+			}
+			terms = negated
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowSpec{terms: terms, op: op, rhs: rhs, flipped: flip}
+		if op != EQ {
+			nSlack++
+		}
+		if op != LE {
+			nArt++
+		}
+	}
+
+	s.nCols = n + nSlack + nArt
+	s.artAt = n + nSlack
+	s.tab = make([]float64, m*s.nCols)
+	s.x = make([]float64, s.nCols)
+	s.upper = make([]float64, s.nCols)
+	s.cost = make([]float64, s.nCols)
+	s.basis = make([]int, m)
+	s.status = make([]varStatus, s.nCols)
+	s.redundant = make([]bool, m)
+	s.rowDualCol = make([]int, m)
+	s.rowDualSign = make([]float64, m)
+	s.rowFlipped = make([]bool, m)
+
+	copy(s.upper, structUpper)
+	copy(s.cost, structCost)
+	for j := n; j < s.nCols; j++ {
+		s.upper[j] = Inf
+	}
+
+	slack, art := n, s.artAt
+	for i, r := range rows {
+		row := s.row(i)
+		for _, t := range r.terms {
+			if cj := s.colOf[t.Var]; cj >= 0 {
+				row[cj] += t.Coeff
+			}
+		}
+		s.rowFlipped[i] = r.flipped
+		switch r.op {
+		case LE:
+			row[slack] = 1
+			s.basis[i] = slack
+			s.status[slack] = statusBasic
+			s.x[slack] = r.rhs
+			s.rowDualCol[i], s.rowDualSign[i] = slack, -1
+			slack++
+		case GE:
+			row[slack] = -1
+			s.rowDualCol[i], s.rowDualSign[i] = slack, 1
+			slack++
+			row[art] = 1
+			s.basis[i] = art
+			s.status[art] = statusBasic
+			s.x[art] = r.rhs
+			art++
+		case EQ:
+			row[art] = 1
+			s.basis[i] = art
+			s.status[art] = statusBasic
+			s.x[art] = r.rhs
+			s.rowDualCol[i], s.rowDualSign[i] = art, -1
+			art++
+		}
+	}
+	return s
+}
+
+func (s *simplex) row(i int) []float64 {
+	return s.tab[i*s.nCols : (i+1)*s.nCols]
+}
+
+func (s *simplex) eps() float64 { return s.cfg.tolerance }
+
+// solve runs both phases and extracts the solution in original variable
+// space.
+func (s *simplex) solve() (*Solution, error) {
+	if s.artAt < s.nCols {
+		status, err := s.phase1()
+		if err != nil {
+			return nil, err
+		}
+		if status != StatusOptimal {
+			return &Solution{Status: status, Iterations: s.iterations}, nil
+		}
+	}
+	status, err := s.phase2()
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: status, Iterations: s.iterations}
+	if status != StatusOptimal {
+		return sol, nil
+	}
+
+	sol.X = make([]float64, s.origN)
+	obj := s.objShift
+	for j := 0; j < s.nStruct; j++ {
+		v := s.x[j]
+		// Clamp floating-point drift back into the variable's box.
+		if v < 0 {
+			v = 0
+		}
+		if !math.IsInf(s.upper[j], 1) && v > s.upper[j] {
+			v = s.upper[j]
+		}
+		sol.X[s.structOrig[j]] = v + s.shift[j]
+		obj += s.cost[j] * v
+	}
+	for j := range s.prob.vars {
+		if s.colOf[j] < 0 {
+			sol.X[j] = s.prob.vars[j].lower
+		}
+	}
+	if s.negate {
+		obj = -obj
+	}
+	sol.Objective = obj
+
+	// Recover dual values and reduced costs from the final reduced-cost
+	// row. Internally everything is in maximize form; the sign flips below
+	// translate back to the user's row orientation and objective sense.
+	sol.DualValues = make([]float64, s.m)
+	sol.ReducedCosts = make([]float64, s.origN)
+	senseSign := 1.0
+	if s.negate {
+		senseSign = -1
+	}
+	for i := 0; i < s.m; i++ {
+		y := s.rowDualSign[i] * s.phase2D[s.rowDualCol[i]]
+		if s.rowFlipped[i] {
+			y = -y
+		}
+		sol.DualValues[i] = senseSign * y
+	}
+	for j := 0; j < s.nStruct; j++ {
+		sol.ReducedCosts[s.structOrig[j]] = senseSign * s.phase2D[j]
+	}
+	// Eliminated (fixed) variables still have a well-defined reduced cost
+	// c_j - sum_i dual_i * a_ij, computed from the original rows; the sign
+	// identity holds in the user's sense for both objective directions.
+	if s.nStruct < s.origN {
+		for j, v := range s.prob.vars {
+			if s.colOf[j] < 0 {
+				sol.ReducedCosts[j] = v.cost
+			}
+		}
+		for i := range s.prob.cons {
+			y := sol.DualValues[i]
+			if y == 0 {
+				continue
+			}
+			for _, t := range s.prob.cons[i].terms {
+				if s.colOf[t.Var] < 0 {
+					sol.ReducedCosts[t.Var] -= y * t.Coeff
+				}
+			}
+		}
+	}
+	return sol, nil
+}
+
+// phase1 drives the sum of artificial variables to zero, producing a basic
+// feasible solution or proving infeasibility.
+func (s *simplex) phase1() (Status, error) {
+	// Phase-1 objective: maximize -(sum of artificials).
+	c1 := make([]float64, s.nCols)
+	for j := s.artAt; j < s.nCols; j++ {
+		c1[j] = -1
+	}
+	d := s.reducedCosts(c1)
+	status, err := s.iterate(d)
+	if err != nil {
+		return 0, err
+	}
+	if status == StatusUnbounded {
+		// The phase-1 objective is bounded above by zero; an unbounded ray
+		// indicates numerical breakdown.
+		return 0, ErrNumerical
+	}
+	if status != StatusOptimal {
+		return status, nil
+	}
+
+	infeas := 0.0
+	for j := s.artAt; j < s.nCols; j++ {
+		infeas += s.x[j]
+	}
+	if infeas > s.feasibilityCutoff() {
+		return StatusInfeasible, nil
+	}
+
+	// Pin every artificial to zero so that no later pivot can reintroduce
+	// infeasibility, then try to drive basic artificials out of the basis.
+	for j := s.artAt; j < s.nCols; j++ {
+		s.upper[j] = 0
+		s.x[j] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.artAt {
+			continue
+		}
+		if !s.pivotArtificialOut(i) {
+			// The row is linearly dependent on the others; the artificial
+			// stays basic at value zero and the row carries no information.
+			s.redundant[i] = true
+		}
+	}
+	return StatusOptimal, nil
+}
+
+// feasibilityCutoff scales the infeasibility tolerance with the magnitude of
+// the right-hand sides so large models are not misclassified.
+func (s *simplex) feasibilityCutoff() float64 {
+	scale := 1.0
+	for i := 0; i < s.m; i++ {
+		if v := math.Abs(s.x[s.basis[i]]); v > scale {
+			scale = v
+		}
+	}
+	return s.eps() * scale * float64(s.m+1) * 10
+}
+
+// pivotArtificialOut replaces the basic artificial in row i with any
+// non-artificial column having a usable pivot element. It reports whether a
+// pivot was performed.
+func (s *simplex) pivotArtificialOut(i int) bool {
+	row := s.row(i)
+	best, bestAbs := -1, 1e-7
+	for j := 0; j < s.artAt; j++ {
+		if s.status[j] == statusBasic {
+			continue
+		}
+		if a := math.Abs(row[j]); a > bestAbs {
+			best, bestAbs = j, a
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	// Degenerate pivot: the artificial sits at zero, so values are
+	// unchanged; the entering column becomes basic at its current value.
+	leaving := s.basis[i]
+	s.status[leaving] = statusLower
+	s.x[leaving] = 0
+	s.basis[i] = best
+	s.status[best] = statusBasic
+	s.pivot(i, best, nil)
+	return true
+}
+
+// phase2 optimizes the true objective from the feasible basis produced by
+// phase 1 (or from the all-slack basis when no artificials were needed).
+func (s *simplex) phase2() (Status, error) {
+	s.degenerate = 0
+	s.useBland = false
+	d := s.reducedCosts(s.cost)
+	status, err := s.iterate(d)
+	s.phase2D = d
+	return status, err
+}
+
+// reducedCosts computes d_j = c_j - c_B^T B^-1 A_j for every column from
+// scratch using the current tableau.
+func (s *simplex) reducedCosts(c []float64) []float64 {
+	d := make([]float64, s.nCols)
+	copy(d, c)
+	for i := 0; i < s.m; i++ {
+		cb := c[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.row(i)
+		for j := 0; j < s.nCols; j++ {
+			d[j] -= cb * row[j]
+		}
+	}
+	return d
+}
+
+// iterate performs primal simplex pivots until the reduced-cost row d proves
+// optimality, unboundedness is detected, or the iteration budget runs out.
+// The reduced-cost row is kept consistent across pivots.
+func (s *simplex) iterate(d []float64) (Status, error) {
+	eps := s.eps()
+	for {
+		if s.iterations >= s.cfg.maxIterations {
+			return StatusIterationLimit, nil
+		}
+		q, dir := s.price(d)
+		if q < 0 {
+			return StatusOptimal, nil
+		}
+
+		t, pivotRow, leavesAtUpper, ok := s.ratioTest(q, dir)
+		if !ok {
+			return StatusUnbounded, nil
+		}
+		s.iterations++
+		if t <= eps {
+			s.degenerate++
+			if !s.useBland && s.degenerate > 4*(s.m+s.nCols) {
+				s.useBland = true
+			}
+		} else {
+			s.degenerate = 0
+		}
+
+		// Apply the step to the value vector.
+		if t > 0 {
+			s.x[q] += float64(dir) * t
+			for i := 0; i < s.m; i++ {
+				a := s.row(i)[q]
+				if a != 0 {
+					s.x[s.basis[i]] -= float64(dir) * t * a
+				}
+			}
+		}
+
+		if pivotRow < 0 {
+			// Bound flip: the entering variable moved across its own box.
+			if s.status[q] == statusLower {
+				s.status[q] = statusUpper
+				s.x[q] = s.upper[q]
+			} else {
+				s.status[q] = statusLower
+				s.x[q] = 0
+			}
+			continue
+		}
+
+		leaving := s.basis[pivotRow]
+		if leavesAtUpper {
+			s.status[leaving] = statusUpper
+			s.x[leaving] = s.upper[leaving]
+		} else {
+			s.status[leaving] = statusLower
+			s.x[leaving] = 0
+		}
+		s.basis[pivotRow] = q
+		s.status[q] = statusBasic
+		s.pivot(pivotRow, q, d)
+	}
+}
+
+// price selects the entering column and its direction (+1 entering from its
+// lower bound, -1 from its upper bound), or (-1, 0) if the basis is optimal.
+func (s *simplex) price(d []float64) (col, dir int) {
+	eps := s.eps()
+	bestScore := eps
+	col, dir = -1, 0
+	for j := 0; j < s.nCols; j++ {
+		switch s.status[j] {
+		case statusBasic:
+			continue
+		case statusLower:
+			if d[j] > eps && s.upper[j] > 0 {
+				if s.useBland {
+					return j, 1
+				}
+				if d[j] > bestScore {
+					bestScore, col, dir = d[j], j, 1
+				}
+			}
+		case statusUpper:
+			if d[j] < -eps {
+				if s.useBland {
+					return j, -1
+				}
+				if -d[j] > bestScore {
+					bestScore, col, dir = -d[j], j, -1
+				}
+			}
+		}
+	}
+	return col, dir
+}
+
+// ratioTest computes the maximum step t for entering column q in direction
+// dir. It returns the blocking row (or -1 for a bound flip), whether the
+// leaving variable exits at its upper bound, and ok=false when the step is
+// unbounded.
+func (s *simplex) ratioTest(q, dir int) (t float64, pivotRow int, leavesAtUpper, ok bool) {
+	const pivTol = 1e-9
+	eps := s.eps()
+
+	t = s.upper[q] // bound-flip step; may be +Inf
+	pivotRow = -1
+
+	for i := 0; i < s.m; i++ {
+		a := float64(dir) * s.row(i)[q]
+		if a > pivTol {
+			// Basic variable decreases towards zero.
+			limit := s.x[s.basis[i]] / a
+			if limit < 0 {
+				limit = 0
+			}
+			if limit < t-eps || (pivotRow >= 0 && limit < t+eps && math.Abs(s.row(i)[q]) > math.Abs(s.row(pivotRow)[q])) {
+				t, pivotRow, leavesAtUpper = limit, i, false
+			}
+		} else if a < -pivTol {
+			ub := s.upper[s.basis[i]]
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			// Basic variable increases towards its upper bound.
+			limit := (ub - s.x[s.basis[i]]) / -a
+			if limit < 0 {
+				limit = 0
+			}
+			if limit < t-eps || (pivotRow >= 0 && limit < t+eps && math.Abs(s.row(i)[q]) > math.Abs(s.row(pivotRow)[q])) {
+				t, pivotRow, leavesAtUpper = limit, i, true
+			}
+		}
+	}
+	if math.IsInf(t, 1) {
+		return 0, 0, false, false
+	}
+	return t, pivotRow, leavesAtUpper, true
+}
+
+// pivot performs Gaussian elimination on the tableau (and the reduced-cost
+// row d when non-nil) so that column q becomes the unit vector of row r.
+func (s *simplex) pivot(r, q int, d []float64) {
+	rowR := s.row(r)
+	piv := rowR[q]
+	inv := 1 / piv
+	for j := 0; j < s.nCols; j++ {
+		rowR[j] *= inv
+	}
+	rowR[q] = 1 // kill round-off on the pivot element
+
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		rowI := s.row(i)
+		f := rowI[q]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < s.nCols; j++ {
+			rowI[j] -= f * rowR[j]
+		}
+		rowI[q] = 0
+	}
+	if d != nil {
+		f := d[q]
+		if f != 0 {
+			for j := 0; j < s.nCols; j++ {
+				d[j] -= f * rowR[j]
+			}
+			d[q] = 0
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// Example evaluates a small hand-picked deployment on the enterprise Web
+// service case study.
+func Example() {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d := model.NewDeployment(
+		casestudy.MonitorID("nids", "core-net"),
+		casestudy.MonitorID("netflow-probe", "core-net"),
+		casestudy.MonitorID("http-access-logger", "web-1"),
+		casestudy.MonitorID("http-access-logger", "web-2"),
+	)
+	fmt.Printf("cost: %.0f\n", metrics.Cost(idx, d))
+	fmt.Printf("utility: %.4f of achievable %.4f\n", metrics.Utility(idx, d), metrics.MaxUtility(idx))
+	fmt.Printf("sql-injection coverage: %.2f\n", metrics.AttackCoverage(idx, d, "sql-injection"))
+	// Output:
+	// cost: 1970
+	// utility: 0.3079 of achievable 1.0000
+	// sql-injection coverage: 0.50
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+func TestCorroboratedUtility(t *testing.T) {
+	idx := testIndex(t)
+	// m-http and m-net both produce http-log; sql-audit and netflow are
+	// single-producer under this deployment.
+	d := model.NewDeployment("m-http", "m-net")
+
+	// k=1 equals plain utility: sqli 1/2 (http-log), exfil 1 -> (1+1)/3.
+	if got, want := CorroboratedUtility(idx, d, 1), Utility(idx, d); !approx(got, want) {
+		t.Errorf("k=1: %v != utility %v", got, want)
+	}
+	// k=2: only http-log corroborated -> sqli 1/2 weighted 2, exfil 0.
+	if got := CorroboratedUtility(idx, d, 2); !approx(got, 1.0/3) {
+		t.Errorf("k=2: %v, want 1/3", got)
+	}
+	// k=3: nothing triple-covered.
+	if got := CorroboratedUtility(idx, d, 3); !approx(got, 0) {
+		t.Errorf("k=3: %v, want 0", got)
+	}
+}
+
+func TestCorroboratedUtilityMatchesConfidenceAggregation(t *testing.T) {
+	// k=2 corroborated utility is the weight-normalized sum of
+	// AttackConfidence values.
+	idx := testIndex(t)
+	d := model.NewDeployment("m-http", "m-net", "m-db")
+	want := (2*AttackConfidence(idx, d, "sqli") + 1*AttackConfidence(idx, d, "exfil")) / 3
+	if got := CorroboratedUtility(idx, d, 2); !approx(got, want) {
+		t.Errorf("corroborated = %v, want %v", got, want)
+	}
+}
+
+func TestAttackEarliness(t *testing.T) {
+	idx := testIndex(t)
+	// sqli steps: probe {http-log}, inject {http-log, sql-audit}.
+	tests := []struct {
+		name   string
+		deploy []model.MonitorID
+		attack model.AttackID
+		want   float64
+	}{
+		{name: "first step observable", deploy: []model.MonitorID{"m-http"}, attack: "sqli", want: 1},
+		{name: "second step only", deploy: []model.MonitorID{"m-db"}, attack: "sqli", want: 0.5},
+		{name: "unobserved", deploy: nil, attack: "sqli", want: 0},
+		{name: "single step attack", deploy: []model.MonitorID{"m-net"}, attack: "exfil", want: 1},
+		{name: "unknown attack", deploy: []model.MonitorID{"m-net"}, attack: "ghost", want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := model.NewDeployment(tt.deploy...)
+			if got := AttackEarliness(idx, d, tt.attack); !approx(got, tt.want) {
+				t.Errorf("AttackEarliness = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEarlinessAggregate(t *testing.T) {
+	idx := testIndex(t)
+	// m-db: sqli earliness 0.5 (weight 2), exfil 0 (weight 1) -> 1/3.
+	d := model.NewDeployment("m-db")
+	if got := Earliness(idx, d); !approx(got, 1.0/3) {
+		t.Errorf("Earliness = %v, want 1/3", got)
+	}
+	if got := Earliness(idx, model.NewDeployment()); got != 0 {
+		t.Errorf("Earliness(empty) = %v", got)
+	}
+}
+
+func TestEvaluateIncludesExtendedMetrics(t *testing.T) {
+	idx := testIndex(t)
+	rep := Evaluate(idx, model.NewDeployment("m-http", "m-net"))
+	if !approx(rep.CorroboratedUtility, 1.0/3) {
+		t.Errorf("report corroborated utility = %v, want 1/3", rep.CorroboratedUtility)
+	}
+	if rep.Earliness <= 0 {
+		t.Errorf("report earliness = %v, want > 0", rep.Earliness)
+	}
+	for _, a := range rep.Attacks {
+		if a.Earliness < 0 || a.Earliness > 1 {
+			t.Errorf("attack %s earliness %v out of range", a.ID, a.Earliness)
+		}
+	}
+}
+
+// TestQuickExtendedMetricsMonotoneAndBounded extends the monotonicity
+// property to the corroborated utility and earliness metrics.
+func TestQuickExtendedMetricsMonotoneAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	property := func(seed int64) bool {
+		sys, err := synth.Generate(synth.Config{Seed: seed, Monitors: 2 + r.Intn(12), Attacks: 2 + r.Intn(8), Assets: 3})
+		if err != nil {
+			return false
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			return false
+		}
+		d := randomDeployment(r, idx, 0.5)
+
+		for k := 1; k <= 3; k++ {
+			cu := CorroboratedUtility(idx, d, k)
+			if cu < 0 || cu > 1 {
+				t.Logf("corroborated utility %v out of range", cu)
+				return false
+			}
+			// Raising k never raises utility.
+			if k > 1 && cu > CorroboratedUtility(idx, d, k-1)+1e-12 {
+				t.Logf("corroborated utility increased with k")
+				return false
+			}
+		}
+		e := Earliness(idx, d)
+		if e < 0 || e > 1 {
+			t.Logf("earliness %v out of range", e)
+			return false
+		}
+		// Earliness is bounded below by nothing but above by "utility > 0
+		// implies earliness > 0" — observable evidence implies an earliest
+		// observable step.
+		if Utility(idx, d) > 0 && e == 0 {
+			t.Logf("positive utility but zero earliness")
+			return false
+		}
+
+		// Monotone under adding one monitor.
+		for _, id := range idx.MonitorIDs() {
+			if d.Contains(id) {
+				continue
+			}
+			bigger := d.Clone()
+			bigger.Add(id)
+			if CorroboratedUtility(idx, bigger, 2) < CorroboratedUtility(idx, d, 2)-1e-12 {
+				t.Logf("corroborated utility decreased when adding %s", id)
+				return false
+			}
+			if Earliness(idx, bigger) < e-1e-12 {
+				t.Logf("earliness decreased when adding %s", id)
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateAssets(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment("m-http", "m-db")
+	rows := EvaluateAssets(idx, d)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (web, db)", len(rows))
+	}
+	web, db := rows[0], rows[1]
+	if web.ID != "web" || db.ID != "db" {
+		t.Fatalf("order = %v, %v", web.ID, db.ID)
+	}
+	if web.MonitorsDeployed != 1 || web.MonitorsAvailable != 1 {
+		t.Errorf("web monitors = %d/%d, want 1/1", web.MonitorsDeployed, web.MonitorsAvailable)
+	}
+	if web.Spend != 15 {
+		t.Errorf("web spend = %v, want 15", web.Spend)
+	}
+	// web hosts http-log (relevant, covered); db hosts sql-audit (covered).
+	if web.RelevantData != 1 || web.CoveredData != 1 {
+		t.Errorf("web data = %d/%d, want 1/1", web.CoveredData, web.RelevantData)
+	}
+	if db.RelevantData != 1 || db.CoveredData != 1 {
+		t.Errorf("db data = %d/%d, want 1/1", db.CoveredData, db.RelevantData)
+	}
+
+	// Empty deployment: nothing covered, nothing spent.
+	empty := EvaluateAssets(idx, model.NewDeployment())
+	for _, r := range empty {
+		if r.MonitorsDeployed != 0 || r.Spend != 0 || r.CoveredData != 0 {
+			t.Errorf("empty deployment row %+v not zeroed", r)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package metrics implements the metric suite of Thakore, Weaver and Sanders
+// (DSN 2016), quantifying monitor deployments with respect to intrusion
+// detection and forensics:
+//
+//   - Coverage: per attack, the fraction of its evidence made observable by
+//     the deployed monitors.
+//   - Utility: the attack-weight-normalized sum of coverages, the objective
+//     maximized by the deployment optimization.
+//   - Richness: the fraction of distinct security-relevant event fields the
+//     deployment can record, measuring how much detail is available for
+//     forensic analysis.
+//   - Redundancy/confidence: how many independent monitors corroborate each
+//     evidence item.
+//   - Distinguishability: the fraction of attack pairs whose observable
+//     evidence signatures differ, measuring diagnostic power.
+//   - Cost: capital plus operational cost of the deployed monitors.
+//
+// All metrics are pure functions of a model.Index and a model.Deployment.
+package metrics
+
+import (
+	"secmon/internal/model"
+)
+
+// CoveredData returns, for every data type producible by the deployment, the
+// number of deployed monitors that produce it (its redundancy). Data types
+// not covered are absent from the map.
+func CoveredData(idx *model.Index, d *model.Deployment) map[model.DataTypeID]int {
+	out := make(map[model.DataTypeID]int)
+	for _, id := range d.IDs() {
+		m, ok := idx.Monitor(id)
+		if !ok {
+			continue
+		}
+		for _, dt := range m.Produces {
+			out[dt]++
+		}
+	}
+	return out
+}
+
+// AttackCoverage returns the fraction of the attack's evidence union that is
+// covered by the deployment, in [0, 1]. Unknown attacks yield 0.
+func AttackCoverage(idx *model.Index, d *model.Deployment, a model.AttackID) float64 {
+	covered := CoveredData(idx, d)
+	return attackCoverage(idx, covered, a)
+}
+
+func attackCoverage(idx *model.Index, covered map[model.DataTypeID]int, a model.AttackID) float64 {
+	ev := idx.AttackEvidence(a)
+	if len(ev) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range ev {
+		if covered[e] > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ev))
+}
+
+// Utility returns the detection utility of the deployment: the sum over
+// attacks of weight times coverage, normalized by the total attack weight.
+// It lies in [0, 1]; 1 means every evidence item of every attack is covered.
+func Utility(idx *model.Index, d *model.Deployment) float64 {
+	covered := CoveredData(idx, d)
+	return utilityFromCovered(idx, covered)
+}
+
+func utilityFromCovered(idx *model.Index, covered map[model.DataTypeID]int) float64 {
+	total := idx.System().TotalAttackWeight()
+	if total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range idx.System().Attacks {
+		sum += model.AttackWeight(a) * attackCoverage(idx, covered, a.ID)
+	}
+	return sum / total
+}
+
+// MaxUtility returns the utility of deploying every monitor in the system:
+// the achievable ceiling, which is below 1 when some evidence has no
+// producer.
+func MaxUtility(idx *model.Index) float64 {
+	all := model.NewDeployment(idx.MonitorIDs()...)
+	return Utility(idx, all)
+}
+
+// Richness returns the data richness of the deployment: the fraction of
+// distinct (data type, field) pairs among security-relevant data types (those
+// appearing as evidence of some attack) that the deployment records. Returns
+// 1 when no relevant fields exist.
+func Richness(idx *model.Index, d *model.Deployment) float64 {
+	relevant := make(map[model.DataTypeID]bool)
+	for _, a := range idx.System().Attacks {
+		for _, e := range idx.AttackEvidence(a.ID) {
+			relevant[e] = true
+		}
+	}
+	covered := CoveredData(idx, d)
+	totalFields, coveredFields := 0, 0
+	for dt := range relevant {
+		info, ok := idx.DataType(dt)
+		if !ok {
+			continue
+		}
+		nf := len(info.Fields)
+		if nf == 0 {
+			nf = 1 // a field-less data type still carries one observable fact
+		}
+		totalFields += nf
+		if covered[dt] > 0 {
+			coveredFields += nf
+		}
+	}
+	if totalFields == 0 {
+		return 1
+	}
+	return float64(coveredFields) / float64(totalFields)
+}
+
+// EvidenceRedundancy returns the number of deployed monitors that produce
+// the given data type.
+func EvidenceRedundancy(idx *model.Index, d *model.Deployment, dt model.DataTypeID) int {
+	n := 0
+	for _, id := range d.IDs() {
+		if idx.MonitorProduces(id, dt) {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanRedundancy returns the average redundancy over the evidence items of
+// all attacks (counting each attack's evidence union once, weighted equally).
+// Uncovered evidence contributes zero; returns 0 when there is no evidence.
+func MeanRedundancy(idx *model.Index, d *model.Deployment) float64 {
+	covered := CoveredData(idx, d)
+	total, sum := 0, 0
+	seen := make(map[model.DataTypeID]bool)
+	for _, a := range idx.System().Attacks {
+		for _, e := range idx.AttackEvidence(a.ID) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			total++
+			sum += covered[e]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sum) / float64(total)
+}
+
+// AttackConfidence returns the fraction of the attack's evidence that is
+// corroborated by at least two independent deployed monitors, in [0, 1].
+// Corroboration protects detection against a compromised or faulty monitor.
+func AttackConfidence(idx *model.Index, d *model.Deployment, a model.AttackID) float64 {
+	ev := idx.AttackEvidence(a)
+	if len(ev) == 0 {
+		return 0
+	}
+	covered := CoveredData(idx, d)
+	n := 0
+	for _, e := range ev {
+		if covered[e] >= 2 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ev))
+}
+
+// Distinguishability returns the fraction of unordered attack pairs whose
+// covered-evidence signatures differ under the deployment, in [0, 1]. Two
+// attacks with identical observable evidence cannot be told apart during
+// forensic analysis. Returns 1 when the system has fewer than two attacks.
+func Distinguishability(idx *model.Index, d *model.Deployment) float64 {
+	attacks := idx.AttackIDs()
+	if len(attacks) < 2 {
+		return 1
+	}
+	covered := CoveredData(idx, d)
+	signatures := make([]map[model.DataTypeID]bool, len(attacks))
+	for i, a := range attacks {
+		sig := make(map[model.DataTypeID]bool)
+		for _, e := range idx.AttackEvidence(a) {
+			if covered[e] > 0 {
+				sig[e] = true
+			}
+		}
+		signatures[i] = sig
+	}
+	pairs, distinct := 0, 0
+	for i := 0; i < len(attacks); i++ {
+		for j := i + 1; j < len(attacks); j++ {
+			pairs++
+			if !equalSignature(signatures[i], signatures[j]) {
+				distinct++
+			}
+		}
+	}
+	return float64(distinct) / float64(pairs)
+}
+
+func equalSignature(a, b map[model.DataTypeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CorroboratedUtility returns the detection utility counting only evidence
+// covered by at least k independent monitors. With k <= 1 it equals Utility;
+// with k = 2 it is the weight-normalized sum of AttackConfidence values.
+// Corroborated utility is what a deployment retains when any single monitor
+// can be compromised or fail silently.
+func CorroboratedUtility(idx *model.Index, d *model.Deployment, k int) float64 {
+	if k <= 1 {
+		return Utility(idx, d)
+	}
+	total := idx.System().TotalAttackWeight()
+	if total == 0 {
+		return 0
+	}
+	covered := CoveredData(idx, d)
+	sum := 0.0
+	for _, a := range idx.System().Attacks {
+		ev := idx.AttackEvidence(a.ID)
+		if len(ev) == 0 {
+			continue
+		}
+		n := 0
+		for _, e := range ev {
+			if covered[e] >= k {
+				n++
+			}
+		}
+		sum += model.AttackWeight(a) * float64(n) / float64(len(ev))
+	}
+	return sum / total
+}
+
+// AttackEarliness returns how early in the attack's step sequence the
+// deployment first observes evidence: 1 when the first step is observable,
+// decreasing linearly with the index of the earliest observable step, and 0
+// when no step is observable. Earlier detection leaves less time for damage.
+func AttackEarliness(idx *model.Index, d *model.Deployment, a model.AttackID) float64 {
+	attack, ok := idx.Attack(a)
+	if !ok || len(attack.Steps) == 0 {
+		return 0
+	}
+	covered := CoveredData(idx, d)
+	for i, step := range attack.Steps {
+		for _, e := range step.Evidence {
+			if covered[e] > 0 {
+				return 1 - float64(i)/float64(len(attack.Steps))
+			}
+		}
+	}
+	return 0
+}
+
+// Earliness returns the attack-weight-normalized mean of AttackEarliness:
+// the deployment's overall ability to catch attacks in their early stages.
+func Earliness(idx *model.Index, d *model.Deployment) float64 {
+	total := idx.System().TotalAttackWeight()
+	if total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range idx.System().Attacks {
+		sum += model.AttackWeight(a) * AttackEarliness(idx, d, a.ID)
+	}
+	return sum / total
+}
+
+// ExpectedUtility returns the expected detection utility when every
+// deployed monitor independently fails (or is compromised into silence)
+// with probability failProb: evidence with r deployed producers is covered
+// with probability 1 - failProb^r. With failProb = 0 it equals Utility.
+func ExpectedUtility(idx *model.Index, d *model.Deployment, failProb float64) float64 {
+	if failProb <= 0 {
+		return Utility(idx, d)
+	}
+	if failProb >= 1 {
+		return 0
+	}
+	total := idx.System().TotalAttackWeight()
+	if total == 0 {
+		return 0
+	}
+	covered := CoveredData(idx, d)
+	sum := 0.0
+	for _, a := range idx.System().Attacks {
+		ev := idx.AttackEvidence(a.ID)
+		if len(ev) == 0 {
+			continue
+		}
+		expected := 0.0
+		for _, e := range ev {
+			if r := covered[e]; r > 0 {
+				expected += 1 - pow(failProb, r)
+			}
+		}
+		sum += model.AttackWeight(a) * expected / float64(len(ev))
+	}
+	return sum / total
+}
+
+// pow computes q^r for small non-negative integer r without importing math.
+func pow(q float64, r int) float64 {
+	out := 1.0
+	for i := 0; i < r; i++ {
+		out *= q
+	}
+	return out
+}
+
+// Cost returns the total (capital plus operational) cost of the deployment.
+func Cost(idx *model.Index, d *model.Deployment) float64 {
+	return d.Cost(idx)
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+const testTol = 1e-9
+
+// testIndex builds the canonical small system shared by the metric tests:
+//
+//	monitors: m-http -> {http-log}, m-db -> {sql-audit},
+//	          m-net -> {netflow, http-log}
+//	attacks:  sqli (weight 2, evidence {http-log, sql-audit})
+//	          exfil (weight 1, evidence {netflow})
+func testIndex(t *testing.T) *model.Index {
+	t.Helper()
+	sys, err := model.NewBuilder("metrics-test").
+		Asset("web", "Web server", "host").
+		Asset("db", "Database", "host").
+		DataType("http-log", "HTTP access log", "web", "src", "url", "status").
+		DataType("sql-audit", "SQL audit log", "db", "user", "query").
+		DataType("netflow", "Netflow record", "", "src", "dst", "bytes").
+		Monitor("m-http", "Web log collector", "web", 10, 5, "http-log").
+		Monitor("m-db", "DB audit", "db", 20, 10, "sql-audit").
+		Monitor("m-net", "Netflow probe", "", 30, 0, "netflow", "http-log").
+		Attack("sqli", "SQL injection", 2).
+		Step("probe", "http-log").
+		Step("inject", "http-log", "sql-audit").
+		Done().
+		Attack("exfil", "Data exfiltration", 1).
+		Step("transfer", "netflow").
+		Done().
+		Build()
+	if err != nil {
+		t.Fatalf("build system: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	return idx
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= testTol }
+
+func TestCoveredData(t *testing.T) {
+	idx := testIndex(t)
+	got := CoveredData(idx, model.NewDeployment("m-http", "m-net"))
+	if got["http-log"] != 2 {
+		t.Errorf("http-log redundancy = %d, want 2", got["http-log"])
+	}
+	if got["netflow"] != 1 {
+		t.Errorf("netflow redundancy = %d, want 1", got["netflow"])
+	}
+	if _, ok := got["sql-audit"]; ok {
+		t.Error("sql-audit should be uncovered")
+	}
+}
+
+func TestAttackCoverage(t *testing.T) {
+	idx := testIndex(t)
+	tests := []struct {
+		name   string
+		deploy []model.MonitorID
+		attack model.AttackID
+		want   float64
+	}{
+		{name: "empty deployment", attack: "sqli", want: 0},
+		{name: "half of sqli", deploy: []model.MonitorID{"m-http"}, attack: "sqli", want: 0.5},
+		{name: "full sqli", deploy: []model.MonitorID{"m-http", "m-db"}, attack: "sqli", want: 1},
+		{name: "netflow covers exfil", deploy: []model.MonitorID{"m-net"}, attack: "exfil", want: 1},
+		{name: "unknown attack", deploy: []model.MonitorID{"m-net"}, attack: "ghost", want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := model.NewDeployment(tt.deploy...)
+			if got := AttackCoverage(idx, d, tt.attack); !approx(got, tt.want) {
+				t.Errorf("AttackCoverage = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUtility(t *testing.T) {
+	idx := testIndex(t)
+	tests := []struct {
+		name   string
+		deploy []model.MonitorID
+		want   float64
+	}{
+		{name: "empty", want: 0},
+		// sqli covered 1/2 with weight 2, exfil 0: (2*0.5)/3.
+		{name: "http only", deploy: []model.MonitorID{"m-http"}, want: 1.0 / 3},
+		// sqli 1/2 (http via net), exfil 1: (2*0.5 + 1)/3.
+		{name: "net only", deploy: []model.MonitorID{"m-net"}, want: 2.0 / 3},
+		{name: "all", deploy: []model.MonitorID{"m-http", "m-db", "m-net"}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := model.NewDeployment(tt.deploy...)
+			if got := Utility(idx, d); !approx(got, tt.want) {
+				t.Errorf("Utility = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxUtilityCeiling(t *testing.T) {
+	idx := testIndex(t)
+	if got := MaxUtility(idx); !approx(got, 1) {
+		t.Errorf("MaxUtility = %v, want 1", got)
+	}
+
+	// Add an attack whose evidence nobody produces: ceiling drops below 1.
+	sys := idx.System().Clone()
+	sys.DataTypes = append(sys.DataTypes, model.DataType{ID: "memory", Name: "Memory dump"})
+	sys.Attacks = append(sys.Attacks, model.Attack{
+		ID: "rootkit", Name: "Rootkit", Weight: 1,
+		Steps: []model.AttackStep{{Name: "hide", Evidence: []model.DataTypeID{"memory"}}},
+	})
+	idx2, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if got := MaxUtility(idx2); got >= 1 {
+		t.Errorf("MaxUtility = %v, want < 1 with unobservable attack", got)
+	}
+}
+
+func TestRichness(t *testing.T) {
+	idx := testIndex(t)
+	// Relevant fields: http-log 3 + sql-audit 2 + netflow 3 = 8.
+	tests := []struct {
+		name   string
+		deploy []model.MonitorID
+		want   float64
+	}{
+		{name: "empty", want: 0},
+		{name: "http only", deploy: []model.MonitorID{"m-http"}, want: 3.0 / 8},
+		{name: "net probe", deploy: []model.MonitorID{"m-net"}, want: 6.0 / 8},
+		{name: "all", deploy: []model.MonitorID{"m-http", "m-db", "m-net"}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := model.NewDeployment(tt.deploy...)
+			if got := Richness(idx, d); !approx(got, tt.want) {
+				t.Errorf("Richness = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRichnessFieldlessDataCountsOnce(t *testing.T) {
+	sys, err := model.NewBuilder("fieldless").
+		Asset("h", "Host", "host").
+		DataType("plain", "Plain event", "h"). // no fields
+		Monitor("m", "Monitor", "h", 1, 1, "plain").
+		Attack("a", "Attack", 1).Step("s", "plain").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Richness(idx, model.NewDeployment("m")); !approx(got, 1) {
+		t.Errorf("Richness = %v, want 1", got)
+	}
+	if got := Richness(idx, model.NewDeployment()); !approx(got, 0) {
+		t.Errorf("Richness(empty) = %v, want 0", got)
+	}
+}
+
+func TestEvidenceRedundancyAndMean(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment("m-http", "m-net")
+	if got := EvidenceRedundancy(idx, d, "http-log"); got != 2 {
+		t.Errorf("EvidenceRedundancy(http-log) = %d, want 2", got)
+	}
+	if got := EvidenceRedundancy(idx, d, "sql-audit"); got != 0 {
+		t.Errorf("EvidenceRedundancy(sql-audit) = %d, want 0", got)
+	}
+	// Evidence items: http-log (2), sql-audit (0), netflow (1) -> mean 1.
+	if got := MeanRedundancy(idx, d); !approx(got, 1) {
+		t.Errorf("MeanRedundancy = %v, want 1", got)
+	}
+}
+
+func TestAttackConfidence(t *testing.T) {
+	idx := testIndex(t)
+	// http-log corroborated by m-http and m-net; sql-audit uncovered.
+	d := model.NewDeployment("m-http", "m-net")
+	if got := AttackConfidence(idx, d, "sqli"); !approx(got, 0.5) {
+		t.Errorf("AttackConfidence(sqli) = %v, want 0.5", got)
+	}
+	if got := AttackConfidence(idx, d, "exfil"); !approx(got, 0) {
+		t.Errorf("AttackConfidence(exfil) = %v, want 0", got)
+	}
+	if got := AttackConfidence(idx, d, "ghost"); got != 0 {
+		t.Errorf("AttackConfidence(ghost) = %v, want 0", got)
+	}
+}
+
+func TestDistinguishability(t *testing.T) {
+	idx := testIndex(t)
+	// Empty deployment: both signatures empty -> indistinguishable.
+	if got := Distinguishability(idx, model.NewDeployment()); !approx(got, 0) {
+		t.Errorf("Distinguishability(empty) = %v, want 0", got)
+	}
+	// m-http: sqli sees {http-log}, exfil sees {} -> distinguishable.
+	if got := Distinguishability(idx, model.NewDeployment("m-http")); !approx(got, 1) {
+		t.Errorf("Distinguishability(m-http) = %v, want 1", got)
+	}
+}
+
+func TestDistinguishabilitySingleAttack(t *testing.T) {
+	sys, err := model.NewBuilder("single").
+		Asset("h", "Host", "host").
+		DataType("d", "Data", "h").
+		Monitor("m", "Monitor", "h", 1, 1, "d").
+		Attack("a", "Attack", 1).Step("s", "d").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Distinguishability(idx, model.NewDeployment()); got != 1 {
+		t.Errorf("Distinguishability = %v, want 1 for <2 attacks", got)
+	}
+}
+
+func TestCost(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment("m-http", "m-db")
+	if got := Cost(idx, d); got != 45 {
+		t.Errorf("Cost = %v, want 45", got)
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	idx := testIndex(t)
+	r := Evaluate(idx, model.NewDeployment("m-net"))
+
+	if r.Cost != 30 {
+		t.Errorf("Cost = %v, want 30", r.Cost)
+	}
+	if !approx(r.Utility, 2.0/3) {
+		t.Errorf("Utility = %v, want 2/3", r.Utility)
+	}
+	if !approx(r.MaxUtility, 1) {
+		t.Errorf("MaxUtility = %v, want 1", r.MaxUtility)
+	}
+	if len(r.Attacks) != 2 {
+		t.Fatalf("attack rows = %d, want 2", len(r.Attacks))
+	}
+	// Rows sorted by attack ID: exfil before sqli.
+	if r.Attacks[0].ID != "exfil" || r.Attacks[1].ID != "sqli" {
+		t.Errorf("attack order = %v, %v", r.Attacks[0].ID, r.Attacks[1].ID)
+	}
+	ex := r.Attacks[0]
+	if ex.EvidenceTotal != 1 || ex.EvidenceCovered != 1 || !approx(ex.Coverage, 1) {
+		t.Errorf("exfil row = %+v", ex)
+	}
+	sq := r.Attacks[1]
+	if sq.EvidenceTotal != 2 || sq.EvidenceCovered != 1 || !approx(sq.Coverage, 0.5) {
+		t.Errorf("sqli row = %+v", sq)
+	}
+	if sq.Weight != 2 {
+		t.Errorf("sqli weight = %v, want 2", sq.Weight)
+	}
+
+	s := r.String()
+	if s == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// randomDeployment picks each monitor independently with probability p.
+func randomDeployment(r *rand.Rand, idx *model.Index, p float64) *model.Deployment {
+	d := model.NewDeployment()
+	for _, id := range idx.MonitorIDs() {
+		if r.Float64() < p {
+			d.Add(id)
+		}
+	}
+	return d
+}
+
+// TestQuickMetricsMonotoneAndBounded checks on random systems and
+// deployments that all set-function metrics are monotone under adding a
+// monitor and stay within their documented ranges.
+func TestQuickMetricsMonotoneAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	property := func(seed int64) bool {
+		sys, err := synth.Generate(synth.Config{
+			Seed:     seed,
+			Monitors: 2 + r.Intn(15),
+			Attacks:  2 + r.Intn(10),
+			Assets:   3,
+		})
+		if err != nil {
+			t.Logf("Generate: %v", err)
+			return false
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			t.Logf("NewIndex: %v", err)
+			return false
+		}
+		d := randomDeployment(r, idx, 0.4)
+
+		u := Utility(idx, d)
+		rich := Richness(idx, d)
+		mr := MeanRedundancy(idx, d)
+		dist := Distinguishability(idx, d)
+		if u < 0 || u > 1 {
+			t.Logf("utility %v out of range", u)
+			return false
+		}
+		if rich < 0 || rich > 1 {
+			t.Logf("richness %v out of range", rich)
+			return false
+		}
+		if mr < 0 {
+			t.Logf("mean redundancy %v negative", mr)
+			return false
+		}
+		if dist < 0 || dist > 1 {
+			t.Logf("distinguishability %v out of range", dist)
+			return false
+		}
+		if u > MaxUtility(idx)+1e-12 {
+			t.Logf("utility %v exceeds ceiling %v", u, MaxUtility(idx))
+			return false
+		}
+
+		// Add one monitor not in the deployment: nothing may decrease.
+		for _, id := range idx.MonitorIDs() {
+			if d.Contains(id) {
+				continue
+			}
+			bigger := d.Clone()
+			bigger.Add(id)
+			if Utility(idx, bigger) < u-1e-12 {
+				t.Logf("utility decreased when adding %s", id)
+				return false
+			}
+			if Richness(idx, bigger) < rich-1e-12 {
+				t.Logf("richness decreased when adding %s", id)
+				return false
+			}
+			if MeanRedundancy(idx, bigger) < mr-1e-12 {
+				t.Logf("mean redundancy decreased when adding %s", id)
+				return false
+			}
+			for _, a := range idx.AttackIDs() {
+				if AttackCoverage(idx, bigger, a) < AttackCoverage(idx, d, a)-1e-12 {
+					t.Logf("coverage of %s decreased when adding %s", a, id)
+					return false
+				}
+				if AttackConfidence(idx, bigger, a) < AttackConfidence(idx, d, a)-1e-12 {
+					t.Logf("confidence of %s decreased when adding %s", a, id)
+					return false
+				}
+			}
+			break // one added monitor per case keeps the test fast
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEmptyDeploymentIsZero checks that the empty deployment always has
+// zero utility, cost and redundancy on random systems.
+func TestQuickEmptyDeploymentIsZero(t *testing.T) {
+	property := func(seed int64) bool {
+		sys, err := synth.Generate(synth.Config{Seed: seed, Monitors: 5, Attacks: 5, Assets: 2})
+		if err != nil {
+			return false
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			return false
+		}
+		empty := model.NewDeployment()
+		return Utility(idx, empty) == 0 &&
+			Cost(idx, empty) == 0 &&
+			MeanRedundancy(idx, empty) == 0 &&
+			Richness(idx, empty) == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUtilityMatchesReportAggregation recomputes utility from the
+// per-attack report rows and checks agreement.
+func TestQuickUtilityMatchesReportAggregation(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	property := func(seed int64) bool {
+		sys, err := synth.Generate(synth.Config{Seed: seed, Monitors: 8, Attacks: 6, Assets: 3})
+		if err != nil {
+			return false
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			return false
+		}
+		d := randomDeployment(r, idx, 0.5)
+		rep := Evaluate(idx, d)
+
+		weightSum, acc := 0.0, 0.0
+		for _, row := range rep.Attacks {
+			weightSum += row.Weight
+			acc += row.Weight * row.Coverage
+		}
+		if weightSum == 0 {
+			return rep.Utility == 0
+		}
+		diff := rep.Utility - acc/weightSum
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package model
+
+import "fmt"
+
+// Builder provides fluent construction of a System with deferred error
+// handling: building continues after an error, and Build returns the first
+// error encountered alongside validation results. It keeps catalog and
+// generator code free of per-call error plumbing.
+type Builder struct {
+	sys System
+	err error
+}
+
+// NewBuilder starts a system with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{sys: System{Name: name}}
+}
+
+// Asset adds an asset with criticality 1.
+func (b *Builder) Asset(id AssetID, name, kind string) *Builder {
+	b.sys.Assets = append(b.sys.Assets, Asset{ID: id, Name: name, Kind: kind, Criticality: 1})
+	return b
+}
+
+// CriticalAsset adds an asset with an explicit criticality.
+func (b *Builder) CriticalAsset(id AssetID, name, kind string, criticality float64) *Builder {
+	b.sys.Assets = append(b.sys.Assets, Asset{ID: id, Name: name, Kind: kind, Criticality: criticality})
+	return b
+}
+
+// DataType adds an observable data type tied to an asset (asset may be
+// empty) with the given event fields.
+func (b *Builder) DataType(id DataTypeID, name string, asset AssetID, fields ...string) *Builder {
+	b.sys.DataTypes = append(b.sys.DataTypes, DataType{ID: id, Name: name, Asset: asset, Fields: fields})
+	return b
+}
+
+// Monitor adds a deployable monitor.
+func (b *Builder) Monitor(id MonitorID, name string, asset AssetID, capital, operational float64, produces ...DataTypeID) *Builder {
+	b.sys.Monitors = append(b.sys.Monitors, Monitor{
+		ID:              id,
+		Name:            name,
+		Asset:           asset,
+		Produces:        produces,
+		CapitalCost:     capital,
+		OperationalCost: operational,
+	})
+	return b
+}
+
+// Attack starts a weighted attack; add its stages with Step and finish with
+// Done.
+func (b *Builder) Attack(id AttackID, name string, weight float64) *AttackBuilder {
+	return &AttackBuilder{parent: b, attack: Attack{ID: id, Name: name, Weight: weight}}
+}
+
+// Build validates and returns the constructed system.
+func (b *Builder) Build() (*System, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	sys := b.sys.Clone()
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("builder: %w", err)
+	}
+	return sys, nil
+}
+
+// AttackBuilder accumulates the steps of one attack.
+type AttackBuilder struct {
+	parent *Builder
+	attack Attack
+}
+
+// Step appends a stage of the attack with its evidence data types.
+func (ab *AttackBuilder) Step(name string, evidence ...DataTypeID) *AttackBuilder {
+	ab.attack.Steps = append(ab.attack.Steps, AttackStep{Name: name, Evidence: evidence})
+	return ab
+}
+
+// Done finishes the attack and returns to the system builder.
+func (ab *AttackBuilder) Done() *Builder {
+	ab.parent.sys.Attacks = append(ab.parent.sys.Attacks, ab.attack)
+	return ab.parent
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBuilderBuildsValidSystem(t *testing.T) {
+	sys, err := NewBuilder("built").
+		Asset("web", "Web server", "host").
+		CriticalAsset("db", "Database", "host", 3).
+		DataType("http-log", "HTTP access log", "web", "src", "url").
+		DataType("sql-audit", "SQL audit", "db", "user", "query").
+		Monitor("m-http", "Web log collector", "web", 10, 5, "http-log").
+		Monitor("m-db", "DB audit", "db", 20, 10, "sql-audit").
+		Attack("sqli", "SQL injection", 2).
+		Step("probe", "http-log").
+		Step("inject", "http-log", "sql-audit").
+		Done().
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sys.Name != "built" {
+		t.Errorf("Name = %q", sys.Name)
+	}
+	if len(sys.Assets) != 2 || len(sys.DataTypes) != 2 || len(sys.Monitors) != 2 || len(sys.Attacks) != 1 {
+		t.Errorf("sizes = %v", sys.String())
+	}
+	if sys.Assets[1].Criticality != 3 {
+		t.Errorf("criticality = %v, want 3", sys.Assets[1].Criticality)
+	}
+	if len(sys.Attacks[0].Steps) != 2 {
+		t.Errorf("steps = %d, want 2", len(sys.Attacks[0].Steps))
+	}
+}
+
+func TestBuilderBuildValidates(t *testing.T) {
+	_, err := NewBuilder("broken").
+		Asset("web", "Web server", "host").
+		DataType("http-log", "HTTP access log", "web").
+		Monitor("m", "Monitor", "web", 1, 1, "missing-data").
+		Build()
+	if !errors.Is(err, ErrInvalidSystem) {
+		t.Errorf("error = %v, want ErrInvalidSystem", err)
+	}
+}
+
+func TestBuilderResultIsIndependent(t *testing.T) {
+	b := NewBuilder("sys").
+		Asset("a", "Asset", "host").
+		DataType("d", "Data", "a").
+		Monitor("m", "Monitor", "a", 1, 1, "d").
+		Attack("x", "Attack", 1).Step("s", "d").Done()
+	sys1, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sys1.Monitors[0].Produces[0] = "tampered"
+	sys2, err := b.Build()
+	if err != nil {
+		t.Fatalf("second Build: %v", err)
+	}
+	if sys2.Monitors[0].Produces[0] != "d" {
+		t.Error("Build results share storage")
+	}
+}

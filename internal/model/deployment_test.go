@@ -1,0 +1,121 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeploymentZeroValueUsable(t *testing.T) {
+	var d Deployment
+	if d.Len() != 0 || d.Contains("m") {
+		t.Error("zero deployment not empty")
+	}
+	d.Add("m")
+	if !d.Contains("m") || d.Len() != 1 {
+		t.Error("Add on zero value failed")
+	}
+}
+
+func TestDeploymentBasics(t *testing.T) {
+	d := NewDeployment("b", "a")
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	ids := d.IDs()
+	if ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v, want sorted [a b]", ids)
+	}
+	d.Remove("a")
+	if d.Contains("a") || d.Len() != 1 {
+		t.Error("Remove failed")
+	}
+	d.Remove("missing") // no-op
+	if d.Len() != 1 {
+		t.Error("Remove(missing) changed deployment")
+	}
+}
+
+func TestDeploymentCloneIndependent(t *testing.T) {
+	d := NewDeployment("a")
+	cp := d.Clone()
+	cp.Add("b")
+	if d.Contains("b") {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestDeploymentUnion(t *testing.T) {
+	d := NewDeployment("a")
+	u := d.Union(NewDeployment("b"))
+	if !u.Contains("a") || !u.Contains("b") || u.Len() != 2 {
+		t.Errorf("Union = %v", u)
+	}
+	if d.Len() != 1 {
+		t.Error("Union mutated receiver")
+	}
+	if got := d.Union(nil); got.Len() != 1 {
+		t.Errorf("Union(nil) = %v", got)
+	}
+}
+
+func TestDeploymentCost(t *testing.T) {
+	idx := mustIndex(t, testSystem())
+	d := NewDeployment("m-http", "m-db", "ghost")
+	if got := d.Cost(idx); got != 45 {
+		t.Errorf("Cost = %v, want 45 (ghost ignored)", got)
+	}
+}
+
+func TestDeploymentString(t *testing.T) {
+	d := NewDeployment("m2", "m1")
+	if got := d.String(); got != "{m1, m2}" {
+		t.Errorf("String = %q, want {m1, m2}", got)
+	}
+}
+
+func TestDeploymentEqual(t *testing.T) {
+	a := NewDeployment("x", "y")
+	b := NewDeployment("y", "x")
+	if !a.Equal(b) {
+		t.Error("equal deployments reported unequal")
+	}
+	b.Add("z")
+	if a.Equal(b) {
+		t.Error("unequal deployments reported equal")
+	}
+	if a.Equal(NewDeployment("x", "z")) {
+		t.Error("same-size different deployments reported equal")
+	}
+	var empty Deployment
+	if !empty.Equal(nil) {
+		t.Error("empty deployment should equal nil")
+	}
+	if a.Equal(nil) {
+		t.Error("non-empty deployment equals nil")
+	}
+}
+
+func TestDeploymentJSONRoundTrip(t *testing.T) {
+	d := NewDeployment("b", "a", "c")
+	var buf bytes.Buffer
+	if err := EncodeDeployment(&buf, d); err != nil {
+		t.Fatalf("EncodeDeployment: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"monitors"`) {
+		t.Errorf("encoded form: %s", buf.String())
+	}
+	back, err := DecodeDeployment(&buf)
+	if err != nil {
+		t.Fatalf("DecodeDeployment: %v", err)
+	}
+	if !d.Equal(back) {
+		t.Errorf("round trip changed deployment: %v vs %v", d, back)
+	}
+}
+
+func TestDecodeDeploymentRejectsGarbage(t *testing.T) {
+	if _, err := DecodeDeployment(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

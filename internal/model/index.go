@@ -1,0 +1,158 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is a validated, query-optimized view of a System. It resolves
+// identifiers to entities and precomputes the producer relation between data
+// types and monitors that the metrics and optimization packages traverse.
+// An Index is immutable after construction and safe for concurrent reads.
+type Index struct {
+	sys *System
+
+	assets    map[AssetID]*Asset
+	dataTypes map[DataTypeID]*DataType
+	monitors  map[MonitorID]*Monitor
+	attacks   map[AttackID]*Attack
+
+	// producers maps each data type to the sorted monitors that produce it.
+	producers map[DataTypeID][]MonitorID
+	// produces maps each monitor to its set of data types.
+	produces map[MonitorID]map[DataTypeID]bool
+	// attackEvidence caches EvidenceUnion per attack.
+	attackEvidence map[AttackID][]DataTypeID
+}
+
+// NewIndex validates the system and builds an index over it. The index keeps
+// a reference to the system; callers must not mutate the system afterwards
+// (use System.Clone first when mutation is needed).
+func NewIndex(s *System) (*Index, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	idx := &Index{
+		sys:            s,
+		assets:         make(map[AssetID]*Asset, len(s.Assets)),
+		dataTypes:      make(map[DataTypeID]*DataType, len(s.DataTypes)),
+		monitors:       make(map[MonitorID]*Monitor, len(s.Monitors)),
+		attacks:        make(map[AttackID]*Attack, len(s.Attacks)),
+		producers:      make(map[DataTypeID][]MonitorID, len(s.DataTypes)),
+		produces:       make(map[MonitorID]map[DataTypeID]bool, len(s.Monitors)),
+		attackEvidence: make(map[AttackID][]DataTypeID, len(s.Attacks)),
+	}
+	for i := range s.Assets {
+		idx.assets[s.Assets[i].ID] = &s.Assets[i]
+	}
+	for i := range s.DataTypes {
+		idx.dataTypes[s.DataTypes[i].ID] = &s.DataTypes[i]
+	}
+	for i := range s.Monitors {
+		m := &s.Monitors[i]
+		idx.monitors[m.ID] = m
+		set := make(map[DataTypeID]bool, len(m.Produces))
+		for _, d := range m.Produces {
+			set[d] = true
+			idx.producers[d] = append(idx.producers[d], m.ID)
+		}
+		idx.produces[m.ID] = set
+	}
+	for d := range idx.producers {
+		list := idx.producers[d]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+	for i := range s.Attacks {
+		a := &s.Attacks[i]
+		idx.attacks[a.ID] = a
+		idx.attackEvidence[a.ID] = a.EvidenceUnion()
+	}
+	return idx, nil
+}
+
+// System returns the indexed system.
+func (idx *Index) System() *System { return idx.sys }
+
+// Asset resolves an asset identifier.
+func (idx *Index) Asset(id AssetID) (*Asset, bool) {
+	a, ok := idx.assets[id]
+	return a, ok
+}
+
+// DataType resolves a data type identifier.
+func (idx *Index) DataType(id DataTypeID) (*DataType, bool) {
+	d, ok := idx.dataTypes[id]
+	return d, ok
+}
+
+// Monitor resolves a monitor identifier.
+func (idx *Index) Monitor(id MonitorID) (*Monitor, bool) {
+	m, ok := idx.monitors[id]
+	return m, ok
+}
+
+// Attack resolves an attack identifier.
+func (idx *Index) Attack(id AttackID) (*Attack, bool) {
+	a, ok := idx.attacks[id]
+	return a, ok
+}
+
+// Producers returns the monitors that produce the given data type, sorted by
+// identifier. The returned slice must not be modified.
+func (idx *Index) Producers(d DataTypeID) []MonitorID {
+	return idx.producers[d]
+}
+
+// MonitorProduces reports whether monitor m produces data type d.
+func (idx *Index) MonitorProduces(m MonitorID, d DataTypeID) bool {
+	return idx.produces[m][d]
+}
+
+// AttackEvidence returns the deduplicated evidence union of an attack,
+// sorted by identifier. The returned slice must not be modified.
+func (idx *Index) AttackEvidence(id AttackID) []DataTypeID {
+	return idx.attackEvidence[id]
+}
+
+// MonitorIDs returns all monitor identifiers in sorted order.
+func (idx *Index) MonitorIDs() []MonitorID {
+	out := make([]MonitorID, 0, len(idx.monitors))
+	for id := range idx.monitors {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AttackIDs returns all attack identifiers in sorted order.
+func (idx *Index) AttackIDs() []AttackID {
+	out := make([]AttackID, 0, len(idx.attacks))
+	for id := range idx.attacks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DataTypeIDs returns all data type identifiers in sorted order.
+func (idx *Index) DataTypeIDs() []DataTypeID {
+	out := make([]DataTypeID, 0, len(idx.dataTypes))
+	for id := range idx.dataTypes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObservableEvidence reports how many of the attack's evidence items are
+// producible by at least one monitor in the whole system. Attacks whose
+// evidence nobody can produce bound achievable coverage below 1.
+func (idx *Index) ObservableEvidence(id AttackID) int {
+	n := 0
+	for _, e := range idx.attackEvidence[id] {
+		if len(idx.producers[e]) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustIndex(t *testing.T, sys *System) *Index {
+	t.Helper()
+	idx, err := NewIndex(sys)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	return idx
+}
+
+func TestNewIndexRejectsInvalidSystem(t *testing.T) {
+	sys := testSystem()
+	sys.Monitors[0].Produces = nil
+	if _, err := NewIndex(sys); !errors.Is(err, ErrInvalidSystem) {
+		t.Errorf("error = %v, want ErrInvalidSystem", err)
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	idx := mustIndex(t, testSystem())
+
+	if a, ok := idx.Asset("web"); !ok || a.Name != "Web server" {
+		t.Errorf("Asset(web) = (%v, %v)", a, ok)
+	}
+	if _, ok := idx.Asset("ghost"); ok {
+		t.Error("Asset(ghost) found")
+	}
+	if d, ok := idx.DataType("netflow"); !ok || d.Name != "Netflow record" {
+		t.Errorf("DataType(netflow) = (%v, %v)", d, ok)
+	}
+	if _, ok := idx.DataType("ghost"); ok {
+		t.Error("DataType(ghost) found")
+	}
+	if m, ok := idx.Monitor("m-db"); !ok || m.TotalCost() != 30 {
+		t.Errorf("Monitor(m-db) = (%v, %v)", m, ok)
+	}
+	if _, ok := idx.Monitor("ghost"); ok {
+		t.Error("Monitor(ghost) found")
+	}
+	if a, ok := idx.Attack("sqli"); !ok || a.Weight != 2 {
+		t.Errorf("Attack(sqli) = (%v, %v)", a, ok)
+	}
+	if _, ok := idx.Attack("ghost"); ok {
+		t.Error("Attack(ghost) found")
+	}
+	if idx.System().Name != "test" {
+		t.Errorf("System().Name = %q", idx.System().Name)
+	}
+}
+
+func TestIndexProducers(t *testing.T) {
+	idx := mustIndex(t, testSystem())
+
+	got := idx.Producers("http-log")
+	want := []MonitorID{"m-http", "m-net"}
+	if len(got) != len(want) {
+		t.Fatalf("Producers(http-log) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Producers[%d] = %v, want %v (sorted)", i, got[i], want[i])
+		}
+	}
+	if len(idx.Producers("ghost")) != 0 {
+		t.Error("Producers(ghost) non-empty")
+	}
+
+	if !idx.MonitorProduces("m-net", "netflow") {
+		t.Error("MonitorProduces(m-net, netflow) = false")
+	}
+	if idx.MonitorProduces("m-net", "sql-audit") {
+		t.Error("MonitorProduces(m-net, sql-audit) = true")
+	}
+	if idx.MonitorProduces("ghost", "netflow") {
+		t.Error("MonitorProduces(ghost, netflow) = true")
+	}
+}
+
+func TestIndexAttackEvidence(t *testing.T) {
+	idx := mustIndex(t, testSystem())
+	ev := idx.AttackEvidence("sqli")
+	if len(ev) != 2 || ev[0] != "http-log" || ev[1] != "sql-audit" {
+		t.Errorf("AttackEvidence(sqli) = %v", ev)
+	}
+	if len(idx.AttackEvidence("ghost")) != 0 {
+		t.Error("AttackEvidence(ghost) non-empty")
+	}
+}
+
+func TestIndexIDListsSorted(t *testing.T) {
+	idx := mustIndex(t, testSystem())
+
+	mids := idx.MonitorIDs()
+	if len(mids) != 3 || mids[0] != "m-db" || mids[1] != "m-http" || mids[2] != "m-net" {
+		t.Errorf("MonitorIDs = %v", mids)
+	}
+	aids := idx.AttackIDs()
+	if len(aids) != 2 || aids[0] != "exfil" || aids[1] != "sqli" {
+		t.Errorf("AttackIDs = %v", aids)
+	}
+	dids := idx.DataTypeIDs()
+	if len(dids) != 3 || dids[0] != "http-log" {
+		t.Errorf("DataTypeIDs = %v", dids)
+	}
+}
+
+func TestObservableEvidence(t *testing.T) {
+	sys := testSystem()
+	// Add a data type nobody produces, used as evidence by sqli.
+	sys.DataTypes = append(sys.DataTypes, DataType{ID: "memory-dump", Name: "Memory dump"})
+	sys.Attacks[0].Steps[0].Evidence = append(sys.Attacks[0].Steps[0].Evidence, "memory-dump")
+	idx := mustIndex(t, sys)
+
+	// sqli evidence: http-log, sql-audit, memory-dump; only 2 observable.
+	if got := idx.ObservableEvidence("sqli"); got != 2 {
+		t.Errorf("ObservableEvidence(sqli) = %d, want 2", got)
+	}
+	if got := idx.ObservableEvidence("exfil"); got != 1 {
+		t.Errorf("ObservableEvidence(exfil) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,31 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DecodeSystem reads a JSON-encoded system from r and validates it.
+func DecodeSystem(r io.Reader) (*System, error) {
+	var s System
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decode system: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// EncodeSystem writes the system to w as indented JSON.
+func EncodeSystem(w io.Writer, s *System) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("model: encode system: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys := testSystem()
+	var buf bytes.Buffer
+	if err := EncodeSystem(&buf, sys); err != nil {
+		t.Fatalf("EncodeSystem: %v", err)
+	}
+	back, err := DecodeSystem(&buf)
+	if err != nil {
+		t.Fatalf("DecodeSystem: %v", err)
+	}
+	if !reflect.DeepEqual(sys, back) {
+		t.Errorf("round trip changed system:\n before: %+v\n after:  %+v", sys, back)
+	}
+}
+
+func TestDecodeSystemRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeSystem(strings.NewReader(`{"name":"x","bogus":1}`))
+	if err == nil {
+		t.Fatal("DecodeSystem accepted unknown field")
+	}
+}
+
+func TestDecodeSystemRejectsMalformedJSON(t *testing.T) {
+	_, err := DecodeSystem(strings.NewReader(`{"name":`))
+	if err == nil {
+		t.Fatal("DecodeSystem accepted malformed JSON")
+	}
+}
+
+func TestDecodeSystemValidates(t *testing.T) {
+	// Structurally valid JSON but semantically invalid system (monitor with
+	// no produced data).
+	payload := `{
+	  "name": "bad",
+	  "assets": [{"id": "a", "name": "A"}],
+	  "dataTypes": [{"id": "d", "name": "D"}],
+	  "monitors": [{"id": "m", "name": "M", "produces": [], "capitalCost": 1, "operationalCost": 1}],
+	  "attacks": [{"id": "x", "name": "X", "steps": [{"name": "s", "evidence": ["d"]}]}]
+	}`
+	if _, err := DecodeSystem(strings.NewReader(payload)); err == nil {
+		t.Fatal("DecodeSystem accepted invalid system")
+	}
+}

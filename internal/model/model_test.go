@@ -1,0 +1,123 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSystem returns a small, valid system used across the package tests:
+// two assets, three data types, three monitors and two attacks.
+func testSystem() *System {
+	return &System{
+		Name: "test",
+		Assets: []Asset{
+			{ID: "web", Name: "Web server", Kind: "host", Criticality: 1},
+			{ID: "db", Name: "Database", Kind: "host", Criticality: 2},
+		},
+		DataTypes: []DataType{
+			{ID: "http-log", Name: "HTTP access log", Asset: "web", Fields: []string{"src", "url", "status"}},
+			{ID: "sql-audit", Name: "SQL audit log", Asset: "db", Fields: []string{"user", "query"}},
+			{ID: "netflow", Name: "Netflow record", Fields: []string{"src", "dst", "bytes"}},
+		},
+		Monitors: []Monitor{
+			{ID: "m-http", Name: "Web log collector", Asset: "web", Produces: []DataTypeID{"http-log"}, CapitalCost: 10, OperationalCost: 5},
+			{ID: "m-db", Name: "DB audit", Asset: "db", Produces: []DataTypeID{"sql-audit"}, CapitalCost: 20, OperationalCost: 10},
+			{ID: "m-net", Name: "Netflow probe", Produces: []DataTypeID{"netflow", "http-log"}, CapitalCost: 30, OperationalCost: 0},
+		},
+		Attacks: []Attack{
+			{
+				ID: "sqli", Name: "SQL injection", Weight: 2,
+				Steps: []AttackStep{
+					{Name: "probe", Evidence: []DataTypeID{"http-log"}},
+					{Name: "inject", Evidence: []DataTypeID{"http-log", "sql-audit"}},
+				},
+			},
+			{
+				ID: "exfil", Name: "Data exfiltration", Weight: 0, // defaults to 1
+				Steps: []AttackStep{
+					{Name: "transfer", Evidence: []DataTypeID{"netflow"}},
+				},
+			},
+		},
+	}
+}
+
+func TestEvidenceUnionDeduplicatesAndSorts(t *testing.T) {
+	sys := testSystem()
+	got := sys.Attacks[0].EvidenceUnion()
+	want := []DataTypeID{"http-log", "sql-audit"}
+	if len(got) != len(want) {
+		t.Fatalf("EvidenceUnion = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("EvidenceUnion[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMonitorTotalCost(t *testing.T) {
+	m := Monitor{CapitalCost: 12, OperationalCost: 8}
+	if got := m.TotalCost(); got != 20 {
+		t.Errorf("TotalCost = %v, want 20", got)
+	}
+}
+
+func TestSystemTotals(t *testing.T) {
+	sys := testSystem()
+	if got := sys.TotalMonitorCost(); got != 75 {
+		t.Errorf("TotalMonitorCost = %v, want 75", got)
+	}
+	// Weight 2 plus defaulted weight 1.
+	if got := sys.TotalAttackWeight(); got != 3 {
+		t.Errorf("TotalAttackWeight = %v, want 3", got)
+	}
+}
+
+func TestAttackWeightDefault(t *testing.T) {
+	if got := AttackWeight(Attack{Weight: 0}); got != 1 {
+		t.Errorf("AttackWeight(0) = %v, want 1", got)
+	}
+	if got := AttackWeight(Attack{Weight: 2.5}); got != 2.5 {
+		t.Errorf("AttackWeight(2.5) = %v, want 2.5", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	sys := testSystem()
+	cp := sys.Clone()
+
+	cp.Monitors[0].Produces[0] = "tampered"
+	cp.Attacks[0].Steps[0].Evidence[0] = "tampered"
+	cp.DataTypes[0].Fields[0] = "tampered"
+	cp.Assets[0].ID = "tampered"
+
+	if sys.Monitors[0].Produces[0] != "http-log" {
+		t.Error("clone shares monitor produces slice")
+	}
+	if sys.Attacks[0].Steps[0].Evidence[0] != "http-log" {
+		t.Error("clone shares attack evidence slice")
+	}
+	if sys.DataTypes[0].Fields[0] != "src" {
+		t.Error("clone shares data type fields slice")
+	}
+	if sys.Assets[0].ID != "web" {
+		t.Error("clone shares asset storage")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	sys := testSystem()
+	s := sys.String()
+	for _, want := range []string{"test", "2 assets", "3 data types", "3 monitors", "2 attacks"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestValidateAcceptsTestSystem(t *testing.T) {
+	if err := testSystem().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

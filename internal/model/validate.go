@@ -1,0 +1,116 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidSystem is wrapped by every validation failure so callers can
+// match the whole class with errors.Is.
+var ErrInvalidSystem = errors.New("model: invalid system")
+
+// Validate checks the structural integrity of the system: unique identifiers,
+// resolvable references, sane numeric values, and that every monitor and
+// attack participates in the evidence relation. It returns the first problem
+// found.
+func (s *System) Validate() error {
+	assets := make(map[AssetID]bool, len(s.Assets))
+	for _, a := range s.Assets {
+		if a.ID == "" {
+			return fmt.Errorf("%w: asset with empty id (name %q)", ErrInvalidSystem, a.Name)
+		}
+		if assets[a.ID] {
+			return fmt.Errorf("%w: duplicate asset id %q", ErrInvalidSystem, a.ID)
+		}
+		if a.Criticality < 0 || math.IsNaN(a.Criticality) || math.IsInf(a.Criticality, 0) {
+			return fmt.Errorf("%w: asset %q has criticality %v", ErrInvalidSystem, a.ID, a.Criticality)
+		}
+		assets[a.ID] = true
+	}
+
+	data := make(map[DataTypeID]bool, len(s.DataTypes))
+	for _, d := range s.DataTypes {
+		if d.ID == "" {
+			return fmt.Errorf("%w: data type with empty id (name %q)", ErrInvalidSystem, d.Name)
+		}
+		if data[d.ID] {
+			return fmt.Errorf("%w: duplicate data type id %q", ErrInvalidSystem, d.ID)
+		}
+		if d.Asset != "" && !assets[d.Asset] {
+			return fmt.Errorf("%w: data type %q references unknown asset %q", ErrInvalidSystem, d.ID, d.Asset)
+		}
+		data[d.ID] = true
+	}
+
+	monitors := make(map[MonitorID]bool, len(s.Monitors))
+	for _, m := range s.Monitors {
+		if m.ID == "" {
+			return fmt.Errorf("%w: monitor with empty id (name %q)", ErrInvalidSystem, m.Name)
+		}
+		if monitors[m.ID] {
+			return fmt.Errorf("%w: duplicate monitor id %q", ErrInvalidSystem, m.ID)
+		}
+		if m.Asset != "" && !assets[m.Asset] {
+			return fmt.Errorf("%w: monitor %q references unknown asset %q", ErrInvalidSystem, m.ID, m.Asset)
+		}
+		if len(m.Produces) == 0 {
+			return fmt.Errorf("%w: monitor %q produces no data", ErrInvalidSystem, m.ID)
+		}
+		seen := make(map[DataTypeID]bool, len(m.Produces))
+		for _, d := range m.Produces {
+			if !data[d] {
+				return fmt.Errorf("%w: monitor %q produces unknown data type %q", ErrInvalidSystem, m.ID, d)
+			}
+			if seen[d] {
+				return fmt.Errorf("%w: monitor %q lists data type %q twice", ErrInvalidSystem, m.ID, d)
+			}
+			seen[d] = true
+		}
+		if err := validCost(m.CapitalCost); err != nil {
+			return fmt.Errorf("%w: monitor %q capital cost: %v", ErrInvalidSystem, m.ID, err)
+		}
+		if err := validCost(m.OperationalCost); err != nil {
+			return fmt.Errorf("%w: monitor %q operational cost: %v", ErrInvalidSystem, m.ID, err)
+		}
+		monitors[m.ID] = true
+	}
+
+	attacks := make(map[AttackID]bool, len(s.Attacks))
+	for _, a := range s.Attacks {
+		if a.ID == "" {
+			return fmt.Errorf("%w: attack with empty id (name %q)", ErrInvalidSystem, a.Name)
+		}
+		if attacks[a.ID] {
+			return fmt.Errorf("%w: duplicate attack id %q", ErrInvalidSystem, a.ID)
+		}
+		if a.Weight < 0 || math.IsNaN(a.Weight) || math.IsInf(a.Weight, 0) {
+			return fmt.Errorf("%w: attack %q has weight %v", ErrInvalidSystem, a.ID, a.Weight)
+		}
+		if len(a.Steps) == 0 {
+			return fmt.Errorf("%w: attack %q has no steps", ErrInvalidSystem, a.ID)
+		}
+		evidenceTotal := 0
+		for si, step := range a.Steps {
+			for _, e := range step.Evidence {
+				if !data[e] {
+					return fmt.Errorf("%w: attack %q step %d references unknown data type %q",
+						ErrInvalidSystem, a.ID, si, e)
+				}
+				evidenceTotal++
+			}
+		}
+		if evidenceTotal == 0 {
+			return fmt.Errorf("%w: attack %q has no evidence in any step", ErrInvalidSystem, a.ID)
+		}
+		attacks[a.ID] = true
+	}
+	return nil
+}
+
+func validCost(c float64) error {
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return fmt.Errorf("cost %v is not a non-negative finite number", c)
+	}
+	return nil
+}

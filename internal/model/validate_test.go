@@ -1,0 +1,166 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*System)
+		wantSub string
+	}{
+		{
+			name:    "empty asset id",
+			mutate:  func(s *System) { s.Assets[0].ID = "" },
+			wantSub: "empty id",
+		},
+		{
+			name:    "duplicate asset id",
+			mutate:  func(s *System) { s.Assets[1].ID = s.Assets[0].ID },
+			wantSub: "duplicate asset",
+		},
+		{
+			name:    "negative criticality",
+			mutate:  func(s *System) { s.Assets[0].Criticality = -1 },
+			wantSub: "criticality",
+		},
+		{
+			name:    "nan criticality",
+			mutate:  func(s *System) { s.Assets[0].Criticality = math.NaN() },
+			wantSub: "criticality",
+		},
+		{
+			name:    "empty data type id",
+			mutate:  func(s *System) { s.DataTypes[0].ID = "" },
+			wantSub: "empty id",
+		},
+		{
+			name: "duplicate data type id",
+			mutate: func(s *System) {
+				s.DataTypes[1].ID = s.DataTypes[0].ID
+			},
+			wantSub: "duplicate data type",
+		},
+		{
+			name:    "data type unknown asset",
+			mutate:  func(s *System) { s.DataTypes[0].Asset = "ghost" },
+			wantSub: "unknown asset",
+		},
+		{
+			name:    "empty monitor id",
+			mutate:  func(s *System) { s.Monitors[0].ID = "" },
+			wantSub: "empty id",
+		},
+		{
+			name:    "duplicate monitor id",
+			mutate:  func(s *System) { s.Monitors[1].ID = s.Monitors[0].ID },
+			wantSub: "duplicate monitor",
+		},
+		{
+			name:    "monitor unknown asset",
+			mutate:  func(s *System) { s.Monitors[0].Asset = "ghost" },
+			wantSub: "unknown asset",
+		},
+		{
+			name:    "monitor produces nothing",
+			mutate:  func(s *System) { s.Monitors[0].Produces = nil },
+			wantSub: "produces no data",
+		},
+		{
+			name:    "monitor produces unknown data",
+			mutate:  func(s *System) { s.Monitors[0].Produces = []DataTypeID{"ghost"} },
+			wantSub: "unknown data type",
+		},
+		{
+			name: "monitor duplicate data",
+			mutate: func(s *System) {
+				s.Monitors[0].Produces = []DataTypeID{"http-log", "http-log"}
+			},
+			wantSub: "twice",
+		},
+		{
+			name:    "negative capital cost",
+			mutate:  func(s *System) { s.Monitors[0].CapitalCost = -5 },
+			wantSub: "capital cost",
+		},
+		{
+			name:    "infinite operational cost",
+			mutate:  func(s *System) { s.Monitors[0].OperationalCost = math.Inf(1) },
+			wantSub: "operational cost",
+		},
+		{
+			name:    "empty attack id",
+			mutate:  func(s *System) { s.Attacks[0].ID = "" },
+			wantSub: "empty id",
+		},
+		{
+			name:    "duplicate attack id",
+			mutate:  func(s *System) { s.Attacks[1].ID = s.Attacks[0].ID },
+			wantSub: "duplicate attack",
+		},
+		{
+			name:    "negative weight",
+			mutate:  func(s *System) { s.Attacks[0].Weight = -2 },
+			wantSub: "weight",
+		},
+		{
+			name:    "attack without steps",
+			mutate:  func(s *System) { s.Attacks[0].Steps = nil },
+			wantSub: "no steps",
+		},
+		{
+			name: "attack step unknown evidence",
+			mutate: func(s *System) {
+				s.Attacks[0].Steps[0].Evidence = []DataTypeID{"ghost"}
+			},
+			wantSub: "unknown data type",
+		},
+		{
+			name: "attack without evidence",
+			mutate: func(s *System) {
+				s.Attacks[0].Steps = []AttackStep{{Name: "silent"}}
+			},
+			wantSub: "no evidence",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sys := testSystem()
+			tt.mutate(sys)
+			err := sys.Validate()
+			if err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !errors.Is(err, ErrInvalidSystem) {
+				t.Errorf("error %v does not wrap ErrInvalidSystem", err)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q missing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAllowsUnanchoredEntities(t *testing.T) {
+	// Data types and monitors without an asset are legal (network-wide
+	// observables).
+	sys := testSystem()
+	sys.DataTypes[2].Asset = ""
+	sys.Monitors[2].Asset = ""
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateAllowsZeroCost(t *testing.T) {
+	sys := testSystem()
+	sys.Monitors[0].CapitalCost = 0
+	sys.Monitors[0].OperationalCost = 0
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package report renders a human-readable monitoring assessment for a
+// deployment as Markdown: the current posture (every metric of the DSN 2016
+// suite), per-attack coverage gaps, and ranked upgrade recommendations with
+// their marginal utility per cost unit.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// Recommendation is one candidate monitor addition.
+type Recommendation struct {
+	Monitor model.MonitorID `json:"monitor"`
+	Cost    float64         `json:"cost"`
+	// UtilityGain is the utility delta from adding the monitor to the
+	// assessed deployment.
+	UtilityGain float64 `json:"utilityGain"`
+	// GainPerCost is UtilityGain divided by cost.
+	GainPerCost float64 `json:"gainPerCost"`
+}
+
+// Recommendations ranks every undeployed monitor by marginal utility per
+// cost against the given deployment, dropping zero-gain candidates. The
+// result is sorted by gain-per-cost descending (ties by identifier).
+func Recommendations(idx *model.Index, d *model.Deployment, limit int) []Recommendation {
+	base := metrics.Utility(idx, d)
+	var out []Recommendation
+	for _, id := range idx.MonitorIDs() {
+		if d.Contains(id) {
+			continue
+		}
+		m, _ := idx.Monitor(id)
+		trial := d.Clone()
+		trial.Add(id)
+		gain := metrics.Utility(idx, trial) - base
+		if gain <= 1e-12 {
+			continue
+		}
+		cost := m.TotalCost()
+		perCost := gain
+		if cost > 0 {
+			perCost = gain / cost
+		}
+		out = append(out, Recommendation{
+			Monitor:     id,
+			Cost:        cost,
+			UtilityGain: gain,
+			GainPerCost: perCost,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GainPerCost != out[j].GainPerCost {
+			return out[i].GainPerCost > out[j].GainPerCost
+		}
+		return out[i].Monitor < out[j].Monitor
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Write renders the full Markdown assessment of the deployment.
+func Write(w io.Writer, idx *model.Index, d *model.Deployment) error {
+	sys := idx.System()
+	rep := metrics.Evaluate(idx, d)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Monitoring assessment: %s\n\n", sys.Name)
+	fmt.Fprintf(&b, "System: %d assets, %d data types, %d deployable monitors, %d attacks (total weight %.1f).\n\n",
+		len(sys.Assets), len(sys.DataTypes), len(sys.Monitors), len(sys.Attacks), sys.TotalAttackWeight())
+
+	// Deployment inventory.
+	fmt.Fprintf(&b, "## Deployment (%d monitors, cost %.0f of %.0f total)\n\n",
+		d.Len(), rep.Cost, sys.TotalMonitorCost())
+	if d.Len() == 0 {
+		b.WriteString("*No monitors deployed.*\n\n")
+	} else {
+		b.WriteString("| monitor | asset | cost |\n|---|---|---|\n")
+		for _, id := range d.IDs() {
+			if m, ok := idx.Monitor(id); ok {
+				fmt.Fprintf(&b, "| %s | %s | %.0f |\n", m.ID, m.Asset, m.TotalCost())
+			}
+		}
+		b.WriteString("\n")
+	}
+
+	// Posture metrics.
+	b.WriteString("## Posture\n\n")
+	b.WriteString("| metric | value | meaning |\n|---|---|---|\n")
+	fmt.Fprintf(&b, "| Detection utility | %.4f | weighted evidence coverage (max achievable %.4f) |\n",
+		rep.Utility, rep.MaxUtility)
+	fmt.Fprintf(&b, "| Data richness | %.4f | fraction of relevant event fields recorded |\n", rep.Richness)
+	fmt.Fprintf(&b, "| Mean redundancy | %.2f | independent monitors per evidence item |\n", rep.MeanRedundancy)
+	fmt.Fprintf(&b, "| Corroborated utility | %.4f | utility surviving any single monitor compromise |\n",
+		rep.CorroboratedUtility)
+	fmt.Fprintf(&b, "| Distinguishability | %.4f | attack pairs separable from observed evidence |\n",
+		rep.Distinguishability)
+	fmt.Fprintf(&b, "| Earliness | %.4f | how early in their steps attacks become visible |\n", rep.Earliness)
+	fmt.Fprintf(&b, "| Expected utility (10%% monitor failure) | %.4f | utility under unreliable monitors |\n",
+		metrics.ExpectedUtility(idx, d, 0.1))
+	b.WriteString("\n")
+
+	// Per-attack table.
+	b.WriteString("## Attack coverage\n\n")
+	b.WriteString("| attack | weight | coverage | confidence | earliness |\n|---|---|---|---|---|\n")
+	for _, a := range rep.Attacks {
+		fmt.Fprintf(&b, "| %s | %.1f | %d/%d (%.2f) | %.2f | %.2f |\n",
+			a.ID, a.Weight, a.EvidenceCovered, a.EvidenceTotal, a.Coverage, a.Confidence, a.Earliness)
+	}
+	b.WriteString("\n")
+
+	// Gaps: uncovered evidence of under-covered attacks.
+	covered := metrics.CoveredData(idx, d)
+	var gaps []string
+	for _, a := range rep.Attacks {
+		if a.Coverage >= 1 {
+			continue
+		}
+		var missing []string
+		for _, e := range idx.AttackEvidence(a.ID) {
+			if covered[e] == 0 {
+				missing = append(missing, string(e))
+			}
+		}
+		gaps = append(gaps, fmt.Sprintf("- **%s** (coverage %.2f): missing %s",
+			a.ID, a.Coverage, strings.Join(missing, ", ")))
+	}
+	if len(gaps) > 0 {
+		b.WriteString("## Gaps\n\n")
+		b.WriteString(strings.Join(gaps, "\n"))
+		b.WriteString("\n\n")
+	}
+
+	// Per-asset posture.
+	assets := metrics.EvaluateAssets(idx, d)
+	b.WriteString("## Per-asset posture\n\n")
+	b.WriteString("| asset | monitors | spend | relevant data covered |\n|---|---|---|---|\n")
+	for _, a := range assets {
+		fmt.Fprintf(&b, "| %s | %d/%d | %.0f | %d/%d |\n",
+			a.ID, a.MonitorsDeployed, a.MonitorsAvailable, a.Spend, a.CoveredData, a.RelevantData)
+	}
+	b.WriteString("\n")
+
+	// Recommendations.
+	recs := Recommendations(idx, d, 5)
+	if len(recs) > 0 {
+		b.WriteString("## Recommended additions\n\n")
+		b.WriteString("| monitor | cost | utility gain | gain per cost |\n|---|---|---|---|\n")
+		for _, r := range recs {
+			fmt.Fprintf(&b, "| %s | %.0f | %+.4f | %.6f |\n", r.Monitor, r.Cost, r.UtilityGain, r.GainPerCost)
+		}
+		b.WriteString("\n")
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+func testIndex(t *testing.T) *model.Index {
+	t.Helper()
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+func TestWriteSections(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment(
+		casestudy.MonitorID("nids", "core-net"),
+		casestudy.MonitorID("http-access-logger", "web-1"),
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, idx, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Monitoring assessment: enterprise-web-service",
+		"## Deployment (2 monitors",
+		"## Posture",
+		"Detection utility",
+		"## Attack coverage",
+		"sql-injection",
+		"## Gaps",
+		"## Recommended additions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteEmptyDeployment(t *testing.T) {
+	idx := testIndex(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, idx, model.NewDeployment()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "*No monitors deployed.*") {
+		t.Error("empty deployment not reported")
+	}
+}
+
+func TestWriteFullDeploymentHasNoGaps(t *testing.T) {
+	idx := testIndex(t)
+	all := model.NewDeployment(idx.MonitorIDs()...)
+	var buf bytes.Buffer
+	if err := Write(&buf, idx, all); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "## Gaps") {
+		t.Error("full deployment reports gaps")
+	}
+	if strings.Contains(out, "## Recommended additions") {
+		t.Error("full deployment reports recommendations")
+	}
+}
+
+func TestRecommendationsRankedByGainPerCost(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment()
+	recs := Recommendations(idx, d, 0)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for an empty deployment")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].GainPerCost > recs[i-1].GainPerCost+1e-12 {
+			t.Errorf("recommendations not sorted: %v before %v", recs[i-1], recs[i])
+		}
+	}
+	// Gains must be real.
+	for _, r := range recs {
+		trial := d.Clone()
+		trial.Add(r.Monitor)
+		if got := metrics.Utility(idx, trial) - metrics.Utility(idx, d); got < r.UtilityGain-1e-9 || got > r.UtilityGain+1e-9 {
+			t.Errorf("recommendation %s gain %v, recomputed %v", r.Monitor, r.UtilityGain, got)
+		}
+	}
+}
+
+func TestRecommendationsLimit(t *testing.T) {
+	idx := testIndex(t)
+	recs := Recommendations(idx, model.NewDeployment(), 3)
+	if len(recs) != 3 {
+		t.Errorf("limit ignored: %d recommendations", len(recs))
+	}
+}
+
+func TestWritePerAssetSection(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment(casestudy.MonitorID("db-auditor", "db-1"))
+	var buf bytes.Buffer
+	if err := Write(&buf, idx, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## Per-asset posture") {
+		t.Error("missing per-asset section")
+	}
+	if !strings.Contains(out, "| db-1 | 1/") {
+		t.Errorf("db-1 row missing or wrong:\n%s", out)
+	}
+}

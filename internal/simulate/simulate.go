@@ -1,0 +1,288 @@
+// Package simulate provides a Monte-Carlo attack and detection simulator
+// that validates the analytic metrics of internal/metrics on generated event
+// traces.
+//
+// Each trial executes one attack step by step: every evidence data type of a
+// step manifests as an event with configurable probability, and every
+// deployed monitor that produces the event's data type captures it with
+// configurable reliability. A trial is detected when the fraction of
+// manifested steps with at least one captured event reaches the detection
+// threshold.
+//
+// With manifestation and capture probability 1 the simulated evidence recall
+// of an attack equals metrics.AttackCoverage exactly, and the weighted
+// recall equals metrics.Utility — the invariant behind experiment E8.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"secmon/internal/model"
+)
+
+// ErrBadConfig is returned for out-of-range simulation parameters.
+var ErrBadConfig = errors.New("simulate: invalid configuration")
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Trials is the number of executions per attack (default 100).
+	Trials int
+	// ManifestProb is the probability that an evidence data type of an
+	// executing step actually produces an event (default 1).
+	ManifestProb float64
+	// CaptureProb is the probability that a deployed monitor producing the
+	// event's data type records it (default 1). Each producing monitor
+	// samples independently.
+	CaptureProb float64
+	// DetectionThreshold is the fraction of manifested steps that must have
+	// at least one captured event for the trial to count as detected.
+	// Zero (the default) declares detection on any captured event.
+	DetectionThreshold float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	if c.ManifestProb == 0 {
+		c.ManifestProb = 1
+	}
+	if c.CaptureProb == 0 {
+		c.CaptureProb = 1
+	}
+	switch {
+	case c.ManifestProb < 0 || c.ManifestProb > 1 || math.IsNaN(c.ManifestProb):
+		return c, fmt.Errorf("%w: manifest probability %v", ErrBadConfig, c.ManifestProb)
+	case c.CaptureProb < 0 || c.CaptureProb > 1 || math.IsNaN(c.CaptureProb):
+		return c, fmt.Errorf("%w: capture probability %v", ErrBadConfig, c.CaptureProb)
+	case c.DetectionThreshold < 0 || c.DetectionThreshold > 1 || math.IsNaN(c.DetectionThreshold):
+		return c, fmt.Errorf("%w: detection threshold %v", ErrBadConfig, c.DetectionThreshold)
+	}
+	return c, nil
+}
+
+// Event is one generated evidence record of an attack trace.
+type Event struct {
+	// Time is the event's position in the trace (monotonically increasing).
+	Time int `json:"time"`
+	// Attack and Step identify the attack stage that produced the event.
+	Attack model.AttackID `json:"attack"`
+	Step   string         `json:"step"`
+	// Data is the data type in which the step manifested.
+	Data model.DataTypeID `json:"data"`
+	// CapturedBy lists the deployed monitors that recorded the event;
+	// empty when the event went unobserved.
+	CapturedBy []model.MonitorID `json:"capturedBy,omitempty"`
+}
+
+// AttackStats aggregates the trials of one attack.
+type AttackStats struct {
+	Attack model.AttackID `json:"attack"`
+	Weight float64        `json:"weight"`
+	Trials int            `json:"trials"`
+	// DetectionRate is the fraction of trials that met the detection
+	// threshold.
+	DetectionRate float64 `json:"detectionRate"`
+	// EvidenceRecall is the mean fraction of manifested evidence data types
+	// captured per trial.
+	EvidenceRecall float64 `json:"evidenceRecall"`
+	// StepRecall is the mean fraction of manifested steps with at least one
+	// captured event per trial.
+	StepRecall float64 `json:"stepRecall"`
+	// Earliness is the mean detection earliness per trial: 1 when the first
+	// attack step is observed, decreasing linearly with the index of the
+	// earliest observed step, 0 when nothing is observed. Under ideal
+	// probabilities it equals metrics.AttackEarliness.
+	Earliness float64 `json:"earliness"`
+}
+
+// Summary is the outcome of a simulation run.
+type Summary struct {
+	PerAttack []AttackStats `json:"perAttack"`
+	// WeightedDetectionRate is the attack-weight-normalized detection rate.
+	WeightedDetectionRate float64 `json:"weightedDetectionRate"`
+	// WeightedEvidenceRecall is the attack-weight-normalized evidence
+	// recall; with ideal probabilities it equals metrics.Utility.
+	WeightedEvidenceRecall float64 `json:"weightedEvidenceRecall"`
+	// WeightedEarliness is the attack-weight-normalized mean detection
+	// earliness; with ideal probabilities it equals metrics.Earliness.
+	WeightedEarliness float64 `json:"weightedEarliness"`
+	// Events is the total number of manifested events across all trials.
+	Events int `json:"events"`
+}
+
+// Run simulates every attack in the system against the deployment.
+func Run(idx *model.Index, d *model.Deployment, cfg Config) (*Summary, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+
+	sum := &Summary{}
+	totalWeight := 0.0
+	for _, aid := range idx.AttackIDs() {
+		attack, _ := idx.Attack(aid)
+		weight := model.AttackWeight(*attack)
+		totalWeight += weight
+
+		stats := AttackStats{Attack: aid, Weight: weight, Trials: c.Trials}
+		for trial := 0; trial < c.Trials; trial++ {
+			events := generateTrace(r, attack, c.ManifestProb)
+			sum.Events += len(events)
+			captureEvents(r, idx, d, events, c.CaptureProb)
+
+			recall, stepRecall := trialRecall(attack, events)
+			stats.EvidenceRecall += recall
+			stats.StepRecall += stepRecall
+			stats.Earliness += trialEarliness(attack, events)
+			if detected(c.DetectionThreshold, stepRecall, events) {
+				stats.DetectionRate++
+			}
+		}
+		stats.DetectionRate /= float64(c.Trials)
+		stats.EvidenceRecall /= float64(c.Trials)
+		stats.StepRecall /= float64(c.Trials)
+		stats.Earliness /= float64(c.Trials)
+		sum.PerAttack = append(sum.PerAttack, stats)
+	}
+
+	if totalWeight > 0 {
+		for _, s := range sum.PerAttack {
+			sum.WeightedDetectionRate += s.Weight * s.DetectionRate
+			sum.WeightedEvidenceRecall += s.Weight * s.EvidenceRecall
+			sum.WeightedEarliness += s.Weight * s.Earliness
+		}
+		sum.WeightedDetectionRate /= totalWeight
+		sum.WeightedEvidenceRecall /= totalWeight
+		sum.WeightedEarliness /= totalWeight
+	}
+	return sum, nil
+}
+
+// Trace generates the manifested (but not yet captured) event trace of a
+// single execution of the attack; exposed for examples and tooling.
+func Trace(idx *model.Index, aid model.AttackID, seed int64, manifestProb float64) ([]Event, error) {
+	attack, ok := idx.Attack(aid)
+	if !ok {
+		return nil, fmt.Errorf("simulate: unknown attack %q", aid)
+	}
+	if manifestProb <= 0 || manifestProb > 1 || math.IsNaN(manifestProb) {
+		return nil, fmt.Errorf("%w: manifest probability %v", ErrBadConfig, manifestProb)
+	}
+	r := rand.New(rand.NewSource(seed))
+	return generateTrace(r, attack, manifestProb), nil
+}
+
+// generateTrace rolls the manifestation of each evidence item of each step.
+func generateTrace(r *rand.Rand, attack *model.Attack, manifestProb float64) []Event {
+	var events []Event
+	t := 0
+	for _, step := range attack.Steps {
+		for _, dt := range step.Evidence {
+			if manifestProb < 1 && r.Float64() >= manifestProb {
+				continue
+			}
+			events = append(events, Event{
+				Time:   t,
+				Attack: attack.ID,
+				Step:   step.Name,
+				Data:   dt,
+			})
+			t++
+		}
+	}
+	return events
+}
+
+// captureEvents fills in CapturedBy for every event a deployed monitor
+// records.
+func captureEvents(r *rand.Rand, idx *model.Index, d *model.Deployment, events []Event, captureProb float64) {
+	for i := range events {
+		for _, mid := range idx.Producers(events[i].Data) {
+			if !d.Contains(mid) {
+				continue
+			}
+			if captureProb < 1 && r.Float64() >= captureProb {
+				continue
+			}
+			events[i].CapturedBy = append(events[i].CapturedBy, mid)
+		}
+	}
+}
+
+// trialRecall computes the distinct-evidence recall and the step recall of
+// one captured trace.
+func trialRecall(attack *model.Attack, events []Event) (evidenceRecall, stepRecall float64) {
+	manifested := make(map[model.DataTypeID]bool)
+	captured := make(map[model.DataTypeID]bool)
+	stepManifested := make(map[string]bool)
+	stepCaptured := make(map[string]bool)
+	for _, e := range events {
+		manifested[e.Data] = true
+		stepManifested[e.Step] = true
+		if len(e.CapturedBy) > 0 {
+			captured[e.Data] = true
+			stepCaptured[e.Step] = true
+		}
+	}
+	if len(manifested) > 0 {
+		evidenceRecall = float64(len(captured)) / float64(len(manifested))
+	}
+	if len(stepManifested) > 0 {
+		stepRecall = float64(len(stepCaptured)) / float64(len(stepManifested))
+	}
+	return evidenceRecall, stepRecall
+}
+
+// trialEarliness computes the detection earliness of one captured trace:
+// based on the index of the earliest attack step with a captured event.
+func trialEarliness(attack *model.Attack, events []Event) float64 {
+	stepIndex := make(map[string]int, len(attack.Steps))
+	for i, step := range attack.Steps {
+		stepIndex[step.Name] = i
+	}
+	earliest := -1
+	for _, e := range events {
+		if len(e.CapturedBy) == 0 {
+			continue
+		}
+		if i, ok := stepIndex[e.Step]; ok && (earliest < 0 || i < earliest) {
+			earliest = i
+		}
+	}
+	if earliest < 0 {
+		return 0
+	}
+	return 1 - float64(earliest)/float64(len(attack.Steps))
+}
+
+// detected applies the detection rule to one trial.
+func detected(threshold, stepRecall float64, events []Event) bool {
+	if threshold == 0 {
+		for _, e := range events {
+			if len(e.CapturedBy) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return stepRecall >= threshold
+}
+
+// SortEventsByData orders a trace by data type then time; useful for stable
+// presentation in tools.
+func SortEventsByData(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Data != events[j].Data {
+			return events[i].Data < events[j].Data
+		}
+		return events[i].Time < events[j].Time
+	})
+}

@@ -1,0 +1,288 @@
+package simulate
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+func testIndex(t *testing.T) *model.Index {
+	t.Helper()
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunIdealMatchesAnalyticCoverage(t *testing.T) {
+	// With manifestation and capture probability 1, simulated evidence
+	// recall must equal metrics.AttackCoverage for every attack, and the
+	// weighted recall must equal metrics.Utility.
+	idx := testIndex(t)
+	d := model.NewDeployment(
+		casestudy.MonitorID("http-access-logger", "web-1"),
+		casestudy.MonitorID("netflow-probe", "core-net"),
+		casestudy.MonitorID("db-auditor", "db-1"),
+	)
+	sum, err := Run(idx, d, Config{Seed: 1, Trials: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range sum.PerAttack {
+		want := metrics.AttackCoverage(idx, d, s.Attack)
+		if !approx(s.EvidenceRecall, want, 1e-12) {
+			t.Errorf("attack %s: recall %v != coverage %v", s.Attack, s.EvidenceRecall, want)
+		}
+	}
+	if want := metrics.Utility(idx, d); !approx(sum.WeightedEvidenceRecall, want, 1e-12) {
+		t.Errorf("weighted recall %v != utility %v", sum.WeightedEvidenceRecall, want)
+	}
+}
+
+func TestRunEmptyDeploymentDetectsNothing(t *testing.T) {
+	idx := testIndex(t)
+	sum, err := Run(idx, model.NewDeployment(), Config{Seed: 2, Trials: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.WeightedDetectionRate != 0 || sum.WeightedEvidenceRecall != 0 {
+		t.Errorf("empty deployment: detection %v recall %v, want 0, 0",
+			sum.WeightedDetectionRate, sum.WeightedEvidenceRecall)
+	}
+}
+
+func TestRunFullDeploymentDetectsEverything(t *testing.T) {
+	idx := testIndex(t)
+	all := model.NewDeployment(idx.MonitorIDs()...)
+	sum, err := Run(idx, all, Config{Seed: 3, Trials: 5, DetectionThreshold: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(sum.WeightedDetectionRate, 1, 1e-12) {
+		t.Errorf("full deployment detection = %v, want 1", sum.WeightedDetectionRate)
+	}
+	if !approx(sum.WeightedEvidenceRecall, 1, 1e-12) {
+		t.Errorf("full deployment recall = %v, want 1", sum.WeightedEvidenceRecall)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment(casestudy.MonitorID("nids", "core-net"))
+	cfg := Config{Seed: 7, Trials: 20, ManifestProb: 0.7, CaptureProb: 0.8}
+	a, err := Run(idx, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(idx, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different summaries")
+	}
+}
+
+func TestRunZeroCaptureProbObservesNothing(t *testing.T) {
+	idx := testIndex(t)
+	all := model.NewDeployment(idx.MonitorIDs()...)
+	sum, err := Run(idx, all, Config{Seed: 4, Trials: 5, CaptureProb: 1e-300})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.WeightedEvidenceRecall > 0.01 {
+		t.Errorf("near-zero capture recall = %v", sum.WeightedEvidenceRecall)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment()
+	for _, cfg := range []Config{
+		{ManifestProb: -0.5},
+		{ManifestProb: 1.5},
+		{CaptureProb: -1},
+		{CaptureProb: 2},
+		{DetectionThreshold: -0.1},
+		{DetectionThreshold: 1.1},
+		{ManifestProb: math.NaN()},
+	} {
+		if _, err := Run(idx, d, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Run(%+v) error = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	idx := testIndex(t)
+	events, err := Trace(idx, "sql-injection", 1, 1)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace with manifest probability 1")
+	}
+	// Every event's data type must be actual evidence of the attack.
+	evidence := make(map[model.DataTypeID]bool)
+	for _, e := range idx.AttackEvidence("sql-injection") {
+		evidence[e] = true
+	}
+	for _, e := range events {
+		if !evidence[e.Data] {
+			t.Errorf("event data %s is not sql-injection evidence", e.Data)
+		}
+		if e.Attack != "sql-injection" {
+			t.Errorf("event attack = %s", e.Attack)
+		}
+	}
+	// Times strictly increase.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time <= events[i-1].Time {
+			t.Error("event times not increasing")
+		}
+	}
+
+	if _, err := Trace(idx, "ghost", 1, 1); err == nil {
+		t.Error("Trace(ghost) succeeded")
+	}
+	if _, err := Trace(idx, "sql-injection", 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Trace with p=0 error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestSortEventsByData(t *testing.T) {
+	events := []Event{
+		{Time: 2, Data: "b"},
+		{Time: 1, Data: "a"},
+		{Time: 0, Data: "b"},
+	}
+	SortEventsByData(events)
+	if events[0].Data != "a" || events[1].Data != "b" || events[1].Time != 0 {
+		t.Errorf("sorted = %+v", events)
+	}
+}
+
+func TestDetectionThresholdSemantics(t *testing.T) {
+	// With threshold 1, detection requires every manifested step observed;
+	// a deployment covering only one of sql-injection's steps must detect
+	// with threshold 0 but not threshold 1.
+	idx := testIndex(t)
+	d := model.NewDeployment(casestudy.MonitorID("db-auditor", "db-1"))
+
+	loose, err := Run(idx, d, Config{Seed: 5, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Run(idx, d, Config{Seed: 5, Trials: 3, DetectionThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var looseSQLI, strictSQLI float64
+	for i, s := range loose.PerAttack {
+		if s.Attack == "sql-injection" {
+			looseSQLI = s.DetectionRate
+			strictSQLI = strict.PerAttack[i].DetectionRate
+		}
+	}
+	if looseSQLI != 1 {
+		t.Errorf("loose detection = %v, want 1", looseSQLI)
+	}
+	if strictSQLI != 0 {
+		t.Errorf("strict detection = %v, want 0 (only 2 of 3 steps observable)", strictSQLI)
+	}
+}
+
+// TestQuickIdealRecallEqualsCoverage fuzzes the E8 invariant over random
+// systems and deployments.
+func TestQuickIdealRecallEqualsCoverage(t *testing.T) {
+	property := func(seed int64, density uint8) bool {
+		sys, err := synth.Generate(synth.Config{Seed: seed, Monitors: 8, Attacks: 6, Assets: 3})
+		if err != nil {
+			return false
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			return false
+		}
+		d := model.NewDeployment()
+		ids := idx.MonitorIDs()
+		for i, id := range ids {
+			if (int(density)+i)%3 == 0 {
+				d.Add(id)
+			}
+		}
+		sum, err := Run(idx, d, Config{Seed: seed, Trials: 2})
+		if err != nil {
+			t.Logf("Run: %v", err)
+			return false
+		}
+		for _, s := range sum.PerAttack {
+			if !approx(s.EvidenceRecall, metrics.AttackCoverage(idx, d, s.Attack), 1e-12) {
+				t.Logf("seed %d attack %s: recall %v != coverage %v",
+					seed, s.Attack, s.EvidenceRecall, metrics.AttackCoverage(idx, d, s.Attack))
+				return false
+			}
+		}
+		return approx(sum.WeightedEvidenceRecall, metrics.Utility(idx, d), 1e-9)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunIdealEarlinessMatchesAnalytic(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment(
+		casestudy.MonitorID("db-auditor", "db-1"),
+		casestudy.MonitorID("netflow-probe", "core-net"),
+	)
+	sum, err := Run(idx, d, Config{Seed: 9, Trials: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range sum.PerAttack {
+		want := metrics.AttackEarliness(idx, d, s.Attack)
+		if !approx(s.Earliness, want, 1e-12) {
+			t.Errorf("attack %s: simulated earliness %v != analytic %v", s.Attack, s.Earliness, want)
+		}
+	}
+	if want := metrics.Earliness(idx, d); !approx(sum.WeightedEarliness, want, 1e-12) {
+		t.Errorf("weighted earliness %v != analytic %v", sum.WeightedEarliness, want)
+	}
+}
+
+func TestEarlinessDegradesWithLateEvidence(t *testing.T) {
+	// Observing only the last step of sql-injection (db evidence) yields a
+	// lower earliness than observing the first (web request evidence).
+	idx := testIndex(t)
+	late, err := Run(idx, model.NewDeployment(casestudy.MonitorID("db-query-logger", "db-1")),
+		Config{Seed: 3, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := Run(idx, model.NewDeployment(casestudy.MonitorID("http-access-logger", "web-1")),
+		Config{Seed: 3, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lateSQLI, earlySQLI float64
+	for i, s := range late.PerAttack {
+		if s.Attack == "sql-injection" {
+			lateSQLI = s.Earliness
+			earlySQLI = early.PerAttack[i].Earliness
+		}
+	}
+	if earlySQLI <= lateSQLI {
+		t.Errorf("early evidence earliness %v should exceed late %v", earlySQLI, lateSQLI)
+	}
+}

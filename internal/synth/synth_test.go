@@ -1,0 +1,182 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/model"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	sys, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(sys.Monitors) != 50 || len(sys.Attacks) != 50 {
+		t.Errorf("sizes = %d monitors, %d attacks; want 50, 50", len(sys.Monitors), len(sys.Attacks))
+	}
+	if len(sys.Assets) != 10 {
+		t.Errorf("assets = %d, want 10", len(sys.Assets))
+	}
+	if err := sys.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Monitors: 20, Attacks: 15}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same config produced different systems")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Generate(Config{Seed: 1, Monitors: 20, Attacks: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 2, Monitors: 20, Attacks: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical systems")
+	}
+}
+
+func TestGenerateCustomSizes(t *testing.T) {
+	sys, err := Generate(Config{Seed: 7, Monitors: 3, Attacks: 2, Assets: 2, DataTypes: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(sys.Monitors) != 3 || len(sys.Attacks) != 2 || len(sys.Assets) != 2 || len(sys.DataTypes) != 5 {
+		t.Errorf("unexpected sizes: %s", sys)
+	}
+}
+
+func TestGenerateTinyPools(t *testing.T) {
+	// Degenerate configuration: a single data type, evidence demands larger
+	// than the pool. Generation must terminate and stay valid.
+	sys, err := Generate(Config{
+		Seed: 3, Monitors: 2, Attacks: 2, DataTypes: 1, Assets: 1,
+		MinEvidence: 4, MaxEvidence: 6, MinProduces: 3, MaxProduces: 5,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestGenerateNoUnobservableEvidence(t *testing.T) {
+	// With rate forced negative (out of range) it is normalized to 0, so all
+	// evidence must be producible.
+	sys, err := Generate(Config{Seed: 5, Monitors: 10, Attacks: 10, UnobservableEvidenceRate: -1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	for _, a := range idx.AttackIDs() {
+		for _, e := range idx.AttackEvidence(a) {
+			if len(idx.Producers(e)) == 0 {
+				t.Fatalf("attack %s has unobservable evidence %s with rate 0", a, e)
+			}
+		}
+	}
+}
+
+// TestQuickGeneratedSystemsAlwaysValid fuzzes configurations and checks the
+// generator's validity guarantee.
+func TestQuickGeneratedSystemsAlwaysValid(t *testing.T) {
+	property := func(seed int64, monitors, attacks, dataTypes, assets uint8) bool {
+		cfg := Config{
+			Seed:      seed,
+			Monitors:  int(monitors%40) + 1,
+			Attacks:   int(attacks%40) + 1,
+			DataTypes: int(dataTypes % 60), // 0 selects the default
+			Assets:    int(assets % 12),    // 0 selects the default
+		}
+		sys, err := Generate(cfg)
+		if err != nil {
+			t.Logf("Generate(%+v): %v", cfg, err)
+			return false
+		}
+		if _, err := model.NewIndex(sys); err != nil {
+			t.Logf("NewIndex: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateStaged(t *testing.T) {
+	sys, err := Generate(Config{Seed: 11, Monitors: 30, Attacks: 20, Staged: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	phases := KillChainPhases()
+	order := make(map[string]int, len(phases))
+	for i, p := range phases {
+		order[p] = i
+	}
+	for _, a := range sys.Attacks {
+		if len(a.Steps) == 0 {
+			t.Fatalf("attack %s has no steps", a.ID)
+		}
+		prev := -1
+		for _, s := range a.Steps {
+			idx, ok := order[s.Name]
+			if !ok {
+				t.Fatalf("attack %s has non-phase step %q", a.ID, s.Name)
+			}
+			if idx <= prev {
+				t.Errorf("attack %s phases out of order", a.ID)
+			}
+			prev = idx
+		}
+	}
+}
+
+func TestGenerateStagedDeterministic(t *testing.T) {
+	cfg := Config{Seed: 12, Monitors: 15, Attacks: 10, Staged: true}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("staged generation not deterministic")
+	}
+}
+
+func TestGenerateStagedTinyPools(t *testing.T) {
+	sys, err := Generate(Config{Seed: 13, Monitors: 2, Attacks: 3, DataTypes: 2, Assets: 1, Staged: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace provides persistence and forensic analysis of attack event
+// traces: simulated traces are written to and read from JSON Lines streams,
+// and observed evidence is attributed back to the attacks of a system model
+// — the forensic-analysis use of monitor data that motivates the DSN 2016
+// methodology.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"secmon/internal/model"
+	"secmon/internal/simulate"
+)
+
+// Write encodes events as JSON Lines (one event per line).
+func Write(w io.Writer, events []simulate.Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Read decodes a JSON Lines event stream written by Write. Blank lines are
+// skipped.
+func Read(r io.Reader) ([]simulate.Event, error) {
+	var events []simulate.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e simulate.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return events, nil
+}
+
+// Attribution scores one attack hypothesis against observed evidence.
+type Attribution struct {
+	Attack model.AttackID `json:"attack"`
+	Name   string         `json:"name"`
+	// MatchedEvidence is how many of the attack's evidence data types
+	// appear in the observed (captured) events.
+	MatchedEvidence int `json:"matchedEvidence"`
+	// TotalEvidence is the size of the attack's evidence union.
+	TotalEvidence int `json:"totalEvidence"`
+	// Score is MatchedEvidence / TotalEvidence: the fraction of the
+	// attack's expected footprint actually observed.
+	Score float64 `json:"score"`
+	// Unexplained is how many observed data types are not part of this
+	// attack's evidence (lower means the hypothesis explains the
+	// observations better).
+	Unexplained int `json:"unexplained"`
+}
+
+// Attribute ranks every attack of the model against the captured evidence
+// in the events (events with no capturing monitor are ignored — forensics
+// only sees what monitors recorded). Results are sorted by score descending,
+// then by fewer unexplained observations, then by identifier.
+func Attribute(idx *model.Index, events []simulate.Event) []Attribution {
+	observed := make(map[model.DataTypeID]bool)
+	for _, e := range events {
+		if len(e.CapturedBy) > 0 {
+			observed[e.Data] = true
+		}
+	}
+
+	out := make([]Attribution, 0, len(idx.AttackIDs()))
+	for _, aid := range idx.AttackIDs() {
+		attack, _ := idx.Attack(aid)
+		ev := idx.AttackEvidence(aid)
+		inAttack := make(map[model.DataTypeID]bool, len(ev))
+		matched := 0
+		for _, e := range ev {
+			inAttack[e] = true
+			if observed[e] {
+				matched++
+			}
+		}
+		unexplained := 0
+		for d := range observed {
+			if !inAttack[d] {
+				unexplained++
+			}
+		}
+		score := 0.0
+		if len(ev) > 0 {
+			score = float64(matched) / float64(len(ev))
+		}
+		out = append(out, Attribution{
+			Attack:          aid,
+			Name:            attack.Name,
+			MatchedEvidence: matched,
+			TotalEvidence:   len(ev),
+			Score:           score,
+			Unexplained:     unexplained,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Unexplained != out[j].Unexplained {
+			return out[i].Unexplained < out[j].Unexplained
+		}
+		return out[i].Attack < out[j].Attack
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/model"
+	"secmon/internal/simulate"
+)
+
+func testIndex(t *testing.T) *model.Index {
+	t.Helper()
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := []simulate.Event{
+		{Time: 0, Attack: "sql-injection", Step: "injection", Data: "http-access@web-1",
+			CapturedBy: []model.MonitorID{"http-access-logger@web-1"}},
+		{Time: 1, Attack: "sql-injection", Step: "data extraction", Data: "db-audit@db-1"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Errorf("round trip changed events:\n%v\n%v", events, back)
+	}
+}
+
+func TestReadSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
+	events, err := Read(strings.NewReader("\n{\"time\":1,\"attack\":\"a\",\"step\":\"s\",\"data\":\"d\"}\n\n"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 1 || events[0].Time != 1 {
+		t.Errorf("events = %v", events)
+	}
+	if _, err := Read(strings.NewReader("not-json\n")); err == nil {
+		t.Error("Read accepted garbage")
+	}
+}
+
+func TestAttributeRanksTrueAttackFirst(t *testing.T) {
+	// Simulate a SQL injection against a deployment covering its evidence;
+	// attribution must rank sql-injection first.
+	idx := testIndex(t)
+	d := model.NewDeployment(
+		casestudy.MonitorID("http-access-logger", "web-1"),
+		casestudy.MonitorID("http-access-logger", "web-2"),
+		casestudy.MonitorID("waf", "lb-1"),
+		casestudy.MonitorID("db-auditor", "db-1"),
+		casestudy.MonitorID("db-query-logger", "db-1"),
+		casestudy.MonitorID("netflow-probe", "core-net"),
+	)
+	events, err := simulate.Trace(idx, "sql-injection", 1, 1)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	// Mark captures the way simulate.Run would.
+	for i := range events {
+		for _, mid := range idx.Producers(events[i].Data) {
+			if d.Contains(mid) {
+				events[i].CapturedBy = append(events[i].CapturedBy, mid)
+			}
+		}
+	}
+
+	ranking := Attribute(idx, events)
+	if len(ranking) != len(idx.AttackIDs()) {
+		t.Fatalf("ranking size = %d", len(ranking))
+	}
+	if ranking[0].Attack != "sql-injection" {
+		t.Errorf("top attribution = %s (score %v), want sql-injection",
+			ranking[0].Attack, ranking[0].Score)
+	}
+	if ranking[0].Score != 1 {
+		t.Errorf("top score = %v, want 1 (full evidence observed)", ranking[0].Score)
+	}
+	if ranking[0].Unexplained != 0 {
+		t.Errorf("unexplained = %d, want 0", ranking[0].Unexplained)
+	}
+}
+
+func TestAttributeIgnoresUncapturedEvents(t *testing.T) {
+	idx := testIndex(t)
+	events, err := simulate.Trace(idx, "sql-injection", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No CapturedBy set: forensics sees nothing.
+	ranking := Attribute(idx, events)
+	for _, a := range ranking {
+		if a.Score != 0 || a.MatchedEvidence != 0 {
+			t.Errorf("attribution %v nonzero without captured events", a)
+		}
+	}
+}
+
+// TestQuickAttributionSelfConsistency: for every attack, simulating it
+// against the full deployment attributes it a perfect score, and the true
+// attack is always ranked first by score (ties allowed only at score 1 with
+// subset-evidence attacks).
+func TestQuickAttributionSelfConsistency(t *testing.T) {
+	idx := testIndex(t)
+	all := model.NewDeployment(idx.MonitorIDs()...)
+	r := rand.New(rand.NewSource(81))
+	attacks := idx.AttackIDs()
+	property := func() bool {
+		aid := attacks[r.Intn(len(attacks))]
+		events, err := simulate.Trace(idx, aid, r.Int63(), 1)
+		if err != nil {
+			return false
+		}
+		for i := range events {
+			for _, mid := range idx.Producers(events[i].Data) {
+				if all.Contains(mid) {
+					events[i].CapturedBy = append(events[i].CapturedBy, mid)
+				}
+			}
+		}
+		ranking := Attribute(idx, events)
+		for _, a := range ranking {
+			if a.Attack == aid {
+				return a.Score == 1
+			}
+		}
+		return false
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
