@@ -1,0 +1,29 @@
+# Tier-1 CI gate for the secmon reproduction. `make ci` is the check every
+# change must keep green: vet, build, the full test suite under the race
+# detector (the parallel branch-and-bound equivalence tests depend on it),
+# and a single-shot E3 benchmark smoke to catch gross solver regressions.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkE3' -benchtime=1x .
+
+# Full benchmark sweep; compare against BENCH_BASELINE.json.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -72,16 +72,21 @@ func BenchmarkE2AttackEvidenceMap(b *testing.B) {
 }
 
 // BenchmarkE3OptimalDeployment measures the exact MaxUtility solve at the
-// half budget on the case study (experiment E3's central row).
+// half budget on the case study (experiment E3's central row), across
+// branch-and-bound worker counts (workers=1 is the sequential solver).
 func BenchmarkE3OptimalDeployment(b *testing.B) {
 	idx := caseIndex(b)
 	budget := idx.System().TotalMonitorCost() * 0.5
-	opt := core.NewOptimizer(idx)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := opt.MaxUtility(budget); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := core.NewOptimizer(idx, core.WithWorkers(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.MaxUtility(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -145,6 +150,31 @@ func BenchmarkE7Scalability(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE7ScalabilityParallel measures the parallel branch-and-bound on
+// the two hardest E7 sizes across worker counts. On a single-CPU host the
+// extra workers mostly measure coordination overhead; on multi-core hosts
+// this is the scalability headline for the parallel solver.
+func BenchmarkE7ScalabilityParallel(b *testing.B) {
+	for _, size := range []struct{ monitors, attacks int }{
+		{200, 100}, {400, 100},
+	} {
+		idx := synthIndex(b, size.monitors, size.attacks)
+		budget := idx.System().TotalMonitorCost() * 0.3
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("m=%d/a=%d/workers=%d", size.monitors, size.attacks, workers)
+			b.Run(name, func(b *testing.B) {
+				opt := core.NewOptimizer(idx, core.WithWorkers(workers))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := opt.MaxUtility(budget); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

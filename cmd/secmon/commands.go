@@ -162,6 +162,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	wRichness := fs.Float64("w-richness", 0, "multi-objective weight on richness")
 	wRedundancy := fs.Float64("w-redundancy", 0, "multi-objective weight on redundancy")
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
+	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,6 +185,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	if *corroboration > 1 {
 		opts = append(opts, core.WithCorroboration(*corroboration))
 	}
+	opts = append(opts, core.WithWorkers(*workers))
 	opt := core.NewOptimizer(idx, opts...)
 
 	weighted := *wUtility > 0 || *wRichness > 0 || *wRedundancy > 0
@@ -259,8 +261,8 @@ func cmdOptimize(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "budget shadow price: %.6f utility per cost unit (LP relaxation bound %.4f)\n",
 			res.BudgetShadowPrice, res.RelaxationUtility)
 	}
-	fmt.Fprintf(out, "solver: %d nodes, %d LP iterations, %s\n",
-		res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed)
+	fmt.Fprintf(out, "solver: %d nodes, %d LP iterations, %s (%d workers)\n",
+		res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed, res.Stats.Workers)
 	return nil
 }
 
@@ -270,6 +272,7 @@ func cmdSweep(args []string, out io.Writer) error {
 	steps := fs.Int("steps", 10, "number of budget steps between 0 and the total cost")
 	seed := fs.Int64("seed", 1, "seed for the random baseline")
 	workers := fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+	solverWorkers := fs.Int("solver-workers", 1, "branch-and-bound workers per solve (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -277,7 +280,8 @@ func cmdSweep(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	points, err := core.NewOptimizer(idx).ParetoSweepParallel(core.BudgetGrid(idx, *steps), *seed, *workers)
+	opt := core.NewOptimizer(idx, core.WithWorkers(*solverWorkers))
+	points, err := opt.ParetoSweepParallel(core.BudgetGrid(idx, *steps), *seed, *workers)
 	if err != nil {
 		return err
 	}

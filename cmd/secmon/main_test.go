@@ -121,6 +121,30 @@ func TestOptimizeMaxUtility(t *testing.T) {
 	}
 }
 
+func TestOptimizeParallelWorkers(t *testing.T) {
+	ref := mustRunCLI(t, "optimize", "-budget-fraction", "0.25", "-workers", "1")
+	out := mustRunCLI(t, "optimize", "-budget-fraction", "0.25", "-workers", "2")
+	if !strings.Contains(out, "(2 workers)") {
+		t.Errorf("optimize -workers 2 output missing worker count:\n%s", out)
+	}
+	// Same proven-optimal utility regardless of worker count (cost may
+	// differ among equally-optimal deployments, so compare utility only).
+	utility := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "utility ") {
+				return strings.Fields(line)[1]
+			}
+		}
+		return ""
+	}
+	if u := utility(ref); u == "" || u != utility(out) {
+		t.Errorf("parallel utility %q differs from sequential %q", utility(out), utility(ref))
+	}
+	if !strings.Contains(out, "proven-optimal true") {
+		t.Errorf("parallel solve not proven optimal:\n%s", out)
+	}
+}
+
 func TestOptimizeMinCost(t *testing.T) {
 	out := mustRunCLI(t, "optimize", "-min-cost", "-target", "0.75")
 	if !strings.Contains(out, "cost") {

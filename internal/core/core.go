@@ -52,6 +52,18 @@ type SolveStats struct {
 	LPIterations int `json:"lpIterations"`
 	// Elapsed is the wall-clock solve duration.
 	Elapsed time.Duration `json:"elapsed"`
+	// Workers is the number of branch-and-bound workers used (1 for the
+	// sequential solver).
+	Workers int `json:"workers,omitempty"`
+	// PerWorker breaks Nodes and LPIterations down by worker, indexed by
+	// worker id. Empty for the heuristic baselines.
+	PerWorker []WorkerLoad `json:"perWorker,omitempty"`
+}
+
+// WorkerLoad is one worker's share of the branch-and-bound effort.
+type WorkerLoad struct {
+	Nodes        int `json:"nodes"`
+	LPIterations int `json:"lpIterations"`
 }
 
 // Result is the outcome of a deployment computation.
@@ -137,9 +149,16 @@ func WithCorroboration(k int) Option {
 }
 
 // WithSolverOptions passes options to the branch-and-bound solver (node and
-// time limits, gap tolerance, diving ablation).
+// time limits, gap tolerance, diving ablation). Repeated uses accumulate,
+// so it composes with WithWorkers.
 func WithSolverOptions(opts ...ilp.Option) Option {
-	return optionFunc(func(o *options) { o.solverOptions = opts })
+	return optionFunc(func(o *options) { o.solverOptions = append(o.solverOptions, opts...) })
+}
+
+// WithWorkers sets the number of parallel branch-and-bound workers. 1 is
+// the sequential solver; values <= 0 select runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *options) { o.solverOptions = append(o.solverOptions, ilp.WithWorkers(n)) })
 }
 
 // NewOptimizer returns an optimizer for the indexed system.
@@ -333,12 +352,24 @@ func (o *Optimizer) newResult(d *model.Deployment, sol *ilp.Solution) *Result {
 		Utility:    metrics.Utility(o.idx, d),
 		Cost:       metrics.Cost(o.idx, d),
 		Proven:     sol.Status == ilp.StatusOptimal,
-		Stats: SolveStats{
-			Nodes:        sol.Nodes,
-			LPIterations: sol.LPIterations,
-			Elapsed:      sol.Elapsed,
-		},
+		Stats: newSolveStats(sol),
 	}
+}
+
+func newSolveStats(sol *ilp.Solution) SolveStats {
+	st := SolveStats{
+		Nodes:        sol.Nodes,
+		LPIterations: sol.LPIterations,
+		Elapsed:      sol.Elapsed,
+		Workers:      sol.Workers,
+	}
+	if len(sol.PerWorker) > 0 {
+		st.PerWorker = make([]WorkerLoad, len(sol.PerWorker))
+		for i, w := range sol.PerWorker {
+			st.PerWorker[i] = WorkerLoad{Nodes: w.Nodes, LPIterations: w.LPIterations}
+		}
+	}
+	return st
 }
 
 // Index returns the optimizer's system index.

@@ -14,6 +14,7 @@ import (
 type ScalePoint struct {
 	Monitors     int
 	Attacks      int
+	Workers      int
 	Utility      float64
 	Nodes        int
 	LPIterations int
@@ -34,8 +35,14 @@ const e7BudgetFraction = 0.3
 
 // ScalabilityPoint generates a synthetic system of the given size and solves
 // the MaxUtility ILP at the standard budget fraction, returning the measured
-// effort.
+// effort. It uses the sequential solver; see ScalabilityPointWorkers.
 func ScalabilityPoint(monitors, attacks int, seed int64) (ScalePoint, error) {
+	return ScalabilityPointWorkers(monitors, attacks, seed, 1)
+}
+
+// ScalabilityPointWorkers is ScalabilityPoint with an explicit
+// branch-and-bound worker count (<= 0 selects runtime.GOMAXPROCS).
+func ScalabilityPointWorkers(monitors, attacks int, seed int64, workers int) (ScalePoint, error) {
 	sys, err := synth.Generate(synth.Config{Seed: seed, Monitors: monitors, Attacks: attacks})
 	if err != nil {
 		return ScalePoint{}, err
@@ -44,7 +51,7 @@ func ScalabilityPoint(monitors, attacks int, seed int64) (ScalePoint, error) {
 	if err != nil {
 		return ScalePoint{}, err
 	}
-	opt := core.NewOptimizer(idx)
+	opt := core.NewOptimizer(idx, core.WithWorkers(workers))
 	res, err := opt.MaxUtility(sys.TotalMonitorCost() * e7BudgetFraction)
 	if err != nil {
 		return ScalePoint{}, err
@@ -52,6 +59,7 @@ func ScalabilityPoint(monitors, attacks int, seed int64) (ScalePoint, error) {
 	return ScalePoint{
 		Monitors:     monitors,
 		Attacks:      attacks,
+		Workers:      res.Stats.Workers,
 		Utility:      res.Utility,
 		Nodes:        res.Stats.Nodes,
 		LPIterations: res.Stats.LPIterations,

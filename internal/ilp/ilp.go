@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -165,6 +166,20 @@ type Solution struct {
 	LPIterations int
 	// Elapsed is the wall-clock duration of the solve.
 	Elapsed time.Duration
+	// Workers is the number of branch-and-bound workers that ran the
+	// search (1 for the sequential solver).
+	Workers int
+	// PerWorker records each worker's share of the search effort, indexed
+	// by worker; its length equals Workers.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats records the branch-and-bound effort of one worker.
+type WorkerStats struct {
+	// Nodes is the number of nodes whose relaxation the worker solved.
+	Nodes int
+	// LPIterations is the total simplex pivots the worker performed.
+	LPIterations int
 }
 
 // Value returns the solution value of the given variable, or 0 if out of
@@ -213,6 +228,7 @@ type options struct {
 	disableDive  bool
 	branchRule   BranchRule
 	lpOptions    []lp.Option
+	workers      int
 }
 
 type optionFunc func(*options)
@@ -251,6 +267,18 @@ func WithBranchRule(rule BranchRule) Option {
 // WithLPOptions passes options through to every LP relaxation solve.
 func WithLPOptions(opts ...lp.Option) Option {
 	return optionFunc(func(o *options) { o.lpOptions = opts })
+}
+
+// WithWorkers sets the number of branch-and-bound workers. Non-positive
+// (the default) selects runtime.GOMAXPROCS(0). One worker runs the classic
+// sequential best-first search; more run the same exact search over a
+// shared best-first frontier, each worker owning a private clone of the
+// problem and a private simplex workspace, pruning against a shared
+// incumbent. Both modes prove the same optimal objective; with more than
+// one worker the solution vector may differ only among equally-optimal
+// ties.
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *options) { o.workers = n })
 }
 
 // node is an open branch-and-bound subproblem, defined by bounds on the
@@ -311,20 +339,30 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if cfg.intTolerance <= 0 {
 		cfg.intTolerance = 1e-6
 	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return newParallelSearch(p, cfg, workers).run()
+	}
+	ws := lp.NewWorkspace()
 	s := &search{
 		prob:    p,
 		cfg:     cfg,
 		work:    p.lp.Clone(),
+		lpOpts:  append(append([]lp.Option{}, cfg.lpOptions...), lp.WithWorkspace(ws)),
 		started: time.Now(),
 	}
 	return s.run()
 }
 
-// search carries the state of one branch-and-bound run.
+// search carries the state of one sequential branch-and-bound run.
 type search struct {
 	prob    *Problem
 	cfg     options
 	work    *lp.Problem // mutated in place as nodes are explored
+	lpOpts  []lp.Option // cfg.lpOptions plus the reusable simplex workspace
 	started time.Time
 
 	maximize  bool
@@ -332,9 +370,10 @@ type search struct {
 	incObj    float64 // in maximize form
 	hasInc    bool
 
-	nodes   int
-	lpIters int
-	seq     int
+	nodes       int
+	lpIters     int
+	seq         int
+	limitChecks int // sampling counter for the wall-clock limit
 
 	rootObjective float64
 	rootDuals     []float64
@@ -464,39 +503,68 @@ func (s *search) nextSeq() int {
 	return s.seq
 }
 
+// timeCheckInterval is how many limit checks elapse between wall-clock
+// reads: time.Since on every node is measurable against sub-millisecond LP
+// solves. The very first check (counter zero) always reads the clock, so a
+// tiny limit still stops the solve before any work.
+const timeCheckInterval = 64
+
 func (s *search) limitReached() bool {
 	if s.nodes >= s.cfg.maxNodes {
 		return true
 	}
-	if s.cfg.timeLimit > 0 && time.Since(s.started) > s.cfg.timeLimit {
-		return true
+	if s.cfg.timeLimit <= 0 {
+		return false
 	}
-	return false
+	n := s.limitChecks
+	s.limitChecks++
+	if n%timeCheckInterval != 0 {
+		return false
+	}
+	return time.Since(s.started) > s.cfg.timeLimit
 }
 
 // pruneSlack is the absolute amount by which a node bound must beat the
 // incumbent to stay open, derived from the relative gap tolerance.
 func (s *search) pruneSlack() float64 {
-	return s.cfg.gapTolerance * math.Max(1, math.Abs(s.incObj))
+	return pruneSlackFor(&s.cfg, s.incObj)
+}
+
+// pruneSlackFor computes the pruning slack for a given incumbent objective;
+// shared by the sequential and parallel searches.
+func pruneSlackFor(cfg *options, incObj float64) float64 {
+	return cfg.gapTolerance * math.Max(1, math.Abs(incObj))
 }
 
 // toMax converts an objective in the problem's sense to maximize form.
 func (s *search) toMax(obj float64) float64 {
-	if s.maximize {
+	return toMaxForm(s.maximize, obj)
+}
+
+func toMaxForm(maximize bool, obj float64) float64 {
+	if maximize {
 		return obj
 	}
 	return -obj
 }
 
+// applyNodeBounds writes the node's integer bounds into a working problem.
+func applyNodeBounds(work *lp.Problem, integer []lp.VarID, nd *node) error {
+	for k, v := range integer {
+		if err := work.SetVariableBounds(v, nd.lo[k], nd.hi[k]); err != nil {
+			return fmt.Errorf("ilp: apply node bounds: %w", err)
+		}
+	}
+	return nil
+}
+
 // solveRelaxation applies the node's integer bounds to the working problem
 // and solves the LP relaxation.
 func (s *search) solveRelaxation(nd *node) (*lp.Solution, error) {
-	for k, v := range s.prob.integer {
-		if err := s.work.SetVariableBounds(v, nd.lo[k], nd.hi[k]); err != nil {
-			return nil, fmt.Errorf("ilp: apply node bounds: %w", err)
-		}
+	if err := applyNodeBounds(s.work, s.prob.integer, nd); err != nil {
+		return nil, err
 	}
-	sol, err := s.work.Solve(s.cfg.lpOptions...)
+	sol, err := s.work.Solve(s.lpOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("ilp: relaxation: %w", err)
 	}
@@ -506,26 +574,32 @@ func (s *search) solveRelaxation(nd *node) (*lp.Solution, error) {
 
 // pickBranchVariable returns the index (into Problem.integer) of the integer
 // variable to branch on, or -1 if all integer variables are integral.
-// Selection: highest branching priority first, then the configured rule
-// (most-fractional by default, pseudo-cost product when selected).
 func (s *search) pickBranchVariable(x []float64) int {
+	return pickBranch(s.prob, &s.cfg, x, s.pseudoCost)
+}
+
+// pickBranch selects the branching variable: highest branching priority
+// first, then the configured rule (most-fractional by default, pseudo-cost
+// product when selected, with pc supplying the up/down estimates). Shared
+// by the sequential and parallel searches.
+func pickBranch(prob *Problem, cfg *options, x []float64, pc func(int) (float64, float64)) int {
 	best := -1
 	bestPri := math.MinInt32
 	bestScore := -1.0
-	for k, v := range s.prob.integer {
+	for k, v := range prob.integer {
 		val := x[v]
 		frac := val - math.Floor(val)
 		dist := math.Min(frac, 1-frac)
-		if dist <= s.cfg.intTolerance {
+		if dist <= cfg.intTolerance {
 			continue
 		}
 		score := dist
-		if s.cfg.branchRule == BranchPseudoCost {
-			down, up := s.pseudoCost(k)
+		if cfg.branchRule == BranchPseudoCost {
+			down, up := pc(k)
 			const eps = 1e-6
 			score = math.Max(down*frac, eps) * math.Max(up*(1-frac), eps)
 		}
-		pri := s.prob.priority[v]
+		pri := prob.priority[v]
 		if pri > bestPri || (pri == bestPri && score > bestScore) {
 			best, bestPri, bestScore = k, pri, score
 		}
@@ -576,38 +650,50 @@ func (s *search) observePseudoCost(nd *node, childBound float64) {
 	}
 }
 
+// pcAverage is the pseudo-cost estimate for one direction of one variable:
+// the per-variable average when observations exist, falling back to the
+// global average, then to 1.
+func pcAverage(sums []float64, ns []int, k int) float64 {
+	if ns[k] > 0 {
+		return sums[k] / float64(ns[k])
+	}
+	totalSum, totalN := 0.0, 0
+	for i := range ns {
+		totalSum += sums[i]
+		totalN += ns[i]
+	}
+	if totalN > 0 {
+		return totalSum / float64(totalN)
+	}
+	return 1
+}
+
 // pseudoCost returns the estimated up/down per-unit degradations for an
 // integer variable, falling back to the global averages, then to 1.
 func (s *search) pseudoCost(k int) (down, up float64) {
-	avg := func(sums []float64, ns []int, k int) float64 {
-		if ns[k] > 0 {
-			return sums[k] / float64(ns[k])
-		}
-		totalSum, totalN := 0.0, 0
-		for i := range ns {
-			totalSum += sums[i]
-			totalN += ns[i]
-		}
-		if totalN > 0 {
-			return totalSum / float64(totalN)
-		}
-		return 1
+	return pcAverage(s.pcDownSum, s.pcDownN, k), pcAverage(s.pcUpSum, s.pcUpN, k)
+}
+
+// snapObjective copies x with every integer variable snapped exactly to the
+// lattice and recomputes the objective of the snapped point in the
+// problem's sense.
+func snapObjective(work *lp.Problem, integer []lp.VarID, x []float64) ([]float64, float64) {
+	snapped := make([]float64, len(x))
+	copy(snapped, x)
+	for _, v := range integer {
+		snapped[v] = math.Round(snapped[v])
 	}
-	return avg(s.pcDownSum, s.pcDownN, k), avg(s.pcUpSum, s.pcUpN, k)
+	obj := 0.0
+	for j := range snapped {
+		obj += work.ObjectiveCoefficient(lp.VarID(j)) * snapped[j]
+	}
+	return snapped, obj
 }
 
 // offerIncumbent records x as the incumbent if it improves on the current
 // one. Integer variables are snapped exactly to the lattice.
 func (s *search) offerIncumbent(x []float64) {
-	snapped := make([]float64, len(x))
-	copy(snapped, x)
-	for _, v := range s.prob.integer {
-		snapped[v] = math.Round(snapped[v])
-	}
-	obj := 0.0
-	for j := range snapped {
-		obj += s.work.ObjectiveCoefficient(lp.VarID(j)) * snapped[j]
-	}
+	snapped, obj := snapObjective(s.work, s.prob.integer, x)
 	objMax := s.toMax(obj)
 	if !s.hasInc || objMax > s.incObj {
 		s.hasInc = true
@@ -620,18 +706,26 @@ func (s *search) offerIncumbent(x []float64) {
 // point: repeatedly fix the fractional variable closest to an integer to its
 // rounding and re-solve, stopping at integrality or infeasibility.
 func (s *search) dive(nd *node, x []float64) error {
+	return diveFrom(s.prob, &s.cfg, nd, x, s.solveRelaxation, s.offerIncumbent)
+}
+
+// diveFrom is the diving heuristic shared by the sequential and parallel
+// searches, parameterized over how a relaxation is solved and how an
+// incumbent is published.
+func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
+	solve func(*node) (*lp.Solution, error), offer func([]float64)) error {
 	lo := make([]float64, len(nd.lo))
 	hi := make([]float64, len(nd.hi))
 	copy(lo, nd.lo)
 	copy(hi, nd.hi)
 	cur := x
-	for step := 0; step <= len(s.prob.integer); step++ {
+	for step := 0; step <= len(prob.integer); step++ {
 		// Find the fractional variable closest to integral.
 		pick, pickDist := -1, 2.0
-		for k, v := range s.prob.integer {
+		for k, v := range prob.integer {
 			frac := cur[v] - math.Floor(cur[v])
 			dist := math.Min(frac, 1-frac)
-			if dist <= s.cfg.intTolerance {
+			if dist <= cfg.intTolerance {
 				continue
 			}
 			if dist < pickDist {
@@ -639,16 +733,16 @@ func (s *search) dive(nd *node, x []float64) error {
 			}
 		}
 		if pick < 0 {
-			s.offerIncumbent(cur)
+			offer(cur)
 			return nil
 		}
-		val := cur[s.prob.integer[pick]]
+		val := cur[prob.integer[pick]]
 		fixed := math.Round(val)
 		fixed = math.Max(lo[pick], math.Min(hi[pick], fixed))
 		origLo, origHi := lo[pick], hi[pick]
 		lo[pick], hi[pick] = fixed, fixed
 
-		sol, err := s.solveRelaxation(&node{lo: lo, hi: hi})
+		sol, err := solve(&node{lo: lo, hi: hi})
 		if err != nil {
 			return err
 		}
@@ -664,7 +758,7 @@ func (s *search) dive(nd *node, x []float64) error {
 				return nil
 			}
 			lo[pick], hi[pick] = alt, alt
-			sol, err = s.solveRelaxation(&node{lo: lo, hi: hi})
+			sol, err = solve(&node{lo: lo, hi: hi})
 			if err != nil {
 				return err
 			}
@@ -686,6 +780,8 @@ func (s *search) finish(status Status) *Solution {
 		Elapsed:       time.Since(s.started),
 		RootObjective: s.rootObjective,
 		RootDuals:     s.rootDuals,
+		Workers:       1,
+		PerWorker:     []WorkerStats{{Nodes: s.nodes, LPIterations: s.lpIters}},
 	}
 	if s.hasInc {
 		sol.X = s.incumbent

@@ -1,0 +1,458 @@
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"secmon/internal/lp"
+)
+
+// parallelSearch runs the exact best-first branch-and-bound across a worker
+// pool. The frontier is a single best-first heap guarded by a mutex: node
+// processing is dominated by the LP relaxation solve (microseconds to
+// milliseconds), so frontier contention is negligible and a sharded
+// work-stealing structure would buy nothing. Each worker owns a private
+// clone of the working problem and a private simplex workspace; incumbents
+// and bounds are published through the shared state so every worker prunes
+// against the global best.
+//
+// Exactness: a node is only discarded when its relaxation bound cannot beat
+// the shared incumbent (the same rule as the sequential search), and the
+// search terminates only when the frontier is empty AND no node is
+// in-flight — an in-flight node may still publish children or a better
+// incumbent. The proven optimal objective therefore equals the sequential
+// solver's. Exploration ORDER depends on scheduling, so among
+// equally-optimal solutions the returned vector may differ; incumbent
+// publication breaks exact objective ties lexicographically to keep the
+// result as stable as cheaply possible.
+type parallelSearch struct {
+	prob     *Problem
+	cfg      options
+	workers  int
+	maximize bool
+	started  time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     nodeHeap
+	inFlight int  // nodes popped but not yet fully expanded
+	seq      int  // node insertion counter (heap tie-break)
+	nodes    int  // global solved-node count, for WithMaxNodes
+	checks   int  // limit-check sampling counter
+	limited  bool // node or time budget exhausted
+	unbound  bool // root relaxation unbounded
+	failure  error
+
+	hasInc    bool
+	incObj    float64 // maximize form
+	incumbent []float64
+
+	rootObjective float64
+	rootDuals     []float64
+
+	// Shared pseudo-cost tables under their own lock: they only steer
+	// branching-variable choice, never pruning, so cross-worker timing
+	// cannot affect exactness.
+	pcMu               sync.Mutex
+	pcDownSum, pcUpSum []float64
+	pcDownN, pcUpN     []int
+
+	stats []WorkerStats
+}
+
+// pworker is one branch-and-bound worker: a private problem clone, a
+// private reusable simplex workspace, and private effort counters.
+type pworker struct {
+	id     int
+	ps     *parallelSearch
+	work   *lp.Problem
+	lpOpts []lp.Option
+
+	nodes   int
+	lpIters int
+}
+
+func newParallelSearch(p *Problem, cfg options, workers int) *parallelSearch {
+	ps := &parallelSearch{
+		prob:     p,
+		cfg:      cfg,
+		workers:  workers,
+		maximize: p.lp.Sense() == lp.Maximize,
+		started:  time.Now(),
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+	return ps
+}
+
+func (ps *parallelSearch) run() (*Solution, error) {
+	nInt := len(ps.prob.integer)
+	rootLo := make([]float64, nInt)
+	rootHi := make([]float64, nInt)
+	for k, v := range ps.prob.integer {
+		lo, hi, err := ps.prob.lp.VariableBounds(v)
+		if err != nil {
+			return nil, fmt.Errorf("ilp: read bounds: %w", err)
+		}
+		// Tighten fractional bounds to the integer lattice up front.
+		rootLo[k] = math.Ceil(lo - ps.cfg.intTolerance)
+		rootHi[k] = math.Floor(hi + ps.cfg.intTolerance)
+		if rootLo[k] > rootHi[k] {
+			return ps.assemble(), nil // infeasible before any LP solve
+		}
+	}
+
+	ps.pcDownSum = make([]float64, nInt)
+	ps.pcUpSum = make([]float64, nInt)
+	ps.pcDownN = make([]int, nInt)
+	ps.pcUpN = make([]int, nInt)
+
+	root := &node{lo: rootLo, hi: rootHi, bound: math.Inf(1), depth: 0, seq: 1, branchedVar: -1}
+	ps.seq = 1
+	ps.open = nodeHeap{root}
+	heap.Init(&ps.open)
+
+	ps.stats = make([]WorkerStats, ps.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < ps.workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ps.runWorker(id)
+		}(w)
+	}
+	wg.Wait()
+
+	if ps.failure != nil {
+		return nil, ps.failure
+	}
+	return ps.assemble(), nil
+}
+
+func (ps *parallelSearch) runWorker(id int) {
+	w := &pworker{
+		id:     id,
+		ps:     ps,
+		work:   ps.prob.lp.Clone(),
+		lpOpts: append(append([]lp.Option{}, ps.cfg.lpOptions...), lp.WithWorkspace(lp.NewWorkspace())),
+	}
+	for {
+		nd, ok := ps.acquire()
+		if !ok {
+			break
+		}
+		err := w.process(nd)
+		ps.release(err)
+	}
+	ps.mu.Lock()
+	ps.stats[id] = WorkerStats{Nodes: w.nodes, LPIterations: w.lpIters}
+	ps.mu.Unlock()
+}
+
+// acquire pops the best open node, pruning stale entries against the
+// current incumbent, and blocks while the frontier is empty but other
+// workers may still publish children. It returns ok=false when the search
+// is over: frontier exhausted, a limit hit, unboundedness proven, or a
+// worker failed.
+func (ps *parallelSearch) acquire() (*node, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for {
+		if ps.failure != nil || ps.unbound || ps.limited {
+			return nil, false
+		}
+		if ps.limitReachedLocked() {
+			ps.limited = true
+			ps.cond.Broadcast()
+			return nil, false
+		}
+		if len(ps.open) > 0 {
+			nd := heap.Pop(&ps.open).(*node)
+			// A node whose inherited bound cannot beat the incumbent is
+			// pruned without an LP solve.
+			if ps.hasInc && nd.bound <= ps.incObj+pruneSlackFor(&ps.cfg, ps.incObj) {
+				continue
+			}
+			ps.inFlight++
+			return nd, true
+		}
+		if ps.inFlight == 0 {
+			ps.cond.Broadcast() // search exhausted: wake idle workers to exit
+			return nil, false
+		}
+		ps.cond.Wait()
+	}
+}
+
+// release retires an in-flight node and wakes waiters: either new children
+// were pushed, or this was the last in-flight node and the search is over.
+func (ps *parallelSearch) release(err error) {
+	ps.mu.Lock()
+	ps.inFlight--
+	if err != nil && ps.failure == nil {
+		ps.failure = err
+	}
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// limitReachedLocked mirrors the sequential limitReached: the node budget
+// is exact, the wall clock is sampled every timeCheckInterval checks (with
+// the first check always reading the clock). Callers hold ps.mu.
+func (ps *parallelSearch) limitReachedLocked() bool {
+	if ps.nodes >= ps.cfg.maxNodes {
+		return true
+	}
+	if ps.cfg.timeLimit <= 0 {
+		return false
+	}
+	n := ps.checks
+	ps.checks++
+	if n%timeCheckInterval != 0 {
+		return false
+	}
+	return time.Since(ps.started) > ps.cfg.timeLimit
+}
+
+// incumbentView snapshots the shared incumbent objective.
+func (ps *parallelSearch) incumbentView() (bool, float64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.hasInc, ps.incObj
+}
+
+// offerIncumbent publishes a snapped integer point if it improves on the
+// shared incumbent. Exact objective ties are broken towards the
+// lexicographically smaller vector so equally-optimal races resolve
+// deterministically whenever both candidates are actually offered.
+func (ps *parallelSearch) offerIncumbent(work *lp.Problem, x []float64) {
+	snapped, obj := snapObjective(work, ps.prob.integer, x)
+	objMax := toMaxForm(ps.maximize, obj)
+	ps.mu.Lock()
+	if !ps.hasInc || objMax > ps.incObj ||
+		(objMax == ps.incObj && lexLess(snapped, ps.incumbent)) {
+		ps.hasInc = true
+		ps.incObj = objMax
+		ps.incumbent = snapped
+	}
+	ps.mu.Unlock()
+}
+
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// observePseudoCost mirrors search.observePseudoCost under the pc lock.
+func (ps *parallelSearch) observePseudoCost(nd *node, childBound float64) {
+	if nd.branchedVar < 0 || math.IsInf(nd.bound, 0) {
+		return
+	}
+	drop := nd.bound - childBound
+	if drop < 0 {
+		drop = 0
+	}
+	ps.pcMu.Lock()
+	defer ps.pcMu.Unlock()
+	if nd.branchedUp {
+		f := 1 - nd.branchedFrac
+		if f > 1e-9 {
+			ps.pcUpSum[nd.branchedVar] += drop / f
+			ps.pcUpN[nd.branchedVar]++
+		}
+		return
+	}
+	if nd.branchedFrac > 1e-9 {
+		ps.pcDownSum[nd.branchedVar] += drop / nd.branchedFrac
+		ps.pcDownN[nd.branchedVar]++
+	}
+}
+
+func (ps *parallelSearch) pseudoCost(k int) (down, up float64) {
+	ps.pcMu.Lock()
+	defer ps.pcMu.Unlock()
+	return pcAverage(ps.pcDownSum, ps.pcDownN, k), pcAverage(ps.pcUpSum, ps.pcUpN, k)
+}
+
+// pushChildren creates and publishes the floor/ceil children of a branched
+// node. Sequence numbers are assigned under the lock, pushing the preferred
+// (nearest-rounding) child last so the frontier tie-break plunges into it
+// first, exactly like the sequential search.
+func (ps *parallelSearch) pushChildren(parent *node, k int, frac, bound float64) {
+	mkChild := func() *node {
+		lo := make([]float64, len(parent.lo))
+		hi := make([]float64, len(parent.hi))
+		copy(lo, parent.lo)
+		copy(hi, parent.hi)
+		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1}
+	}
+	down := mkChild()
+	down.hi[k] = math.Floor(frac)
+	up := mkChild()
+	up.lo[k] = math.Ceil(frac)
+	fracPart := frac - math.Floor(frac)
+	down.branchedVar, down.branchedUp, down.branchedFrac = k, false, fracPart
+	up.branchedVar, up.branchedUp, up.branchedFrac = k, true, fracPart
+
+	first, second := up, down
+	if fracPart > 0.5 {
+		first, second = down, up
+	}
+	ps.mu.Lock()
+	ps.seq++
+	first.seq = ps.seq
+	heap.Push(&ps.open, first)
+	ps.seq++
+	second.seq = ps.seq
+	heap.Push(&ps.open, second)
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// solveRelaxation solves the node's LP relaxation on the worker's private
+// problem clone and workspace.
+func (w *pworker) solveRelaxation(nd *node) (*lp.Solution, error) {
+	if err := applyNodeBounds(w.work, w.ps.prob.integer, nd); err != nil {
+		return nil, err
+	}
+	sol, err := w.work.Solve(w.lpOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("ilp: relaxation: %w", err)
+	}
+	w.lpIters += sol.Iterations
+	return sol, nil
+}
+
+// process expands one node: solve its relaxation, prune or publish an
+// incumbent, dive when incumbent-less, and branch. It mirrors the body of
+// the sequential search loop.
+func (w *pworker) process(nd *node) error {
+	ps := w.ps
+	sol, err := w.solveRelaxation(nd)
+	if err != nil {
+		return err
+	}
+	w.nodes++
+	ps.mu.Lock()
+	ps.nodes++
+	ps.mu.Unlock()
+
+	switch sol.Status {
+	case lp.StatusInfeasible:
+		return nil
+	case lp.StatusUnbounded:
+		if nd.depth == 0 {
+			ps.mu.Lock()
+			ps.unbound = true
+			ps.cond.Broadcast()
+			ps.mu.Unlock()
+			return nil
+		}
+		// Bounded roots cannot spawn unbounded children; treat as a
+		// numerical failure.
+		return fmt.Errorf("ilp: child relaxation unbounded: %w", lp.ErrNumerical)
+	case lp.StatusIterationLimit:
+		return fmt.Errorf("ilp: LP relaxation hit its iteration limit")
+	}
+	if nd.depth == 0 {
+		// Exactly one node has depth zero, so this is race-free by
+		// construction; the lock orders the writes for the race detector.
+		ps.mu.Lock()
+		ps.rootObjective = sol.Objective
+		ps.rootDuals = sol.DualValues
+		ps.mu.Unlock()
+	}
+
+	bound := toMaxForm(ps.maximize, sol.Objective)
+	ps.observePseudoCost(nd, bound)
+	hasInc, incObj := ps.incumbentView()
+	if hasInc && bound <= incObj+pruneSlackFor(&ps.cfg, incObj) {
+		return nil
+	}
+
+	branchVar := pickBranch(ps.prob, &ps.cfg, sol.X, ps.pseudoCost)
+	if branchVar < 0 {
+		// Integral: publish a new incumbent.
+		ps.offerIncumbent(w.work, sol.X)
+		return nil
+	}
+
+	// Dive at the root and, until a first incumbent exists, from every
+	// node: without an incumbent best-first cannot prune and degrades into
+	// breadth-first over bound plateaus.
+	if !ps.cfg.disableDive && (nd.depth == 0 || !hasInc) {
+		offer := func(x []float64) { ps.offerIncumbent(w.work, x) }
+		if err := diveFrom(ps.prob, &ps.cfg, nd, sol.X, w.solveRelaxation, offer); err != nil {
+			return err
+		}
+		if h, inc := ps.incumbentView(); h && bound <= inc+pruneSlackFor(&ps.cfg, inc) {
+			return nil
+		}
+	}
+
+	frac := sol.X[ps.prob.integer[branchVar]]
+	ps.pushChildren(nd, branchVar, frac, bound)
+	return nil
+}
+
+// assemble builds the Solution after all workers have stopped. No locks are
+// needed: run has already joined every worker goroutine.
+func (ps *parallelSearch) assemble() *Solution {
+	lpIters := 0
+	for _, st := range ps.stats {
+		lpIters += st.LPIterations
+	}
+	sol := &Solution{
+		Nodes:         ps.nodes,
+		LPIterations:  lpIters,
+		Elapsed:       time.Since(ps.started),
+		RootObjective: ps.rootObjective,
+		RootDuals:     ps.rootDuals,
+		Workers:       ps.workers,
+		PerWorker:     ps.stats,
+	}
+	if ps.stats == nil {
+		// Infeasible before any worker launched (empty integer lattice).
+		sol.Workers = ps.workers
+		sol.PerWorker = make([]WorkerStats, ps.workers)
+	}
+	if ps.hasInc {
+		sol.X = ps.incumbent
+		sol.Objective = fromMaxForm(ps.maximize, ps.incObj)
+		sol.BestBound = sol.Objective
+	}
+	switch {
+	case ps.unbound:
+		sol.Status = StatusUnbounded
+	case ps.limited:
+		sol.Status = limitStatus(ps.hasInc)
+		bound := bestOpenBound(&ps.open)
+		if ps.hasInc && ps.incObj > bound {
+			bound = ps.incObj
+		}
+		if !math.IsInf(bound, 0) {
+			sol.BestBound = fromMaxForm(ps.maximize, bound)
+		}
+		if ps.hasInc && !math.IsInf(bound, 0) {
+			sol.Gap = math.Abs(bound-ps.incObj) / math.Max(1, math.Abs(ps.incObj))
+		}
+	case ps.hasInc:
+		sol.Status = StatusOptimal
+	default:
+		sol.Status = StatusInfeasible
+	}
+	return sol
+}
+
+func fromMaxForm(maximize bool, obj float64) float64 {
+	if maximize {
+		return obj
+	}
+	return -obj
+}

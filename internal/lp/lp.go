@@ -326,6 +326,7 @@ type Option interface {
 type options struct {
 	maxIterations int
 	tolerance     float64
+	workspace     *Workspace
 }
 
 type maxIterationsOption int
@@ -344,6 +345,17 @@ func (o toleranceOption) apply(opts *options) { opts.tolerance = float64(o) }
 // value selects the default of 1e-9.
 func WithTolerance(eps float64) Option { return toleranceOption(eps) }
 
+type workspaceOption struct{ ws *Workspace }
+
+func (o workspaceOption) apply(opts *options) { opts.workspace = o.ws }
+
+// WithWorkspace makes the solve use the given scratch workspace instead of
+// the shared internal pool, eliminating per-solve buffer allocations for
+// callers that solve many problems of similar shape (branch-and-bound
+// explores thousands of same-shape relaxations). The workspace must not be
+// shared between concurrent solves; a nil workspace selects the pool.
+func WithWorkspace(ws *Workspace) Option { return workspaceOption{ws: ws} }
+
 // Solve optimizes the problem and returns the outcome. An error is returned
 // only for structurally invalid problems; infeasibility, unboundedness and
 // iteration exhaustion are reported through Solution.Status.
@@ -361,6 +373,15 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if cfg.maxIterations <= 0 {
 		cfg.maxIterations = 20000 + 100*(len(p.vars)+len(p.cons))
 	}
-	s := newSimplex(p, cfg)
-	return s.solve()
+	ws := cfg.workspace
+	pooled := ws == nil
+	if pooled {
+		ws = solvePool.Get().(*Workspace)
+	}
+	s := newSimplex(p, cfg, ws)
+	sol, err := s.solve()
+	if pooled {
+		solvePool.Put(ws)
+	}
+	return sol, err
 }

@@ -58,12 +58,14 @@ type simplex struct {
 	rowFlipped  []bool    // rows multiplied by -1 during normalization
 	phase2D     []float64 // final phase-2 reduced-cost row
 
+	ws *Workspace // scratch memory; all slice fields above alias it
+
 	iterations int
 	degenerate int  // consecutive degenerate pivots
 	useBland   bool // anti-cycling mode engaged
 }
 
-func newSimplex(p *Problem, cfg options) *simplex {
+func newSimplex(p *Problem, cfg options, ws *Workspace) *simplex {
 	n := len(p.vars)
 	m := len(p.cons)
 
@@ -72,7 +74,8 @@ func newSimplex(p *Problem, cfg options) *simplex {
 		m:      m,
 		prob:   p,
 		origN:  n,
-		colOf:  make([]int, n),
+		ws:     ws,
+		colOf:  ints(&ws.colOf, n),
 		negate: p.sense == Minimize,
 	}
 
@@ -81,7 +84,10 @@ func newSimplex(p *Problem, cfg options) *simplex {
 	// lives entirely in the shifted right-hand sides and the objective
 	// constant. Branch-and-bound fixes many variables at deep nodes, so the
 	// elimination shrinks those relaxations substantially.
-	var structUpper, structCost []float64
+	structOrig := ws.structOrig[:0]
+	s.shift = ws.shift[:0]
+	structUpper := ws.structUpper[:0]
+	structCost := ws.structCost[:0]
 	for j, v := range p.vars {
 		c := v.cost
 		if s.negate {
@@ -92,8 +98,8 @@ func newSimplex(p *Problem, cfg options) *simplex {
 			s.colOf[j] = -1
 			continue
 		}
-		s.colOf[j] = len(s.structOrig)
-		s.structOrig = append(s.structOrig, j)
+		s.colOf[j] = len(structOrig)
+		structOrig = append(structOrig, j)
 		s.shift = append(s.shift, v.lower)
 		if math.IsInf(v.upper, 1) {
 			structUpper = append(structUpper, Inf)
@@ -102,35 +108,26 @@ func newSimplex(p *Problem, cfg options) *simplex {
 		}
 		structCost = append(structCost, c)
 	}
+	s.structOrig = structOrig
+	ws.structOrig, ws.shift = structOrig, s.shift
+	ws.structUpper, ws.structCost = structUpper, structCost
 	s.nStruct = len(s.structOrig)
 	n = s.nStruct
 
 	// Normalize rows: substitute the shift into the right-hand side and
-	// flip rows so that rhs >= 0.
-	type rowSpec struct {
-		terms   []Term
-		op      Op
-		rhs     float64
-		flipped bool
-	}
-	rows := make([]rowSpec, m)
+	// flip rows so that rhs >= 0. The first pass sizes the slack/artificial
+	// blocks; the fill pass below re-derives each row's orientation from the
+	// stored shifted right-hand side instead of materializing negated terms.
+	rhsBuf := f64(&ws.rhs, m, false)
 	nSlack, nArt := 0, 0
 	for i, c := range p.cons {
 		rhs := c.rhs
 		for _, t := range c.terms {
 			rhs -= t.Coeff * p.vars[t.Var].lower
 		}
+		rhsBuf[i] = rhs
 		op := c.op
-		terms := c.terms
-		flip := false
 		if rhs < 0 {
-			rhs = -rhs
-			flip = true
-			negated := make([]Term, len(terms))
-			for k, t := range terms {
-				negated[k] = Term{Var: t.Var, Coeff: -t.Coeff}
-			}
-			terms = negated
 			switch op {
 			case LE:
 				op = GE
@@ -138,7 +135,6 @@ func newSimplex(p *Problem, cfg options) *simplex {
 				op = LE
 			}
 		}
-		rows[i] = rowSpec{terms: terms, op: op, rhs: rhs, flipped: flip}
 		if op != EQ {
 			nSlack++
 		}
@@ -149,16 +145,16 @@ func newSimplex(p *Problem, cfg options) *simplex {
 
 	s.nCols = n + nSlack + nArt
 	s.artAt = n + nSlack
-	s.tab = make([]float64, m*s.nCols)
-	s.x = make([]float64, s.nCols)
-	s.upper = make([]float64, s.nCols)
-	s.cost = make([]float64, s.nCols)
-	s.basis = make([]int, m)
-	s.status = make([]varStatus, s.nCols)
-	s.redundant = make([]bool, m)
-	s.rowDualCol = make([]int, m)
-	s.rowDualSign = make([]float64, m)
-	s.rowFlipped = make([]bool, m)
+	s.tab = f64(&ws.tab, m*s.nCols, true)
+	s.x = f64(&ws.x, s.nCols, true)
+	s.upper = f64(&ws.upper, s.nCols, false)
+	s.cost = f64(&ws.cost, s.nCols, true)
+	s.basis = ints(&ws.basis, m)
+	s.status = statuses(&ws.status, s.nCols)
+	s.redundant = bools(&ws.redundant, m, true)
+	s.rowDualCol = ints(&ws.rowDualCol, m)
+	s.rowDualSign = f64(&ws.rowDualSign, m, false)
+	s.rowFlipped = bools(&ws.rowFlipped, m, false)
 
 	copy(s.upper, structUpper)
 	copy(s.cost, structCost)
@@ -167,20 +163,34 @@ func newSimplex(p *Problem, cfg options) *simplex {
 	}
 
 	slack, art := n, s.artAt
-	for i, r := range rows {
-		row := s.row(i)
-		for _, t := range r.terms {
-			if cj := s.colOf[t.Var]; cj >= 0 {
-				row[cj] += t.Coeff
+	for i, c := range p.cons {
+		rhs := rhsBuf[i]
+		sign := 1.0
+		op := c.op
+		flipped := rhs < 0
+		if flipped {
+			rhs = -rhs
+			sign = -1
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
 			}
 		}
-		s.rowFlipped[i] = r.flipped
-		switch r.op {
+		row := s.row(i)
+		for _, t := range c.terms {
+			if cj := s.colOf[t.Var]; cj >= 0 {
+				row[cj] += sign * t.Coeff
+			}
+		}
+		s.rowFlipped[i] = flipped
+		switch op {
 		case LE:
 			row[slack] = 1
 			s.basis[i] = slack
 			s.status[slack] = statusBasic
-			s.x[slack] = r.rhs
+			s.x[slack] = rhs
 			s.rowDualCol[i], s.rowDualSign[i] = slack, -1
 			slack++
 		case GE:
@@ -190,13 +200,13 @@ func newSimplex(p *Problem, cfg options) *simplex {
 			row[art] = 1
 			s.basis[i] = art
 			s.status[art] = statusBasic
-			s.x[art] = r.rhs
+			s.x[art] = rhs
 			art++
 		case EQ:
 			row[art] = 1
 			s.basis[i] = art
 			s.status[art] = statusBasic
-			s.x[art] = r.rhs
+			s.x[art] = rhs
 			s.rowDualCol[i], s.rowDualSign[i] = art, -1
 			art++
 		}
@@ -302,7 +312,7 @@ func (s *simplex) solve() (*Solution, error) {
 // feasible solution or proving infeasibility.
 func (s *simplex) phase1() (Status, error) {
 	// Phase-1 objective: maximize -(sum of artificials).
-	c1 := make([]float64, s.nCols)
+	c1 := f64(&s.ws.c1, s.nCols, true)
 	for j := s.artAt; j < s.nCols; j++ {
 		c1[j] = -1
 	}
@@ -399,9 +409,11 @@ func (s *simplex) phase2() (Status, error) {
 }
 
 // reducedCosts computes d_j = c_j - c_B^T B^-1 A_j for every column from
-// scratch using the current tableau.
+// scratch using the current tableau. The returned slice aliases workspace
+// memory shared by both phases: each call invalidates the previous result,
+// which is safe because phase 1's row is dead once phase 2 starts.
 func (s *simplex) reducedCosts(c []float64) []float64 {
-	d := make([]float64, s.nCols)
+	d := f64(&s.ws.d, s.nCols, false)
 	copy(d, c)
 	for i := 0; i < s.m; i++ {
 		cb := c[s.basis[i]]

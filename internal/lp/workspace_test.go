@@ -1,0 +1,160 @@
+package lp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomLP builds a random bounded LP with n variables and m <=/>=
+// constraints. Bounded boxes keep every instance feasible and bounded.
+func randomLP(rng *rand.Rand, n, m int) *Problem {
+	p := NewProblem(Maximize)
+	ids := make([]VarID, n)
+	for i := range ids {
+		v, err := p.AddVariable("x", 0, 1+rng.Float64()*9, rng.Float64()*10-2)
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = v
+	}
+	for c := 0; c < m; c++ {
+		var terms []Term
+		for i := range ids {
+			if rng.Float64() < 0.5 {
+				terms = append(terms, Term{Var: ids[i], Coeff: rng.Float64()*4 - 1})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: ids[rng.Intn(n)], Coeff: 1})
+		}
+		op := LE
+		if rng.Float64() < 0.3 {
+			op = GE
+		}
+		rhs := rng.Float64() * 10
+		if op == GE {
+			rhs = -rng.Float64() * 5
+		}
+		if _, err := p.AddConstraint("c", terms, op, rhs); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func sameSolution(t *testing.T, got, want *Solution, label string) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("%s: status = %v, want %v", label, got.Status, want.Status)
+	}
+	if want.Status != StatusOptimal {
+		return
+	}
+	if !almostEqual(got.Objective, want.Objective) {
+		t.Errorf("%s: objective = %v, want %v", label, got.Objective, want.Objective)
+	}
+}
+
+// TestWorkspaceReuseAcrossShapes solves a sequence of LPs of varying shape
+// on ONE workspace and checks every answer against a fresh pooled solve:
+// stale buffer contents from a larger earlier problem must never leak into
+// a smaller later one.
+func TestWorkspaceReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ws := NewWorkspace()
+	shapes := [][2]int{{8, 5}, {20, 14}, {3, 2}, {15, 30}, {6, 1}, {30, 18}, {2, 4}}
+	for round := 0; round < 3; round++ {
+		for _, sh := range shapes {
+			p := randomLP(rng, sh[0], sh[1])
+			got, err := p.Solve(WithWorkspace(ws))
+			if err != nil {
+				t.Fatalf("shape %v: workspace solve: %v", sh, err)
+			}
+			want, err := p.Solve()
+			if err != nil {
+				t.Fatalf("shape %v: fresh solve: %v", sh, err)
+			}
+			sameSolution(t, got, want, "workspace vs fresh")
+		}
+	}
+}
+
+// TestWorkspaceSolutionOutlivesReuse checks a returned solution does not
+// alias workspace memory: solving again must not corrupt it.
+func TestWorkspaceSolutionOutlivesReuse(t *testing.T) {
+	ws := NewWorkspace()
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 4, 3)
+	y := mustVar(t, p, "y", 0, 4, 2)
+	mustCon(t, p, "c", []Term{{x, 1}, {y, 1}}, LE, 6)
+	first, err := p.Solve(WithWorkspace(ws))
+	if err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	obj, vx, vy := first.Objective, first.Value(x), first.Value(y)
+
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5; i++ {
+		if _, err := randomLP(rng, 25, 20).Solve(WithWorkspace(ws)); err != nil {
+			t.Fatalf("reuse solve %d: %v", i, err)
+		}
+	}
+	if first.Objective != obj || first.Value(x) != vx || first.Value(y) != vy {
+		t.Errorf("solution mutated by workspace reuse: (%v,%v,%v) -> (%v,%v,%v)",
+			obj, vx, vy, first.Objective, first.Value(x), first.Value(y))
+	}
+}
+
+// TestPooledSolveConcurrent hammers the implicit sync.Pool path from many
+// goroutines; run under -race this checks pooled workspaces are never
+// shared between in-flight solves.
+func TestPooledSolveConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20; i++ {
+				p := randomLP(rng, 10+rng.Intn(15), 5+rng.Intn(15))
+				a, err := p.Solve()
+				if err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+				b, err := p.Solve()
+				if err != nil {
+					t.Errorf("re-solve: %v", err)
+					return
+				}
+				if a.Status == StatusOptimal && !almostEqual(a.Objective, b.Objective) {
+					t.Errorf("non-deterministic objective: %v vs %v", a.Objective, b.Objective)
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+}
+
+// TestWorkspaceSolveAllocs bounds per-solve allocations once the workspace
+// is warm. The seed solver allocated ~47 times per solve; the workspace
+// path should stay in single digits (solution + a few slices). The bound
+// has slack so it fails on regressions, not on noise.
+func TestWorkspaceSolveAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	p := randomLP(rng, 20, 15)
+	ws := NewWorkspace()
+	if _, err := p.Solve(WithWorkspace(ws)); err != nil { // warm the buffers
+		t.Fatalf("warmup solve: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := p.Solve(WithWorkspace(ws)); err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+	})
+	if allocs > 12 {
+		t.Errorf("allocs/solve = %.1f, want <= 12 with a warm workspace", allocs)
+	}
+}
