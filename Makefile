@@ -1,13 +1,25 @@
 # Tier-1 CI gate for the secmon reproduction. `make ci` is the check every
-# change must keep green: vet, build, the full test suite under the race
-# detector (the parallel branch-and-bound equivalence tests depend on it),
-# and a single-shot E3 benchmark smoke to catch gross solver regressions.
+# change must keep green: lint (staticcheck when available, go vet
+# otherwise), build, the full test suite under the race detector (the
+# parallel branch-and-bound equivalence tests depend on it), and a
+# single-shot E3 benchmark smoke to catch gross solver regressions.
 
 GO ?= go
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci lint vet build test race bench-smoke bench
 
-ci: vet build race bench-smoke
+ci: lint build race bench-smoke
+
+# staticcheck is preferred when it is on PATH; plain go vet is the fallback
+# so CI works on minimal toolchain images.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +36,15 @@ race:
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE3' -benchtime=1x .
 
-# Full benchmark sweep; compare against BENCH_BASELINE.json.
+# Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6/E7
+# runs plus a stable 200x simplex run, converted to the repository's
+# benchmark JSON schema by tools/benchjson.
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$|^BenchmarkE7Scalability$$' \
+		-benchtime=1x -benchmem . | tee bench-1x.txt
+	$(GO) test -run xxx -bench '^BenchmarkSimplexSolve$$' -benchtime=200x -benchmem . | tee bench-200x.txt
+	$(GO) run ./tools/benchjson \
+		-comment "PR 2 benchmarks (warm-started dual simplex, root presolve, cover cuts). E* numbers are single-shot (-benchtime=1x) and noisy; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
+		-out $(BENCH_OUT) bench-1x.txt=1x bench-200x.txt=200x
+	rm -f bench-1x.txt bench-200x.txt
+	@echo "wrote $(BENCH_OUT)"

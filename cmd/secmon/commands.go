@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"secmon/internal/casestudy"
@@ -18,6 +20,62 @@ import (
 	"secmon/internal/synth"
 	"secmon/internal/trace"
 )
+
+// profileFlags registers -cpuprofile/-memprofile on a command's flag set.
+type profileFlags struct {
+	cpu, mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) profileFlags {
+	return profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested and returns a stop function that
+// ends the CPU profile and writes the heap profile. The stop function must
+// run before the command returns (not via defer alone) so profile files are
+// complete even on the success path.
+func (pf profileFlags) start() (func() error, error) {
+	var cpuFile *os.File
+	if *pf.cpu != "" {
+		f, err := os.Create(*pf.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if *pf.mem != "" {
+			f, err := os.Create(*pf.mem)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
 
 // loadIndex loads the model given by -model: a JSON file path, the built-in
 // "small-business" case study, or (when empty) the enterprise case study.
@@ -163,9 +221,15 @@ func cmdOptimize(args []string, out io.Writer) error {
 	wRedundancy := fs.Float64("w-redundancy", 0, "multi-objective weight on redundancy")
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
+	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.start()
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	idx, err := loadIndex(*modelPath)
 	if err != nil {
 		return err
@@ -263,7 +327,26 @@ func cmdOptimize(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "solver: %d nodes, %d LP iterations, %s (%d workers)\n",
 		res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed, res.Stats.Workers)
-	return nil
+	printSolverExtras(out, res.Stats)
+	return stopProfiles()
+}
+
+// printSolverExtras reports the warm-start, presolve and cutting-plane
+// statistics when the corresponding feature did any work.
+func printSolverExtras(out io.Writer, st core.SolveStats) {
+	if st.WarmAttempts > 0 {
+		fmt.Fprintf(out, "warm starts: %d/%d accepted (%.0f%% hit rate), %d warm + %d cold iterations over %d cold solves\n",
+			st.WarmHits, st.WarmAttempts, 100*st.WarmStartHitRate(),
+			st.WarmIterations, st.ColdIterations, st.ColdSolves)
+	}
+	if st.PresolveFixed > 0 || st.PresolveTightened > 0 {
+		fmt.Fprintf(out, "root presolve: %d variables fixed, %d bounds tightened\n",
+			st.PresolveFixed, st.PresolveTightened)
+	}
+	if st.CutsAdded > 0 {
+		fmt.Fprintf(out, "cover cuts: %d added, %d active at the root\n",
+			st.CutsAdded, st.CutsActive)
+	}
 }
 
 func cmdSweep(args []string, out io.Writer) error {
@@ -273,9 +356,15 @@ func cmdSweep(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for the random baseline")
 	workers := fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
 	solverWorkers := fs.Int("solver-workers", 1, "branch-and-bound workers per solve (0 = GOMAXPROCS)")
+	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.start()
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	idx, err := loadIndex(*modelPath)
 	if err != nil {
 		return err
@@ -290,7 +379,7 @@ func cmdSweep(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%10.0f %10.4f %10.4f %10.4f\n",
 			p.Budget, p.Optimal.Utility, p.Greedy.Utility, p.Random.Utility)
 	}
-	return nil
+	return stopProfiles()
 }
 
 func cmdSynth(args []string, out io.Writer) error {

@@ -55,15 +55,44 @@ type SolveStats struct {
 	// Workers is the number of branch-and-bound workers used (1 for the
 	// sequential solver).
 	Workers int `json:"workers,omitempty"`
+	// WarmAttempts is the number of LP solves given a parent basis to
+	// warm-start from; WarmHits counts those the dual simplex accepted.
+	WarmAttempts int `json:"warmAttempts,omitempty"`
+	WarmHits     int `json:"warmHits,omitempty"`
+	// WarmIterations and ColdIterations split LPIterations by solve kind,
+	// and ColdSolves counts the solves done from scratch.
+	WarmIterations int `json:"warmIterations,omitempty"`
+	ColdIterations int `json:"coldIterations,omitempty"`
+	ColdSolves     int `json:"coldSolves,omitempty"`
+	// PresolveFixed and PresolveTightened count integer variables fixed by
+	// reduced-cost arguments and bounds tightened by constraint propagation
+	// at the root.
+	PresolveFixed     int `json:"presolveFixed,omitempty"`
+	PresolveTightened int `json:"presolveTightened,omitempty"`
+	// CutsAdded is the number of lifted cover cuts appended at the root;
+	// CutsActive counts those binding at the final root relaxation.
+	CutsAdded  int `json:"cutsAdded,omitempty"`
+	CutsActive int `json:"cutsActive,omitempty"`
 	// PerWorker breaks Nodes and LPIterations down by worker, indexed by
 	// worker id. Empty for the heuristic baselines.
 	PerWorker []WorkerLoad `json:"perWorker,omitempty"`
+}
+
+// WarmStartHitRate is the fraction of warm-start attempts the dual simplex
+// accepted, or 0 when warm starts never ran.
+func (s SolveStats) WarmStartHitRate() float64 {
+	if s.WarmAttempts == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(s.WarmAttempts)
 }
 
 // WorkerLoad is one worker's share of the branch-and-bound effort.
 type WorkerLoad struct {
 	Nodes        int `json:"nodes"`
 	LPIterations int `json:"lpIterations"`
+	WarmAttempts int `json:"warmAttempts,omitempty"`
+	WarmHits     int `json:"warmHits,omitempty"`
 }
 
 // Result is the outcome of a deployment computation.
@@ -358,15 +387,29 @@ func (o *Optimizer) newResult(d *model.Deployment, sol *ilp.Solution) *Result {
 
 func newSolveStats(sol *ilp.Solution) SolveStats {
 	st := SolveStats{
-		Nodes:        sol.Nodes,
-		LPIterations: sol.LPIterations,
-		Elapsed:      sol.Elapsed,
-		Workers:      sol.Workers,
+		Nodes:             sol.Nodes,
+		LPIterations:      sol.LPIterations,
+		Elapsed:           sol.Elapsed,
+		Workers:           sol.Workers,
+		WarmAttempts:      sol.WarmAttempts,
+		WarmHits:          sol.WarmHits,
+		WarmIterations:    sol.WarmIterations,
+		ColdIterations:    sol.ColdIterations,
+		ColdSolves:        sol.ColdSolves,
+		PresolveFixed:     sol.PresolveFixed,
+		PresolveTightened: sol.PresolveTightened,
+		CutsAdded:         sol.CutsAdded,
+		CutsActive:        sol.CutsActive,
 	}
 	if len(sol.PerWorker) > 0 {
 		st.PerWorker = make([]WorkerLoad, len(sol.PerWorker))
 		for i, w := range sol.PerWorker {
-			st.PerWorker[i] = WorkerLoad{Nodes: w.Nodes, LPIterations: w.LPIterations}
+			st.PerWorker[i] = WorkerLoad{
+				Nodes:        w.Nodes,
+				LPIterations: w.LPIterations,
+				WarmAttempts: w.WarmAttempts,
+				WarmHits:     w.WarmHits,
+			}
 		}
 	}
 	return st

@@ -172,6 +172,37 @@ type Solution struct {
 	// PerWorker records each worker's share of the search effort, indexed
 	// by worker; its length equals Workers.
 	PerWorker []WorkerStats
+	// WarmAttempts counts node relaxations that were offered a parent
+	// basis; WarmHits counts the subset the dual simplex finished without
+	// falling back to a cold solve.
+	WarmAttempts int
+	WarmHits     int
+	// WarmIterations is the total dual-simplex pivots across warm hits;
+	// ColdIterations the total pivots across cold two-phase solves (the
+	// root, warm misses, and every solve when warm starts are disabled),
+	// of which there were ColdSolves. Comparing WarmIterations/WarmHits
+	// against ColdIterations/ColdSolves shows the per-node warm-start win.
+	WarmIterations int
+	ColdIterations int
+	ColdSolves     int
+	// PresolveFixed counts integer variables fixed at the root by
+	// reduced-cost fixing; PresolveTightened counts further integer bound
+	// changes from coefficient-based bound tightening.
+	PresolveFixed     int
+	PresolveTightened int
+	// CutsAdded counts knapsack cover cuts appended to the root LP;
+	// CutsActive counts those binding at the final root optimum.
+	CutsAdded  int
+	CutsActive int
+}
+
+// WarmHitRate is the fraction of warm-start attempts the dual simplex
+// completed, or 0 when none were attempted.
+func (s *Solution) WarmHitRate() float64 {
+	if s.WarmAttempts == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(s.WarmAttempts)
 }
 
 // WorkerStats records the branch-and-bound effort of one worker.
@@ -180,6 +211,10 @@ type WorkerStats struct {
 	Nodes int
 	// LPIterations is the total simplex pivots the worker performed.
 	LPIterations int
+	// WarmAttempts and WarmHits are the worker's share of the warm-start
+	// accounting (see Solution.WarmAttempts).
+	WarmAttempts int
+	WarmHits     int
 }
 
 // Value returns the solution value of the given variable, or 0 if out of
@@ -229,6 +264,9 @@ type options struct {
 	branchRule   BranchRule
 	lpOptions    []lp.Option
 	workers      int
+	noWarm       bool
+	noPresolve   bool
+	noCuts       bool
 }
 
 type optionFunc func(*options)
@@ -269,6 +307,25 @@ func WithLPOptions(opts ...lp.Option) Option {
 	return optionFunc(func(o *options) { o.lpOptions = opts })
 }
 
+// WithoutWarmStart disables dual-simplex warm starts: every node relaxation
+// is then solved by the cold two-phase primal simplex. The search remains
+// exact either way; this is an escape hatch for ablation and debugging.
+func WithoutWarmStart() Option {
+	return optionFunc(func(o *options) { o.noWarm = true })
+}
+
+// WithoutPresolve disables root presolve (reduced-cost fixing and bound
+// tightening). The search remains exact either way.
+func WithoutPresolve() Option {
+	return optionFunc(func(o *options) { o.noPresolve = true })
+}
+
+// WithoutCuts disables root knapsack cover cuts. The search remains exact
+// either way.
+func WithoutCuts() Option {
+	return optionFunc(func(o *options) { o.noCuts = true })
+}
+
 // WithWorkers sets the number of branch-and-bound workers. Non-positive
 // (the default) selects runtime.GOMAXPROCS(0). One worker runs the classic
 // sequential best-first search; more run the same exact search over a
@@ -288,6 +345,12 @@ type node struct {
 	bound  float64   // LP relaxation bound inherited from the parent
 	depth  int
 	seq    int // insertion order; later nodes win ties (plunging)
+
+	// basis is the parent's optimal basis: the child differs by one bound,
+	// so the dual simplex usually re-solves it in a handful of pivots. The
+	// snapshot is immutable and safely shared across nodes and workers; nil
+	// means no warm-start information (solve cold).
+	basis *lp.Basis
 
 	// Pseudo-cost bookkeeping: which branch created this node.
 	branchedVar  int // index into Problem.integer; -1 at the root
@@ -343,27 +406,41 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > 1 {
-		return newParallelSearch(p, cfg, workers).run()
+	started := time.Now()
+	// The root node is processed once up front — relaxation, cover cuts,
+	// dive, presolve, branching — and its children seed whichever search
+	// runs below.
+	pr, err := prepareRoot(p, &cfg, started)
+	if err != nil {
+		return nil, err
 	}
-	ws := lp.NewWorkspace()
+	if workers > 1 {
+		return newParallelSearch(p, cfg, workers, started).run(pr)
+	}
 	s := &search{
 		prob:    p,
 		cfg:     cfg,
-		work:    p.lp.Clone(),
-		lpOpts:  append(append([]lp.Option{}, cfg.lpOptions...), lp.WithWorkspace(ws)),
-		started: time.Now(),
+		work:    pr.work,
+		started: started,
 	}
-	return s.run()
+	if s.work != nil {
+		// Reuse the prep workspace: it already holds the factorization of
+		// the final root basis, so the first child re-solves warm.
+		s.lpOpts = append(append([]lp.Option{}, cfg.lpOptions...), lp.WithWorkspace(pr.ws))
+		s.warmOpts = append(append([]lp.Option{}, s.lpOpts...), lp.WithWarmStart(nil))
+	}
+	return s.run(pr)
 }
 
 // search carries the state of one sequential branch-and-bound run.
 type search struct {
-	prob    *Problem
-	cfg     options
-	work    *lp.Problem // mutated in place as nodes are explored
-	lpOpts  []lp.Option // cfg.lpOptions plus the reusable simplex workspace
-	started time.Time
+	prob     *Problem
+	cfg      options
+	work     *lp.Problem // mutated in place as nodes are explored
+	lpOpts   []lp.Option // cfg.lpOptions plus the reusable simplex workspace
+	warmOpts []lp.Option // lpOpts with a WithWarmStart slot appended
+	started  time.Time
+	prep     *rootPrep
 
 	maximize  bool
 	incumbent []float64
@@ -378,30 +455,35 @@ type search struct {
 	rootObjective float64
 	rootDuals     []float64
 
+	warmAttempts, warmHits, warmIters int
+	coldSolves, coldIters             int
+
 	// Pseudo-cost tables, indexed like Problem.integer.
 	pcDownSum, pcUpSum []float64
 	pcDownN, pcUpN     []int
 }
 
-func (s *search) run() (*Solution, error) {
-	s.maximize = s.work.Sense() == lp.Maximize
-
-	nInt := len(s.prob.integer)
-	rootLo := make([]float64, nInt)
-	rootHi := make([]float64, nInt)
-	for k, v := range s.prob.integer {
-		lo, hi, err := s.work.VariableBounds(v)
-		if err != nil {
-			return nil, fmt.Errorf("ilp: read bounds: %w", err)
-		}
-		// Tighten fractional bounds to the integer lattice up front.
-		rootLo[k] = math.Ceil(lo - s.cfg.intTolerance)
-		rootHi[k] = math.Floor(hi + s.cfg.intTolerance)
-		if rootLo[k] > rootHi[k] {
-			return s.finish(StatusInfeasible), nil
-		}
+// run continues the branch-and-bound below an already-processed root.
+func (s *search) run(pr *rootPrep) (*Solution, error) {
+	s.maximize = s.prob.lp.Sense() == lp.Maximize
+	s.prep = pr
+	s.nodes = pr.nodes
+	s.lpIters = pr.lpIters
+	s.warmAttempts, s.warmHits, s.warmIters = pr.warmAttempts, pr.warmHits, pr.warmIters
+	s.coldSolves, s.coldIters = pr.coldSolves, pr.coldIters
+	s.rootObjective = pr.rootObjective
+	s.rootDuals = pr.rootDuals
+	if pr.hasInc {
+		s.hasInc, s.incObj, s.incumbent = true, pr.incObj, pr.incumbent
+	}
+	if pr.unbounded {
+		return s.finish(StatusUnbounded), nil
+	}
+	if pr.limited {
+		return s.finishWithBound(limitStatus(s.hasInc), math.Inf(1)), nil
 	}
 
+	nInt := len(s.prob.integer)
 	s.pcDownSum = make([]float64, nInt)
 	s.pcUpSum = make([]float64, nInt)
 	s.pcDownN = make([]int, nInt)
@@ -409,12 +491,24 @@ func (s *search) run() (*Solution, error) {
 
 	open := &nodeHeap{}
 	heap.Init(open)
+	if pr.branchVar >= 0 {
+		root := &node{lo: pr.lo, hi: pr.hi, bound: pr.bound, depth: 0,
+			seq: s.nextSeq(), branchedVar: -1, basis: pr.basis}
+		down, up := s.childNodes(root, pr.branchVar, pr.frac, pr.bound)
+		fracPart := pr.frac - math.Floor(pr.frac)
+		down.branchedVar, down.branchedUp, down.branchedFrac = pr.branchVar, false, fracPart
+		up.branchedVar, up.branchedUp, up.branchedFrac = pr.branchVar, true, fracPart
+		// Push the preferred child (nearest rounding) last so that the
+		// tie-break explores it first.
+		if fracPart <= 0.5 {
+			heap.Push(open, up)
+			heap.Push(open, down)
+		} else {
+			heap.Push(open, down)
+			heap.Push(open, up)
+		}
+	}
 
-	rootBound := math.Inf(1) // in maximize form
-	root := &node{lo: rootLo, hi: rootHi, bound: rootBound, depth: 0, seq: s.nextSeq(), branchedVar: -1}
-	heap.Push(open, root)
-
-	firstNode := true
 	for open.Len() > 0 {
 		if s.limitReached() {
 			return s.finishWithBound(limitStatus(s.hasInc), bestOpenBound(open)), nil
@@ -436,20 +530,13 @@ func (s *search) run() (*Solution, error) {
 		case lp.StatusInfeasible:
 			continue
 		case lp.StatusUnbounded:
-			if firstNode {
-				return s.finish(StatusUnbounded), nil
-			}
-			// Bounded roots cannot spawn unbounded children; treat as a
+			// The root (handled in prepareRoot) is bounded, and bounded
+			// parents cannot spawn unbounded children; treat as a
 			// numerical failure.
 			return nil, fmt.Errorf("ilp: child relaxation unbounded: %w", lp.ErrNumerical)
 		case lp.StatusIterationLimit:
 			return nil, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", s.nodes)
 		}
-		if firstNode {
-			s.rootObjective = sol.Objective
-			s.rootDuals = sol.DualValues
-		}
-		firstNode = false
 
 		bound := s.toMax(sol.Objective)
 		s.observePseudoCost(nd, bound)
@@ -464,10 +551,13 @@ func (s *search) run() (*Solution, error) {
 			continue
 		}
 
-		// Dive at the root and, until a first incumbent exists, from every
-		// node: without an incumbent best-first cannot prune and degrades
-		// into breadth-first over bound plateaus.
-		if !s.cfg.disableDive && (nd.depth == 0 || !s.hasInc) {
+		// This node's optimal basis warm-starts its children and dives.
+		nd.basis = sol.Basis
+
+		// Dive until a first incumbent exists: without one, best-first
+		// cannot prune and degrades into breadth-first over bound
+		// plateaus. (The root dive already ran in prepareRoot.)
+		if !s.cfg.disableDive && !s.hasInc {
 			if err := s.dive(nd, sol.X); err != nil {
 				return nil, err
 			}
@@ -483,7 +573,7 @@ func (s *search) run() (*Solution, error) {
 		up.branchedVar, up.branchedUp, up.branchedFrac = branchVar, true, fracPart
 		// Push the preferred child (nearest rounding) last so that the
 		// tie-break explores it first.
-		if frac-math.Floor(frac) <= 0.5 {
+		if fracPart <= 0.5 {
 			heap.Push(open, up)
 			heap.Push(open, down)
 		} else {
@@ -559,16 +649,32 @@ func applyNodeBounds(work *lp.Problem, integer []lp.VarID, nd *node) error {
 }
 
 // solveRelaxation applies the node's integer bounds to the working problem
-// and solves the LP relaxation.
+// and solves the LP relaxation, warm-starting from the node's parent basis
+// when one is available.
 func (s *search) solveRelaxation(nd *node) (*lp.Solution, error) {
 	if err := applyNodeBounds(s.work, s.prob.integer, nd); err != nil {
 		return nil, err
 	}
-	sol, err := s.work.Solve(s.lpOpts...)
+	opts := s.lpOpts
+	if !s.cfg.noWarm {
+		s.warmOpts[len(s.warmOpts)-1] = lp.WithWarmStart(nd.basis)
+		opts = s.warmOpts
+		if nd.basis != nil {
+			s.warmAttempts++
+		}
+	}
+	sol, err := s.work.Solve(opts...)
 	if err != nil {
 		return nil, fmt.Errorf("ilp: relaxation: %w", err)
 	}
 	s.lpIters += sol.Iterations
+	if sol.Warm {
+		s.warmHits++
+		s.warmIters += sol.Iterations
+	} else {
+		s.coldSolves++
+		s.coldIters += sol.Iterations
+	}
 	return sol, nil
 }
 
@@ -615,7 +721,7 @@ func (s *search) childNodes(parent *node, k int, frac, bound float64) (down, up 
 		hi := make([]float64, len(parent.hi))
 		copy(lo, parent.lo)
 		copy(hi, parent.hi)
-		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1}
+		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1, basis: parent.basis}
 	}
 	down = mkChild()
 	down.hi[k] = math.Floor(frac)
@@ -718,6 +824,7 @@ func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 	hi := make([]float64, len(nd.hi))
 	copy(lo, nd.lo)
 	copy(hi, nd.hi)
+	chain := nd.basis // each dive step warm-starts from the previous optimum
 	cur := x
 	for step := 0; step <= len(prob.integer); step++ {
 		// Find the fractional variable closest to integral.
@@ -742,7 +849,7 @@ func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 		origLo, origHi := lo[pick], hi[pick]
 		lo[pick], hi[pick] = fixed, fixed
 
-		sol, err := solve(&node{lo: lo, hi: hi})
+		sol, err := solve(&node{lo: lo, hi: hi, basis: chain})
 		if err != nil {
 			return err
 		}
@@ -758,13 +865,16 @@ func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 				return nil
 			}
 			lo[pick], hi[pick] = alt, alt
-			sol, err = solve(&node{lo: lo, hi: hi})
+			sol, err = solve(&node{lo: lo, hi: hi, basis: chain})
 			if err != nil {
 				return err
 			}
 			if sol.Status != lp.StatusOptimal {
 				return nil // dead end both ways; the exact search continues
 			}
+		}
+		if sol.Basis != nil {
+			chain = sol.Basis
 		}
 		cur = sol.X
 	}
@@ -781,7 +891,21 @@ func (s *search) finish(status Status) *Solution {
 		RootObjective: s.rootObjective,
 		RootDuals:     s.rootDuals,
 		Workers:       1,
-		PerWorker:     []WorkerStats{{Nodes: s.nodes, LPIterations: s.lpIters}},
+		PerWorker: []WorkerStats{{
+			Nodes: s.nodes, LPIterations: s.lpIters,
+			WarmAttempts: s.warmAttempts, WarmHits: s.warmHits,
+		}},
+		WarmAttempts:   s.warmAttempts,
+		WarmHits:       s.warmHits,
+		WarmIterations: s.warmIters,
+		ColdIterations: s.coldIters,
+		ColdSolves:     s.coldSolves,
+	}
+	if pr := s.prep; pr != nil {
+		sol.PresolveFixed = pr.presolveFixed
+		sol.PresolveTightened = pr.presolveTightened
+		sol.CutsAdded = pr.cutsAdded
+		sol.CutsActive = pr.cutsActive
 	}
 	if s.hasInc {
 		sol.X = s.incumbent

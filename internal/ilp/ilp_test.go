@@ -175,7 +175,9 @@ func TestSolveNodeLimit(t *testing.T) {
 	values := []float64{9, 14, 23, 31, 44, 53, 61, 70, 82, 95}
 	weights := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
 	p, _ := buildKnapsack(t, values, weights, 27)
-	sol, err := p.Solve(WithMaxNodes(1), WithoutDiving())
+	// Cover cuts can close this knapsack at the root; disable them (and
+	// presolve) so the node budget is what stops the search.
+	sol, err := p.Solve(WithMaxNodes(1), WithoutDiving(), WithoutCuts(), WithoutPresolve())
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}

@@ -34,6 +34,7 @@ type parallelSearch struct {
 	workers  int
 	maximize bool
 	started  time.Time
+	prep     *rootPrep
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -61,60 +62,76 @@ type parallelSearch struct {
 	pcDownN, pcUpN     []int
 
 	stats []WorkerStats
+	// Warm/cold iteration totals, merged under mu as each worker exits.
+	warmIters, coldSolves, coldIters int
 }
 
 // pworker is one branch-and-bound worker: a private problem clone, a
 // private reusable simplex workspace, and private effort counters.
 type pworker struct {
-	id     int
-	ps     *parallelSearch
-	work   *lp.Problem
-	lpOpts []lp.Option
+	id       int
+	ps       *parallelSearch
+	work     *lp.Problem
+	lpOpts   []lp.Option
+	warmOpts []lp.Option // lpOpts with a WithWarmStart slot appended
 
 	nodes   int
 	lpIters int
+
+	warmAttempts, warmHits, warmIts int
+	coldSolves, coldIts             int
 }
 
-func newParallelSearch(p *Problem, cfg options, workers int) *parallelSearch {
+func newParallelSearch(p *Problem, cfg options, workers int, started time.Time) *parallelSearch {
 	ps := &parallelSearch{
 		prob:     p,
 		cfg:      cfg,
 		workers:  workers,
 		maximize: p.lp.Sense() == lp.Maximize,
-		started:  time.Now(),
+		started:  started,
 	}
 	ps.cond = sync.NewCond(&ps.mu)
 	return ps
 }
 
-func (ps *parallelSearch) run() (*Solution, error) {
-	nInt := len(ps.prob.integer)
-	rootLo := make([]float64, nInt)
-	rootHi := make([]float64, nInt)
-	for k, v := range ps.prob.integer {
-		lo, hi, err := ps.prob.lp.VariableBounds(v)
-		if err != nil {
-			return nil, fmt.Errorf("ilp: read bounds: %w", err)
-		}
-		// Tighten fractional bounds to the integer lattice up front.
-		rootLo[k] = math.Ceil(lo - ps.cfg.intTolerance)
-		rootHi[k] = math.Floor(hi + ps.cfg.intTolerance)
-		if rootLo[k] > rootHi[k] {
-			return ps.assemble(), nil // infeasible before any LP solve
-		}
+// run continues the branch-and-bound below an already-processed root: the
+// prep's two children seed the shared frontier and the workers race over it.
+func (ps *parallelSearch) run(pr *rootPrep) (*Solution, error) {
+	ps.prep = pr
+	ps.nodes = pr.nodes
+	ps.stats = make([]WorkerStats, ps.workers)
+	ps.rootObjective = pr.rootObjective
+	ps.rootDuals = pr.rootDuals
+	if pr.hasInc {
+		ps.hasInc, ps.incObj, ps.incumbent = true, pr.incObj, pr.incumbent
+	}
+	if pr.unbounded {
+		ps.unbound = true
+		return ps.assemble(), nil
+	}
+	if pr.limited {
+		ps.limited = true
+		return ps.assemble(), nil
 	}
 
+	nInt := len(ps.prob.integer)
 	ps.pcDownSum = make([]float64, nInt)
 	ps.pcUpSum = make([]float64, nInt)
 	ps.pcDownN = make([]int, nInt)
 	ps.pcUpN = make([]int, nInt)
 
-	root := &node{lo: rootLo, hi: rootHi, bound: math.Inf(1), depth: 0, seq: 1, branchedVar: -1}
-	ps.seq = 1
-	ps.open = nodeHeap{root}
+	ps.seq = 1 // the root consumed the first sequence number in prep
+	ps.open = nodeHeap{}
 	heap.Init(&ps.open)
+	if pr.branchVar >= 0 {
+		root := &node{lo: pr.lo, hi: pr.hi, bound: pr.bound, depth: 0,
+			seq: 1, branchedVar: -1, basis: pr.basis}
+		ps.pushChildren(root, pr.branchVar, pr.frac, pr.bound)
+	}
+	if len(ps.open) == 0 {
+		return ps.assemble(), nil // decided at the root: nothing to search
+	}
 
-	ps.stats = make([]WorkerStats, ps.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < ps.workers; w++ {
 		wg.Add(1)
@@ -135,9 +152,10 @@ func (ps *parallelSearch) runWorker(id int) {
 	w := &pworker{
 		id:     id,
 		ps:     ps,
-		work:   ps.prob.lp.Clone(),
+		work:   ps.prep.work.Clone(), // includes any root cut rows
 		lpOpts: append(append([]lp.Option{}, ps.cfg.lpOptions...), lp.WithWorkspace(lp.NewWorkspace())),
 	}
+	w.warmOpts = append(append([]lp.Option{}, w.lpOpts...), lp.WithWarmStart(nil))
 	for {
 		nd, ok := ps.acquire()
 		if !ok {
@@ -147,7 +165,13 @@ func (ps *parallelSearch) runWorker(id int) {
 		ps.release(err)
 	}
 	ps.mu.Lock()
-	ps.stats[id] = WorkerStats{Nodes: w.nodes, LPIterations: w.lpIters}
+	ps.stats[id] = WorkerStats{
+		Nodes: w.nodes, LPIterations: w.lpIters,
+		WarmAttempts: w.warmAttempts, WarmHits: w.warmHits,
+	}
+	ps.warmIters += w.warmIts
+	ps.coldSolves += w.coldSolves
+	ps.coldIters += w.coldIts
 	ps.mu.Unlock()
 }
 
@@ -290,7 +314,7 @@ func (ps *parallelSearch) pushChildren(parent *node, k int, frac, bound float64)
 		hi := make([]float64, len(parent.hi))
 		copy(lo, parent.lo)
 		copy(hi, parent.hi)
-		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1}
+		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1, basis: parent.basis}
 	}
 	down := mkChild()
 	down.hi[k] = math.Floor(frac)
@@ -316,16 +340,33 @@ func (ps *parallelSearch) pushChildren(parent *node, k int, frac, bound float64)
 }
 
 // solveRelaxation solves the node's LP relaxation on the worker's private
-// problem clone and workspace.
+// problem clone and workspace, warm-starting from the node's parent basis
+// when one is available (basis snapshots are immutable and shared across
+// workers; each worker restores them into its own workspace).
 func (w *pworker) solveRelaxation(nd *node) (*lp.Solution, error) {
 	if err := applyNodeBounds(w.work, w.ps.prob.integer, nd); err != nil {
 		return nil, err
 	}
-	sol, err := w.work.Solve(w.lpOpts...)
+	opts := w.lpOpts
+	if !w.ps.cfg.noWarm {
+		w.warmOpts[len(w.warmOpts)-1] = lp.WithWarmStart(nd.basis)
+		opts = w.warmOpts
+		if nd.basis != nil {
+			w.warmAttempts++
+		}
+	}
+	sol, err := w.work.Solve(opts...)
 	if err != nil {
 		return nil, fmt.Errorf("ilp: relaxation: %w", err)
 	}
 	w.lpIters += sol.Iterations
+	if sol.Warm {
+		w.warmHits++
+		w.warmIts += sol.Iterations
+	} else {
+		w.coldSolves++
+		w.coldIts += sol.Iterations
+	}
 	return sol, nil
 }
 
@@ -347,26 +388,12 @@ func (w *pworker) process(nd *node) error {
 	case lp.StatusInfeasible:
 		return nil
 	case lp.StatusUnbounded:
-		if nd.depth == 0 {
-			ps.mu.Lock()
-			ps.unbound = true
-			ps.cond.Broadcast()
-			ps.mu.Unlock()
-			return nil
-		}
-		// Bounded roots cannot spawn unbounded children; treat as a
-		// numerical failure.
+		// The root (handled in prepareRoot) is bounded, and bounded
+		// parents cannot spawn unbounded children; treat as a numerical
+		// failure.
 		return fmt.Errorf("ilp: child relaxation unbounded: %w", lp.ErrNumerical)
 	case lp.StatusIterationLimit:
 		return fmt.Errorf("ilp: LP relaxation hit its iteration limit")
-	}
-	if nd.depth == 0 {
-		// Exactly one node has depth zero, so this is race-free by
-		// construction; the lock orders the writes for the race detector.
-		ps.mu.Lock()
-		ps.rootObjective = sol.Objective
-		ps.rootDuals = sol.DualValues
-		ps.mu.Unlock()
 	}
 
 	bound := toMaxForm(ps.maximize, sol.Objective)
@@ -383,10 +410,13 @@ func (w *pworker) process(nd *node) error {
 		return nil
 	}
 
-	// Dive at the root and, until a first incumbent exists, from every
-	// node: without an incumbent best-first cannot prune and degrades into
-	// breadth-first over bound plateaus.
-	if !ps.cfg.disableDive && (nd.depth == 0 || !hasInc) {
+	// This node's optimal basis warm-starts its children and dives.
+	nd.basis = sol.Basis
+
+	// Dive until a first incumbent exists: without one, best-first cannot
+	// prune and degrades into breadth-first over bound plateaus. (The root
+	// dive already ran in prepareRoot.)
+	if !ps.cfg.disableDive && !hasInc {
 		offer := func(x []float64) { ps.offerIncumbent(w.work, x) }
 		if err := diveFrom(ps.prob, &ps.cfg, nd, sol.X, w.solveRelaxation, offer); err != nil {
 			return err
@@ -402,25 +432,39 @@ func (w *pworker) process(nd *node) error {
 }
 
 // assemble builds the Solution after all workers have stopped. No locks are
-// needed: run has already joined every worker goroutine.
+// needed: run has already joined every worker goroutine. The root-prep
+// effort (the root node itself, cuts, dive) is credited to worker 0 so the
+// per-worker stats still sum to the solution totals.
 func (ps *parallelSearch) assemble() *Solution {
+	pr := ps.prep
+	ps.stats[0].Nodes += pr.nodes
+	ps.stats[0].LPIterations += pr.lpIters
+	ps.stats[0].WarmAttempts += pr.warmAttempts
+	ps.stats[0].WarmHits += pr.warmHits
 	lpIters := 0
+	warmAttempts, warmHits := 0, 0
 	for _, st := range ps.stats {
 		lpIters += st.LPIterations
+		warmAttempts += st.WarmAttempts
+		warmHits += st.WarmHits
 	}
 	sol := &Solution{
-		Nodes:         ps.nodes,
-		LPIterations:  lpIters,
-		Elapsed:       time.Since(ps.started),
-		RootObjective: ps.rootObjective,
-		RootDuals:     ps.rootDuals,
-		Workers:       ps.workers,
-		PerWorker:     ps.stats,
-	}
-	if ps.stats == nil {
-		// Infeasible before any worker launched (empty integer lattice).
-		sol.Workers = ps.workers
-		sol.PerWorker = make([]WorkerStats, ps.workers)
+		Nodes:             ps.nodes,
+		LPIterations:      lpIters,
+		Elapsed:           time.Since(ps.started),
+		RootObjective:     ps.rootObjective,
+		RootDuals:         ps.rootDuals,
+		Workers:           ps.workers,
+		PerWorker:         ps.stats,
+		WarmAttempts:      warmAttempts,
+		WarmHits:          warmHits,
+		WarmIterations:    ps.warmIters + pr.warmIters,
+		ColdIterations:    ps.coldIters + pr.coldIters,
+		ColdSolves:        ps.coldSolves + pr.coldSolves,
+		PresolveFixed:     pr.presolveFixed,
+		PresolveTightened: pr.presolveTightened,
+		CutsAdded:         pr.cutsAdded,
+		CutsActive:        pr.cutsActive,
 	}
 	if ps.hasInc {
 		sol.X = ps.incumbent

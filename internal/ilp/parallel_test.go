@@ -70,16 +70,31 @@ func checkWorkerStats(t *testing.T, sol *Solution, workers int) {
 	if len(sol.PerWorker) != workers {
 		t.Fatalf("len(PerWorker) = %d, want %d", len(sol.PerWorker), workers)
 	}
-	nodes, iters := 0, 0
+	nodes, iters, warmAtt, warmHits := 0, 0, 0, 0
 	for _, st := range sol.PerWorker {
 		nodes += st.Nodes
 		iters += st.LPIterations
+		warmAtt += st.WarmAttempts
+		warmHits += st.WarmHits
 	}
 	if nodes != sol.Nodes {
 		t.Errorf("sum(PerWorker.Nodes) = %d, want Nodes = %d", nodes, sol.Nodes)
 	}
 	if iters != sol.LPIterations {
 		t.Errorf("sum(PerWorker.LPIterations) = %d, want LPIterations = %d", iters, sol.LPIterations)
+	}
+	if warmAtt != sol.WarmAttempts {
+		t.Errorf("sum(PerWorker.WarmAttempts) = %d, want WarmAttempts = %d", warmAtt, sol.WarmAttempts)
+	}
+	if warmHits != sol.WarmHits {
+		t.Errorf("sum(PerWorker.WarmHits) = %d, want WarmHits = %d", warmHits, sol.WarmHits)
+	}
+	if sol.WarmHits > sol.WarmAttempts {
+		t.Errorf("WarmHits = %d exceeds WarmAttempts = %d", sol.WarmHits, sol.WarmAttempts)
+	}
+	if sol.WarmIterations+sol.ColdIterations != sol.LPIterations {
+		t.Errorf("WarmIterations + ColdIterations = %d, want LPIterations = %d",
+			sol.WarmIterations+sol.ColdIterations, sol.LPIterations)
 	}
 }
 
@@ -106,6 +121,55 @@ func TestParallelEquivalenceRandom(t *testing.T) {
 				t.Errorf("trial %d workers %d: bound = %v, want %v", trial, w, sol.BestBound, ref.BestBound)
 			}
 			checkWorkerStats(t, sol, w)
+		}
+	}
+}
+
+// featureModes enumerates every combination of the solver accelerators'
+// escape hatches, from everything on to everything off.
+var featureModes = []struct {
+	name string
+	opts []Option
+}{
+	{name: "all-on"},
+	{name: "no-warm", opts: []Option{WithoutWarmStart()}},
+	{name: "no-cuts", opts: []Option{WithoutCuts()}},
+	{name: "no-presolve", opts: []Option{WithoutPresolve()}},
+	{name: "all-off", opts: []Option{WithoutWarmStart(), WithoutCuts(), WithoutPresolve()}},
+}
+
+// TestParallelEquivalenceWithFeatures checks that warm starts, root presolve
+// and cover cuts never change the proven answer: for every feature mode and
+// worker count in {1, 2, 4}, status, objective and best bound must match a
+// fully-featured sequential reference solve.
+func TestParallelEquivalenceWithFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 4; trial++ {
+		var p *Problem
+		if trial%2 == 0 {
+			p = randomKnapsack(t, rng, 14+trial)
+		} else {
+			p = randomSetCover(t, rng, 12+trial, 20)
+		}
+		ref := solveOptimal(t, p, WithWorkers(1))
+		for _, mode := range featureModes {
+			for _, w := range []int{1, 2, 4} {
+				opts := append([]Option{WithWorkers(w)}, mode.opts...)
+				sol := solveOptimal(t, p, opts...)
+				if sol.Status != ref.Status {
+					t.Errorf("trial %d %s workers %d: status = %v, want %v",
+						trial, mode.name, w, sol.Status, ref.Status)
+				}
+				if !almostEqual(sol.Objective, ref.Objective) {
+					t.Errorf("trial %d %s workers %d: objective = %v, want %v",
+						trial, mode.name, w, sol.Objective, ref.Objective)
+				}
+				if !almostEqual(sol.BestBound, ref.BestBound) {
+					t.Errorf("trial %d %s workers %d: bound = %v, want %v",
+						trial, mode.name, w, sol.BestBound, ref.BestBound)
+				}
+				checkWorkerStats(t, sol, w)
+			}
 		}
 	}
 }

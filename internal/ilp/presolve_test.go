@@ -1,0 +1,209 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"secmon/internal/lp"
+)
+
+// TestSeparateCoverCutsKnapsack checks separation on a hand-checkable
+// instance: four weight-5 items against capacity 12. Any three items exceed
+// the capacity, so the (extended) cover inequality is x1+x2+x3+x4 <= 2.
+func TestSeparateCoverCutsKnapsack(t *testing.T) {
+	p := knapsackProblem(t, []float64{1, 1, 1, 1}, []float64{5, 5, 5, 5}, 12)
+	idx := make(map[lp.VarID]int, len(p.integer))
+	for k, v := range p.integer {
+		idx[v] = k
+	}
+	lo := []float64{0, 0, 0, 0}
+	hi := []float64{1, 1, 1, 1}
+	x := []float64{0.9, 0.8, 0.7, 0}
+
+	cuts := separateCoverCuts(p.lp, idx, p.lp.NumConstraints(), lo, hi, x)
+	if len(cuts) != 1 {
+		t.Fatalf("got %d cuts, want 1", len(cuts))
+	}
+	cut := cuts[0]
+	if cut.rhs != 2 {
+		t.Errorf("cut rhs = %v, want 2", cut.rhs)
+	}
+	// The cover {1,2,3} extends to item 4 (equal weight), so all four
+	// variables appear with unit coefficients.
+	if len(cut.terms) != 4 {
+		t.Errorf("cut has %d terms, want 4", len(cut.terms))
+	}
+	for _, term := range cut.terms {
+		if term.Coeff != 1 {
+			t.Errorf("cut coefficient for var %d = %v, want 1", term.Var, term.Coeff)
+		}
+	}
+}
+
+// TestSeparateCoverCutsNotViolated checks no cut is emitted when the
+// relaxation point already satisfies every cover inequality.
+func TestSeparateCoverCutsNotViolated(t *testing.T) {
+	p := knapsackProblem(t, []float64{1, 1, 1, 1}, []float64{5, 5, 5, 5}, 12)
+	idx := make(map[lp.VarID]int, len(p.integer))
+	for k, v := range p.integer {
+		idx[v] = k
+	}
+	lo := []float64{0, 0, 0, 0}
+	hi := []float64{1, 1, 1, 1}
+	x := []float64{1, 1, 0, 0} // integral, inside every cover inequality
+
+	if cuts := separateCoverCuts(p.lp, idx, p.lp.NumConstraints(), lo, hi, x); len(cuts) != 0 {
+		t.Fatalf("got %d cuts from an integral point, want 0", len(cuts))
+	}
+}
+
+// TestCoverCutValidityRandom brute-forces random knapsacks: every cut
+// separated from the LP-optimal vertex must hold at every feasible 0/1
+// point, otherwise the cut would exclude integer solutions.
+func TestCoverCutValidityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(5)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		total := 0.0
+		for i := range values {
+			values[i] = 1 + math.Floor(rng.Float64()*99)
+			weights[i] = 1 + math.Floor(rng.Float64()*49)
+			total += weights[i]
+		}
+		capacity := math.Floor(total * (0.25 + rng.Float64()*0.4))
+		p := knapsackProblem(t, values, weights, capacity)
+
+		sol, err := p.lp.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: LP solve: %v", trial, err)
+		}
+		if sol.Status != lp.StatusOptimal {
+			t.Fatalf("trial %d: LP status = %v", trial, sol.Status)
+		}
+		idx := make(map[lp.VarID]int, len(p.integer))
+		for k, v := range p.integer {
+			idx[v] = k
+		}
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := range hi {
+			hi[i] = 1
+		}
+		cuts := separateCoverCuts(p.lp, idx, p.lp.NumConstraints(), lo, hi, sol.X)
+
+		for mask := 0; mask < 1<<n; mask++ {
+			weight := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					weight += weights[i]
+				}
+			}
+			if weight > capacity {
+				continue // not a feasible integer point
+			}
+			for ci, cut := range cuts {
+				act := 0.0
+				for _, term := range cut.terms {
+					if mask&(1<<idx[term.Var]) != 0 {
+						act += term.Coeff
+					}
+				}
+				if act > cut.rhs+1e-9 {
+					t.Fatalf("trial %d: cut %d cuts off feasible point %b (activity %v > rhs %v)",
+						trial, ci, mask, act, cut.rhs)
+				}
+			}
+		}
+	}
+}
+
+// TestCoverCutsCloseKnapsackRoot checks that with diving disabled, cover
+// cuts alone close a knapsack whose LP bound is fractional: the four-item
+// instance has LP bound 24 but integer optimum 20, and one cover cut proves
+// it at the root.
+func TestCoverCutsCloseKnapsackRoot(t *testing.T) {
+	p := knapsackProblem(t, []float64{10, 10, 10, 10}, []float64{5, 5, 5, 5}, 12)
+	sol := solveOptimal(t, p, WithoutDiving())
+	if !almostEqual(sol.Objective, 20) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	if sol.CutsAdded < 1 {
+		t.Errorf("CutsAdded = %d, want >= 1", sol.CutsAdded)
+	}
+	if sol.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1 (cuts close the root)", sol.Nodes)
+	}
+
+	// The escape hatch must suppress separation entirely.
+	off := solveOptimal(t, p, WithoutDiving(), WithoutCuts())
+	if off.CutsAdded != 0 {
+		t.Errorf("WithoutCuts: CutsAdded = %d, want 0", off.CutsAdded)
+	}
+	if !almostEqual(off.Objective, sol.Objective) {
+		t.Errorf("WithoutCuts objective = %v, want %v", off.Objective, sol.Objective)
+	}
+}
+
+// TestPresolveReducedCostFixing builds a knapsack with one clearly useless
+// item: the root reduced cost argument proves it can never appear in a
+// solution beating the dive incumbent, so presolve fixes it to zero.
+func TestPresolveReducedCostFixing(t *testing.T) {
+	// LP optimum: x1 = x2 = 1, x3 = 0.4, x4 nonbasic at 0 with reduced
+	// cost 0.5 - 0.8*5 = -3.5; bound 21.6 minus 3.5 is below the dive
+	// incumbent 20, so x4 is fixed.
+	p := knapsackProblem(t, []float64{10, 10, 4, 0.5}, []float64{5, 5, 5, 5}, 12)
+	sol := solveOptimal(t, p, WithoutCuts())
+	if !almostEqual(sol.Objective, 20) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	if sol.PresolveFixed < 1 {
+		t.Errorf("PresolveFixed = %d, want >= 1", sol.PresolveFixed)
+	}
+
+	off := solveOptimal(t, p, WithoutCuts(), WithoutPresolve())
+	if off.PresolveFixed != 0 {
+		t.Errorf("WithoutPresolve: PresolveFixed = %d, want 0", off.PresolveFixed)
+	}
+	if !almostEqual(off.Objective, sol.Objective) {
+		t.Errorf("WithoutPresolve objective = %v, want %v", off.Objective, sol.Objective)
+	}
+}
+
+// TestPresolveBoundTightening checks coefficient-based tightening: an item
+// heavier than the whole capacity is forced to zero before any branching.
+func TestPresolveBoundTightening(t *testing.T) {
+	p := knapsackProblem(t, []float64{10, 100}, []float64{5, 20}, 12)
+	sol := solveOptimal(t, p, WithoutCuts())
+	if !almostEqual(sol.Objective, 10) {
+		t.Errorf("objective = %v, want 10", sol.Objective)
+	}
+	if sol.PresolveTightened < 1 {
+		t.Errorf("PresolveTightened = %d, want >= 1", sol.PresolveTightened)
+	}
+}
+
+// TestWarmStartStatsReported checks a branching-heavy solve reports warm
+// start attempts and a non-zero hit rate, and that the escape hatch zeroes
+// the counters.
+func TestWarmStartStatsReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := randomKnapsack(t, rng, 18)
+	sol := solveOptimal(t, p)
+	if sol.WarmAttempts == 0 {
+		t.Fatalf("WarmAttempts = 0, want > 0")
+	}
+	if sol.WarmHitRate() <= 0 {
+		t.Errorf("WarmHitRate = %v, want > 0", sol.WarmHitRate())
+	}
+
+	off := solveOptimal(t, p, WithoutWarmStart())
+	if off.WarmAttempts != 0 || off.WarmHits != 0 {
+		t.Errorf("WithoutWarmStart: warm counters = %d/%d, want 0/0", off.WarmHits, off.WarmAttempts)
+	}
+	if !almostEqual(off.Objective, sol.Objective) {
+		t.Errorf("WithoutWarmStart objective = %v, want %v", off.Objective, sol.Objective)
+	}
+}

@@ -233,6 +233,18 @@ func (p *Problem) VariableBounds(v VarID) (lower, upper float64, err error) {
 	return p.vars[v].lower, p.vars[v].upper, nil
 }
 
+// Constraint returns the terms, operator and right-hand side of a row. The
+// returned slice is the problem's backing storage and must not be modified;
+// it stays valid until the problem is mutated. Out-of-range identifiers
+// yield a nil slice.
+func (p *Problem) Constraint(c ConID) ([]Term, Op, float64) {
+	if c < 0 || int(c) >= len(p.cons) {
+		return nil, 0, 0
+	}
+	con := &p.cons[c]
+	return con.terms, con.op, con.rhs
+}
+
 // VariableName reports the name given to a variable at creation.
 func (p *Problem) VariableName(v VarID) string {
 	if v < 0 || int(v) >= len(p.vars) {
@@ -289,6 +301,14 @@ type Solution struct {
 	// Iterations is the total number of simplex pivots performed across
 	// both phases.
 	Iterations int
+	// Basis is a reusable snapshot of the optimal basis in the stable warm
+	// layout, populated at optimality for solves run with WithWarmStart.
+	// It may be shared across goroutines and fed to later solves of the
+	// same problem with different variable bounds.
+	Basis *Basis
+	// Warm reports whether the dual simplex completed this solve from a
+	// warm-start basis; false means the two-phase cold path ran.
+	Warm bool
 }
 
 // Dual returns the shadow price of the given constraint, or 0 if out of
@@ -327,6 +347,8 @@ type options struct {
 	maxIterations int
 	tolerance     float64
 	workspace     *Workspace
+	warm          bool
+	warmBasis     *Basis
 }
 
 type maxIterationsOption int
@@ -356,6 +378,21 @@ func (o workspaceOption) apply(opts *options) { opts.workspace = o.ws }
 // shared between concurrent solves; a nil workspace selects the pool.
 func WithWorkspace(ws *Workspace) Option { return workspaceOption{ws: ws} }
 
+type warmStartOption struct{ b *Basis }
+
+func (o warmStartOption) apply(opts *options) { opts.warm = true; opts.warmBasis = o.b }
+
+// WithWarmStart enables warm-start support for the solve. When b is non-nil
+// and describes a basis of a problem with the same shape, the solve first
+// attempts a dual-simplex re-solve from that basis — the fast path for
+// branch-and-bound children, which differ from their parent only in
+// variable bounds — and falls back to the cold two-phase method on any
+// structural or numerical trouble. With or without an input basis, an
+// optimal solve captures its final basis in Solution.Basis for reuse.
+// Warm-started results are exact: only proven outcomes are reported from
+// the warm path.
+func WithWarmStart(b *Basis) Option { return warmStartOption{b: b} }
+
 // Solve optimizes the problem and returns the outcome. An error is returned
 // only for structurally invalid problems; infeasibility, unboundedness and
 // iteration exhaustion are reported through Solution.Status.
@@ -378,8 +415,19 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if pooled {
 		ws = solvePool.Get().(*Workspace)
 	}
+	if cfg.warm && cfg.warmBasis != nil {
+		if sol, ok := warmSolve(p, &cfg, cfg.warmBasis, ws); ok {
+			if pooled {
+				solvePool.Put(ws)
+			}
+			return sol, nil
+		}
+	}
 	s := newSimplex(p, cfg, ws)
 	sol, err := s.solve()
+	if err == nil && cfg.warm && sol.Status == StatusOptimal {
+		sol.Basis = s.captureBasis()
+	}
 	if pooled {
 		solvePool.Put(ws)
 	}

@@ -1,0 +1,702 @@
+package lp
+
+// Warm-started re-solves for branch-and-bound.
+//
+// The cold simplex in simplex.go tailors its tableau to the current bounds:
+// fixed variables are eliminated and rows are flipped so the right-hand side
+// is non-negative, which makes its column layout unusable across solves
+// whose bounds differ. Warm solves therefore use a second, *stable* layout:
+// columns 0..n-1 are the structural variables with their original bounds and
+// column n+i is a logical for row i — coefficient +1 with range [0, +Inf)
+// for <= rows, -1 with range [0, +Inf) for >= rows, and +1 fixed to [0, 0]
+// for = rows. The column structure depends only on the rows, never on bounds
+// or right-hand-side signs, so a basis captured at one node of the
+// branch-and-bound tree can be re-installed at any other node of the same
+// problem.
+//
+// A child node differs from its parent only in tightened variable bounds, so
+// the parent's optimal basis stays dual feasible for the child and the dual
+// simplex restores primal feasibility in a handful of pivots where the cold
+// code would redo the full two-phase solve. Any structural or numerical
+// trouble — shape mismatch, singular basis, lost dual feasibility, iteration
+// exhaustion — falls back to the cold path transparently; only a proven
+// outcome (optimal, or primal infeasible via an unbounded dual ray) is ever
+// reported from the warm path.
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Basis is an immutable snapshot of a simplex basis in the stable column
+// layout. It is produced by solves run with WithWarmStart and may be shared
+// freely across goroutines; branch-and-bound nodes carry the pointer of
+// their parent's basis and workers restore it into private workspaces.
+type Basis struct {
+	id       uint64
+	n, m     int     // problem shape at capture time
+	rowBasic []int32 // basic stable column per factorization row
+	vstat    []uint8 // varStatus per structural variable
+}
+
+// basisIDs issues unique basis identities; id 0 is reserved for "none".
+var basisIDs atomic.Uint64
+
+// refreshEvery bounds the number of pivots applied to a warm factorization
+// before it is rebuilt from the original rows, limiting round-off drift.
+const refreshEvery = 50
+
+// dualSimplex is a dense bounded-variable dual simplex over the stable
+// layout. All slices alias the workspace's warmState.
+type dualSimplex struct {
+	cfg   *options
+	prob  *Problem
+	ws    *Workspace
+	n, m  int // structural variables, rows
+	nCols int // n + m
+
+	tab, beta []float64
+	x, lo, up []float64
+	cost, d   []float64
+	basis     []int
+	stat      []varStatus
+
+	negate     bool
+	dtol       float64 // dual feasibility check tolerance
+	iterations int
+	degenerate int
+	useBland   bool
+}
+
+// warmSolve attempts a dual-simplex solve of p from basis b inside ws.
+// ok=false means nothing conclusive happened and the caller must run the
+// cold path; ok=true returns a proven outcome (optimal or infeasible).
+func warmSolve(p *Problem, cfg *options, b *Basis, ws *Workspace) (sol *Solution, ok bool) {
+	n, m := len(p.vars), len(p.cons)
+	if b == nil || b.n != n || b.m != m {
+		return nil, false
+	}
+	w := &dualSimplex{cfg: cfg, prob: p, ws: ws, n: n, m: m, nCols: n + m, negate: p.sense == Minimize}
+	st := &ws.warm
+	if st.basisID == b.id && st.valid && st.prob == p && st.n == n && st.m == m {
+		if !w.rebind() {
+			return nil, false
+		}
+	} else if !w.install(b) {
+		return nil, false
+	}
+	status := w.iterate()
+	switch status {
+	case StatusOptimal:
+		sol = w.extract()
+		if w.iterations == 0 {
+			// Nothing pivoted: b still describes the optimum exactly, so
+			// children can share the pointer and hit the rebind fast path.
+			sol.Basis = b
+		} else {
+			sol.Basis = w.capture()
+		}
+		st.basisID = sol.Basis.id
+		return sol, true
+	case StatusInfeasible:
+		// A violated basic variable with no eligible entering column is an
+		// algebraic certificate that the tightened box is empty; report it
+		// without a cold re-solve — pruned children are the common case and
+		// the whole point of warm starts.
+		st.basisID = 0
+		return &Solution{Status: StatusInfeasible, Iterations: w.iterations, Warm: true}, true
+	default:
+		// Iteration cap (possible cycling): let the cold path decide.
+		st.basisID = 0
+		return nil, false
+	}
+}
+
+// install (re)factorizes the workspace so that b is the current basis. It
+// reuses the existing factorization incrementally when it belongs to the
+// same problem, and otherwise rebuilds from the all-logical basis. It
+// reports false when the basis is structurally unusable or dual infeasible.
+func (w *dualSimplex) install(b *Basis) bool {
+	st := &w.ws.warm
+	fresh := !st.valid || st.prob != w.prob || st.n != w.n || st.m != w.m || st.pivots > refreshEvery*(w.m+1)
+	w.alias(fresh)
+	if fresh {
+		w.resetToLogicalBasis()
+	}
+	if !w.installBasis(b) {
+		if fresh {
+			st.valid = false
+			st.basisID = 0
+			return false
+		}
+		// The incremental path can fail on a stale factorization; retry once
+		// from scratch before giving up.
+		w.resetToLogicalBasis()
+		if !w.installBasis(b) {
+			st.valid = false
+			st.basisID = 0
+			return false
+		}
+	}
+	st.valid = true
+	st.prob = w.prob
+	st.n, st.m = w.n, w.m
+	st.basisID = 0 // statuses/values below correspond to b, not to a capture
+	w.loadBounds()
+	if !w.setStatuses(b) {
+		return false
+	}
+	w.computeX()
+	w.computeD()
+	return w.dualFeasible()
+}
+
+// rebind is the fast path for re-solving with the exact basis already
+// factorized in the workspace: only variable bounds may have changed, so the
+// tableau, statuses and reduced costs are all still valid and only the
+// values of moved nonbasic variables (and their basic images) need updating.
+func (w *dualSimplex) rebind() bool {
+	w.alias(false)
+	for j := 0; j < w.n; j++ {
+		lo, up := w.prob.vars[j].lower, w.prob.vars[j].upper
+		if lo == w.lo[j] && up == w.up[j] {
+			continue
+		}
+		w.lo[j], w.up[j] = lo, up
+		if w.stat[j] == statusBasic {
+			continue // value unchanged; dual iterations restore feasibility
+		}
+		var nv float64
+		if w.stat[j] == statusUpper {
+			if math.IsInf(up, 1) {
+				return false
+			}
+			nv = up
+		} else {
+			nv = lo
+		}
+		if delta := nv - w.x[j]; delta != 0 {
+			w.x[j] = nv
+			for i := 0; i < w.m; i++ {
+				if a := w.tab[i*w.nCols+j]; a != 0 {
+					w.x[w.basis[i]] -= a * delta
+				}
+			}
+		}
+	}
+	w.recoverDtol()
+	return true
+}
+
+// alias points the solver's slices at workspace memory, sizing them for the
+// current shape. When fresh is false the existing contents are preserved
+// (they must already have the right shape).
+func (w *dualSimplex) alias(fresh bool) {
+	st := &w.ws.warm
+	w.tab = f64(&st.tab, w.m*w.nCols, false)
+	w.beta = f64(&st.beta, w.m, false)
+	w.x = f64(&st.x, w.nCols, false)
+	w.lo = f64(&st.lo, w.nCols, false)
+	w.up = f64(&st.up, w.nCols, false)
+	w.cost = f64(&st.cost, w.nCols, false)
+	w.d = f64(&st.d, w.nCols, false)
+	w.basis = ints(&st.basis, w.m)
+	if fresh {
+		w.stat = statuses(&st.stat, w.nCols)
+	} else {
+		w.stat = st.stat[:w.nCols]
+	}
+}
+
+// resetToLogicalBasis rebuilds the tableau from the original rows with every
+// logical basic: B = diag(sigma) so B^-1 A is each row scaled by its logical
+// sign. This is the starting point both for fresh factorizations and for the
+// periodic anti-drift refresh.
+func (w *dualSimplex) resetToLogicalBasis() {
+	clear(w.tab)
+	for i, c := range w.prob.cons {
+		sigma := 1.0
+		if c.op == GE {
+			sigma = -1
+		}
+		row := w.tab[i*w.nCols : (i+1)*w.nCols]
+		for _, t := range c.terms {
+			row[t.Var] += sigma * t.Coeff
+		}
+		row[w.n+i] = 1 // sigma * sigma
+		w.beta[i] = sigma * c.rhs
+		w.basis[i] = w.n + i
+	}
+	w.ws.warm.pivots = 0
+}
+
+// installBasis pivots the target basis columns into the factorization,
+// keeping rows whose basic column is already in the target. It reports false
+// on duplicate target columns or a (numerically) singular basis.
+func (w *dualSimplex) installBasis(b *Basis) bool {
+	st := &w.ws.warm
+	inTarget := bools(&st.inTarget, w.nCols, true)
+	for _, c := range b.rowBasic {
+		if c < 0 || int(c) >= w.nCols || inTarget[c] {
+			return false
+		}
+		inTarget[c] = true
+	}
+	rowFree := bools(&st.rowFree, w.m, false)
+	for i := 0; i < w.m; i++ {
+		rowFree[i] = !inTarget[w.basis[i]]
+	}
+	for _, c32 := range b.rowBasic {
+		c := int(c32)
+		already := false
+		for i := 0; i < w.m; i++ {
+			if w.basis[i] == c {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		// Pivot c into the free row where it has the largest magnitude.
+		best, bestAbs := -1, 1e-8
+		for i := 0; i < w.m; i++ {
+			if !rowFree[i] {
+				continue
+			}
+			if a := math.Abs(w.tab[i*w.nCols+c]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		w.basis[best] = c
+		rowFree[best] = false
+		w.pivotTab(best, c, false)
+	}
+	return true
+}
+
+// loadBounds refreshes the stable-layout bounds and maximize-form costs from
+// the problem. Bounds are the only thing branch-and-bound mutates, so this
+// runs on every install.
+func (w *dualSimplex) loadBounds() {
+	for j := 0; j < w.n; j++ {
+		v := &w.prob.vars[j]
+		w.lo[j], w.up[j] = v.lower, v.upper
+		c := v.cost
+		if w.negate {
+			c = -c
+		}
+		w.cost[j] = c
+	}
+	for i := 0; i < w.m; i++ {
+		j := w.n + i
+		w.cost[j] = 0
+		if w.prob.cons[i].op == EQ {
+			w.lo[j], w.up[j] = 0, 0
+		} else {
+			w.lo[j], w.up[j] = 0, Inf
+		}
+	}
+}
+
+// setStatuses applies the basis snapshot's variable statuses; nonbasic
+// logicals always sit at their lower bound.
+func (w *dualSimplex) setStatuses(b *Basis) bool {
+	for j := 0; j < w.n; j++ {
+		s := varStatus(b.vstat[j])
+		if s == statusUpper && math.IsInf(w.up[j], 1) {
+			return false
+		}
+		w.stat[j] = s
+	}
+	for j := w.n; j < w.nCols; j++ {
+		w.stat[j] = statusLower
+	}
+	for i := 0; i < w.m; i++ {
+		w.stat[w.basis[i]] = statusBasic
+	}
+	return true
+}
+
+// computeX sets nonbasic variables to their bound and solves for the basic
+// values: x_B = beta - sum over nonbasic j of (B^-1 A_j) x_j.
+func (w *dualSimplex) computeX() {
+	st := &w.ws.warm
+	nzb := st.nzb[:0]
+	for j := 0; j < w.nCols; j++ {
+		if w.stat[j] == statusBasic {
+			continue
+		}
+		v := w.lo[j]
+		if w.stat[j] == statusUpper {
+			v = w.up[j]
+		}
+		w.x[j] = v
+		if v != 0 {
+			nzb = append(nzb, j)
+		}
+	}
+	st.nzb = nzb
+	for i := 0; i < w.m; i++ {
+		row := w.tab[i*w.nCols : (i+1)*w.nCols]
+		v := w.beta[i]
+		for _, j := range nzb {
+			v -= row[j] * w.x[j]
+		}
+		w.x[w.basis[i]] = v
+	}
+}
+
+// computeD recomputes the reduced-cost row d = c - c_B^T B^-1 A from the
+// current factorization and derives the dual feasibility check tolerance.
+func (w *dualSimplex) computeD() {
+	copy(w.d, w.cost)
+	for i := 0; i < w.m; i++ {
+		cb := w.cost[w.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := w.tab[i*w.nCols : (i+1)*w.nCols]
+		for j := 0; j < w.nCols; j++ {
+			w.d[j] -= cb * row[j]
+		}
+	}
+	for i := 0; i < w.m; i++ {
+		w.d[w.basis[i]] = 0
+	}
+	w.recoverDtol()
+}
+
+func (w *dualSimplex) recoverDtol() {
+	maxc := 0.0
+	for j := 0; j < w.n; j++ {
+		if a := math.Abs(w.cost[j]); a > maxc {
+			maxc = a
+		}
+	}
+	w.dtol = 1e-7 * (1 + maxc)
+}
+
+// dualFeasible verifies the basis is a valid dual-simplex starting point:
+// variables at their lower bound need d <= tol and variables at their upper
+// bound d >= -tol (maximize form). Fixed variables are exempt — they can
+// never enter the basis, so their reduced-cost sign carries no information.
+func (w *dualSimplex) dualFeasible() bool {
+	for j := 0; j < w.nCols; j++ {
+		if w.lo[j] == w.up[j] {
+			continue
+		}
+		switch w.stat[j] {
+		case statusLower:
+			if w.d[j] > w.dtol {
+				return false
+			}
+		case statusUpper:
+			if w.d[j] < -w.dtol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// feasTol is the primal feasibility tolerance for a basic value against the
+// bound of the given magnitude.
+func (w *dualSimplex) feasTol(bound float64) float64 {
+	return w.cfg.tolerance * 10 * (1 + math.Abs(bound))
+}
+
+// pickLeaving selects the basic variable with the largest bound violation,
+// or row -1 when the basis is primal feasible (optimal, since dual
+// feasibility is invariant).
+func (w *dualSimplex) pickLeaving() (row int, below bool) {
+	row = -1
+	best := 0.0
+	for i := 0; i < w.m; i++ {
+		b := w.basis[i]
+		xb := w.x[b]
+		if v := w.lo[b] - xb; v > w.feasTol(w.lo[b]) && v > best {
+			best, row, below = v, i, true
+		}
+		if math.IsInf(w.up[b], 1) {
+			continue
+		}
+		if v := xb - w.up[b]; v > w.feasTol(w.up[b]) && v > best {
+			best, row, below = v, i, false
+		}
+	}
+	return row, below
+}
+
+// pickEntering runs the dual ratio test for leaving row r. With alphaHat_j
+// equal to tab[r][j] when the leaving variable is below its lower bound and
+// -tab[r][j] when above its upper bound, the eligible entering columns are
+// nonbasic non-fixed j with alphaHat < 0 at their lower bound or
+// alphaHat > 0 at their upper bound; the ratio d_j/alphaHat >= 0 bounds how
+// far the dual step can go before j's reduced cost changes sign, so the
+// minimum ratio keeps dual feasibility. Returns -1 when no column is
+// eligible, which proves primal infeasibility.
+func (w *dualSimplex) pickEntering(r int, below bool) int {
+	const pivTol = 1e-9
+	row := w.tab[r*w.nCols : (r+1)*w.nCols]
+	sign := 1.0
+	if !below {
+		sign = -1
+	}
+	best := -1
+	bestRatio, bestAbs := math.Inf(1), 0.0
+	for j := 0; j < w.nCols; j++ {
+		if w.stat[j] == statusBasic || w.lo[j] == w.up[j] {
+			continue
+		}
+		a := sign * row[j]
+		var ratio float64
+		switch w.stat[j] {
+		case statusLower:
+			if a >= -pivTol {
+				continue
+			}
+			ratio = w.d[j] / a // d <= 0, a < 0 => ratio >= 0
+		case statusUpper:
+			if a <= pivTol {
+				continue
+			}
+			ratio = w.d[j] / a // d >= 0, a > 0 => ratio >= 0
+		}
+		if ratio < 0 {
+			ratio = 0
+		}
+		abs := math.Abs(row[j])
+		if w.useBland {
+			if ratio < bestRatio-w.cfg.tolerance {
+				best, bestRatio, bestAbs = j, ratio, abs
+			}
+			continue
+		}
+		if ratio < bestRatio-w.cfg.tolerance ||
+			(best >= 0 && ratio < bestRatio+w.cfg.tolerance && abs > bestAbs) {
+			best, bestRatio, bestAbs = j, ratio, abs
+		}
+	}
+	return best
+}
+
+// iterate runs dual simplex pivots until primal feasibility (optimal), a
+// proven infeasibility, or the iteration budget runs out.
+func (w *dualSimplex) iterate() Status {
+	for {
+		if w.iterations >= w.cfg.maxIterations {
+			return StatusIterationLimit
+		}
+		r, below := w.pickLeaving()
+		if r < 0 {
+			return StatusOptimal
+		}
+		q := w.pickEntering(r, below)
+		if q < 0 {
+			return StatusInfeasible
+		}
+		w.iterations++
+		w.ws.warm.pivots++
+		if math.Abs(w.d[q]) <= w.cfg.tolerance {
+			w.degenerate++
+			if !w.useBland && w.degenerate > 4*(w.m+w.nCols) {
+				w.useBland = true
+			}
+		} else {
+			w.degenerate = 0
+		}
+
+		leave := w.basis[r]
+		bound := w.lo[leave]
+		if !below {
+			bound = w.up[leave]
+		}
+		alpha := w.tab[r*w.nCols+q]
+		delta := (w.x[leave] - bound) / alpha
+		if delta != 0 {
+			for i := 0; i < w.m; i++ {
+				if i == r {
+					continue
+				}
+				if a := w.tab[i*w.nCols+q]; a != 0 {
+					w.x[w.basis[i]] -= a * delta
+				}
+			}
+		}
+		w.x[q] += delta
+		w.x[leave] = bound
+		if below {
+			w.stat[leave] = statusLower
+		} else {
+			w.stat[leave] = statusUpper
+		}
+		w.basis[r] = q
+		w.stat[q] = statusBasic
+		w.pivotTab(r, q, true)
+	}
+}
+
+// pivotTab performs Gauss-Jordan elimination on the warm tableau and beta so
+// that column q becomes the unit vector of row r, updating the reduced-cost
+// row when updateD is set.
+func (w *dualSimplex) pivotTab(r, q int, updateD bool) {
+	rowR := w.tab[r*w.nCols : (r+1)*w.nCols]
+	inv := 1 / rowR[q]
+	for j := 0; j < w.nCols; j++ {
+		rowR[j] *= inv
+	}
+	rowR[q] = 1
+	w.beta[r] *= inv
+	for i := 0; i < w.m; i++ {
+		if i == r {
+			continue
+		}
+		rowI := w.tab[i*w.nCols : (i+1)*w.nCols]
+		f := rowI[q]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < w.nCols; j++ {
+			rowI[j] -= f * rowR[j]
+		}
+		rowI[q] = 0
+		w.beta[i] -= f * w.beta[r]
+	}
+	if updateD {
+		if f := w.d[q]; f != 0 {
+			for j := 0; j < w.nCols; j++ {
+				w.d[j] -= f * rowR[j]
+			}
+			w.d[q] = 0
+		}
+	}
+}
+
+// extract builds a Solution from the optimal warm state, mirroring the cold
+// path's clamping and sign conventions.
+func (w *dualSimplex) extract() *Solution {
+	sol := &Solution{Status: StatusOptimal, Iterations: w.iterations, Warm: true}
+	sol.X = make([]float64, w.n)
+	obj := 0.0
+	for j := 0; j < w.n; j++ {
+		v := w.x[j]
+		if v < w.lo[j] {
+			v = w.lo[j]
+		}
+		if !math.IsInf(w.up[j], 1) && v > w.up[j] {
+			v = w.up[j]
+		}
+		sol.X[j] = v
+		obj += w.cost[j] * v
+	}
+	if w.negate {
+		obj = -obj
+	}
+	sol.Objective = obj
+
+	// Duals from the logical columns: the reduced cost of logical i is
+	// -sigma_i * y_i, so y_i = -sigma_i * d[n+i] in maximize form; the user
+	// sense flips the sign for minimization, exactly as in the cold path.
+	senseSign := 1.0
+	if w.negate {
+		senseSign = -1
+	}
+	sol.DualValues = make([]float64, w.m)
+	for i := 0; i < w.m; i++ {
+		sigma := 1.0
+		if w.prob.cons[i].op == GE {
+			sigma = -1
+		}
+		sol.DualValues[i] = senseSign * -sigma * w.d[w.n+i]
+	}
+	sol.ReducedCosts = make([]float64, w.n)
+	for j := 0; j < w.n; j++ {
+		sol.ReducedCosts[j] = senseSign * w.d[j]
+	}
+	return sol
+}
+
+// capture snapshots the current warm basis.
+func (w *dualSimplex) capture() *Basis {
+	b := &Basis{
+		id:       basisIDs.Add(1),
+		n:        w.n,
+		m:        w.m,
+		rowBasic: make([]int32, w.m),
+		vstat:    make([]uint8, w.n),
+	}
+	for i := 0; i < w.m; i++ {
+		b.rowBasic[i] = int32(w.basis[i])
+	}
+	for j := 0; j < w.n; j++ {
+		b.vstat[j] = uint8(w.stat[j])
+	}
+	return b
+}
+
+// captureBasis translates the cold simplex's final basis into the stable
+// layout. Compact structural columns map through structOrig; slack and
+// artificial columns map to the logical of the row they were created for
+// (the cold column is a +/-1 multiple of that logical, so nonsingularity is
+// preserved). It returns nil when the mapping would be ambiguous — e.g. a
+// redundant >= row leaving both its surplus and its artificial basic, which
+// would target the same logical twice.
+func (s *simplex) captureBasis() *Basis {
+	n, m := s.origN, s.m
+	st := &s.ws.warm
+	colRow := ints(&st.colRow, s.nCols)
+	slack, art := s.nStruct, s.artAt
+	for i, c := range s.prob.cons {
+		op := c.op
+		if s.rowFlipped[i] {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		if op != EQ {
+			colRow[slack] = i
+			slack++
+		}
+		if op != LE {
+			colRow[art] = i
+			art++
+		}
+	}
+	seen := bools(&st.inTarget, n+m, true)
+	rowBasic := make([]int32, m)
+	for i := 0; i < m; i++ {
+		b := s.basis[i]
+		var c int
+		if b < s.nStruct {
+			c = s.structOrig[b]
+		} else {
+			c = n + colRow[b]
+		}
+		if seen[c] {
+			return nil
+		}
+		seen[c] = true
+		rowBasic[i] = int32(c)
+	}
+	vstat := make([]uint8, n)
+	for j := 0; j < n; j++ {
+		col := s.colOf[j]
+		if col < 0 {
+			vstat[j] = uint8(statusLower) // fixed: lower == upper
+			continue
+		}
+		stj := s.status[col]
+		if stj == statusUpper && math.IsInf(s.prob.vars[j].upper, 1) {
+			return nil
+		}
+		vstat[j] = uint8(stj)
+	}
+	return &Basis{id: basisIDs.Add(1), n: n, m: m, rowBasic: rowBasic, vstat: vstat}
+}

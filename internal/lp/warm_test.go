@@ -1,0 +1,373 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// solveWarm solves p with warm-start support from basis b (nil = capture
+// only) in the given workspace, failing the test on a structural error.
+func solveWarm(t *testing.T, p *Problem, b *Basis, ws *Workspace) *Solution {
+	t.Helper()
+	opts := []Option{WithWarmStart(b)}
+	if ws != nil {
+		opts = append(opts, WithWorkspace(ws))
+	}
+	sol, err := p.Solve(opts...)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+// TestWarmStartChildBoundChange replays the branch-and-bound access pattern
+// on a small LP: solve the root, then re-solve two children that differ only
+// in one variable's bounds, from the root basis.
+func TestWarmStartChildBoundChange(t *testing.T) {
+	build := func() (*Problem, []VarID) {
+		p := NewProblem(Maximize)
+		x := mustVar(t, p, "x", 0, 1, 3)
+		y := mustVar(t, p, "y", 0, 1, 2)
+		z := mustVar(t, p, "z", 0, 1, 4)
+		mustCon(t, p, "budget", []Term{{x, 2}, {y, 1}, {z, 3}}, LE, 4)
+		return p, []VarID{x, y, z}
+	}
+	p, ids := build()
+	ws := NewWorkspace()
+	root := solveWarm(t, p, nil, ws)
+	if root.Status != StatusOptimal || root.Basis == nil {
+		t.Fatalf("root: status %v, basis %v", root.Status, root.Basis)
+	}
+	for _, fix := range []struct {
+		lo, up float64
+	}{{0, 0}, {1, 1}} {
+		if err := p.SetVariableBounds(ids[2], fix.lo, fix.up); err != nil {
+			t.Fatal(err)
+		}
+		warm := solveWarm(t, p, root.Basis, ws)
+		ref, cold := build()
+		if err := ref.SetVariableBounds(cold[2], fix.lo, fix.up); err != nil {
+			t.Fatal(err)
+		}
+		want := solveOptimal(t, ref)
+		if warm.Status != StatusOptimal {
+			t.Fatalf("child z=[%v,%v]: status %v", fix.lo, fix.up, warm.Status)
+		}
+		if !almostEqual(warm.Objective, want.Objective) {
+			t.Errorf("child z=[%v,%v]: objective %v, want %v", fix.lo, fix.up, warm.Objective, want.Objective)
+		}
+		if warm.Basis == nil {
+			t.Errorf("child z=[%v,%v]: no basis captured", fix.lo, fix.up)
+		}
+	}
+}
+
+// TestWarmStartInfeasibleChild checks that a bound change leaving the
+// parent basis dual feasible but the child primal infeasible is detected by
+// the dual simplex (dual unbounded ray => prune), matching the cold solver.
+func TestWarmStartInfeasibleChild(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, "x", 0, 1, 1)
+	y := mustVar(t, p, "y", 0, 1, 1)
+	mustCon(t, p, "need", []Term{{x, 1}, {y, 1}}, GE, 1)
+	ws := NewWorkspace()
+	root := solveWarm(t, p, nil, ws)
+	if root.Status != StatusOptimal || root.Basis == nil {
+		t.Fatalf("root: status %v, basis %p", root.Status, root.Basis)
+	}
+	// Fixing both variables to zero contradicts x + y >= 1.
+	for _, v := range []VarID{x, y} {
+		if err := p.SetVariableBounds(v, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := solveWarm(t, p, root.Basis, ws)
+	if warm.Status != StatusInfeasible {
+		t.Fatalf("child status = %v, want infeasible", warm.Status)
+	}
+	cold, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != StatusInfeasible {
+		t.Fatalf("cold disagrees: %v", cold.Status)
+	}
+}
+
+// TestWarmStartDegenerateBasis exercises a degenerate optimum (multiple
+// rows tight with redundant constraints) through capture and re-solve.
+func TestWarmStartDegenerateBasis(t *testing.T) {
+	build := func() (*Problem, VarID) {
+		p := NewProblem(Maximize)
+		x := mustVar(t, p, "x", 0, 10, 1)
+		y := mustVar(t, p, "y", 0, 10, 1)
+		// All three rows are tight at the optimum (4, 0)/(0, 4) face and the
+		// doubled row makes the basis degenerate.
+		mustCon(t, p, "r1", []Term{{x, 1}, {y, 1}}, LE, 4)
+		mustCon(t, p, "r2", []Term{{x, 2}, {y, 2}}, LE, 8)
+		mustCon(t, p, "r3", []Term{{x, 1}}, LE, 4)
+		return p, y
+	}
+	p, y := build()
+	ws := NewWorkspace()
+	root := solveWarm(t, p, nil, ws)
+	if root.Status != StatusOptimal {
+		t.Fatalf("root status %v", root.Status)
+	}
+	if root.Basis == nil {
+		t.Skip("degenerate cold basis not capturable (ambiguous logical mapping)")
+	}
+	if err := p.SetVariableBounds(y, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	warm := solveWarm(t, p, root.Basis, ws)
+	ref, refY := build()
+	if err := ref.SetVariableBounds(refY, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	want := solveOptimal(t, ref)
+	if warm.Status != StatusOptimal || !almostEqual(warm.Objective, want.Objective) {
+		t.Fatalf("warm: status %v obj %v, want optimal %v", warm.Status, warm.Objective, want.Objective)
+	}
+}
+
+// TestWarmStartPooledWorkspace restores a basis into solves that use the
+// shared workspace pool rather than a caller-provided workspace.
+func TestWarmStartPooledWorkspace(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := mustVar(t, p, "x", 0, 5, 2)
+	y := mustVar(t, p, "y", 0, 5, 3)
+	mustCon(t, p, "cover", []Term{{x, 1}, {y, 2}}, GE, 4)
+	root := solveWarm(t, p, nil, nil)
+	if root.Status != StatusOptimal || root.Basis == nil {
+		t.Fatalf("root: status %v, basis %p", root.Status, root.Basis)
+	}
+	if err := p.SetVariableBounds(x, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	warm := solveWarm(t, p, root.Basis, nil)
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	// min 2x+3y s.t. x+2y>=4, x=1 => y=1.5, obj 6.5.
+	if !almostEqual(warm.Objective, 6.5) {
+		t.Errorf("objective = %v, want 6.5", warm.Objective)
+	}
+}
+
+// TestQuickWarmMatchesCold replays random branch-and-bound-like bound
+// tightenings against random box LPs and requires the warm path to agree
+// with a cold solve of an identical fresh problem: same status, objective
+// (when optimal) and a feasible point.
+func TestQuickWarmMatchesCold(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	property := func() bool {
+		g := genBoxLP(r)
+		p, ids := g.build(t)
+		ws := NewWorkspace()
+		sol, err := p.Solve(WithWarmStart(nil), WithWorkspace(ws))
+		if err != nil || sol.Status != StatusOptimal {
+			t.Logf("root: err %v status %v", err, sol.Status)
+			return false
+		}
+		basis := sol.Basis
+		// Walk a few levels of bound changes, warm-starting each from the
+		// previous basis when one was captured.
+		lo := make([]float64, len(ids))
+		up := make([]float64, len(ids))
+		for j, spec := range g.upper {
+			lo[j], up[j] = 0, spec[0]
+		}
+		for depth := 0; depth < 6; depth++ {
+			j := r.Intn(len(ids))
+			switch r.Intn(3) {
+			case 0: // fix low
+				up[j] = lo[j]
+			case 1: // fix high
+				lo[j] = up[j]
+			default: // shrink the box
+				mid := lo[j] + (up[j]-lo[j])*r.Float64()
+				if r.Intn(2) == 0 {
+					up[j] = mid
+				} else {
+					lo[j] = mid
+				}
+			}
+			if err := p.SetVariableBounds(ids[j], lo[j], up[j]); err != nil {
+				t.Logf("SetVariableBounds: %v", err)
+				return false
+			}
+			warm, err := p.Solve(WithWarmStart(basis), WithWorkspace(ws))
+			if err != nil {
+				t.Logf("warm solve: %v", err)
+				return false
+			}
+			ref, refIDs := g.build(t)
+			for k := range refIDs {
+				if err := ref.SetVariableBounds(refIDs[k], lo[k], up[k]); err != nil {
+					t.Logf("ref bounds: %v", err)
+					return false
+				}
+			}
+			cold, err := ref.Solve()
+			if err != nil {
+				t.Logf("cold solve: %v", err)
+				return false
+			}
+			if warm.Status != cold.Status {
+				t.Logf("depth %d: warm status %v, cold %v (bounds lo=%v up=%v)", depth, warm.Status, cold.Status, lo, up)
+				return false
+			}
+			if warm.Status == StatusOptimal {
+				if !almostEqual(warm.Objective, cold.Objective) {
+					t.Logf("depth %d: warm obj %v, cold %v", depth, warm.Objective, cold.Objective)
+					return false
+				}
+				for k, v := range warm.X {
+					if v < lo[k]-1e-6 || v > up[k]+1e-6 {
+						t.Logf("depth %d: x[%d]=%v outside [%v,%v]", depth, k, v, lo[k], up[k])
+						return false
+					}
+				}
+				if !g.feasible(warm.X, 1e-6) {
+					t.Logf("depth %d: warm point violates rows", depth)
+					return false
+				}
+				basis = warm.Basis
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWarmDualsMatchCold checks duals and reduced costs from the warm
+// path agree with the cold solver at re-solved optima.
+func TestQuickWarmDualsMatchCold(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	property := func() bool {
+		g := genBoxLP(r)
+		if len(g.rows) == 0 {
+			return true
+		}
+		p, ids := g.build(t)
+		ws := NewWorkspace()
+		sol, err := p.Solve(WithWarmStart(nil), WithWorkspace(ws))
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+		j := r.Intn(len(ids))
+		newUp := g.upper[j][0] * r.Float64()
+		if err := p.SetVariableBounds(ids[j], 0, newUp); err != nil {
+			return false
+		}
+		warm, err := p.Solve(WithWarmStart(sol.Basis), WithWorkspace(ws))
+		if err != nil || warm.Status != StatusOptimal {
+			return warm != nil && warm.Status != StatusOptimal // infeasible cannot happen here (origin feasible)
+		}
+		if !warm.Warm {
+			return true // cold fallback: nothing warm-specific to check
+		}
+		ref, refIDs := g.build(t)
+		if err := ref.SetVariableBounds(refIDs[j], 0, newUp); err != nil {
+			return false
+		}
+		cold, err := ref.Solve()
+		if err != nil || cold.Status != StatusOptimal {
+			return false
+		}
+		// Strong duality: primal objective equals the dual objective implied
+		// by (DualValues, ReducedCosts); comparing objectives plus
+		// complementary-slackness-style feasibility of the duals is enough
+		// for our purposes, since degenerate LPs admit multiple dual optima.
+		if !almostEqual(warm.Objective, cold.Objective) {
+			t.Logf("objectives differ: warm %v cold %v", warm.Objective, cold.Objective)
+			return false
+		}
+		dualObj := 0.0
+		for i, row := range g.rows {
+			dualObj += warm.Dual(ConID(i)) * row.rhs
+		}
+		for k := range refIDs {
+			rc := warm.ReducedCost(ids[k])
+			upk := g.upper[k][0]
+			if k == j {
+				upk = newUp
+			}
+			if rc > 0 {
+				dualObj += rc * upk
+			}
+		}
+		if !almostEqual(dualObj, warm.Objective) {
+			t.Logf("dual objective %v != primal %v", dualObj, warm.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWarmStartShapeMismatchFallsBack feeds a basis from a different
+// problem shape and expects a silent, correct cold solve.
+func TestWarmStartShapeMismatchFallsBack(t *testing.T) {
+	small := NewProblem(Maximize)
+	a := mustVar(t, small, "a", 0, 1, 1)
+	mustCon(t, small, "r", []Term{{a, 1}}, LE, 1)
+	rootSol := solveWarm(t, small, nil, nil)
+	if rootSol.Basis == nil {
+		t.Fatal("no basis captured")
+	}
+
+	big := NewProblem(Maximize)
+	x := mustVar(t, big, "x", 0, 2, 1)
+	y := mustVar(t, big, "y", 0, 2, 1)
+	mustCon(t, big, "r", []Term{{x, 1}, {y, 1}}, LE, 3)
+	sol := solveWarm(t, big, rootSol.Basis, nil)
+	if sol.Status != StatusOptimal || !almostEqual(sol.Objective, 3) {
+		t.Fatalf("fallback solve: status %v obj %v, want optimal 3", sol.Status, sol.Objective)
+	}
+	if sol.Warm {
+		t.Error("mismatched basis must not be reported as a warm solve")
+	}
+}
+
+// TestWarmStartEqualityRows covers = rows, whose logicals are fixed to zero
+// and must never be chosen as entering columns.
+func TestWarmStartEqualityRows(t *testing.T) {
+	build := func() (*Problem, VarID) {
+		p := NewProblem(Maximize)
+		x := mustVar(t, p, "x", 0, 4, 1)
+		y := mustVar(t, p, "y", 0, 4, 2)
+		z := mustVar(t, p, "z", 0, 4, 0)
+		mustCon(t, p, "bal", []Term{{x, 1}, {y, 1}, {z, -1}}, EQ, 2)
+		mustCon(t, p, "cap", []Term{{y, 1}, {z, 1}}, LE, 6)
+		return p, y
+	}
+	p, y := build()
+	ws := NewWorkspace()
+	root := solveWarm(t, p, nil, ws)
+	if root.Status != StatusOptimal || root.Basis == nil {
+		t.Fatalf("root: status %v basis %p", root.Status, root.Basis)
+	}
+	if err := p.SetVariableBounds(y, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	warm := solveWarm(t, p, root.Basis, ws)
+	ref, refY := build()
+	if err := ref.SetVariableBounds(refY, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := solveOptimal(t, ref)
+	if warm.Status != StatusOptimal || !almostEqual(warm.Objective, want.Objective) {
+		t.Fatalf("warm: status %v obj %v, want optimal %v", warm.Status, warm.Objective, want.Objective)
+	}
+	if math.IsNaN(warm.Objective) {
+		t.Fatal("NaN objective")
+	}
+}

@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// benchmark JSON schema (see BENCH_BASELINE.json): an environment block
+// parsed from the benchmark header lines plus one record per benchmark with
+// ns/op, B/op and allocs/op.
+//
+// Usage:
+//
+//	benchjson -comment "..." -out BENCH_PR2.json file1.txt=1x file2.txt=200x
+//
+// Each positional argument names a benchmark output file and the -benchtime
+// it was captured with (recorded verbatim in the JSON).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type environment struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	CPUs   int    `json:"cpus"`
+	Go     string `json:"go"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Benchtime   string  `json:"benchtime"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Comment     string      `json:"_comment"`
+	Environment environment `json:"environment"`
+	Benchmarks  []benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix is the "-N" the testing package appends to benchmark
+// names when GOMAXPROCS > 1. None of this repo's sub-benchmark names end in
+// "-<digits>", so stripping it is unambiguous.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	comment := flag.String("comment", "", "value for the _comment field")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-comment C] [-out F] file=benchtime ...")
+		os.Exit(2)
+	}
+
+	rep := report{Comment: *comment}
+	for _, arg := range flag.Args() {
+		path, benchtime, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not file=benchtime\n", arg)
+			os.Exit(2)
+		}
+		if err := parseFile(&rep, path, benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseFile(rep *report, path, benchtime string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Environment.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Environment.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.Environment.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"), line == "PASS", strings.HasPrefix(line, "ok "):
+			// ignored
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, benchtime)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if rep.Environment.Go == "" {
+		rep.Environment.Go = runtime.Version()
+	}
+	if rep.Environment.CPUs == 0 {
+		rep.Environment.CPUs = runtime.NumCPU()
+	}
+	return nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkE7Scalability/m=400/a=100-4  1  158045780 ns/op  12 B/op  3 allocs/op
+func parseBenchLine(line, benchtime string) (benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	b := benchmark{
+		Name:      gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Benchtime: benchtime,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return benchmark{}, fmt.Errorf("no ns/op in %q", line)
+	}
+	return b, nil
+}
