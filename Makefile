@@ -1,15 +1,18 @@
 # Tier-1 CI gate for the secmon reproduction. `make ci` is the check every
 # change must keep green: lint (staticcheck when available, go vet
 # otherwise), build, the full test suite under the race detector (the
-# parallel branch-and-bound equivalence tests depend on it), and a
-# single-shot E3 benchmark smoke to catch gross solver regressions.
+# parallel branch-and-bound equivalence tests depend on it), a fuzz smoke,
+# a serve smoke (start the HTTP API, exercise it, SIGTERM, clean drain),
+# and a single-shot E3 benchmark smoke to catch gross solver regressions.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR2.json
+BENCH ?= BENCH_PR3.json
+FUZZTIME ?= 5s
+SERVE_ADDR ?= 127.0.0.1:8643
 
-.PHONY: ci lint vet build test race bench-smoke bench
+.PHONY: ci lint vet build test race race-solver bench-smoke fuzz-smoke serve-smoke golden-update bench
 
-ci: lint build race bench-smoke
+ci: lint build race bench-smoke fuzz-smoke serve-smoke
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -33,18 +36,62 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race lane over the concurrency-heavy packages: the parallel
+# branch-and-bound, the orchestration layer that cancels it, and the HTTP
+# server that runs solves concurrently.
+race-solver:
+	$(GO) test -race ./internal/ilp ./internal/core ./internal/server
+
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE3' -benchtime=1x .
 
+# Short fuzz pass cross-checking branch-and-bound against exhaustive
+# enumeration; the committed corpus under internal/ilp/testdata/fuzz always
+# replays, FUZZTIME adds fresh random inputs on top.
+fuzz-smoke:
+	$(GO) test ./internal/ilp -run FuzzSolveMatchesEnumeration \
+		-fuzz FuzzSolveMatchesEnumeration -fuzztime $(FUZZTIME)
+
+# End-to-end serve smoke: build secmon, start `secmon serve`, POST an
+# optimize request with a deadline, then SIGTERM and require a clean drain
+# (exit 0 and the "drained" farewell on stdout).
+serve-smoke:
+	@rm -f serve-smoke.log
+	$(GO) build -o secmon-smoke ./cmd/secmon
+	@./secmon-smoke serve -addr $(SERVE_ADDR) > serve-smoke.log 2>&1 & \
+	pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if wget -q -O /dev/null http://$(SERVE_ADDR)/v1/healthz 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -ne 1 ]; then echo "serve-smoke: server never became healthy"; kill $$pid; cat serve-smoke.log; exit 1; fi; \
+	body='{"budgetFraction":0.5,"deadlineMillis":2000}'; \
+	if ! wget -q -O /dev/null --header 'Content-Type: application/json' \
+		--post-data "$$body" http://$(SERVE_ADDR)/v1/optimize; then \
+		echo "serve-smoke: optimize request failed"; kill $$pid; cat serve-smoke.log; exit 1; \
+	fi; \
+	kill -TERM $$pid; \
+	wait $$pid; status=$$?; \
+	if [ $$status -ne 0 ]; then echo "serve-smoke: exit status $$status"; cat serve-smoke.log; exit 1; fi; \
+	if ! grep -q "drained" serve-smoke.log; then echo "serve-smoke: no drain message"; cat serve-smoke.log; exit 1; fi; \
+	echo "serve-smoke: ok"
+	@rm -f secmon-smoke serve-smoke.log
+
+# Regenerate the E1-E8 golden artifacts after an intentional output change.
+golden-update:
+	$(GO) test ./internal/experiment -run TestGoldenArtifacts -update -count=1
+
 # Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6/E7
 # runs plus a stable 200x simplex run, converted to the repository's
-# benchmark JSON schema by tools/benchjson.
+# benchmark JSON schema by tools/benchjson. Output file is parametrized:
+# `make bench BENCH=BENCH_PR4.json`.
 bench:
 	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$|^BenchmarkE7Scalability$$' \
 		-benchtime=1x -benchmem . | tee bench-1x.txt
 	$(GO) test -run xxx -bench '^BenchmarkSimplexSolve$$' -benchtime=200x -benchmem . | tee bench-200x.txt
 	$(GO) run ./tools/benchjson \
-		-comment "PR 2 benchmarks (warm-started dual simplex, root presolve, cover cuts). E* numbers are single-shot (-benchtime=1x) and noisy; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
-		-out $(BENCH_OUT) bench-1x.txt=1x bench-200x.txt=200x
+		-comment "$(BENCH) benchmarks. E* numbers are single-shot (-benchtime=1x) and noisy; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
+		-out $(BENCH) bench-1x.txt=1x bench-200x.txt=200x
 	rm -f bench-1x.txt bench-200x.txt
-	@echo "wrote $(BENCH_OUT)"
+	@echo "wrote $(BENCH)"

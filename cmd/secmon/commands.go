@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -221,6 +222,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	wRedundancy := fs.Float64("w-redundancy", 0, "multi-objective weight on redundancy")
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
+	deadline := fs.Duration("deadline", 0, "solve deadline; on expiry the best incumbent (or a heuristic fallback) is returned with its optimality gap")
 	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -250,6 +252,11 @@ func cmdOptimize(args []string, out io.Writer) error {
 		opts = append(opts, core.WithCorroboration(*corroboration))
 	}
 	opts = append(opts, core.WithWorkers(*workers))
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		opts = append(opts, core.WithContext(ctx))
+	}
 	opt := core.NewOptimizer(idx, opts...)
 
 	weighted := *wUtility > 0 || *wRichness > 0 || *wRedundancy > 0
@@ -321,6 +328,16 @@ func cmdOptimize(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "deployment (%d monitors): %s\n", len(res.Monitors), joinIDs(res.Monitors))
 	fmt.Fprintf(out, "utility %.4f  cost %.2f  proven-optimal %v\n", res.Utility, res.Cost, res.Proven)
+	if !res.Proven && res.Status != "" {
+		fmt.Fprintf(out, "anytime: status %s", res.Status)
+		if res.BoundKnown {
+			fmt.Fprintf(out, ", proven bound %.4f, gap %.2f%%", res.BestBound, 100*res.Gap)
+		}
+		if res.Fallback {
+			fmt.Fprint(out, ", heuristic fallback deployment")
+		}
+		fmt.Fprintln(out)
+	}
 	if !*minCost {
 		fmt.Fprintf(out, "budget shadow price: %.6f utility per cost unit (LP relaxation bound %.4f)\n",
 			res.BudgetShadowPrice, res.RelaxationUtility)
@@ -356,6 +373,7 @@ func cmdSweep(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for the random baseline")
 	workers := fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
 	solverWorkers := fs.Int("solver-workers", 1, "branch-and-bound workers per solve (0 = GOMAXPROCS)")
+	deadline := fs.Duration("deadline", 0, "overall sweep deadline; expired solves return anytime results")
 	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -369,7 +387,13 @@ func cmdSweep(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opt := core.NewOptimizer(idx, core.WithWorkers(*solverWorkers))
+	sweepOpts := []core.Option{core.WithWorkers(*solverWorkers)}
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		sweepOpts = append(sweepOpts, core.WithContext(ctx))
+	}
+	opt := core.NewOptimizer(idx, sweepOpts...)
 	points, err := opt.ParetoSweepParallel(core.BudgetGrid(idx, *steps), *seed, *workers)
 	if err != nil {
 		return err

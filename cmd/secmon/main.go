@@ -22,6 +22,7 @@
 //	report       write a Markdown monitoring assessment for a deployment
 //	compare      compare two deployments metric by metric
 //	experiments  regenerate the evaluation tables and figures (E1..E11, A1, A2)
+//	serve        run the optimization HTTP JSON API
 //
 // Every subcommand accepts -model <file.json> to load a system; without it
 // the built-in enterprise Web service case study is used.
@@ -71,6 +72,8 @@ func run(args []string, out io.Writer) error {
 		return cmdCompare(rest, out)
 	case "experiments":
 		return cmdExperiments(rest, out)
+	case "serve":
+		return cmdServe(rest, out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -96,6 +99,7 @@ subcommands:
   report       write a Markdown monitoring assessment for a deployment
   compare      compare two deployments metric by metric
   experiments  regenerate the evaluation tables and figures (E1..E11, A1, A2)
+  serve        run the optimization HTTP JSON API
 
 run 'secmon <subcommand> -h' for flags; -model <file.json> selects a model,
 the default is the built-in enterprise Web service case study.

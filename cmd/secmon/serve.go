@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secmon/internal/server"
+)
+
+// cmdServe runs the optimization HTTP JSON API until SIGINT/SIGTERM, then
+// drains in-flight solves and exits cleanly.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8642", "listen address")
+	deadline := fs.Duration("deadline", 30*time.Second, "default per-request solve deadline")
+	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on request-supplied deadlines")
+	concurrency := fs.Int("concurrency", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 128, "solution cache entries (negative disables)")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown drain grace period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxConcurrent:   *concurrency,
+		CacheSize:       *cacheSize,
+		ShutdownGrace:   *grace,
+	})
+	fmt.Fprintf(out, "serving on http://%s (POST /v1/optimize, POST /v1/sweep, GET /v1/healthz)\n", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(out, "drained, bye")
+	return nil
+}

@@ -19,11 +19,34 @@ func Greedy(idx *model.Index, budget float64) (*Result, error) {
 	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
 		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
 	}
+	deployment := greedyFrom(idx, budget, nil)
+	return &Result{
+		Deployment: deployment,
+		Monitors:   deployment.IDs(),
+		Utility:    metrics.Utility(idx, deployment),
+		Cost:       metrics.Cost(idx, deployment),
+		Budget:     budget,
+	}, nil
+}
+
+// greedyFrom runs the greedy cost-benefit selection starting from the fixed
+// deployment (may be nil). Fixed monitors are kept and their cost does not
+// count against the budget, matching the incremental exact formulation.
+func greedyFrom(idx *model.Index, budget float64, fixed *model.Deployment) *model.Deployment {
 	contrib := evidenceContribution(idx)
 
 	deployment := model.NewDeployment()
 	covered := make(map[model.DataTypeID]bool)
 	remaining := budget
+	if fixed != nil {
+		for _, id := range fixed.IDs() {
+			deployment.Add(id)
+			m, _ := idx.Monitor(id)
+			for _, d := range m.Produces {
+				covered[d] = true
+			}
+		}
+	}
 
 	// marginal returns the utility gained by adding monitor id given the
 	// currently covered data types.
@@ -71,14 +94,7 @@ func Greedy(idx *model.Index, budget float64) (*Result, error) {
 			covered[d] = true
 		}
 	}
-
-	return &Result{
-		Deployment: deployment,
-		Monitors:   deployment.IDs(),
-		Utility:    metrics.Utility(idx, deployment),
-		Cost:       metrics.Cost(idx, deployment),
-		Budget:     budget,
-	}, nil
+	return deployment
 }
 
 // RandomDeployment adds monitors in a seeded random order while they fit the

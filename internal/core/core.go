@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -110,6 +111,27 @@ type Result struct {
 	Budget float64 `json:"budget,omitempty"`
 	// Proven is true when the result was proven optimal.
 	Proven bool `json:"proven"`
+	// Status reports how the exact solve ended: "optimal", "feasible" (a
+	// limit or deadline stopped the search but an incumbent was in hand),
+	// "interrupted" or "limit" (stopped with no incumbent; Deployment then
+	// holds the heuristic fallback). Empty for the heuristic baselines.
+	Status string `json:"status,omitempty"`
+	// BestBound is the proven bound on the optimal objective — an upper
+	// bound on utility for MaxUtility, a lower bound on cost for MinCost —
+	// meaningful only when BoundKnown is true. Equal to the objective when
+	// Proven.
+	BestBound  float64 `json:"bestBound,omitempty"`
+	BoundKnown bool    `json:"boundKnown,omitempty"`
+	// Gap is the relative optimality gap between the returned deployment's
+	// objective and BestBound, 0 when Proven.
+	Gap float64 `json:"gap,omitempty"`
+	// Interrupted reports that the solve was stopped by context
+	// cancellation or an expired deadline (see WithContext).
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Fallback is true when the solver stopped with no incumbent and the
+	// deployment came from a heuristic instead: the greedy cost-benefit
+	// baseline for MaxUtility, the full deployment for MinCost.
+	Fallback bool `json:"fallback,omitempty"`
 	// BudgetShadowPrice estimates the marginal utility of one additional
 	// unit of budget, taken from the root LP relaxation's dual price of the
 	// budget row (MaxUtility flavors only; zero otherwise). It is the
@@ -190,6 +212,17 @@ func WithWorkers(n int) Option {
 	return optionFunc(func(o *options) { o.solverOptions = append(o.solverOptions, ilp.WithWorkers(n)) })
 }
 
+// WithContext attaches ctx to every solve the optimizer runs. Cancellation
+// or an expired deadline stops the branch-and-bound anytime-style: the best
+// incumbent found so far is returned (Status "feasible", Gap reported
+// against the proven bound), and when no incumbent exists yet the optimizer
+// falls back to a heuristic deployment (Fallback true) rather than erroring.
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(o *options) {
+		o.solverOptions = append(o.solverOptions, ilp.WithContext(ctx))
+	})
+}
+
 // NewOptimizer returns an optimizer for the indexed system.
 func NewOptimizer(idx *model.Index, opts ...Option) *Optimizer {
 	o := &Optimizer{idx: idx}
@@ -237,6 +270,14 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 		// exceeds... fixing never conflicts with the budget (fixed cost is
 		// excluded), so treat as a solver-level surprise.
 		return nil, fmt.Errorf("core: max-utility unexpectedly infeasible")
+	case ilp.StatusLimit, ilp.StatusInterrupted:
+		// Stopped before any integer incumbent existed: fall back to the
+		// greedy cost-benefit baseline so the caller still gets a feasible
+		// deployment, reported against whatever bound the search proved.
+		res := o.maxUtilityFallback(budget, fixed, sol)
+		res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
+		res.RelaxationUtility = sol.RootObjective
+		return res, nil
 	default:
 		return nil, fmt.Errorf("core: max-utility solve stopped with status %v and no incumbent", sol.Status)
 	}
@@ -304,6 +345,13 @@ func (o *Optimizer) MinCostIncremental(targets CoverageTargets, existing *model.
 	case ilp.StatusOptimal, ilp.StatusFeasible:
 	case ilp.StatusInfeasible:
 		return nil, ErrInfeasible
+	case ilp.StatusLimit, ilp.StatusInterrupted:
+		// Stopped before any integer incumbent existed. Deploying every
+		// monitor achieves the maximum achievable coverage, so it is
+		// feasible whenever the instance is; if even the full deployment
+		// misses a target, the instance is infeasible and the interrupted
+		// search simply did not get to prove it.
+		return o.minCostFallback(sol), nil
 	default:
 		return nil, fmt.Errorf("core: min-cost solve stopped with status %v and no incumbent", sol.Status)
 	}
@@ -376,13 +424,48 @@ func (o *Optimizer) corroborationLevel() int {
 
 func (o *Optimizer) newResult(d *model.Deployment, sol *ilp.Solution) *Result {
 	return &Result{
-		Deployment: d,
-		Monitors:   d.IDs(),
-		Utility:    metrics.Utility(o.idx, d),
-		Cost:       metrics.Cost(o.idx, d),
-		Proven:     sol.Status == ilp.StatusOptimal,
-		Stats: newSolveStats(sol),
+		Deployment:  d,
+		Monitors:    d.IDs(),
+		Utility:     metrics.Utility(o.idx, d),
+		Cost:        metrics.Cost(o.idx, d),
+		Proven:      sol.Status == ilp.StatusOptimal,
+		Status:      sol.Status.String(),
+		BestBound:   sol.BestBound,
+		BoundKnown:  sol.BoundKnown,
+		Gap:         sol.Gap,
+		Interrupted: sol.Interrupted,
+		Stats:       newSolveStats(sol),
 	}
+}
+
+// maxUtilityFallback builds the incumbent-less MaxUtility result from the
+// greedy cost-benefit baseline (seeded with the fixed deployment, whose cost
+// does not count against the budget, mirroring the exact formulation).
+func (o *Optimizer) maxUtilityFallback(budget float64, fixed *model.Deployment, sol *ilp.Solution) *Result {
+	d := greedyFrom(o.idx, budget, fixed)
+	res := o.newResult(d, sol)
+	res.Budget = budget
+	res.Fallback = true
+	if res.BoundKnown {
+		obj := metrics.CorroboratedUtility(o.idx, d, o.corroborationLevel())
+		res.Gap = math.Abs(res.BestBound-obj) / math.Max(1, math.Abs(obj))
+	}
+	return res
+}
+
+// minCostFallback builds the incumbent-less MinCost result from the full
+// deployment, the maximum-coverage (and most expensive) feasible choice.
+func (o *Optimizer) minCostFallback(sol *ilp.Solution) *Result {
+	d := model.NewDeployment()
+	for _, id := range o.idx.MonitorIDs() {
+		d.Add(id)
+	}
+	res := o.newResult(d, sol)
+	res.Fallback = true
+	if res.BoundKnown {
+		res.Gap = math.Abs(res.BestBound-res.Cost) / math.Max(1, math.Abs(res.Cost))
+	}
+	return res
 }
 
 func newSolveStats(sol *ilp.Solution) SolveStats {

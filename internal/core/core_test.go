@@ -385,14 +385,34 @@ func TestCoverageTargetsTarget(t *testing.T) {
 	}
 }
 
-func TestMaxUtilitySolverLimitNoIncumbentFails(t *testing.T) {
-	// Failure injection: a time limit so tight that the solver stops with
-	// no incumbent must surface as an error, not a silent empty result.
+func TestMaxUtilitySolverLimitNoIncumbentFallsBack(t *testing.T) {
+	// Anytime contract: a time limit so tight that the solver stops with no
+	// incumbent yields the greedy fallback deployment, not an error.
 	idx := testIndex(t)
 	opt := NewOptimizer(idx, WithSolverOptions(
 		ilp.WithTimeLimit(time.Nanosecond), ilp.WithoutDiving()))
-	if _, err := opt.MaxUtility(45); err == nil {
-		t.Error("limit-stopped solve without incumbent returned no error")
+	res, err := opt.MaxUtility(45)
+	if err != nil {
+		t.Fatalf("limit-stopped solve without incumbent errored: %v", err)
+	}
+	if !res.Fallback {
+		t.Error("limit-stopped solve without incumbent not marked Fallback")
+	}
+	if res.Proven {
+		t.Error("fallback result claims Proven")
+	}
+	if res.Status != ilp.StatusLimit.String() {
+		t.Errorf("fallback status = %q, want %q", res.Status, ilp.StatusLimit)
+	}
+	if res.Cost > 45+testTol {
+		t.Errorf("fallback cost %v over budget", res.Cost)
+	}
+	greedy, err := Greedy(idx, 45)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if res.Utility != greedy.Utility {
+		t.Errorf("fallback utility %v != greedy utility %v", res.Utility, greedy.Utility)
 	}
 }
 

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Regenerate the golden artifacts after an intentional output change with:
+//
+//	go test ./internal/experiment -run TestGoldenArtifacts -update
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment artifacts")
+
+// goldenIDs lists the artifacts pinned by golden files: the paper's core
+// reproduction set.
+var goldenIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+
+// durationToken matches Go duration strings (e.g. "1.2ms", "3m20s"), the
+// only nondeterministic content in the artifacts; everything else — node
+// counts included — is pinned so solver changes fail loudly.
+var durationToken = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|us|ms|h|m|s)(\d+(\.\d+)?(ns|µs|us|ms|h|m|s))*`)
+
+// goldenArtifact is the on-disk golden format: one line per entry so diffs
+// in `git diff` and test failures stay readable.
+type goldenArtifact struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Output []string `json:"output"`
+}
+
+// renderScrubbed runs an experiment with the sequential solver and replaces
+// wall-clock tokens with a placeholder. GOMAXPROCS is pinned to 1 by the
+// caller so the default worker count is 1 and node ordering (hence node and
+// iteration counts) is deterministic.
+func renderScrubbed(t *testing.T, e Experiment) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("run %s: %v", e.ID, err)
+	}
+	scrubbed := durationToken.ReplaceAllString(buf.String(), "<dur>")
+	lines := strings.Split(scrubbed, "\n")
+	// Tabwriter pads with trailing spaces whose width depends on the
+	// scrubbed tokens; trim so the placeholder substitution can't shift
+	// alignment between runs.
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " ")
+	}
+	return lines
+}
+
+func TestGoldenArtifacts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, id := range goldenIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			got := goldenArtifact{ID: e.ID, Title: e.Title, Output: renderScrubbed(t, e)}
+			path := filepath.Join("testdata", id+".golden.json")
+
+			if *updateGolden {
+				body, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			var want goldenArtifact
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("decode golden %s: %v", path, err)
+			}
+			if want.ID != got.ID || want.Title != got.Title {
+				t.Errorf("golden header mismatch: got (%s, %q), want (%s, %q)",
+					got.ID, got.Title, want.ID, want.Title)
+			}
+			if len(got.Output) != len(want.Output) {
+				t.Fatalf("output is %d lines, golden has %d (regenerate with -update if intended)",
+					len(got.Output), len(want.Output))
+			}
+			for i := range want.Output {
+				if got.Output[i] != want.Output[i] {
+					t.Errorf("line %d differs:\n got: %q\nwant: %q", i+1, got.Output[i], want.Output[i])
+				}
+			}
+		})
+	}
+}

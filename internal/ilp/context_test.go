@@ -1,0 +1,178 @@
+package ilp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// ctxFeatureModes mirrors the core package's solver feature matrix so the
+// anytime contract is exercised with every accelerator on and off.
+var ctxFeatureModes = []struct {
+	name string
+	opts []Option
+}{
+	{name: "all-on"},
+	{name: "no-warm", opts: []Option{WithoutWarmStart()}},
+	{name: "no-cuts", opts: []Option{WithoutCuts()}},
+	{name: "no-presolve", opts: []Option{WithoutPresolve()}},
+	{name: "all-off", opts: []Option{WithoutWarmStart(), WithoutCuts(), WithoutPresolve()}},
+}
+
+// buildHardKnapsack builds a strongly-correlated knapsack (values = weights
+// + constant) — a classically hard family for branch-and-bound — sized so a
+// solve takes well over the test deadlines but each node stays cheap.
+func buildHardKnapsack(t *testing.T, n int) *Problem {
+	t.Helper()
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		// Deterministic pseudo-random weights in [1000, 2000).
+		w := float64(1000 + (i*2654435761)%1000)
+		weights[i] = w
+		values[i] = w + 100
+		total += w
+	}
+	p, _ := buildKnapsack(t, values, weights, math.Floor(total/2))
+	return p
+}
+
+func TestSolvePreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, _ := buildKnapsack(t, []float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	sol, err := p.Solve(WithContext(ctx))
+	if err != nil {
+		t.Fatalf("Solve with cancelled context errored: %v", err)
+	}
+	if sol.Status != StatusInterrupted {
+		t.Errorf("status = %v, want %v", sol.Status, StatusInterrupted)
+	}
+	if !sol.Interrupted {
+		t.Error("Interrupted flag not set")
+	}
+	if sol.X != nil {
+		t.Errorf("pre-cancelled solve returned a solution vector: %v", sol.X)
+	}
+}
+
+func TestSolveBackgroundContextIdentical(t *testing.T) {
+	// A background context must not change anything: objective, status and
+	// selection stay bit-identical to the plain solve.
+	p1, _ := buildKnapsack(t, []float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	plain := solveOptimal(t, p1)
+	p2, _ := buildKnapsack(t, []float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	withCtx := solveOptimal(t, p2, WithContext(context.Background()))
+	if plain.Objective != withCtx.Objective {
+		t.Errorf("objective changed: %v vs %v", plain.Objective, withCtx.Objective)
+	}
+	for i := range plain.X {
+		if plain.X[i] != withCtx.X[i] {
+			t.Errorf("X[%d] changed: %v vs %v", i, plain.X[i], withCtx.X[i])
+		}
+	}
+	if plain.Nodes != withCtx.Nodes {
+		t.Errorf("node count changed: %d vs %d", plain.Nodes, withCtx.Nodes)
+	}
+}
+
+// checkInterruptedSolution verifies the anytime contract on an interrupted
+// solve of a maximization problem: a quick return already happened (the
+// caller timed it); here we check status/bound consistency.
+func checkInterruptedSolution(t *testing.T, sol *Solution) {
+	t.Helper()
+	if !sol.Interrupted {
+		t.Error("Interrupted flag not set")
+	}
+	switch sol.Status {
+	case StatusFeasible:
+		if sol.X == nil {
+			t.Error("feasible result without a solution vector")
+		}
+		if !sol.BoundKnown {
+			t.Error("feasible interrupted result without a proven bound")
+		}
+		if sol.BestBound < sol.Objective-testTol {
+			t.Errorf("bound %v below incumbent objective %v", sol.BestBound, sol.Objective)
+		}
+	case StatusInterrupted:
+		if sol.X != nil {
+			t.Error("interrupted no-incumbent result carries a solution vector")
+		}
+	default:
+		t.Errorf("status = %v, want feasible or interrupted", sol.Status)
+	}
+	// Any reported bound must not beat the root relaxation: the root is the
+	// loosest valid bound, so a tighter-than-root claim would be unsound
+	// only if above it (maximization).
+	if sol.BoundKnown && sol.RootObjective != 0 && sol.BestBound > sol.RootObjective+testTol {
+		t.Errorf("bound %v exceeds root relaxation %v", sol.BestBound, sol.RootObjective)
+	}
+}
+
+func TestSolveDeadlineAnytime(t *testing.T) {
+	p := buildHardKnapsack(t, 120)
+	for _, mode := range ctxFeatureModes {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mode.name, workers), func(t *testing.T) {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				defer cancel()
+				opts := append([]Option{WithContext(ctx), WithWorkers(workers)}, mode.opts...)
+				start := time.Now()
+				sol, err := p.Solve(opts...)
+				elapsed := time.Since(start)
+				if err != nil {
+					t.Fatalf("deadline solve errored: %v", err)
+				}
+				if elapsed > 120*time.Millisecond {
+					t.Errorf("deadline solve took %v, want < 120ms", elapsed)
+				}
+				checkInterruptedSolution(t, sol)
+			})
+		}
+	}
+}
+
+func TestSolveCancelMidSearch(t *testing.T) {
+	p := buildHardKnapsack(t, 120)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		sol, err := p.Solve(WithContext(ctx), WithWorkers(workers))
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers %d: cancelled solve errored: %v", workers, err)
+		}
+		if elapsed > 120*time.Millisecond {
+			t.Errorf("workers %d: cancelled solve took %v, want < 120ms", workers, elapsed)
+		}
+		checkInterruptedSolution(t, sol)
+	}
+}
+
+func TestSolveDeadlineAfterIncumbentReportsGap(t *testing.T) {
+	// With diving on, an incumbent almost always exists by the time a short
+	// deadline fires; the result must then be feasible with a coherent gap.
+	p := buildHardKnapsack(t, 120)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	sol, err := p.Solve(WithContext(ctx))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status == StatusOptimal {
+		t.Skip("instance solved to optimality before the deadline")
+	}
+	checkInterruptedSolution(t, sol)
+	if sol.Status == StatusFeasible && sol.Gap < 0 {
+		t.Errorf("negative gap %v", sol.Gap)
+	}
+}

@@ -1,0 +1,235 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"secmon/internal/lp"
+)
+
+// fuzzCon is one generated constraint, kept alongside the Problem so the
+// harness can verify returned solutions against it independently of the
+// solver's own bookkeeping.
+type fuzzCon struct {
+	coeffs []float64
+	op     lp.Op
+	rhs    float64
+}
+
+// fuzzInstance is a decoded fuzz input: a small random binary program mixing
+// knapsack-style (<=) and coverage-style (>=) rows, the two shapes the
+// deployment formulations produce.
+type fuzzInstance struct {
+	maximize bool
+	values   []float64
+	cons     []fuzzCon
+}
+
+// decodeFuzzInstance derives a small instance from raw fuzz bytes. Every
+// byte string decodes deterministically; short inputs are rejected.
+func decodeFuzzInstance(data []byte) (*fuzzInstance, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	n := 2 + int(data[0])%6 // 2..7 binary variables
+	m := 1 + int(data[1])%3 // 1..3 constraints
+	maximize := data[2]%2 == 0
+	data = data[3:]
+	need := n + m*(n+2)
+	if len(data) < need {
+		return nil, false
+	}
+	inst := &fuzzInstance{maximize: maximize, values: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		inst.values[i] = float64(1 + int(data[i])%50)
+	}
+	data = data[n:]
+	for j := 0; j < m; j++ {
+		con := fuzzCon{coeffs: make([]float64, n)}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			con.coeffs[i] = float64(int(data[i]) % 4) // 0..3
+			sum += con.coeffs[i]
+		}
+		opByte, rhsByte := data[n], data[n+1]
+		data = data[n+2:]
+		if opByte%2 == 0 {
+			con.op = lp.LE
+			con.rhs = math.Floor(float64(int(rhsByte) % (int(sum) + 1)))
+		} else {
+			// Coverage rows may demand slightly more than achievable so the
+			// infeasible path is exercised too.
+			con.op = lp.GE
+			con.rhs = math.Floor(float64(int(rhsByte) % (int(sum) + 2)))
+		}
+		inst.cons = append(inst.cons, con)
+	}
+	return inst, true
+}
+
+// build materializes the instance as a solver Problem.
+func (inst *fuzzInstance) build() (*Problem, []lp.VarID, error) {
+	sense := lp.Maximize
+	if !inst.maximize {
+		sense = lp.Minimize
+	}
+	p := NewProblem(sense)
+	vars := make([]lp.VarID, len(inst.values))
+	for i, v := range inst.values {
+		id, err := p.AddBinaryVariable("x", v)
+		if err != nil {
+			return nil, nil, err
+		}
+		vars[i] = id
+	}
+	for _, con := range inst.cons {
+		terms := make([]lp.Term, 0, len(vars))
+		for i, c := range con.coeffs {
+			if c != 0 {
+				terms = append(terms, lp.Term{Var: vars[i], Coeff: c})
+			}
+		}
+		if len(terms) == 0 {
+			// The solver rejects empty rows; emulate by checking 0 vs rhs.
+			if con.op == lp.GE && con.rhs > 0 {
+				// Trivially infeasible: encode as x_0 >= rhs over a binary,
+				// impossible for rhs > 1... simpler to keep the row with the
+				// first variable at coefficient 0 excluded and skip: the
+				// verification below uses inst.cons, so drop the row from
+				// both.
+				return nil, nil, errSkipInstance
+			}
+			continue
+		}
+		if _, err := p.AddConstraint("c", terms, con.op, con.rhs); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, vars, nil
+}
+
+// errSkipInstance marks decoded instances not worth solving.
+var errSkipInstance = errorString("skip instance")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// checkFeasible verifies x against the instance's own constraint copies.
+func (inst *fuzzInstance) checkFeasible(t *testing.T, x []float64, vars []lp.VarID) {
+	t.Helper()
+	for i, v := range vars {
+		val := x[v]
+		if math.Abs(val-math.Round(val)) > 1e-6 || val < -1e-9 || val > 1+1e-9 {
+			t.Fatalf("variable %d = %v not binary", i, val)
+		}
+	}
+	for ci, con := range inst.cons {
+		if isEmptyRow(con) {
+			continue
+		}
+		lhs := 0.0
+		for i, c := range con.coeffs {
+			lhs += c * math.Round(x[vars[i]])
+		}
+		switch con.op {
+		case lp.LE:
+			if lhs > con.rhs+1e-6 {
+				t.Fatalf("constraint %d violated: %v <= %v", ci, lhs, con.rhs)
+			}
+		case lp.GE:
+			if lhs < con.rhs-1e-6 {
+				t.Fatalf("constraint %d violated: %v >= %v", ci, lhs, con.rhs)
+			}
+		}
+	}
+}
+
+func isEmptyRow(con fuzzCon) bool {
+	for _, c := range con.coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (inst *fuzzInstance) objective(x []float64, vars []lp.VarID) float64 {
+	obj := 0.0
+	for i, v := range vars {
+		obj += inst.values[i] * math.Round(x[v])
+	}
+	return obj
+}
+
+// FuzzSolveMatchesEnumeration cross-checks the branch-and-bound against
+// exhaustive enumeration on small random knapsack/coverage programs:
+// statuses must agree, objectives must match, and any returned solution
+// must be integral and feasible.
+func FuzzSolveMatchesEnumeration(f *testing.F) {
+	// Seed corpus spanning the generator's shapes: knapsack, set cover,
+	// infeasible coverage, multi-row mixes (mirrored in testdata/fuzz).
+	f.Add([]byte{0x01, 0x00, 0x00, 0x3b, 0x63, 0x77, 0x01, 0x02, 0x03, 0x00, 0x32})
+	f.Add([]byte{0x02, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x00, 0x00, 0x01, 0x01,
+		0x00, 0x01, 0x01, 0x01, 0x01, 0x02})
+	f.Add([]byte{0x03, 0x02, 0x00, 0x09, 0x11, 0x16, 0x2b, 0x05, 0x01, 0x02, 0x03, 0x00, 0x01,
+		0x00, 0x04, 0x03, 0x02, 0x01, 0x00, 0x01, 0x01, 0x07, 0x01, 0x01, 0x01, 0x01, 0x01,
+		0x00, 0x03})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x10, 0x20, 0x01, 0x01, 0x01, 0x63})
+	f.Add([]byte{0x05, 0x01, 0x00, 0x30, 0x28, 0x1c, 0x0f, 0x08, 0x04, 0x02, 0x03, 0x01, 0x02,
+		0x00, 0x03, 0x01, 0x00, 0x00, 0x2a, 0x01, 0x00, 0x01, 0x02, 0x00, 0x01, 0x03, 0x01,
+		0x05})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		p, vars, err := inst.build()
+		if err == errSkipInstance {
+			t.Skip()
+		}
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		ref, err := p.Enumerate()
+		if err != nil {
+			t.Fatalf("Enumerate: %v", err)
+		}
+
+		p2, vars2, _ := inst.build()
+		sol, err := p2.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v (enumeration says %v)", err, ref.Status)
+		}
+
+		if (ref.Status == StatusInfeasible) != (sol.Status == StatusInfeasible) {
+			t.Fatalf("status mismatch: solver %v, enumeration %v", sol.Status, ref.Status)
+		}
+		if ref.Status == StatusInfeasible {
+			return
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("solver status = %v, want optimal", sol.Status)
+		}
+		if !almostEqual(sol.Objective, ref.Objective) {
+			t.Fatalf("objective mismatch: solver %v, enumeration %v", sol.Objective, ref.Objective)
+		}
+		inst.checkFeasible(t, sol.X, vars2)
+		if got := inst.objective(sol.X, vars2); !almostEqual(got, sol.Objective) {
+			t.Fatalf("reported objective %v != recomputed %v", sol.Objective, got)
+		}
+		inst.checkFeasible(t, ref.X, vars)
+
+		// The parallel search must agree on the optimum.
+		p3, _, _ := inst.build()
+		psol, err := p3.Solve(WithWorkers(2))
+		if err != nil {
+			t.Fatalf("parallel Solve: %v", err)
+		}
+		if psol.Status != StatusOptimal || !almostEqual(psol.Objective, ref.Objective) {
+			t.Fatalf("parallel solver: status %v objective %v, want optimal %v",
+				psol.Status, psol.Objective, ref.Objective)
+		}
+	})
+}

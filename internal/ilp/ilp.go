@@ -14,6 +14,8 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -40,6 +42,12 @@ const (
 	StatusUnbounded
 	// StatusLimit means the budget ran out before any incumbent was found.
 	StatusLimit
+	// StatusInterrupted means the solve's context was cancelled (or its
+	// deadline expired) before any incumbent was found. When an incumbent
+	// exists at interruption time the solve reports StatusFeasible instead,
+	// carrying the incumbent and the tightest proven bound: interruption is
+	// an anytime stop, never an error.
+	StatusInterrupted
 )
 
 // String returns a human-readable name for the status.
@@ -55,6 +63,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusLimit:
 		return "limit"
+	case StatusInterrupted:
+		return "interrupted"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -149,8 +159,17 @@ type Solution struct {
 	// X holds one value per variable; integer variables are exactly
 	// integral.
 	X []float64
-	// BestBound is the tightest proven bound on the optimal objective.
+	// BestBound is the tightest proven bound on the optimal objective; it is
+	// meaningful only when BoundKnown is true.
 	BestBound float64
+	// BoundKnown reports whether BestBound carries a proven bound. It is
+	// false only when the solve stopped before the root relaxation finished
+	// (and no incumbent exists), in which case nothing is proven.
+	BoundKnown bool
+	// Interrupted reports that the solve stopped because its context was
+	// cancelled or timed out. The Status is then StatusFeasible (incumbent in
+	// hand) or StatusInterrupted (stopped before the first incumbent).
+	Interrupted bool
 	// RootObjective is the objective of the root LP relaxation.
 	RootObjective float64
 	// RootDuals holds the shadow prices of the root LP relaxation, indexed
@@ -267,6 +286,16 @@ type options struct {
 	noWarm       bool
 	noPresolve   bool
 	noCuts       bool
+	ctx          context.Context
+}
+
+// ctxErr reports the configured context's error, nil when no context was
+// supplied or it is still live.
+func (o *options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
 }
 
 type optionFunc func(*options)
@@ -324,6 +353,24 @@ func WithoutPresolve() Option {
 // either way.
 func WithoutCuts() Option {
 	return optionFunc(func(o *options) { o.noCuts = true })
+}
+
+// WithContext makes the solve honor ctx end-to-end: cancellation or deadline
+// expiry is polled at every node boundary and inside every simplex pivot
+// loop, and stops the search as an *anytime* result rather than an error —
+// the best incumbent found so far is returned with StatusFeasible and the
+// tightest proven bound (Solution.BestBound, Solution.Gap), or
+// StatusInterrupted when no incumbent exists yet. A background context adds
+// no overhead and changes no behavior.
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(o *options) { o.ctx = ctx })
+}
+
+// isInterrupted reports whether an error from an LP relaxation means the
+// solve's context was cancelled rather than a structural/numerical failure.
+func isInterrupted(err error) bool {
+	return errors.Is(err, lp.ErrInterrupted) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // WithWorkers sets the number of branch-and-bound workers. Non-positive
@@ -406,13 +453,25 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.ctx != nil && cfg.ctx.Done() != nil {
+		// Plumb the context into every LP relaxation solve so even a single
+		// long pivot loop notices cancellation; contexts that can never fire
+		// (nil, Background) skip the per-pivot polling entirely.
+		cfg.lpOptions = append(append([]lp.Option{}, cfg.lpOptions...), lp.WithContext(cfg.ctx))
+	}
 	started := time.Now()
 	// The root node is processed once up front — relaxation, cover cuts,
 	// dive, presolve, branching — and its children seed whichever search
 	// runs below.
 	pr, err := prepareRoot(p, &cfg, started)
 	if err != nil {
-		return nil, err
+		if pr == nil || !isInterrupted(err) {
+			return nil, err
+		}
+		// Context fired mid-root: whatever the prep proved so far (bound,
+		// dive incumbent) is still valid — finish as an anytime stop.
+		pr.limited = true
+		pr.interrupted = true
 	}
 	if workers > 1 {
 		return newParallelSearch(p, cfg, workers, started).run(pr)
@@ -450,7 +509,8 @@ type search struct {
 	nodes       int
 	lpIters     int
 	seq         int
-	limitChecks int // sampling counter for the wall-clock limit
+	limitChecks int  // sampling counter for the wall-clock limit
+	interrupted bool // the solve's context fired
 
 	rootObjective float64
 	rootDuals     []float64
@@ -480,7 +540,14 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		return s.finish(StatusUnbounded), nil
 	}
 	if pr.limited {
-		return s.finishWithBound(limitStatus(s.hasInc), math.Inf(1)), nil
+		s.interrupted = pr.interrupted
+		// The root relaxation, when it finished, proved a bound even though
+		// no children exist to read one from.
+		b := math.Inf(1)
+		if pr.nodes > 0 {
+			b = pr.bound
+		}
+		return s.finishWithBound(stopStatus(s.hasInc, s.interrupted), b), nil
 	}
 
 	nInt := len(s.prob.integer)
@@ -511,7 +578,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 
 	for open.Len() > 0 {
 		if s.limitReached() {
-			return s.finishWithBound(limitStatus(s.hasInc), bestOpenBound(open)), nil
+			return s.finishWithBound(stopStatus(s.hasInc, s.interrupted), bestOpenBound(open)), nil
 		}
 		nd := heap.Pop(open).(*node)
 		// A node whose inherited bound cannot beat the incumbent is pruned
@@ -522,6 +589,13 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 
 		sol, err := s.solveRelaxation(nd)
 		if err != nil {
+			if isInterrupted(err) {
+				// The popped node was neither expanded nor re-queued: fold its
+				// inherited bound back in so the reported bound stays proven.
+				s.interrupted = true
+				return s.finishWithBound(stopStatus(s.hasInc, true),
+					math.Max(bestOpenBound(open), nd.bound)), nil
+			}
 			return nil, err
 		}
 		s.nodes++
@@ -559,6 +633,13 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		// plateaus. (The root dive already ran in prepareRoot.)
 		if !s.cfg.disableDive && !s.hasInc {
 			if err := s.dive(nd, sol.X); err != nil {
+				if isInterrupted(err) {
+					// The node's own relaxation bound covers its unbranched
+					// subtree; dive incumbents (if any) were already offered.
+					s.interrupted = true
+					return s.finishWithBound(stopStatus(s.hasInc, true),
+						math.Max(bestOpenBound(open), bound)), nil
+				}
 				return nil, err
 			}
 			if s.hasInc && bound <= s.incObj+s.pruneSlack() {
@@ -601,6 +682,10 @@ const timeCheckInterval = 64
 
 func (s *search) limitReached() bool {
 	if s.nodes >= s.cfg.maxNodes {
+		return true
+	}
+	if s.cfg.ctxErr() != nil {
+		s.interrupted = true
 		return true
 	}
 	if s.cfg.timeLimit <= 0 {
@@ -907,10 +992,12 @@ func (s *search) finish(status Status) *Solution {
 		sol.CutsAdded = pr.cutsAdded
 		sol.CutsActive = pr.cutsActive
 	}
+	sol.Interrupted = s.interrupted
 	if s.hasInc {
 		sol.X = s.incumbent
 		sol.Objective = s.fromMax(s.incObj)
 		sol.BestBound = sol.Objective
+		sol.BoundKnown = true
 	}
 	return sol
 }
@@ -925,6 +1012,7 @@ func (s *search) finishWithBound(status Status, openBound float64) *Solution {
 	}
 	if !math.IsInf(bound, 0) {
 		sol.BestBound = s.fromMax(bound)
+		sol.BoundKnown = true
 	}
 	if s.hasInc && !math.IsInf(bound, 0) {
 		sol.Gap = math.Abs(bound-s.incObj) / math.Max(1, math.Abs(s.incObj))
@@ -939,9 +1027,15 @@ func (s *search) fromMax(obj float64) float64 {
 	return -obj
 }
 
-func limitStatus(hasIncumbent bool) Status {
+// stopStatus maps an early stop to its reported status: any incumbent makes
+// the result feasible; otherwise a context stop is StatusInterrupted and a
+// node/time budget stop is StatusLimit.
+func stopStatus(hasIncumbent, interrupted bool) Status {
 	if hasIncumbent {
 		return StatusFeasible
+	}
+	if interrupted {
+		return StatusInterrupted
 	}
 	return StatusLimit
 }

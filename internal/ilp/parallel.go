@@ -36,16 +36,17 @@ type parallelSearch struct {
 	started  time.Time
 	prep     *rootPrep
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	open     nodeHeap
-	inFlight int  // nodes popped but not yet fully expanded
-	seq      int  // node insertion counter (heap tie-break)
-	nodes    int  // global solved-node count, for WithMaxNodes
-	checks   int  // limit-check sampling counter
-	limited  bool // node or time budget exhausted
-	unbound  bool // root relaxation unbounded
-	failure  error
+	mu          sync.Mutex
+	cond        *sync.Cond
+	open        nodeHeap
+	inFlight    int  // nodes popped but not yet fully expanded
+	seq         int  // node insertion counter (heap tie-break)
+	nodes       int  // global solved-node count, for WithMaxNodes
+	checks      int  // limit-check sampling counter
+	limited     bool // node or time budget exhausted
+	interrupted bool // the stop was a context cancellation or deadline
+	unbound     bool // root relaxation unbounded
+	failure     error
 
 	hasInc    bool
 	incObj    float64 // maximize form
@@ -111,6 +112,7 @@ func (ps *parallelSearch) run(pr *rootPrep) (*Solution, error) {
 	}
 	if pr.limited {
 		ps.limited = true
+		ps.interrupted = pr.interrupted
 		return ps.assemble(), nil
 	}
 
@@ -162,6 +164,14 @@ func (ps *parallelSearch) runWorker(id int) {
 			break
 		}
 		err := w.process(nd)
+		if isInterrupted(err) {
+			// The node's LP relaxation was cut short, so nothing about the
+			// node was proven. Return it to the frontier so its inherited
+			// bound stays in the open set: the reported BestBound must
+			// cover every unresolved node to remain a sound bound.
+			ps.interruptNode(nd)
+			err = nil
+		}
 		ps.release(err)
 	}
 	ps.mu.Lock()
@@ -222,10 +232,27 @@ func (ps *parallelSearch) release(err error) {
 	ps.mu.Unlock()
 }
 
-// limitReachedLocked mirrors the sequential limitReached: the node budget
-// is exact, the wall clock is sampled every timeCheckInterval checks (with
-// the first check always reading the clock). Callers hold ps.mu.
+// interruptNode returns a node whose expansion was cut short by a context
+// stop to the frontier and halts the search. Repushing keeps the node's
+// inherited bound visible to assemble's BestBound computation.
+func (ps *parallelSearch) interruptNode(nd *node) {
+	ps.mu.Lock()
+	ps.limited = true
+	ps.interrupted = true
+	heap.Push(&ps.open, nd)
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// limitReachedLocked mirrors the sequential limitReached: the context is
+// polled every check, the node budget is exact, the wall clock is sampled
+// every timeCheckInterval checks (with the first check always reading the
+// clock). Callers hold ps.mu.
 func (ps *parallelSearch) limitReachedLocked() bool {
+	if ps.cfg.ctxErr() != nil {
+		ps.interrupted = true
+		return true
+	}
 	if ps.nodes >= ps.cfg.maxNodes {
 		return true
 	}
@@ -466,22 +493,30 @@ func (ps *parallelSearch) assemble() *Solution {
 		CutsAdded:         pr.cutsAdded,
 		CutsActive:        pr.cutsActive,
 	}
+	sol.Interrupted = ps.interrupted
 	if ps.hasInc {
 		sol.X = ps.incumbent
 		sol.Objective = fromMaxForm(ps.maximize, ps.incObj)
 		sol.BestBound = sol.Objective
+		sol.BoundKnown = true
 	}
 	switch {
 	case ps.unbound:
 		sol.Status = StatusUnbounded
 	case ps.limited:
-		sol.Status = limitStatus(ps.hasInc)
+		sol.Status = stopStatus(ps.hasInc, ps.interrupted)
 		bound := bestOpenBound(&ps.open)
+		if math.IsInf(bound, -1) && pr.nodes > 0 {
+			// Stopped with an empty frontier (e.g. during root prep): the
+			// root relaxation is still a proven bound.
+			bound = pr.bound
+		}
 		if ps.hasInc && ps.incObj > bound {
 			bound = ps.incObj
 		}
 		if !math.IsInf(bound, 0) {
 			sol.BestBound = fromMaxForm(ps.maximize, bound)
+			sol.BoundKnown = true
 		}
 		if ps.hasInc && !math.IsInf(bound, 0) {
 			sol.Gap = math.Abs(bound-ps.incObj) / math.Max(1, math.Abs(ps.incObj))

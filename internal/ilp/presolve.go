@@ -46,8 +46,9 @@ type rootPrep struct {
 	rootObjective float64   // pre-cut root relaxation objective
 	rootDuals     []float64 // pre-cut root shadow prices, original rows only
 
-	unbounded bool
-	limited   bool // the time limit expired before the root was solved
+	unbounded   bool
+	limited     bool // a time/context limit stopped the prep early
+	interrupted bool // the limit was a context cancellation or deadline
 
 	hasInc    bool
 	incObj    float64 // maximize form
@@ -75,7 +76,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	for k, v := range p.integer {
 		lo, hi, err := p.lp.VariableBounds(v)
 		if err != nil {
-			return nil, fmt.Errorf("ilp: read bounds: %w", err)
+			return pr, fmt.Errorf("ilp: read bounds: %w", err)
 		}
 		// Tighten fractional bounds to the integer lattice up front.
 		pr.lo[k] = math.Ceil(lo - cfg.intTolerance)
@@ -86,6 +87,10 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	}
 
 	timeUp := func() bool {
+		if cfg.ctxErr() != nil {
+			pr.interrupted = true
+			return true
+		}
 		return cfg.timeLimit > 0 && time.Since(started) > cfg.timeLimit
 	}
 	if timeUp() {
@@ -128,7 +133,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 
 	sol, err := solve(pr.lo, pr.hi, nil)
 	if err != nil {
-		return nil, err
+		return pr, err
 	}
 	pr.nodes = 1
 	switch sol.Status {
@@ -138,7 +143,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 		pr.unbounded = true
 		return pr, nil
 	case lp.StatusIterationLimit:
-		return nil, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", pr.nodes)
+		return pr, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", pr.nodes)
 	}
 	pr.rootObjective = sol.Objective
 	pr.rootDuals = sol.DualValues
@@ -170,7 +175,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			return solve(nd.lo, nd.hi, nd.basis)
 		}
 		if err := diveFrom(p, cfg, root, sol.X, solveNode, offer); err != nil {
-			return nil, err
+			return pr, err
 		}
 		if closed() {
 			return pr, nil
@@ -181,7 +186,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	if !cfg.noCuts && !timeUp() {
 		sol, err = pr.addCoverCuts(p, cfg, maximize, origRows, sol, solve)
 		if err != nil {
-			return nil, err
+			return pr, err
 		}
 		if sol == nil {
 			// Valid cuts made the LP infeasible: no integer point exists.
@@ -199,7 +204,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	if !cfg.noPresolve && !timeUp() && pr.presolve(p, cfg, maximize, sol) {
 		sol, err = solve(pr.lo, pr.hi, pr.basis)
 		if err != nil {
-			return nil, err
+			return pr, err
 		}
 		switch sol.Status {
 		case lp.StatusInfeasible:
@@ -207,9 +212,9 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			// outside the boxes decides optimal vs. infeasible downstream.
 			return pr, nil
 		case lp.StatusUnbounded:
-			return nil, fmt.Errorf("ilp: presolved root relaxation unbounded: %w", lp.ErrNumerical)
+			return pr, fmt.Errorf("ilp: presolved root relaxation unbounded: %w", lp.ErrNumerical)
 		case lp.StatusIterationLimit:
-			return nil, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", pr.nodes)
+			return pr, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", pr.nodes)
 		}
 		if b := toMaxForm(maximize, sol.Objective); b < pr.bound {
 			pr.bound = b

@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -131,6 +132,10 @@ var (
 	ErrUnknownVariable = errors.New("lp: unknown variable")
 	// ErrEmptyProblem is returned when solving a problem with no variables.
 	ErrEmptyProblem = errors.New("lp: problem has no variables")
+	// ErrInterrupted is returned (wrapped, together with the context's own
+	// error) when a solve configured with WithContext is cancelled or its
+	// deadline expires mid-pivot. The partial solve state is discarded.
+	ErrInterrupted = errors.New("lp: solve interrupted")
 )
 
 type variable struct {
@@ -349,6 +354,7 @@ type options struct {
 	workspace     *Workspace
 	warm          bool
 	warmBasis     *Basis
+	ctx           context.Context
 }
 
 type maxIterationsOption int
@@ -382,6 +388,29 @@ type warmStartOption struct{ b *Basis }
 
 func (o warmStartOption) apply(opts *options) { opts.warm = true; opts.warmBasis = o.b }
 
+type contextOption struct{ ctx context.Context }
+
+func (o contextOption) apply(opts *options) { opts.ctx = o.ctx }
+
+// WithContext makes the solve honor cancellation and deadlines: the pivot
+// loops poll ctx and abandon the solve with an error wrapping ErrInterrupted
+// (and the context's cause) as soon as it is done. A nil or background
+// context adds no per-pivot overhead beyond a nil check.
+func WithContext(ctx context.Context) Option { return contextOption{ctx: ctx} }
+
+// interrupted reports the context's error when the configured context is
+// done, nil otherwise. The nil/Done fast path keeps undeadlined solves free
+// of polling overhead.
+func (o *options) interrupted() error {
+	if o.ctx == nil {
+		return nil
+	}
+	if err := o.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, err)
+	}
+	return nil
+}
+
 // WithWarmStart enables warm-start support for the solve. When b is non-nil
 // and describes a basis of a problem with the same shape, the solve first
 // attempts a dual-simplex re-solve from that basis — the fast path for
@@ -409,6 +438,9 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	}
 	if cfg.maxIterations <= 0 {
 		cfg.maxIterations = 20000 + 100*(len(p.vars)+len(p.cons))
+	}
+	if err := cfg.interrupted(); err != nil {
+		return nil, err
 	}
 	ws := cfg.workspace
 	pooled := ws == nil

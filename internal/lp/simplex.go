@@ -437,6 +437,9 @@ func (s *simplex) iterate(d []float64) (Status, error) {
 		if s.iterations >= s.cfg.maxIterations {
 			return StatusIterationLimit, nil
 		}
+		if err := s.cfg.interrupted(); err != nil {
+			return 0, err
+		}
 		q, dir := s.price(d)
 		if q < 0 {
 			return StatusOptimal, nil

@@ -491,6 +491,12 @@ func (w *dualSimplex) iterate() Status {
 		if w.iterations >= w.cfg.maxIterations {
 			return StatusIterationLimit
 		}
+		if w.cfg.interrupted() != nil {
+			// Reported as an iteration limit: warmSolve treats it as
+			// inconclusive and the cold path notices the context immediately,
+			// so Solve still returns an ErrInterrupted-wrapped error.
+			return StatusIterationLimit
+		}
 		r, below := w.pickLeaving()
 		if r < 0 {
 			return StatusOptimal

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+)
+
+// solutionCache is a size-bounded LRU cache mapping canonical request hashes
+// to finished response payloads. Only deterministic results are cached (the
+// handlers skip deadline-truncated solves), so a hit can be replayed
+// verbatim for any later identical request.
+type solutionCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte // marshaled response body
+}
+
+func newSolutionCache(capacity int) *solutionCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &solutionCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// requestKey canonicalizes a decoded request by re-marshaling it: Go structs
+// serialize with a fixed field order, so two bodies that differ only in
+// whitespace, key order or ignored fields hash identically.
+func requestKey(kind string, req any) (string, error) {
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), canonical...))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// get returns the cached response body for key, if present, updating LRU
+// order and hit counters.
+func (c *solutionCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// put stores a response body, evicting the least recently used entry when
+// the cache is full.
+func (c *solutionCache) put(key string, value []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: value})
+}
+
+// stats snapshots the cache counters for the health endpoint.
+func (c *solutionCache) stats() (size, hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses
+}

@@ -1,0 +1,471 @@
+// Package server exposes the deployment optimizer as an HTTP JSON API: the
+// `secmon serve` layer. Every solve runs under a per-request deadline and is
+// interruptible anytime-style (see core.WithContext), so a slow exact solve
+// degrades to the best incumbent with a reported optimality gap instead of
+// holding the connection open. Identical requests are answered from an LRU
+// cache keyed by a canonical hash of the request (only proven, i.e.
+// deadline-independent, results are cached), and shutdown drains in-flight
+// solves before the process exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/core"
+	"secmon/internal/model"
+)
+
+// cacheHeader reports whether a response was served from the solution
+// cache ("hit") or computed fresh ("miss"); response bodies are identical
+// either way.
+const cacheHeader = "Secmon-Cache"
+
+// Config tunes a Server. The zero value selects the documented defaults.
+type Config struct {
+	// DefaultDeadline bounds solves whose request carries no deadlineMillis
+	// (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps request-supplied deadlines (default 5m).
+	MaxDeadline time.Duration
+	// MaxConcurrent bounds concurrently running solves; excess requests
+	// wait their turn, giving up when their deadline expires first
+	// (default runtime.GOMAXPROCS(0)).
+	MaxConcurrent int
+	// CacheSize is the LRU solution cache capacity in entries (default
+	// 128; negative disables caching).
+	CacheSize int
+	// ShutdownGrace bounds how long Shutdown waits for in-flight requests
+	// to drain (default 30s).
+	ShutdownGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP optimization service. Create one with New, mount
+// Handler (or call Serve / ListenAndServe), and stop it by cancelling the
+// context passed to Serve.
+type Server struct {
+	cfg      Config
+	cache    *solutionCache
+	sem      chan struct{}
+	inFlight atomic.Int64
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newSolutionCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's HTTP handler, for mounting under a custom
+// http.Server or test harness.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and runs Serve on it.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ctx, l)
+}
+
+// Serve runs the HTTP service on l until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests (and
+// their solves) get up to ShutdownGrace to finish, and only then does Serve
+// return.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after a clean Shutdown
+	return nil
+}
+
+// OptimizeRequest is the body of POST /v1/optimize. Omitting the system
+// selects the built-in enterprise Web service case study. Exactly one of
+// budget / budgetFraction is required unless minCost is set.
+type OptimizeRequest struct {
+	System *model.System `json:"system,omitempty"`
+	// MinCost switches from budgeted utility maximization to cheapest
+	// deployment meeting the coverage target.
+	MinCost bool `json:"minCost,omitempty"`
+	// Budget is the absolute spending cap for max-utility optimization.
+	Budget *float64 `json:"budget,omitempty"`
+	// BudgetFraction expresses the budget as a fraction of the system's
+	// total monitor cost; it wins over Budget when both are set.
+	BudgetFraction *float64 `json:"budgetFraction,omitempty"`
+	// Target is the global coverage target for minCost (default 1).
+	Target *float64 `json:"target,omitempty"`
+	// Clamp clamps minCost targets to the achievable coverage.
+	Clamp bool `json:"clamp,omitempty"`
+	// Corroboration requires every counted evidence item to be produced by
+	// at least k deployed monitors.
+	Corroboration int `json:"corroboration,omitempty"`
+	// Existing lists already-deployed monitors to keep (incremental mode).
+	Existing []model.MonitorID `json:"existing,omitempty"`
+	// Workers is the branch-and-bound worker count (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Workers int `json:"workers,omitempty"`
+	// DeadlineMillis bounds this solve; 0 selects the server default. The
+	// server caps it at its configured maximum.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+}
+
+// OptimizeResponse is the body of a successful POST /v1/optimize.
+type OptimizeResponse struct {
+	Result *core.Result `json:"result"`
+	// DeadlineMillis is the deadline actually applied to the solve.
+	DeadlineMillis int64 `json:"deadlineMillis"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a Pareto sweep of MaxUtility
+// over a budget grid with the greedy and random baselines.
+type SweepRequest struct {
+	System *model.System `json:"system,omitempty"`
+	// Steps is the number of budget steps between 0 and the total monitor
+	// cost (default 10); Budgets, when set, overrides the grid entirely.
+	Steps   int       `json:"steps,omitempty"`
+	Budgets []float64 `json:"budgets,omitempty"`
+	// Seed drives the random baseline (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the number of concurrent budget points (0 = GOMAXPROCS);
+	// SolverWorkers is the branch-and-bound worker count per solve.
+	Workers        int   `json:"workers,omitempty"`
+	SolverWorkers  int   `json:"solverWorkers,omitempty"`
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Points         []core.SweepPoint `json:"points"`
+	DeadlineMillis int64             `json:"deadlineMillis"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, cache string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if cache != "" {
+		w.Header().Set(cacheHeader, cache)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	writeJSON(w, status, "", body)
+}
+
+// statusFor maps optimizer errors onto HTTP statuses: caller mistakes are
+// 400/422, everything else is a 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadBudget),
+		errors.Is(err, core.ErrBadTarget),
+		errors.Is(err, core.ErrUnknownMonitor):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// solveContext derives the per-request solve context: the request deadline
+// (capped at MaxDeadline, defaulting to DefaultDeadline) layered over the
+// HTTP request context, so both a client disconnect and the deadline stop
+// the branch-and-bound.
+func (s *Server) solveContext(r *http.Request, deadlineMillis int64) (context.Context, context.CancelFunc, int64) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMillis > 0 {
+		d = time.Duration(deadlineMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, d.Milliseconds()
+}
+
+// acquire claims a solve slot, waiting until one frees up or the context
+// expires. It returns false (and replies 503) when the wait is abandoned.
+func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server saturated: %w", ctx.Err()))
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// indexFor materializes the request's system (or the built-in case study).
+func indexFor(sys *model.System) (*model.Index, error) {
+	if sys == nil {
+		return casestudy.BuildIndex()
+	}
+	return model.NewIndex(sys)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+
+	// The cache key deliberately excludes the deadline: only proven
+	// (deadline-independent) results are stored, so any deadline variant
+	// of the same problem can be served from the same entry.
+	keyReq := req
+	keyReq.DeadlineMillis = 0
+	key, err := requestKey("optimize", &keyReq)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, "hit", body)
+		return
+	}
+
+	ctx, cancel, appliedMillis := s.solveContext(r, req.DeadlineMillis)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	idx, err := indexFor(req.System)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fixed := model.NewDeployment()
+	for _, id := range req.Existing {
+		fixed.Add(id)
+	}
+
+	opts := []core.Option{core.WithContext(ctx), core.WithWorkers(req.Workers)}
+	if req.Clamp {
+		opts = append(opts, core.WithClampToAchievable())
+	}
+	if req.Corroboration > 1 {
+		opts = append(opts, core.WithCorroboration(req.Corroboration))
+	}
+	opt := core.NewOptimizer(idx, opts...)
+
+	var res *core.Result
+	if req.MinCost {
+		target := 1.0
+		if req.Target != nil {
+			target = *req.Target
+		}
+		res, err = opt.MinCostIncremental(core.CoverageTargets{Global: target}, fixed)
+	} else {
+		budget := -1.0
+		if req.Budget != nil {
+			budget = *req.Budget
+		}
+		if req.BudgetFraction != nil {
+			budget = idx.System().TotalMonitorCost() * *req.BudgetFraction
+		}
+		if budget < 0 {
+			writeError(w, http.StatusBadRequest,
+				errors.New("optimize: provide budget or budgetFraction"))
+			return
+		}
+		res, err = opt.MaxUtilityIncremental(budget, fixed)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	body, err := json.Marshal(OptimizeResponse{Result: res, DeadlineMillis: appliedMillis})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if res.Proven {
+		s.cache.put(key, body)
+	}
+	writeJSON(w, http.StatusOK, "miss", body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+
+	keyReq := req
+	keyReq.DeadlineMillis = 0
+	key, err := requestKey("sweep", &keyReq)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, "hit", body)
+		return
+	}
+
+	ctx, cancel, appliedMillis := s.solveContext(r, req.DeadlineMillis)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	idx, err := indexFor(req.System)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	budgets := req.Budgets
+	if len(budgets) == 0 {
+		steps := req.Steps
+		if steps <= 0 {
+			steps = 10
+		}
+		budgets = core.BudgetGrid(idx, steps)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	solverWorkers := req.SolverWorkers
+	if solverWorkers == 0 {
+		solverWorkers = 1
+	}
+
+	opt := core.NewOptimizer(idx, core.WithContext(ctx), core.WithWorkers(solverWorkers))
+	points, err := opt.ParetoSweepParallel(budgets, seed, req.Workers)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	body, err := json.Marshal(SweepResponse{Points: points, DeadlineMillis: appliedMillis})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	allProven := true
+	for _, p := range points {
+		if p.Optimal == nil || !p.Optimal.Proven {
+			allProven = false
+			break
+		}
+	}
+	if allProven {
+		s.cache.put(key, body)
+	}
+	writeJSON(w, http.StatusOK, "miss", body)
+}
+
+// healthResponse is the body of GET /v1/healthz.
+type healthResponse struct {
+	Status      string `json:"status"`
+	InFlight    int64  `json:"inFlight"`
+	CacheSize   int    `json:"cacheSize"`
+	CacheHits   int    `json:"cacheHits"`
+	CacheMisses int    `json:"cacheMisses"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	size, hits, misses := s.cache.stats()
+	body, _ := json.Marshal(healthResponse{
+		Status:      "ok",
+		InFlight:    s.inFlight.Load(),
+		CacheSize:   size,
+		CacheHits:   hits,
+		CacheMisses: misses,
+	})
+	writeJSON(w, http.StatusOK, "", body)
+}
