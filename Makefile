@@ -6,13 +6,13 @@
 # and a single-shot E3 benchmark smoke to catch gross solver regressions.
 
 GO ?= go
-BENCH ?= BENCH_PR3.json
+BENCH ?= BENCH_PR4.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
 
-.PHONY: ci lint vet build test race race-solver bench-smoke fuzz-smoke serve-smoke golden-update bench
+.PHONY: ci lint vet build test race race-solver kernel-equivalence bench-smoke fuzz-smoke serve-smoke golden-update bench
 
-ci: lint build race bench-smoke fuzz-smoke serve-smoke
+ci: lint build race kernel-equivalence bench-smoke fuzz-smoke serve-smoke
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -37,20 +37,31 @@ race:
 	$(GO) test -race ./...
 
 # Focused race lane over the concurrency-heavy packages: the parallel
-# branch-and-bound, the orchestration layer that cancels it, and the HTTP
-# server that runs solves concurrently.
+# branch-and-bound, the sparse/dense LP kernels it shares workspaces with,
+# the orchestration layer that cancels it, and the HTTP server that runs
+# solves concurrently.
 race-solver:
-	$(GO) test -race ./internal/ilp ./internal/core ./internal/server
+	$(GO) test -race ./internal/lp ./internal/ilp ./internal/core ./internal/server
+
+# Sparse-vs-dense kernel cross-check: every solver feature mode under both
+# simplex kernels and worker counts {1,4}, plus the counter plumbing and the
+# kernel-alternating-workspace regression tests in internal/lp.
+kernel-equivalence:
+	$(GO) test ./internal/core -run 'TestKernelEquivalence|TestKernelCounters' -count=1
+	$(GO) test ./internal/lp -run 'TestSparse|TestWorkspaceKernelAlternation' -count=1
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE3' -benchtime=1x .
 
 # Short fuzz pass cross-checking branch-and-bound against exhaustive
-# enumeration; the committed corpus under internal/ilp/testdata/fuzz always
-# replays, FUZZTIME adds fresh random inputs on top.
+# enumeration (both kernels) and the sparse LP kernel against the dense
+# oracle; the committed corpora under */testdata/fuzz always replay,
+# FUZZTIME adds fresh random inputs on top.
 fuzz-smoke:
 	$(GO) test ./internal/ilp -run FuzzSolveMatchesEnumeration \
 		-fuzz FuzzSolveMatchesEnumeration -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lp -run FuzzSparseMatchesDense \
+		-fuzz FuzzSparseMatchesDense -fuzztime $(FUZZTIME)
 
 # End-to-end serve smoke: build secmon, start `secmon serve`, POST an
 # optimize request with a deadline, then SIGTERM and require a clean drain
@@ -82,16 +93,20 @@ serve-smoke:
 golden-update:
 	$(GO) test ./internal/experiment -run TestGoldenArtifacts -update -count=1
 
-# Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6/E7
-# runs plus a stable 200x simplex run, converted to the repository's
-# benchmark JSON schema by tools/benchjson. Output file is parametrized:
-# `make bench BENCH=BENCH_PR4.json`.
+# Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6
+# runs, BenchmarkE7Scalability at -count=5 (benchjson reports the median and
+# the sample count), and a stable 200x simplex run, converted to the
+# repository's benchmark JSON schema by tools/benchjson. Records marked
+# single_shot: true carry one wall-clock sample and are noisy. Output file
+# is parametrized: `make bench BENCH=BENCH_PR5.json`.
 bench:
-	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$|^BenchmarkE7Scalability$$' \
+	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$' \
 		-benchtime=1x -benchmem . | tee bench-1x.txt
+	$(GO) test -run xxx -bench '^BenchmarkE7Scalability$$' \
+		-benchtime=1x -count=5 -benchmem . | tee bench-e7.txt
 	$(GO) test -run xxx -bench '^BenchmarkSimplexSolve$$' -benchtime=200x -benchmem . | tee bench-200x.txt
 	$(GO) run ./tools/benchjson \
-		-comment "$(BENCH) benchmarks. E* numbers are single-shot (-benchtime=1x) and noisy; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
-		-out $(BENCH) bench-1x.txt=1x bench-200x.txt=200x
-	rm -f bench-1x.txt bench-200x.txt
+		-comment "$(BENCH) benchmarks. E3/E6 numbers are single-shot (-benchtime=1x) and noisy; E7 entries are the median of 5 repetitions; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
+		-out $(BENCH) bench-1x.txt=1x bench-e7.txt=1x bench-200x.txt=200x
+	rm -f bench-1x.txt bench-e7.txt bench-200x.txt
 	@echo "wrote $(BENCH)"

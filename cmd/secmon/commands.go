@@ -14,6 +14,7 @@ import (
 	"secmon/internal/core"
 	"secmon/internal/experiment"
 	"secmon/internal/graph"
+	"secmon/internal/lp"
 	"secmon/internal/metrics"
 	"secmon/internal/model"
 	"secmon/internal/report"
@@ -222,6 +223,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	wRedundancy := fs.Float64("w-redundancy", 0, "multi-objective weight on redundancy")
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
+	kernel := fs.String("kernel", "", "LP simplex kernel: sparse (default) or dense (the correctness oracle)")
 	deadline := fs.Duration("deadline", 0, "solve deadline; on expiry the best incumbent (or a heuristic fallback) is returned with its optimality gap")
 	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -252,6 +254,13 @@ func cmdOptimize(args []string, out io.Writer) error {
 		opts = append(opts, core.WithCorroboration(*corroboration))
 	}
 	opts = append(opts, core.WithWorkers(*workers))
+	k, err := parseKernel(*kernel)
+	if err != nil {
+		return err
+	}
+	if k != lp.KernelAuto {
+		opts = append(opts, core.WithKernel(k))
+	}
 	if *deadline > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
 		defer cancel()
@@ -363,6 +372,25 @@ func printSolverExtras(out io.Writer, st core.SolveStats) {
 	if st.CutsAdded > 0 {
 		fmt.Fprintf(out, "cover cuts: %d added, %d active at the root\n",
 			st.CutsAdded, st.CutsActive)
+	}
+	if st.Etas > 0 || st.Refactorizations > 0 {
+		fmt.Fprintf(out, "sparse kernel: %d etas, %d refactorizations, %d devex resets\n",
+			st.Etas, st.Refactorizations, st.DevexResets)
+	}
+}
+
+// parseKernel maps the -kernel flag to an LP kernel selector; the empty
+// string defers to the solver default (sparse).
+func parseKernel(name string) (lp.Kernel, error) {
+	switch name {
+	case "":
+		return lp.KernelAuto, nil
+	case "sparse":
+		return lp.KernelSparse, nil
+	case "dense":
+		return lp.KernelDense, nil
+	default:
+		return lp.KernelAuto, fmt.Errorf("unknown -kernel %q (want sparse or dense)", name)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"secmon/internal/ilp"
+	"secmon/internal/lp"
 	"secmon/internal/metrics"
 	"secmon/internal/model"
 )
@@ -74,6 +75,14 @@ type SolveStats struct {
 	// CutsActive counts those binding at the final root relaxation.
 	CutsAdded  int `json:"cutsAdded,omitempty"`
 	CutsActive int `json:"cutsActive,omitempty"`
+	// Etas, Refactorizations and DevexResets aggregate the sparse
+	// revised-simplex kernel's effort across all relaxations: eta vectors
+	// appended to the basis factorization, from-scratch refactorizations,
+	// and devex reference-framework resets. All zero when the dense
+	// tableau kernel ran (see WithDenseKernel).
+	Etas             int `json:"etas,omitempty"`
+	Refactorizations int `json:"refactorizations,omitempty"`
+	DevexResets      int `json:"devexResets,omitempty"`
 	// PerWorker breaks Nodes and LPIterations down by worker, indexed by
 	// worker id. Empty for the heuristic baselines.
 	PerWorker []WorkerLoad `json:"perWorker,omitempty"`
@@ -212,6 +221,18 @@ func WithWorkers(n int) Option {
 	return optionFunc(func(o *options) { o.solverOptions = append(o.solverOptions, ilp.WithWorkers(n)) })
 }
 
+// WithKernel selects the LP simplex kernel for every relaxation solve.
+// lp.KernelAuto (the zero value) defers to the solver default (sparse).
+func WithKernel(k lp.Kernel) Option {
+	return optionFunc(func(o *options) {
+		o.solverOptions = append(o.solverOptions, ilp.WithKernel(k))
+	})
+}
+
+// WithDenseKernel routes every LP relaxation to the dense tableau kernel,
+// the correctness oracle for the default sparse revised simplex.
+func WithDenseKernel() Option { return WithKernel(lp.KernelDense) }
+
 // WithContext attaches ctx to every solve the optimizer runs. Cancellation
 // or an expired deadline stops the branch-and-bound anytime-style: the best
 // incumbent found so far is returned (Status "feasible", Gap reported
@@ -285,6 +306,7 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 	deployment := f.decode(sol)
 	if !o.cfg.noPrune {
 		o.pruneRedundant(deployment, fixed)
+		o.canonicalizeTies(deployment, fixed)
 	}
 	res := o.newResult(deployment, sol)
 	res.Budget = budget
@@ -414,6 +436,56 @@ func (o *Optimizer) pruneRedundant(d *model.Deployment, fixed *model.Deployment)
 	}
 }
 
+// canonicalizeTies rewrites the deployment into the lexicographically
+// smallest member of its equal-cost, equal-objective swap neighborhood.
+// Degenerate instances (symmetric hosts, duplicated monitors) admit many
+// optimal deployments, and which one branch-and-bound lands on depends on
+// solver trajectory — feature flags, worker count, and LP kernel all perturb
+// it. Swapping a selected monitor for an unselected one that sorts earlier,
+// whenever the swap changes neither the objective nor the cost, collapses
+// those alternate optima onto one canonical representative, so reported
+// deployments are reproducible across solver configurations. Fixed monitors
+// are never swapped out.
+func (o *Optimizer) canonicalizeTies(d *model.Deployment, fixed *model.Deployment) {
+	const tol = 1e-9
+	k := o.corroborationLevel()
+	objective := func() float64 { return metrics.CorroboratedUtility(o.idx, d, k) }
+	all := o.idx.MonitorIDs() // sorted
+	for changed := true; changed; {
+		changed = false
+		for _, s := range d.IDs() {
+			if fixed.Contains(s) {
+				continue
+			}
+			sm, ok := o.idx.Monitor(s)
+			if !ok {
+				continue
+			}
+			base := objective()
+			for _, u := range all {
+				if u >= s {
+					break // only strictly earlier replacements shrink the set
+				}
+				if d.Contains(u) {
+					continue
+				}
+				um, _ := o.idx.Monitor(u)
+				if math.Abs(um.TotalCost()-sm.TotalCost()) > tol {
+					continue // cost must be untouched to stay within budget
+				}
+				d.Remove(s)
+				d.Add(u)
+				if math.Abs(objective()-base) <= tol {
+					changed = true
+					break
+				}
+				d.Remove(u)
+				d.Add(s)
+			}
+		}
+	}
+}
+
 // corroborationLevel returns the effective corroboration requirement (>= 1).
 func (o *Optimizer) corroborationLevel() int {
 	if o.cfg.corroboration < 1 {
@@ -483,6 +555,9 @@ func newSolveStats(sol *ilp.Solution) SolveStats {
 		PresolveTightened: sol.PresolveTightened,
 		CutsAdded:         sol.CutsAdded,
 		CutsActive:        sol.CutsActive,
+		Etas:              sol.Etas,
+		Refactorizations:  sol.Refactorizations,
+		DevexResets:       sol.DevexResets,
 	}
 	if len(sol.PerWorker) > 0 {
 		st.PerWorker = make([]WorkerLoad, len(sol.PerWorker))

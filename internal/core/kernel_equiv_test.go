@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// checkKernelAgreement requires the sparse and dense results to agree on
+// objective value, cost, proven status and solve status, and on the selected
+// monitor set up to verified exact ties. The canonicalization post-pass
+// collapses single-swap alternate optima, but devex and Dantzig pricing can
+// still land on different members of a larger symmetric orbit (e.g. a whole
+// group of monitors relabeled across interchangeable hosts); those are
+// genuine alternate optima, not kernel bugs, so a differing set is accepted
+// only after independently recomputing both sets' utility and cost from the
+// index and finding them equal and within budget.
+func checkKernelAgreement(t *testing.T, idx *model.Index, label string, budget float64, sparse, dense *Result) {
+	t.Helper()
+	if !approx(sparse.Utility, dense.Utility) {
+		t.Errorf("%s: sparse utility %v, dense %v", label, sparse.Utility, dense.Utility)
+	}
+	if !approx(sparse.Cost, dense.Cost) {
+		t.Errorf("%s: sparse cost %v, dense %v", label, sparse.Cost, dense.Cost)
+	}
+	if sparse.Proven != dense.Proven || sparse.Status != dense.Status {
+		t.Errorf("%s: sparse (%v, %q), dense (%v, %q)",
+			label, sparse.Proven, sparse.Status, dense.Proven, dense.Status)
+	}
+	if sameMonitors(sparse.Monitors, dense.Monitors) {
+		return
+	}
+	// Differing sets must be an exact tie on independently recomputed
+	// metrics, or one kernel returned a suboptimal or infeasible set.
+	for _, r := range []struct {
+		name string
+		res  *Result
+	}{{"sparse", sparse}, {"dense", dense}} {
+		d := model.NewDeployment()
+		for _, id := range r.res.Monitors {
+			d.Add(id)
+		}
+		if u := metrics.Utility(idx, d); !approx(u, dense.Utility) {
+			t.Errorf("%s: %s set recomputes to utility %v, reported %v",
+				label, r.name, u, dense.Utility)
+		}
+		if c := metrics.Cost(idx, d); c > budget+1e-9 {
+			t.Errorf("%s: %s set recomputes to cost %v over budget %v", label, r.name, c, budget)
+		}
+	}
+}
+
+// TestKernelEquivalenceCaseStudy cross-checks the sparse revised simplex
+// against the dense tableau oracle for every feature mode and worker count
+// on the case study.
+func TestKernelEquivalenceCaseStudy(t *testing.T) {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("case study: %v", err)
+	}
+	total := idx.System().TotalMonitorCost()
+	for _, frac := range []float64{0.25, 0.55} {
+		budget := total * frac
+		for _, mode := range solverFeatureModes {
+			for _, w := range []int{1, 4} {
+				label := mode.name + " workers " + string(rune('0'+w))
+				dense, err := NewOptimizer(idx, WithWorkers(w), WithDenseKernel(),
+					WithSolverOptions(mode.opts...)).MaxUtility(budget)
+				if err != nil {
+					t.Fatalf("dense %s MaxUtility(%v): %v", label, budget, err)
+				}
+				sparse, err := NewOptimizer(idx, WithWorkers(w), WithKernel(lp.KernelSparse),
+					WithSolverOptions(mode.opts...)).MaxUtility(budget)
+				if err != nil {
+					t.Fatalf("sparse %s MaxUtility(%v): %v", label, budget, err)
+				}
+				checkKernelAgreement(t, idx, label, budget, sparse, dense)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceSynthetic repeats the kernel cross-check on a
+// synthetic instance big enough to branch, cut and presolve.
+func TestKernelEquivalenceSynthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic kernel sweep is slow")
+	}
+	idx := synthIndex(t, synth.Config{Seed: 42, Monitors: 35, Attacks: 25})
+	budget := idx.System().TotalMonitorCost() * 0.3
+	for _, w := range []int{1, 4} {
+		dense, err := NewOptimizer(idx, WithWorkers(w), WithDenseKernel()).MaxUtility(budget)
+		if err != nil {
+			t.Fatalf("dense workers %d: %v", w, err)
+		}
+		sparse, err := NewOptimizer(idx, WithWorkers(w)).MaxUtility(budget)
+		if err != nil {
+			t.Fatalf("sparse workers %d: %v", w, err)
+		}
+		label := "synthetic workers " + string(rune('0'+w))
+		checkKernelAgreement(t, idx, label, budget, sparse, dense)
+	}
+}
+
+// TestKernelCounters checks the sparse kernel's effort counters flow through
+// to SolveStats and stay zero under the dense oracle.
+func TestKernelCounters(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 7, Monitors: 60, Attacks: 40})
+	budget := idx.System().TotalMonitorCost() * 0.3
+
+	sparse, err := NewOptimizer(idx, WithWorkers(1)).MaxUtility(budget)
+	if err != nil {
+		t.Fatalf("sparse MaxUtility: %v", err)
+	}
+	if sparse.Stats.Etas == 0 {
+		t.Errorf("sparse kernel reported zero etas over %d LP iterations", sparse.Stats.LPIterations)
+	}
+	if sparse.Stats.Refactorizations == 0 {
+		t.Errorf("sparse kernel reported zero refactorizations across %d nodes", sparse.Stats.Nodes)
+	}
+
+	dense, err := NewOptimizer(idx, WithWorkers(1), WithDenseKernel()).MaxUtility(budget)
+	if err != nil {
+		t.Fatalf("dense MaxUtility: %v", err)
+	}
+	if dense.Stats.Etas != 0 || dense.Stats.Refactorizations != 0 || dense.Stats.DevexResets != 0 {
+		t.Errorf("dense kernel reported sparse counters: etas=%d refactorizations=%d devexResets=%d",
+			dense.Stats.Etas, dense.Stats.Refactorizations, dense.Stats.DevexResets)
+	}
+}
+
+func synthIndex(t *testing.T, cfg synth.Config) *model.Index {
+	t.Helper()
+	sys, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("synth.Generate(%+v): %v", cfg, err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	return idx
+}

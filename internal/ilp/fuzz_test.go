@@ -197,39 +197,50 @@ func FuzzSolveMatchesEnumeration(f *testing.F) {
 			t.Fatalf("Enumerate: %v", err)
 		}
 
-		p2, vars2, _ := inst.build()
-		sol, err := p2.Solve()
-		if err != nil {
-			t.Fatalf("Solve: %v (enumeration says %v)", err, ref.Status)
-		}
+		// Both LP kernels must agree with the enumeration oracle.
+		for _, kernel := range []struct {
+			name string
+			opt  Option
+		}{
+			{"sparse", WithKernel(lp.KernelSparse)},
+			{"dense", WithDenseKernel()},
+		} {
+			p2, vars2, _ := inst.build()
+			sol, err := p2.Solve(kernel.opt)
+			if err != nil {
+				t.Fatalf("%s Solve: %v (enumeration says %v)", kernel.name, err, ref.Status)
+			}
 
-		if (ref.Status == StatusInfeasible) != (sol.Status == StatusInfeasible) {
-			t.Fatalf("status mismatch: solver %v, enumeration %v", sol.Status, ref.Status)
-		}
-		if ref.Status == StatusInfeasible {
-			return
-		}
-		if sol.Status != StatusOptimal {
-			t.Fatalf("solver status = %v, want optimal", sol.Status)
-		}
-		if !almostEqual(sol.Objective, ref.Objective) {
-			t.Fatalf("objective mismatch: solver %v, enumeration %v", sol.Objective, ref.Objective)
-		}
-		inst.checkFeasible(t, sol.X, vars2)
-		if got := inst.objective(sol.X, vars2); !almostEqual(got, sol.Objective) {
-			t.Fatalf("reported objective %v != recomputed %v", sol.Objective, got)
-		}
-		inst.checkFeasible(t, ref.X, vars)
+			if (ref.Status == StatusInfeasible) != (sol.Status == StatusInfeasible) {
+				t.Fatalf("%s: status mismatch: solver %v, enumeration %v", kernel.name, sol.Status, ref.Status)
+			}
+			if ref.Status == StatusInfeasible {
+				continue
+			}
+			if sol.Status != StatusOptimal {
+				t.Fatalf("%s: solver status = %v, want optimal", kernel.name, sol.Status)
+			}
+			if !almostEqual(sol.Objective, ref.Objective) {
+				t.Fatalf("%s: objective mismatch: solver %v, enumeration %v", kernel.name, sol.Objective, ref.Objective)
+			}
+			inst.checkFeasible(t, sol.X, vars2)
+			if got := inst.objective(sol.X, vars2); !almostEqual(got, sol.Objective) {
+				t.Fatalf("%s: reported objective %v != recomputed %v", kernel.name, sol.Objective, got)
+			}
 
-		// The parallel search must agree on the optimum.
-		p3, _, _ := inst.build()
-		psol, err := p3.Solve(WithWorkers(2))
-		if err != nil {
-			t.Fatalf("parallel Solve: %v", err)
+			// The parallel search must agree on the optimum.
+			p3, _, _ := inst.build()
+			psol, err := p3.Solve(kernel.opt, WithWorkers(2))
+			if err != nil {
+				t.Fatalf("%s parallel Solve: %v", kernel.name, err)
+			}
+			if psol.Status != StatusOptimal || !almostEqual(psol.Objective, ref.Objective) {
+				t.Fatalf("%s parallel solver: status %v objective %v, want optimal %v",
+					kernel.name, psol.Status, psol.Objective, ref.Objective)
+			}
 		}
-		if psol.Status != StatusOptimal || !almostEqual(psol.Objective, ref.Objective) {
-			t.Fatalf("parallel solver: status %v objective %v, want optimal %v",
-				psol.Status, psol.Objective, ref.Objective)
+		if ref.Status != StatusInfeasible {
+			inst.checkFeasible(t, ref.X, vars)
 		}
 	})
 }

@@ -20,6 +20,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"secmon/internal/lp"
@@ -213,6 +214,32 @@ type Solution struct {
 	// CutsActive counts those binding at the final root optimum.
 	CutsAdded  int
 	CutsActive int
+	// Etas, Refactorizations and DevexResets aggregate the sparse
+	// revised-simplex kernel's effort across every node solve: eta vectors
+	// appended to the basis factorization, from-scratch refactorizations,
+	// and devex reference-framework resets. All three are zero when the
+	// dense tableau kernel ran.
+	Etas             int
+	Refactorizations int
+	DevexResets      int
+}
+
+// kernelStats accumulates the sparse-kernel effort counters carried on
+// every lp.Solution (all zero under the dense kernel).
+type kernelStats struct {
+	etas, refactorizations, devexResets int
+}
+
+func (k *kernelStats) add(sol *lp.Solution) {
+	k.etas += sol.Etas
+	k.refactorizations += sol.Refactorizations
+	k.devexResets += sol.DevexResets
+}
+
+func (k *kernelStats) merge(o kernelStats) {
+	k.etas += o.etas
+	k.refactorizations += o.refactorizations
+	k.devexResets += o.devexResets
 }
 
 // WarmHitRate is the fraction of warm-start attempts the dual simplex
@@ -275,18 +302,20 @@ type Option interface {
 }
 
 type options struct {
-	maxNodes     int
-	timeLimit    time.Duration
-	gapTolerance float64
-	intTolerance float64
-	disableDive  bool
-	branchRule   BranchRule
-	lpOptions    []lp.Option
-	workers      int
-	noWarm       bool
-	noPresolve   bool
-	noCuts       bool
-	ctx          context.Context
+	maxNodes        int
+	timeLimit       time.Duration
+	gapTolerance    float64
+	intTolerance    float64
+	disableDive     bool
+	disableFaceDive bool
+	branchRule      BranchRule
+	lpOptions       []lp.Option
+	kernel          lp.Kernel
+	workers         int
+	noWarm          bool
+	noPresolve      bool
+	noCuts          bool
+	ctx             context.Context
 }
 
 // ctxErr reports the configured context's error, nil when no context was
@@ -326,6 +355,26 @@ func WithoutDiving() Option {
 	return optionFunc(func(o *options) { o.disableDive = true })
 }
 
+// WithoutFaceDive disables the optimal-face root dive while keeping the
+// classic free dive. The search remains exact; only the root incumbent
+// discovery — and therefore effort counters like node and LP iteration
+// totals — changes.
+func WithoutFaceDive() Option {
+	return optionFunc(func(o *options) { o.disableFaceDive = true })
+}
+
+// faceDiveOff is the package-wide opt-out for the optimal-face root dive
+// (zero value: enabled). Tests that pin exact search trajectories — the
+// golden artifacts snapshot node and LP iteration counts — flip it via
+// SetFaceDive, the same way they pin the simplex kernel and GOMAXPROCS.
+var faceDiveOff atomic.Bool
+
+// SetFaceDive enables or disables the optimal-face root dive package-wide
+// and returns the previous setting.
+func SetFaceDive(on bool) bool {
+	return !faceDiveOff.Swap(!on)
+}
+
 // WithBranchRule selects the branching variable rule.
 func WithBranchRule(rule BranchRule) Option {
 	return optionFunc(func(o *options) { o.branchRule = rule })
@@ -335,6 +384,16 @@ func WithBranchRule(rule BranchRule) Option {
 func WithLPOptions(opts ...lp.Option) Option {
 	return optionFunc(func(o *options) { o.lpOptions = opts })
 }
+
+// WithKernel routes every LP relaxation to the given simplex kernel.
+// lp.KernelAuto (the zero value) defers to the lp package default.
+func WithKernel(k lp.Kernel) Option {
+	return optionFunc(func(o *options) { o.kernel = k })
+}
+
+// WithDenseKernel routes every LP relaxation to the dense tableau kernel,
+// the correctness oracle for the default sparse revised simplex.
+func WithDenseKernel() Option { return WithKernel(lp.KernelDense) }
 
 // WithoutWarmStart disables dual-simplex warm starts: every node relaxation
 // is then solved by the cold two-phase primal simplex. The search remains
@@ -459,6 +518,9 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 		// (nil, Background) skip the per-pivot polling entirely.
 		cfg.lpOptions = append(append([]lp.Option{}, cfg.lpOptions...), lp.WithContext(cfg.ctx))
 	}
+	if cfg.kernel != lp.KernelAuto {
+		cfg.lpOptions = append(append([]lp.Option{}, cfg.lpOptions...), lp.WithKernel(cfg.kernel))
+	}
 	started := time.Now()
 	// The root node is processed once up front — relaxation, cover cuts,
 	// dive, presolve, branching — and its children seed whichever search
@@ -517,6 +579,7 @@ type search struct {
 
 	warmAttempts, warmHits, warmIters int
 	coldSolves, coldIters             int
+	kstats                            kernelStats
 
 	// Pseudo-cost tables, indexed like Problem.integer.
 	pcDownSum, pcUpSum []float64
@@ -531,6 +594,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 	s.lpIters = pr.lpIters
 	s.warmAttempts, s.warmHits, s.warmIters = pr.warmAttempts, pr.warmHits, pr.warmIters
 	s.coldSolves, s.coldIters = pr.coldSolves, pr.coldIters
+	s.kstats = pr.kstats
 	s.rootObjective = pr.rootObjective
 	s.rootDuals = pr.rootDuals
 	if pr.hasInc {
@@ -753,6 +817,7 @@ func (s *search) solveRelaxation(nd *node) (*lp.Solution, error) {
 		return nil, fmt.Errorf("ilp: relaxation: %w", err)
 	}
 	s.lpIters += sol.Iterations
+	s.kstats.add(sol)
 	if sol.Warm {
 		s.warmHits++
 		s.warmIters += sol.Iterations
@@ -872,7 +937,7 @@ func snapObjective(work *lp.Problem, integer []lp.VarID, x []float64) ([]float64
 	snapped := make([]float64, len(x))
 	copy(snapped, x)
 	for _, v := range integer {
-		snapped[v] = math.Round(snapped[v])
+		snapped[v] = math.Round(snapped[v]) + 0 // +0 normalizes -0 from tiny negatives
 	}
 	obj := 0.0
 	for j := range snapped {
@@ -905,12 +970,30 @@ func (s *search) dive(nd *node, x []float64) error {
 // incumbent is published.
 func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 	solve func(*node) (*lp.Solution, error), offer func([]float64)) error {
+	return diveWithCutoff(prob, cfg, nd, x, math.Inf(-1), solve, offer)
+}
+
+// diveWithCutoff is diveFrom with an objective floor (in max form): a step
+// whose re-solved relaxation falls below cutoff is treated as a dead end,
+// exactly like an infeasible one. With cutoff set to the node bound this
+// becomes an optimal-face dive — it only walks between optimal vertices, so
+// reaching integrality proves optimality outright. That matters on LP-tight
+// instances whose optimal face is highly degenerate: whether the simplex
+// kernel happens to stop at an integral vertex is pricing-rule luck, and a
+// free dive from a fractional vertex readily degrades its way off the face.
+// Pass -Inf for the classic any-incumbent dive.
+func diveWithCutoff(prob *Problem, cfg *options, nd *node, x []float64, cutoff float64,
+	solve func(*node) (*lp.Solution, error), offer func([]float64)) error {
+	maximize := prob.lp.Sense() == lp.Maximize
 	lo := make([]float64, len(nd.lo))
 	hi := make([]float64, len(nd.hi))
 	copy(lo, nd.lo)
 	copy(hi, nd.hi)
 	chain := nd.basis // each dive step warm-starts from the previous optimum
 	cur := x
+	acceptable := func(sol *lp.Solution) bool {
+		return sol.Status == lp.StatusOptimal && toMaxForm(maximize, sol.Objective) >= cutoff
+	}
 	for step := 0; step <= len(prob.integer); step++ {
 		// Find the fractional variable closest to integral.
 		pick, pickDist := -1, 2.0
@@ -938,7 +1021,7 @@ func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 		if err != nil {
 			return err
 		}
-		if sol.Status != lp.StatusOptimal {
+		if !acceptable(sol) {
 			// Dead end in the preferred direction: retry the other
 			// rounding before abandoning the dive.
 			alt := math.Floor(val)
@@ -954,7 +1037,7 @@ func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 			if err != nil {
 				return err
 			}
-			if sol.Status != lp.StatusOptimal {
+			if !acceptable(sol) {
 				return nil // dead end both ways; the exact search continues
 			}
 		}
@@ -980,11 +1063,14 @@ func (s *search) finish(status Status) *Solution {
 			Nodes: s.nodes, LPIterations: s.lpIters,
 			WarmAttempts: s.warmAttempts, WarmHits: s.warmHits,
 		}},
-		WarmAttempts:   s.warmAttempts,
-		WarmHits:       s.warmHits,
-		WarmIterations: s.warmIters,
-		ColdIterations: s.coldIters,
-		ColdSolves:     s.coldSolves,
+		WarmAttempts:     s.warmAttempts,
+		WarmHits:         s.warmHits,
+		WarmIterations:   s.warmIters,
+		ColdIterations:   s.coldIters,
+		ColdSolves:       s.coldSolves,
+		Etas:             s.kstats.etas,
+		Refactorizations: s.kstats.refactorizations,
+		DevexResets:      s.kstats.devexResets,
 	}
 	if pr := s.prep; pr != nil {
 		sol.PresolveFixed = pr.presolveFixed

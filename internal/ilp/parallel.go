@@ -65,6 +65,7 @@ type parallelSearch struct {
 	stats []WorkerStats
 	// Warm/cold iteration totals, merged under mu as each worker exits.
 	warmIters, coldSolves, coldIters int
+	kstats                           kernelStats
 }
 
 // pworker is one branch-and-bound worker: a private problem clone, a
@@ -81,6 +82,7 @@ type pworker struct {
 
 	warmAttempts, warmHits, warmIts int
 	coldSolves, coldIts             int
+	kstats                          kernelStats
 }
 
 func newParallelSearch(p *Problem, cfg options, workers int, started time.Time) *parallelSearch {
@@ -182,6 +184,7 @@ func (ps *parallelSearch) runWorker(id int) {
 	ps.warmIters += w.warmIts
 	ps.coldSolves += w.coldSolves
 	ps.coldIters += w.coldIts
+	ps.kstats.merge(w.kstats)
 	ps.mu.Unlock()
 }
 
@@ -387,6 +390,7 @@ func (w *pworker) solveRelaxation(nd *node) (*lp.Solution, error) {
 		return nil, fmt.Errorf("ilp: relaxation: %w", err)
 	}
 	w.lpIters += sol.Iterations
+	w.kstats.add(sol)
 	if sol.Warm {
 		w.warmHits++
 		w.warmIts += sol.Iterations
@@ -492,6 +496,9 @@ func (ps *parallelSearch) assemble() *Solution {
 		PresolveTightened: pr.presolveTightened,
 		CutsAdded:         pr.cutsAdded,
 		CutsActive:        pr.cutsActive,
+		Etas:              ps.kstats.etas + pr.kstats.etas,
+		Refactorizations:  ps.kstats.refactorizations + pr.kstats.refactorizations,
+		DevexResets:       ps.kstats.devexResets + pr.kstats.devexResets,
 	}
 	sol.Interrupted = ps.interrupted
 	if ps.hasInc {

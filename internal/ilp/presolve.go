@@ -59,6 +59,7 @@ type rootPrep struct {
 
 	warmAttempts, warmHits, warmIters int
 	coldSolves, coldIters             int
+	kstats                            kernelStats
 	presolveFixed, presolveTightened  int
 	cutsAdded, cutsActive             int
 }
@@ -121,6 +122,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			return nil, fmt.Errorf("ilp: relaxation: %w", err)
 		}
 		pr.lpIters += sol.Iterations
+		pr.kstats.add(sol)
 		if sol.Warm {
 			pr.warmHits++
 			pr.warmIters += sol.Iterations
@@ -168,11 +170,24 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 
 	// Root dive first, on the clean problem: cheap incumbents enable
 	// best-first pruning and the reduced-cost fixing below, and on
-	// LP-tight instances they close the solve outright.
+	// LP-tight instances they close the solve outright. The optimal-face
+	// dive runs before the free dive: when the root bound is attained by an
+	// integer point, it finds one regardless of which optimal vertex the
+	// simplex kernel stopped at and the search ends here.
+	faceDive := !cfg.disableFaceDive && !faceDiveOff.Load()
 	if !cfg.disableDive && !timeUp() {
 		root := &node{lo: pr.lo, hi: pr.hi, bound: pr.bound, branchedVar: -1, basis: pr.basis}
 		solveNode := func(nd *node) (*lp.Solution, error) {
 			return solve(nd.lo, nd.hi, nd.basis)
+		}
+		if faceDive {
+			cut := pr.bound - pruneSlackFor(cfg, pr.bound)
+			if err := diveWithCutoff(p, cfg, root, sol.X, cut, solveNode, offer); err != nil {
+				return pr, err
+			}
+			if closed() {
+				return pr, nil
+			}
 		}
 		if err := diveFrom(p, cfg, root, sol.X, solveNode, offer); err != nil {
 			return pr, err
@@ -220,6 +235,21 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			pr.bound = b
 		}
 		pr.basis = sol.Basis
+	}
+
+	// Second, cutoff-guarded dive from the post-cut post-presolve vertex:
+	// cuts and presolve move the relaxation point and may tighten the
+	// bound, so this is a cheap (warm-started) second draw at walking the
+	// optimal face to an integer point.
+	if faceDive && !cfg.disableDive && !timeUp() && !closed() {
+		root := &node{lo: pr.lo, hi: pr.hi, bound: pr.bound, branchedVar: -1, basis: sol.Basis}
+		solveNode := func(nd *node) (*lp.Solution, error) {
+			return solve(nd.lo, nd.hi, nd.basis)
+		}
+		cut := pr.bound - pruneSlackFor(cfg, pr.bound)
+		if err := diveWithCutoff(p, cfg, root, sol.X, cut, solveNode, offer); err != nil {
+			return pr, err
+		}
 	}
 
 	pr.countActiveCuts(origRows, sol.X)

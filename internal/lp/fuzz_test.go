@@ -1,0 +1,212 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeFuzzLP derives a small bounded LP from raw fuzz bytes: 1..6
+// variables with finite or infinite upper bounds and signed costs, 1..4
+// rows mixing <=, >= and = with signed coefficients. Every byte string
+// decodes deterministically; short inputs are rejected.
+func decodeFuzzLP(data []byte) (*Problem, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	n := 1 + int(data[0])%6
+	m := 1 + int(data[1])%4
+	maximize := data[2]%2 == 0
+	data = data[3:]
+	need := 2*n + m*(n+2)
+	if len(data) < need {
+		return nil, false
+	}
+	sense := Minimize
+	if maximize {
+		sense = Maximize
+	}
+	p := NewProblem(sense)
+	for j := 0; j < n; j++ {
+		lo := float64(int(data[2*j])%5) - 2 // -2..2
+		up := lo + float64(int(data[2*j+1]%8))
+		if data[2*j+1]%8 == 7 {
+			up = Inf // exercise unbounded boxes and the dense fallback
+		}
+		cost := float64(int(data[2*j])%9) - 4 // -4..4
+		if _, err := p.AddVariable("x", lo, up, cost); err != nil {
+			return nil, false
+		}
+	}
+	data = data[2*n:]
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, n)
+		for j := 0; j < n; j++ {
+			if c := float64(int(data[j])%7) - 3; c != 0 { // -3..3
+				terms = append(terms, Term{Var: VarID(j), Coeff: c})
+			}
+		}
+		op := []Op{LE, GE, EQ}[int(data[n])%3]
+		rhs := float64(int(data[n+1])%21) - 10 // -10..10
+		data = data[n+2:]
+		if len(terms) == 0 {
+			continue
+		}
+		if _, err := p.AddConstraint("c", terms, op, rhs); err != nil {
+			return nil, false
+		}
+	}
+	if p.NumConstraints() == 0 {
+		return nil, false
+	}
+	return p, true
+}
+
+// checkPrimalFeasible verifies x satisfies the problem's boxes and rows.
+func checkPrimalFeasible(t *testing.T, p *Problem, x []float64, kernel string) {
+	t.Helper()
+	const tol = 1e-6
+	for j := 0; j < p.NumVariables(); j++ {
+		lo, up, _ := p.VariableBounds(VarID(j))
+		if x[j] < lo-tol || (!math.IsInf(up, 1) && x[j] > up+tol) {
+			t.Fatalf("%s: x[%d] = %v outside [%v, %v]", kernel, j, x[j], lo, up)
+		}
+	}
+	for i := 0; i < p.NumConstraints(); i++ {
+		terms, op, rhs := p.Constraint(ConID(i))
+		lhs := 0.0
+		for _, tm := range terms {
+			lhs += tm.Coeff * x[tm.Var]
+		}
+		scale := 1 + math.Abs(rhs)
+		switch op {
+		case LE:
+			if lhs > rhs+tol*scale {
+				t.Fatalf("%s: row %d: %v <= %v violated", kernel, i, lhs, rhs)
+			}
+		case GE:
+			if lhs < rhs-tol*scale {
+				t.Fatalf("%s: row %d: %v >= %v violated", kernel, i, lhs, rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-rhs) > tol*scale {
+				t.Fatalf("%s: row %d: %v = %v violated", kernel, i, lhs, rhs)
+			}
+		}
+	}
+}
+
+// checkDualConsistency verifies the reported duals against the identity
+// rc_j = c_j - sum_i y_i a_ij for every variable, and the optimality sign
+// conditions: interior variables need a (near-)zero reduced cost, and at a
+// bound the reduced-cost sign must match the problem sense. Degenerate
+// optima admit multiple valid dual vectors, so each kernel's duals are
+// validated against these conditions rather than against the other
+// kernel's values.
+func checkDualConsistency(t *testing.T, p *Problem, sol *Solution, kernel string) {
+	t.Helper()
+	const tol = 1e-5
+	for j := 0; j < p.NumVariables(); j++ {
+		want := p.ObjectiveCoefficient(VarID(j))
+		for i := 0; i < p.NumConstraints(); i++ {
+			terms, _, _ := p.Constraint(ConID(i))
+			for _, tm := range terms {
+				if tm.Var == VarID(j) {
+					want -= sol.DualValues[i] * tm.Coeff
+				}
+			}
+		}
+		if math.Abs(sol.ReducedCosts[j]-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("%s: reduced cost identity broken at var %d: got %v, want %v",
+				kernel, j, sol.ReducedCosts[j], want)
+		}
+		lo, up, _ := p.VariableBounds(VarID(j))
+		if lo == up {
+			continue // fixed: the sign carries no information
+		}
+		x := sol.X[j]
+		interior := x > lo+1e-7 && (math.IsInf(up, 1) || x < up-1e-7)
+		rc := sol.ReducedCosts[j]
+		if p.Sense() == Minimize {
+			rc = -rc // normalize to maximize-form sign conventions
+		}
+		switch {
+		case interior:
+			if math.Abs(rc) > tol {
+				t.Fatalf("%s: interior var %d has reduced cost %v", kernel, j, sol.ReducedCosts[j])
+			}
+		case x <= lo+1e-7:
+			if rc > tol {
+				t.Fatalf("%s: var %d at lower bound has improving reduced cost %v", kernel, j, sol.ReducedCosts[j])
+			}
+		default:
+			if rc < -tol {
+				t.Fatalf("%s: var %d at upper bound has improving reduced cost %v", kernel, j, sol.ReducedCosts[j])
+			}
+		}
+	}
+}
+
+// FuzzSparseMatchesDense cross-checks the sparse revised simplex against the
+// dense oracle on random bounded LPs: statuses must agree, optimal
+// objectives must match, and each kernel's primal solution and duals must
+// independently satisfy feasibility, the reduced-cost identity and the
+// optimality sign conditions.
+func FuzzSparseMatchesDense(f *testing.F) {
+	// Seeds spanning the generator's shapes: a knapsack, a >= row forcing
+	// the dual-flip start, an = row, an infinite upper bound (dense
+	// fallback), negative lower bounds, and a multi-row mix (mirrored in
+	// testdata/fuzz).
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 0x03, 0x05, 0x00, 0x0f})
+	f.Add([]byte{0x01, 0x00, 0x01, 0x03, 0x02, 0x04, 0x05, 0x01, 0x06, 0x01, 0x14})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x07, 0x02, 0x02, 0x05})
+	f.Add([]byte{0x02, 0x01, 0x00, 0x00, 0x02, 0x09, 0x04, 0x02, 0x01,
+		0x04, 0x05, 0x06, 0x00, 0x12, 0x01, 0x02, 0x04, 0x01, 0x03})
+	f.Add([]byte{0x05, 0x03, 0x00, 0x01, 0x03, 0x02, 0x04, 0x03, 0x05, 0x04, 0x06, 0x05, 0x02, 0x06, 0x01,
+		0x01, 0x02, 0x04, 0x05, 0x06, 0x01, 0x00, 0x0f,
+		0x02, 0x04, 0x05, 0x06, 0x01, 0x02, 0x01, 0x07,
+		0x04, 0x05, 0x06, 0x01, 0x02, 0x04, 0x02, 0x0a,
+		0x05, 0x06, 0x01, 0x02, 0x04, 0x05, 0x00, 0x14})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := decodeFuzzLP(data)
+		if !ok {
+			t.Skip()
+		}
+		dense, err := p.Clone().Solve(WithDenseKernel())
+		if err != nil {
+			t.Skip() // structurally degenerate instance
+		}
+		sparse, err := p.Clone().Solve(WithSparseKernel())
+		if err != nil {
+			t.Fatalf("sparse Solve: %v (dense says %v)", err, dense.Status)
+		}
+		if dense.Status == StatusIterationLimit || sparse.Status == StatusIterationLimit {
+			t.Skip()
+		}
+		if dense.Status != sparse.Status {
+			t.Fatalf("status mismatch: sparse %v, dense %v", sparse.Status, dense.Status)
+		}
+		if dense.Status != StatusOptimal {
+			return
+		}
+		scale := 1 + math.Abs(dense.Objective)
+		if math.Abs(dense.Objective-sparse.Objective) > 1e-6*scale {
+			t.Fatalf("objective mismatch: sparse %v, dense %v", sparse.Objective, dense.Objective)
+		}
+		checkPrimalFeasible(t, p, dense.X, "dense")
+		checkPrimalFeasible(t, p, sparse.X, "sparse")
+		checkDualConsistency(t, p, dense, "dense")
+		checkDualConsistency(t, p, sparse, "sparse")
+
+		// Warm-started re-solves from the other kernel's captured basis
+		// must agree too: the stable layout is shared.
+		wsol, err := p.Clone().Solve(WithSparseKernel(), WithWarmStart(dense.Basis))
+		if err != nil {
+			t.Fatalf("sparse warm Solve: %v", err)
+		}
+		if wsol.Status != StatusOptimal || math.Abs(wsol.Objective-dense.Objective) > 1e-6*scale {
+			t.Fatalf("sparse warm from dense basis: status %v objective %v, want optimal %v",
+				wsol.Status, wsol.Objective, dense.Objective)
+		}
+	})
+}

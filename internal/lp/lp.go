@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Inf is a convenience alias for positive infinity, used for unbounded
@@ -314,6 +315,17 @@ type Solution struct {
 	// Warm reports whether the dual simplex completed this solve from a
 	// warm-start basis; false means the two-phase cold path ran.
 	Warm bool
+	// Etas counts the eta vectors appended to the sparse kernel's basis
+	// factorization during this solve (zero on the dense kernel).
+	Etas int
+	// Refactorizations counts from-scratch rebuilds of the sparse kernel's
+	// eta file during this solve, triggered by eta-count or drift
+	// thresholds (zero on the dense kernel).
+	Refactorizations int
+	// DevexResets counts devex reference-framework resets during this
+	// solve; after a reset pricing restarts from unit weights, which is
+	// exactly full Dantzig pricing (zero on the dense kernel).
+	DevexResets int
 }
 
 // Dual returns the shadow price of the given constraint, or 0 if out of
@@ -355,7 +367,79 @@ type options struct {
 	warm          bool
 	warmBasis     *Basis
 	ctx           context.Context
+	kernel        Kernel
 }
+
+// Kernel selects the simplex implementation used by Solve.
+type Kernel int
+
+const (
+	// KernelAuto resolves to the package default kernel (sparse unless
+	// overridden with SetDefaultKernel).
+	KernelAuto Kernel = iota
+	// KernelSparse is the sparse revised simplex: CSR/CSC constraint
+	// matrix, eta-factorized basis with periodic refactorization, devex
+	// pricing. The default.
+	KernelSparse
+	// KernelDense is the original dense-tableau implementation, kept as the
+	// correctness oracle.
+	KernelDense
+)
+
+// String returns a human-readable kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelSparse:
+		return "sparse"
+	case KernelDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// defaultKernel holds the package-wide kernel used when a solve does not pick
+// one explicitly; 0 (KernelAuto) means KernelSparse.
+var defaultKernel atomic.Int32
+
+// SetDefaultKernel overrides the package default kernel and returns the
+// previous default. It exists so test suites and command-line tools can pin a
+// kernel globally (the golden-artifact tests pin the dense oracle, whose
+// pivot counts the artifacts record) without threading an option through
+// every call site. Not intended for per-solve selection — use WithKernel.
+func SetDefaultKernel(k Kernel) Kernel {
+	prev := Kernel(defaultKernel.Swap(int32(k)))
+	if prev == KernelAuto {
+		prev = KernelSparse
+	}
+	return prev
+}
+
+// DefaultKernel reports the kernel used by solves that do not select one.
+func DefaultKernel() Kernel {
+	if k := Kernel(defaultKernel.Load()); k == KernelSparse || k == KernelDense {
+		return k
+	}
+	return KernelSparse
+}
+
+type kernelOption Kernel
+
+func (o kernelOption) apply(opts *options) { opts.kernel = Kernel(o) }
+
+// WithKernel selects the simplex kernel for this solve. KernelAuto (the zero
+// value) defers to the package default.
+func WithKernel(k Kernel) Option { return kernelOption(k) }
+
+// WithDenseKernel runs this solve on the dense-tableau oracle kernel instead
+// of the sparse revised simplex.
+func WithDenseKernel() Option { return kernelOption(KernelDense) }
+
+// WithSparseKernel forces the sparse revised simplex kernel, overriding a
+// dense package default.
+func WithSparseKernel() Option { return kernelOption(KernelSparse) }
 
 type maxIterationsOption int
 
@@ -442,18 +526,46 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if err := cfg.interrupted(); err != nil {
 		return nil, err
 	}
+	if cfg.kernel != KernelSparse && cfg.kernel != KernelDense {
+		cfg.kernel = DefaultKernel()
+	}
 	ws := cfg.workspace
 	pooled := ws == nil
 	if pooled {
 		ws = solvePool.Get().(*Workspace)
 	}
 	if cfg.warm && cfg.warmBasis != nil {
-		if sol, ok := warmSolve(p, &cfg, cfg.warmBasis, ws); ok {
+		var sol *Solution
+		var ok bool
+		if cfg.kernel == KernelSparse {
+			sol, ok = sparseWarmSolve(p, &cfg, cfg.warmBasis, ws)
+		} else {
+			sol, ok = warmSolve(p, &cfg, cfg.warmBasis, ws)
+		}
+		if ok {
 			if pooled {
 				solvePool.Put(ws)
 			}
 			return sol, nil
 		}
+	}
+	if cfg.kernel == KernelSparse {
+		sol, ok, err := sparseColdSolve(p, &cfg, ws)
+		if err != nil {
+			if pooled {
+				solvePool.Put(ws)
+			}
+			return nil, err
+		}
+		if ok {
+			if pooled {
+				solvePool.Put(ws)
+			}
+			return sol, nil
+		}
+		// The sparse kernel declined (cold-start shape it does not cover, or
+		// numerical trouble): the dense two-phase method is the oracle
+		// fallback and handles every case.
 	}
 	s := newSimplex(p, cfg, ws)
 	sol, err := s.solve()

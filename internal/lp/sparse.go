@@ -1,0 +1,734 @@
+package lp
+
+// Sparse revised simplex: the default kernel.
+//
+// The dense kernels in simplex.go and warm.go carry an explicit m x (n+m)
+// tableau and pay O(m*(n+m)) per pivot to keep it eliminated. The deployment
+// ILP's constraint matrix is overwhelmingly sparse — each coverage or cost
+// row touches a handful of monitor variables — so this kernel stores the
+// constraint matrix once in CSR/CSC form and represents the basis inverse as
+// a product of eta matrices (product form of the inverse):
+//
+//	B = B0 * E_1 * E_2 * ... * E_k
+//
+// where B0 = diag(sigma) is the all-logical basis (sigma_i is the logical
+// coefficient of row i: +1 for <= and = rows, -1 for >= rows) and each eta
+// E differs from the identity in a single column. FTRAN (B^-1 v) applies the
+// eta inverses oldest-to-newest after scaling by B0^-1; BTRAN (B^-T y)
+// applies the transposed inverses newest-to-oldest and scales at the end.
+// A pivot appends one eta instead of eliminating the tableau, so its cost is
+// the FTRAN/BTRAN work plus one sparse row scatter — proportional to the
+// nonzeros involved, not to the tableau area.
+//
+// The eta file is rebuilt from scratch ("refactorized") whenever
+// refactorEvery etas have accumulated since the last rebuild: FTRAN/BTRAN
+// cost grows linearly with the accumulated eta nonzeros while a rebuild
+// costs one FTRAN per basic column, so a fixed eta budget keeps the
+// steady-state pivot cost bounded; the rebuild also recomputes the basic
+// values and reduced costs from the fresh factorization, which bounds
+// floating-point drift the incremental updates accumulate. Columns are
+// reinstalled in ascending-nonzero order (a cheap Markowitz-style heuristic)
+// to limit eta fill.
+//
+// The kernel shares the stable column layout of warm.go — columns 0..n-1 are
+// the structural variables, column n+i the logical of row i — so Basis
+// snapshots move freely between the dense and sparse warm paths. It serves
+// both phases of the branch-and-bound inner loop: warm-started dual simplex
+// for children (bound changes only) and a cold start at the root, either a
+// primal devex phase 2 when the all-lower point is feasible or a dual solve
+// from the cost-sign "flip" point when it is dual feasible. The rare
+// remainder (an attractive column with an infinite upper bound from a
+// primal-infeasible start, or a numerically singular refactorization) falls
+// back to the dense two-phase oracle transparently.
+
+import (
+	"math"
+	"sort"
+)
+
+const (
+	// refactorEvery is the eta budget between from-scratch rebuilds of the
+	// basis factorization; see the package comment for the rationale.
+	refactorEvery = 64
+	// etaDropTol discards eta entries (and BTRAN row-multiplier entries)
+	// too small to survive the 1e-9 pivot tolerance downstream.
+	etaDropTol = 1e-12
+	// devexWeightCap triggers a devex reference-framework reset: weights
+	// restart at 1, which makes the next pricing pass exactly Dantzig.
+	devexWeightCap = 1e7
+	// statusAbort is the sparse kernel's internal "give up, fall back to
+	// the dense oracle" outcome; it is never surfaced to callers.
+	statusAbort Status = 0
+)
+
+// sparseMatrix is the CSR+CSC form of a problem's structural columns in the
+// stable layout. Logical columns are implicit: column n+i is sigma[i]*e_i.
+type sparseMatrix struct {
+	n, m   int
+	rowPtr []int32 // m+1 offsets into rowInd/rowVal
+	rowInd []int32 // structural column per entry
+	rowVal []float64
+	colPtr []int32 // n+1 offsets into colInd/colVal
+	colInd []int32 // row per entry
+	colVal []float64
+	sigma  []float64 // logical coefficient per row: +1 (<=, =) or -1 (>=)
+	rhs    []float64
+	eq     []bool
+}
+
+// build fills the matrix from the problem's rows, summing duplicate terms
+// exactly as the dense kernels do. Buffers are reused across builds.
+func (a *sparseMatrix) build(p *Problem, acc []float64, mark []int32) {
+	n, m := len(p.vars), len(p.cons)
+	a.n, a.m = n, m
+	a.rowPtr = i32s(&a.rowPtr, m+1)
+	a.sigma = f64(&a.sigma, m, false)
+	a.rhs = f64(&a.rhs, m, false)
+	a.eq = bools(&a.eq, m, false)
+	a.rowInd = a.rowInd[:0]
+	a.rowVal = a.rowVal[:0]
+	for i, c := range p.cons {
+		a.rowPtr[i] = int32(len(a.rowInd))
+		a.sigma[i] = 1
+		if c.op == GE {
+			a.sigma[i] = -1
+		}
+		a.rhs[i] = c.rhs
+		a.eq[i] = c.op == EQ
+		start := len(a.rowInd)
+		for _, t := range c.terms {
+			j := int(t.Var)
+			if acc[j] == 0 {
+				// First touch in this row (or the sum returned to zero, in
+				// which case a duplicate entry is harmless).
+				a.rowInd = append(a.rowInd, int32(j))
+			}
+			acc[j] += t.Coeff
+		}
+		// Compact: drop entries whose summed coefficient is zero.
+		out := start
+		for _, j32 := range a.rowInd[start:] {
+			if v := acc[j32]; v != 0 {
+				a.rowInd[out] = j32
+				a.rowVal = append(a.rowVal, v)
+				out++
+			}
+			acc[j32] = 0
+		}
+		a.rowInd = a.rowInd[:out]
+	}
+	a.rowPtr[m] = int32(len(a.rowInd))
+
+	// CSC from CSR by counting sort.
+	a.colPtr = i32s(&a.colPtr, n+1)
+	for j := 0; j <= n; j++ {
+		a.colPtr[j] = 0
+	}
+	for _, j := range a.rowInd {
+		a.colPtr[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		a.colPtr[j+1] += a.colPtr[j]
+	}
+	nnz := len(a.rowInd)
+	a.colInd = i32s(&a.colInd, nnz)
+	a.colVal = f64(&a.colVal, nnz, false)
+	next := mark[:n] // per-column fill cursors
+	for j := 0; j < n; j++ {
+		next[j] = a.colPtr[j]
+	}
+	for i := 0; i < m; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			j := a.rowInd[k]
+			at := next[j]
+			a.colInd[at] = int32(i)
+			a.colVal[at] = a.rowVal[k]
+			next[j]++
+		}
+	}
+}
+
+// colNNZ reports the structural column's nonzero count.
+func (a *sparseMatrix) colNNZ(j int) int { return int(a.colPtr[j+1] - a.colPtr[j]) }
+
+// etaFile is the product-form basis representation: eta k has pivot row
+// pivRow[k], pivot value pivVal[k] and off-pivot entries ind/val in
+// [start[k], start[k+1]).
+type etaFile struct {
+	pivRow []int32
+	pivVal []float64
+	start  []int32
+	ind    []int32
+	val    []float64
+}
+
+func (e *etaFile) reset() {
+	e.pivRow = e.pivRow[:0]
+	e.pivVal = e.pivVal[:0]
+	e.ind = e.ind[:0]
+	e.val = e.val[:0]
+	if cap(e.start) == 0 {
+		e.start = append(e.start, 0)
+	}
+	e.start = e.start[:1]
+	e.start[0] = 0
+}
+
+func (e *etaFile) count() int { return len(e.pivRow) }
+
+// push appends an eta built from the FTRANed entering column w with pivot
+// row r. Identity etas (pivot 1, no off-pivot fill) are skipped. It reports
+// whether an eta was stored.
+func (e *etaFile) push(w []float64, r int) bool {
+	piv := w[r]
+	base := len(e.ind)
+	for i, v := range w {
+		if i == r || v == 0 {
+			continue
+		}
+		if math.Abs(v) < etaDropTol {
+			continue
+		}
+		e.ind = append(e.ind, int32(i))
+		e.val = append(e.val, v)
+	}
+	if piv == 1 && len(e.ind) == base {
+		return false
+	}
+	e.pivRow = append(e.pivRow, int32(r))
+	e.pivVal = append(e.pivVal, piv)
+	e.start = append(e.start, int32(len(e.ind)))
+	return true
+}
+
+// ftran solves (E_1 ... E_k) z = v in place (the B0 scaling is applied by
+// the caller before this runs).
+func (e *etaFile) ftran(v []float64) {
+	for k := 0; k < len(e.pivRow); k++ {
+		r := e.pivRow[k]
+		t := v[r]
+		if t == 0 {
+			continue
+		}
+		t /= e.pivVal[k]
+		v[r] = t
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			v[e.ind[idx]] -= e.val[idx] * t
+		}
+	}
+}
+
+// btran solves (E_1 ... E_k)^T z = y in place (the B0 scaling is applied by
+// the caller after this runs).
+func (e *etaFile) btran(y []float64) {
+	for k := len(e.pivRow) - 1; k >= 0; k-- {
+		t := y[e.pivRow[k]]
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			t -= e.val[idx] * y[e.ind[idx]]
+		}
+		y[e.pivRow[k]] = t / e.pivVal[k]
+	}
+}
+
+// sparseState is the workspace sub-struct backing the sparse kernel: the
+// cached constraint matrix, the basis factorization that persists between
+// warm solves, and all scratch buffers. It is disjoint from the dense
+// kernels' buffers by construction.
+type sparseState struct {
+	// Constraint-matrix cache, keyed on the identity and shape of the
+	// problem. Branch-and-bound mutates only variable bounds in place, so
+	// (pointer, n, m) identifies the row structure: appending cut rows to
+	// the same problem changes m and invalidates the cache.
+	matProb *Problem
+	mat     sparseMatrix
+
+	// Persistent factorization of prob's basis, analogous to warmState.
+	prob     *Problem
+	n, m     int
+	valid    bool   // eta/basis form a consistent factorization of prob
+	basisID  uint64 // Basis.id the statuses/values correspond to; 0 = none
+	eta      etaFile
+	baseEtas int // eta count right after the last refactorization/install
+	basis    []int
+	stat     []varStatus
+	x, lo, up []float64
+	cost, d   []float64
+	devexW    []float64
+
+	// Scratch.
+	col, rho  []float64 // m-length FTRAN/BTRAN vectors
+	arow      []float64 // (n+m)-length pivot-row scatter
+	atouch    []int32   // columns touched in arow
+	amark     []int64   // stamp per column guarding atouch
+	astamp    int64
+	acc       []float64 // matrix-build accumulator, n-length
+	accMark   []int32   // matrix-build scratch, max(n,m)-length
+	order     []int32   // refactorization column ordering
+	inTarget  []bool
+	rowFree   []bool
+}
+
+func i32s(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	return (*buf)[:n]
+}
+
+func i64s(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	return (*buf)[:n]
+}
+
+// spx is one sparse revised-simplex solve bound to a workspace's state.
+type spx struct {
+	cfg  *options
+	prob *Problem
+	st   *sparseState
+	n, m, nCols int
+	negate bool
+	dtol   float64
+
+	iterations int
+	degenerate int
+	useBland   bool
+	etas, refactorizations, devexResets int
+}
+
+// bindSparse sizes the state for the problem and refreshes the matrix cache,
+// invalidating the factorization when the cached matrix does not describe
+// this problem's rows.
+func bindSparse(p *Problem, cfg *options, ws *Workspace) *spx {
+	n, m := len(p.vars), len(p.cons)
+	st := &ws.sparse
+	s := &spx{cfg: cfg, prob: p, st: st, n: n, m: m, nCols: n + m, negate: p.sense == Minimize}
+	if st.matProb != p || st.mat.n != n || st.mat.m != m {
+		st.acc = f64(&st.acc, n, true)
+		wide := n
+		if m > wide {
+			wide = m
+		}
+		st.accMark = i32s(&st.accMark, wide)
+		st.mat.build(p, st.acc, st.accMark)
+		st.matProb = p
+		st.valid = false
+		st.basisID = 0
+	}
+	if st.prob != p || st.n != n || st.m != m {
+		st.valid = false
+		st.basisID = 0
+		st.prob = p
+		st.n, st.m = n, m
+	}
+	st.basis = ints(&st.basis, m)
+	st.stat = statuses2(&st.stat, s.nCols, !st.valid)
+	st.x = f64(&st.x, s.nCols, false)
+	st.lo = f64(&st.lo, s.nCols, false)
+	st.up = f64(&st.up, s.nCols, false)
+	st.cost = f64(&st.cost, s.nCols, false)
+	st.d = f64(&st.d, s.nCols, false)
+	st.devexW = f64(&st.devexW, s.nCols, false)
+	st.col = f64(&st.col, m, false)
+	st.rho = f64(&st.rho, m, false)
+	st.arow = f64(&st.arow, s.nCols, false)
+	st.amark = i64s(&st.amark, s.nCols)
+	return s
+}
+
+// statuses2 sizes a status buffer, clearing it only when requested (a valid
+// factorization's statuses must survive rebinding).
+func statuses2(buf *[]varStatus, n int, zero bool) []varStatus {
+	if cap(*buf) < n {
+		*buf = make([]varStatus, n)
+	}
+	s := (*buf)[:n]
+	if zero {
+		clear(s)
+	}
+	return s
+}
+
+// loadBounds refreshes the stable-layout bounds and maximize-form costs from
+// the problem, exactly as the dense warm path does.
+func (s *spx) loadBounds() {
+	st := s.st
+	for j := 0; j < s.n; j++ {
+		v := &s.prob.vars[j]
+		st.lo[j], st.up[j] = v.lower, v.upper
+		c := v.cost
+		if s.negate {
+			c = -c
+		}
+		st.cost[j] = c
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		st.cost[j] = 0
+		if st.mat.eq[i] {
+			st.lo[j], st.up[j] = 0, 0
+		} else {
+			st.lo[j], st.up[j] = 0, Inf
+		}
+	}
+	s.recoverDtol()
+}
+
+func (s *spx) recoverDtol() {
+	maxc := 0.0
+	for j := 0; j < s.n; j++ {
+		if a := math.Abs(s.st.cost[j]); a > maxc {
+			maxc = a
+		}
+	}
+	s.dtol = 1e-7 * (1 + maxc)
+}
+
+// feasTol is the primal feasibility tolerance against a bound of the given
+// magnitude, matching the dense warm path.
+func (s *spx) feasTol(bound float64) float64 {
+	return s.cfg.tolerance * 10 * (1 + math.Abs(bound))
+}
+
+// columnInto materializes stable column c of [A | logicals] into the dense
+// m-vector v (cleared first).
+func (s *spx) columnInto(c int, v []float64) {
+	clear(v)
+	a := &s.st.mat
+	if c < s.n {
+		for k := a.colPtr[c]; k < a.colPtr[c+1]; k++ {
+			v[a.colInd[k]] = a.colVal[k]
+		}
+	} else {
+		i := c - s.n
+		v[i] = a.sigma[i]
+	}
+}
+
+// ftranColumn computes B^-1 times stable column c into v.
+func (s *spx) ftranColumn(c int, v []float64) {
+	s.columnInto(c, v)
+	a := &s.st.mat
+	if c < s.n {
+		for k := a.colPtr[c]; k < a.colPtr[c+1]; k++ {
+			i := a.colInd[k]
+			if a.sigma[i] < 0 {
+				v[i] = -v[i]
+			}
+		}
+	} else if i := c - s.n; a.sigma[i] < 0 {
+		v[i] = -v[i] // sigma^2 = 1: B0^-1 times the logical is e_i
+	}
+	s.st.eta.ftran(v)
+}
+
+// btranRow computes rho = B^-T e_r into v: row r of B^-1.
+func (s *spx) btranRow(r int, v []float64) {
+	clear(v)
+	v[r] = 1
+	s.st.eta.btran(v)
+	a := &s.st.mat
+	for i := 0; i < s.m; i++ {
+		if a.sigma[i] < 0 {
+			v[i] = -v[i]
+		}
+	}
+}
+
+// pivotRowInto scatters alpha_row = rho^T [A | logicals] into st.arow,
+// recording touched columns in st.atouch. Only touched columns can have a
+// nonzero pivot-row entry; everything else is implicitly zero.
+func (s *spx) pivotRowInto(rho []float64) {
+	st := s.st
+	a := &st.mat
+	st.astamp++
+	stamp := st.astamp
+	st.atouch = st.atouch[:0]
+	for i := 0; i < s.m; i++ {
+		ri := rho[i]
+		if ri == 0 || math.Abs(ri) < etaDropTol {
+			continue
+		}
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			j := a.rowInd[k]
+			if st.amark[j] != stamp {
+				st.amark[j] = stamp
+				st.arow[j] = 0
+				st.atouch = append(st.atouch, j)
+			}
+			st.arow[j] += ri * a.rowVal[k]
+		}
+		j := int32(s.n + i)
+		if st.amark[j] != stamp {
+			st.amark[j] = stamp
+			st.arow[j] = 0
+			st.atouch = append(st.atouch, j)
+		}
+		st.arow[j] += ri * a.sigma[i]
+	}
+}
+
+// appendEta records the pivot on (FTRANed entering column w, row r).
+func (s *spx) appendEta(w []float64, r int) {
+	if s.st.eta.push(w, r) {
+		s.etas++
+	}
+}
+
+// installColumns greedily pivots the target basis columns into the current
+// factorization, mirroring the dense installBasis: each missing target
+// column is FTRANed and pivoted into the free row where it has the largest
+// magnitude. It reports false on duplicate targets or a (numerically)
+// singular basis.
+func (s *spx) installColumns(target []int32) bool {
+	st := s.st
+	inTarget := bools(&st.inTarget, s.nCols, true)
+	for _, c := range target {
+		if c < 0 || int(c) >= s.nCols || inTarget[c] {
+			return false
+		}
+		inTarget[c] = true
+	}
+	rowFree := bools(&st.rowFree, s.m, false)
+	for i := 0; i < s.m; i++ {
+		rowFree[i] = !inTarget[st.basis[i]]
+	}
+	for _, c32 := range target {
+		c := int(c32)
+		already := false
+		for i := 0; i < s.m; i++ {
+			if st.basis[i] == c {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		s.ftranColumn(c, st.col)
+		best, bestAbs := -1, 1e-8
+		for i := 0; i < s.m; i++ {
+			if !rowFree[i] {
+				continue
+			}
+			if a := math.Abs(st.col[i]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		s.appendEta(st.col, best)
+		st.basis[best] = c
+		rowFree[best] = false
+	}
+	return true
+}
+
+// refactor rebuilds the eta file from the all-logical base for the given
+// target basis, installing structural columns in ascending-nonzero order to
+// limit fill. On success the caller must recompute x and d.
+func (s *spx) refactor(target []int32) bool {
+	st := s.st
+	st.eta.reset()
+	for i := 0; i < s.m; i++ {
+		st.basis[i] = s.n + i
+	}
+	order := st.order[:0]
+	for _, c := range target {
+		if int(c) < s.n {
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := st.mat.colNNZ(int(order[a])), st.mat.colNNZ(int(order[b]))
+		if na != nb {
+			return na < nb
+		}
+		return order[a] < order[b]
+	})
+	// Logical targets keep their own rows under the all-logical base; only
+	// the structural columns need pivoting, and they may not claim a row a
+	// logical target owns. installColumns' rowFree logic needs the full
+	// target set, so append the logicals (cheap no-ops) after the sorted
+	// structurals.
+	for _, c := range target {
+		if int(c) >= s.n {
+			order = append(order, c)
+		}
+	}
+	st.order = order
+	s.refactorizations++
+	ok := s.installColumns(order)
+	st.baseEtas = st.eta.count()
+	return ok
+}
+
+// maybeRefactor rebuilds the factorization once the eta budget is spent,
+// refreshing the basic values and reduced costs from scratch to shed drift.
+// It reports false on a singular rebuild (numerical abort).
+func (s *spx) maybeRefactor() bool {
+	st := s.st
+	if st.eta.count()-st.baseEtas < refactorEvery {
+		return true
+	}
+	return s.renumber()
+}
+
+// renumber refactorizes the current basis unconditionally and recomputes the
+// iterate from it.
+func (s *spx) renumber() bool {
+	st := s.st
+	order := i32s(&st.order, s.m)
+	for i := 0; i < s.m; i++ {
+		order[i] = int32(st.basis[i])
+	}
+	// refactor sorts into its own view of st.order; hand it a copy of the
+	// current basis via the same buffer is safe because it reads target
+	// fully before mutating basis.
+	target := append([]int32(nil), order...)
+	if !s.refactor(target) {
+		st.valid = false
+		st.basisID = 0
+		return false
+	}
+	s.computeX()
+	s.computeD()
+	return true
+}
+
+// computeX sets nonbasic variables to their bound values and solves
+// B x_B = b - A_N x_N for the basic values.
+func (s *spx) computeX() {
+	st := s.st
+	a := &st.mat
+	v := st.col
+	for i := 0; i < s.m; i++ {
+		v[i] = a.rhs[i]
+	}
+	for j := 0; j < s.nCols; j++ {
+		if st.stat[j] == statusBasic {
+			continue
+		}
+		xv := st.lo[j]
+		if st.stat[j] == statusUpper {
+			xv = st.up[j]
+		}
+		st.x[j] = xv
+		if xv == 0 {
+			continue
+		}
+		if j < s.n {
+			for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+				v[a.colInd[k]] -= a.colVal[k] * xv
+			}
+		} else {
+			i := j - s.n
+			v[i] -= a.sigma[i] * xv
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if a.sigma[i] < 0 {
+			v[i] = -v[i]
+		}
+	}
+	st.eta.ftran(v)
+	for i := 0; i < s.m; i++ {
+		st.x[st.basis[i]] = v[i]
+	}
+}
+
+// computeD recomputes the reduced costs d = c - c_B^T B^-1 A from the
+// current factorization.
+func (s *spx) computeD() {
+	st := s.st
+	a := &st.mat
+	y := st.rho
+	for i := 0; i < s.m; i++ {
+		y[i] = st.cost[st.basis[i]]
+	}
+	st.eta.btran(y)
+	for i := 0; i < s.m; i++ {
+		if a.sigma[i] < 0 {
+			y[i] = -y[i]
+		}
+	}
+	for j := 0; j < s.n; j++ {
+		d := st.cost[j]
+		for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+			d -= y[a.colInd[k]] * a.colVal[k]
+		}
+		st.d[j] = d
+	}
+	for i := 0; i < s.m; i++ {
+		st.d[s.n+i] = -y[i] * a.sigma[i]
+	}
+	for i := 0; i < s.m; i++ {
+		st.d[st.basis[i]] = 0
+	}
+}
+
+// extract builds a Solution from an optimal sparse iterate, mirroring the
+// dense paths' clamping and sign conventions exactly.
+func (s *spx) extract(warm bool) *Solution {
+	st := s.st
+	sol := &Solution{
+		Status:           StatusOptimal,
+		Iterations:       s.iterations,
+		Warm:             warm,
+		Etas:             s.etas,
+		Refactorizations: s.refactorizations,
+		DevexResets:      s.devexResets,
+	}
+	sol.X = make([]float64, s.n)
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		v := st.x[j]
+		if v < st.lo[j] {
+			v = st.lo[j]
+		}
+		if !math.IsInf(st.up[j], 1) && v > st.up[j] {
+			v = st.up[j]
+		}
+		sol.X[j] = v
+		obj += st.cost[j] * v
+	}
+	if s.negate {
+		obj = -obj
+	}
+	sol.Objective = obj
+
+	senseSign := 1.0
+	if s.negate {
+		senseSign = -1
+	}
+	sol.DualValues = make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		sol.DualValues[i] = senseSign * -st.mat.sigma[i] * st.d[s.n+i]
+	}
+	sol.ReducedCosts = make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		sol.ReducedCosts[j] = senseSign * st.d[j]
+	}
+	return sol
+}
+
+// capture snapshots the current basis in the shared stable layout.
+func (s *spx) capture() *Basis {
+	st := s.st
+	b := &Basis{
+		id:       basisIDs.Add(1),
+		n:        s.n,
+		m:        s.m,
+		rowBasic: make([]int32, s.m),
+		vstat:    make([]uint8, s.n),
+	}
+	for i := 0; i < s.m; i++ {
+		b.rowBasic[i] = int32(st.basis[i])
+	}
+	for j := 0; j < s.n; j++ {
+		b.vstat[j] = uint8(st.stat[j])
+	}
+	return b
+}

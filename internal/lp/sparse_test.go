@@ -1,0 +1,255 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// buildBoundedLP is a small helper: maximize 3x + 2y + 4z subject to
+// x+y+z <= 10, x+2z <= 8, boxes [0,6] each. Optimum: z=4, x=0... verified
+// against the dense kernel in the tests themselves rather than hand-solved.
+func buildBoundedLP() *Problem {
+	p := NewProblem(Maximize)
+	x, _ := p.AddVariable("x", 0, 6, 3)
+	y, _ := p.AddVariable("y", 0, 6, 2)
+	z, _ := p.AddVariable("z", 0, 6, 4)
+	p.AddConstraint("r1", []Term{{x, 1}, {y, 1}, {z, 1}}, LE, 10)
+	p.AddConstraint("r2", []Term{{x, 1}, {z, 2}}, LE, 8)
+	return p
+}
+
+func solveBoth(t *testing.T, p *Problem, opts ...Option) (sparse, dense *Solution) {
+	t.Helper()
+	dense, err := p.Clone().Solve(append([]Option{WithDenseKernel()}, opts...)...)
+	if err != nil {
+		t.Fatalf("dense solve: %v", err)
+	}
+	sparse, err = p.Clone().Solve(append([]Option{WithSparseKernel()}, opts...)...)
+	if err != nil {
+		t.Fatalf("sparse solve: %v", err)
+	}
+	return sparse, dense
+}
+
+func TestSparsePrimalColdMatchesDense(t *testing.T) {
+	sparse, dense := solveBoth(t, buildBoundedLP())
+	if sparse.Status != StatusOptimal || dense.Status != StatusOptimal {
+		t.Fatalf("statuses: sparse %v, dense %v", sparse.Status, dense.Status)
+	}
+	if math.Abs(sparse.Objective-dense.Objective) > testTol {
+		t.Fatalf("objective: sparse %v, dense %v", sparse.Objective, dense.Objective)
+	}
+}
+
+func TestSparseDualFlipStart(t *testing.T) {
+	// A >= row makes the all-logical start primal infeasible, forcing the
+	// sparse cold path through the dual-flip start and dual iterations.
+	p := NewProblem(Minimize)
+	x, _ := p.AddVariable("x", 0, 5, 2)
+	y, _ := p.AddVariable("y", 0, 5, 3)
+	p.AddConstraint("cover", []Term{{x, 1}, {y, 1}}, GE, 4)
+	sparse, dense := solveBoth(t, p)
+	if sparse.Status != StatusOptimal || math.Abs(sparse.Objective-dense.Objective) > testTol {
+		t.Fatalf("sparse %v obj %v, dense obj %v", sparse.Status, sparse.Objective, dense.Objective)
+	}
+	if math.Abs(sparse.Objective-8) > testTol { // x=4 at cost 2 each
+		t.Fatalf("objective = %v, want 8", sparse.Objective)
+	}
+}
+
+func TestSparseEqualityRow(t *testing.T) {
+	p := NewProblem(Maximize)
+	x, _ := p.AddVariable("x", 0, 10, 1)
+	y, _ := p.AddVariable("y", 0, 10, 1)
+	p.AddConstraint("eq", []Term{{x, 1}, {y, 2}}, EQ, 6)
+	sparse, dense := solveBoth(t, p)
+	if sparse.Status != StatusOptimal || math.Abs(sparse.Objective-dense.Objective) > testTol {
+		t.Fatalf("sparse %v obj %v, dense obj %v", sparse.Status, sparse.Objective, dense.Objective)
+	}
+}
+
+func TestSparseInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x, _ := p.AddVariable("x", 0, 1, 1)
+	p.AddConstraint("need", []Term{{x, 1}}, GE, 3)
+	sparse, dense := solveBoth(t, p)
+	if sparse.Status != StatusInfeasible || dense.Status != StatusInfeasible {
+		t.Fatalf("statuses: sparse %v, dense %v, want infeasible", sparse.Status, dense.Status)
+	}
+}
+
+func TestSparseInfiniteUpperFallsBackToDense(t *testing.T) {
+	// An attractive column with an infinite upper bound cannot take the
+	// dual-flip start; the sparse kernel must decline and the dense oracle
+	// must take over transparently (unbounded here).
+	p := NewProblem(Maximize)
+	x, _ := p.AddVariable("x", 0, Inf, 1)
+	p.AddConstraint("r", []Term{{x, -1}}, LE, 5) // -x <= 5 never binds upward
+	sol, err := p.Solve(WithSparseKernel())
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// TestSparseWarmAcrossBoundChanges mirrors the branch-and-bound access
+// pattern: solve, tighten a bound, re-solve warm from the captured basis —
+// on one shared workspace — and cross-check each step against the dense
+// kernel on its own workspace.
+func TestSparseWarmAcrossBoundChanges(t *testing.T) {
+	ps := buildBoundedLP()
+	pd := buildBoundedLP()
+	wss, wsd := NewWorkspace(), NewWorkspace()
+
+	ssol, err := ps.Solve(WithSparseKernel(), WithWorkspace(wss), WithWarmStart(nil))
+	if err != nil {
+		t.Fatalf("sparse root: %v", err)
+	}
+	dsol, err := pd.Solve(WithDenseKernel(), WithWorkspace(wsd), WithWarmStart(nil))
+	if err != nil {
+		t.Fatalf("dense root: %v", err)
+	}
+	if ssol.Basis == nil || dsol.Basis == nil {
+		t.Fatalf("missing basis: sparse %v, dense %v", ssol.Basis, dsol.Basis)
+	}
+
+	bounds := [][2]float64{{0, 2}, {1, 5}, {0, 0}, {0, 6}}
+	sb, db := ssol.Basis, dsol.Basis
+	for i, b := range bounds {
+		if err := ps.SetVariableBounds(VarID(2), b[0], b[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := pd.SetVariableBounds(VarID(2), b[0], b[1]); err != nil {
+			t.Fatal(err)
+		}
+		ssol, err = ps.Solve(WithSparseKernel(), WithWorkspace(wss), WithWarmStart(sb))
+		if err != nil {
+			t.Fatalf("step %d sparse: %v", i, err)
+		}
+		dsol, err = pd.Solve(WithDenseKernel(), WithWorkspace(wsd), WithWarmStart(db))
+		if err != nil {
+			t.Fatalf("step %d dense: %v", i, err)
+		}
+		if ssol.Status != dsol.Status {
+			t.Fatalf("step %d: sparse %v, dense %v", i, ssol.Status, dsol.Status)
+		}
+		if ssol.Status == StatusOptimal && math.Abs(ssol.Objective-dsol.Objective) > testTol {
+			t.Fatalf("step %d objective: sparse %v, dense %v", i, ssol.Objective, dsol.Objective)
+		}
+		sb, db = ssol.Basis, dsol.Basis
+	}
+}
+
+// TestWorkspaceKernelAlternation is the regression test for kernel-aware
+// workspace acquisition: alternating kernels on ONE workspace (and one
+// problem, with bounds shifting between solves) must never hand one kernel
+// the other's stale scratch. Before the sparse state was kept disjoint and
+// keyed on (problem, shape, basis identity), this pattern could replay a
+// stale factorization.
+func TestWorkspaceKernelAlternation(t *testing.T) {
+	p := buildBoundedLP()
+	ws := NewWorkspace()
+	ref := buildBoundedLP()
+
+	bounds := [][2]float64{{0, 6}, {0, 3}, {2, 6}, {0, 1}, {0, 6}}
+	var sb, db *Basis
+	for i, b := range bounds {
+		if err := p.SetVariableBounds(VarID(0), b[0], b[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetVariableBounds(VarID(0), b[0], b[1]); err != nil {
+			t.Fatal(err)
+		}
+		// Fresh-workspace dense solve as the trusted value for this step.
+		want, err := ref.Clone().Solve(WithDenseKernel())
+		if err != nil {
+			t.Fatalf("step %d reference: %v", i, err)
+		}
+
+		ssol, err := p.Solve(WithSparseKernel(), WithWorkspace(ws), WithWarmStart(sb))
+		if err != nil {
+			t.Fatalf("step %d sparse on shared ws: %v", i, err)
+		}
+		dsol, err := p.Solve(WithDenseKernel(), WithWorkspace(ws), WithWarmStart(db))
+		if err != nil {
+			t.Fatalf("step %d dense on shared ws: %v", i, err)
+		}
+		for name, got := range map[string]*Solution{"sparse": ssol, "dense": dsol} {
+			if got.Status != want.Status {
+				t.Fatalf("step %d %s: status %v, want %v", i, name, got.Status, want.Status)
+			}
+			if want.Status == StatusOptimal && math.Abs(got.Objective-want.Objective) > testTol {
+				t.Fatalf("step %d %s: objective %v, want %v", i, name, got.Objective, want.Objective)
+			}
+		}
+		sb, db = ssol.Basis, dsol.Basis
+	}
+}
+
+// TestSparseCountersPopulated checks a sparse solve reports its effort
+// counters and the dense kernel reports none.
+func TestSparseCountersPopulated(t *testing.T) {
+	sparse, dense := solveBoth(t, buildBoundedLP())
+	if sparse.Etas == 0 {
+		t.Errorf("sparse solve reported zero etas")
+	}
+	if dense.Etas != 0 || dense.Refactorizations != 0 || dense.DevexResets != 0 {
+		t.Errorf("dense solve reported sparse counters: %d/%d/%d",
+			dense.Etas, dense.Refactorizations, dense.DevexResets)
+	}
+}
+
+// TestSparseRefactorization drives enough warm re-solves through one
+// workspace to exceed the eta budget and force periodic refactorization.
+func TestSparseRefactorization(t *testing.T) {
+	p := buildBoundedLP()
+	ws := NewWorkspace()
+	sol, err := p.Solve(WithSparseKernel(), WithWorkspace(ws), WithWarmStart(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refactors := sol.Refactorizations
+	b := sol.Basis
+	for i := 0; i < 200; i++ {
+		hi := float64(1 + i%6)
+		if err := p.SetVariableBounds(VarID(i%3), 0, hi); err != nil {
+			t.Fatal(err)
+		}
+		sol, err = p.Solve(WithSparseKernel(), WithWorkspace(ws), WithWarmStart(b))
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		refactors += sol.Refactorizations
+		if sol.Basis != nil {
+			b = sol.Basis
+		}
+	}
+	if refactors == 0 {
+		t.Errorf("200 warm re-solves never refactorized; eta budget not enforced")
+	}
+}
+
+func TestSetDefaultKernel(t *testing.T) {
+	prev := SetDefaultKernel(KernelDense)
+	defer SetDefaultKernel(prev)
+	if DefaultKernel() != KernelDense {
+		t.Fatalf("DefaultKernel = %v after pinning dense", DefaultKernel())
+	}
+	sol, err := buildBoundedLP().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Etas != 0 {
+		t.Errorf("dense default kernel reported %d etas", sol.Etas)
+	}
+	SetDefaultKernel(KernelSparse)
+	sol, err = buildBoundedLP().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Etas == 0 {
+		t.Errorf("sparse default kernel reported zero etas")
+	}
+}

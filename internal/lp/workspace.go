@@ -25,7 +25,16 @@ type Workspace struct {
 	status                     []varStatus
 	redundant, rowFlipped      []bool
 
-	warm warmState // dual-simplex warm-start state; see warm.go
+	warm warmState // dense dual-simplex warm-start state; see warm.go
+
+	// sparse revised-simplex state; see sparse.go. Kept in its own
+	// sub-struct, fully disjoint from both the cold tableau buffers above
+	// and the dense warmState, so alternating kernels on one workspace can
+	// never hand one kernel the other's stale scratch: acquisition is
+	// kernel-aware by construction, and the sparse state additionally keys
+	// itself on (problem, shape, basis identity) before trusting any cached
+	// factorization.
+	sparse sparseState
 }
 
 // warmState is the stable-layout factorization a workspace keeps between

@@ -21,6 +21,7 @@ import (
 
 	"secmon/internal/casestudy"
 	"secmon/internal/core"
+	"secmon/internal/lp"
 	"secmon/internal/model"
 )
 
@@ -160,6 +161,10 @@ type OptimizeRequest struct {
 	// Workers is the branch-and-bound worker count (0 = GOMAXPROCS,
 	// 1 = sequential).
 	Workers int `json:"workers,omitempty"`
+	// Kernel selects the LP simplex kernel: "sparse" (the default) or
+	// "dense" (the correctness oracle). It participates in the solution
+	// cache key, so results computed by different kernels never alias.
+	Kernel string `json:"kernel,omitempty"`
 	// DeadlineMillis bounds this solve; 0 selects the server default. The
 	// server caps it at its configured maximum.
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
@@ -324,6 +329,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := []core.Option{core.WithContext(ctx), core.WithWorkers(req.Workers)}
+	switch req.Kernel {
+	case "":
+	case "sparse":
+		opts = append(opts, core.WithKernel(lp.KernelSparse))
+	case "dense":
+		opts = append(opts, core.WithDenseKernel())
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("optimize: unknown kernel %q (want sparse or dense)", req.Kernel))
+		return
+	}
 	if req.Clamp {
 		opts = append(opts, core.WithClampToAchievable())
 	}

@@ -19,16 +19,18 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 type environment struct {
-	Goos   string `json:"goos"`
-	Goarch string `json:"goarch"`
-	CPU    string `json:"cpu"`
-	CPUs   int    `json:"cpus"`
-	Go     string `json:"go"`
+	Goos       string `json:"goos"`
+	Goarch     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	CPUs       int    `json:"cpus"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
 }
 
 type benchmark struct {
@@ -37,6 +39,12 @@ type benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Samples is the number of -count repetitions collapsed into this
+	// record; ns_per_op is the median across them when Samples > 1.
+	Samples int `json:"samples,omitempty"`
+	// SingleShot flags a one-iteration, one-repetition measurement whose
+	// ns/op is a single wall-clock sample, not a statistic.
+	SingleShot bool `json:"single_shot,omitempty"`
 }
 
 type report struct {
@@ -70,6 +78,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	rep.Benchmarks = collapseRepetitions(rep.Benchmarks)
+	if rep.Environment.Gomaxprocs == 0 {
+		// The testing package only appends a -N name suffix when
+		// GOMAXPROCS > 1, so no suffix across every line means 1.
+		rep.Environment.Gomaxprocs = 1
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -112,6 +126,11 @@ func parseFile(rep *report, path, benchtime string) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", path, err)
 			}
+			if m := gomaxprocsSuffix.FindString(strings.Fields(line)[0]); m != "" {
+				if n, err := strconv.Atoi(m[1:]); err == nil {
+					rep.Environment.Gomaxprocs = n
+				}
+			}
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
@@ -125,6 +144,52 @@ func parseFile(rep *report, path, benchtime string) error {
 		rep.Environment.CPUs = runtime.NumCPU()
 	}
 	return nil
+}
+
+// collapseRepetitions merges -count repetitions of the same benchmark into a
+// single record carrying the median of each metric and the sample count.
+// First-seen order is preserved. A record that ends up with one sample at
+// -benchtime=1x is flagged single_shot: its ns/op is one wall-clock
+// measurement and comparisons against it are dominated by run-to-run noise.
+func collapseRepetitions(in []benchmark) []benchmark {
+	type key struct{ name, benchtime string }
+	groups := make(map[key][]benchmark)
+	var order []key
+	for _, b := range in {
+		k := key{b.Name, b.Benchtime}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	out := make([]benchmark, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		b := benchmark{
+			Name:       k.name,
+			Benchtime:  k.benchtime,
+			NsPerOp:    medianF(g, func(b benchmark) float64 { return b.NsPerOp }),
+			Samples:    len(g),
+			SingleShot: len(g) == 1 && k.benchtime == "1x",
+		}
+		b.BytesPerOp = int64(medianF(g, func(b benchmark) float64 { return float64(b.BytesPerOp) }))
+		b.AllocsPerOp = int64(medianF(g, func(b benchmark) float64 { return float64(b.AllocsPerOp) }))
+		out = append(out, b)
+	}
+	return out
+}
+
+func medianF(g []benchmark, metric func(benchmark) float64) float64 {
+	vals := make([]float64, len(g))
+	for i, b := range g {
+		vals[i] = metric(b)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
 }
 
 // parseBenchLine parses one result line, e.g.
