@@ -6,13 +6,14 @@
 # and a single-shot E3 benchmark smoke to catch gross solver regressions.
 
 GO ?= go
-BENCH ?= BENCH_PR4.json
+BENCH ?= BENCH_PR5.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
+STRESS_N ?= 1000
 
-.PHONY: ci lint vet build test race race-solver kernel-equivalence bench-smoke fuzz-smoke serve-smoke golden-update bench
+.PHONY: ci lint vet build test race race-solver kernel-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke golden-update bench
 
-ci: lint build race kernel-equivalence bench-smoke fuzz-smoke serve-smoke
+ci: lint build race kernel-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -41,7 +42,32 @@ race:
 # the orchestration layer that cancels it, and the HTTP server that runs
 # solves concurrently.
 race-solver:
-	$(GO) test -race ./internal/lp ./internal/ilp ./internal/core ./internal/server
+	$(GO) test -race ./internal/lp ./internal/ilp ./internal/core ./internal/server \
+		./internal/certify ./internal/certify/stress
+
+# Certificate lanes: the exact verifier's unit and corruption tests, the
+# solver-side emission tests, the edge-case and golden-instance coverage,
+# and a >= 90% statement-coverage gate on the trusted verifier package.
+certify:
+	$(GO) test ./internal/certify ./internal/certify/stress -count=1
+	$(GO) test ./internal/ilp -run TestCertificate -count=1
+	$(GO) test ./internal/core -run 'TestEdgeCases' -count=1
+	$(GO) test ./internal/experiment -run TestGoldenInstancesCertify -count=1
+	@cov=$$($(GO) test -cover ./internal/certify -count=1 | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	echo "internal/certify coverage: $$cov%"; \
+	awk -v c="$$cov" 'BEGIN{exit !(c >= 90)}' || { echo "coverage gate failed: $$cov% < 90%"; exit 1; }
+
+# Full metamorphic stress sweep: STRESS_N seeded instances per family
+# (default 1000) through certificate verification, enumeration cross-checks
+# and the metamorphic relations. stress-smoke is the bounded lane `make ci`
+# runs.
+stress:
+	$(GO) test ./internal/certify/stress -run 'TestStressFamilies|TestMetamorphicMatrix' \
+		-count=1 -stress.n=$(STRESS_N)
+
+stress-smoke:
+	$(GO) test ./internal/certify/stress -run 'TestStressFamilies|TestMetamorphicMatrix' \
+		-count=1 -stress.n=100
 
 # Sparse-vs-dense kernel cross-check: every solver feature mode under both
 # simplex kernels and worker counts {1,4}, plus the counter plumbing and the
@@ -62,6 +88,8 @@ fuzz-smoke:
 		-fuzz FuzzSolveMatchesEnumeration -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lp -run FuzzSparseMatchesDense \
 		-fuzz FuzzSparseMatchesDense -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/certify/stress -run FuzzCertifiedSolve \
+		-fuzz FuzzCertifiedSolve -fuzztime $(FUZZTIME)
 
 # End-to-end serve smoke: build secmon, start `secmon serve`, POST an
 # optimize request with a deadline, then SIGTERM and require a clean drain
@@ -94,15 +122,16 @@ golden-update:
 	$(GO) test ./internal/experiment -run TestGoldenArtifacts -update -count=1
 
 # Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6
-# runs, BenchmarkE7Scalability at -count=5 (benchjson reports the median and
-# the sample count), and a stable 200x simplex run, converted to the
+# runs, BenchmarkE7Scalability and BenchmarkE7Certify (certification
+# overhead vs the m=400/a=100 baseline) at -count=5 (benchjson reports the
+# median and the sample count), and a stable 200x simplex run, converted to the
 # repository's benchmark JSON schema by tools/benchjson. Records marked
 # single_shot: true carry one wall-clock sample and are noisy. Output file
 # is parametrized: `make bench BENCH=BENCH_PR5.json`.
 bench:
 	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$' \
 		-benchtime=1x -benchmem . | tee bench-1x.txt
-	$(GO) test -run xxx -bench '^BenchmarkE7Scalability$$' \
+	$(GO) test -run xxx -bench '^BenchmarkE7Scalability$$|^BenchmarkE7Certify$$' \
 		-benchtime=1x -count=5 -benchmem . | tee bench-e7.txt
 	$(GO) test -run xxx -bench '^BenchmarkSimplexSolve$$' -benchtime=200x -benchmem . | tee bench-200x.txt
 	$(GO) run ./tools/benchjson \

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"secmon/internal/casestudy"
+	"secmon/internal/certify"
 	"secmon/internal/core"
 	"secmon/internal/experiment"
 	"secmon/internal/ilp"
@@ -150,6 +151,28 @@ func BenchmarkE7Scalability(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE7Certify measures the E7 400x100 MaxUtility solve with
+// certificate emission and verification, the overhead headline for the
+// certify feature: compare against BenchmarkE7Scalability/m=400/a=100.
+func BenchmarkE7Certify(b *testing.B) {
+	idx := synthIndex(b, 400, 100)
+	budget := idx.System().TotalMonitorCost() * 0.3
+	opt := core.NewOptimizer(idx, core.WithCertificate())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := opt.MaxUtility(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Certificate == nil {
+			b.Fatalf("no certificate: %s", res.CertificateNote)
+		}
+		if _, err := certify.Verify(res.Certificate); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strings"
 
 	"secmon/internal/casestudy"
+	"secmon/internal/certify"
 	"secmon/internal/core"
 	"secmon/internal/experiment"
 	"secmon/internal/graph"
@@ -224,6 +226,8 @@ func cmdOptimize(args []string, out io.Writer) error {
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
 	kernel := fs.String("kernel", "", "LP simplex kernel: sparse (default) or dense (the correctness oracle)")
+	certifyFlag := fs.Bool("certify", false, "emit a machine-checkable optimality certificate and verify it")
+	certifyOut := fs.String("certify-out", "", "write the certificate JSON to this file (implies -certify)")
 	deadline := fs.Duration("deadline", 0, "solve deadline; on expiry the best incumbent (or a heuristic fallback) is returned with its optimality gap")
 	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -252,6 +256,12 @@ func cmdOptimize(args []string, out io.Writer) error {
 	}
 	if *corroboration > 1 {
 		opts = append(opts, core.WithCorroboration(*corroboration))
+	}
+	if *certifyOut != "" {
+		*certifyFlag = true
+	}
+	if *certifyFlag {
+		opts = append(opts, core.WithCertificate())
 	}
 	opts = append(opts, core.WithWorkers(*workers))
 	k, err := parseKernel(*kernel)
@@ -354,7 +364,44 @@ func cmdOptimize(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "solver: %d nodes, %d LP iterations, %s (%d workers)\n",
 		res.Stats.Nodes, res.Stats.LPIterations, res.Stats.Elapsed, res.Stats.Workers)
 	printSolverExtras(out, res.Stats)
+	if *certifyFlag {
+		if err := reportCertificate(out, res, *certifyOut); err != nil {
+			return err
+		}
+	}
 	return stopProfiles()
+}
+
+// reportCertificate runs the independent verifier over the solve's
+// certificate, prints a summary, and optionally writes the certificate JSON.
+// A requested-but-missing or invalid certificate is a hard error: the whole
+// point of -certify is that the result does not have to be trusted.
+func reportCertificate(out io.Writer, res *core.Result, path string) error {
+	if res.Certificate == nil {
+		if res.CertificateNote != "" {
+			return fmt.Errorf("certify: no certificate: %s", res.CertificateNote)
+		}
+		return fmt.Errorf("certify: solver returned no certificate (status %s)", res.Status)
+	}
+	rep, err := certify.Verify(res.Certificate)
+	if err != nil {
+		return fmt.Errorf("certify: certificate failed verification: %w", err)
+	}
+	fmt.Fprintf(out, "certificate: %s verified (%d branches, %d leaves: %d bound, %d infeasible, %d empty; %d dual vectors)\n",
+		rep.Status, rep.Branches, rep.Leaves, rep.BoundLeaves, rep.InfeasibleLeaves, rep.EmptyLeaves, rep.DualVectors)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create certificate file: %w", err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Certificate); err != nil {
+			return fmt.Errorf("write certificate: %w", err)
+		}
+	}
+	return nil
 }
 
 // printSolverExtras reports the warm-start, presolve and cutting-plane

@@ -1,0 +1,152 @@
+// Package certify defines machine-checkable optimality certificates for the
+// branch-and-bound solver in internal/ilp, and a self-contained verifier for
+// them.
+//
+// A certificate embeds the full instance (variables, bounds, objective,
+// rows), the incumbent the solver reported, and a proof that no better
+// integer point exists: a branch tree whose leaves partition the root
+// integer box, and for every leaf either an LP weak-duality bound (the
+// leaf's subproblem cannot beat the incumbent) or a Farkas-style
+// infeasibility bound (the leaf's subproblem contains no feasible point at
+// all). The dual vectors reuse the shadow prices the simplex kernels already
+// extract during the solve; they are *claims*, not trusted data — the
+// verifier re-derives every bound from them with exact rational arithmetic.
+//
+// The verifier (see Verify) is the trusted component: it performs no simplex
+// pivots, shares no code with internal/lp, and evaluates every inequality in
+// math/big.Rat exactly. Anyone auditing a deployment decision only needs to
+// read this package.
+//
+// # Leaf proofs
+//
+// Work in maximize form: c' = c for a maximization, c' = -c for a
+// minimization, so the optimum is always an upper bound question. For any
+// dual vector y that is sign-valid for the rows (y_i >= 0 for <= rows,
+// y_i <= 0 for >= rows, free for = rows), every x in the leaf's box that
+// satisfies the rows obeys
+//
+//	c'x  <=  y·b + sum_j sup{ d_j x_j : l_j <= x_j <= u_j },   d = c' - Aᵀy
+//
+// because y·(b - Ax) >= 0 for sign-valid y. The right-hand side U is
+// computable without any optimization: each sup term is d_j u_j, d_j l_j or
+// 0 by the sign of d_j. A "bound" leaf claims U <= incumbent + GapSlack. An
+// "infeasible" leaf applies the same inequality with c' = 0: U < 0 proves
+// 0 <= U < 0 is impossible, so the leaf's box holds no feasible point
+// (y is then exactly a Farkas certificate). No dual feasibility of d is
+// required — the box supremum absorbs any sign of d — so even clamped or
+// slightly perturbed dual vectors yield sound (merely weaker) bounds.
+package certify
+
+// Version is the certificate schema version emitted and accepted.
+const Version = 1
+
+// Row operators, as encoded in Row.Op.
+const (
+	OpLE = "<="
+	OpGE = ">="
+	OpEQ = "="
+)
+
+// Leaf kinds, as encoded in Leaf.Kind.
+const (
+	// KindBound claims the leaf's LP relaxation cannot beat the incumbent:
+	// the weak-duality bound from Duals[Leaf.Dual] is <= objective+GapSlack.
+	KindBound = "bound"
+	// KindInfeasible claims the leaf's box holds no feasible point: the
+	// c'=0 weak-duality bound from Duals[Leaf.Dual] is strictly negative.
+	KindInfeasible = "infeasible"
+	// KindLatticeEmpty claims the leaf's integer box is empty (some integer
+	// variable has ceil(lo) > floor(hi)); no dual vector is needed.
+	KindLatticeEmpty = "latticeEmpty"
+)
+
+// Certificate statuses.
+const (
+	// StatusOptimal certifies X as an optimal solution (within GapSlack).
+	StatusOptimal = "optimal"
+	// StatusInfeasible certifies that no integer-feasible point exists.
+	StatusInfeasible = "infeasible"
+)
+
+// Var is one decision variable of the embedded instance. Nil bounds encode
+// infinities (Lo nil = -inf, Hi nil = +inf), which JSON cannot carry as
+// numbers.
+type Var struct {
+	Name    string   `json:"name,omitempty"`
+	Lo      *float64 `json:"lo,omitempty"`
+	Hi      *float64 `json:"hi,omitempty"`
+	Obj     float64  `json:"obj,omitempty"`
+	Integer bool     `json:"integer,omitempty"`
+}
+
+// NZ is one nonzero coefficient of a row.
+type NZ struct {
+	Var   int     `json:"v"`
+	Coeff float64 `json:"c"`
+}
+
+// Row is one linear constraint of the embedded instance.
+type Row struct {
+	Name  string  `json:"name,omitempty"`
+	Terms []NZ    `json:"terms"`
+	Op    string  `json:"op"`
+	RHS   float64 `json:"rhs"`
+}
+
+// Branch records one branching decision: node Node was split on integer
+// variable IntVars[KVar] at integer value Floor into the Down child
+// (x <= Floor) and the Up child (x >= Floor+1). Child boxes are never
+// stored; the verifier re-derives them by walking the tree from the root
+// box, so a corrupted branch cannot silently shrink the claimed coverage.
+type Branch struct {
+	Node  int     `json:"node"`
+	KVar  int     `json:"kvar"`
+	Floor float64 `json:"floor"`
+	Down  int     `json:"down"`
+	Up    int     `json:"up"`
+}
+
+// Leaf records one fathomed subproblem of the branch tree. Dual indexes
+// into Certificate.Duals (-1 for KindLatticeEmpty). Nodes pruned before
+// their own LP was solved reference their parent's dual vector: a parent
+// bound restricted to a child box only gets tighter, so the proof transfers.
+type Leaf struct {
+	Node int    `json:"node"`
+	Kind string `json:"kind"`
+	Dual int    `json:"dual"`
+}
+
+// Certificate is a machine-checkable proof of optimality (or integer
+// infeasibility) for one branch-and-bound solve. It is self-contained: the
+// instance is embedded, so the verifier needs no access to the solver or
+// the original model.
+type Certificate struct {
+	Version int    `json:"version"`
+	Sense   string `json:"sense"`  // "maximize" or "minimize"
+	Status  string `json:"status"` // StatusOptimal or StatusInfeasible
+
+	Vars []Var `json:"vars"`
+	Rows []Row `json:"rows"`
+	// IntVars lists the integer-constrained variable indices in the
+	// solver's branching order; Branch.KVar indexes into it.
+	IntVars []int `json:"intVars"`
+
+	// X is the certified incumbent (StatusOptimal only), one value per
+	// variable; integer entries are exactly integral.
+	X []float64 `json:"x,omitempty"`
+	// Objective is the incumbent objective in the problem's sense.
+	Objective float64 `json:"objective"`
+	// GapSlack is the absolute maximize-form slack allowed on every bound
+	// leaf: the certificate proves no integer point beats the incumbent by
+	// more than GapSlack. It covers the solver's relative gap tolerance
+	// plus float headroom for the kernel-extracted dual vectors.
+	GapSlack float64 `json:"gapSlack"`
+	// FeasTol is the relative primal feasibility tolerance applied to the
+	// incumbent's row activities and bounds (integrality is checked
+	// exactly).
+	FeasTol float64 `json:"feasTol"`
+
+	Branches []Branch    `json:"branches,omitempty"`
+	Leaves   []Leaf      `json:"leaves"`
+	Duals    [][]float64 `json:"duals,omitempty"`
+}

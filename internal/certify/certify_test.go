@@ -1,0 +1,261 @@
+package certify
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+// mkOptimal hand-builds a small valid optimal certificate:
+//
+//	maximize 3a + 2b,  a,b binary,  a + b <= 1
+//
+// with a branch on a at 0 and both children fathomed by the single dual
+// vector y = [2]: up leaf U = 3 (ties the incumbent), down leaf U = 2.
+func mkOptimal() *Certificate {
+	return &Certificate{
+		Version: Version,
+		Sense:   "maximize",
+		Status:  StatusOptimal,
+		Vars: []Var{
+			{Name: "a", Lo: fp(0), Hi: fp(1), Obj: 3, Integer: true},
+			{Name: "b", Lo: fp(0), Hi: fp(1), Obj: 2, Integer: true},
+		},
+		Rows: []Row{
+			{Name: "r0", Terms: []NZ{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, Op: OpLE, RHS: 1},
+		},
+		IntVars:   []int{0, 1},
+		X:         []float64{1, 0},
+		Objective: 3,
+		GapSlack:  1e-6,
+		FeasTol:   1e-6,
+		Branches:  []Branch{{Node: 0, KVar: 0, Floor: 0, Down: 1, Up: 2}},
+		Leaves:    []Leaf{{Node: 1, Kind: KindBound, Dual: 0}, {Node: 2, Kind: KindBound, Dual: 0}},
+		Duals:     [][]float64{{2}},
+	}
+}
+
+// mkInfeasible hand-builds a valid infeasibility certificate:
+//
+//	a + b >= 3 over binaries, Farkas multiplier y = [-1]: U = -1 < 0.
+func mkInfeasible() *Certificate {
+	return &Certificate{
+		Version: Version,
+		Sense:   "maximize",
+		Status:  StatusInfeasible,
+		Vars: []Var{
+			{Name: "a", Lo: fp(0), Hi: fp(1), Obj: 1, Integer: true},
+			{Name: "b", Lo: fp(0), Hi: fp(1), Obj: 1, Integer: true},
+		},
+		Rows: []Row{
+			{Name: "need", Terms: []NZ{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, Op: OpGE, RHS: 3},
+		},
+		IntVars:  []int{0, 1},
+		GapSlack: 1e-6,
+		FeasTol:  1e-6,
+		Leaves:   []Leaf{{Node: 0, Kind: KindInfeasible, Dual: 0}},
+		Duals:    [][]float64{{-1}},
+	}
+}
+
+func TestVerifyValidOptimal(t *testing.T) {
+	rep, err := Verify(mkOptimal())
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.Status != StatusOptimal || rep.Objective != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Branches != 1 || rep.Leaves != 2 || rep.BoundLeaves != 2 || rep.DualVectors != 1 {
+		t.Fatalf("report counts %+v", rep)
+	}
+}
+
+func TestVerifyValidInfeasible(t *testing.T) {
+	rep, err := Verify(mkInfeasible())
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.Status != StatusInfeasible || rep.InfeasibleLeaves != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestVerifyValidLatticeEmpty(t *testing.T) {
+	c := &Certificate{
+		Version:  Version,
+		Sense:    "maximize",
+		Status:   StatusInfeasible,
+		Vars:     []Var{{Name: "x", Lo: fp(0.2), Hi: fp(0.8), Obj: 1, Integer: true}},
+		IntVars:  []int{0},
+		GapSlack: 0,
+		FeasTol:  1e-6,
+		Leaves:   []Leaf{{Node: 0, Kind: KindLatticeEmpty, Dual: -1}},
+	}
+	rep, err := Verify(c)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.EmptyLeaves != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestVerifyMinimizeSense(t *testing.T) {
+	// minimize 2x subject to x >= 1, x integer in [0,3]: optimum x=1, obj 2.
+	// Max form objective is -2; dual y=[-2] on the GE row gives
+	// d = -2 - (-2)(1) = 0, U = y*b = -2 = incumbent.
+	c := &Certificate{
+		Version:   Version,
+		Sense:     "minimize",
+		Status:    StatusOptimal,
+		Vars:      []Var{{Name: "x", Lo: fp(0), Hi: fp(3), Obj: 2, Integer: true}},
+		Rows:      []Row{{Terms: []NZ{{Var: 0, Coeff: 1}}, Op: OpGE, RHS: 1}},
+		IntVars:   []int{0},
+		X:         []float64{1},
+		Objective: 2,
+		GapSlack:  1e-9,
+		FeasTol:   1e-6,
+		Leaves:    []Leaf{{Node: 0, Kind: KindBound, Dual: 0}},
+		Duals:     [][]float64{{-2}},
+	}
+	if _, err := Verify(c); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyFreeVariableBound(t *testing.T) {
+	// A free continuous variable with a nonzero reduced objective makes the
+	// bound unbounded above: the dual vector is unusable and the leaf must
+	// be rejected.
+	c := mkOptimal()
+	c.Vars = append(c.Vars, Var{Name: "z", Obj: 1}) // free, in no row
+	c.X = append(c.X, 0)
+	_, err := Verify(c)
+	if err == nil || !strings.Contains(err.Error(), "unbounded") {
+		t.Fatalf("err = %v, want unbounded-above rejection", err)
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Certificate)
+		wantSub string
+	}{
+		{"nil", func(c *Certificate) {}, ""}, // replaced below
+		{"bad version", func(c *Certificate) { c.Version = 99 }, "version"},
+		{"bad sense", func(c *Certificate) { c.Sense = "max" }, "sense"},
+		{"bad status", func(c *Certificate) { c.Status = "done" }, "status"},
+		{"corrupted objective", func(c *Certificate) { c.Objective = 4 }, "objective"},
+		{"infeasible X", func(c *Certificate) { c.X = []float64{1, 1} }, "violated"},
+		{"fractional integer", func(c *Certificate) { c.X = []float64{0.5, 0}; c.Objective = 1.5 }, "fractional"},
+		{"X out of bounds", func(c *Certificate) { c.X = []float64{1, -1}; c.Objective = 1 }, "bound"},
+		{"X length", func(c *Certificate) { c.X = []float64{1} }, "entries"},
+		{"NaN in X", func(c *Certificate) { c.X = []float64{1, math.NaN()} }, "non-finite"},
+		{"corrupted dual sign", func(c *Certificate) { c.Duals[0][0] = -2 }, "negative multiplier"},
+		{"dual length", func(c *Certificate) { c.Duals[0] = []float64{2, 1} }, "entries"},
+		{"NaN dual", func(c *Certificate) { c.Duals[0][0] = math.NaN() }, "non-finite"},
+		{"weakened incumbent", func(c *Certificate) {
+			// X=[0,1] is feasible with objective 2, but the up leaf still
+			// proves only U=3: the bound no longer closes the tree.
+			c.X = []float64{0, 1}
+			c.Objective = 2
+		}, "bound proof"},
+		{"corrupted branch child", func(c *Certificate) { c.Branches[0].Down = 3 }, "neither branched nor fathomed"},
+		{"branch kvar range", func(c *Certificate) { c.Branches[0].KVar = 5 }, "kvar"},
+		{"fractional floor", func(c *Certificate) { c.Branches[0].Floor = 0.5 }, "floor"},
+		{"missing leaf", func(c *Certificate) { c.Leaves = c.Leaves[:1] }, "neither branched nor fathomed"},
+		{"duplicate leaf", func(c *Certificate) { c.Leaves[1].Node = 1 }, "twice"},
+		{"branch and leaf", func(c *Certificate) { c.Leaves[0].Node = 0 }, "both"},
+		{"orphan node", func(c *Certificate) {
+			c.Leaves = append(c.Leaves, Leaf{Node: 9, Kind: KindBound, Dual: 0})
+		}, "unreachable"},
+		{"unknown kind", func(c *Certificate) { c.Leaves[0].Kind = "pruned" }, "kind"},
+		{"dual index range", func(c *Certificate) { c.Leaves[0].Dual = 7 }, "dual vector"},
+		{"latticeEmpty nonempty", func(c *Certificate) {
+			c.Leaves[0] = Leaf{Node: 1, Kind: KindLatticeEmpty, Dual: -1}
+		}, "non-empty"},
+		{"latticeEmpty with dual", func(c *Certificate) {
+			c.Leaves[0] = Leaf{Node: 1, Kind: KindLatticeEmpty, Dual: 0}
+		}, "dual"},
+		{"unknown op", func(c *Certificate) { c.Rows[0].Op = "<" }, "op"},
+		{"row var range", func(c *Certificate) { c.Rows[0].Terms[0].Var = 9 }, "references"},
+		{"NaN rhs", func(c *Certificate) { c.Rows[0].RHS = math.NaN() }, "non-finite"},
+		{"negative gapSlack", func(c *Certificate) { c.GapSlack = -1 }, "gapSlack"},
+		{"negative feasTol", func(c *Certificate) { c.FeasTol = math.Inf(1) }, "feasTol"},
+		{"intVars range", func(c *Certificate) { c.IntVars = []int{0, 9} }, "out of range"},
+		{"intVars duplicate", func(c *Certificate) { c.IntVars = []int{0, 0} }, "twice"},
+		{"intVars not integer", func(c *Certificate) { c.Vars[1].Integer = false }, "not marked integer"},
+		{"empty var bounds", func(c *Certificate) { c.Vars[0].Lo = fp(2) }, "empty bounds"},
+	}
+	for _, tc := range cases[1:] {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mkOptimal()
+			tc.mutate(c)
+			_, err := Verify(c)
+			if err == nil {
+				t.Fatalf("corruption accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsInfeasibleCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Certificate)
+		wantSub string
+	}{
+		{"zeroed farkas", func(c *Certificate) { c.Duals[0][0] = 0 }, "not negative"},
+		{"X on infeasible", func(c *Certificate) { c.X = []float64{1, 1} }, "solution vector"},
+		{"bound leaf on infeasible", func(c *Certificate) { c.Leaves[0].Kind = KindBound }, "bound leaf"},
+		{"positive GE multiplier", func(c *Certificate) { c.Duals[0][0] = 1 }, "positive multiplier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mkInfeasible()
+			tc.mutate(c)
+			if _, err := Verify(c); err == nil {
+				t.Fatalf("corruption accepted")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestVerifyNil(t *testing.T) {
+	if _, err := Verify(nil); err == nil {
+		t.Fatal("nil certificate accepted")
+	}
+}
+
+func TestFloorCeilRat(t *testing.T) {
+	cases := []struct {
+		v         float64
+		floor, cl int64
+	}{
+		{2.5, 2, 3}, {-2.5, -3, -2}, {3, 3, 3}, {-3, -3, -3}, {0.2, 0, 1}, {-0.2, -1, 0},
+	}
+	for _, tc := range cases {
+		r, err := ratOf(tc.v)
+		if err != nil {
+			t.Fatalf("ratOf(%v): %v", tc.v, err)
+		}
+		if got := floorRat(r).Int64(); got != tc.floor {
+			t.Errorf("floor(%v) = %d, want %d", tc.v, got, tc.floor)
+		}
+		if got := ceilRat(r).Int64(); got != tc.cl {
+			t.Errorf("ceil(%v) = %d, want %d", tc.v, got, tc.cl)
+		}
+	}
+	if _, err := ratOf(math.Inf(1)); err == nil {
+		t.Error("ratOf accepted +Inf")
+	}
+}

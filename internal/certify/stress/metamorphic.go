@@ -1,0 +1,239 @@
+package stress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"secmon/internal/certify"
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+)
+
+// enumerateLimit bounds the exhaustive cross-check: instances with more
+// binary variables than this skip the enumeration comparison.
+const enumerateLimit = 12
+
+// objTol is the comparison slack for optimal objectives across equivalent
+// solves, relative to the objective's magnitude.
+func objTol(v float64) float64 { return 1e-6 * (1 + math.Abs(v)) }
+
+// SolveCertified builds the instance, solves it with certification on top
+// of the given solver options, and runs the independent verifier over the
+// emitted certificate. The solve must end proven (optimal or infeasible).
+func SolveCertified(in *Instance, opts ...ilp.Option) (*ilp.Solution, error) {
+	p, err := in.Build()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := p.Solve(append([]ilp.Option{ilp.WithCertificate()}, opts...)...)
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+	if sol.Status != ilp.StatusOptimal && sol.Status != ilp.StatusInfeasible {
+		return nil, fmt.Errorf("solve ended %v, want a proven status", sol.Status)
+	}
+	if sol.Certificate == nil {
+		return nil, fmt.Errorf("no certificate on status %v: %s", sol.Status, sol.CertificateNote)
+	}
+	rep, err := certify.Verify(sol.Certificate)
+	if err != nil {
+		return nil, fmt.Errorf("certificate rejected: %w", err)
+	}
+	wantStatus := certify.StatusOptimal
+	if sol.Status == ilp.StatusInfeasible {
+		wantStatus = certify.StatusInfeasible
+	}
+	if rep.Status != wantStatus {
+		return nil, fmt.Errorf("certificate status %q, solver status %v", rep.Status, sol.Status)
+	}
+	return sol, nil
+}
+
+// CheckInstance certifies one instance and cross-checks it against the
+// family's expected status and, for small instances, exhaustive enumeration.
+func CheckInstance(in *Instance, opts ...ilp.Option) error {
+	sol, err := SolveCertified(in, opts...)
+	if err != nil {
+		return err
+	}
+	wantInfeasible := in.Family == FamilyInfeasible
+	if gotInfeasible := sol.Status == ilp.StatusInfeasible; gotInfeasible != wantInfeasible {
+		return fmt.Errorf("status %v, family %s expects infeasible=%v", sol.Status, in.Family, wantInfeasible)
+	}
+	if sol.Status == ilp.StatusOptimal && len(in.Cost) <= enumerateLimit {
+		p, err := in.Build()
+		if err != nil {
+			return err
+		}
+		ref, err := p.Enumerate()
+		if err != nil {
+			return fmt.Errorf("enumerate: %w", err)
+		}
+		if math.Abs(ref.Objective-sol.Objective) > objTol(ref.Objective) {
+			return fmt.Errorf("certified objective %v != enumerated %v", sol.Objective, ref.Objective)
+		}
+	}
+	return nil
+}
+
+// Permute returns the instance with variables renumbered by a seeded random
+// permutation and rows (and each row's terms) shuffled. The optimal
+// objective is invariant under this transform.
+func Permute(in *Instance, seed int64) *Instance {
+	r := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	n := len(in.Cost)
+	perm := r.Perm(n) // perm[old] = new index
+	out := &Instance{
+		Family:   in.Family,
+		Seed:     in.Seed,
+		Note:     fmt.Sprintf("%s permuted seed=%d", in.Note, seed),
+		Maximize: in.Maximize,
+		Cost:     make([]float64, n),
+		Lo:       make([]float64, n),
+		Hi:       make([]float64, n),
+		Integer:  make([]bool, n),
+	}
+	for j := 0; j < n; j++ {
+		out.Cost[perm[j]] = in.Cost[j]
+		out.Lo[perm[j]] = in.Lo[j]
+		out.Hi[perm[j]] = in.Hi[j]
+		out.Integer[perm[j]] = in.Integer[j]
+	}
+	rowOrder := r.Perm(len(in.Rows))
+	out.Rows = make([]RowSpec, len(in.Rows))
+	for i, row := range in.Rows {
+		terms := make([]Term, len(row.Terms))
+		for k, tm := range row.Terms {
+			terms[k] = Term{Var: perm[tm.Var], Coeff: tm.Coeff}
+		}
+		r.Shuffle(len(terms), func(a, b int) { terms[a], terms[b] = terms[b], terms[a] })
+		out.Rows[rowOrder[i]] = RowSpec{Name: row.Name, Terms: terms, Op: row.Op, RHS: row.RHS}
+	}
+	return out
+}
+
+// ScaleCosts multiplies every objective coefficient by lambda > 0; the
+// optimal objective scales by exactly lambda and feasibility is unchanged.
+func ScaleCosts(in *Instance, lambda float64) *Instance {
+	out := *in
+	out.Note = fmt.Sprintf("%s costs scaled by %g", in.Note, lambda)
+	out.Cost = make([]float64, len(in.Cost))
+	for j, c := range in.Cost {
+		out.Cost[j] = lambda * c
+	}
+	return &out
+}
+
+// TightenFirstLE scales the first <=-row's RHS by factor in (0, 1); for a
+// maximize instance the optimum cannot increase (it may become infeasible).
+// Returns nil when the instance has no <= row.
+func TightenFirstLE(in *Instance, factor float64) *Instance {
+	for i, row := range in.Rows {
+		if row.Op != lp.LE {
+			continue
+		}
+		out := *in
+		out.Note = fmt.Sprintf("%s row %d tightened by %g", in.Note, i, factor)
+		out.Rows = append([]RowSpec(nil), in.Rows...)
+		r := out.Rows[i]
+		r.RHS *= factor
+		out.Rows[i] = r
+		return &out
+	}
+	return nil
+}
+
+// AddBonusVar appends one new binary variable with positive objective
+// value, consuming capacity only in <=-rows. Every previously feasible
+// solution stays feasible with the new variable at 0, so a maximize
+// optimum cannot decrease.
+func AddBonusVar(in *Instance, seed int64) *Instance {
+	r := rand.New(rand.NewSource(seed ^ 0x2545F4914F6CDD1D))
+	n := len(in.Cost)
+	out := *in
+	out.Note = fmt.Sprintf("%s plus bonus var", in.Note)
+	out.Cost = append(append([]float64(nil), in.Cost...), 0.5+2*r.Float64())
+	out.Lo = append(append([]float64(nil), in.Lo...), 0)
+	out.Hi = append(append([]float64(nil), in.Hi...), 1)
+	out.Integer = append(append([]bool(nil), in.Integer...), true)
+	out.Rows = make([]RowSpec, len(in.Rows))
+	for i, row := range in.Rows {
+		terms := append([]Term(nil), row.Terms...)
+		if row.Op == lp.LE {
+			terms = append(terms, Term{Var: n, Coeff: 0.5 + 3*r.Float64()})
+		}
+		out.Rows[i] = RowSpec{Name: row.Name, Terms: terms, Op: row.Op, RHS: row.RHS}
+	}
+	return &out
+}
+
+// CheckMetamorphic certifies the instance and every metamorphic variant and
+// checks the relations between their optima:
+//
+//   - permutation invariance: identical status and objective;
+//   - cost scaling by lambda: objective scales by exactly lambda;
+//   - budget tightening: the optimum never increases (infeasible counts as
+//     decreased);
+//   - variable addition: the optimum never decreases.
+//
+// The monotonicity checks are skipped for infeasible instances, where both
+// sides are vacuous.
+func CheckMetamorphic(in *Instance, opts ...ilp.Option) error {
+	base, err := SolveCertified(in, opts...)
+	if err != nil {
+		return fmt.Errorf("base: %w", err)
+	}
+
+	perm, err := SolveCertified(Permute(in, in.Seed+7), opts...)
+	if err != nil {
+		return fmt.Errorf("permuted: %w", err)
+	}
+	if perm.Status != base.Status {
+		return fmt.Errorf("permuted status %v != base %v", perm.Status, base.Status)
+	}
+	if base.Status == ilp.StatusOptimal && math.Abs(perm.Objective-base.Objective) > objTol(base.Objective) {
+		return fmt.Errorf("permuted objective %v != base %v", perm.Objective, base.Objective)
+	}
+
+	lambda := 0.5 + float64(in.Seed%7)/2 // in [0.5, 3.5], seed-determined
+	scaled, err := SolveCertified(ScaleCosts(in, lambda), opts...)
+	if err != nil {
+		return fmt.Errorf("scaled: %w", err)
+	}
+	if scaled.Status != base.Status {
+		return fmt.Errorf("scaled status %v != base %v", scaled.Status, base.Status)
+	}
+	if base.Status == ilp.StatusOptimal {
+		want := lambda * base.Objective
+		if math.Abs(scaled.Objective-want) > objTol(want) {
+			return fmt.Errorf("scaled objective %v, want %v (lambda %g)", scaled.Objective, want, lambda)
+		}
+	}
+
+	if base.Status != ilp.StatusOptimal {
+		return nil
+	}
+
+	if tight := TightenFirstLE(in, 0.6); tight != nil {
+		sol, err := SolveCertified(tight, opts...)
+		if err != nil {
+			return fmt.Errorf("tightened: %w", err)
+		}
+		if sol.Status == ilp.StatusOptimal && sol.Objective > base.Objective+objTol(base.Objective) {
+			return fmt.Errorf("tightened objective %v exceeds base %v", sol.Objective, base.Objective)
+		}
+	}
+
+	grown, err := SolveCertified(AddBonusVar(in, in.Seed+13), opts...)
+	if err != nil {
+		return fmt.Errorf("grown: %w", err)
+	}
+	if grown.Status != ilp.StatusOptimal {
+		return fmt.Errorf("grown status %v, want optimal", grown.Status)
+	}
+	if grown.Objective < base.Objective-objTol(base.Objective) {
+		return fmt.Errorf("grown objective %v below base %v", grown.Objective, base.Objective)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package stress generates seeded random ILP instances and drives the
+// certificate verifier and a metamorphic test harness over them.
+//
+// Four instance families target distinct solver behaviors:
+//
+//   - feasible: random knapsacks whose LP relaxation is fractional, so the
+//     search genuinely branches and fathoms by bound;
+//   - infeasible: knapsacks with a decisively unsatisfiable covering row
+//     (violated by at least 0.5), exercising Farkas certificates;
+//   - degenerate: duplicated columns and tied costs, exercising dual
+//     degeneracy and tie-breaking;
+//   - lp-tight: unit weights with an integral capacity, so the root LP
+//     optimum is already integral and certificates close at the root.
+//
+// Every instance is a pure value (Instance) rebuilt into a fresh
+// *ilp.Problem per solve, which is what lets the metamorphic transforms in
+// this package (permutation, cost scaling, budget tightening, variable
+// addition) operate on the description rather than on solver state.
+// Generation is seeded: Generate(family, seed) is deterministic, so a
+// failing instance is reproducible from its (family, seed) pair alone.
+package stress
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+)
+
+// Family names one of the generated instance families.
+type Family string
+
+// The generated instance families.
+const (
+	FamilyFeasible   Family = "feasible"
+	FamilyInfeasible Family = "infeasible"
+	FamilyDegenerate Family = "degenerate"
+	FamilyLPTight    Family = "lp-tight"
+)
+
+// Families lists every generated family, in a fixed order.
+func Families() []Family {
+	return []Family{FamilyFeasible, FamilyInfeasible, FamilyDegenerate, FamilyLPTight}
+}
+
+// Term is one nonzero coefficient of a row, by variable index.
+type Term struct {
+	Var   int     `json:"v"`
+	Coeff float64 `json:"c"`
+}
+
+// RowSpec is one linear constraint of an instance.
+type RowSpec struct {
+	Name  string  `json:"name,omitempty"`
+	Terms []Term  `json:"terms"`
+	Op    lp.Op   `json:"op"`
+	RHS   float64 `json:"rhs"`
+}
+
+// Instance is a self-contained, JSON-serializable ILP description. The
+// Family and Seed fields identify how it was generated (or transformed) so
+// dumped failures replay exactly.
+type Instance struct {
+	Family   Family    `json:"family"`
+	Seed     int64     `json:"seed"`
+	Note     string    `json:"note,omitempty"`
+	Maximize bool      `json:"maximize"`
+	Cost     []float64 `json:"cost"`
+	Lo       []float64 `json:"lo"`
+	Hi       []float64 `json:"hi"`
+	Integer  []bool    `json:"integer"`
+	Rows     []RowSpec `json:"rows"`
+}
+
+// Build assembles a fresh solver problem from the description. Problems are
+// single-use; call Build once per solve.
+func (in *Instance) Build() (*ilp.Problem, error) {
+	sense := lp.Minimize
+	if in.Maximize {
+		sense = lp.Maximize
+	}
+	p := ilp.NewProblem(sense)
+	ids := make([]lp.VarID, len(in.Cost))
+	for j := range in.Cost {
+		var (
+			id  lp.VarID
+			err error
+		)
+		name := fmt.Sprintf("x%d", j)
+		if in.Integer[j] {
+			id, err = p.AddIntegerVariable(name, in.Lo[j], in.Hi[j], in.Cost[j])
+		} else {
+			id, err = p.AddVariable(name, in.Lo[j], in.Hi[j], in.Cost[j])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stress: add variable %d: %w", j, err)
+		}
+		ids[j] = id
+	}
+	for i, row := range in.Rows {
+		terms := make([]lp.Term, len(row.Terms))
+		for k, tm := range row.Terms {
+			if tm.Var < 0 || tm.Var >= len(ids) {
+				return nil, fmt.Errorf("stress: row %d references variable %d", i, tm.Var)
+			}
+			terms[k] = lp.Term{Var: ids[tm.Var], Coeff: tm.Coeff}
+		}
+		name := row.Name
+		if name == "" {
+			name = fmt.Sprintf("r%d", i)
+		}
+		if _, err := p.AddConstraint(name, terms, row.Op, row.RHS); err != nil {
+			return nil, fmt.Errorf("stress: add row %d: %w", i, err)
+		}
+	}
+	return p, nil
+}
+
+// Generate builds the seeded random instance of the given family.
+// Unknown families panic: callers enumerate Families().
+func Generate(family Family, seed int64) *Instance {
+	r := rand.New(rand.NewSource(seed*1_000_003 + int64(len(family))))
+	switch family {
+	case FamilyFeasible:
+		return genFeasible(family, seed, r)
+	case FamilyInfeasible:
+		return genInfeasible(family, seed, r)
+	case FamilyDegenerate:
+		return genDegenerate(family, seed, r)
+	case FamilyLPTight:
+		return genLPTight(family, seed, r)
+	default:
+		panic(fmt.Sprintf("stress: unknown family %q", family))
+	}
+}
+
+// newBinaryInstance sets up n binary variables with the given objective
+// coefficients.
+func newBinaryInstance(family Family, seed int64, cost []float64) *Instance {
+	n := len(cost)
+	in := &Instance{
+		Family:   family,
+		Seed:     seed,
+		Maximize: true,
+		Cost:     cost,
+		Lo:       make([]float64, n),
+		Hi:       make([]float64, n),
+		Integer:  make([]bool, n),
+	}
+	for j := 0; j < n; j++ {
+		in.Hi[j] = 1
+		in.Integer[j] = true
+	}
+	return in
+}
+
+// genFeasible is a random 0/1 knapsack (occasionally two resource rows)
+// whose capacity is an interior fraction of the total weight, so the LP
+// optimum is almost always fractional.
+func genFeasible(family Family, seed int64, r *rand.Rand) *Instance {
+	n := 3 + r.Intn(8)
+	cost := make([]float64, n)
+	for j := range cost {
+		cost[j] = 1 + 9*r.Float64()
+	}
+	in := newBinaryInstance(family, seed, cost)
+	nRows := 1
+	if r.Float64() < 0.3 {
+		nRows = 2
+	}
+	for i := 0; i < nRows; i++ {
+		terms := make([]Term, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			w := 0.5 + 9.5*r.Float64()
+			terms[j] = Term{Var: j, Coeff: w}
+			total += w
+		}
+		cap := total * (0.3 + 0.4*r.Float64())
+		in.Rows = append(in.Rows, RowSpec{Terms: terms, Op: lp.LE, RHS: cap})
+	}
+	return in
+}
+
+// genInfeasible layers a decisively unsatisfiable requirement over a
+// feasible knapsack: either a covering row demanding strictly more than
+// every variable at its upper bound provides (margin >= 0.5), or an
+// equality pinned beyond reach.
+func genInfeasible(family Family, seed int64, r *rand.Rand) *Instance {
+	in := genFeasible(family, seed, r)
+	n := len(in.Cost)
+	terms := make([]Term, n)
+	for j := 0; j < n; j++ {
+		terms[j] = Term{Var: j, Coeff: 1}
+	}
+	margin := 0.5 + 2*r.Float64()
+	if r.Float64() < 0.5 {
+		in.Rows = append(in.Rows, RowSpec{Name: "impossible", Terms: terms, Op: lp.GE, RHS: float64(n) + margin})
+	} else {
+		in.Rows = append(in.Rows, RowSpec{Name: "impossible", Terms: terms, Op: lp.EQ, RHS: float64(n) + margin})
+	}
+	return in
+}
+
+// genDegenerate duplicates a handful of (value, weight) column templates
+// several times each and quantizes everything, creating heavy objective and
+// basis ties.
+func genDegenerate(family Family, seed int64, r *rand.Rand) *Instance {
+	templates := 2 + r.Intn(3)
+	copies := 2 + r.Intn(2)
+	var cost []float64
+	var weight []float64
+	for t := 0; t < templates; t++ {
+		v := float64(1 + r.Intn(6))
+		w := float64(1 + r.Intn(4))
+		for c := 0; c < copies; c++ {
+			cost = append(cost, v)
+			weight = append(weight, w)
+		}
+	}
+	in := newBinaryInstance(family, seed, cost)
+	n := len(cost)
+	terms := make([]Term, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		terms[j] = Term{Var: j, Coeff: weight[j]}
+		total += weight[j]
+	}
+	// An integer capacity at roughly half the total weight keeps many tied
+	// optimal vertices.
+	in.Rows = append(in.Rows, RowSpec{Terms: terms, Op: lp.LE, RHS: float64(int(total / 2))})
+	if r.Float64() < 0.5 {
+		// Pin the first template's copies to an exact count, adding an
+		// equality row to the mix.
+		k := copies / 2
+		eq := make([]Term, copies)
+		for c := 0; c < copies; c++ {
+			eq[c] = Term{Var: c, Coeff: 1}
+		}
+		in.Rows = append(in.Rows, RowSpec{Name: "pin", Terms: eq, Op: lp.EQ, RHS: float64(k)})
+	}
+	return in
+}
+
+// genLPTight uses unit weights and an integral capacity, so the LP
+// relaxation optimum is integral at the root and the certificate closes
+// without branching.
+func genLPTight(family Family, seed int64, r *rand.Rand) *Instance {
+	n := 4 + r.Intn(8)
+	cost := make([]float64, n)
+	for j := range cost {
+		// Distinct values avoid fractional ties at the capacity boundary.
+		cost[j] = float64(j+1) + r.Float64()*0.25
+	}
+	in := newBinaryInstance(family, seed, cost)
+	terms := make([]Term, n)
+	for j := 0; j < n; j++ {
+		terms[j] = Term{Var: j, Coeff: 1}
+	}
+	k := 1 + r.Intn(n-1)
+	in.Rows = append(in.Rows, RowSpec{Terms: terms, Op: lp.LE, RHS: float64(k)})
+	return in
+}

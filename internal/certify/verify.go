@@ -1,0 +1,615 @@
+package certify
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Report summarizes a successful verification.
+type Report struct {
+	// Status echoes the certified claim: "optimal" or "infeasible".
+	Status string `json:"status"`
+	// Objective echoes the certified objective (problem sense); meaningful
+	// for StatusOptimal.
+	Objective float64 `json:"objective"`
+	// GapSlack echoes the absolute maximize-form slack the optimality
+	// claim carries: no integer point beats the incumbent by more.
+	GapSlack float64 `json:"gapSlack"`
+	// Branches and Leaves count the verified tree nodes; BoundLeaves,
+	// InfeasibleLeaves and EmptyLeaves split Leaves by proof kind.
+	Branches         int `json:"branches"`
+	Leaves           int `json:"leaves"`
+	BoundLeaves      int `json:"boundLeaves"`
+	InfeasibleLeaves int `json:"infeasibleLeaves"`
+	EmptyLeaves      int `json:"emptyLeaves"`
+	// DualVectors counts the distinct dual vectors in the pool.
+	DualVectors int `json:"dualVectors"`
+}
+
+// Verify checks a certificate end to end with exact rational arithmetic and
+// returns a non-nil error describing the first violated condition. It never
+// runs a simplex solve: every leaf bound is a direct evaluation of the
+// weak-duality inequality documented on the package.
+//
+// A nil error means, exactly:
+//   - StatusOptimal: X is feasible (within FeasTol, integrality exact) with
+//     objective Objective, and no point of the instance whose IntVars take
+//     integer values has a maximize-form objective exceeding X's by more
+//     than GapSlack.
+//   - StatusInfeasible: no point of the instance has all IntVars integral
+//     and all rows satisfied.
+func Verify(c *Certificate) (*Report, error) {
+	if c == nil {
+		return nil, fmt.Errorf("certify: nil certificate")
+	}
+	if c.Version != Version {
+		return nil, fmt.Errorf("certify: unsupported version %d (want %d)", c.Version, Version)
+	}
+	v, err := newVerifier(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.checkPrimal(); err != nil {
+		return nil, err
+	}
+	rep, err := v.checkTree()
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// verifier holds the exact-rational view of one certificate.
+type verifier struct {
+	c        *Certificate
+	maximize bool
+
+	objMax []*big.Rat // per variable: maximize-form objective coefficient
+	lo, hi []*big.Rat // per variable: original bounds, nil = infinite
+	rows   []exRow
+
+	intSet map[int]bool // variable index -> is in IntVars
+
+	rootLo, rootHi []*big.Int // per IntVars entry, nil = infinite
+
+	gapSlack, feasTol *big.Rat
+	incMax            *big.Rat // exact maximize-form objective of X (optimal only)
+
+	dualCache map[dualKey]*dualEval
+}
+
+type exRow struct {
+	terms []exTerm
+	op    string
+	rhs   *big.Rat
+}
+
+type exTerm struct {
+	j int
+	a *big.Rat
+}
+
+// dualKey selects one cached dual evaluation: the vector index and whether
+// the objective is included (bound leaves) or zeroed (infeasibility leaves).
+type dualKey struct {
+	idx    int
+	farkas bool
+}
+
+// dualEval caches the leaf-box-independent parts of the weak-duality bound
+// for one dual vector: base = y·b + continuous sup terms, and dInt = the
+// reduced objective d restricted to the integer variables. A non-nil err
+// poisons every leaf referencing the vector (e.g. wrong dual signs or an
+// unbounded continuous sup).
+type dualEval struct {
+	base *big.Rat
+	dInt []*big.Rat
+	err  error
+}
+
+func newVerifier(c *Certificate) (*verifier, error) {
+	v := &verifier{c: c, dualCache: make(map[dualKey]*dualEval)}
+	switch c.Sense {
+	case "maximize":
+		v.maximize = true
+	case "minimize":
+		v.maximize = false
+	default:
+		return nil, fmt.Errorf("certify: unknown sense %q", c.Sense)
+	}
+	if c.Status != StatusOptimal && c.Status != StatusInfeasible {
+		return nil, fmt.Errorf("certify: unknown status %q", c.Status)
+	}
+
+	n := len(c.Vars)
+	v.objMax = make([]*big.Rat, n)
+	v.lo = make([]*big.Rat, n)
+	v.hi = make([]*big.Rat, n)
+	for j, vr := range c.Vars {
+		o, err := ratOf(vr.Obj)
+		if err != nil {
+			return nil, fmt.Errorf("certify: var %d objective: %w", j, err)
+		}
+		if !v.maximize {
+			o.Neg(o)
+		}
+		v.objMax[j] = o
+		if vr.Lo != nil {
+			if v.lo[j], err = ratOf(*vr.Lo); err != nil {
+				return nil, fmt.Errorf("certify: var %d lower bound: %w", j, err)
+			}
+		}
+		if vr.Hi != nil {
+			if v.hi[j], err = ratOf(*vr.Hi); err != nil {
+				return nil, fmt.Errorf("certify: var %d upper bound: %w", j, err)
+			}
+		}
+		if v.lo[j] != nil && v.hi[j] != nil && v.lo[j].Cmp(v.hi[j]) > 0 {
+			return nil, fmt.Errorf("certify: var %d has empty bounds [%v, %v]", j, *vr.Lo, *vr.Hi)
+		}
+	}
+
+	v.rows = make([]exRow, len(c.Rows))
+	for i, r := range c.Rows {
+		if r.Op != OpLE && r.Op != OpGE && r.Op != OpEQ {
+			return nil, fmt.Errorf("certify: row %d has unknown op %q", i, r.Op)
+		}
+		rhs, err := ratOf(r.RHS)
+		if err != nil {
+			return nil, fmt.Errorf("certify: row %d rhs: %w", i, err)
+		}
+		terms := make([]exTerm, 0, len(r.Terms))
+		for _, t := range r.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return nil, fmt.Errorf("certify: row %d references variable %d of %d", i, t.Var, n)
+			}
+			a, err := ratOf(t.Coeff)
+			if err != nil {
+				return nil, fmt.Errorf("certify: row %d coefficient: %w", i, err)
+			}
+			if a.Sign() != 0 {
+				terms = append(terms, exTerm{j: t.Var, a: a})
+			}
+		}
+		v.rows[i] = exRow{terms: terms, op: r.Op, rhs: rhs}
+	}
+
+	v.intSet = make(map[int]bool, len(c.IntVars))
+	v.rootLo = make([]*big.Int, len(c.IntVars))
+	v.rootHi = make([]*big.Int, len(c.IntVars))
+	for k, j := range c.IntVars {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("certify: intVars[%d]=%d out of range", k, j)
+		}
+		if !c.Vars[j].Integer {
+			return nil, fmt.Errorf("certify: intVars[%d]=%d is not marked integer", k, j)
+		}
+		if v.intSet[j] {
+			return nil, fmt.Errorf("certify: variable %d listed twice in intVars", j)
+		}
+		v.intSet[j] = true
+		// The root integer box is derived, never trusted: exactly the
+		// integer points of the original bounds.
+		if v.lo[j] != nil {
+			v.rootLo[k] = ceilRat(v.lo[j])
+		}
+		if v.hi[j] != nil {
+			v.rootHi[k] = floorRat(v.hi[j])
+		}
+	}
+
+	var err error
+	if v.gapSlack, err = ratOf(c.GapSlack); err != nil || v.gapSlack.Sign() < 0 {
+		return nil, fmt.Errorf("certify: invalid gapSlack %v", c.GapSlack)
+	}
+	if v.feasTol, err = ratOf(c.FeasTol); err != nil || v.feasTol.Sign() < 0 {
+		return nil, fmt.Errorf("certify: invalid feasTol %v", c.FeasTol)
+	}
+
+	for i, y := range c.Duals {
+		if len(y) != len(c.Rows) {
+			return nil, fmt.Errorf("certify: dual vector %d has %d entries for %d rows", i, len(y), len(c.Rows))
+		}
+	}
+	return v, nil
+}
+
+// checkPrimal verifies the incumbent: presence matching the status, exact
+// integrality, bounds and row activities within FeasTol, and the reported
+// objective. It also records the exact maximize-form incumbent objective
+// for the leaf bound comparisons.
+func (v *verifier) checkPrimal() error {
+	c := v.c
+	if c.Status == StatusInfeasible {
+		if len(c.X) != 0 {
+			return fmt.Errorf("certify: infeasible certificate carries a solution vector")
+		}
+		return nil
+	}
+	if len(c.X) != len(c.Vars) {
+		return fmt.Errorf("certify: solution has %d entries for %d variables", len(c.X), len(c.Vars))
+	}
+	one := big.NewRat(1, 1)
+	x := make([]*big.Rat, len(c.X))
+	for j, xv := range c.X {
+		r, err := ratOf(xv)
+		if err != nil {
+			return fmt.Errorf("certify: x[%d]: %w", j, err)
+		}
+		x[j] = r
+		if c.Vars[j].Integer && !r.IsInt() {
+			return fmt.Errorf("certify: integer variable %d (%s) has fractional value %v",
+				j, c.Vars[j].Name, xv)
+		}
+		// Bound tolerance scales with the bound magnitude so large-valued
+		// instances are not held to an absolute epsilon.
+		if v.lo[j] != nil {
+			tol := scaledTol(v.feasTol, one, v.lo[j])
+			if new(big.Rat).Add(r, tol).Cmp(v.lo[j]) < 0 {
+				return fmt.Errorf("certify: x[%d]=%v violates lower bound %v", j, xv, *c.Vars[j].Lo)
+			}
+		}
+		if v.hi[j] != nil {
+			tol := scaledTol(v.feasTol, one, v.hi[j])
+			if new(big.Rat).Sub(r, tol).Cmp(v.hi[j]) > 0 {
+				return fmt.Errorf("certify: x[%d]=%v violates upper bound %v", j, xv, *c.Vars[j].Hi)
+			}
+		}
+	}
+
+	term := new(big.Rat)
+	for i, row := range v.rows {
+		act := new(big.Rat)
+		scale := new(big.Rat).Set(one)
+		for _, t := range row.terms {
+			term.Mul(t.a, x[t.j])
+			act.Add(act, term)
+			scale.Add(scale, new(big.Rat).Abs(term))
+		}
+		tol := scaledTol(v.feasTol, scale, row.rhs)
+		diff := new(big.Rat).Sub(act, row.rhs)
+		switch row.op {
+		case OpLE:
+			if diff.Cmp(tol) > 0 {
+				return fmt.Errorf("certify: row %d (%s) violated: activity exceeds rhs", i, c.Rows[i].Name)
+			}
+		case OpGE:
+			if diff.Cmp(new(big.Rat).Neg(tol)) < 0 {
+				return fmt.Errorf("certify: row %d (%s) violated: activity below rhs", i, c.Rows[i].Name)
+			}
+		case OpEQ:
+			if diff.Abs(diff).Cmp(tol) > 0 {
+				return fmt.Errorf("certify: row %d (%s) violated: activity differs from rhs", i, c.Rows[i].Name)
+			}
+		}
+	}
+
+	v.incMax = new(big.Rat)
+	for j := range x {
+		if v.objMax[j].Sign() != 0 {
+			v.incMax.Add(v.incMax, term.Mul(v.objMax[j], x[j]))
+			term = new(big.Rat)
+		}
+	}
+	// The reported objective must match the exact recomputation: Objective
+	// is what callers act on, so a corrupted number is rejected even though
+	// the bound comparisons below use the exact value.
+	reported, err := ratOf(c.Objective)
+	if err != nil {
+		return fmt.Errorf("certify: objective: %w", err)
+	}
+	if !v.maximize {
+		reported.Neg(reported)
+	}
+	tol := scaledTol(v.feasTol, one, v.incMax)
+	if new(big.Rat).Sub(reported, v.incMax).Abs(new(big.Rat).Sub(reported, v.incMax)).Cmp(tol) > 0 {
+		return fmt.Errorf("certify: reported objective %v does not match the solution vector", c.Objective)
+	}
+	return nil
+}
+
+// checkTree walks the branch tree from the root box, re-deriving every
+// node's integer box, and checks each leaf's proof. Every referenced node
+// must be reached exactly once and every node reached must carry exactly
+// one role (branch or leaf): together with the box derivation this is the
+// coverage proof that the leaves partition the root.
+func (v *verifier) checkTree() (*Report, error) {
+	c := v.c
+	branchAt := make(map[int]*Branch, len(c.Branches))
+	for i := range c.Branches {
+		b := &c.Branches[i]
+		if b.KVar < 0 || b.KVar >= len(c.IntVars) {
+			return nil, fmt.Errorf("certify: branch at node %d has kvar %d of %d", b.Node, b.KVar, len(c.IntVars))
+		}
+		f, err := ratOf(b.Floor)
+		if err != nil || !f.IsInt() {
+			return nil, fmt.Errorf("certify: branch at node %d has non-integer floor %v", b.Node, b.Floor)
+		}
+		if _, dup := branchAt[b.Node]; dup {
+			return nil, fmt.Errorf("certify: node %d branched twice", b.Node)
+		}
+		branchAt[b.Node] = b
+	}
+	leafAt := make(map[int]*Leaf, len(c.Leaves))
+	for i := range c.Leaves {
+		l := &c.Leaves[i]
+		if _, dup := leafAt[l.Node]; dup {
+			return nil, fmt.Errorf("certify: node %d fathomed twice", l.Node)
+		}
+		if _, dup := branchAt[l.Node]; dup {
+			return nil, fmt.Errorf("certify: node %d is both branched and fathomed", l.Node)
+		}
+		switch l.Kind {
+		case KindLatticeEmpty:
+			if l.Dual != -1 {
+				return nil, fmt.Errorf("certify: latticeEmpty leaf %d references a dual vector", l.Node)
+			}
+		case KindBound, KindInfeasible:
+			if l.Dual < 0 || l.Dual >= len(c.Duals) {
+				return nil, fmt.Errorf("certify: leaf %d references dual vector %d of %d", l.Node, l.Dual, len(c.Duals))
+			}
+			if l.Kind == KindBound && c.Status == StatusInfeasible {
+				return nil, fmt.Errorf("certify: infeasible certificate has a bound leaf at node %d", l.Node)
+			}
+		default:
+			return nil, fmt.Errorf("certify: leaf %d has unknown kind %q", l.Node, l.Kind)
+		}
+		leafAt[l.Node] = l
+	}
+
+	rep := &Report{
+		Status:      c.Status,
+		Objective:   c.Objective,
+		GapSlack:    c.GapSlack,
+		Branches:    len(c.Branches),
+		Leaves:      len(c.Leaves),
+		DualVectors: len(c.Duals),
+	}
+
+	type frame struct {
+		id     int
+		lo, hi []*big.Int
+	}
+	stack := []frame{{id: 0, lo: v.rootLo, hi: v.rootHi}}
+	visited := make(map[int]bool, len(branchAt)+len(leafAt))
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[f.id] {
+			return nil, fmt.Errorf("certify: node %d reached twice (branch tree is not a tree)", f.id)
+		}
+		visited[f.id] = true
+
+		if b, ok := branchAt[f.id]; ok {
+			k := b.KVar
+			fl := intOfFloat(b.Floor)
+			// Down child: x_k <= floor; up child: x_k >= floor+1. The
+			// children's boxes are derived by intersection, so every
+			// integer point of the parent lands in exactly one child no
+			// matter what the branch record claims.
+			downHi := append([]*big.Int(nil), f.hi...)
+			if downHi[k] == nil || downHi[k].Cmp(fl) > 0 {
+				downHi[k] = fl
+			}
+			upLo := append([]*big.Int(nil), f.lo...)
+			flp1 := new(big.Int).Add(fl, big.NewInt(1))
+			if upLo[k] == nil || upLo[k].Cmp(flp1) < 0 {
+				upLo[k] = flp1
+			}
+			stack = append(stack,
+				frame{id: b.Down, lo: f.lo, hi: downHi},
+				frame{id: b.Up, lo: upLo, hi: f.hi})
+			continue
+		}
+		l, ok := leafAt[f.id]
+		if !ok {
+			return nil, fmt.Errorf("certify: node %d is neither branched nor fathomed (coverage hole)", f.id)
+		}
+		if err := v.checkLeaf(l, f.lo, f.hi, rep); err != nil {
+			return nil, err
+		}
+	}
+	if len(visited) != len(branchAt)+len(leafAt) {
+		return nil, fmt.Errorf("certify: %d of %d recorded nodes are unreachable from the root",
+			len(branchAt)+len(leafAt)-len(visited), len(branchAt)+len(leafAt))
+	}
+	return rep, nil
+}
+
+// checkLeaf verifies one leaf proof over its derived integer box.
+func (v *verifier) checkLeaf(l *Leaf, lo, hi []*big.Int, rep *Report) error {
+	empty := false
+	for k := range lo {
+		if lo[k] != nil && hi[k] != nil && lo[k].Cmp(hi[k]) > 0 {
+			empty = true
+			break
+		}
+	}
+	if l.Kind == KindLatticeEmpty {
+		if !empty {
+			return fmt.Errorf("certify: latticeEmpty leaf %d has a non-empty integer box", l.Node)
+		}
+		rep.EmptyLeaves++
+		return nil
+	}
+	if empty {
+		// An empty box holds no integer point: any claim over it is
+		// vacuously true, whatever the recorded dual says.
+		switch l.Kind {
+		case KindBound:
+			rep.BoundLeaves++
+		default:
+			rep.InfeasibleLeaves++
+		}
+		return nil
+	}
+
+	farkas := l.Kind == KindInfeasible
+	ev := v.dualEvalFor(l.Dual, farkas)
+	if ev.err != nil {
+		return fmt.Errorf("certify: leaf %d: %w", l.Node, ev.err)
+	}
+	u := new(big.Rat).Set(ev.base)
+	term := new(big.Rat)
+	for k, d := range ev.dInt {
+		switch d.Sign() {
+		case 0:
+			continue
+		case 1:
+			if hi[k] == nil {
+				return fmt.Errorf("certify: leaf %d bound is unbounded above (variable %d)", l.Node, v.c.IntVars[k])
+			}
+			u.Add(u, term.Mul(d, new(big.Rat).SetInt(hi[k])))
+		case -1:
+			if lo[k] == nil {
+				return fmt.Errorf("certify: leaf %d bound is unbounded above (variable %d)", l.Node, v.c.IntVars[k])
+			}
+			u.Add(u, term.Mul(d, new(big.Rat).SetInt(lo[k])))
+		}
+		term = new(big.Rat)
+	}
+
+	if farkas {
+		if u.Sign() >= 0 {
+			return fmt.Errorf("certify: infeasibility proof at leaf %d fails: Farkas bound %s is not negative",
+				l.Node, u.FloatString(9))
+		}
+		rep.InfeasibleLeaves++
+		return nil
+	}
+	limit := new(big.Rat).Add(v.incMax, v.gapSlack)
+	if u.Cmp(limit) > 0 {
+		uf, _ := u.Float64()
+		return fmt.Errorf("certify: bound proof at leaf %d fails: dual bound %g exceeds incumbent plus gap slack",
+			l.Node, uf)
+	}
+	rep.BoundLeaves++
+	return nil
+}
+
+// dualEvalFor computes (and caches) the box-independent part of the
+// weak-duality bound for one dual vector and objective flavor.
+func (v *verifier) dualEvalFor(idx int, farkas bool) *dualEval {
+	key := dualKey{idx: idx, farkas: farkas}
+	if ev, ok := v.dualCache[key]; ok {
+		return ev
+	}
+	ev := v.buildDualEval(idx, farkas)
+	v.dualCache[key] = ev
+	return ev
+}
+
+func (v *verifier) buildDualEval(idx int, farkas bool) *dualEval {
+	y := v.c.Duals[idx]
+	n := len(v.c.Vars)
+
+	// d starts from the maximize-form objective (zero for Farkas flavors)
+	// and subtracts yᵀA; base accumulates y·b.
+	d := make([]*big.Rat, n)
+	for j := 0; j < n; j++ {
+		if farkas {
+			d[j] = new(big.Rat)
+		} else {
+			d[j] = new(big.Rat).Set(v.objMax[j])
+		}
+	}
+	base := new(big.Rat)
+	term := new(big.Rat)
+	for i, yi := range y {
+		yr, err := ratOf(yi)
+		if err != nil {
+			return &dualEval{err: fmt.Errorf("dual vector %d entry %d: %w", idx, i, err)}
+		}
+		sign := yr.Sign()
+		if sign == 0 {
+			continue
+		}
+		// Sign validity: y_i >= 0 for <= rows, <= 0 for >= rows. Without
+		// it y·(b-Ax) >= 0 fails and the bound is unsound, so this is a
+		// hard error, not a slack.
+		switch v.rows[i].op {
+		case OpLE:
+			if sign < 0 {
+				return &dualEval{err: fmt.Errorf("dual vector %d has negative multiplier on <= row %d", idx, i)}
+			}
+		case OpGE:
+			if sign > 0 {
+				return &dualEval{err: fmt.Errorf("dual vector %d has positive multiplier on >= row %d", idx, i)}
+			}
+		}
+		base.Add(base, term.Mul(yr, v.rows[i].rhs))
+		term = new(big.Rat)
+		for _, t := range v.rows[i].terms {
+			d[t.j].Sub(d[t.j], term.Mul(yr, t.a))
+			term = new(big.Rat)
+		}
+	}
+
+	// Continuous variables (and integer variables outside IntVars, which
+	// the tree never tightens) contribute their sup over the original
+	// bounds; integer branching variables are deferred to the leaf boxes.
+	ev := &dualEval{base: base, dInt: make([]*big.Rat, len(v.c.IntVars))}
+	for k, j := range v.c.IntVars {
+		ev.dInt[k] = d[j]
+		d[j] = nil // consumed by the per-leaf box terms
+	}
+	for j := 0; j < n; j++ {
+		if d[j] == nil {
+			continue
+		}
+		switch d[j].Sign() {
+		case 0:
+			continue
+		case 1:
+			if v.hi[j] == nil {
+				return &dualEval{err: fmt.Errorf("dual vector %d leaves variable %d unbounded above", idx, j)}
+			}
+			base.Add(base, term.Mul(d[j], v.hi[j]))
+		case -1:
+			if v.lo[j] == nil {
+				return &dualEval{err: fmt.Errorf("dual vector %d leaves variable %d unbounded above", idx, j)}
+			}
+			base.Add(base, term.Mul(d[j], v.lo[j]))
+		}
+		term = new(big.Rat)
+	}
+	return ev
+}
+
+// ratOf converts a float64 to an exact rational, rejecting NaN and
+// infinities.
+func ratOf(f float64) (*big.Rat, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("non-finite value %v", f)
+	}
+	return new(big.Rat).SetFloat64(f), nil
+}
+
+// scaledTol returns tol * (scale + |v|): a relative tolerance anchored at
+// the magnitude of the quantity being compared.
+func scaledTol(tol, scale, v *big.Rat) *big.Rat {
+	s := new(big.Rat).Abs(v)
+	s.Add(s, scale)
+	return s.Mul(s, tol)
+}
+
+// floorRat returns the largest integer <= r.
+func floorRat(r *big.Rat) *big.Int {
+	q := new(big.Int)
+	q.Div(r.Num(), r.Denom()) // Euclidean division: floors for positive denominators
+	return q
+}
+
+// ceilRat returns the smallest integer >= r.
+func ceilRat(r *big.Rat) *big.Int {
+	neg := new(big.Rat).Neg(r)
+	return new(big.Int).Neg(floorRat(neg))
+}
+
+// intOfFloat converts an integral float64 to a big.Int exactly; callers
+// must have checked integrality.
+func intOfFloat(f float64) *big.Int {
+	r := new(big.Rat).SetFloat64(f)
+	return floorRat(r)
+}

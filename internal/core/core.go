@@ -23,6 +23,7 @@ import (
 	"math"
 	"time"
 
+	"secmon/internal/certify"
 	"secmon/internal/ilp"
 	"secmon/internal/lp"
 	"secmon/internal/metrics"
@@ -152,6 +153,16 @@ type Result struct {
 	RelaxationUtility float64 `json:"relaxationUtility,omitempty"`
 	// Stats describes solver effort; zero for the heuristic baselines.
 	Stats SolveStats `json:"stats"`
+	// Certificate is the machine-checkable optimality (or infeasibility)
+	// certificate for the underlying ILP solve, present only when the
+	// optimizer ran with WithCertificate and the solve ended proven. It
+	// certifies the raw ILP incumbent; the minimality and tie-canonicalization
+	// post-passes may swap monitors afterwards but never change the objective
+	// the certificate bounds.
+	Certificate *certify.Certificate `json:"certificate,omitempty"`
+	// CertificateNote explains a missing certificate (limit stop, emission
+	// failure) when certification was requested.
+	CertificateNote string `json:"certificateNote,omitempty"`
 }
 
 // Optimizer computes deployments for one indexed system.
@@ -170,6 +181,7 @@ type options struct {
 	noPrune       bool
 	clampTargets  bool
 	corroboration int
+	certify       bool
 	solverOptions []ilp.Option
 }
 
@@ -213,6 +225,17 @@ func WithCorroboration(k int) Option {
 // so it composes with WithWorkers.
 func WithSolverOptions(opts ...ilp.Option) Option {
 	return optionFunc(func(o *options) { o.solverOptions = append(o.solverOptions, opts...) })
+}
+
+// WithCertificate makes every exact solve emit a machine-checkable
+// optimality certificate (see internal/certify), attached to
+// Result.Certificate. Certification forces cuts and reduced-cost presolve
+// off, so solves may explore more nodes than the default configuration.
+func WithCertificate() Option {
+	return optionFunc(func(o *options) {
+		o.certify = true
+		o.solverOptions = append(o.solverOptions, ilp.WithCertificate())
+	})
 }
 
 // WithWorkers sets the number of parallel branch-and-bound workers. 1 is
@@ -496,17 +519,19 @@ func (o *Optimizer) corroborationLevel() int {
 
 func (o *Optimizer) newResult(d *model.Deployment, sol *ilp.Solution) *Result {
 	return &Result{
-		Deployment:  d,
-		Monitors:    d.IDs(),
-		Utility:     metrics.Utility(o.idx, d),
-		Cost:        metrics.Cost(o.idx, d),
-		Proven:      sol.Status == ilp.StatusOptimal,
-		Status:      sol.Status.String(),
-		BestBound:   sol.BestBound,
-		BoundKnown:  sol.BoundKnown,
-		Gap:         sol.Gap,
-		Interrupted: sol.Interrupted,
-		Stats:       newSolveStats(sol),
+		Deployment:      d,
+		Monitors:        d.IDs(),
+		Utility:         metrics.Utility(o.idx, d),
+		Cost:            metrics.Cost(o.idx, d),
+		Proven:          sol.Status == ilp.StatusOptimal,
+		Status:          sol.Status.String(),
+		BestBound:       sol.BestBound,
+		BoundKnown:      sol.BoundKnown,
+		Gap:             sol.Gap,
+		Interrupted:     sol.Interrupted,
+		Stats:           newSolveStats(sol),
+		Certificate:     sol.Certificate,
+		CertificateNote: sol.CertificateNote,
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"secmon/internal/certify"
 	"secmon/internal/ilp"
 	"secmon/internal/lp"
 	"secmon/internal/metrics"
@@ -308,14 +309,35 @@ func (f *formulation) decode(sol *ilp.Solution) *model.Deployment {
 	return d
 }
 
-// emptyResult builds a Result for the trivial empty deployment.
+// emptyResult builds a Result for the trivial empty deployment. When
+// certification was requested it carries the zero-variable certificate, so
+// the "certified results are verifiable" invariant holds even for the
+// monitor-less short-circuit that never runs the solver.
 func (o *Optimizer) emptyResult() *Result {
 	d := model.NewDeployment()
-	return &Result{
+	res := &Result{
 		Deployment: d,
 		Monitors:   d.IDs(),
 		Utility:    metrics.Utility(o.idx, d),
 		Cost:       0,
 		Proven:     true,
+	}
+	if o.cfg.certify {
+		res.Certificate = trivialCertificate()
+	}
+	return res
+}
+
+// trivialCertificate proves the optimum of the empty ILP: no variables, no
+// rows, objective 0, closed by a single root bound leaf whose empty dual
+// vector bounds the objective by exactly 0.
+func trivialCertificate() *certify.Certificate {
+	return &certify.Certificate{
+		Version: certify.Version,
+		Sense:   "maximize",
+		Status:  certify.StatusOptimal,
+		FeasTol: 1e-6,
+		Leaves:  []certify.Leaf{{Node: 0, Kind: certify.KindBound, Dual: 0}},
+		Duals:   [][]float64{{}},
 	}
 }

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/certify"
+	"secmon/internal/core"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// mustCertify asserts that a proven result carries a certificate accepted
+// by the independent verifier.
+func mustCertify(t *testing.T, label string, res *core.Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: solve: %v", label, err)
+	}
+	if !res.Proven {
+		t.Fatalf("%s: not proven (status %s)", label, res.Status)
+	}
+	if res.Certificate == nil {
+		t.Fatalf("%s: no certificate: %s", label, res.CertificateNote)
+	}
+	rep, verr := certify.Verify(res.Certificate)
+	if verr != nil {
+		t.Fatalf("%s: certificate rejected: %v", label, verr)
+	}
+	if rep.Status != certify.StatusOptimal {
+		t.Fatalf("%s: certificate status %q", label, rep.Status)
+	}
+}
+
+// TestGoldenInstancesCertify certifies the optimization instances behind
+// the golden experiment set: every E3/E5/E8 case-study budget level, every
+// E6 MinCost target, the E4 budget grid, and the small end of the E7
+// synthetic scalability sweeps. E1 and E2 are inventory tables with no
+// solves.
+func TestGoldenInstancesCertify(t *testing.T) {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("case study: %v", err)
+	}
+	total := idx.System().TotalMonitorCost()
+	opt := core.NewOptimizer(idx, core.WithCertificate())
+
+	for _, frac := range e3BudgetFractions {
+		res, err := opt.MaxUtility(total * frac)
+		mustCertify(t, fmt.Sprintf("E3 budget %.0f%%", frac*100), res, err)
+	}
+	for _, tau := range e6Targets {
+		res, err := opt.MinCost(core.CoverageTargets{Global: tau})
+		mustCertify(t, fmt.Sprintf("E6 target %.2f", tau), res, err)
+	}
+	for _, b := range core.BudgetGrid(idx, 20) {
+		res, err := opt.MaxUtility(b)
+		mustCertify(t, fmt.Sprintf("E4 budget %.1f", b), res, err)
+	}
+
+	for _, size := range []struct{ monitors, attacks int }{{50, 100}, {100, 100}} {
+		sys, err := synth.Generate(synth.Config{Seed: 1, Monitors: size.monitors, Attacks: size.attacks})
+		if err != nil {
+			t.Fatalf("synth %dx%d: %v", size.monitors, size.attacks, err)
+		}
+		sidx, err := model.NewIndex(sys)
+		if err != nil {
+			t.Fatalf("index %dx%d: %v", size.monitors, size.attacks, err)
+		}
+		sopt := core.NewOptimizer(sidx, core.WithCertificate())
+		res, err := sopt.MaxUtility(sys.TotalMonitorCost() * e7BudgetFraction)
+		mustCertify(t, fmt.Sprintf("E7 %dx%d", size.monitors, size.attacks), res, err)
+	}
+}

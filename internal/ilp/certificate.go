@@ -1,0 +1,476 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"secmon/internal/certify"
+	"secmon/internal/lp"
+)
+
+// certFeasTol is the relative primal feasibility tolerance stamped on every
+// emitted certificate; it mirrors the solver's integer tolerance.
+const certFeasTol = 1e-6
+
+// WithCertificate makes the solve assemble a machine-checkable optimality
+// certificate (see internal/certify) alongside the solution. Certified
+// solves disable root cover cuts and presolve: cut-row duals and
+// reduced-cost fixing are not plain LP weak duality over the original rows,
+// which is the only proof form the self-contained verifier accepts. Warm
+// starts, diving heuristics and parallel workers are unaffected — they only
+// change how incumbents are found, never what a leaf proof claims.
+//
+// The certificate lands in Solution.Certificate for StatusOptimal and
+// StatusInfeasible outcomes; any other status (anytime stops, unbounded) or
+// an emission failure leaves it nil with the reason in
+// Solution.CertificateNote. Emission failures never affect the solve
+// result itself.
+func WithCertificate() Option {
+	return optionFunc(func(o *options) { o.certify = true })
+}
+
+// certInstance is a read-only snapshot of the problem taken before the
+// search starts, shared by the emitter's float-arithmetic self-checks and
+// the final certificate encoding. Snapshotting once keeps workers from
+// re-reading lp.Problem accessors per leaf.
+type certInstance struct {
+	vars    []certify.Var
+	rows    []certify.Row
+	intVars []int
+
+	objMax   []float64 // per variable, maximize form
+	loF, hiF []float64 // per variable, ±Inf for free bounds
+	isIntVar []bool
+	ops      []string  // per row
+	rhs      []float64 // per row
+}
+
+// certFloatEval caches the leaf-box-independent part of the weak-duality
+// bound for one dual vector in float64: base = y·b plus the continuous-
+// variable sup terms, dInt = the reduced objective on the branching
+// variables. These mirror the verifier's exact evaluation and exist only
+// for emitter self-checks.
+type certFloatEval struct {
+	base float64
+	dInt []float64
+	err  error
+}
+
+// certCollector accumulates certificate events during one solve. All
+// methods are safe on a nil receiver (no-ops), so the search loops call
+// them unconditionally. Lock ordering: callers may hold the parallel
+// search's mutex when calling in; the collector never calls back out.
+type certCollector struct {
+	mu sync.Mutex
+
+	maximize       bool
+	gapTol, intTol float64
+	auxOpts        []lp.Option // options for Farkas auxiliary solves
+	inst           certInstance
+	intCostAbs     float64 // sum of |maximize-form objective| over integer vars
+
+	nextID   int // next branch-tree node id; the root is 0
+	rootIdx  int // dual-pool index of the root relaxation's duals, -1 until set
+	branches []certify.Branch
+	leaves   []certify.Leaf
+	leafU    []float64 // per leaf: float dual bound (bound leaves; -Inf = vacuous)
+	duals    [][]float64
+	evals    map[int]*certFloatEval // bound-flavor evals, keyed by dual index
+
+	maxAbsInc float64
+
+	failed bool
+	note   string
+}
+
+// newCertCollector snapshots the instance and prepares an empty collector.
+// auxOpts must be the solve's lp options WITHOUT any workspace: Farkas
+// auxiliary solves run on freshly built problems and must not disturb the
+// search's warm factorization state.
+func newCertCollector(p *Problem, cfg *options) *certCollector {
+	c := &certCollector{
+		maximize: p.lp.Sense() == lp.Maximize,
+		gapTol:   cfg.gapTolerance,
+		intTol:   cfg.intTolerance,
+		auxOpts:  append([]lp.Option{}, cfg.lpOptions...),
+		nextID:   1,
+		rootIdx:  -1,
+		evals:    make(map[int]*certFloatEval),
+	}
+	n := p.lp.NumVariables()
+	m := p.lp.NumConstraints()
+	inst := certInstance{
+		vars:     make([]certify.Var, n),
+		rows:     make([]certify.Row, m),
+		intVars:  make([]int, len(p.integer)),
+		objMax:   make([]float64, n),
+		loF:      make([]float64, n),
+		hiF:      make([]float64, n),
+		isIntVar: make([]bool, n),
+		ops:      make([]string, m),
+		rhs:      make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		v := lp.VarID(j)
+		lo, hi, err := p.lp.VariableBounds(v)
+		if err != nil {
+			lo, hi = math.Inf(-1), math.Inf(1)
+		}
+		obj := p.lp.ObjectiveCoefficient(v)
+		inst.loF[j], inst.hiF[j] = lo, hi
+		inst.objMax[j] = toMaxForm(c.maximize, obj)
+		inst.isIntVar[j] = p.isInt[v]
+		cv := certify.Var{Name: p.lp.VariableName(v), Obj: obj, Integer: p.isInt[v]}
+		if !math.IsInf(lo, -1) {
+			l := lo
+			cv.Lo = &l
+		}
+		if !math.IsInf(hi, 1) {
+			h := hi
+			cv.Hi = &h
+		}
+		inst.vars[j] = cv
+	}
+	for k, v := range p.integer {
+		inst.intVars[k] = int(v)
+		c.intCostAbs += math.Abs(inst.objMax[v])
+	}
+	for i := 0; i < m; i++ {
+		terms, op, rhs := p.lp.Constraint(lp.ConID(i))
+		row := certify.Row{Op: opString(op), RHS: rhs, Terms: make([]certify.NZ, 0, len(terms))}
+		for _, t := range terms {
+			row.Terms = append(row.Terms, certify.NZ{Var: int(t.Var), Coeff: t.Coeff})
+		}
+		inst.rows[i] = row
+		inst.ops[i] = row.Op
+		inst.rhs[i] = rhs
+	}
+	c.inst = inst
+	return c
+}
+
+func opString(op lp.Op) string {
+	switch op {
+	case lp.LE:
+		return certify.OpLE
+	case lp.GE:
+		return certify.OpGE
+	default:
+		return certify.OpEQ
+	}
+}
+
+// failLocked records the first emission failure; the solve continues
+// unaffected and finalize returns the note instead of a certificate.
+func (c *certCollector) failLocked(format string, args ...any) {
+	if !c.failed {
+		c.failed = true
+		c.note = fmt.Sprintf(format, args...)
+	}
+}
+
+func (c *certCollector) fail(format string, args ...any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.failLocked(format, args...)
+	c.mu.Unlock()
+}
+
+// addDual converts a solved node's shadow prices (problem sense, as
+// reported by lp) to a sign-valid maximize-form multiplier vector and pools
+// it. Clamping a slightly sign-violating entry to zero keeps the vector
+// sign-valid — the weak-duality bound stays sound, merely a little weaker;
+// the float headroom in GapSlack absorbs the difference.
+func (c *certCollector) addDual(dv []float64) int {
+	if c == nil {
+		return -1
+	}
+	m := len(c.inst.rhs)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var yi float64
+		if i < len(dv) {
+			yi = dv[i]
+		}
+		if !c.maximize {
+			yi = -yi
+		}
+		switch {
+		case math.IsNaN(yi) || math.IsInf(yi, 0):
+			yi = 0
+		case c.inst.ops[i] == certify.OpLE && yi < 0:
+			yi = 0
+		case c.inst.ops[i] == certify.OpGE && yi > 0:
+			yi = 0
+		}
+		y[i] = yi
+	}
+	c.mu.Lock()
+	idx := len(c.duals)
+	c.duals = append(c.duals, y)
+	c.mu.Unlock()
+	return idx
+}
+
+// setRootDual pools the root relaxation's duals; root-level bound leaves
+// reference them via leafBoundRoot.
+func (c *certCollector) setRootDual(dv []float64) {
+	if c == nil {
+		return
+	}
+	idx := c.addDual(dv)
+	c.mu.Lock()
+	c.rootIdx = idx
+	c.mu.Unlock()
+}
+
+// rootDual returns the dual-pool index of the root relaxation's duals.
+func (c *certCollector) rootDual() int {
+	if c == nil {
+		return -1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rootIdx
+}
+
+// recordBranch assigns ids to the two children of a branched node and
+// records the branching event. Callers give the children the returned ids
+// and the parent's dual index (a parent's bound over a child box is sound
+// and is what justifies pruning a child before its own LP is solved).
+func (c *certCollector) recordBranch(parentID, k int, frac float64) (down, up int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	down = c.nextID
+	up = c.nextID + 1
+	c.nextID += 2
+	c.branches = append(c.branches, certify.Branch{
+		Node: parentID, KVar: k, Floor: math.Floor(frac), Down: down, Up: up,
+	})
+	c.mu.Unlock()
+	return down, up
+}
+
+// observeInc tracks the largest absolute accepted incumbent objective
+// (maximize form); GapSlack must dominate the prune slack of every
+// incumbent a leaf may have been pruned against.
+func (c *certCollector) observeInc(objMax float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if a := math.Abs(objMax); a > c.maxAbsInc {
+		c.maxAbsInc = a
+	}
+	c.mu.Unlock()
+}
+
+// evalDual computes the box-independent part of the weak-duality bound for
+// one pooled dual vector: base = y·b plus the sup contributions of every
+// non-branching variable over its original bounds, dInt = the reduced
+// objective on the branching variables (resolved per leaf box).
+func (c *certCollector) evalDual(y []float64, farkas bool) *certFloatEval {
+	n := len(c.inst.objMax)
+	d := make([]float64, n)
+	if !farkas {
+		copy(d, c.inst.objMax)
+	}
+	base := 0.0
+	for i, yi := range y {
+		if yi == 0 {
+			continue
+		}
+		base += yi * c.inst.rhs[i]
+		for _, t := range c.inst.rows[i].Terms {
+			d[t.Var] -= yi * t.Coeff
+		}
+	}
+	ev := &certFloatEval{dInt: make([]float64, len(c.inst.intVars))}
+	for k, j := range c.inst.intVars {
+		ev.dInt[k] = d[j]
+		d[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		switch {
+		case d[j] > 0:
+			if math.IsInf(c.inst.hiF[j], 1) {
+				ev.err = fmt.Errorf("dual bound unbounded above via variable %d", j)
+				return ev
+			}
+			base += d[j] * c.inst.hiF[j]
+		case d[j] < 0:
+			if math.IsInf(c.inst.loF[j], -1) {
+				ev.err = fmt.Errorf("dual bound unbounded above via variable %d", j)
+				return ev
+			}
+			base += d[j] * c.inst.loF[j]
+		}
+	}
+	ev.base = base
+	return ev
+}
+
+// boundOver finishes a dual evaluation over one leaf's integer box,
+// returning the float weak-duality bound U (or -Inf for an empty box,
+// which the verifier accepts vacuously).
+func (c *certCollector) boundOver(ev *certFloatEval, lo, hi []float64) (float64, error) {
+	u := ev.base
+	for k, dk := range ev.dInt {
+		if lo[k] > hi[k] {
+			return math.Inf(-1), nil
+		}
+		switch {
+		case dk > 0:
+			if math.IsInf(hi[k], 1) {
+				return 0, fmt.Errorf("dual bound unbounded above via branching variable %d", k)
+			}
+			u += dk * hi[k]
+		case dk < 0:
+			if math.IsInf(lo[k], -1) {
+				return 0, fmt.Errorf("dual bound unbounded above via branching variable %d", k)
+			}
+			u += dk * lo[k]
+		}
+	}
+	return u, nil
+}
+
+// leafBound records a fathomed node whose subproblem is pruned by the
+// weak-duality bound of an already-pooled dual vector. The float bound is
+// stashed and self-checked against the final incumbent in finalize (the
+// incumbent may still improve, and in parallel runs a stale read here
+// could raise spurious failures).
+func (c *certCollector) leafBound(nodeID, dualIdx int, lo, hi []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return
+	}
+	if dualIdx < 0 || dualIdx >= len(c.duals) {
+		c.failLocked("internal: bound leaf %d references missing dual vector", nodeID)
+		return
+	}
+	ev := c.evals[dualIdx]
+	if ev == nil {
+		ev = c.evalDual(c.duals[dualIdx], false)
+		c.evals[dualIdx] = ev
+	}
+	if ev.err != nil {
+		c.failLocked("bound leaf %d: %v", nodeID, ev.err)
+		return
+	}
+	u, err := c.boundOver(ev, lo, hi)
+	if err != nil {
+		c.failLocked("bound leaf %d: %v", nodeID, err)
+		return
+	}
+	c.leaves = append(c.leaves, certify.Leaf{Node: nodeID, Kind: certify.KindBound, Dual: dualIdx})
+	c.leafU = append(c.leafU, u)
+}
+
+// leafBoundRoot records a root-level bound leaf against the root duals.
+func (c *certCollector) leafBoundRoot(lo, hi []float64) {
+	if c == nil {
+		return
+	}
+	c.leafBound(0, c.rootDual(), lo, hi)
+}
+
+// leafLatticeEmpty records a node whose integer box is empty.
+func (c *certCollector) leafLatticeEmpty(nodeID int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if !c.failed {
+		c.leaves = append(c.leaves, certify.Leaf{Node: nodeID, Kind: certify.KindLatticeEmpty, Dual: -1})
+		c.leafU = append(c.leafU, math.Inf(-1))
+	}
+	c.mu.Unlock()
+}
+
+// finalize assembles the certificate once the search has fully stopped.
+// Only proven outcomes are certifiable; anything else (anytime stops,
+// unbounded, an earlier emission failure) yields a nil certificate and an
+// explanatory note. Bound-leaf self-checks run here, against the final
+// incumbent, with half the float headroom the verifier will allow — so a
+// certificate that passes emission also passes exact verification.
+func (c *certCollector) finalize(status Status, hasInc bool, inc []float64, incObj float64) (*certify.Certificate, string) {
+	if c == nil {
+		return nil, ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return nil, c.note
+	}
+	switch status {
+	case StatusOptimal, StatusInfeasible:
+	default:
+		return nil, fmt.Sprintf("status %v is not certifiable (only optimal and infeasible outcomes are)", status)
+	}
+
+	// GapSlack = prune slack at the largest incumbent seen, plus float
+	// headroom for kernel-extracted duals, plus the integer-snap term: an
+	// "integral within intTolerance" relaxation point may sit above its
+	// snapped objective by at most intTol * sum |c'_j| over integer vars.
+	slackBase := c.gapTol * math.Max(1, c.maxAbsInc)
+	floatHead := 1e-6 * (1 + c.maxAbsInc)
+	intSnap := c.intTol * (1 + c.intCostAbs)
+	gapSlack := slackBase + floatHead + intSnap
+
+	if status == StatusOptimal {
+		if !hasInc {
+			return nil, "internal: optimal status without an incumbent"
+		}
+		limit := incObj + slackBase + intSnap + floatHead/2
+		for i, lf := range c.leaves {
+			if lf.Kind != certify.KindBound {
+				continue
+			}
+			if u := c.leafU[i]; u > limit {
+				return nil, fmt.Sprintf("bound leaf self-check failed at node %d: dual bound %.9g vs incumbent %.9g",
+					lf.Node, u, incObj)
+			}
+		}
+	} else {
+		for _, lf := range c.leaves {
+			if lf.Kind == certify.KindBound {
+				return nil, "internal: infeasible status with a bound leaf"
+			}
+		}
+	}
+
+	sense := "minimize"
+	if c.maximize {
+		sense = "maximize"
+	}
+	st := certify.StatusInfeasible
+	cert := &certify.Certificate{
+		Version:  certify.Version,
+		Sense:    sense,
+		Status:   st,
+		Vars:     c.inst.vars,
+		Rows:     c.inst.rows,
+		IntVars:  c.inst.intVars,
+		GapSlack: gapSlack,
+		FeasTol:  certFeasTol,
+		Branches: c.branches,
+		Leaves:   c.leaves,
+		Duals:    c.duals,
+	}
+	if status == StatusOptimal {
+		cert.Status = certify.StatusOptimal
+		cert.X = append([]float64(nil), inc...)
+		cert.Objective = fromMaxForm(c.maximize, incObj)
+	}
+	return cert, ""
+}

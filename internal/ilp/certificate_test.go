@@ -1,0 +1,157 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"secmon/internal/certify"
+	"secmon/internal/lp"
+)
+
+// buildCertKnapsack is a small maximize knapsack with a fractional LP
+// optimum, so the search genuinely branches.
+func buildCertKnapsack(t *testing.T) *Problem {
+	t.Helper()
+	p := NewProblem(lp.Maximize)
+	vals := []float64{9, 7, 6, 5, 3}
+	wts := []float64{5, 4, 3.5, 3, 1.5}
+	terms := make([]lp.Term, 0, len(vals))
+	for i, v := range vals {
+		x, err := p.AddBinaryVariable("x", v)
+		if err != nil {
+			t.Fatalf("add var: %v", err)
+		}
+		terms = append(terms, lp.Term{Var: x, Coeff: wts[i]})
+	}
+	if _, err := p.AddConstraint("cap", terms, lp.LE, 8); err != nil {
+		t.Fatalf("add constraint: %v", err)
+	}
+	return p
+}
+
+func solveCertified(t *testing.T, p *Problem, opts ...Option) *Solution {
+	t.Helper()
+	sol, err := p.Solve(append([]Option{WithCertificate()}, opts...)...)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sol.Certificate == nil {
+		t.Fatalf("no certificate: status=%v note=%q", sol.Status, sol.CertificateNote)
+	}
+	rep, err := certify.Verify(sol.Certificate)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.Status != sol.Certificate.Status {
+		t.Fatalf("report status %q != certificate status %q", rep.Status, sol.Certificate.Status)
+	}
+	return sol
+}
+
+func TestCertificateKnapsackModes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, noWarm := range []bool{false, true} {
+			opts := []Option{WithWorkers(workers)}
+			if noWarm {
+				opts = append(opts, WithoutWarmStart())
+			}
+			sol := solveCertified(t, buildCertKnapsack(t), opts...)
+			if sol.Status != StatusOptimal {
+				t.Fatalf("workers=%d noWarm=%v: status %v", workers, noWarm, sol.Status)
+			}
+			if math.Abs(sol.Objective-sol.Certificate.Objective) > 1e-9 {
+				t.Fatalf("certificate objective %v != solution %v", sol.Certificate.Objective, sol.Objective)
+			}
+		}
+	}
+}
+
+func TestCertificateMatchesEnumeration(t *testing.T) {
+	p := buildCertKnapsack(t)
+	ref, err := p.Enumerate()
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	sol := solveCertified(t, buildCertKnapsack(t))
+	if math.Abs(sol.Objective-ref.Objective) > 1e-6 {
+		t.Fatalf("certified objective %v != enumerated %v", sol.Objective, ref.Objective)
+	}
+}
+
+func TestCertificateMinimizeSense(t *testing.T) {
+	p := NewProblem(lp.Minimize)
+	var terms []lp.Term
+	for _, c := range []float64{4, 3, 5} {
+		x, err := p.AddBinaryVariable("x", c)
+		if err != nil {
+			t.Fatalf("add var: %v", err)
+		}
+		terms = append(terms, lp.Term{Var: x, Coeff: 1})
+	}
+	// Need at least 2 of the 3, minimizing cost: optimum picks the two
+	// cheapest (3+4=7).
+	if _, err := p.AddConstraint("need", terms, lp.GE, 2); err != nil {
+		t.Fatalf("add constraint: %v", err)
+	}
+	sol := solveCertified(t, p)
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-7) > 1e-9 {
+		t.Fatalf("status %v objective %v, want optimal 7", sol.Status, sol.Objective)
+	}
+}
+
+func TestCertificateInfeasible(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewProblem(lp.Maximize)
+		a, _ := p.AddBinaryVariable("a", 1)
+		b, _ := p.AddBinaryVariable("b", 1)
+		// a+b >= 3 is impossible for binaries.
+		if _, err := p.AddConstraint("need", []lp.Term{{Var: a, Coeff: 1}, {Var: b, Coeff: 1}}, lp.GE, 3); err != nil {
+			t.Fatalf("add constraint: %v", err)
+		}
+		sol := solveCertified(t, p, WithWorkers(workers))
+		if sol.Status != StatusInfeasible {
+			t.Fatalf("workers=%d: status %v, want infeasible", workers, sol.Status)
+		}
+		if sol.Certificate.Status != certify.StatusInfeasible {
+			t.Fatalf("certificate status %q", sol.Certificate.Status)
+		}
+	}
+}
+
+func TestCertificateLatticeEmpty(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	if _, err := p.AddIntegerVariable("x", 0.2, 0.8, 1); err != nil {
+		t.Fatalf("add var: %v", err)
+	}
+	sol := solveCertified(t, p)
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestCertificateNilOnAnytimeStop(t *testing.T) {
+	p := buildCertKnapsack(t)
+	sol, err := p.Solve(WithCertificate(), WithMaxNodes(1))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sol.Status == StatusOptimal {
+		t.Skip("instance solved within one node; cannot exercise the limit path")
+	}
+	if sol.Certificate != nil {
+		t.Fatalf("unexpected certificate on status %v", sol.Status)
+	}
+	if sol.CertificateNote == "" {
+		t.Fatalf("expected a certificate note explaining the nil certificate")
+	}
+}
+
+func TestUncertifiedSolveHasNoCertificate(t *testing.T) {
+	sol, err := buildCertKnapsack(t).Solve()
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sol.Certificate != nil || sol.CertificateNote != "" {
+		t.Fatalf("uncertified solve carries certificate state")
+	}
+}

@@ -1,0 +1,162 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"secmon/internal/certify"
+	"secmon/internal/lp"
+)
+
+// farkasViolationTol is how strictly negative the float Farkas bound must
+// be at emission time. The verifier only requires strict negativity in
+// exact arithmetic; the emission margin keeps float-vs-exact drift from
+// producing certificates that fail verification.
+const farkasViolationTol = 1e-9
+
+// leafInfeasible records a fathomed node whose LP relaxation was reported
+// infeasible. The simplex kernels do not expose Farkas rays (duals are
+// populated only at optimality), so the multipliers are recovered from an
+// auxiliary elastic LP: minimize the total row violation over the node's
+// box. Its optimum delta is positive exactly when the node is infeasible,
+// and its optimal row duals, negated to maximize form, satisfy
+//
+//	y·b + sum_j sup{ (-Aᵀy)_j x_j } = -delta < 0
+//
+// which is the KindInfeasible leaf proof. The auxiliary solve runs on a
+// freshly built problem with no shared workspace, so it cannot disturb the
+// search's warm-start state; it happens outside the collector lock (and
+// outside the parallel search's lock).
+func (c *certCollector) leafInfeasible(nodeID int, lo, hi []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	bail := c.failed
+	c.mu.Unlock()
+	if bail {
+		return
+	}
+
+	y, err := c.solveFarkas(lo, hi)
+	if err != nil {
+		c.fail("infeasible leaf %d: %v", nodeID, err)
+		return
+	}
+	ev := c.evalDual(y, true)
+	if ev.err == nil {
+		var u float64
+		u, err = c.boundOver(ev, lo, hi)
+		if err == nil && u > -farkasViolationTol {
+			err = fmt.Errorf("farkas bound %.9g is not decisively negative", u)
+		}
+	} else {
+		err = ev.err
+	}
+	if err != nil {
+		c.fail("infeasible leaf %d: %v", nodeID, err)
+		return
+	}
+
+	c.mu.Lock()
+	if !c.failed {
+		idx := len(c.duals)
+		c.duals = append(c.duals, y)
+		c.leaves = append(c.leaves, certify.Leaf{Node: nodeID, Kind: certify.KindInfeasible, Dual: idx})
+		c.leafU = append(c.leafU, math.Inf(-1))
+	}
+	c.mu.Unlock()
+}
+
+// solveFarkas builds and solves the elastic feasibility LP for one node box
+// and returns sign-valid maximize-form multipliers for the original rows.
+func (c *certCollector) solveFarkas(lo, hi []float64) ([]float64, error) {
+	aux := lp.NewProblem(lp.Minimize)
+	n := len(c.inst.loF)
+	// Original variables at zero cost, integer ones at the node's box.
+	intOf := make(map[int]int, len(c.inst.intVars))
+	for k, j := range c.inst.intVars {
+		intOf[j] = k
+	}
+	for j := 0; j < n; j++ {
+		l, h := c.inst.loF[j], c.inst.hiF[j]
+		if k, ok := intOf[j]; ok {
+			l, h = lo[k], hi[k]
+		}
+		if _, err := aux.AddVariable(fmt.Sprintf("x%d", j), l, h, 0); err != nil {
+			return nil, fmt.Errorf("farkas aux variable: %w", err)
+		}
+	}
+	// One elastic slack per inequality direction, unit cost: the optimum is
+	// the minimal total violation of the box over the rows.
+	inf := math.Inf(1)
+	for i, row := range c.inst.rows {
+		terms := make([]lp.Term, 0, len(row.Terms)+2)
+		for _, t := range row.Terms {
+			terms = append(terms, lp.Term{Var: lp.VarID(t.Var), Coeff: t.Coeff})
+		}
+		switch row.Op {
+		case certify.OpLE:
+			s, err := aux.AddVariable(fmt.Sprintf("s%d", i), 0, inf, 1)
+			if err != nil {
+				return nil, fmt.Errorf("farkas aux slack: %w", err)
+			}
+			terms = append(terms, lp.Term{Var: s, Coeff: -1})
+			if _, err := aux.AddConstraint(fmt.Sprintf("r%d", i), terms, lp.LE, row.RHS); err != nil {
+				return nil, fmt.Errorf("farkas aux row: %w", err)
+			}
+		case certify.OpGE:
+			s, err := aux.AddVariable(fmt.Sprintf("s%d", i), 0, inf, 1)
+			if err != nil {
+				return nil, fmt.Errorf("farkas aux slack: %w", err)
+			}
+			terms = append(terms, lp.Term{Var: s, Coeff: 1})
+			if _, err := aux.AddConstraint(fmt.Sprintf("r%d", i), terms, lp.GE, row.RHS); err != nil {
+				return nil, fmt.Errorf("farkas aux row: %w", err)
+			}
+		default:
+			sp, err := aux.AddVariable(fmt.Sprintf("s%d p", i), 0, inf, 1)
+			if err != nil {
+				return nil, fmt.Errorf("farkas aux slack: %w", err)
+			}
+			sm, err := aux.AddVariable(fmt.Sprintf("s%d m", i), 0, inf, 1)
+			if err != nil {
+				return nil, fmt.Errorf("farkas aux slack: %w", err)
+			}
+			terms = append(terms, lp.Term{Var: sp, Coeff: 1}, lp.Term{Var: sm, Coeff: -1})
+			if _, err := aux.AddConstraint(fmt.Sprintf("r%d", i), terms, lp.EQ, row.RHS); err != nil {
+				return nil, fmt.Errorf("farkas aux row: %w", err)
+			}
+		}
+	}
+
+	sol, err := aux.Solve(c.auxOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("farkas aux solve: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("farkas aux solve ended %v", sol.Status)
+	}
+	if sol.Objective <= 0 {
+		return nil, fmt.Errorf("farkas aux found the box feasible (violation %.3g)", sol.Objective)
+	}
+	// The aux problem minimizes, so maximize-form multipliers are the
+	// negated duals; clamp to sign validity like addDual does.
+	y := make([]float64, len(c.inst.rhs))
+	for i := range y {
+		var yi float64
+		if i < len(sol.DualValues) {
+			yi = -sol.DualValues[i]
+		}
+		switch {
+		case math.IsNaN(yi) || math.IsInf(yi, 0):
+			yi = 0
+		case c.inst.ops[i] == certify.OpLE && yi < 0:
+			yi = 0
+		case c.inst.ops[i] == certify.OpGE && yi > 0:
+			yi = 0
+		}
+		y[i] = yi
+	}
+	return y, nil
+}

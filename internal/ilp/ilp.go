@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"secmon/internal/certify"
 	"secmon/internal/lp"
 )
 
@@ -214,6 +215,12 @@ type Solution struct {
 	// CutsActive counts those binding at the final root optimum.
 	CutsAdded  int
 	CutsActive int
+	// Certificate is the machine-checkable optimality certificate, present
+	// only when the solve ran WithCertificate and ended StatusOptimal or
+	// StatusInfeasible; CertificateNote explains a nil certificate on a
+	// certified solve. See internal/certify.
+	Certificate     *certify.Certificate
+	CertificateNote string
 	// Etas, Refactorizations and DevexResets aggregate the sparse
 	// revised-simplex kernel's effort across every node solve: eta vectors
 	// appended to the basis factorization, from-scratch refactorizations,
@@ -315,6 +322,8 @@ type options struct {
 	noWarm          bool
 	noPresolve      bool
 	noCuts          bool
+	certify         bool
+	cert            *certCollector
 	ctx             context.Context
 }
 
@@ -462,6 +471,13 @@ type node struct {
 	branchedVar  int // index into Problem.integer; -1 at the root
 	branchedUp   bool
 	branchedFrac float64 // fractional part of the parent relaxation value
+
+	// Certificate bookkeeping (certified solves only): the node's id in the
+	// emitted branch tree, and the dual-pool index justifying its bound —
+	// the parent's duals at creation, replaced by the node's own once its
+	// relaxation is solved.
+	certID   int
+	certDual int
 }
 
 // nodeHeap orders nodes best-bound-first in maximize form, breaking ties by
@@ -520,6 +536,16 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	}
 	if cfg.kernel != lp.KernelAuto {
 		cfg.lpOptions = append(append([]lp.Option{}, cfg.lpOptions...), lp.WithKernel(cfg.kernel))
+	}
+	if cfg.certify {
+		// Certified solves prove every prune by plain LP weak duality over
+		// the original rows. Cover-cut duals and reduced-cost fixing carry
+		// proof obligations the self-contained verifier does not accept, so
+		// both are disabled; dives and warm starts only affect incumbent
+		// discovery and stay on.
+		cfg.noCuts = true
+		cfg.noPresolve = true
+		cfg.cert = newCertCollector(p, &cfg)
 	}
 	started := time.Now()
 	// The root node is processed once up front — relaxation, cover cuts,
@@ -624,7 +650,8 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 	heap.Init(open)
 	if pr.branchVar >= 0 {
 		root := &node{lo: pr.lo, hi: pr.hi, bound: pr.bound, depth: 0,
-			seq: s.nextSeq(), branchedVar: -1, basis: pr.basis}
+			seq: s.nextSeq(), branchedVar: -1, basis: pr.basis,
+			certDual: s.cfg.cert.rootDual()}
 		down, up := s.childNodes(root, pr.branchVar, pr.frac, pr.bound)
 		fracPart := pr.frac - math.Floor(pr.frac)
 		down.branchedVar, down.branchedUp, down.branchedFrac = pr.branchVar, false, fracPart
@@ -648,6 +675,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		// A node whose inherited bound cannot beat the incumbent is pruned
 		// without an LP solve.
 		if s.hasInc && nd.bound <= s.incObj+s.pruneSlack() {
+			s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 			continue
 		}
 
@@ -666,6 +694,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 
 		switch sol.Status {
 		case lp.StatusInfeasible:
+			s.cfg.cert.leafInfeasible(nd.certID, nd.lo, nd.hi)
 			continue
 		case lp.StatusUnbounded:
 			// The root (handled in prepareRoot) is bounded, and bounded
@@ -675,10 +704,16 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		case lp.StatusIterationLimit:
 			return nil, fmt.Errorf("ilp: LP relaxation hit its iteration limit at node %d", s.nodes)
 		}
+		if s.cfg.cert != nil {
+			// The node's own duals now justify its bound (and its children's,
+			// until they are solved themselves).
+			nd.certDual = s.cfg.cert.addDual(sol.DualValues)
+		}
 
 		bound := s.toMax(sol.Objective)
 		s.observePseudoCost(nd, bound)
 		if s.hasInc && bound <= s.incObj+s.pruneSlack() {
+			s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 			continue
 		}
 
@@ -686,6 +721,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		if branchVar < 0 {
 			// Integral: new incumbent.
 			s.offerIncumbent(sol.X)
+			s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 			continue
 		}
 
@@ -707,6 +743,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 				return nil, err
 			}
 			if s.hasInc && bound <= s.incObj+s.pruneSlack() {
+				s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 				continue
 			}
 		}
@@ -879,6 +916,10 @@ func (s *search) childNodes(parent *node, k int, frac, bound float64) (down, up 
 	up = mkChild()
 	up.lo[k] = math.Ceil(frac)
 	up.seq = s.nextSeq()
+	if c := s.cfg.cert; c != nil {
+		down.certID, up.certID = c.recordBranch(parent.certID, k, frac)
+		down.certDual, up.certDual = parent.certDual, parent.certDual
+	}
 	return down, up
 }
 
@@ -955,6 +996,7 @@ func (s *search) offerIncumbent(x []float64) {
 		s.hasInc = true
 		s.incObj = objMax
 		s.incumbent = snapped
+		s.cfg.cert.observeInc(objMax)
 	}
 }
 
@@ -1084,6 +1126,9 @@ func (s *search) finish(status Status) *Solution {
 		sol.Objective = s.fromMax(s.incObj)
 		sol.BestBound = sol.Objective
 		sol.BoundKnown = true
+	}
+	if c := s.cfg.cert; c != nil {
+		sol.Certificate, sol.CertificateNote = c.finalize(status, s.hasInc, s.incumbent, s.incObj)
 	}
 	return sol
 }

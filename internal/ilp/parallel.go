@@ -129,7 +129,8 @@ func (ps *parallelSearch) run(pr *rootPrep) (*Solution, error) {
 	heap.Init(&ps.open)
 	if pr.branchVar >= 0 {
 		root := &node{lo: pr.lo, hi: pr.hi, bound: pr.bound, depth: 0,
-			seq: 1, branchedVar: -1, basis: pr.basis}
+			seq: 1, branchedVar: -1, basis: pr.basis,
+			certDual: ps.cfg.cert.rootDual()}
 		ps.pushChildren(root, pr.branchVar, pr.frac, pr.bound)
 	}
 	if len(ps.open) == 0 {
@@ -210,6 +211,7 @@ func (ps *parallelSearch) acquire() (*node, bool) {
 			// A node whose inherited bound cannot beat the incumbent is
 			// pruned without an LP solve.
 			if ps.hasInc && nd.bound <= ps.incObj+pruneSlackFor(&ps.cfg, ps.incObj) {
+				ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 				continue
 			}
 			ps.inFlight++
@@ -290,6 +292,7 @@ func (ps *parallelSearch) offerIncumbent(work *lp.Problem, x []float64) {
 		ps.hasInc = true
 		ps.incObj = objMax
 		ps.incumbent = snapped
+		ps.cfg.cert.observeInc(objMax)
 	}
 	ps.mu.Unlock()
 }
@@ -353,6 +356,12 @@ func (ps *parallelSearch) pushChildren(parent *node, k int, frac, bound float64)
 	fracPart := frac - math.Floor(frac)
 	down.branchedVar, down.branchedUp, down.branchedFrac = k, false, fracPart
 	up.branchedVar, up.branchedUp, up.branchedFrac = k, true, fracPart
+	if c := ps.cfg.cert; c != nil {
+		// Safe without ps.mu: the collector has its own lock and never
+		// acquires the search's, so no ordering cycle is possible.
+		down.certID, up.certID = c.recordBranch(parent.certID, k, frac)
+		down.certDual, up.certDual = parent.certDual, parent.certDual
+	}
 
 	first, second := up, down
 	if fracPart > 0.5 {
@@ -417,6 +426,7 @@ func (w *pworker) process(nd *node) error {
 
 	switch sol.Status {
 	case lp.StatusInfeasible:
+		ps.cfg.cert.leafInfeasible(nd.certID, nd.lo, nd.hi)
 		return nil
 	case lp.StatusUnbounded:
 		// The root (handled in prepareRoot) is bounded, and bounded
@@ -426,11 +436,17 @@ func (w *pworker) process(nd *node) error {
 	case lp.StatusIterationLimit:
 		return fmt.Errorf("ilp: LP relaxation hit its iteration limit")
 	}
+	if c := ps.cfg.cert; c != nil {
+		// The node's own duals now justify its bound (and its children's,
+		// until they are solved themselves).
+		nd.certDual = c.addDual(sol.DualValues)
+	}
 
 	bound := toMaxForm(ps.maximize, sol.Objective)
 	ps.observePseudoCost(nd, bound)
 	hasInc, incObj := ps.incumbentView()
 	if hasInc && bound <= incObj+pruneSlackFor(&ps.cfg, incObj) {
+		ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 		return nil
 	}
 
@@ -438,6 +454,7 @@ func (w *pworker) process(nd *node) error {
 	if branchVar < 0 {
 		// Integral: publish a new incumbent.
 		ps.offerIncumbent(w.work, sol.X)
+		ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 		return nil
 	}
 
@@ -453,6 +470,7 @@ func (w *pworker) process(nd *node) error {
 			return err
 		}
 		if h, inc := ps.incumbentView(); h && bound <= inc+pruneSlackFor(&ps.cfg, inc) {
+			ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
 			return nil
 		}
 	}
@@ -532,6 +550,9 @@ func (ps *parallelSearch) assemble() *Solution {
 		sol.Status = StatusOptimal
 	default:
 		sol.Status = StatusInfeasible
+	}
+	if c := ps.cfg.cert; c != nil {
+		sol.Certificate, sol.CertificateNote = c.finalize(sol.Status, ps.hasInc, ps.incumbent, ps.incObj)
 	}
 	return sol
 }

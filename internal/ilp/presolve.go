@@ -83,6 +83,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 		pr.lo[k] = math.Ceil(lo - cfg.intTolerance)
 		pr.hi[k] = math.Floor(hi + cfg.intTolerance)
 		if pr.lo[k] > pr.hi[k] {
+			cfg.cert.leafLatticeEmpty(0)
 			return pr, nil // infeasible before any LP solve
 		}
 	}
@@ -140,6 +141,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	pr.nodes = 1
 	switch sol.Status {
 	case lp.StatusInfeasible:
+		cfg.cert.leafInfeasible(0, pr.lo, pr.hi)
 		return pr, nil
 	case lp.StatusUnbounded:
 		pr.unbounded = true
@@ -151,6 +153,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	pr.rootDuals = sol.DualValues
 	pr.bound = toMaxForm(maximize, sol.Objective)
 	pr.basis = sol.Basis
+	cfg.cert.setRootDual(sol.DualValues)
 
 	offer := func(x []float64) {
 		snapped, obj := snapObjective(pr.work, p.integer, x)
@@ -159,6 +162,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			pr.hasInc = true
 			pr.incObj = objMax
 			pr.incumbent = snapped
+			cfg.cert.observeInc(objMax)
 		}
 	}
 	// closed reports whether the incumbent already matches the root bound,
@@ -186,6 +190,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 				return pr, err
 			}
 			if closed() {
+				cfg.cert.leafBoundRoot(pr.lo, pr.hi)
 				return pr, nil
 			}
 		}
@@ -193,6 +198,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			return pr, err
 		}
 		if closed() {
+			cfg.cert.leafBoundRoot(pr.lo, pr.hi)
 			return pr, nil
 		}
 	}
@@ -256,6 +262,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 
 	// The same prune rule the search loops apply on pop.
 	if pr.hasInc && pr.bound <= pr.incObj+pruneSlackFor(cfg, pr.incObj) {
+		cfg.cert.leafBoundRoot(pr.lo, pr.hi)
 		return pr, nil
 	}
 
@@ -264,6 +271,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	bv := pickBranch(p, cfg, sol.X, func(int) (float64, float64) { return 1, 1 })
 	if bv < 0 {
 		offer(sol.X) // integral root
+		cfg.cert.leafBoundRoot(pr.lo, pr.hi)
 		return pr, nil
 	}
 	pr.branchVar = bv

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"secmon/internal/casestudy"
+	"secmon/internal/certify"
 	"secmon/internal/core"
 	"secmon/internal/lp"
 	"secmon/internal/model"
@@ -165,6 +166,11 @@ type OptimizeRequest struct {
 	// "dense" (the correctness oracle). It participates in the solution
 	// cache key, so results computed by different kernels never alias.
 	Kernel string `json:"kernel,omitempty"`
+	// Certify makes the solve emit a machine-checkable optimality
+	// certificate, echoed in the result and verified server-side before the
+	// response is cached. It participates in the cache key, so certified and
+	// uncertified solves of the same problem never alias.
+	Certify bool `json:"certify,omitempty"`
 	// DeadlineMillis bounds this solve; 0 selects the server default. The
 	// server caps it at its configured maximum.
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
@@ -175,6 +181,9 @@ type OptimizeResponse struct {
 	Result *core.Result `json:"result"`
 	// DeadlineMillis is the deadline actually applied to the solve.
 	DeadlineMillis int64 `json:"deadlineMillis"`
+	// CertificateVerified is true when the request asked for certification
+	// and the server re-verified the emitted certificate before replying.
+	CertificateVerified bool `json:"certificateVerified,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: a Pareto sweep of MaxUtility
@@ -346,6 +355,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Corroboration > 1 {
 		opts = append(opts, core.WithCorroboration(req.Corroboration))
 	}
+	if req.Certify {
+		opts = append(opts, core.WithCertificate())
+	}
 	opt := core.NewOptimizer(idx, opts...)
 
 	var res *core.Result
@@ -375,12 +387,29 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body, err := json.Marshal(OptimizeResponse{Result: res, DeadlineMillis: appliedMillis})
+	// A certified response is never cached (or served) without the server
+	// itself re-checking the certificate: the cache must only ever hold
+	// proofs that passed the independent verifier.
+	verified := false
+	if req.Certify && res.Certificate != nil {
+		if _, err := certify.Verify(res.Certificate); err != nil {
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("optimize: certificate failed verification: %w", err))
+			return
+		}
+		verified = true
+	}
+
+	body, err := json.Marshal(OptimizeResponse{
+		Result:              res,
+		DeadlineMillis:      appliedMillis,
+		CertificateVerified: verified,
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if res.Proven {
+	if res.Proven && (!req.Certify || verified) {
 		s.cache.put(key, body)
 	}
 	writeJSON(w, http.StatusOK, "miss", body)
