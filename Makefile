@@ -6,14 +6,14 @@
 # and a single-shot E3 benchmark smoke to catch gross solver regressions.
 
 GO ?= go
-BENCH ?= BENCH_PR5.json
+BENCH ?= BENCH_PR6.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
 STRESS_N ?= 1000
 
-.PHONY: ci lint vet build test race race-solver kernel-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke golden-update bench
+.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke golden-update bench
 
-ci: lint build race kernel-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke
+ci: lint build race kernel-equivalence decomp-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -76,6 +76,13 @@ kernel-equivalence:
 	$(GO) test ./internal/core -run 'TestKernelEquivalence|TestKernelCounters' -count=1
 	$(GO) test ./internal/lp -run 'TestSparse|TestWorkspaceKernelAlternation' -count=1
 
+# Decomposition-equivalence lane: the decomposed MaxUtility/MinCost solvers
+# against the monolithic optimizer on block-structured systems, plus the
+# core-level equivalence sweep (modes x workers {1,4}) and gating tests.
+decomp-equivalence:
+	$(GO) test ./internal/decomp -run 'TestMaxUtilityMatchesMonolithic|TestMinCostMatchesMonolithic' -count=1
+	$(GO) test ./internal/core -run 'TestDecomposition' -count=1
+
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE3' -benchtime=1x .
 
@@ -90,6 +97,8 @@ fuzz-smoke:
 		-fuzz FuzzSparseMatchesDense -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/certify/stress -run FuzzCertifiedSolve \
 		-fuzz FuzzCertifiedSolve -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/decomp -run FuzzDecompMatchesMonolithic \
+		-fuzz FuzzDecompMatchesMonolithic -fuzztime $(FUZZTIME)
 
 # End-to-end serve smoke: build secmon, start `secmon serve`, POST an
 # optimize request with a deadline, then SIGTERM and require a clean drain
@@ -124,18 +133,25 @@ golden-update:
 # Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6
 # runs, BenchmarkE7Scalability and BenchmarkE7Certify (certification
 # overhead vs the m=400/a=100 baseline) at -count=5 (benchjson reports the
-# median and the sample count), and a stable 200x simplex run, converted to the
-# repository's benchmark JSON schema by tools/benchjson. Records marked
-# single_shot: true carry one wall-clock sample and are noisy. Output file
-# is parametrized: `make bench BENCH=BENCH_PR5.json`.
+# median and the sample count), the E9 decomposition scale family at
+# -count=5 (every row is a PROVEN-optimal solve; the benchmark itself fails
+# on an unproven return), and a stable 200x simplex run, converted to the
+# repository's benchmark JSON schema by tools/benchjson. The -speedup flag
+# asserts the recorded E9 workers=8 row is at least 3x faster than
+# workers=1, skipped automatically on single-CPU environments. Records
+# marked single_shot: true carry one wall-clock sample and are noisy.
+# Output file is parametrized: `make bench BENCH=BENCH_PR6.json`.
 bench:
 	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$' \
 		-benchtime=1x -benchmem . | tee bench-1x.txt
 	$(GO) test -run xxx -bench '^BenchmarkE7Scalability$$|^BenchmarkE7Certify$$' \
 		-benchtime=1x -count=5 -benchmem . | tee bench-e7.txt
+	$(GO) test -run xxx -bench '^BenchmarkE9Scale$$' \
+		-benchtime=1x -count=5 -timeout 3600s . | tee bench-e9.txt
 	$(GO) test -run xxx -bench '^BenchmarkSimplexSolve$$' -benchtime=200x -benchmem . | tee bench-200x.txt
 	$(GO) run ./tools/benchjson \
-		-comment "$(BENCH) benchmarks. E3/E6 numbers are single-shot (-benchtime=1x) and noisy; E7 entries are the median of 5 repetitions; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
-		-out $(BENCH) bench-1x.txt=1x bench-e7.txt=1x bench-200x.txt=200x
-	rm -f bench-1x.txt bench-e7.txt bench-200x.txt
+		-comment "$(BENCH) benchmarks. E3/E6 numbers are single-shot (-benchtime=1x) and noisy; E7 and E9 entries are the median of 5 repetitions; every E9Scale row is a proven-optimal decomposition solve; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
+		-speedup 'BenchmarkE9Scale/mincost/5000x1000/w1=BenchmarkE9Scale/mincost/5000x1000/w8:3' \
+		-out $(BENCH) bench-1x.txt=1x bench-e7.txt=1x bench-e9.txt=1x bench-200x.txt=200x
+	rm -f bench-1x.txt bench-e7.txt bench-e9.txt bench-200x.txt
 	@echo "wrote $(BENCH)"

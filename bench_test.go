@@ -409,3 +409,73 @@ func BenchmarkA3BranchRule(b *testing.B) {
 		})
 	}
 }
+
+// blockIndex builds a block-structured synthetic index: monitors and data
+// types grouped into loosely connected segments, the shape the decomposition
+// solver exploits (experiment E9 scale family).
+func blockIndex(b *testing.B, monitors, attacks, segments int, cross float64) *model.Index {
+	b.Helper()
+	sys, err := synth.Generate(synth.Config{
+		Seed: 9, Monitors: monitors, Attacks: attacks,
+		Segments: segments, CrossFraction: cross,
+	})
+	if err != nil {
+		b.Fatalf("synth: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		b.Fatalf("index: %v", err)
+	}
+	return idx
+}
+
+// BenchmarkE9Scale measures the graph-partitioned decomposition solver on
+// block-structured instances 10-100x beyond the E7 sizes (experiment E9).
+// Every solve must return a PROVEN optimum — the benchmark fails otherwise,
+// so the recorded times are certified-optimality times, not heuristic times.
+// The workers=1/workers=8 pairs feed the parallel-speedup assertion in
+// tools/benchjson (skipped on single-CPU hosts).
+func BenchmarkE9Scale(b *testing.B) {
+	// Sub-benchmark names avoid '=' so the -speedup slow=fast:minratio spec
+	// in tools/benchjson parses unambiguously.
+	b.Run("mincost/5000x1000", func(b *testing.B) {
+		idx := blockIndex(b, 5000, 1000, 100, 0)
+		targets := core.CoverageTargets{Global: 0.9}
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+				opt := core.NewOptimizer(idx, core.WithClampToAchievable(),
+					core.WithDecomposition(), core.WithWorkers(workers))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := opt.MinCost(targets)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Proven {
+						b.Fatalf("not proven: status %s gap %v", res.Status, res.Gap)
+					}
+				}
+			})
+		}
+	})
+	b.Run("maxutil/1200x240", func(b *testing.B) {
+		idx := blockIndex(b, 1200, 240, 24, 0.02)
+		budget := idx.System().TotalMonitorCost() * 0.2
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+				opt := core.NewOptimizer(idx,
+					core.WithDecomposition(), core.WithWorkers(workers))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := opt.MaxUtility(budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Proven {
+						b.Fatalf("not proven: status %s gap %v", res.Status, res.Gap)
+					}
+				}
+			})
+		}
+	})
+}

@@ -226,6 +226,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
 	kernel := fs.String("kernel", "", "LP simplex kernel: sparse (default) or dense (the correctness oracle)")
+	decompose := fs.String("decompose", "auto", "graph-partitioned decomposition solver: auto (on above the size threshold), on, off")
 	certifyFlag := fs.Bool("certify", false, "emit a machine-checkable optimality certificate and verify it")
 	certifyOut := fs.String("certify-out", "", "write the certificate JSON to this file (implies -certify)")
 	deadline := fs.Duration("deadline", 0, "solve deadline; on expiry the best incumbent (or a heuristic fallback) is returned with its optimality gap")
@@ -264,6 +265,11 @@ func cmdOptimize(args []string, out io.Writer) error {
 		opts = append(opts, core.WithCertificate())
 	}
 	opts = append(opts, core.WithWorkers(*workers))
+	dopt, err := parseDecompose(*decompose)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, dopt...)
 	k, err := parseKernel(*kernel)
 	if err != nil {
 		return err
@@ -424,6 +430,36 @@ func printSolverExtras(out io.Writer, st core.SolveStats) {
 		fmt.Fprintf(out, "sparse kernel: %d etas, %d refactorizations, %d devex resets\n",
 			st.Etas, st.Refactorizations, st.DevexResets)
 	}
+	if d := st.Decomposition; d != nil {
+		fmt.Fprintf(out, "decomposition: %d segments (%d components, %d cut monitors), %d coordinator iterations, %d subproblem + %d master solves, %d branch nodes, final gap %.2e\n",
+			d.Segments, d.Components, d.CutMonitors, d.Iterations,
+			d.SubproblemSolves, d.MasterSolves, d.BranchNodes, d.FinalGap)
+		if len(d.GapTrajectory) > 0 {
+			fmt.Fprint(out, "decomposition gap trajectory:")
+			for _, g := range d.GapTrajectory {
+				fmt.Fprintf(out, " %.2e", g)
+			}
+			fmt.Fprintln(out)
+		}
+		if d.OracleFallbacks > 0 {
+			fmt.Fprintf(out, "decomposition: %d monolithic oracle fallbacks\n", d.OracleFallbacks)
+		}
+	}
+}
+
+// parseDecompose maps the -decompose flag to optimizer options; "auto" (the
+// default) defers to the optimizer's size threshold.
+func parseDecompose(mode string) ([]core.Option, error) {
+	switch mode {
+	case "auto":
+		return nil, nil
+	case "on":
+		return []core.Option{core.WithDecomposition()}, nil
+	case "off":
+		return []core.Option{core.WithoutDecomposition()}, nil
+	default:
+		return nil, fmt.Errorf("unknown -decompose %q (want auto, on or off)", mode)
+	}
 }
 
 // parseKernel maps the -kernel flag to an LP kernel selector; the empty
@@ -486,11 +522,16 @@ func cmdSynth(args []string, out io.Writer) error {
 	monitors := fs.Int("monitors", 50, "number of monitors")
 	attacks := fs.Int("attacks", 50, "number of attacks")
 	seed := fs.Int64("seed", 1, "generator seed")
+	segments := fs.Int("segments", 0, "block-structured generation: number of segments (0 = unstructured)")
+	cross := fs.Float64("cross", 0, "fraction of monitors producing across segment boundaries (with -segments)")
 	outPath := fs.String("o", "", "output file (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := synth.Generate(synth.Config{Seed: *seed, Monitors: *monitors, Attacks: *attacks})
+	sys, err := synth.Generate(synth.Config{
+		Seed: *seed, Monitors: *monitors, Attacks: *attacks,
+		Segments: *segments, CrossFraction: *cross,
+	})
 	if err != nil {
 		return err
 	}

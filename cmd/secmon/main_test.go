@@ -341,3 +341,20 @@ func TestOptimizeSaveAndReuseDeployment(t *testing.T) {
 		t.Error("missing deployment file accepted")
 	}
 }
+
+func TestOptimizeDecomposeFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.json")
+	mustRunCLI(t, "synth", "-monitors", "60", "-attacks", "30",
+		"-segments", "3", "-cross", "0.05", "-seed", "19", "-o", path)
+	out := mustRunCLI(t, "optimize", "-model", path, "-budget-fraction", "0.3", "-decompose", "on")
+	if !strings.Contains(out, "decomposition:") {
+		t.Errorf("forced decomposition printed no decomposition stats: %s", out)
+	}
+	out = mustRunCLI(t, "optimize", "-model", path, "-budget-fraction", "0.3", "-decompose", "off")
+	if strings.Contains(out, "decomposition:") {
+		t.Errorf("-decompose off still printed decomposition stats: %s", out)
+	}
+	if _, err := runCLI(t, "optimize", "-model", path, "-budget-fraction", "0.3", "-decompose", "sideways"); err == nil {
+		t.Error("bad -decompose value accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"secmon/internal/certify"
+	"secmon/internal/decomp"
 	"secmon/internal/ilp"
 	"secmon/internal/lp"
 	"secmon/internal/metrics"
@@ -87,6 +88,10 @@ type SolveStats struct {
 	// PerWorker breaks Nodes and LPIterations down by worker, indexed by
 	// worker id. Empty for the heuristic baselines.
 	PerWorker []WorkerLoad `json:"perWorker,omitempty"`
+	// Decomposition reports the graph-partitioned decomposition solver's
+	// effort (segments, coordinator iterations, gap trajectory, oracle
+	// fallbacks). Nil when the monolithic solver ran.
+	Decomposition *decomp.Stats `json:"decomposition,omitempty"`
 }
 
 // WarmStartHitRate is the fraction of warm-start attempts the dual simplex
@@ -183,6 +188,13 @@ type options struct {
 	corroboration int
 	certify       bool
 	solverOptions []ilp.Option
+	// decompose selects the decomposition solver: 0 auto (size threshold),
+	// 1 forced on, -1 forced off. The fields below mirror solver options the
+	// decomposition coordinator needs to see directly.
+	decompose int
+	workers   int
+	ctx       context.Context
+	kernel    lp.Kernel
 }
 
 type optionFunc func(*options)
@@ -241,13 +253,17 @@ func WithCertificate() Option {
 // WithWorkers sets the number of parallel branch-and-bound workers. 1 is
 // the sequential solver; values <= 0 select runtime.GOMAXPROCS(0).
 func WithWorkers(n int) Option {
-	return optionFunc(func(o *options) { o.solverOptions = append(o.solverOptions, ilp.WithWorkers(n)) })
+	return optionFunc(func(o *options) {
+		o.workers = n
+		o.solverOptions = append(o.solverOptions, ilp.WithWorkers(n))
+	})
 }
 
 // WithKernel selects the LP simplex kernel for every relaxation solve.
 // lp.KernelAuto (the zero value) defers to the solver default (sparse).
 func WithKernel(k lp.Kernel) Option {
 	return optionFunc(func(o *options) {
+		o.kernel = k
 		o.solverOptions = append(o.solverOptions, ilp.WithKernel(k))
 	})
 }
@@ -263,8 +279,27 @@ func WithDenseKernel() Option { return WithKernel(lp.KernelDense) }
 // falls back to a heuristic deployment (Fallback true) rather than erroring.
 func WithContext(ctx context.Context) Option {
 	return optionFunc(func(o *options) {
+		o.ctx = ctx
 		o.solverOptions = append(o.solverOptions, ilp.WithContext(ctx))
 	})
+}
+
+// WithDecomposition forces the graph-partitioned decomposition solver on for
+// every exact solve, regardless of instance size. Decomposition is exact: it
+// returns proven-optimal deployments (or falls back to the monolithic solver,
+// counted in SolveStats.Decomposition.OracleFallbacks). It is only compatible
+// with the compact single-coverage formulation: the expanded ablation
+// encoding, corroboration levels >= 2, certification and the dense oracle
+// kernel all silently keep the monolithic path. Decomposed solves do not
+// report RelaxationUtility (there is no single root LP).
+func WithDecomposition() Option {
+	return optionFunc(func(o *options) { o.decompose = 1 })
+}
+
+// WithoutDecomposition pins every exact solve to the monolithic solver, even
+// above the automatic size threshold.
+func WithoutDecomposition() Option {
+	return optionFunc(func(o *options) { o.decompose = -1 })
 }
 
 // NewOptimizer returns an optimizer for the indexed system.
@@ -297,6 +332,16 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 		res := o.emptyResult()
 		res.Budget = budget
 		return res, nil
+	}
+	if o.shouldDecompose() {
+		res, err := o.maxUtilityDecomposed(budget, fixed)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+		// Not decomposable: continue on the monolithic path.
 	}
 
 	f, err := o.buildFormulation(formulationSpec{budget: budget, fixed: fixed})
@@ -376,6 +421,17 @@ func (o *Optimizer) MinCostIncremental(targets CoverageTargets, existing *model.
 			}
 		}
 		return o.emptyResult(), nil
+	}
+
+	if o.shouldDecompose() {
+		res, err := o.minCostDecomposed(targets, fixed)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+		// Not decomposable: continue on the monolithic path.
 	}
 
 	f, err := o.buildFormulation(formulationSpec{minCost: true, targets: &targets, fixed: fixed})

@@ -1,0 +1,137 @@
+package decomp_test
+
+import (
+	"math"
+	"testing"
+
+	"secmon/internal/core"
+	"secmon/internal/decomp"
+	"secmon/internal/ilp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// fuzzSystem is a decoded fuzz input: a small block-structured system plus a
+// problem mode, sized so both solvers finish in milliseconds per input.
+type fuzzSystem struct {
+	seed     int64
+	monitors int
+	attacks  int
+	segments int
+	cross    float64
+	frac     float64 // budget fraction (MaxUtility) or coverage target (MinCost)
+	minCost  bool
+}
+
+func decodeFuzzSystem(data []byte) (fuzzSystem, bool) {
+	if len(data) < 7 {
+		return fuzzSystem{}, false
+	}
+	fs := fuzzSystem{
+		seed:     int64(data[0]) | int64(data[1])<<8,
+		monitors: 20 + int(data[2])%41, // 20..60
+		attacks:  8 + int(data[3])%23,  // 8..30
+		segments: 2 + int(data[4])%3,   // 2..4
+		cross:    float64(int(data[5])%16) / 100,
+		frac:     0.1 + 0.1*float64(int(data[6])%9), // 0.1..0.9
+		minCost:  data[6]%2 == 1,
+	}
+	if fs.minCost {
+		// Exact component decomposition needs disjoint blocks.
+		fs.cross = 0
+	}
+	return fs, true
+}
+
+func (fs fuzzSystem) index(t *testing.T) *model.Index {
+	t.Helper()
+	sys, err := synth.Generate(synth.Config{
+		Seed: fs.seed, Monitors: fs.monitors, Attacks: fs.attacks,
+		Segments: fs.segments, CrossFraction: fs.cross,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	return idx
+}
+
+// FuzzDecompMatchesMonolithic cross-checks the decomposition solver against
+// the monolithic optimizer on randomized block-structured systems: proven
+// objectives must agree, budgets and coverage requirements must hold, and
+// the decomposition bound must dominate its own incumbent.
+func FuzzDecompMatchesMonolithic(f *testing.F) {
+	f.Add([]byte{1, 0, 10, 4, 1, 5, 2})
+	f.Add([]byte{2, 1, 30, 12, 0, 0, 5})
+	f.Add([]byte{7, 3, 40, 20, 2, 12, 4})
+	f.Add([]byte{9, 2, 25, 9, 1, 0, 7})
+	f.Add([]byte{13, 5, 55, 18, 2, 8, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, ok := decodeFuzzSystem(data)
+		if !ok {
+			t.Skip()
+		}
+		idx := fs.index(t)
+		if fs.minCost {
+			fuzzMinCost(t, idx, fs)
+			return
+		}
+		fuzzMaxUtility(t, idx, fs)
+	})
+}
+
+func fuzzMaxUtility(t *testing.T, idx *model.Index, fs fuzzSystem) {
+	budget := fs.frac * totalCost(idx)
+	mono, err := core.NewOptimizer(idx, core.WithoutDecomposition()).MaxUtility(budget)
+	if err != nil {
+		t.Fatalf("monolithic: %v", err)
+	}
+	res, err := decomp.MaxUtility(idx, budget, nil, decomp.Config{MaxSegments: fs.segments})
+	if err == decomp.ErrNotDecomposable {
+		t.Skip()
+	}
+	if err != nil {
+		t.Fatalf("decomp: %v", err)
+	}
+	cost := metrics.Cost(idx, deploymentOf(idx, res.Monitors))
+	if cost > budget+1e-9 {
+		t.Fatalf("decomp cost %v exceeds budget %v", cost, budget)
+	}
+	got := metrics.Utility(idx, deploymentOf(idx, res.Monitors))
+	if res.BoundKnown && res.BestBound+1e-9 < got {
+		t.Fatalf("decomp bound %v below achieved utility %v", res.BestBound, got)
+	}
+	if res.Status == ilp.StatusOptimal && mono.Proven && math.Abs(got-mono.Utility) > 1e-6 {
+		t.Fatalf("decomp utility %v, monolithic %v", got, mono.Utility)
+	}
+}
+
+func fuzzMinCost(t *testing.T, idx *model.Index, fs fuzzSystem) {
+	targets := core.CoverageTargets{Global: fs.frac}
+	mono, err := core.NewOptimizer(idx, core.WithoutDecomposition(), core.WithClampToAchievable()).MinCost(targets)
+	if err != nil {
+		t.Fatalf("monolithic: %v", err)
+	}
+	req := requiredOf(t, idx, fs.frac)
+	res, err := decomp.MinCost(idx, req, nil, decomp.Config{})
+	if err == decomp.ErrNotDecomposable {
+		t.Skip()
+	}
+	if err != nil {
+		t.Fatalf("decomp: %v", err)
+	}
+	if res.Status != ilp.StatusOptimal {
+		t.Fatalf("decomp status %v", res.Status)
+	}
+	checkCoverage(t, idx, res.Monitors, req)
+	if mono.Proven && math.Abs(res.Objective-mono.Cost) > 1e-6 {
+		t.Fatalf("decomp cost %v, proven monolithic %v", res.Objective, mono.Cost)
+	}
+	if res.Objective > mono.Cost+1e-6 {
+		t.Fatalf("decomp cost %v above monolithic incumbent %v", res.Objective, mono.Cost)
+	}
+}

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// TestPartitionBlockRecovery checks that the partitioner recovers the planted
+// block structure of a synthetic segmented system: 8 segments out, a small
+// cut (near the planted cross-cut monitor count), and balanced sizes.
+func TestPartitionBlockRecovery(t *testing.T) {
+	sys, err := synth.Generate(synth.Config{
+		Seed: 17, Monitors: 400, Attacks: 120, DataTypes: 400,
+		Segments: 8, CrossFraction: 0.05,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	p := PartitionIndex(idx, false, PartitionConfig{MaxSegments: 8})
+	if p.Segments < 4 {
+		t.Fatalf("got %d segments, want >= 4 of a planted 8", p.Segments)
+	}
+	if p.Stats.CutItems > 100 {
+		t.Errorf("cut items = %d of 400; planted cross-cut is ~20", p.Stats.CutItems)
+	}
+	if p.Stats.LargestShare > 0.45 {
+		t.Errorf("largest segment holds %.0f%% of monitors, want balanced", 100*p.Stats.LargestShare)
+	}
+	for s, groups := range p.SegmentGroups {
+		if len(groups) == 0 {
+			t.Errorf("segment %d has no data types", s)
+		}
+	}
+	// Non-cut items must only produce inside their own segment.
+	for i, seg := range p.ItemSegment {
+		if seg == Cut {
+			continue
+		}
+		m, _ := idx.Monitor(p.Monitors[i])
+		for _, d := range m.Produces {
+			g := dataIndexOf(t, p, d)
+			if p.GroupSegment[g] != seg {
+				t.Fatalf("monitor %s in segment %d produces %s in segment %d", m.ID, seg, d, p.GroupSegment[g])
+			}
+		}
+	}
+}
+
+func dataIndexOf(t *testing.T, p *IndexPartition, d model.DataTypeID) int {
+	t.Helper()
+	for i, id := range p.DataTypes {
+		if id == d {
+			return i
+		}
+	}
+	t.Fatalf("data type %s not in partition", d)
+	return -1
+}
+
+// TestPartitionDisconnected: disjoint components stay whole and no item is
+// cut, whether or not splitting is enabled.
+func TestPartitionDisconnected(t *testing.T) {
+	// 4 components of 3 items x 2 groups each.
+	groupsOf := func(i int) []int {
+		comp := i / 3
+		return []int{2 * comp, 2*comp + 1}
+	}
+	for _, componentsOnly := range []bool{false, true} {
+		p := PartitionBipartite(12, 8, groupsOf, PartitionConfig{MaxSegments: 2, ComponentsOnly: componentsOnly})
+		if p.Segments != 2 {
+			t.Fatalf("componentsOnly=%v: got %d segments, want 2", componentsOnly, p.Segments)
+		}
+		if p.Stats.Components != 4 {
+			t.Errorf("componentsOnly=%v: got %d components, want 4", componentsOnly, p.Stats.Components)
+		}
+		if len(p.CutItems) != 0 {
+			t.Errorf("componentsOnly=%v: cut items %v in a disconnected instance", componentsOnly, p.CutItems)
+		}
+		for s, items := range p.SegmentItems {
+			if len(items) != 6 {
+				t.Errorf("componentsOnly=%v: segment %d has %d items, want 6", componentsOnly, s, len(items))
+			}
+		}
+	}
+}
+
+// TestPartitionSingleSegment: MaxSegments=1 puts everything in one segment.
+func TestPartitionSingleSegment(t *testing.T) {
+	groupsOf := func(i int) []int { return []int{i % 5} }
+	p := PartitionBipartite(20, 5, groupsOf, PartitionConfig{MaxSegments: 1})
+	if p.Segments != 1 || len(p.CutItems) != 0 {
+		t.Fatalf("got %d segments, %d cut items; want 1, 0", p.Segments, len(p.CutItems))
+	}
+	for i, s := range p.ItemSegment {
+		if s != 0 {
+			t.Fatalf("item %d in segment %d", i, s)
+		}
+	}
+}
+
+// TestPartitionAllCrossCut: a complete bipartite graph has no useful cut; the
+// partitioner must collapse to a single segment rather than cut every item.
+func TestPartitionAllCrossCut(t *testing.T) {
+	all := []int{0, 1, 2, 3, 4, 5}
+	p := PartitionBipartite(20, 6, func(int) []int { return all }, PartitionConfig{MaxSegments: 4})
+	if p.Segments != 1 {
+		t.Fatalf("got %d segments, want 1 (unsplittable graph)", p.Segments)
+	}
+	if len(p.CutItems) != 0 {
+		t.Fatalf("cut items %v, want none once collapsed", p.CutItems)
+	}
+}
+
+// TestPartitionOrphanItems: items with no groups spread over segments.
+func TestPartitionOrphanItems(t *testing.T) {
+	groupsOf := func(i int) []int {
+		if i < 4 {
+			return []int{i} // 4 singleton components
+		}
+		return nil // 4 orphans
+	}
+	p := PartitionBipartite(8, 4, groupsOf, PartitionConfig{MaxSegments: 2})
+	if p.Segments != 2 {
+		t.Fatalf("got %d segments, want 2", p.Segments)
+	}
+	total := 0
+	for _, items := range p.SegmentItems {
+		total += len(items)
+	}
+	if total != 8 || len(p.CutItems) != 0 {
+		t.Fatalf("placed %d of 8 items (%d cut)", total, len(p.CutItems))
+	}
+}
+
+// TestPartitionAttackCliques: coupling attacks merges the components their
+// evidence bridges, so MinCost segments never split an attack's cover row.
+func TestPartitionAttackCliques(t *testing.T) {
+	sys := &model.System{
+		Name:   "cliques",
+		Assets: []model.Asset{{ID: "a", Name: "a"}},
+		DataTypes: []model.DataType{
+			{ID: "d0", Asset: "a"}, {ID: "d1", Asset: "a"},
+			{ID: "d2", Asset: "a"}, {ID: "d3", Asset: "a"},
+		},
+		Monitors: []model.Monitor{
+			{ID: "m0", Asset: "a", Produces: []model.DataTypeID{"d0"}, CapitalCost: 1},
+			{ID: "m1", Asset: "a", Produces: []model.DataTypeID{"d1"}, CapitalCost: 1},
+			{ID: "m2", Asset: "a", Produces: []model.DataTypeID{"d2"}, CapitalCost: 1},
+			{ID: "m3", Asset: "a", Produces: []model.DataTypeID{"d3"}, CapitalCost: 1},
+		},
+		Attacks: []model.Attack{
+			// Bridges the d0 and d2 components.
+			{ID: "atk0", Weight: 1, Steps: []model.AttackStep{{Name: "s", Evidence: []model.DataTypeID{"d0", "d2"}}}},
+		},
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	plain := PartitionIndex(idx, false, PartitionConfig{MaxSegments: 4, ComponentsOnly: true})
+	if plain.Stats.Components != 4 {
+		t.Fatalf("got %d components without coupling, want 4", plain.Stats.Components)
+	}
+	coupled := PartitionIndex(idx, true, PartitionConfig{MaxSegments: 4, ComponentsOnly: true})
+	if coupled.Stats.Components != 3 {
+		t.Fatalf("got %d components with coupling, want 3 (d0+d2 merged)", coupled.Stats.Components)
+	}
+	// d0 and d2 share a segment, so attack atk0's cover row is segment-local.
+	g0 := dataIndexOf(t, coupled, "d0")
+	g2 := dataIndexOf(t, coupled, "d2")
+	if coupled.GroupSegment[g0] != coupled.GroupSegment[g2] {
+		t.Fatalf("coupled evidence d0/d2 in segments %d/%d", coupled.GroupSegment[g0], coupled.GroupSegment[g2])
+	}
+}
+
+// TestPartitionDeterministic: identical inputs give identical partitions.
+func TestPartitionDeterministic(t *testing.T) {
+	sys, err := synth.Generate(synth.Config{
+		Seed: 5, Monitors: 200, Attacks: 60, Segments: 4, CrossFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	a := PartitionIndex(idx, false, PartitionConfig{MaxSegments: 4})
+	b := PartitionIndex(idx, false, PartitionConfig{MaxSegments: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same input produced different partitions")
+	}
+}

@@ -123,6 +123,14 @@ func (p *Problem) SetVariableBounds(v lp.VarID, lower, upper float64) error {
 	return p.lp.SetVariableBounds(v, lower, upper)
 }
 
+// SetObjectiveCoefficient replaces the objective coefficient of an existing
+// variable; see lp.Problem.SetObjectiveCoefficient. Coordinator loops use it
+// to sweep a Lagrangian multiplier through the cost terms without rebuilding
+// the problem.
+func (p *Problem) SetObjectiveCoefficient(v lp.VarID, cost float64) error {
+	return p.lp.SetObjectiveCoefficient(v, cost)
+}
+
 // SetInteger marks an existing variable as integer-valued.
 func (p *Problem) SetInteger(v lp.VarID) {
 	p.markInteger(v)
@@ -229,6 +237,11 @@ type Solution struct {
 	Etas             int
 	Refactorizations int
 	DevexResets      int
+	// RootBasis is the final root-relaxation basis snapshot (nil when warm
+	// starts were disabled or the root never solved). Coordinator loops that
+	// re-solve the same problem under perturbed objectives or bounds feed it
+	// back via WithRootBasis.
+	RootBasis *lp.Basis
 }
 
 // kernelStats accumulates the sparse-kernel effort counters carried on
@@ -325,6 +338,12 @@ type options struct {
 	certify         bool
 	cert            *certCollector
 	ctx             context.Context
+
+	// Cross-solve reuse hooks (see reuse.go).
+	seedX     []float64
+	seed      *seedIncumbent
+	extWS     *lp.Workspace
+	rootBasis *lp.Basis
 }
 
 // ctxErr reports the configured context's error, nil when no context was
@@ -546,6 +565,9 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 		cfg.noCuts = true
 		cfg.noPresolve = true
 		cfg.cert = newCertCollector(p, &cfg)
+	}
+	if cfg.seedX != nil && !cfg.certify {
+		cfg.seed = validateSeed(p, &cfg)
 	}
 	started := time.Now()
 	// The root node is processed once up front — relaxation, cover cuts,
@@ -1119,6 +1141,7 @@ func (s *search) finish(status Status) *Solution {
 		sol.PresolveTightened = pr.presolveTightened
 		sol.CutsAdded = pr.cutsAdded
 		sol.CutsActive = pr.cutsActive
+		sol.RootBasis = pr.basis
 	}
 	sol.Interrupted = s.interrupted
 	if s.hasInc {
@@ -1141,11 +1164,17 @@ func (s *search) finishWithBound(status Status, openBound float64) *Solution {
 	if s.hasInc && s.incObj > bound {
 		bound = s.incObj
 	}
-	if !math.IsInf(bound, 0) {
-		sol.BestBound = s.fromMax(bound)
-		sol.BoundKnown = true
+	if math.IsInf(bound, 0) {
+		// Stopped before the root relaxation proved anything. A seeded
+		// incumbent (WithIncumbent) can exist here, but its objective is not
+		// a proving-side bound, so finish's optimal-claim values must go.
+		sol.BestBound = 0
+		sol.BoundKnown = false
+		return sol
 	}
-	if s.hasInc && !math.IsInf(bound, 0) {
+	sol.BestBound = s.fromMax(bound)
+	sol.BoundKnown = true
+	if s.hasInc {
 		sol.Gap = math.Abs(bound-s.incObj) / math.Max(1, math.Abs(s.incObj))
 	}
 	return sol

@@ -517,6 +517,7 @@ func (ps *parallelSearch) assemble() *Solution {
 		Etas:              ps.kstats.etas + pr.kstats.etas,
 		Refactorizations:  ps.kstats.refactorizations + pr.kstats.refactorizations,
 		DevexResets:       ps.kstats.devexResets + pr.kstats.devexResets,
+		RootBasis:         pr.basis,
 	}
 	sol.Interrupted = ps.interrupted
 	if ps.hasInc {
@@ -539,12 +540,17 @@ func (ps *parallelSearch) assemble() *Solution {
 		if ps.hasInc && ps.incObj > bound {
 			bound = ps.incObj
 		}
-		if !math.IsInf(bound, 0) {
+		if math.IsInf(bound, 0) {
+			// Stopped before the root proved anything (possible with a seeded
+			// incumbent): the incumbent objective is not a proving-side bound.
+			sol.BestBound = 0
+			sol.BoundKnown = false
+		} else {
 			sol.BestBound = fromMaxForm(ps.maximize, bound)
 			sol.BoundKnown = true
-		}
-		if ps.hasInc && !math.IsInf(bound, 0) {
-			sol.Gap = math.Abs(bound-ps.incObj) / math.Max(1, math.Abs(ps.incObj))
+			if ps.hasInc {
+				sol.Gap = math.Abs(bound-ps.incObj) / math.Max(1, math.Abs(ps.incObj))
+			}
 		}
 	case ps.hasInc:
 		sol.Status = StatusOptimal

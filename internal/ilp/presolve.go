@@ -87,6 +87,11 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 			return pr, nil // infeasible before any LP solve
 		}
 	}
+	if s := cfg.seed; s != nil {
+		// A validated WithIncumbent point prunes from the very first node,
+		// and survives even a pre-root context stop (anytime contract).
+		pr.hasInc, pr.incObj, pr.incumbent = true, s.obj, s.x
+	}
 
 	timeUp := func() bool {
 		if cfg.ctxErr() != nil {
@@ -101,7 +106,9 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	}
 
 	pr.work = p.lp.Clone()
-	pr.ws = lp.NewWorkspace()
+	if pr.ws = cfg.extWS; pr.ws == nil {
+		pr.ws = lp.NewWorkspace()
+	}
 	origRows := pr.work.NumConstraints()
 
 	// solve re-solves the root problem under the given integer boxes,
@@ -134,7 +141,7 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 		return sol, nil
 	}
 
-	sol, err := solve(pr.lo, pr.hi, nil)
+	sol, err := solve(pr.lo, pr.hi, cfg.rootBasis)
 	if err != nil {
 		return pr, err
 	}

@@ -231,6 +231,23 @@ func (p *Problem) SetVariableBounds(v VarID, lower, upper float64) error {
 	return nil
 }
 
+// SetObjectiveCoefficient replaces the objective coefficient of an existing
+// variable. Callers that re-solve the same rows under a family of objectives
+// — the Lagrangian subproblems of internal/decomp sweep a multiplier through
+// the cost terms — mutate coefficients in place instead of rebuilding the
+// problem. A prior Basis snapshot remains structurally valid (the rows are
+// untouched), though its dual feasibility depends on the new objective.
+func (p *Problem) SetObjectiveCoefficient(v VarID, cost float64) error {
+	if v < 0 || int(v) >= len(p.vars) {
+		return fmt.Errorf("%w: variable %d", ErrUnknownVariable, int(v))
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("%w: variable %q has objective coefficient %v", ErrBadCoefficient, p.vars[v].name, cost)
+	}
+	p.vars[v].cost = cost
+	return nil
+}
+
 // VariableBounds reports the current bounds of a variable.
 func (p *Problem) VariableBounds(v VarID) (lower, upper float64, err error) {
 	if v < 0 || int(v) >= len(p.vars) {

@@ -171,6 +171,11 @@ type OptimizeRequest struct {
 	// response is cached. It participates in the cache key, so certified and
 	// uncertified solves of the same problem never alias.
 	Certify bool `json:"certify,omitempty"`
+	// Decompose selects the graph-partitioned decomposition solver: ""/
+	// "auto" (on above the optimizer's size threshold), "on" or "off". It
+	// participates in the cache key, so decomposed and monolithic solves of
+	// the same problem never alias.
+	Decompose string `json:"decompose,omitempty"`
 	// DeadlineMillis bounds this solve; 0 selects the server default. The
 	// server caps it at its configured maximum.
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
@@ -357,6 +362,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Certify {
 		opts = append(opts, core.WithCertificate())
+	}
+	switch req.Decompose {
+	case "", "auto":
+	case "on":
+		opts = append(opts, core.WithDecomposition())
+	case "off":
+		opts = append(opts, core.WithoutDecomposition())
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("optimize: unknown decompose %q (want auto, on or off)", req.Decompose))
+		return
 	}
 	opt := core.NewOptimizer(idx, opts...)
 

@@ -346,3 +346,58 @@ func TestServeGracefulDrain(t *testing.T) {
 		t.Fatal("Serve did not return after drain")
 	}
 }
+
+// TestOptimizeDecompose exercises the decompose request field: "on" routes a
+// block-structured system through the decomposition solver (visible in the
+// stats), "off" pins the monolithic path, both proving the same utility, and
+// the two never alias in the solution cache.
+func TestOptimizeDecompose(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	sys, err := synth.Generate(synth.Config{
+		Seed: 17, Monitors: 60, Attacks: 30, Segments: 3, CrossFraction: 0.05,
+	})
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	frac := 0.3
+	resp, body := postJSON(t, ts.URL+"/v1/optimize",
+		OptimizeRequest{System: sys, BudgetFraction: &frac, Decompose: "on"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompose on: status = %d, body %s", resp.StatusCode, body)
+	}
+	on := decodeOptimize(t, body)
+	if on.Result == nil || !on.Result.Proven {
+		t.Fatalf("decompose on: expected proven result, got %s", body)
+	}
+	if on.Result.Stats.Decomposition == nil {
+		t.Fatalf("decompose on: no decomposition stats in %s", body)
+	}
+	if on.Result.Stats.Decomposition.Segments < 2 {
+		t.Errorf("decompose on: %d segments", on.Result.Stats.Decomposition.Segments)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/optimize",
+		OptimizeRequest{System: sys, BudgetFraction: &frac, Decompose: "off"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompose off: status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "miss" {
+		t.Errorf("decompose off after on: cache header = %q, want miss (no aliasing)", got)
+	}
+	off := decodeOptimize(t, body)
+	if off.Result == nil || !off.Result.Proven {
+		t.Fatalf("decompose off: expected proven result, got %s", body)
+	}
+	if off.Result.Stats.Decomposition != nil {
+		t.Errorf("decompose off: decomposition stats present in %s", body)
+	}
+	if diff := on.Result.Utility - off.Result.Utility; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("utility: decomposed %v, monolithic %v", on.Result.Utility, off.Result.Utility)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/optimize",
+		OptimizeRequest{System: sys, BudgetFraction: &frac, Decompose: "sideways"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad decompose: status = %d, body %s", resp.StatusCode, body)
+	}
+}

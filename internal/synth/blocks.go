@@ -1,0 +1,236 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"secmon/internal/model"
+)
+
+// Block-structured generation models segmented enterprise networks: each
+// block is a network segment with its own data types, monitors and attacks.
+// Monitors produce data within their block, except for a CrossFraction of
+// cross-cut monitors that also produce in a neighboring block — the small
+// edge cuts the decomposition solver (internal/decomp) exploits. Attacks
+// draw their evidence within one block, so coverage decomposes block-wise up
+// to the cross-cut monitors.
+
+// blockShares splits n items over blocks with geometric skew: block i gets a
+// share proportional to (1-skew)^i, every block gets at least one item when
+// n >= blocks, and the sizes sum exactly to n. Deterministic.
+func blockShares(n, blocks int, skew float64) []int {
+	if blocks <= 1 || n <= 0 {
+		return []int{n}
+	}
+	if blocks > n {
+		blocks = n
+	}
+	total := 0.0
+	for i := 0; i < blocks; i++ {
+		total += math.Pow(1-skew, float64(i))
+	}
+	sizes := make([]int, blocks)
+	acc, accW := 0, 0.0
+	for i := range sizes {
+		accW += math.Pow(1-skew, float64(i))
+		end := int(math.Round(float64(n) * accW / total))
+		if i == blocks-1 {
+			end = n
+		}
+		sizes[i] = end - acc
+		acc = end
+	}
+	// Rounding can starve a late block; steal from the largest to keep every
+	// block populated.
+	for i := range sizes {
+		for sizes[i] < 1 {
+			big := 0
+			for j := range sizes {
+				if sizes[j] > sizes[big] {
+					big = j
+				}
+			}
+			if sizes[big] <= 1 {
+				break
+			}
+			sizes[big]--
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// blockRanges converts per-block sizes into [start, end) index ranges.
+func blockRanges(sizes []int) [][2]int {
+	out := make([][2]int, len(sizes))
+	start := 0
+	for i, sz := range sizes {
+		out[i] = [2]int{start, start + sz}
+		start += sz
+	}
+	return out
+}
+
+// generateBlockStructured fills sys with block-structured data types,
+// monitors and attacks (assets were already generated).
+func generateBlockStructured(r *rand.Rand, c Config, sys *model.System) error {
+	blocks := c.Segments
+	dataRanges := blockRanges(blockShares(c.DataTypes, blocks, c.SegmentSkew))
+	monShares := blockShares(c.Monitors, blocks, c.SegmentSkew)
+	atkShares := blockShares(c.Attacks, blocks, c.SegmentSkew)
+	blocks = len(dataRanges) // may have been clamped by blockShares
+
+	for i := 0; i < c.DataTypes; i++ {
+		nf := randBetween(r, c.MinFields, c.MaxFields)
+		fields := make([]string, nf)
+		for f := range fields {
+			fields[f] = fmt.Sprintf("field-%d", f)
+		}
+		sys.DataTypes = append(sys.DataTypes, model.DataType{
+			ID:     model.DataTypeID(fmt.Sprintf("data-%04d", i)),
+			Name:   fmt.Sprintf("Data type %d", i),
+			Asset:  sys.Assets[r.Intn(len(sys.Assets))].ID,
+			Fields: fields,
+		})
+	}
+
+	// pick draws k distinct data-type indices from one block's range.
+	pick := func(b, k int) []int {
+		lo, hi := dataRanges[b][0], dataRanges[b][1]
+		n := hi - lo
+		if k > n {
+			k = n
+		}
+		out := samples(r, n, k)
+		for i := range out {
+			out[i] += lo
+		}
+		return out
+	}
+
+	producibleByBlock := make([][]int, blocks)
+	producibleSeen := make([]map[int]bool, blocks)
+	for b := range producibleSeen {
+		producibleSeen[b] = make(map[int]bool)
+	}
+	note := func(b, d int) {
+		if !producibleSeen[b][d] {
+			producibleSeen[b][d] = true
+			producibleByBlock[b] = append(producibleByBlock[b], d)
+		}
+	}
+
+	monID := 0
+	for b := 0; b < blocks; b++ {
+		if b >= len(monShares) {
+			break
+		}
+		for i := 0; i < monShares[b]; i++ {
+			k := randBetween(r, c.MinProduces, c.MaxProduces)
+			cross := blocks > 1 && r.Float64() < c.CrossFraction
+			var picks []int
+			if cross {
+				// A cross-cut monitor splits its production between its own
+				// block and the next one (wrapping), tying the two together.
+				own := (k + 1) / 2
+				if own < 1 {
+					own = 1
+				}
+				other := k - own
+				if other < 1 {
+					other = 1
+				}
+				nb := (b + 1) % blocks
+				picks = append(pick(b, own), pick(nb, other)...)
+			} else {
+				picks = pick(b, k)
+			}
+			produces := make([]model.DataTypeID, len(picks))
+			for j, p := range picks {
+				produces[j] = sys.DataTypes[p].ID
+				// Record producibility with the block that OWNS the data
+				// type, so each block's attack-evidence pool stays inside
+				// its own data range.
+				if p >= dataRanges[b][0] && p < dataRanges[b][1] {
+					note(b, p)
+				} else if cross {
+					note((b+1)%blocks, p)
+				}
+			}
+			total := c.MinCost + r.Float64()*(c.MaxCost-c.MinCost)
+			sys.Monitors = append(sys.Monitors, model.Monitor{
+				ID:              model.MonitorID(fmt.Sprintf("mon-%04d", monID)),
+				Name:            fmt.Sprintf("Monitor %d (block %d)", monID, b),
+				Asset:           sys.Assets[r.Intn(len(sys.Assets))].ID,
+				Produces:        produces,
+				CapitalCost:     round2(total * 0.7),
+				OperationalCost: round2(total * 0.3),
+			})
+			monID++
+		}
+	}
+
+	atkID := 0
+	for b := 0; b < blocks; b++ {
+		if b >= len(atkShares) {
+			break
+		}
+		pool := producibleByBlock[b]
+		for i := 0; i < atkShares[b]; i++ {
+			nEv := randBetween(r, c.MinEvidence, c.MaxEvidence)
+			blockSize := dataRanges[b][1] - dataRanges[b][0]
+			if nEv > blockSize {
+				nEv = blockSize
+			}
+			evidence := make([]model.DataTypeID, 0, nEv)
+			seen := make(map[int]bool, nEv)
+			for len(evidence) < nEv {
+				var cand int
+				if len(pool) > 0 && r.Float64() >= c.UnobservableEvidenceRate {
+					cand = pool[r.Intn(len(pool))]
+				} else {
+					cand = dataRanges[b][0] + r.Intn(blockSize)
+				}
+				if seen[cand] {
+					found := false
+					for off := 0; off < blockSize; off++ {
+						alt := dataRanges[b][0] + (cand-dataRanges[b][0]+off)%blockSize
+						if !seen[alt] {
+							cand, found = alt, true
+							break
+						}
+					}
+					if !found {
+						break
+					}
+				}
+				seen[cand] = true
+				evidence = append(evidence, sys.DataTypes[cand].ID)
+			}
+			if len(evidence) == 0 {
+				evidence = append(evidence, sys.DataTypes[dataRanges[b][0]].ID)
+			}
+
+			nSteps := randBetween(r, c.MinSteps, c.MaxSteps)
+			if nSteps > len(evidence) {
+				nSteps = len(evidence)
+			}
+			steps := make([]model.AttackStep, nSteps)
+			for s := range steps {
+				steps[s] = model.AttackStep{Name: fmt.Sprintf("step-%d", s)}
+			}
+			for j, e := range evidence {
+				steps[j%nSteps].Evidence = append(steps[j%nSteps].Evidence, e)
+			}
+			sys.Attacks = append(sys.Attacks, model.Attack{
+				ID:     model.AttackID(fmt.Sprintf("atk-%04d", atkID)),
+				Name:   fmt.Sprintf("Attack %d (block %d)", atkID, b),
+				Weight: round2(c.MinWeight + r.Float64()*(c.MaxWeight-c.MinWeight)),
+				Steps:  steps,
+			})
+			atkID++
+		}
+	}
+	return nil
+}

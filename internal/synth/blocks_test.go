@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+func TestBlockSharesSumAndFloor(t *testing.T) {
+	cases := []struct {
+		n, blocks int
+		skew      float64
+	}{
+		{100, 8, 0}, {100, 8, 0.5}, {7, 3, 0}, {3, 8, 0}, {5000, 64, 0.3},
+	}
+	for _, tc := range cases {
+		sizes := blockShares(tc.n, tc.blocks, tc.skew)
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				t.Errorf("blockShares(%d,%d,%v): empty block in %v", tc.n, tc.blocks, tc.skew, sizes)
+			}
+			sum += s
+		}
+		if sum != tc.n {
+			t.Errorf("blockShares(%d,%d,%v): sizes %v sum to %d", tc.n, tc.blocks, tc.skew, sizes, sum)
+		}
+	}
+}
+
+func TestBlockGenerationDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Monitors: 120, Attacks: 60, Segments: 6, CrossFraction: 0.1}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config generated different systems")
+	}
+}
+
+// TestBlockStructure checks the advertised block invariants: attacks draw
+// evidence within one block's data range, and roughly CrossFraction of the
+// monitors produce across two blocks.
+func TestBlockStructure(t *testing.T) {
+	cfg := Config{Seed: 11, Monitors: 400, Attacks: 120, DataTypes: 400, Segments: 8, CrossFraction: 0.1}
+	sys, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := model.NewIndex(sys); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if !strings.Contains(sys.Name, "segments=8") {
+		t.Errorf("system name %q does not record the segment count", sys.Name)
+	}
+
+	ranges := blockRanges(blockShares(400, 8, 0))
+	blockOf := func(id model.DataTypeID) int {
+		var i int
+		if _, err := fmtSscanfData(string(id), &i); err != nil {
+			t.Fatalf("unexpected data id %q", id)
+		}
+		for b, r := range ranges {
+			if i >= r[0] && i < r[1] {
+				return b
+			}
+		}
+		t.Fatalf("data index %d outside every block", i)
+		return -1
+	}
+
+	cross := 0
+	for _, m := range sys.Monitors {
+		blocks := map[int]bool{}
+		for _, d := range m.Produces {
+			blocks[blockOf(d)] = true
+		}
+		if len(blocks) > 2 {
+			t.Errorf("monitor %s spans %d blocks", m.ID, len(blocks))
+		}
+		if len(blocks) == 2 {
+			cross++
+		}
+	}
+	// ~10% of 400 with binomial noise; 3-sigma is about +-18.
+	if cross < 15 || cross > 75 {
+		t.Errorf("cross-cut monitors = %d, want near 40 of 400", cross)
+	}
+
+	for _, a := range sys.Attacks {
+		blocks := map[int]bool{}
+		for _, s := range a.Steps {
+			for _, e := range s.Evidence {
+				blocks[blockOf(e)] = true
+			}
+		}
+		if len(blocks) != 1 {
+			t.Errorf("attack %s draws evidence from %d blocks, want 1", a.ID, len(blocks))
+		}
+	}
+}
+
+// fmtSscanfData parses the numeric suffix of a data-XXXX identifier.
+func fmtSscanfData(id string, out *int) (int, error) {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	*out = n
+	return 1, nil
+}
+
+func TestBlockGenerationDegenerateSizes(t *testing.T) {
+	// More segments than monitors/attacks must still generate a valid system.
+	sys, err := Generate(Config{Seed: 3, Monitors: 3, Attacks: 2, DataTypes: 40, Segments: 8})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(sys.Monitors) != 3 || len(sys.Attacks) != 2 {
+		t.Fatalf("got %d monitors, %d attacks", len(sys.Monitors), len(sys.Attacks))
+	}
+}

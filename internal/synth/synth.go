@@ -58,6 +58,22 @@ type Config struct {
 	// phase's pool. Staged systems exercise the earliness metric the way
 	// real multi-stage intrusions do.
 	Staged bool
+
+	// Segments selects block-structured generation (values > 1): data
+	// types, monitors and attacks are assigned to that many blocks —
+	// network segments — and monitors produce data only within their block,
+	// so the monitor–data graph decomposes along small cuts the way real
+	// segmented inventories do. Default 0 (unstructured generation).
+	Segments int
+	// CrossFraction is the fraction of monitors that also produce data in
+	// a second block (the cross-cut monitors tying segments together);
+	// only meaningful with Segments > 1. Zero keeps the blocks fully
+	// disconnected.
+	CrossFraction float64
+	// SegmentSkew in [0, 0.9] skews block sizes geometrically: 0 yields
+	// balanced blocks, larger values concentrate the system in the early
+	// blocks (block i carries weight (1-skew)^i).
+	SegmentSkew float64
 }
 
 // KillChainPhases are the attack phases of the staged generation mode, in
@@ -120,6 +136,28 @@ func (c Config) withDefaults() Config {
 	} else if c.UnobservableEvidenceRate == 0 {
 		c.UnobservableEvidenceRate = 0.05
 	}
+	if c.Segments < 0 {
+		c.Segments = 0
+	}
+	if c.Segments > 1 {
+		// Every block needs at least one data type to anchor its monitors
+		// and attacks.
+		if c.Segments > c.DataTypes {
+			c.Segments = c.DataTypes
+		}
+		if c.CrossFraction < 0 {
+			c.CrossFraction = 0
+		}
+		if c.CrossFraction > 1 {
+			c.CrossFraction = 1
+		}
+	}
+	if c.SegmentSkew < 0 {
+		c.SegmentSkew = 0
+	}
+	if c.SegmentSkew > 0.9 {
+		c.SegmentSkew = 0.9
+	}
 	return c
 }
 
@@ -132,6 +170,10 @@ func Generate(cfg Config) (*model.System, error) {
 	sys := &model.System{
 		Name: fmt.Sprintf("synthetic(seed=%d, monitors=%d, attacks=%d)", c.Seed, c.Monitors, c.Attacks),
 	}
+	if c.Segments > 1 {
+		sys.Name = fmt.Sprintf("synthetic(seed=%d, monitors=%d, attacks=%d, segments=%d)",
+			c.Seed, c.Monitors, c.Attacks, c.Segments)
+	}
 
 	for i := 0; i < c.Assets; i++ {
 		sys.Assets = append(sys.Assets, model.Asset{
@@ -140,6 +182,16 @@ func Generate(cfg Config) (*model.System, error) {
 			Kind:        []string{"host", "network", "service"}[r.Intn(3)],
 			Criticality: 1 + r.Float64()*2,
 		})
+	}
+
+	if c.Segments > 1 {
+		if err := generateBlockStructured(r, c, sys); err != nil {
+			return nil, err
+		}
+		if err := sys.Validate(); err != nil {
+			return nil, fmt.Errorf("synth: generated system invalid: %w", err)
+		}
+		return sys, nil
 	}
 
 	for i := 0; i < c.DataTypes; i++ {

@@ -8,7 +8,9 @@
 //	benchjson -comment "..." -out BENCH_PR2.json file1.txt=1x file2.txt=200x
 //
 // Each positional argument names a benchmark output file and the -benchtime
-// it was captured with (recorded verbatim in the JSON).
+// it was captured with (recorded verbatim in the JSON). The optional
+// -speedup slow=fast:minratio flag asserts a parallel-speedup floor between
+// two recorded rows, skipped on single-CPU environments.
 package main
 
 import (
@@ -61,6 +63,9 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	comment := flag.String("comment", "", "value for the _comment field")
 	out := flag.String("out", "", "output file (default stdout)")
+	speedup := flag.String("speedup", "",
+		"assert slow=fast:minratio — ns/op of benchmark 'slow' must be at least "+
+			"minratio times that of 'fast'; skipped on single-CPU environments")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchjson [-comment C] [-out F] file=benchtime ...")
@@ -86,6 +91,13 @@ func main() {
 		rep.Environment.Gomaxprocs = 1
 	}
 
+	if *speedup != "" {
+		if err := assertSpeedup(&rep, *speedup); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -100,6 +112,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// assertSpeedup enforces a recorded parallel-speedup floor, specified as
+// "slow=fast:minratio": the collapsed ns/op of benchmark slow must be at
+// least minratio times that of fast. On a single-CPU environment (recorded
+// Gomaxprocs == 1) extra workers cannot speed anything up, so the assertion
+// is skipped with a warning rather than failed — the recorded JSON still
+// carries both rows for inspection.
+func assertSpeedup(rep *report, spec string) error {
+	names, ratioStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("speedup spec %q is not slow=fast:minratio", spec)
+	}
+	slow, fast, ok := strings.Cut(names, "=")
+	if !ok {
+		return fmt.Errorf("speedup spec %q is not slow=fast:minratio", spec)
+	}
+	minRatio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || minRatio <= 0 {
+		return fmt.Errorf("speedup spec %q: bad ratio %q", spec, ratioStr)
+	}
+	if rep.Environment.Gomaxprocs == 1 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: speedup %s SKIPPED: single-CPU environment (gomaxprocs=1)\n", spec)
+		return nil
+	}
+	find := func(name string) (benchmark, error) {
+		for _, b := range rep.Benchmarks {
+			if b.Name == name {
+				return b, nil
+			}
+		}
+		return benchmark{}, fmt.Errorf("speedup: benchmark %q not found", name)
+	}
+	sb, err := find(slow)
+	if err != nil {
+		return err
+	}
+	fb, err := find(fast)
+	if err != nil {
+		return err
+	}
+	ratio := sb.NsPerOp / fb.NsPerOp
+	if ratio < minRatio {
+		return fmt.Errorf("speedup: %s/%s = %.2fx, below required %.2fx", slow, fast, ratio, minRatio)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: speedup %s/%s = %.2fx (>= %.2fx) ok\n", slow, fast, ratio, minRatio)
+	return nil
 }
 
 func parseFile(rep *report, path, benchtime string) error {
