@@ -7,13 +7,14 @@
 
 GO ?= go
 BENCH ?= BENCH_PR6.json
+LOADBENCH ?= BENCH_PR7.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
 STRESS_N ?= 1000
 
-.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke golden-update bench
+.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench
 
-ci: lint build race kernel-equivalence decomp-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke
+ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -35,14 +36,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Focused race lane over the concurrency-heavy packages: the parallel
 # branch-and-bound, the sparse/dense LP kernels it shares workspaces with,
 # the orchestration layer that cancels it, and the HTTP server that runs
 # solves concurrently.
 race-solver:
-	$(GO) test -race ./internal/lp ./internal/ilp ./internal/core ./internal/server \
+	$(GO) test -race -timeout 20m ./internal/lp ./internal/ilp ./internal/core ./internal/server \
 		./internal/certify ./internal/certify/stress
 
 # Certificate lanes: the exact verifier's unit and corruption tests, the
@@ -75,6 +76,42 @@ stress-smoke:
 kernel-equivalence:
 	$(GO) test ./internal/core -run 'TestKernelEquivalence|TestKernelCounters' -count=1
 	$(GO) test ./internal/lp -run 'TestSparse|TestWorkspaceKernelAlternation' -count=1
+
+# Warm-shared sweep equivalence lane: ParetoSweepWarm must report bit-equal
+# curves (objective, status, monitor sets) to the cold sweep across solver
+# modes x kernels x workers {1,4}, the saturated-point skip must actually
+# fire, and the server's per-point sweep cache must reassemble responses
+# identical to a fresh solve.
+sweep-equivalence:
+	$(GO) test ./internal/core -run 'TestSweepWarm' -count=1
+	$(GO) test ./internal/server -run 'TestSweepPartialPointCache' -count=1
+
+# Serving-layer load smoke: a small seeded identical-burst run through
+# tools/loadgen that must coalesce concurrent identical requests (nonzero
+# coalesce rate) and finish with zero errors.
+load-smoke:
+	$(GO) run ./tools/loadgen -scenario identical-sweep -requests 24 \
+		-min-coalesce 0.2 -max-errors 0 -out load-smoke.json
+	@rm -f load-smoke.json
+
+# Serving-throughput benchmark: each scenario runs against the full serving
+# configuration and against a baseline configured like the pre-serving-layer
+# server (no coalescing, no warm-shared sweeps, no per-point cache,
+# unbounded FIFO queue). benchjson embeds the four rows into $(LOADBENCH)
+# and enforces the goodput floors — identical-burst >= 5x and mixed traffic
+# >= 2x at equal-or-better p99.
+loadbench:
+	$(GO) run ./tools/loadgen -scenario identical-sweep -out load-ident-serving.json
+	$(GO) run ./tools/loadgen -scenario identical-sweep -baseline -out load-ident-baseline.json
+	$(GO) run ./tools/loadgen -scenario mixed -out load-mixed-serving.json
+	$(GO) run ./tools/loadgen -scenario mixed -baseline -out load-mixed-baseline.json
+	$(GO) run ./tools/benchjson \
+		-comment "$(LOADBENCH) serving-layer load benchmark (tools/loadgen, seeded open-loop). identical-sweep is a 64-request burst of one canonical sweep; mixed is 200 requests of 50% canonical sweeps, 30% overlapping-grid sweeps and 20% fresh-budget optimizes across three tenants. */serving rows run the full serving path (coalescing, warm-shared sweeps, per-point cache, fair admission); */baseline rows run the same workload against a pre-serving-layer configuration. Wall-clock numbers are machine-dependent; the recorded goodput ratios are the result." \
+		-throughput load-ident-serving.json,load-ident-baseline.json,load-mixed-serving.json,load-mixed-baseline.json \
+		-goodput 'identical-sweep/serving=identical-sweep/baseline:5,mixed/serving=mixed/baseline:2' \
+		-out $(LOADBENCH)
+	rm -f load-ident-serving.json load-ident-baseline.json load-mixed-serving.json load-mixed-baseline.json
+	@echo "wrote $(LOADBENCH)"
 
 # Decomposition-equivalence lane: the decomposed MaxUtility/MinCost solvers
 # against the monolithic optimizer on block-structured systems, plus the

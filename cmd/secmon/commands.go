@@ -485,6 +485,7 @@ func cmdSweep(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
 	solverWorkers := fs.Int("solver-workers", 1, "branch-and-bound workers per solve (0 = GOMAXPROCS)")
 	deadline := fs.Duration("deadline", 0, "overall sweep deadline; expired solves return anytime results")
+	cold := fs.Bool("cold", false, "solve every budget point from scratch instead of the warm-shared sweep")
 	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -504,8 +505,13 @@ func cmdSweep(args []string, out io.Writer) error {
 		defer cancel()
 		sweepOpts = append(sweepOpts, core.WithContext(ctx))
 	}
+	if *cold {
+		sweepOpts = append(sweepOpts, core.WithoutSweepWarmStart())
+	}
 	opt := core.NewOptimizer(idx, sweepOpts...)
-	points, err := opt.ParetoSweepParallel(core.BudgetGrid(idx, *steps), *seed, *workers)
+	// The warm-shared sweep carries LP bases and incumbents between
+	// neighboring budget points; it reports the same curve as -cold, faster.
+	points, err := opt.ParetoSweepWarm(core.BudgetGrid(idx, *steps), *seed, *workers)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -21,9 +23,18 @@ func cmdServe(args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 30*time.Second, "default per-request solve deadline")
 	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on request-supplied deadlines")
 	concurrency := fs.Int("concurrency", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0,
+		"max requests queued for a solve slot before fast 429s (0 = 16x concurrency, negative = unbounded)")
+	tenantWeights := fs.String("tenant-weights", "",
+		"weighted round-robin admission weights as tenant:weight,... (unlisted tenants weigh 1)")
 	cacheSize := fs.Int("cache", 128, "solution cache entries (negative disables)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown drain grace period")
+	noCoalesce := fs.Bool("no-coalesce", false, "disable in-flight coalescing of identical requests")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
 		return err
 	}
 
@@ -31,16 +42,40 @@ func cmdServe(args []string, out io.Writer) error {
 	defer stop()
 
 	srv := server.New(server.Config{
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxConcurrent:   *concurrency,
-		CacheSize:       *cacheSize,
-		ShutdownGrace:   *grace,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
+		MaxConcurrent:     *concurrency,
+		QueueDepth:        *queueDepth,
+		TenantWeights:     weights,
+		CacheSize:         *cacheSize,
+		ShutdownGrace:     *grace,
+		DisableCoalescing: *noCoalesce,
 	})
-	fmt.Fprintf(out, "serving on http://%s (POST /v1/optimize, POST /v1/sweep, GET /v1/healthz)\n", *addr)
+	fmt.Fprintf(out, "serving on http://%s (POST /v1/optimize, POST /v1/sweep, GET /v1/stats, GET /v1/healthz)\n", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	fmt.Fprintln(out, "drained, bye")
 	return nil
+}
+
+// parseTenantWeights parses "tenant:weight,..." into the admission weight
+// map.
+func parseTenantWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("serve: tenant weight %q is not tenant:weight", part)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("serve: tenant %q has bad weight %q", name, wstr)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

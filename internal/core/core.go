@@ -156,6 +156,15 @@ type Result struct {
 	// (MaxUtility flavors only); the integrality gap is
 	// RelaxationUtility - Utility.
 	RelaxationUtility float64 `json:"relaxationUtility,omitempty"`
+	// Restated is true when the reported deployment was carried over from an
+	// earlier budget point of a sweep (stabilization or the warm path's
+	// dominance skip) instead of being decoded from this point's own solve.
+	// The objective is still this point's proven optimum; only the choice
+	// among equal-utility optima came from the neighboring point. Restated
+	// results are a function of the whole budget grid, so per-budget-point
+	// caches (the serve layer's) must not store them. Not serialized: the
+	// HTTP response bytes stay independent of how the point was obtained.
+	Restated bool `json:"-"`
 	// Stats describes solver effort; zero for the heuristic baselines.
 	Stats SolveStats `json:"stats"`
 	// Certificate is the machine-checkable optimality (or infeasibility)
@@ -188,6 +197,8 @@ type options struct {
 	corroboration int
 	certify       bool
 	solverOptions []ilp.Option
+	// noSweepWarm pins ParetoSweepWarm to the cold per-point path.
+	noSweepWarm bool
 	// decompose selects the decomposition solver: 0 auto (size threshold),
 	// 1 forced on, -1 forced off. The fields below mirror solver options the
 	// decomposition coordinator needs to see directly.
@@ -296,6 +307,15 @@ func WithDecomposition() Option {
 	return optionFunc(func(o *options) { o.decompose = 1 })
 }
 
+// WithoutSweepWarmStart makes ParetoSweepWarm solve every budget point from
+// cold instead of chaining the previous point's basis and incumbent — the
+// escape hatch for the warm-shared sweep path, and the reference the
+// sweep-equivalence suite compares it against. Results are identical either
+// way (objective, status and monitor sets); only solver effort differs.
+func WithoutSweepWarmStart() Option {
+	return optionFunc(func(o *options) { o.noSweepWarm = true })
+}
+
 // WithoutDecomposition pins every exact solve to the monolithic solver, even
 // above the automatic size threshold.
 func WithoutDecomposition() Option {
@@ -344,13 +364,34 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 		// Not decomposable: continue on the monolithic path.
 	}
 
+	res, _, err := o.maxUtilityMono(budget, fixed)
+	return res, err
+}
+
+// maxUtilityMono runs the monolithic MaxUtility solve and returns the raw
+// ILP solution alongside the result, so coordinator loops (the warm-shared
+// Pareto sweep) can chain the final root basis and incumbent into the next
+// solve. extra options are appended after the optimizer's own solver
+// options; they must be performance hints only (warm bases, seeds,
+// workspaces), never options that change the proven optimum.
+func (o *Optimizer) maxUtilityMono(budget float64, fixed *model.Deployment, extra ...ilp.Option) (*Result, *ilp.Solution, error) {
 	f, err := o.buildFormulation(formulationSpec{budget: budget, fixed: fixed})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	return o.solveMaxUtilityFormulation(f, budget, fixed, extra...)
+}
+
+// solveMaxUtilityFormulation runs the exact solve on an already-built
+// MaxUtility formulation; see maxUtilityMono.
+func (o *Optimizer) solveMaxUtilityFormulation(f *formulation, budget float64, fixed *model.Deployment, extra ...ilp.Option) (*Result, *ilp.Solution, error) {
+	solverOpts := o.cfg.solverOptions
+	if len(extra) > 0 {
+		solverOpts = append(append([]ilp.Option{}, solverOpts...), extra...)
+	}
+	sol, err := f.prob.Solve(solverOpts...)
 	if err != nil {
-		return nil, fmt.Errorf("core: max-utility solve: %w", err)
+		return nil, nil, fmt.Errorf("core: max-utility solve: %w", err)
 	}
 	switch sol.Status {
 	case ilp.StatusOptimal, ilp.StatusFeasible:
@@ -358,7 +399,7 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 		// Only possible when fixing an existing deployment that itself
 		// exceeds... fixing never conflicts with the budget (fixed cost is
 		// excluded), so treat as a solver-level surprise.
-		return nil, fmt.Errorf("core: max-utility unexpectedly infeasible")
+		return nil, nil, fmt.Errorf("core: max-utility unexpectedly infeasible")
 	case ilp.StatusLimit, ilp.StatusInterrupted:
 		// Stopped before any integer incumbent existed: fall back to the
 		// greedy cost-benefit baseline so the caller still gets a feasible
@@ -366,9 +407,9 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 		res := o.maxUtilityFallback(budget, fixed, sol)
 		res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
 		res.RelaxationUtility = sol.RootObjective
-		return res, nil
+		return res, sol, nil
 	default:
-		return nil, fmt.Errorf("core: max-utility solve stopped with status %v and no incumbent", sol.Status)
+		return nil, nil, fmt.Errorf("core: max-utility solve stopped with status %v and no incumbent", sol.Status)
 	}
 
 	deployment := f.decode(sol)
@@ -380,7 +421,7 @@ func (o *Optimizer) MaxUtilityIncremental(budget float64, existing *model.Deploy
 	res.Budget = budget
 	res.BudgetShadowPrice = sol.RootDual(f.budgetRow)
 	res.RelaxationUtility = sol.RootObjective
-	return res, nil
+	return res, sol, nil
 }
 
 // CoverageTargets specifies MinCost requirements: Global applies to every

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled narrows the heaviest sweep-equivalence matrices when
+// the race detector multiplies solve cost; the full matrices run in the
+// dedicated non-race `make sweep-equivalence` lane.
+const raceDetectorEnabled = true

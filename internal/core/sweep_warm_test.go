@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// sweepEquivModes enumerates the solver configurations the warm-shared sweep
+// must stay equivalent under: every accelerator on, the solver-level warm
+// start disabled (the chained root basis is then ignored), and everything
+// off.
+var sweepEquivModes = []struct {
+	name string
+	opts []ilp.Option
+}{
+	{name: "all-on"},
+	{name: "no-warm", opts: []ilp.Option{ilp.WithoutWarmStart()}},
+	{name: "all-off", opts: []ilp.Option{ilp.WithoutWarmStart(), ilp.WithoutCuts(), ilp.WithoutPresolve()}},
+}
+
+// checkSweepWarmEquivalence requires ParetoSweepWarm to reproduce the cold
+// sequential sweep exactly — same objective, proven status and monitor set
+// at every budget point — across solver feature modes, both LP kernels and
+// sweep worker counts {1, 4}.
+func checkSweepWarmEquivalence(t *testing.T, idx *model.Index, steps int, seed int64) {
+	t.Helper()
+	modes := sweepEquivModes
+	kernels := []struct {
+		name string
+		k    lp.Kernel
+	}{{"sparse", lp.KernelSparse}, {"dense", lp.KernelDense}}
+	if raceDetectorEnabled {
+		// The race detector multiplies solve cost ~10x and this matrix is
+		// pure solver arithmetic with no interesting interleavings beyond
+		// the worker fan-out; keep one mode/kernel cell so the concurrent
+		// sweep machinery is still exercised under -race, and leave the
+		// full matrix to the non-race sweep-equivalence lane.
+		modes = modes[:1]
+		kernels = kernels[:1]
+		steps = min(steps, 5)
+	}
+	budgets := BudgetGrid(idx, steps)
+
+	for _, mode := range modes {
+		for _, kernel := range kernels {
+			opts := []Option{WithWorkers(1), WithKernel(kernel.k), WithSolverOptions(mode.opts...)}
+			cold, err := NewOptimizer(idx, append([]Option{WithoutSweepWarmStart()}, opts...)...).
+				ParetoSweep(budgets, seed)
+			if err != nil {
+				t.Fatalf("%s/%s: cold sweep: %v", mode.name, kernel.name, err)
+			}
+			for _, workers := range []int{1, 4} {
+				warm, err := NewOptimizer(idx, opts...).ParetoSweepWarm(budgets, seed, workers)
+				if err != nil {
+					t.Fatalf("%s/%s/w%d: warm sweep: %v", mode.name, kernel.name, workers, err)
+				}
+				if len(warm) != len(cold) {
+					t.Fatalf("%s/%s/w%d: %d points, want %d", mode.name, kernel.name, workers, len(warm), len(cold))
+				}
+				for i := range cold {
+					label := fmt.Sprintf("%s/%s/w%d budget %v", mode.name, kernel.name, workers, cold[i].Budget)
+					w, c := warm[i].Optimal, cold[i].Optimal
+					if w.Budget != c.Budget {
+						t.Fatalf("%s: point order scrambled (budget %v)", label, w.Budget)
+					}
+					if !approx(w.Utility, c.Utility) {
+						t.Errorf("%s: utility = %v, want %v", label, w.Utility, c.Utility)
+					}
+					if w.Proven != c.Proven || w.Status != c.Status {
+						t.Errorf("%s: status = %s/proven=%t, want %s/proven=%t",
+							label, w.Status, w.Proven, c.Status, c.Proven)
+					}
+					if !sameMonitors(w.Monitors, c.Monitors) {
+						t.Errorf("%s: monitors = %v, want %v", label, w.Monitors, c.Monitors)
+					}
+					if !approx(w.Cost, c.Cost) {
+						t.Errorf("%s: cost = %v, want %v", label, w.Cost, c.Cost)
+					}
+					// The baselines are untouched by warm starts.
+					if !sameMonitors(warm[i].Greedy.Monitors, cold[i].Greedy.Monitors) ||
+						!sameMonitors(warm[i].Random.Monitors, cold[i].Random.Monitors) {
+						t.Errorf("%s: baseline deployments differ", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSweepWarmEquivalenceCaseStudy(t *testing.T) {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepWarmEquivalence(t, idx, 8, 1)
+}
+
+func TestSweepWarmEquivalenceSynthetic(t *testing.T) {
+	if testing.Short() || raceDetectorEnabled {
+		t.Skip("multi-instance sweep matrix")
+	}
+	for _, cfg := range []synth.Config{
+		{Seed: 7, Monitors: 25, Attacks: 12},
+		{Seed: 23, Monitors: 40, Attacks: 18},
+	} {
+		sys, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatalf("synth.Generate: %v", err)
+		}
+		idx, err := model.NewIndex(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fmt.Sprintf("m%d-a%d", cfg.Monitors, cfg.Attacks), func(t *testing.T) {
+			checkSweepWarmEquivalence(t, idx, 6, cfg.Seed)
+		})
+	}
+}
+
+// TestSweepWarmUnsortedBudgets feeds a deliberately unsorted, duplicated
+// budget list: the warm path must still report points in caller order with
+// the cold path's results.
+func TestSweepWarmUnsortedBudgets(t *testing.T) {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := idx.System().TotalMonitorCost()
+	budgets := []float64{total, 0, total * 0.4, total * 0.4, total * 0.8, total * 0.1}
+	cold, err := NewOptimizer(idx, WithWorkers(1)).ParetoSweep(budgets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewOptimizer(idx, WithWorkers(1)).ParetoSweepWarm(budgets, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if warm[i].Budget != cold[i].Budget {
+			t.Fatalf("point %d: budget %v, want %v (caller order not preserved)",
+				i, warm[i].Budget, cold[i].Budget)
+		}
+		if !sameMonitors(warm[i].Optimal.Monitors, cold[i].Optimal.Monitors) {
+			t.Errorf("point %d: monitors = %v, want %v",
+				i, warm[i].Optimal.Monitors, cold[i].Optimal.Monitors)
+		}
+	}
+}
+
+// TestSweepWarmSkipsSaturatedPoints pins the perf mechanism: on a budget
+// grid whose upper half saturates, the chained sweep must close at least one
+// point from the LP bound alone (zero branch-and-bound nodes) and spend
+// strictly fewer total nodes than the cold sweep.
+func TestSweepWarmSkipsSaturatedPoints(t *testing.T) {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := BudgetGrid(idx, 8)
+	cold, err := NewOptimizer(idx, WithWorkers(1)).ParetoSweep(budgets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewOptimizer(idx, WithWorkers(1)).ParetoSweepWarm(budgets, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldNodes, warmNodes, skips := 0, 0, 0
+	for i := range cold {
+		coldNodes += cold[i].Optimal.Stats.Nodes
+		warmNodes += warm[i].Optimal.Stats.Nodes
+		if warm[i].Optimal.Proven && warm[i].Optimal.Stats.Nodes == 0 && warm[i].Budget > 0 {
+			skips++
+		}
+	}
+	if skips == 0 {
+		t.Fatalf("no budget point was closed by the chained LP bound (cold nodes %d, warm nodes %d)",
+			coldNodes, warmNodes)
+	}
+	if warmNodes >= coldNodes {
+		t.Fatalf("warm sweep explored %d nodes, cold %d: chaining saved nothing", warmNodes, coldNodes)
+	}
+}
+
+// TestSweepWarmEscapeHatch pins WithoutSweepWarmStart to the cold path: the
+// solve stats of a chained sweep differ from the cold sweep (warm attempts
+// at the root), while the hatch reproduces them exactly.
+func TestSweepWarmEscapeHatch(t *testing.T) {
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := BudgetGrid(idx, 6)
+	cold, err := NewOptimizer(idx, WithWorkers(1)).ParetoSweep(budgets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hatch, err := NewOptimizer(idx, WithWorkers(1), WithoutSweepWarmStart()).
+		ParetoSweepWarm(budgets, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if hatch[i].Optimal.Stats.Nodes != cold[i].Optimal.Stats.Nodes ||
+			hatch[i].Optimal.Stats.LPIterations != cold[i].Optimal.Stats.LPIterations {
+			t.Errorf("budget %v: hatched sweep stats differ from cold (nodes %d vs %d)",
+				cold[i].Budget, hatch[i].Optimal.Stats.Nodes, cold[i].Optimal.Stats.Nodes)
+		}
+	}
+}

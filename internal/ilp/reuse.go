@@ -43,6 +43,17 @@ func WithRootBasis(b *lp.Basis) Option {
 	return optionFunc(func(o *options) { o.rootBasis = b })
 }
 
+// SolveRelaxation solves the problem's LP relaxation — every integrality
+// requirement dropped, bounds and rows unchanged — under the given LP
+// options. Coordinator loops (the warm-shared Pareto sweep) use it to price
+// a perturbed instance cheaply, typically warm-started from a previous
+// solve's basis, before deciding whether a full branch-and-bound run is
+// needed: the relaxation objective is a valid bound on the integer optimum
+// whatever vertex the simplex lands on.
+func (p *Problem) SolveRelaxation(opts ...lp.Option) (*lp.Solution, error) {
+	return p.lp.Solve(opts...)
+}
+
 // seedIncumbent is a validated WithIncumbent point in maximize form.
 type seedIncumbent struct {
 	x   []float64

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// admitResult classifies the outcome of an admission attempt.
+type admitResult int
+
+const (
+	// admitted means a solve slot was granted; the caller must release it.
+	admitted admitResult = iota
+	// admitRejected means the queue was full; reply 429 immediately.
+	admitRejected
+	// admitTimedOut means the request's context expired while queued; no
+	// slot was consumed. Reply 408.
+	admitTimedOut
+)
+
+// admission is the fair admission queue that replaces the bare solve-slot
+// semaphore: a bounded number of waiters, grouped per tenant, dispatched by
+// weighted round-robin as slots free up. Fairness is between tenants, FIFO
+// within a tenant, so one tenant's burst cannot starve the others however
+// deep its backlog. Waiters carry their request context; a context that
+// expires while queued abandons the wait without ever consuming a slot.
+type admission struct {
+	mu      sync.Mutex
+	slots   int // free solve slots
+	depth   int // max queued waiters; < 0 means unbounded
+	queued  int // live (non-cancelled) queued waiters
+	weights map[string]int
+
+	queues map[string]*list.List // tenant -> FIFO of *waiter
+	ring   []string              // tenants with queued waiters, RR order
+	cur    int                   // ring index currently being served
+	credit int                   // grants left for ring[cur] this round
+}
+
+// waiter is one queued request. granted and cancelled are guarded by the
+// admission mutex; ready is closed exactly once, on grant.
+type waiter struct {
+	tenant    string
+	ready     chan struct{}
+	granted   bool
+	cancelled bool
+}
+
+func newAdmission(slots, depth int, weights map[string]int) *admission {
+	return &admission{
+		slots:   slots,
+		depth:   depth,
+		weights: weights,
+		queues:  make(map[string]*list.List),
+	}
+}
+
+// weight returns the tenant's configured dispatch weight (default 1).
+func (a *admission) weight(tenant string) int {
+	if w, ok := a.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// admit claims a solve slot for the tenant, queueing behind the weighted
+// round-robin dispatcher when none is free. waited reports whether the
+// request actually queued (for the stats counters).
+func (a *admission) admit(ctx context.Context, tenant string) (res admitResult, waited bool) {
+	a.mu.Lock()
+	if a.slots > 0 && a.queued == 0 {
+		a.slots--
+		a.mu.Unlock()
+		return admitted, false
+	}
+	if a.depth >= 0 && a.queued >= a.depth {
+		a.mu.Unlock()
+		return admitRejected, false
+	}
+	w := &waiter{tenant: tenant, ready: make(chan struct{})}
+	q, ok := a.queues[tenant]
+	if !ok {
+		q = list.New()
+		a.queues[tenant] = q
+	}
+	if q.Len() == 0 {
+		a.ring = append(a.ring, tenant)
+	}
+	q.PushBack(w)
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return admitted, true
+	case <-ctx.Done():
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		// The grant raced the deadline; the slot is ours after all.
+		return admitted, true
+	}
+	// Leave the dead waiter in its queue; the dispatcher skips and reaps
+	// cancelled entries, so no slot is ever burned on it.
+	w.cancelled = true
+	a.queued--
+	return admitTimedOut, false
+}
+
+// release returns a slot and hands it to the next queued waiter, if any.
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.slots++
+	a.dispatchLocked()
+}
+
+// dispatchLocked hands free slots to queued waiters in weighted round-robin
+// tenant order: the current tenant receives up to weight(tenant) consecutive
+// grants before the turn passes on, and tenants whose queues empty leave the
+// ring. Cancelled waiters are reaped here, costing nothing.
+func (a *admission) dispatchLocked() {
+	for a.slots > 0 && a.queued > 0 {
+		if len(a.ring) == 0 {
+			return // only cancelled stragglers remain; keep queued consistent
+		}
+		if a.cur >= len(a.ring) {
+			a.cur = 0
+		}
+		tenant := a.ring[a.cur]
+		if a.credit <= 0 {
+			a.credit = a.weight(tenant)
+		}
+		q := a.queues[tenant]
+		var w *waiter
+		for q.Len() > 0 {
+			el := q.Front()
+			q.Remove(el)
+			cand := el.Value.(*waiter)
+			if cand.cancelled {
+				continue
+			}
+			w = cand
+			break
+		}
+		if w == nil {
+			// Tenant queue drained: drop it from the ring, turn passes on.
+			a.ring = append(a.ring[:a.cur], a.ring[a.cur+1:]...)
+			a.credit = 0
+			continue
+		}
+		w.granted = true
+		close(w.ready)
+		a.slots--
+		a.queued--
+		a.credit--
+		if q.Len() == 0 {
+			a.ring = append(a.ring[:a.cur], a.ring[a.cur+1:]...)
+			a.credit = 0
+		} else if a.credit <= 0 {
+			a.cur++
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress solve shared by every identical in-flight
+// request. The leader computes, publishes the finished response, and closes
+// done; followers wait on done under their own deadlines. Only shared
+// (proven, deadline-independent) responses are replayed to followers —
+// anything else makes each follower retry under its own deadline, since an
+// error or a truncated result may be specific to the leader's run.
+type flight struct {
+	done   chan struct{}
+	status int
+	header string // Secmon-Cache value of the leader's response, if any
+	body   []byte
+	shared bool
+}
+
+// flightGroup implements request coalescing (singleflight keyed by the
+// canonical request hash): at most one solve per distinct problem is in
+// flight at a time, however many clients are asking.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join claims leadership of the flight for key, or returns the existing
+// flight to follow. The leader MUST eventually call finish.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// finish publishes the leader's response and wakes every follower. shared
+// marks the response as replayable: a proven 200 body any identical request
+// may reuse verbatim. The flight is removed from the group first, so a
+// request arriving after finish starts a fresh flight (the response cache,
+// not the flight group, is the long-term store).
+func (g *flightGroup) finish(key string, f *flight, status int, header string, body []byte, shared bool) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	f.status = status
+	f.header = header
+	f.body = body
+	f.shared = shared
+	close(f.done)
+}
+
+// wait blocks until the flight completes or ctx expires. ok reports that
+// the flight finished in time; the caller then inspects f.shared.
+func (f *flight) wait(ctx context.Context) bool {
+	select {
+	case <-f.done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

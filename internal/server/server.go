@@ -2,10 +2,15 @@
 // `secmon serve` layer. Every solve runs under a per-request deadline and is
 // interruptible anytime-style (see core.WithContext), so a slow exact solve
 // degrades to the best incumbent with a reported optimality gap instead of
-// holding the connection open. Identical requests are answered from an LRU
-// cache keyed by a canonical hash of the request (only proven, i.e.
-// deadline-independent, results are cached), and shutdown drains in-flight
-// solves before the process exits.
+// holding the connection open. The serving path is built for many concurrent
+// clients, not just one fast solve: identical finished requests are answered
+// from an LRU cache keyed by a canonical request hash, identical in-flight
+// requests are coalesced onto a single solve (singleflight), sweeps reuse
+// previously proven budget points from a per-point cache and share solver
+// state across the remaining points, and solve slots are dispensed by a
+// per-tenant weighted round-robin admission queue with a bounded backlog
+// (fast 429 + Retry-After on overflow). Shutdown drains in-flight solves
+// before the process exits.
 package server
 
 import (
@@ -26,10 +31,16 @@ import (
 	"secmon/internal/model"
 )
 
-// cacheHeader reports whether a response was served from the solution
-// cache ("hit") or computed fresh ("miss"); response bodies are identical
-// either way.
+// cacheHeader reports how a response was obtained: "hit" (served from the
+// full-response cache), "partial" (a sweep assembled from at least one
+// cached budget point), "coalesced" (replayed from a concurrent identical
+// request's solve) or "miss" (computed fresh). Response bodies are identical
+// whichever path produced them.
 const cacheHeader = "Secmon-Cache"
+
+// maxTenantLen bounds the tenant tag, which feeds per-tenant queues and
+// counters.
+const maxTenantLen = 64
 
 // Config tunes a Server. The zero value selects the documented defaults.
 type Config struct {
@@ -39,15 +50,33 @@ type Config struct {
 	// MaxDeadline caps request-supplied deadlines (default 5m).
 	MaxDeadline time.Duration
 	// MaxConcurrent bounds concurrently running solves; excess requests
-	// wait their turn, giving up when their deadline expires first
-	// (default runtime.GOMAXPROCS(0)).
+	// queue for admission (default runtime.GOMAXPROCS(0)).
 	MaxConcurrent int
+	// QueueDepth bounds how many requests may wait for a solve slot across
+	// all tenants; requests beyond it are rejected immediately with 429 and
+	// a Retry-After header. 0 selects 16×MaxConcurrent; negative means
+	// unbounded (every request waits, as the pre-admission-queue server
+	// did).
+	QueueDepth int
+	// TenantWeights sets the weighted-round-robin dispatch weight per
+	// tenant (default 1 each). A tenant with weight 2 receives two solve
+	// slots for every one a weight-1 tenant gets, when both are queued.
+	TenantWeights map[string]int
 	// CacheSize is the LRU solution cache capacity in entries (default
-	// 128; negative disables caching).
+	// 128; negative disables caching, including the sweep per-point cache).
 	CacheSize int
 	// ShutdownGrace bounds how long Shutdown waits for in-flight requests
 	// to drain (default 30s).
 	ShutdownGrace time.Duration
+	// DisableCoalescing turns off in-flight request coalescing: every
+	// request runs (and pays for) its own solve.
+	DisableCoalescing bool
+	// DisableSweepWarm makes /v1/sweep solve every budget point from cold
+	// (core.ParetoSweepParallel) instead of the warm-shared sweep.
+	DisableSweepWarm bool
+	// DisableSweepPointCache turns off the per-budget-point sweep cache;
+	// sweeps then only ever hit the full-response cache.
+	DisableSweepPointCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16 * c.MaxConcurrent
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
@@ -78,22 +110,38 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	cache    *solutionCache
-	sem      chan struct{}
+	adm      *admission
+	flights  *flightGroup
+	stats    *serveStats
 	inFlight atomic.Int64
 	mux      *http.ServeMux
+
+	// testSolveHook, when set, runs after admission and immediately before
+	// each underlying optimizer run ("optimize" or "sweep"). Tests use it
+	// to count and to block solves.
+	testSolveHook func(kind string)
+	// testDispatchHook, when set, runs after each solve-slot grant with the
+	// request's tenant tag; tests use it to observe dispatch order.
+	testDispatchHook func(tenant string)
+	// testJoinHook, when set, runs after each flight join; tests use it to
+	// know when every concurrent request has attached to a flight.
+	testJoinHook func(leader bool)
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newSolutionCache(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cfg:     cfg,
+		cache:   newSolutionCache(cfg.CacheSize),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.TenantWeights),
+		flights: newFlightGroup(),
+		stats:   newServeStats(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	return s
 }
@@ -176,8 +224,16 @@ type OptimizeRequest struct {
 	// participates in the cache key, so decomposed and monolithic solves of
 	// the same problem never alias.
 	Decompose string `json:"decompose,omitempty"`
+	// Tenant tags the request for fair admission: solve slots are dispensed
+	// round-robin across tenants (weighted by Config.TenantWeights), FIFO
+	// within one. Empty selects the shared default pool. The tenant does
+	// NOT participate in the cache or coalescing keys — identical problems
+	// from different tenants share one solve and one cache entry.
+	Tenant string `json:"tenant,omitempty"`
 	// DeadlineMillis bounds this solve; 0 selects the server default. The
-	// server caps it at its configured maximum.
+	// server caps it at its configured maximum. Time spent queued for
+	// admission counts against the deadline, so a queued request keeps its
+	// end-to-end SLO.
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 }
 
@@ -203,9 +259,12 @@ type SweepRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Workers is the number of concurrent budget points (0 = GOMAXPROCS);
 	// SolverWorkers is the branch-and-bound worker count per solve.
-	Workers        int   `json:"workers,omitempty"`
-	SolverWorkers  int   `json:"solverWorkers,omitempty"`
-	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+	Workers       int `json:"workers,omitempty"`
+	SolverWorkers int `json:"solverWorkers,omitempty"`
+	// Tenant tags the request for fair admission; see
+	// OptimizeRequest.Tenant.
+	Tenant         string `json:"tenant,omitempty"`
+	DeadlineMillis int64  `json:"deadlineMillis,omitempty"`
 }
 
 // SweepResponse is the body of a successful POST /v1/sweep.
@@ -219,18 +278,41 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, cache string, body []byte) {
+// reply is a fully materialized HTTP response: what a solve produced, or
+// what a flight leader publishes for followers to replay. shared marks a
+// proven, deadline-independent 200 that identical requests may reuse
+// verbatim.
+type reply struct {
+	status     int
+	cache      string // Secmon-Cache header value, "" to omit
+	retryAfter string // Retry-After header value, "" to omit
+	body       []byte
+	shared     bool
+}
+
+func errReply(status int, err error) reply {
+	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	return reply{status: status, body: body}
+}
+
+func writeReply(w http.ResponseWriter, rep reply) {
 	w.Header().Set("Content-Type", "application/json")
-	if cache != "" {
-		w.Header().Set(cacheHeader, cache)
+	if rep.cache != "" {
+		w.Header().Set(cacheHeader, rep.cache)
 	}
-	w.WriteHeader(status)
-	w.Write(body)
+	if rep.retryAfter != "" {
+		w.Header().Set("Retry-After", rep.retryAfter)
+	}
+	w.WriteHeader(rep.status)
+	w.Write(rep.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, cache string, body []byte) {
+	writeReply(w, reply{status: status, cache: cache, body: body})
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	body, _ := json.Marshal(errorResponse{Error: err.Error()})
-	writeJSON(w, status, "", body)
+	writeReply(w, errReply(status, err))
 }
 
 // statusFor maps optimizer errors onto HTTP statuses: caller mistakes are
@@ -265,8 +347,8 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, into any) bool {
 
 // solveContext derives the per-request solve context: the request deadline
 // (capped at MaxDeadline, defaulting to DefaultDeadline) layered over the
-// HTTP request context, so both a client disconnect and the deadline stop
-// the branch-and-bound.
+// HTTP request context, so a client disconnect, the deadline, or time spent
+// queued all count against the same budget and stop the branch-and-bound.
 func (s *Server) solveContext(r *http.Request, deadlineMillis int64) (context.Context, context.CancelFunc, int64) {
 	d := s.cfg.DefaultDeadline
 	if deadlineMillis > 0 {
@@ -279,20 +361,82 @@ func (s *Server) solveContext(r *http.Request, deadlineMillis int64) (context.Co
 	return ctx, cancel, d.Milliseconds()
 }
 
-// acquire claims a solve slot, waiting until one frees up or the context
-// expires. It returns false (and replies 503) when the wait is abandoned.
-func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	case <-ctx.Done():
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("server saturated: %w", ctx.Err()))
-		return false
+// coalesced serves one request through the flight group: the first request
+// for a key becomes the leader and runs compute under its OWN deadline;
+// identical concurrent requests follow, waiting under theirs. A follower's
+// earlier deadline therefore never truncates the leader's solve — it only
+// bounds how long that follower is willing to wait for it. Followers replay
+// only shared (proven 200) results; after an error or a deadline-truncated
+// leader they retry, each under its own deadline, the first retrier
+// becoming the new leader.
+func (s *Server) coalesced(w http.ResponseWriter, ctx context.Context, key string, compute func() reply) {
+	if s.cfg.DisableCoalescing {
+		writeReply(w, compute())
+		return
+	}
+	for {
+		f, leader := s.flights.join(key)
+		if s.testJoinHook != nil {
+			s.testJoinHook(leader)
+		}
+		if leader {
+			published := false
+			defer func() {
+				if !published {
+					// compute panicked: wake followers with a non-shared
+					// error so they retry instead of hanging.
+					s.flights.finish(key, f, http.StatusInternalServerError, "",
+						errReply(http.StatusInternalServerError, errors.New("coalesced solve failed")).body, false)
+				}
+			}()
+			rep := compute()
+			s.flights.finish(key, f, rep.status, rep.cache, rep.body, rep.shared)
+			published = true
+			writeReply(w, rep)
+			return
+		}
+		if !f.wait(ctx) {
+			s.stats.timeouts.Add(1)
+			writeError(w, http.StatusRequestTimeout,
+				fmt.Errorf("deadline expired awaiting coalesced solve: %w", ctx.Err()))
+			return
+		}
+		if f.shared {
+			s.stats.coalesced.Add(1)
+			writeReply(w, reply{status: f.status, cache: "coalesced", body: f.body})
+			return
+		}
+		// Leader's outcome wasn't replayable; take another lap.
 	}
 }
 
-func (s *Server) release() { <-s.sem }
+// admit runs the fair-admission protocol for one solve, translating the
+// outcome into a reply when the request cannot proceed. On success the
+// returned release func must be called when the solve slot is no longer
+// needed.
+func (s *Server) admit(ctx context.Context, tenant string) (release func(), rejected *reply) {
+	res, waited := s.adm.admit(ctx, tenant)
+	if waited {
+		s.stats.queued.Add(1)
+	}
+	switch res {
+	case admitRejected:
+		s.stats.rejected.Add(1)
+		rep := errReply(http.StatusTooManyRequests, errors.New("admission queue full"))
+		rep.retryAfter = "1"
+		return nil, &rep
+	case admitTimedOut:
+		s.stats.timeouts.Add(1)
+		rep := errReply(http.StatusRequestTimeout,
+			fmt.Errorf("deadline expired while queued for a solve slot: %w", ctx.Err()))
+		return nil, &rep
+	}
+	s.stats.dispatched(tenant)
+	if s.testDispatchHook != nil {
+		s.testDispatchHook(tenant)
+	}
+	return func() { s.adm.release() }, nil
+}
 
 // indexFor materializes the request's system (or the built-in case study).
 func indexFor(sys *model.System) (*model.Index, error) {
@@ -302,46 +446,60 @@ func indexFor(sys *model.System) (*model.Index, error) {
 	return model.NewIndex(sys)
 }
 
+func validTenant(tenant string) error {
+	if len(tenant) > maxTenantLen {
+		return fmt.Errorf("tenant tag exceeds %d bytes", maxTenantLen)
+	}
+	return nil
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
 	if !decodeRequest(w, r, &req) {
 		return
 	}
+	if err := validTenant(req.Tenant); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
-	// The cache key deliberately excludes the deadline: only proven
-	// (deadline-independent) results are stored, so any deadline variant
-	// of the same problem can be served from the same entry.
+	// The cache and coalescing key deliberately excludes the deadline and
+	// the tenant: only proven (deadline-independent) results are stored or
+	// shared, so any deadline variant of the same problem from any tenant
+	// can ride the same entry or in-flight solve.
 	keyReq := req
 	keyReq.DeadlineMillis = 0
+	keyReq.Tenant = ""
 	key, err := requestKey("optimize", &keyReq)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if body, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
 		writeJSON(w, http.StatusOK, "hit", body)
 		return
 	}
 
 	ctx, cancel, appliedMillis := s.solveContext(r, req.DeadlineMillis)
 	defer cancel()
-	if !s.acquire(ctx, w) {
-		return
-	}
-	defer s.release()
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.coalesced(w, ctx, key, func() reply {
+		return s.solveOptimize(ctx, &req, key, appliedMillis)
+	})
+}
 
+// solveOptimize runs one /v1/optimize solve end to end — admission, solver
+// construction, the solve itself, certificate verification and cache fill —
+// and returns the materialized response.
+func (s *Server) solveOptimize(ctx context.Context, req *OptimizeRequest, key string, appliedMillis int64) reply {
 	idx, err := indexFor(req.System)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errReply(http.StatusBadRequest, err)
 	}
 	fixed := model.NewDeployment()
 	for _, id := range req.Existing {
 		fixed.Add(id)
 	}
-
 	opts := []core.Option{core.WithContext(ctx), core.WithWorkers(req.Workers)}
 	switch req.Kernel {
 	case "":
@@ -350,9 +508,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	case "dense":
 		opts = append(opts, core.WithDenseKernel())
 	default:
-		writeError(w, http.StatusBadRequest,
+		return errReply(http.StatusBadRequest,
 			fmt.Errorf("optimize: unknown kernel %q (want sparse or dense)", req.Kernel))
-		return
 	}
 	if req.Clamp {
 		opts = append(opts, core.WithClampToAchievable())
@@ -370,12 +527,29 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	case "off":
 		opts = append(opts, core.WithoutDecomposition())
 	default:
-		writeError(w, http.StatusBadRequest,
+		return errReply(http.StatusBadRequest,
 			fmt.Errorf("optimize: unknown decompose %q (want auto, on or off)", req.Decompose))
-		return
 	}
-	opt := core.NewOptimizer(idx, opts...)
+	if !req.MinCost {
+		if req.Budget == nil && req.BudgetFraction == nil {
+			return errReply(http.StatusBadRequest,
+				errors.New("optimize: provide budget or budgetFraction"))
+		}
+	}
 
+	release, rejected := s.admit(ctx, req.Tenant)
+	if rejected != nil {
+		return *rejected
+	}
+	defer release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	if s.testSolveHook != nil {
+		s.testSolveHook("optimize")
+	}
+	s.stats.solves.Add(1)
+
+	opt := core.NewOptimizer(idx, opts...)
 	var res *core.Result
 	if req.MinCost {
 		target := 1.0
@@ -391,16 +565,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		if req.BudgetFraction != nil {
 			budget = idx.System().TotalMonitorCost() * *req.BudgetFraction
 		}
-		if budget < 0 {
-			writeError(w, http.StatusBadRequest,
-				errors.New("optimize: provide budget or budgetFraction"))
-			return
-		}
 		res, err = opt.MaxUtilityIncremental(budget, fixed)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
+		return errReply(statusFor(err), err)
 	}
 
 	// A certified response is never cached (or served) without the server
@@ -409,9 +577,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	verified := false
 	if req.Certify && res.Certificate != nil {
 		if _, err := certify.Verify(res.Certificate); err != nil {
-			writeError(w, http.StatusInternalServerError,
+			return errReply(http.StatusInternalServerError,
 				fmt.Errorf("optimize: certificate failed verification: %w", err))
-			return
 		}
 		verified = true
 	}
@@ -422,13 +589,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		CertificateVerified: verified,
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return errReply(http.StatusInternalServerError, err)
 	}
-	if res.Proven && (!req.Certify || verified) {
+	shared := res.Proven && (!req.Certify || verified)
+	if shared {
 		s.cache.put(key, body)
 	}
-	writeJSON(w, http.StatusOK, "miss", body)
+	return reply{status: http.StatusOK, cache: "miss", body: body, shared: shared}
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -436,32 +603,44 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decodeRequest(w, r, &req) {
 		return
 	}
+	if err := validTenant(req.Tenant); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
 	keyReq := req
 	keyReq.DeadlineMillis = 0
+	keyReq.Tenant = ""
 	key, err := requestKey("sweep", &keyReq)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if body, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
 		writeJSON(w, http.StatusOK, "hit", body)
 		return
 	}
 
 	ctx, cancel, appliedMillis := s.solveContext(r, req.DeadlineMillis)
 	defer cancel()
-	if !s.acquire(ctx, w) {
-		return
-	}
-	defer s.release()
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.coalesced(w, ctx, key, func() reply {
+		return s.solveSweep(ctx, &req, key, appliedMillis)
+	})
+}
 
+// solveSweep runs one /v1/sweep end to end. The request hash work is
+// hoisted: the full-response key was computed once by the handler, and the
+// per-point cache keys share one hashed prefix with only the budget bits
+// varying per point. Budget points already proven by an earlier sweep are
+// taken from the per-point cache; only the remaining points are solved
+// (warm-shared across neighboring budgets unless disabled), and the merged
+// curve goes through the same stabilization pass a fresh sweep runs, so the
+// response bytes are identical to an uncached solve.
+func (s *Server) solveSweep(ctx context.Context, req *SweepRequest, key string, appliedMillis int64) reply {
 	idx, err := indexFor(req.System)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errReply(http.StatusBadRequest, err)
 	}
 	budgets := req.Budgets
 	if len(budgets) == 0 {
@@ -480,17 +659,80 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		solverWorkers = 1
 	}
 
-	opt := core.NewOptimizer(idx, core.WithContext(ctx), core.WithWorkers(solverWorkers))
-	points, err := opt.ParetoSweepParallel(budgets, seed, req.Workers)
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
+	points := make([]core.SweepPoint, len(budgets))
+	havePoint := make([]bool, len(budgets))
+	missing := 0
+	pointHits := 0
+	usePointCache := s.cfg.CacheSize > 0 && !s.cfg.DisableSweepPointCache
+	var prefix string
+	if usePointCache {
+		prefix, err = sweepPointPrefix(req)
+		if err != nil {
+			usePointCache = false
+		}
 	}
+	for i, b := range budgets {
+		if usePointCache {
+			if body, ok := s.cache.get(sweepPointKey(prefix, b)); ok {
+				if p, ok := decodeSweepPoint(body); ok {
+					points[i] = p
+					havePoint[i] = true
+					pointHits++
+					continue
+				}
+			}
+		}
+		missing++
+	}
+	if pointHits > 0 {
+		s.stats.sweepPointHits.Add(int64(pointHits))
+	}
+
+	opt := core.NewOptimizer(idx, core.WithContext(ctx), core.WithWorkers(solverWorkers))
+	if missing > 0 {
+		release, rejected := s.admit(ctx, req.Tenant)
+		if rejected != nil {
+			return *rejected
+		}
+		defer release()
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		if s.testSolveHook != nil {
+			s.testSolveHook("sweep")
+		}
+		s.stats.solves.Add(1)
+
+		missingBudgets := make([]float64, 0, missing)
+		for i, have := range havePoint {
+			if !have {
+				missingBudgets = append(missingBudgets, budgets[i])
+			}
+		}
+		var solved []core.SweepPoint
+		if s.cfg.DisableSweepWarm {
+			solved, err = opt.ParetoSweepParallel(missingBudgets, seed, req.Workers)
+		} else {
+			solved, err = opt.ParetoSweepWarm(missingBudgets, seed, req.Workers)
+		}
+		if err != nil {
+			return errReply(statusFor(err), err)
+		}
+		j := 0
+		for i, have := range havePoint {
+			if !have {
+				points[i] = solved[j]
+				j++
+			}
+		}
+	}
+
+	// The per-point cache holds raw, budget-local results; the merged curve
+	// must go through the same canonicalization a fresh full sweep gets.
+	opt.StabilizeSweep(points)
 
 	body, err := json.Marshal(SweepResponse{Points: points, DeadlineMillis: appliedMillis})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return errReply(http.StatusInternalServerError, err)
 	}
 	allProven := true
 	for _, p := range points {
@@ -502,7 +744,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if allProven {
 		s.cache.put(key, body)
 	}
-	writeJSON(w, http.StatusOK, "miss", body)
+	if usePointCache {
+		for i, p := range points {
+			// Only freshly solved, budget-local points enter the per-point
+			// cache: a Restated deployment is a function of this request's
+			// whole budget grid and would leak into differently shaped
+			// sweeps.
+			if havePoint[i] || p.Optimal == nil || !p.Optimal.Proven || p.Optimal.Restated {
+				continue
+			}
+			if pb, err := json.Marshal(p); err == nil {
+				s.cache.put(sweepPointKey(prefix, budgets[i]), pb)
+			}
+		}
+	}
+	header := "miss"
+	if pointHits > 0 {
+		header = "partial"
+	}
+	return reply{status: http.StatusOK, cache: header, body: body, shared: allProven}
 }
 
 // healthResponse is the body of GET /v1/healthz.

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// serveStats aggregates the serving-layer counters exposed by /v1/stats.
+// Everything is monotonic since process start.
+type serveStats struct {
+	coalesced      atomic.Int64 // follower responses replayed from a leader's flight
+	queued         atomic.Int64 // admissions that had to wait for a slot
+	rejected       atomic.Int64 // 429s from a full admission queue
+	timeouts       atomic.Int64 // 408s from a deadline expiring while queued or coalesced
+	solves         atomic.Int64 // underlying optimizer runs (optimize + sweep)
+	cacheHits      atomic.Int64 // responses served verbatim from the full-response LRU
+	sweepPointHits atomic.Int64 // sweep budget points assembled from the per-point LRU
+
+	mu      sync.Mutex
+	tenants map[string]int64 // solve-slot dispatches per tenant
+}
+
+func newServeStats() *serveStats {
+	return &serveStats{tenants: make(map[string]int64)}
+}
+
+// dispatched records a solve-slot grant for the tenant ("" reported as
+// "default", the shared pool every untagged request lands in).
+func (st *serveStats) dispatched(tenant string) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	st.mu.Lock()
+	st.tenants[tenant]++
+	st.mu.Unlock()
+}
+
+func (st *serveStats) tenantSnapshot() map[string]int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]int64, len(st.tenants))
+	for k, v := range st.tenants {
+		out[k] = v
+	}
+	return out
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	Coalesced      int64            `json:"coalesced"`
+	Queued         int64            `json:"queued"`
+	Rejected       int64            `json:"rejected"`
+	Timeouts       int64            `json:"timeouts"`
+	Solves         int64            `json:"solves"`
+	CacheHits      int64            `json:"cacheHits"`
+	SweepPointHits int64            `json:"sweepPointHits"`
+	InFlight       int64            `json:"inFlight"`
+	CacheEntries   int              `json:"cacheEntries"`
+	Tenants        map[string]int64 `json:"tenants"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	size, _, _ := s.cache.stats()
+	body, _ := json.Marshal(statsResponse{
+		Coalesced:      s.stats.coalesced.Load(),
+		Queued:         s.stats.queued.Load(),
+		Rejected:       s.stats.rejected.Load(),
+		Timeouts:       s.stats.timeouts.Load(),
+		Solves:         s.stats.solves.Load(),
+		CacheHits:      s.stats.cacheHits.Load(),
+		SweepPointHits: s.stats.sweepPointHits.Load(),
+		InFlight:       s.inFlight.Load(),
+		CacheEntries:   size,
+		Tenants:        s.stats.tenantSnapshot(),
+	})
+	writeJSON(w, http.StatusOK, "", body)
+}

@@ -49,10 +49,27 @@ type benchmark struct {
 	SingleShot bool `json:"single_shot,omitempty"`
 }
 
+// throughputRow is a serving-layer load measurement produced by
+// tools/loadgen: goodput and latency percentiles for one scenario/config
+// pair, embedded verbatim. Unknown fields are preserved so loadgen can grow
+// its row without touching this tool.
+type throughputRow map[string]any
+
+func (r throughputRow) name() string {
+	s, _ := r["name"].(string)
+	return s
+}
+
+func (r throughputRow) num(key string) (float64, bool) {
+	v, ok := r[key].(float64)
+	return v, ok
+}
+
 type report struct {
-	Comment     string      `json:"_comment"`
-	Environment environment `json:"environment"`
-	Benchmarks  []benchmark `json:"benchmarks"`
+	Comment     string          `json:"_comment"`
+	Environment environment     `json:"environment"`
+	Benchmarks  []benchmark     `json:"benchmarks,omitempty"`
+	Throughput  []throughputRow `json:"throughput,omitempty"`
 }
 
 // gomaxprocsSuffix is the "-N" the testing package appends to benchmark
@@ -66,9 +83,15 @@ func main() {
 	speedup := flag.String("speedup", "",
 		"assert slow=fast:minratio — ns/op of benchmark 'slow' must be at least "+
 			"minratio times that of 'fast'; skipped on single-CPU environments")
+	throughput := flag.String("throughput", "",
+		"comma-separated loadgen row files to embed as throughput records")
+	goodput := flag.String("goodput", "",
+		"comma-separated new=base:minratio specs — goodput_rps of throughput row "+
+			"'new' must be at least minratio times that of 'base', at equal or "+
+			"better p99 (5% tolerance)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson [-comment C] [-out F] file=benchtime ...")
+	if flag.NArg() == 0 && *throughput == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-comment C] [-out F] [-throughput rows.json,...] file=benchtime ...")
 		os.Exit(2)
 	}
 
@@ -88,13 +111,43 @@ func main() {
 	if rep.Environment.Gomaxprocs == 0 {
 		// The testing package only appends a -N name suffix when
 		// GOMAXPROCS > 1, so no suffix across every line means 1.
-		rep.Environment.Gomaxprocs = 1
+		rep.Environment.Gomaxprocs = runtime.GOMAXPROCS(0)
+		if flag.NArg() > 0 {
+			rep.Environment.Gomaxprocs = 1
+		}
+	}
+	if rep.Environment.Go == "" {
+		rep.Environment.Go = runtime.Version()
+	}
+	if rep.Environment.CPUs == 0 {
+		rep.Environment.CPUs = runtime.NumCPU()
+	}
+	if rep.Environment.Goos == "" {
+		rep.Environment.Goos = runtime.GOOS
+		rep.Environment.Goarch = runtime.GOARCH
+	}
+
+	if *throughput != "" {
+		for _, path := range strings.Split(*throughput, ",") {
+			if err := parseThroughputFile(&rep, strings.TrimSpace(path)); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *speedup != "" {
 		if err := assertSpeedup(&rep, *speedup); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if *goodput != "" {
+		for _, spec := range strings.Split(*goodput, ",") {
+			if err := assertGoodput(&rep, strings.TrimSpace(spec)); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -159,6 +212,87 @@ func assertSpeedup(rep *report, spec string) error {
 		return fmt.Errorf("speedup: %s/%s = %.2fx, below required %.2fx", slow, fast, ratio, minRatio)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: speedup %s/%s = %.2fx (>= %.2fx) ok\n", slow, fast, ratio, minRatio)
+	return nil
+}
+
+// parseThroughputFile embeds one loadgen output file: either a single row
+// object or an array of rows.
+func parseThroughputFile(rep *report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rows []throughputRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		var one throughputRow
+		if err := json.Unmarshal(data, &one); err != nil {
+			return fmt.Errorf("%s: not a throughput row or row array: %w", path, err)
+		}
+		rows = []throughputRow{one}
+	}
+	for _, r := range rows {
+		if r.name() == "" {
+			return fmt.Errorf("%s: throughput row missing name", path)
+		}
+		rep.Throughput = append(rep.Throughput, r)
+	}
+	return nil
+}
+
+// assertGoodput enforces a recorded serving-throughput floor, specified as
+// "new=base:minratio": the goodput_rps of throughput row new must be at
+// least minratio times that of base, AND its p99_ms must be equal or better
+// (a 5% tolerance absorbs timer noise) — faster answers don't count if they
+// were bought with a worse tail.
+func assertGoodput(rep *report, spec string) error {
+	names, ratioStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("goodput spec %q is not new=base:minratio", spec)
+	}
+	newName, baseName, ok := strings.Cut(names, "=")
+	if !ok {
+		return fmt.Errorf("goodput spec %q is not new=base:minratio", spec)
+	}
+	minRatio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || minRatio <= 0 {
+		return fmt.Errorf("goodput spec %q: bad ratio %q", spec, ratioStr)
+	}
+	find := func(name string) (throughputRow, error) {
+		for _, r := range rep.Throughput {
+			if r.name() == name {
+				return r, nil
+			}
+		}
+		return nil, fmt.Errorf("goodput: throughput row %q not found", name)
+	}
+	nr, err := find(newName)
+	if err != nil {
+		return err
+	}
+	br, err := find(baseName)
+	if err != nil {
+		return err
+	}
+	ng, ok1 := nr.num("goodput_rps")
+	bg, ok2 := br.num("goodput_rps")
+	if !ok1 || !ok2 || bg <= 0 {
+		return fmt.Errorf("goodput: rows %q/%q missing goodput_rps", newName, baseName)
+	}
+	ratio := ng / bg
+	if ratio < minRatio {
+		return fmt.Errorf("goodput: %s/%s = %.2fx, below required %.2fx", newName, baseName, ratio, minRatio)
+	}
+	np99, ok1 := nr.num("p99_ms")
+	bp99, ok2 := br.num("p99_ms")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("goodput: rows %q/%q missing p99_ms", newName, baseName)
+	}
+	if np99 > bp99*1.05 {
+		return fmt.Errorf("goodput: %s p99 %.1fms exceeds %s p99 %.1fms — throughput gained at the tail's expense",
+			newName, np99, baseName, bp99)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: goodput %s/%s = %.2fx (>= %.2fx), p99 %.1fms vs %.1fms ok\n",
+		newName, baseName, ratio, minRatio, np99, bp99)
 	return nil
 }
 
