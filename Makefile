@@ -8,13 +8,14 @@
 GO ?= go
 BENCH ?= BENCH_PR6.json
 LOADBENCH ?= BENCH_PR7.json
+STATEBENCH ?= BENCH_PR8.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
 STRESS_N ?= 1000
 
-.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench
+.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench delta-equivalence state-smoke statebench
 
-ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke
+ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence delta-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke state-smoke
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -86,6 +87,14 @@ sweep-equivalence:
 	$(GO) test ./internal/core -run 'TestSweepWarm' -count=1
 	$(GO) test ./internal/server -run 'TestSweepPartialPointCache' -count=1
 
+# Event-sourced tenant equivalence lane: seeded random delta sequences
+# (length 1-50, all 8 delta types) across solver modes x kernels x worker
+# counts, where every incremental re-solve must match a from-scratch solve
+# of the same instance; plus the crash-recovery (torn-tail) replay tests and
+# the metamorphic inverse-pair relations.
+delta-equivalence:
+	$(GO) test ./internal/state -run 'TestDeltaEquivalence|TestCrashRecovery|TestMetamorphic' -count=1
+
 # Serving-layer load smoke: a small seeded identical-burst run through
 # tools/loadgen that must coalesce concurrent identical requests (nonzero
 # coalesce rate) and finish with zero errors.
@@ -136,6 +145,10 @@ fuzz-smoke:
 		-fuzz FuzzCertifiedSolve -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/decomp -run FuzzDecompMatchesMonolithic \
 		-fuzz FuzzDecompMatchesMonolithic -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/state -run FuzzMutationLog \
+		-fuzz FuzzMutationLog -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/state -run FuzzIncrementalMatchesScratch \
+		-fuzz FuzzIncrementalMatchesScratch -fuzztime $(FUZZTIME)
 
 # End-to-end serve smoke: build secmon, start `secmon serve`, POST an
 # optimize request with a deadline, then SIGTERM and require a clean drain
@@ -162,6 +175,29 @@ serve-smoke:
 	if ! grep -q "drained" serve-smoke.log; then echo "serve-smoke: no drain message"; cat serve-smoke.log; exit 1; fi; \
 	echo "serve-smoke: ok"
 	@rm -f secmon-smoke serve-smoke.log
+
+# End-to-end event-log smoke: create a tenant and mutate it (each CLI
+# invocation is a separate process, so every step replays the log), simulate
+# a crash by appending a torn half-record to the log, require replay to
+# discard exactly that tail, and prove the tenant still solves afterwards.
+state-smoke:
+	$(GO) build -o secmon-smoke ./cmd/secmon
+	@rm -rf state-smoke.dir state-smoke.log; \
+	set -e; \
+	./secmon-smoke mutate -state-dir state-smoke.dir -tenant smoke -create \
+		-budget-fraction 0.35 > state-smoke.log; \
+	./secmon-smoke mutate -state-dir state-smoke.dir -tenant smoke \
+		-delta '{"op":"update-budget","budget":900}' >> state-smoke.log; \
+	printf '37 deadbeef {"v":1,"torn' >> state-smoke.dir/smoke.log; \
+	./secmon-smoke replay -state-dir state-smoke.dir >> state-smoke.log; \
+	grep -q "(1 torn tails discarded)" state-smoke.log || \
+		{ echo "state-smoke: torn tail not recovered"; cat state-smoke.log; exit 1; }; \
+	./secmon-smoke mutate -state-dir state-smoke.dir -tenant smoke \
+		-delta '{"op":"update-budget","budget":1200}' >> state-smoke.log; \
+	grep -q "version 3" state-smoke.log || \
+		{ echo "state-smoke: post-recovery mutate failed"; cat state-smoke.log; exit 1; }; \
+	echo "state-smoke: ok"
+	@rm -rf secmon-smoke state-smoke.dir state-smoke.log
 
 # Regenerate the E1-E8 golden artifacts after an intentional output change.
 golden-update:
@@ -192,3 +228,20 @@ bench:
 		-out $(BENCH) bench-1x.txt=1x bench-e7.txt=1x bench-e9.txt=1x bench-200x.txt=200x
 	rm -f bench-1x.txt bench-e7.txt bench-e9.txt bench-200x.txt
 	@echo "wrote $(BENCH)"
+
+# Incremental re-optimization benchmark: BenchmarkE10Incremental on an
+# E7-sized (400x100) tenant, median of 5 repetitions. The recorded -ratio
+# floors are algorithmic, not parallel, so they hold on single-CPU hosts
+# too: a single-mutation incremental re-solve must be at least 5x faster
+# than the from-scratch solve of the same mutated instance, and a
+# 20-mutation stream at least 2x. The zero-node sensitivity-shortcut case
+# is asserted inside the benchmark itself, every iteration.
+statebench:
+	$(GO) test -run xxx -bench '^BenchmarkE10Incremental$$' \
+		-benchtime=3x -count=5 -timeout 1800s . | tee bench-state.txt
+	$(GO) run ./tools/benchjson \
+		-comment "$(STATEBENCH) incremental re-optimization benchmarks (BenchmarkE10Incremental, E7-sized 400x100 tenant, median of 5). mutate-warm is one cost mutation re-solved through the event-sourced warm path (including the log commit + fsync); mutate-scratch is the from-scratch solve of the identical mutated instance; shortcut is a sensitivity short-circuit proven with zero branch-and-bound nodes; stream20-* replay a 20-mutation reconfiguration burst. The recorded ratio floors (warm >= 5x, stream >= 2x) are asserted by tools/benchjson -ratio on every environment." \
+		-ratio 'BenchmarkE10Incremental/mutate-scratch=BenchmarkE10Incremental/mutate-warm:5,BenchmarkE10Incremental/stream20-scratch=BenchmarkE10Incremental/stream20-warm:2' \
+		-out $(STATEBENCH) bench-state.txt=3x
+	rm -f bench-state.txt
+	@echo "wrote $(STATEBENCH)"

@@ -413,6 +413,12 @@ func reportCertificate(out io.Writer, res *core.Result, path string) error {
 // printSolverExtras reports the warm-start, presolve and cutting-plane
 // statistics when the corresponding feature did any work.
 func printSolverExtras(out io.Writer, st core.SolveStats) {
+	if st.Shortcut != "" {
+		fmt.Fprintf(out, "sensitivity shortcut: %s (previous optimum proven still optimal, %d branch nodes)\n",
+			st.Shortcut, st.Nodes)
+	} else if st.WarmStarted {
+		fmt.Fprintln(out, "warm incremental re-solve: basis and incumbent reused from the previous solve")
+	}
 	if st.WarmAttempts > 0 {
 		fmt.Fprintf(out, "warm starts: %d/%d accepted (%.0f%% hit rate), %d warm + %d cold iterations over %d cold solves\n",
 			st.WarmHits, st.WarmAttempts, 100*st.WarmStartHitRate(),

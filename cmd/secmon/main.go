@@ -23,6 +23,8 @@
 //	compare      compare two deployments metric by metric
 //	experiments  regenerate the evaluation tables and figures (E1..E11, A1, A2)
 //	serve        run the optimization HTTP JSON API
+//	mutate       apply typed deltas to a durable tenant and re-solve incrementally
+//	replay       rebuild tenant state from event logs and report what was replayed
 //
 // Every subcommand accepts -model <file.json> to load a system; without it
 // the built-in enterprise Web service case study is used.
@@ -74,6 +76,10 @@ func run(args []string, out io.Writer) error {
 		return cmdExperiments(rest, out)
 	case "serve":
 		return cmdServe(rest, out)
+	case "mutate":
+		return cmdMutate(rest, out)
+	case "replay":
+		return cmdReplay(rest, out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -100,6 +106,8 @@ subcommands:
   compare      compare two deployments metric by metric
   experiments  regenerate the evaluation tables and figures (E1..E11, A1, A2)
   serve        run the optimization HTTP JSON API
+  mutate       apply typed deltas to a durable tenant and re-solve incrementally
+  replay       rebuild tenant state from event logs and report what was replayed
 
 run 'secmon <subcommand> -h' for flags; -model <file.json> selects a model,
 the default is the built-in enterprise Web service case study.

@@ -30,6 +30,8 @@ func cmdServe(args []string, out io.Writer) error {
 	cacheSize := fs.Int("cache", 128, "solution cache entries (negative disables)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown drain grace period")
 	noCoalesce := fs.Bool("no-coalesce", false, "disable in-flight coalescing of identical requests")
+	stateDir := fs.String("state-dir", "",
+		"tenant state directory; enables the /v1/tenants delta API and replays its event logs on start")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,8 +52,13 @@ func cmdServe(args []string, out io.Writer) error {
 		CacheSize:         *cacheSize,
 		ShutdownGrace:     *grace,
 		DisableCoalescing: *noCoalesce,
+		StateDir:          *stateDir,
 	})
-	fmt.Fprintf(out, "serving on http://%s (POST /v1/optimize, POST /v1/sweep, GET /v1/stats, GET /v1/healthz)\n", *addr)
+	surfaces := "POST /v1/optimize, POST /v1/sweep, GET /v1/stats, GET /v1/healthz"
+	if *stateDir != "" {
+		surfaces += ", /v1/tenants delta API"
+	}
+	fmt.Fprintf(out, "serving on http://%s (%s)\n", *addr, surfaces)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}

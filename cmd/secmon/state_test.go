@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMutateReplayRoundTrip drives the full CLI state workflow: create a
+// tenant, mutate it twice (once from -delta flags, once from a -deltas
+// file), and require replay to report the identical final result.
+func TestMutateReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	out := mustRunCLI(t, "mutate", "-state-dir", dir, "-tenant", "acme",
+		"-create", "-budget-fraction", "0.35", "-workers", "1")
+	if !strings.Contains(out, `created tenant "acme"`) || !strings.Contains(out, "version 1") {
+		t.Fatalf("create output: %s", out)
+	}
+
+	out = mustRunCLI(t, "mutate", "-state-dir", dir, "-tenant", "acme",
+		"-delta", `{"op":"update-budget","budget":400}`)
+	if !strings.Contains(out, "committed 1 delta(s)") || !strings.Contains(out, "version 2") {
+		t.Fatalf("mutate output: %s", out)
+	}
+
+	deltasPath := filepath.Join(dir, "batch.json")
+	batch := `[{"op":"update-budget","budget":900},{"op":"drop-monitor","monitorId":"pcap-sensor@core-net"}]`
+	if err := os.WriteFile(deltasPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = mustRunCLI(t, "mutate", "-state-dir", dir, "-tenant", "acme", "-deltas", deltasPath)
+	if !strings.Contains(out, "committed 2 delta(s)") || !strings.Contains(out, "version 4") {
+		t.Fatalf("batch mutate output: %s", out)
+	}
+	want := resultLines(t, out)
+
+	out = mustRunCLI(t, "replay", "-state-dir", dir)
+	if !strings.Contains(out, "replayed 1 tenant log(s)") || !strings.Contains(out, "(0 torn tails discarded)") {
+		t.Fatalf("replay output: %s", out)
+	}
+	if got := resultLines(t, out); got != want {
+		t.Fatalf("replayed result differs:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// resultLines extracts the deployment and utility/cost lines so the replay
+// comparison ignores solver-speed incidentals like elapsed times.
+func resultLines(t *testing.T, out string) string {
+	t.Helper()
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  deployment (") || strings.HasPrefix(line, "  utility ") {
+			keep = append(keep, line)
+		}
+	}
+	if len(keep) != 2 {
+		t.Fatalf("expected deployment and utility lines in output: %s", out)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestMutateErrors checks the CLI rejects the common operator mistakes with
+// actionable messages instead of panicking or silently writing logs.
+func TestMutateErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing state-dir", []string{"mutate", "-tenant", "a"}, "-state-dir is required"},
+		{"missing tenant", []string{"mutate", "-state-dir", dir}, "-tenant is required"},
+		{"unknown tenant", []string{"mutate", "-state-dir", dir, "-tenant", "ghost",
+			"-delta", `{"op":"update-budget","budget":1}`}, "use -create"},
+		{"create without budget", []string{"mutate", "-state-dir", dir, "-tenant", "a", "-create"},
+			"-budget or -budget-fraction"},
+		{"bad delta json", []string{"mutate", "-state-dir", dir, "-tenant", "a",
+			"-delta", `{"op":`}, "bad delta"},
+		{"replay missing dir", []string{"replay"}, "-state-dir is required"},
+		{"replay unknown tenant", []string{"replay", "-state-dir", dir, "-tenant", "ghost"}, "no tenant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := runCLI(t, tc.args...)
+			if err == nil {
+				t.Fatalf("accepted: %s", out)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

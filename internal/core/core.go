@@ -85,6 +85,19 @@ type SolveStats struct {
 	Etas             int `json:"etas,omitempty"`
 	Refactorizations int `json:"refactorizations,omitempty"`
 	DevexResets      int `json:"devexResets,omitempty"`
+	// WarmStarted marks an incremental re-solve that reused a previous
+	// solve's state — a (possibly remapped) root basis snapshot and/or a
+	// repaired incumbent seed; see Prior and the warm entry points
+	// MaxUtilityWarm / MinCostWarm.
+	WarmStarted bool `json:"warmStarted,omitempty"`
+	// Shortcut names the sensitivity shortcut that proved the previous
+	// optimum still optimal without running branch-and-bound: "lp-bound"
+	// (warm LP relaxation bound collapsed onto the previous incumbent),
+	// "reduced-cost" (cost increase confined to unselected monitors),
+	// "budget-slack" (budget change the previous deployment absorbs) or
+	// "no-op" (the mutation did not touch the formulation). Empty when the
+	// full search ran.
+	Shortcut string `json:"shortcut,omitempty"`
 	// PerWorker breaks Nodes and LPIterations down by worker, indexed by
 	// worker id. Empty for the heuristic baselines.
 	PerWorker []WorkerLoad `json:"perWorker,omitempty"`
@@ -479,27 +492,41 @@ func (o *Optimizer) MinCostIncremental(targets CoverageTargets, existing *model.
 	if err != nil {
 		return nil, err
 	}
-	sol, err := f.prob.Solve(o.cfg.solverOptions...)
+	res, _, err := o.solveMinCostFormulation(f)
+	return res, err
+}
+
+// solveMinCostFormulation runs the exact solve on an already-built MinCost
+// formulation and returns the raw ILP solution alongside the result, so
+// incremental re-solve loops can chain the final root basis into the next
+// solve. extra options must be performance hints only (warm bases, seeds,
+// workspaces), never options that change the proven optimum.
+func (o *Optimizer) solveMinCostFormulation(f *formulation, extra ...ilp.Option) (*Result, *ilp.Solution, error) {
+	solverOpts := o.cfg.solverOptions
+	if len(extra) > 0 {
+		solverOpts = append(append([]ilp.Option{}, solverOpts...), extra...)
+	}
+	sol, err := f.prob.Solve(solverOpts...)
 	if err != nil {
-		return nil, fmt.Errorf("core: min-cost solve: %w", err)
+		return nil, nil, fmt.Errorf("core: min-cost solve: %w", err)
 	}
 	switch sol.Status {
 	case ilp.StatusOptimal, ilp.StatusFeasible:
 	case ilp.StatusInfeasible:
-		return nil, ErrInfeasible
+		return nil, nil, ErrInfeasible
 	case ilp.StatusLimit, ilp.StatusInterrupted:
 		// Stopped before any integer incumbent existed. Deploying every
 		// monitor achieves the maximum achievable coverage, so it is
 		// feasible whenever the instance is; if even the full deployment
 		// misses a target, the instance is infeasible and the interrupted
 		// search simply did not get to prove it.
-		return o.minCostFallback(sol), nil
+		return o.minCostFallback(sol), sol, nil
 	default:
-		return nil, fmt.Errorf("core: min-cost solve stopped with status %v and no incumbent", sol.Status)
+		return nil, nil, fmt.Errorf("core: min-cost solve stopped with status %v and no incumbent", sol.Status)
 	}
 
 	deployment := f.decode(sol)
-	return o.newResult(deployment, sol), nil
+	return o.newResult(deployment, sol), sol, nil
 }
 
 func (o *Optimizer) validateTargets(targets CoverageTargets) error {

@@ -1,0 +1,500 @@
+package core
+
+// Warm-started incremental re-solves.
+//
+// A stateful caller (internal/state) holds a live system that mutates in
+// small steps: a monitor is added, a cost drifts, the budget moves. Solving
+// every step from scratch discards everything the previous solve proved.
+// The Prior type captures the reusable part of a proven solve — the result
+// itself, the final root basis snapshot, the formulation it was captured on
+// and a simplex workspace — and the warm entry points MaxUtilityWarm /
+// MinCostWarm thread it through the next solve:
+//
+//  1. Bound shortcut ("lp-bound"): the previous deployment, repaired for
+//     monitors the mutation removed, is re-priced against the mutated
+//     instance's LP relaxation (warm-started from the prior basis, remapped
+//     across column add/drop by stable monitor names). When the relaxation
+//     bound collapses onto the repaired deployment's exact objective, that
+//     deployment is proven optimal for the new instance and branch-and-bound
+//     never runs — the incremental analog of the warm Pareto sweep's
+//     saturated-point skip.
+//  2. Warm full solve: otherwise the ordinary exact solve runs, seeded with
+//     the repaired previous deployment as the incumbent (ilp.WithIncumbent)
+//     and the remapped basis as the root warm start (ilp.WithRootBasis).
+//     Both are performance hints validated inside the solver; they never
+//     change the proven optimum, so results are bit-identical to a cold
+//     solve of the same instance up to the tie canonicalization the cold
+//     path itself applies.
+//
+// Certified optimizers skip all reuse: a certificate's incumbent must be
+// discovered by the audited search itself, so the warm entry points reduce
+// to the plain cold solves and return a Prior carrying only the result.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"secmon/internal/ilp"
+	"secmon/internal/lp"
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+)
+
+// Prior carries the reusable state of a previous proven solve into the next
+// warm solve of a slightly mutated instance. The zero value (or nil) means
+// "no prior": the warm entry points then behave exactly like the cold ones
+// while still capturing a Prior for the solve after. Priors are not safe for
+// concurrent use; they are meant to be owned by one re-solve loop.
+type Prior struct {
+	// Result is the previous solve's outcome; only proven, non-fallback
+	// results are reused.
+	Result *Result
+	// minCost records which formulation the prior belongs to; a prior is
+	// never reused across modes.
+	minCost bool
+	basis   *lp.Basis
+	prob    *ilp.Problem // formulation the basis was captured on
+	ws      *lp.Workspace
+}
+
+// Workspace returns the prior's simplex workspace, allocating it on first
+// use, so chained solves keep their factorization buffers warm.
+func (p *Prior) Workspace() *lp.Workspace {
+	if p == nil {
+		return lp.NewWorkspace()
+	}
+	if p.ws == nil {
+		p.ws = lp.NewWorkspace()
+	}
+	return p.ws
+}
+
+// usable reports whether the prior carries a proven result for the given
+// mode that the next solve may reuse.
+func (p *Prior) usable(minCost bool) bool {
+	return p != nil && p.Result != nil && p.Result.Proven && !p.Result.Fallback &&
+		p.Result.Deployment != nil && p.minCost == minCost
+}
+
+// MaxUtilityWarm computes the same proven result as MaxUtility(budget) while
+// reusing the prior solve's basis, incumbent and workspace (see the package
+// comment above). It returns the result together with the Prior to thread
+// into the next solve. prior may be nil.
+func (o *Optimizer) MaxUtilityWarm(budget float64, prior *Prior) (*Result, *Prior, error) {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	if len(o.idx.MonitorIDs()) == 0 {
+		res := o.emptyResult()
+		res.Budget = budget
+		return res, &Prior{Result: res}, nil
+	}
+	if o.cfg.certify || o.shouldDecompose() {
+		// No reuse: certified searches must discover their own incumbent,
+		// and the decomposition coordinator has no single root basis.
+		res, err := o.MaxUtility(budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, &Prior{Result: res}, nil
+	}
+
+	f, err := o.buildFormulation(formulationSpec{budget: budget, fixed: model.NewDeployment()})
+	if err != nil {
+		return nil, nil, err
+	}
+	next := &Prior{ws: prior.Workspace()}
+	if prior == nil {
+		next.ws = lp.NewWorkspace()
+	}
+
+	var rootBasis *lp.Basis
+	if prior.usable(false) {
+		if prior.basis != nil && prior.prob != nil {
+			rootBasis = ilp.RemapRootBasis(prior.basis, prior.prob, f.prob)
+		}
+		candidate := o.repairSet(prior.Result.Deployment)
+		pristine := candidate.Len() == prior.Result.Deployment.Len()
+		if metrics.Cost(o.idx, candidate) <= budget {
+			if res := o.tryBoundSkip(f, budget, candidate, rootBasis, next, pristine); res != nil {
+				next.Result, next.prob = res, f.prob
+				if next.basis == nil {
+					next.basis = rootBasis
+				}
+				return res, next, nil
+			}
+		}
+	}
+
+	extras := []ilp.Option{ilp.WithWorkspace(next.ws)}
+	warm := false
+	if prior.usable(false) {
+		if seed := o.seedVector(f, o.repairToBudget(prior.Result.Deployment, budget)); seed != nil {
+			extras = append(extras, ilp.WithIncumbent(seed))
+			warm = true
+		}
+	}
+	if rootBasis != nil {
+		extras = append(extras, ilp.WithRootBasis(rootBasis))
+		warm = true
+	}
+
+	res, sol, err := o.solveMaxUtilityFormulation(f, budget, model.NewDeployment(), extras...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Stats.WarmStarted = warm
+	next.prob = f.prob
+	if sol != nil && sol.RootBasis != nil {
+		next.basis = sol.RootBasis
+	}
+	if res.Proven && !res.Fallback {
+		next.Result = res
+	}
+	return res, next, nil
+}
+
+// MinCostWarm computes the same proven result as MinCost(targets) while
+// reusing the prior solve's basis, incumbent and workspace; the MinCost
+// counterpart of MaxUtilityWarm.
+func (o *Optimizer) MinCostWarm(targets CoverageTargets, prior *Prior) (*Result, *Prior, error) {
+	if err := o.validateTargets(targets); err != nil {
+		return nil, nil, err
+	}
+	if len(o.idx.MonitorIDs()) == 0 || o.cfg.certify || o.shouldDecompose() {
+		res, err := o.MinCost(targets)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, &Prior{Result: res, minCost: true}, nil
+	}
+
+	f, err := o.buildFormulation(formulationSpec{minCost: true, targets: &targets, fixed: model.NewDeployment()})
+	if err != nil {
+		return nil, nil, err
+	}
+	next := &Prior{minCost: true, ws: prior.Workspace()}
+	if prior == nil {
+		next.ws = lp.NewWorkspace()
+	}
+
+	var rootBasis *lp.Basis
+	if prior.usable(true) {
+		if prior.basis != nil && prior.prob != nil {
+			rootBasis = ilp.RemapRootBasis(prior.basis, prior.prob, f.prob)
+		}
+		candidate := o.repairSet(prior.Result.Deployment)
+		if ok, err := o.MeetsTargets(targets, candidate); err == nil && ok {
+			if res := o.tryCostBoundSkip(f, candidate, rootBasis, next); res != nil {
+				next.Result, next.prob = res, f.prob
+				if next.basis == nil {
+					next.basis = rootBasis
+				}
+				return res, next, nil
+			}
+		}
+	}
+
+	extras := []ilp.Option{ilp.WithWorkspace(next.ws)}
+	warm := false
+	if prior.usable(true) {
+		if seed := o.seedVector(f, o.repairSet(prior.Result.Deployment)); seed != nil {
+			extras = append(extras, ilp.WithIncumbent(seed))
+			warm = true
+		}
+	}
+	if rootBasis != nil {
+		extras = append(extras, ilp.WithRootBasis(rootBasis))
+		warm = true
+	}
+
+	res, sol, err := o.solveMinCostFormulation(f, extras...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Stats.WarmStarted = warm
+	next.prob = f.prob
+	if sol != nil && sol.RootBasis != nil {
+		next.basis = sol.RootBasis
+	}
+	if res.Proven && !res.Fallback {
+		next.Result = res
+	}
+	return res, next, nil
+}
+
+// tryBoundSkip prices the MaxUtility formulation's LP relaxation
+// (warm-started from the remapped prior basis) and, when the bound collapses
+// onto the repaired previous deployment's exact objective, returns that
+// deployment — canonicalized the same way the full solve's post-passes would
+// — as the proven optimum. nil means the bound could not close and the full
+// solve must run. The relaxation objective is a valid upper bound whatever
+// vertex the warm start lands on, so the skip is exact (see trySweepSkip).
+//
+// pristine marks a candidate that IS the previous optimum, untouched by
+// repair. That set already went through pruneRedundant and canonicalizeTies
+// when it was produced, so the passes — which dominate the skip's cost on
+// large instances, each being a full objective sweep per member — are
+// elided. Re-running them under mutated costs could at most exchange one
+// member of the proven exact tie for another.
+func (o *Optimizer) tryBoundSkip(f *formulation, budget float64, candidate *model.Deployment, basis *lp.Basis, next *Prior, pristine bool) *Result {
+	rsol := o.priceRelaxation(f, basis, next)
+	if rsol == nil {
+		return nil
+	}
+	// Same proof standard as the branch-and-bound's own pruning rule:
+	// a node whose bound is within gapTolerance*max(1,|incumbent|) of the
+	// incumbent is fathomed, so a root bound that close proves optimality.
+	prevObj := metrics.CorroboratedUtility(o.idx, candidate, o.corroborationLevel())
+	if rsol.Objective > prevObj+sweepBoundTol*math.Max(1, math.Abs(prevObj)) {
+		return nil
+	}
+	d := candidate.Clone()
+	if !o.cfg.noPrune && !pristine {
+		empty := model.NewDeployment()
+		o.pruneRedundant(d, empty)
+		o.canonicalizeTies(d, empty)
+	}
+	res := &Result{
+		Deployment:        d,
+		Monitors:          d.IDs(),
+		Utility:           metrics.Utility(o.idx, d),
+		Cost:              metrics.Cost(o.idx, d),
+		Budget:            budget,
+		Proven:            true,
+		Status:            ilp.StatusOptimal.String(),
+		BestBound:         prevObj,
+		BoundKnown:        true,
+		RelaxationUtility: rsol.Objective,
+		Restated:          true,
+		Stats: SolveStats{
+			LPIterations: rsol.Iterations,
+			WarmStarted:  true,
+			Shortcut:     "lp-bound",
+		},
+	}
+	if f.budgetRow >= 0 {
+		res.BudgetShadowPrice = rsol.Dual(f.budgetRow)
+	}
+	return res
+}
+
+// tryCostBoundSkip is the MinCost counterpart of tryBoundSkip: when the LP
+// relaxation's cost lower bound reaches the repaired previous deployment's
+// exact cost, that deployment is proven optimal without branch-and-bound.
+// The candidate must already be verified feasible against the targets.
+func (o *Optimizer) tryCostBoundSkip(f *formulation, candidate *model.Deployment, basis *lp.Basis, next *Prior) *Result {
+	rsol := o.priceRelaxation(f, basis, next)
+	if rsol == nil {
+		return nil
+	}
+	cost := metrics.Cost(o.idx, candidate)
+	if rsol.Objective < cost-sweepBoundTol*math.Max(1, math.Abs(cost)) {
+		return nil
+	}
+	d := candidate.Clone()
+	res := &Result{
+		Deployment: d,
+		Monitors:   d.IDs(),
+		Utility:    metrics.Utility(o.idx, d),
+		Cost:       cost,
+		Proven:     true,
+		Status:     ilp.StatusOptimal.String(),
+		BestBound:  cost,
+		BoundKnown: true,
+		Restated:   true,
+		Stats: SolveStats{
+			LPIterations: rsol.Iterations,
+			WarmStarted:  true,
+			Shortcut:     "lp-bound",
+		},
+	}
+	return res
+}
+
+// priceRelaxation solves the formulation's LP relaxation warm-started from
+// basis inside the prior's workspace, capturing the resulting basis into
+// next. nil means the relaxation did not come back optimal (numerical
+// trouble, interruption) and the caller should run the full solve.
+func (o *Optimizer) priceRelaxation(f *formulation, basis *lp.Basis, next *Prior) *lp.Solution {
+	// WithWarmStart(nil) still enables basis capture, so a chain that lost
+	// its snapshot (first solve, failed remap) regains one here.
+	lpOpts := []lp.Option{lp.WithWorkspace(next.ws), lp.WithWarmStart(basis)}
+	if o.cfg.kernel != lp.KernelAuto {
+		lpOpts = append(lpOpts, lp.WithKernel(o.cfg.kernel))
+	}
+	if o.cfg.ctx != nil {
+		lpOpts = append(lpOpts, lp.WithContext(o.cfg.ctx))
+	}
+	rsol, err := f.prob.SolveRelaxation(lpOpts...)
+	if err != nil || rsol.Status != lp.StatusOptimal {
+		return nil
+	}
+	if rsol.Basis != nil {
+		next.basis = rsol.Basis
+	}
+	return rsol
+}
+
+// repairSet drops monitors the current system no longer defines, the repair
+// applied to a previous deployment before reuse.
+func (o *Optimizer) repairSet(d *model.Deployment) *model.Deployment {
+	out := model.NewDeployment()
+	for _, id := range d.IDs() {
+		if _, ok := o.idx.Monitor(id); ok {
+			out.Add(id)
+		}
+	}
+	return out
+}
+
+// repairToBudget additionally strips the repaired set down to the budget,
+// removing the most expensive monitors first (ties by identifier, for
+// determinism), so the remainder is a feasible MaxUtility incumbent seed.
+func (o *Optimizer) repairToBudget(d *model.Deployment, budget float64) *model.Deployment {
+	out := o.repairSet(d)
+	cost := metrics.Cost(o.idx, out)
+	if cost <= budget {
+		return out
+	}
+	ids := out.IDs()
+	sort.SliceStable(ids, func(a, b int) bool {
+		ma, _ := o.idx.Monitor(ids[a])
+		mb, _ := o.idx.Monitor(ids[b])
+		if ma.TotalCost() != mb.TotalCost() {
+			return ma.TotalCost() > mb.TotalCost()
+		}
+		return ids[a] < ids[b]
+	})
+	for _, id := range ids {
+		if cost <= budget {
+			break
+		}
+		m, _ := o.idx.Monitor(id)
+		out.Remove(id)
+		cost -= m.TotalCost()
+	}
+	return out
+}
+
+// seedVector builds the WithIncumbent vector for deploying exactly the given
+// monitor set: selection variables from the set, coverage variables at the
+// value the deployment's corroborated coverage implies. The solver validates
+// the vector against every row and silently ignores infeasible seeds, so a
+// repair that turned out inadequate costs nothing. nil when the set is empty
+// (an all-zero seed prunes nothing).
+func (o *Optimizer) seedVector(f *formulation, set *model.Deployment) []float64 {
+	if set == nil || set.Len() == 0 {
+		return nil
+	}
+	k := o.corroborationLevel()
+	covered := func(d model.DataTypeID) bool {
+		n := 0
+		for _, mid := range o.idx.Producers(d) {
+			if set.Contains(mid) {
+				n++
+			}
+		}
+		return n >= k
+	}
+	x := make([]float64, f.prob.NumVariables())
+	for i, id := range f.monitors {
+		if set.Contains(id) {
+			x[f.xVars[i]] = 1
+		}
+	}
+	for v := 0; v < len(x); v++ {
+		name := f.prob.VariableName(lp.VarID(v))
+		switch {
+		case len(name) > 2 && name[:2] == "z:":
+			if covered(model.DataTypeID(name[2:])) {
+				x[v] = 1
+			}
+		case len(name) > 2 && name[:2] == "y:":
+			// Expanded encoding: y:<attack>:<data-type>.
+			rest := name[2:]
+			for i := len(rest) - 1; i > 0; i-- {
+				if rest[i] == ':' {
+					if covered(model.DataTypeID(rest[i+1:])) {
+						x[v] = 1
+					}
+					break
+				}
+			}
+		}
+	}
+	return x
+}
+
+// Objective returns the exact ILP objective the optimizer maximizes for a
+// deployment: the corroborated utility at the configured corroboration
+// level. Sensitivity shortcuts in the state layer compare candidate
+// deployments through this single definition.
+func (o *Optimizer) Objective(d *model.Deployment) float64 {
+	return metrics.CorroboratedUtility(o.idx, d, o.corroborationLevel())
+}
+
+// Cost returns the total deployment cost of d under the optimizer's system.
+func (o *Optimizer) Cost(d *model.Deployment) float64 {
+	return metrics.Cost(o.idx, d)
+}
+
+// Utility returns the plain (corroboration-free) utility of d, the value
+// Result.Utility reports.
+func (o *Optimizer) Utility(d *model.Deployment) float64 {
+	return metrics.Utility(o.idx, d)
+}
+
+// Canonicalize rewrites d in place into the canonical representative the
+// exact solve's post-passes would report: when prune is set, redundant
+// monitors are removed first (the MaxUtility minimality pass); equal-cost
+// equal-objective ties are then collapsed onto the lexicographically
+// smallest set. A no-op for optimizers built WithoutPruning, mirroring the
+// solve paths.
+func (o *Optimizer) Canonicalize(d *model.Deployment, prune bool) {
+	if o.cfg.noPrune {
+		return
+	}
+	empty := model.NewDeployment()
+	if prune {
+		o.pruneRedundant(d, empty)
+	}
+	o.canonicalizeTies(d, empty)
+}
+
+// MeetsTargets reports whether the deployment satisfies the MinCost coverage
+// targets at the optimizer's corroboration level. The error mirrors MinCost:
+// targets no deployment can meet yield ErrInfeasible unless the optimizer
+// clamps to achievable coverage.
+func (o *Optimizer) MeetsTargets(targets CoverageTargets, d *model.Deployment) (bool, error) {
+	if err := o.validateTargets(targets); err != nil {
+		return false, err
+	}
+	k := o.corroborationLevel()
+	for _, aid := range o.idx.AttackIDs() {
+		required, err := o.requiredEvidence(aid, &targets)
+		if err != nil {
+			return false, err
+		}
+		if required <= 0 {
+			continue
+		}
+		covered := 0
+		for _, e := range o.idx.AttackEvidence(aid) {
+			n := 0
+			for _, mid := range o.idx.Producers(e) {
+				if d.Contains(mid) {
+					n++
+				}
+			}
+			if n >= k {
+				covered++
+			}
+		}
+		if float64(covered) < required {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"testing"
+
+	"secmon/internal/metrics"
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// checkWarmAgreement requires a warm re-solve to land on the same proven
+// answer as a cold solve of the identical instance: equal objective, proven
+// status, status string. The monitor set must either match exactly or be a
+// verified exact tie — reuse (a restated shortcut, a seeded incumbent) may
+// legitimately report a different vertex of the optimal face, so a differing
+// set is accepted only after independently recomputing its utility from the
+// index and finding it equal and within budget (the checkKernelAgreement
+// convention).
+func checkWarmAgreement(t *testing.T, idx *model.Index, label string, budget float64, warm, cold *Result) {
+	t.Helper()
+	if !approx(warm.Utility, cold.Utility) {
+		t.Errorf("%s: warm utility %v, cold %v", label, warm.Utility, cold.Utility)
+	}
+	if warm.Proven != cold.Proven || warm.Status != cold.Status {
+		t.Errorf("%s: warm (%v, %q), cold (%v, %q)",
+			label, warm.Proven, warm.Status, cold.Proven, cold.Status)
+	}
+	if sameMonitors(warm.Monitors, cold.Monitors) {
+		if !approx(warm.Cost, cold.Cost) {
+			t.Errorf("%s: same set, warm cost %v, cold %v", label, warm.Cost, cold.Cost)
+		}
+		return
+	}
+	d := model.NewDeployment()
+	for _, id := range warm.Monitors {
+		d.Add(id)
+	}
+	if u := metrics.Utility(idx, d); !approx(u, cold.Utility) {
+		t.Errorf("%s: warm set recomputes to utility %v, cold optimum %v (warm set %v, cold set %v)",
+			label, u, cold.Utility, warm.Monitors, cold.Monitors)
+	}
+	if c := metrics.Cost(idx, d); c > budget+1e-9 {
+		t.Errorf("%s: warm set recomputes to cost %v over budget %v", label, c, budget)
+	}
+}
+
+// TestMaxUtilityWarmNilPrior checks the warm entry point without any prior
+// behaves exactly like the cold path and hands back a usable prior.
+func TestMaxUtilityWarmNilPrior(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 11, Monitors: 30, Attacks: 20})
+	budget := idx.System().TotalMonitorCost() * 0.3
+	opt := NewOptimizer(idx, WithWorkers(1))
+
+	cold, err := opt.MaxUtility(budget)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	warm, prior, err := opt.MaxUtilityWarm(budget, nil)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	checkWarmAgreement(t, idx, "nil prior", budget, warm, cold)
+	if warm.Stats.WarmStarted {
+		t.Errorf("nil prior reported WarmStarted")
+	}
+	if prior == nil || prior.Result == nil || prior.basis == nil || prior.prob == nil {
+		t.Fatalf("prior not fully captured: %+v", prior)
+	}
+}
+
+// TestMaxUtilityWarmBudgetChain walks a budget up and down through warm
+// re-solves, comparing each step against a cold solve of the same instance.
+func TestMaxUtilityWarmBudgetChain(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 23, Monitors: 40, Attacks: 30})
+	total := idx.System().TotalMonitorCost()
+	opt := NewOptimizer(idx, WithWorkers(1))
+
+	var prior *Prior
+	for _, frac := range []float64{0.2, 0.25, 0.22, 0.5, 0.5, 0.1} {
+		budget := total * frac
+		cold, err := opt.MaxUtility(budget)
+		if err != nil {
+			t.Fatalf("cold %v: %v", frac, err)
+		}
+		warm, next, err := opt.MaxUtilityWarm(budget, prior)
+		if err != nil {
+			t.Fatalf("warm %v: %v", frac, err)
+		}
+		checkWarmAgreement(t, idx, "budget chain", budget, warm, cold)
+		if prior != nil && !warm.Stats.WarmStarted {
+			t.Errorf("budget %v: prior available but WarmStarted unset", frac)
+		}
+		prior = next
+	}
+}
+
+// TestMaxUtilityWarmShortcut checks the lp-bound sensitivity shortcut fires
+// when the instance's optimum provably cannot move — re-solving the very
+// same budget — and that the shortcut result reports zero search nodes.
+func TestMaxUtilityWarmShortcut(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 5, Monitors: 30, Attacks: 20})
+	budget := idx.System().TotalMonitorCost() * 0.4
+	opt := NewOptimizer(idx, WithWorkers(1))
+
+	_, prior, err := opt.MaxUtilityWarm(budget, nil)
+	if err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	warm, _, err := opt.MaxUtilityWarm(budget, prior)
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if warm.Stats.Shortcut != "lp-bound" {
+		t.Fatalf("shortcut = %q, want lp-bound (stats %+v)", warm.Stats.Shortcut, warm.Stats)
+	}
+	if warm.Stats.Nodes != 0 {
+		t.Errorf("shortcut ran %d branch-and-bound nodes, want 0", warm.Stats.Nodes)
+	}
+	if !warm.Proven || !warm.Restated {
+		t.Errorf("shortcut result proven=%v restated=%v, want true/true", warm.Proven, warm.Restated)
+	}
+	cold, err := opt.MaxUtility(budget)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	checkWarmAgreement(t, idx, "shortcut", budget, warm, cold)
+}
+
+// TestWarmAcrossInstanceEdit mutates the system between solves — a cost
+// drifts, a monitor disappears, a monitor is added — and requires the warm
+// re-solve on a freshly built optimizer to match the cold answer each time.
+func TestWarmAcrossInstanceEdit(t *testing.T) {
+	sys, err := synth.Generate(synth.Config{Seed: 31, Monitors: 30, Attacks: 25})
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	budget := sys.TotalMonitorCost() * 0.35
+
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	_, prior, err := NewOptimizer(idx, WithWorkers(1)).MaxUtilityWarm(budget, nil)
+	if err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+
+	edit := func(name string, mutate func(s *model.System)) {
+		next := sys.Clone()
+		mutate(next)
+		idx, err := model.NewIndex(next)
+		if err != nil {
+			t.Fatalf("%s: index: %v", name, err)
+		}
+		opt := NewOptimizer(idx, WithWorkers(1))
+		cold, err := opt.MaxUtility(budget)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", name, err)
+		}
+		warm, nextPrior, err := opt.MaxUtilityWarm(budget, prior)
+		if err != nil {
+			t.Fatalf("%s: warm: %v", name, err)
+		}
+		checkWarmAgreement(t, idx, name, budget, warm, cold)
+		sys, prior = next, nextPrior
+	}
+
+	edit("cost drift", func(s *model.System) {
+		s.Monitors[0].CapitalCost *= 1.5
+	})
+	edit("drop monitor", func(s *model.System) {
+		s.Monitors = append(s.Monitors[:3:3], s.Monitors[4:]...)
+	})
+	edit("add monitor", func(s *model.System) {
+		m := s.Monitors[1]
+		m.ID = "m-added"
+		m.Name = "added monitor"
+		m.CapitalCost = 1
+		m.OperationalCost = 1
+		s.Monitors = append(s.Monitors, m)
+	})
+}
+
+// TestMinCostWarmChain drives MinCost through warm re-solves across changing
+// targets and compares against cold solves. Monitor sets are compared via
+// recomputed cost because the min-cost path reports any exact-tie optimum.
+func TestMinCostWarmChain(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 41, Monitors: 35, Attacks: 25})
+	opt := NewOptimizer(idx, WithWorkers(1))
+
+	var prior *Prior
+	for _, target := range []float64{0.4, 0.5, 0.5, 0.3, 0.7} {
+		targets := CoverageTargets{Global: target}
+		cold, err := opt.MinCost(targets)
+		if err != nil {
+			t.Fatalf("cold %v: %v", target, err)
+		}
+		warm, next, err := opt.MinCostWarm(targets, prior)
+		if err != nil {
+			t.Fatalf("warm %v: %v", target, err)
+		}
+		if !approx(warm.Cost, cold.Cost) {
+			t.Errorf("target %v: warm cost %v, cold %v", target, warm.Cost, cold.Cost)
+		}
+		if warm.Proven != cold.Proven || warm.Status != cold.Status {
+			t.Errorf("target %v: warm (%v, %q), cold (%v, %q)",
+				target, warm.Proven, warm.Status, cold.Proven, cold.Status)
+		}
+		prior = next
+	}
+}
+
+// TestMinCostWarmShortcut re-solves identical targets and expects the
+// lp-bound shortcut to restate the optimum with zero nodes. The instance is
+// built so the covering LP is integral — every data type has exactly one
+// producer and the target demands full coverage — because the shortcut can
+// only close when the relaxation has no integrality gap.
+func TestMinCostWarmShortcut(t *testing.T) {
+	sys, err := model.NewBuilder("mincost-shortcut").
+		Asset("h", "Host", "host").
+		DataType("d1", "log 1", "h", "f").
+		DataType("d2", "log 2", "h", "f").
+		DataType("d3", "log 3", "h", "f").
+		Monitor("m1", "collector 1", "h", 5, 1, "d1").
+		Monitor("m2", "collector 2", "h", 7, 2, "d2").
+		Monitor("m3", "collector 3", "h", 3, 1, "d3").
+		Attack("a1", "attack", 1).
+		Step("s", "d1", "d2", "d3").
+		Done().
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	opt := NewOptimizer(idx, WithWorkers(1))
+	targets := CoverageTargets{Global: 1}
+
+	_, prior, err := opt.MinCostWarm(targets, nil)
+	if err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	warm, _, err := opt.MinCostWarm(targets, prior)
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if warm.Stats.Shortcut != "lp-bound" {
+		t.Fatalf("shortcut = %q, want lp-bound", warm.Stats.Shortcut)
+	}
+	if warm.Stats.Nodes != 0 {
+		t.Errorf("shortcut ran %d nodes, want 0", warm.Stats.Nodes)
+	}
+	cold, err := opt.MinCost(targets)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if !approx(warm.Cost, cold.Cost) {
+		t.Errorf("warm cost %v, cold %v", warm.Cost, cold.Cost)
+	}
+}
+
+// TestMeetsTargets cross-checks the exported feasibility probe against
+// MinCost's own answer: the optimal deployment meets the targets, the empty
+// deployment does not (for positive targets on a coverable system).
+func TestMeetsTargets(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 53, Monitors: 30, Attacks: 20})
+	opt := NewOptimizer(idx, WithWorkers(1))
+	targets := CoverageTargets{Global: 0.5}
+
+	res, err := opt.MinCost(targets)
+	if err != nil {
+		t.Fatalf("MinCost: %v", err)
+	}
+	ok, err := opt.MeetsTargets(targets, res.Deployment)
+	if err != nil {
+		t.Fatalf("MeetsTargets(optimal): %v", err)
+	}
+	if !ok {
+		t.Errorf("optimal deployment reported as missing its own targets")
+	}
+	ok, err = opt.MeetsTargets(targets, model.NewDeployment())
+	if err != nil {
+		t.Fatalf("MeetsTargets(empty): %v", err)
+	}
+	if ok {
+		t.Errorf("empty deployment reported as meeting positive targets")
+	}
+}
+
+// TestWarmCertifyFallsBack checks certified optimizers take the plain cold
+// path: no shortcut, no warm hints, certificate present.
+func TestWarmCertifyFallsBack(t *testing.T) {
+	idx := synthIndex(t, synth.Config{Seed: 59, Monitors: 15, Attacks: 10})
+	budget := idx.System().TotalMonitorCost() * 0.3
+	opt := NewOptimizer(idx, WithWorkers(1), WithCertificate())
+
+	res1, prior, err := opt.MaxUtilityWarm(budget, nil)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	res2, _, err := opt.MaxUtilityWarm(budget, prior)
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	for i, r := range []*Result{res1, res2} {
+		if r.Stats.Shortcut != "" || r.Stats.WarmStarted {
+			t.Errorf("certified solve %d reused state: shortcut=%q warm=%v",
+				i, r.Stats.Shortcut, r.Stats.WarmStarted)
+		}
+		if r.Certificate == nil {
+			t.Errorf("certified solve %d missing certificate", i)
+		}
+	}
+}

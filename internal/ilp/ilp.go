@@ -156,6 +156,9 @@ func (p *Problem) NumVariables() int { return p.lp.NumVariables() }
 // NumConstraints reports the number of constraints.
 func (p *Problem) NumConstraints() int { return p.lp.NumConstraints() }
 
+// VariableName reports the name given to a variable at creation.
+func (p *Problem) VariableName(v lp.VarID) string { return p.lp.VariableName(v) }
+
 // NumIntegerVariables reports how many variables are integer-constrained.
 func (p *Problem) NumIntegerVariables() int { return len(p.integer) }
 

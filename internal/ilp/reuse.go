@@ -43,6 +43,19 @@ func WithRootBasis(b *lp.Basis) Option {
 	return optionFunc(func(o *options) { o.rootBasis = b })
 }
 
+// RemapRootBasis translates a root basis captured on `from` into the layout
+// of `to`, matching variables and rows by name (see lp.RemapBasis). It lets
+// re-solve loops keep their warm start across instance EDITS — monitor
+// columns added or dropped between solves — not just bound changes. The
+// result is nil when no safe translation exists; passing it to WithRootBasis
+// is then simply a no-op cold solve.
+func RemapRootBasis(b *lp.Basis, from, to *Problem) *lp.Basis {
+	if from == nil || to == nil {
+		return nil
+	}
+	return lp.RemapBasis(b, from.lp, to.lp)
+}
+
 // SolveRelaxation solves the problem's LP relaxation — every integrality
 // requirement dropped, bounds and rows unchanged — under the given LP
 // options. Coordinator loops (the warm-shared Pareto sweep) use it to price

@@ -276,6 +276,14 @@ func (p *Problem) VariableName(v VarID) string {
 	return p.vars[v].name
 }
 
+// ConstraintName reports the name given to a constraint at creation.
+func (p *Problem) ConstraintName(c ConID) string {
+	if c < 0 || int(c) >= len(p.cons) {
+		return ""
+	}
+	return p.cons[c].name
+}
+
 // ObjectiveCoefficient reports the objective coefficient of a variable.
 func (p *Problem) ObjectiveCoefficient(v VarID) float64 {
 	if v < 0 || int(v) >= len(p.vars) {

@@ -1,0 +1,142 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// remapTestProblem builds max x0 + 2*x1 + 3*x2 subject to named knapsack
+// rows; the names carry across edits the way the optimizer's monitor and
+// link rows do.
+func remapTestProblem(t *testing.T) *Problem {
+	t.Helper()
+	p := NewProblem(Maximize)
+	for _, v := range []struct {
+		name string
+		cost float64
+	}{{"x:a", 1}, {"x:b", 2}, {"x:c", 3}} {
+		if _, err := p.AddVariable(v.name, 0, 1, v.cost); err != nil {
+			t.Fatalf("AddVariable(%s): %v", v.name, err)
+		}
+	}
+	if _, err := p.AddConstraint("cap", []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}, {Var: 2, Coeff: 1}}, LE, 2); err != nil {
+		t.Fatalf("AddConstraint(cap): %v", err)
+	}
+	if _, err := p.AddConstraint("pair", []Term{{Var: 0, Coeff: 1}, {Var: 2, Coeff: 1}}, LE, 1); err != nil {
+		t.Fatalf("AddConstraint(pair): %v", err)
+	}
+	return p
+}
+
+func solveForBasis(t *testing.T, p *Problem) *Basis {
+	t.Helper()
+	sol, err := p.Solve(WithWarmStart(nil))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Basis == nil {
+		t.Fatalf("no basis captured")
+	}
+	return sol.Basis
+}
+
+// TestRemapBasisSameLayout checks the identical-shape fast path hands the
+// snapshot back untouched.
+func TestRemapBasisSameLayout(t *testing.T) {
+	p := remapTestProblem(t)
+	b := solveForBasis(t, p)
+	q := remapTestProblem(t)
+	if got := RemapBasis(b, p, q); got != b {
+		t.Fatalf("RemapBasis on identical layout = %p, want the original %p", got, b)
+	}
+}
+
+// TestRemapBasisAddDropColumns edits the problem — one column dropped, one
+// added, one row added — and requires the remapped basis to warm-start the
+// edited problem to the same optimum a cold solve finds.
+func TestRemapBasisAddDropColumns(t *testing.T) {
+	p := remapTestProblem(t)
+	b := solveForBasis(t, p)
+
+	// Edited instance: drop x:b, add x:d, keep row names, add a row.
+	q := NewProblem(Maximize)
+	for _, v := range []struct {
+		name string
+		cost float64
+	}{{"x:a", 1}, {"x:c", 3}, {"x:d", 1.5}} {
+		if _, err := q.AddVariable(v.name, 0, 1, v.cost); err != nil {
+			t.Fatalf("AddVariable(%s): %v", v.name, err)
+		}
+	}
+	if _, err := q.AddConstraint("cap", []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}, {Var: 2, Coeff: 1}}, LE, 2); err != nil {
+		t.Fatalf("AddConstraint(cap): %v", err)
+	}
+	if _, err := q.AddConstraint("pair", []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, LE, 1); err != nil {
+		t.Fatalf("AddConstraint(pair): %v", err)
+	}
+	if _, err := q.AddConstraint("new", []Term{{Var: 2, Coeff: 1}}, LE, 1); err != nil {
+		t.Fatalf("AddConstraint(new): %v", err)
+	}
+
+	rb := RemapBasis(b, p, q)
+	if rb == nil {
+		t.Fatalf("RemapBasis returned nil for a clean add/drop edit")
+	}
+	if rb.n != 3 || rb.m != 3 {
+		t.Fatalf("remapped shape = (%d, %d), want (3, 3)", rb.n, rb.m)
+	}
+
+	cold, err := q.Clone().Solve()
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	warm, err := q.Solve(WithWarmStart(rb))
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status = %v, want optimal", warm.Status)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+		t.Fatalf("warm objective = %v, cold = %v", warm.Objective, cold.Objective)
+	}
+}
+
+// TestRemapBasisRejects covers the bail-out paths: nil inputs, a snapshot
+// that does not fit the source problem, and duplicate names.
+func TestRemapBasisRejects(t *testing.T) {
+	p := remapTestProblem(t)
+	b := solveForBasis(t, p)
+	if got := RemapBasis(nil, p, p); got != nil {
+		t.Errorf("nil basis: got %v, want nil", got)
+	}
+	if got := RemapBasis(b, nil, p); got != nil {
+		t.Errorf("nil from: got %v, want nil", got)
+	}
+	small := NewProblem(Maximize)
+	if _, err := small.AddVariable("x:a", 0, 1, 1); err != nil {
+		t.Fatalf("AddVariable: %v", err)
+	}
+	if got := RemapBasis(b, small, p); got != nil {
+		t.Errorf("mis-shaped from: got %v, want nil", got)
+	}
+
+	dup := NewProblem(Maximize)
+	for i := 0; i < 3; i++ {
+		if _, err := dup.AddVariable("same", 0, 1, 1); err != nil {
+			t.Fatalf("AddVariable: %v", err)
+		}
+	}
+	if _, err := dup.AddConstraint("cap", []Term{{Var: 0, Coeff: 1}}, LE, 1); err != nil {
+		t.Fatalf("AddConstraint: %v", err)
+	}
+	if _, err := dup.AddConstraint("pair", []Term{{Var: 1, Coeff: 1}}, LE, 1); err != nil {
+		t.Fatalf("AddConstraint: %v", err)
+	}
+	if got := RemapBasis(b, p, dup); got != nil {
+		t.Errorf("duplicate names in to: got %v, want nil", got)
+	}
+}

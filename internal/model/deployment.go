@@ -75,10 +75,13 @@ func (d *Deployment) Union(other *Deployment) *Deployment {
 }
 
 // Cost sums the total cost of the deployed monitors using the index.
-// Monitors not present in the index contribute nothing.
+// Monitors not present in the index contribute nothing. Summation runs in
+// sorted identifier order so the result is bit-for-bit reproducible across
+// processes (float addition is not associative; map order would leak into
+// the low bits otherwise).
 func (d *Deployment) Cost(idx *Index) float64 {
 	sum := 0.0
-	for id := range d.members {
+	for _, id := range d.IDs() {
 		if m, ok := idx.Monitor(id); ok {
 			sum += m.TotalCost()
 		}

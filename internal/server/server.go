@@ -29,6 +29,7 @@ import (
 	"secmon/internal/core"
 	"secmon/internal/lp"
 	"secmon/internal/model"
+	"secmon/internal/state"
 )
 
 // cacheHeader reports how a response was obtained: "hit" (served from the
@@ -77,6 +78,12 @@ type Config struct {
 	// DisableSweepPointCache turns off the per-budget-point sweep cache;
 	// sweeps then only ever hit the full-response cache.
 	DisableSweepPointCache bool
+	// StateDir, when set, enables the stateful tenant surface
+	// (/v1/tenants/...): per-tenant models mutated through typed deltas,
+	// each committed to an append-only event log under this directory and
+	// re-solved incrementally. Opening the directory replays every tenant
+	// log found in it.
+	StateDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +123,12 @@ type Server struct {
 	inFlight atomic.Int64
 	mux      *http.ServeMux
 
+	// store backs the /v1/tenants surface; nil when no StateDir was
+	// configured or opening it failed (storeErr then says why, and every
+	// tenant route answers 503 with that reason).
+	store    *state.Store
+	storeErr error
+
 	// testSolveHook, when set, runs after admission and immediately before
 	// each underlying optimizer run ("optimize" or "sweep"). Tests use it
 	// to count and to block solves.
@@ -138,12 +151,25 @@ func New(cfg Config) *Server {
 		flights: newFlightGroup(),
 		stats:   newServeStats(),
 	}
+	if cfg.StateDir != "" {
+		s.store, s.storeErr = state.Open(cfg.StateDir)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.registerTenantRoutes()
 	return s
+}
+
+// Close flushes and closes the tenant state store, if any. Serve calls it
+// after the drain; servers mounted via Handler must call it themselves.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // Handler returns the server's HTTP handler, for mounting under a custom
@@ -164,6 +190,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // their solves) get up to ShutdownGrace to finish, and only then does Serve
 // return.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	// A server explicitly configured with a StateDir that failed to open
+	// must not come up half-working: fail fast instead of answering 503 on
+	// every tenant route. Servers mounted via Handler keep the degraded
+	// behavior so embedders can decide for themselves.
+	if s.storeErr != nil {
+		return fmt.Errorf("server: open state store: %w", s.storeErr)
+	}
 	srv := &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -179,9 +212,15 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		srv.Close()
+		s.Close()
 		return fmt.Errorf("server: shutdown: %w", err)
 	}
 	<-errc // always http.ErrServerClosed after a clean Shutdown
+	// The drain is complete: no handler can touch the store anymore, so
+	// flush and close every tenant log before reporting a clean exit.
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("server: close state store: %w", err)
+	}
 	return nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+
+	"secmon/internal/state"
 )
 
 // serveStats aggregates the serving-layer counters exposed by /v1/stats.
@@ -60,6 +62,10 @@ type statsResponse struct {
 	InFlight       int64            `json:"inFlight"`
 	CacheEntries   int              `json:"cacheEntries"`
 	Tenants        map[string]int64 `json:"tenants"`
+	// State carries the incremental-solve counters of the tenant state
+	// store (replays, sensitivity shortcuts, warm hits, full re-solves);
+	// absent when the server runs without a StateDir.
+	State *state.Snapshot `json:"state,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -69,7 +75,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	size, _, _ := s.cache.stats()
+	var stateSnap *state.Snapshot
+	if s.store != nil {
+		snap := s.store.Stats()
+		stateSnap = &snap
+	}
 	body, _ := json.Marshal(statsResponse{
+		State:          stateSnap,
 		Coalesced:      s.stats.coalesced.Load(),
 		Queued:         s.stats.queued.Load(),
 		Rejected:       s.stats.rejected.Load(),

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"secmon/internal/core"
+	"secmon/internal/model"
+	"secmon/internal/state"
+)
+
+// The tenant surface exposes internal/state over HTTP: each tenant is a live
+// model mutated through typed deltas, every batch committed to that tenant's
+// append-only event log before it takes effect, and re-solved incrementally.
+// Routes (all JSON):
+//
+//	POST /v1/tenants/{id}         create a tenant from {system, spec}
+//	GET  /v1/tenants/{id}         current version, spec and last result
+//	POST /v1/tenants/{id}/mutate  apply {deltas: [...]} as one atomic batch
+//	GET  /v1/tenants              list tenant ids
+//
+// The surface exists only when the server was configured with a StateDir;
+// without one every tenant route answers 503.
+
+// TenantCreateRequest is the body of POST /v1/tenants/{id}.
+type TenantCreateRequest struct {
+	System *model.System   `json:"system"`
+	Spec   state.SolveSpec `json:"spec"`
+}
+
+// TenantMutateRequest is the body of POST /v1/tenants/{id}/mutate.
+type TenantMutateRequest struct {
+	Deltas []state.Delta `json:"deltas"`
+}
+
+// TenantResponse is the body of tenant creation, mutation and GET replies:
+// the tenant's log version (sequence number of the last committed record)
+// and the solve result current at that version.
+type TenantResponse struct {
+	ID      string          `json:"id"`
+	Version uint64          `json:"version"`
+	Spec    state.SolveSpec `json:"spec"`
+	Result  *core.Result    `json:"result"`
+}
+
+// TenantListResponse is the body of GET /v1/tenants.
+type TenantListResponse struct {
+	Tenants []string `json:"tenants"`
+}
+
+func (s *Server) registerTenantRoutes() {
+	s.mux.HandleFunc("/v1/tenants", s.handleTenantList)
+	s.mux.HandleFunc("/v1/tenants/", s.handleTenant)
+}
+
+// tenantStatusFor maps state-layer errors onto HTTP statuses: caller
+// mistakes are 400, duplicate tenants 409, unreachable covering targets 422,
+// everything else falls through to the optimizer mapping.
+func tenantStatusFor(err error) int {
+	switch {
+	case errors.Is(err, state.ErrTenantExists):
+		return http.StatusConflict
+	case errors.Is(err, state.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return statusFor(err)
+	}
+}
+
+// requireStore resolves the state store or answers the request with the
+// reason there is none.
+func (s *Server) requireStore(w http.ResponseWriter) *state.Store {
+	if s.store != nil {
+		return s.store
+	}
+	err := s.storeErr
+	if err == nil {
+		err = errors.New("no state directory configured (start with -state-dir)")
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+	return nil
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	body, _ := json.Marshal(TenantListResponse{Tenants: store.Tenants()})
+	writeJSON(w, http.StatusOK, "", body)
+}
+
+// handleTenant dispatches /v1/tenants/{id} and /v1/tenants/{id}/mutate.
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/tenants/")
+	id, action, _ := strings.Cut(rest, "/")
+	if !state.ValidTenantID(id) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid tenant id %q", id))
+		return
+	}
+	switch action {
+	case "":
+		switch r.Method {
+		case http.MethodPost:
+			s.handleTenantCreate(w, r, id)
+		case http.MethodGet:
+			s.handleTenantGet(w, id)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			writeError(w, http.StatusMethodNotAllowed, errors.New("GET or POST required"))
+		}
+	case "mutate":
+		s.handleTenantMutate(w, r, id)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown tenant action %q", action))
+	}
+}
+
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request, id string) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	var req TenantCreateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if req.System == nil {
+		writeError(w, http.StatusBadRequest, errors.New("missing system"))
+		return
+	}
+	tn, err := store.Create(id, req.System, req.Spec)
+	if err != nil {
+		writeError(w, tenantStatusFor(err), err)
+		return
+	}
+	writeTenant(w, http.StatusCreated, tn)
+}
+
+func (s *Server) handleTenantGet(w http.ResponseWriter, id string) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	tn, ok := store.Tenant(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no tenant %q", id))
+		return
+	}
+	writeTenant(w, http.StatusOK, tn)
+}
+
+func (s *Server) handleTenantMutate(w http.ResponseWriter, r *http.Request, id string) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	var req TenantMutateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	tn, ok := store.Tenant(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no tenant %q", id))
+		return
+	}
+	if _, err := tn.Mutate(req.Deltas); err != nil {
+		writeError(w, tenantStatusFor(err), err)
+		return
+	}
+	writeTenant(w, http.StatusOK, tn)
+}
+
+func writeTenant(w http.ResponseWriter, status int, tn *state.Tenant) {
+	body, _ := json.Marshal(TenantResponse{
+		ID:      tn.ID(),
+		Version: tn.Version(),
+		Spec:    tn.Spec(),
+		Result:  tn.Last(),
+	})
+	writeJSON(w, status, "", body)
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"secmon/internal/state"
+)
+
+// newStateServer builds a server backed by a tenant state store in dir and
+// returns both, so tests can close and reopen the same directory to exercise
+// restart replay.
+func newStateServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{StateDir: dir})
+	if s.storeErr != nil {
+		t.Fatalf("open state store: %v", s.storeErr)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	return s, ts
+}
+
+func decodeTenant(t *testing.T, body []byte) TenantResponse {
+	t.Helper()
+	var out TenantResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode tenant response %s: %v", body, err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, out
+}
+
+// TestTenantLifecycle drives the full tenant surface over HTTP: create,
+// read, mutate (including a rejected batch), list, stats — then restarts the
+// server on the same directory and requires the replayed tenant to report
+// the identical version and result.
+func TestTenantLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newStateServer(t, dir)
+	sys := testSystem(t, 16, 10)
+
+	total := 0.0
+	for i := range sys.Monitors {
+		total += sys.Monitors[i].TotalCost()
+	}
+	spec := state.SolveSpec{Budget: 0.35 * total, Workers: 1}
+
+	resp, body := postJSON(t, ts.URL+"/v1/tenants/acme", TenantCreateRequest{System: sys, Spec: spec})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	created := decodeTenant(t, body)
+	if created.Version != 1 || created.Result == nil || !created.Result.Proven {
+		t.Fatalf("create: version %d, result %+v", created.Version, created.Result)
+	}
+
+	// Duplicate creation is a 409.
+	resp, body = postJSON(t, ts.URL+"/v1/tenants/acme", TenantCreateRequest{System: sys, Spec: spec})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d: %s", resp.StatusCode, body)
+	}
+
+	// A batch: tighten the budget and bump a cost.
+	b := spec.Budget * 0.85
+	c := sys.Monitors[0].CapitalCost * 2
+	resp, body = postJSON(t, ts.URL+"/v1/tenants/acme/mutate", TenantMutateRequest{Deltas: []state.Delta{
+		{Op: state.OpUpdateBudget, Budget: &b},
+		{Op: state.OpUpdateCost, MonitorID: sys.Monitors[0].ID, CapitalCost: &c},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: status %d: %s", resp.StatusCode, body)
+	}
+	mutated := decodeTenant(t, body)
+	if mutated.Version != 3 {
+		t.Fatalf("mutate: version %d, want 3", mutated.Version)
+	}
+	if mutated.Spec.Budget != b {
+		t.Fatalf("mutate: budget %v, want %v", mutated.Spec.Budget, b)
+	}
+
+	// A delta referencing a monitor that does not exist is a 400 and must
+	// not advance the version.
+	resp, body = postJSON(t, ts.URL+"/v1/tenants/acme/mutate", TenantMutateRequest{Deltas: []state.Delta{
+		{Op: state.OpDropMonitor, MonitorID: "no-such-monitor"},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mutate: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/tenants/acme")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d: %s", resp.StatusCode, body)
+	}
+	got := decodeTenant(t, body)
+	if got.Version != 3 {
+		t.Fatalf("get after rejected mutate: version %d, want 3", got.Version)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/tenants")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d: %s", resp.StatusCode, body)
+	}
+	var list TenantListResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(list.Tenants) != 1 || list.Tenants[0] != "acme" {
+		t.Fatalf("list: %v", list.Tenants)
+	}
+
+	// /v1/stats carries the state counters.
+	resp, body = getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, body)
+	}
+	var stats statsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	// One committed batch (the rejected one does not count), plus the
+	// creation solve and the batch's re-solve in the resolution counters.
+	if stats.State == nil || stats.State.Mutations != 1 {
+		t.Fatalf("stats.state = %+v, want 1 mutation", stats.State)
+	}
+	if total := stats.State.Shortcuts + stats.State.WarmHits + stats.State.FullResolves; total != 2 {
+		t.Fatalf("stats.state = %+v, want 2 resolves", stats.State)
+	}
+
+	// Restart: close the store (the drain path), reopen the directory, and
+	// require the replayed tenant to be bit-identical.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, ts2 := newStateServer(t, dir)
+	resp, body = getJSON(t, ts2.URL+"/v1/tenants/acme")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after restart: status %d: %s", resp.StatusCode, body)
+	}
+	replayed := decodeTenant(t, body)
+	if replayed.Version != got.Version {
+		t.Fatalf("replayed version %d, want %d", replayed.Version, got.Version)
+	}
+	if replayed.Result == nil || got.Result == nil {
+		t.Fatalf("missing result after restart")
+	}
+	if replayed.Result.Utility != got.Result.Utility ||
+		replayed.Result.Cost != got.Result.Cost ||
+		replayed.Result.BestBound != got.Result.BestBound {
+		t.Fatalf("replayed result (%v, %v, %v), want (%v, %v, %v)",
+			replayed.Result.Utility, replayed.Result.Cost, replayed.Result.BestBound,
+			got.Result.Utility, got.Result.Cost, got.Result.BestBound)
+	}
+	if len(replayed.Result.Monitors) != len(got.Result.Monitors) {
+		t.Fatalf("replayed %d monitors, want %d", len(replayed.Result.Monitors), len(got.Result.Monitors))
+	}
+	for i := range got.Result.Monitors {
+		if replayed.Result.Monitors[i] != got.Result.Monitors[i] {
+			t.Fatalf("replayed monitors %v, want %v", replayed.Result.Monitors, got.Result.Monitors)
+		}
+	}
+}
+
+// TestTenantRoutesWithoutStateDir checks every tenant route answers 503 when
+// the server runs without a state directory.
+func TestTenantRoutesWithoutStateDir(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, probe := range []func() (*http.Response, []byte){
+		func() (*http.Response, []byte) { return getJSON(t, ts.URL+"/v1/tenants") },
+		func() (*http.Response, []byte) { return getJSON(t, ts.URL+"/v1/tenants/acme") },
+		func() (*http.Response, []byte) {
+			return postJSON(t, ts.URL+"/v1/tenants/acme/mutate", TenantMutateRequest{})
+		},
+	} {
+		resp, body := probe()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// TestTenantInvalidID checks path traversal and malformed ids are rejected
+// before touching the store.
+func TestTenantInvalidID(t *testing.T) {
+	_, ts := newStateServer(t, t.TempDir())
+	for _, id := range []string{".hidden", "a b", "x%2Fy"} {
+		resp, body := postJSON(t, ts.URL+"/v1/tenants/"+id, TenantCreateRequest{})
+		// An escaped slash decodes into a path segment and lands on 404;
+		// everything else must be rejected as a malformed id. Neither may
+		// reach the store.
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("id %q: status %d, want 400/404: %s", id, resp.StatusCode, body)
+		}
+	}
+}

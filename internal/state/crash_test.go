@@ -1,0 +1,239 @@
+package state
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"secmon/internal/core"
+)
+
+// resultSnap is the bitwise-comparable portion of a solve result used to
+// check that a replayed tenant landed on exactly the state the original
+// process held.
+type resultSnap struct {
+	utility, cost, bound float64
+	proven               bool
+	status               string
+	monitors             string
+}
+
+func snapOf(res *core.Result) resultSnap {
+	ids := make([]string, len(res.Monitors))
+	for i, id := range res.Monitors {
+		ids[i] = string(id)
+	}
+	return resultSnap{
+		utility:  res.Utility,
+		cost:     res.Cost,
+		bound:    res.BestBound,
+		proven:   res.Proven,
+		status:   res.Status,
+		monitors: strings.Join(ids, ","),
+	}
+}
+
+// TestCrashRecoveryBitIdentical simulates a process killed mid-write at every
+// record boundary of a tenant log: it runs a mutation sequence to completion
+// while snapshotting the live state after each commit, then — for each
+// possible torn-write position — copies the log, cuts it mid-record, reopens
+// a store on the damaged copy, and requires the replayed tenant to be
+// bit-identical to the snapshot of the last committed batch before the cut.
+// A mutation issued after recovery must still be equivalent to a from-scratch
+// solve, so a crash never poisons the warm-start chain.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	const singles = 6
+	rng := rand.New(rand.NewSource(2001))
+	sys := testSystem(t, 2001, 24, 16)
+	spec := SolveSpec{Budget: 0.35 * totalCost(sys), Kernel: "sparse", Workers: 1}
+
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tn, err := store.Create("crash", sys, spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	// snaps[v] is the live state right after the commit that made version v.
+	snaps := map[uint64]resultSnap{tn.Version(): snapOf(tn.Last())}
+	for n := 1; n <= singles; n++ {
+		mutateRandom(t, tn, rng, n)
+		snaps[tn.Version()] = snapOf(tn.Last())
+	}
+	// One multi-delta batch: cutting inside it must roll back the whole
+	// batch, not replay its committed prefix.
+	budget := spec.Budget * 0.9
+	if _, err := tn.Mutate([]Delta{
+		{Op: OpUpdateBudget, Budget: &budget},
+		{Op: OpUpdateCost, MonitorID: tn.System().Monitors[0].ID, CapitalCost: f64(99.25)},
+	}); err != nil {
+		t.Fatalf("batch mutate: %v", err)
+	}
+	batchEnd := tn.Version()
+	snaps[batchEnd] = snapOf(tn.Last())
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	logBytes, err := os.ReadFile(filepath.Join(dir, "crash"+logSuffix))
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	lines := splitKeepEnds(logBytes)
+	if len(lines) != int(batchEnd) {
+		t.Fatalf("log holds %d records, want %d", len(lines), batchEnd)
+	}
+
+	// Cut mid-record at every record boundary: keep records 1..j intact plus
+	// half of record j+1 — the write the crash interrupted.
+	for j := 0; j < len(lines); j++ {
+		var keep []byte
+		for i := 0; i < j; i++ {
+			keep = append(keep, lines[i]...)
+		}
+		torn := append(append([]byte{}, keep...), lines[j][:len(lines[j])/2]...)
+
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, "crash"+logSuffix), torn, 0o644); err != nil {
+			t.Fatalf("cut %d: write: %v", j, err)
+		}
+		rs, err := Open(cdir)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", j, err)
+		}
+
+		// Expected surviving version: the last record at or before j whose
+		// batch committed. Records 1..singles+1 are single-record batches;
+		// the final two records are one batch, so losing its second record
+		// rolls back both.
+		want := uint64(j)
+		if want == batchEnd-1 {
+			want = batchEnd - 2
+		}
+		rt, ok := rs.Tenant("crash")
+		if want == 0 {
+			// The init record itself was torn: the tenant never existed.
+			if ok {
+				t.Fatalf("cut %d: tenant survived a torn init record", j)
+			}
+			rs.Close()
+			continue
+		}
+		if !ok {
+			t.Fatalf("cut %d: tenant lost (want version %d)", j, want)
+		}
+		if got := rt.Version(); got != want {
+			t.Fatalf("cut %d: replayed version %d, want %d", j, got, want)
+		}
+		if got, want := snapOf(rt.Last()), snaps[want]; got != want {
+			t.Errorf("cut %d: replayed state %+v, want %+v", j, got, want)
+		}
+		if rs.Stats().Recovered == 0 {
+			t.Errorf("cut %d: recovery not counted", j)
+		}
+
+		// Life goes on after recovery: the next mutation's incremental
+		// result must still match a from-scratch solve.
+		nb := rt.Spec().Budget * 1.1
+		inc, err := rt.Mutate([]Delta{{Op: OpUpdateBudget, Budget: &nb}})
+		if err != nil {
+			t.Fatalf("cut %d: post-recovery mutate: %v", j, err)
+		}
+		scr, err := rt.SolveScratch()
+		if err != nil {
+			t.Fatalf("cut %d: post-recovery scratch: %v", j, err)
+		}
+		checkEquivalent(t, "post-recovery", rt, inc, scr, true)
+		rs.Close()
+	}
+}
+
+// TestCrashRecoveryIdempotent re-crashes a recovered store: recovery truncates
+// the torn tail, so a second open of the same directory must see a clean log
+// and rebuild the identical state with nothing left to recover.
+func TestCrashRecoveryIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	sys := testSystem(t, 2002, 20, 12)
+	spec := SolveSpec{Budget: 0.4 * totalCost(sys), Workers: 1}
+
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tn, err := store.Create("idem", sys, spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for n := 1; n <= 4; n++ {
+		mutateRandom(t, tn, rng, n)
+	}
+	want := snapOf(tn.Last())
+	wantVer := tn.Version()
+	store.Close()
+
+	// Tear the last record in place.
+	path := filepath.Join(dir, "idem"+logSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	lines := splitKeepEnds(raw)
+	last := lines[len(lines)-1]
+	if err := os.Truncate(path, int64(len(raw)-len(last)/2)); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	for round := 1; round <= 2; round++ {
+		rs, err := Open(dir)
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+		rt, ok := rs.Tenant("idem")
+		if !ok {
+			t.Fatalf("round %d: tenant lost", round)
+		}
+		if got := rt.Version(); got != wantVer-1 {
+			t.Fatalf("round %d: version %d, want %d", round, got, wantVer-1)
+		}
+		if got := snapOf(rt.Last()); got != want && round == 0 {
+			t.Errorf("round %d: state %+v", round, got)
+		}
+		recovered := rs.Stats().Recovered
+		if round == 1 && recovered == 0 {
+			t.Errorf("first reopen recovered nothing")
+		}
+		if round == 2 && recovered != 0 {
+			t.Errorf("second reopen still recovering (%d): truncation not persisted", recovered)
+		}
+		// The pre-crash states must agree across rounds bit for bit.
+		if round == 1 {
+			want = snapOf(rt.Last())
+		} else if got := snapOf(rt.Last()); got != want {
+			t.Errorf("round %d: state %+v, want %+v", round, got, want)
+		}
+		rs.Close()
+	}
+}
+
+// splitKeepEnds splits b into newline-terminated chunks, keeping the
+// terminators, plus a final unterminated chunk if one exists.
+func splitKeepEnds(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, b[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, b[start:])
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+// Package state holds live per-tenant optimization models mutated through
+// typed deltas, each committed to an append-only event log before it takes
+// effect, and re-solved incrementally by reusing the previous solve's state
+// (see internal/core's warm entry points). A restarted process replays each
+// tenant's log and rebuilds the exact state — system, solve spec, last
+// result, warm-start chain — the crashed process held.
+package state
+
+import (
+	"fmt"
+
+	"secmon/internal/model"
+)
+
+// Delta operation names. The set is closed: the log's schema version covers
+// exactly these, and unknown operations are rejected both at the API surface
+// and during replay.
+const (
+	OpAddAsset     = "add-asset"
+	OpDropAsset    = "drop-asset"
+	OpAddMonitor   = "add-monitor"
+	OpDropMonitor  = "drop-monitor"
+	OpUpdateCost   = "update-cost"
+	OpUpdateBudget = "update-budget"
+	OpAddAttack    = "add-attack"
+	OpDropAttack   = "drop-attack"
+)
+
+// Delta is one typed mutation of a tenant's model. Op selects the operation;
+// the other fields carry its payload and must be set exactly as the
+// operation requires — extraneous payload fields are rejected so every delta
+// has one unambiguous meaning in the log.
+//
+//	add-asset:     Asset, optionally DataTypes (all owned by the new asset)
+//	drop-asset:    AssetID; cascades (see applyDropAsset)
+//	add-monitor:   Monitor (asset and produced data types must exist)
+//	drop-monitor:  MonitorID
+//	update-cost:   MonitorID plus CapitalCost and/or OperationalCost
+//	update-budget: Budget (the MaxUtility budget; a no-op spec field for
+//	               MinCost tenants, kept in the log for symmetry)
+//	add-attack:    Attack (every evidence type must exist)
+//	drop-attack:   AttackID
+type Delta struct {
+	Op string `json:"op"`
+
+	Asset     *model.Asset     `json:"asset,omitempty"`
+	AssetID   model.AssetID    `json:"assetId,omitempty"`
+	DataTypes []model.DataType `json:"dataTypes,omitempty"`
+	Monitor   *model.Monitor   `json:"monitor,omitempty"`
+	MonitorID model.MonitorID  `json:"monitorId,omitempty"`
+	Attack    *model.Attack    `json:"attack,omitempty"`
+	AttackID  model.AttackID   `json:"attackId,omitempty"`
+
+	CapitalCost     *float64 `json:"capitalCost,omitempty"`
+	OperationalCost *float64 `json:"operationalCost,omitempty"`
+	Budget          *float64 `json:"budget,omitempty"`
+}
+
+// validate checks the delta's payload shape without consulting any system:
+// the right fields for the op are present and no foreign ones are. Reference
+// validity (does the asset exist?) is checked by apply against the live
+// model.
+func (d *Delta) validate() error {
+	type want struct {
+		asset, assetID, dataTypes, monitor, monitorID, attack, attackID bool
+		capital, operational, budget                                    bool
+	}
+	var w want
+	switch d.Op {
+	case OpAddAsset:
+		w = want{asset: true, dataTypes: true}
+		if d.Asset == nil {
+			return fmt.Errorf("state: %s: missing asset", d.Op)
+		}
+	case OpDropAsset:
+		w = want{assetID: true}
+		if d.AssetID == "" {
+			return fmt.Errorf("state: %s: missing assetId", d.Op)
+		}
+	case OpAddMonitor:
+		w = want{monitor: true}
+		if d.Monitor == nil {
+			return fmt.Errorf("state: %s: missing monitor", d.Op)
+		}
+	case OpDropMonitor:
+		w = want{monitorID: true}
+		if d.MonitorID == "" {
+			return fmt.Errorf("state: %s: missing monitorId", d.Op)
+		}
+	case OpUpdateCost:
+		w = want{monitorID: true, capital: true, operational: true}
+		if d.MonitorID == "" {
+			return fmt.Errorf("state: %s: missing monitorId", d.Op)
+		}
+		if d.CapitalCost == nil && d.OperationalCost == nil {
+			return fmt.Errorf("state: %s: needs capitalCost and/or operationalCost", d.Op)
+		}
+		if d.CapitalCost != nil && (*d.CapitalCost < 0 || !finite(*d.CapitalCost)) {
+			return fmt.Errorf("state: %s: bad capitalCost %v", d.Op, *d.CapitalCost)
+		}
+		if d.OperationalCost != nil && (*d.OperationalCost < 0 || !finite(*d.OperationalCost)) {
+			return fmt.Errorf("state: %s: bad operationalCost %v", d.Op, *d.OperationalCost)
+		}
+	case OpUpdateBudget:
+		w = want{budget: true}
+		if d.Budget == nil {
+			return fmt.Errorf("state: %s: missing budget", d.Op)
+		}
+		if *d.Budget < 0 || !finite(*d.Budget) {
+			return fmt.Errorf("state: %s: bad budget %v", d.Op, *d.Budget)
+		}
+	case OpAddAttack:
+		w = want{attack: true}
+		if d.Attack == nil {
+			return fmt.Errorf("state: %s: missing attack", d.Op)
+		}
+	case OpDropAttack:
+		w = want{attackID: true}
+		if d.AttackID == "" {
+			return fmt.Errorf("state: %s: missing attackId", d.Op)
+		}
+	default:
+		return fmt.Errorf("state: unknown delta op %q", d.Op)
+	}
+	if d.Asset != nil && !w.asset {
+		return fmt.Errorf("state: %s: unexpected asset payload", d.Op)
+	}
+	if d.AssetID != "" && !w.assetID {
+		return fmt.Errorf("state: %s: unexpected assetId payload", d.Op)
+	}
+	if d.DataTypes != nil && !w.dataTypes {
+		return fmt.Errorf("state: %s: unexpected dataTypes payload", d.Op)
+	}
+	if d.Monitor != nil && !w.monitor {
+		return fmt.Errorf("state: %s: unexpected monitor payload", d.Op)
+	}
+	if d.MonitorID != "" && !w.monitorID {
+		return fmt.Errorf("state: %s: unexpected monitorId payload", d.Op)
+	}
+	if d.Attack != nil && !w.attack {
+		return fmt.Errorf("state: %s: unexpected attack payload", d.Op)
+	}
+	if d.AttackID != "" && !w.attackID {
+		return fmt.Errorf("state: %s: unexpected attackId payload", d.Op)
+	}
+	if d.CapitalCost != nil && !w.capital {
+		return fmt.Errorf("state: %s: unexpected capitalCost payload", d.Op)
+	}
+	if d.OperationalCost != nil && !w.operational {
+		return fmt.Errorf("state: %s: unexpected operationalCost payload", d.Op)
+	}
+	if d.Budget != nil && !w.budget {
+		return fmt.Errorf("state: %s: unexpected budget payload", d.Op)
+	}
+	return nil
+}
+
+func finite(x float64) bool { return x == x && x < 1e308 && x > -1e308 }
+
+// apply mutates sys and spec in place according to the delta. The caller
+// applies deltas to a scratch clone, then validates the final system with
+// model.NewIndex before committing anything, so apply only checks what the
+// index would not: references the delta itself names.
+func (d *Delta) apply(sys *model.System, spec *SolveSpec) error {
+	if err := d.validate(); err != nil {
+		return err
+	}
+	switch d.Op {
+	case OpAddAsset:
+		return applyAddAsset(sys, d)
+	case OpDropAsset:
+		return applyDropAsset(sys, d.AssetID)
+	case OpAddMonitor:
+		return applyAddMonitor(sys, d.Monitor)
+	case OpDropMonitor:
+		return applyDropMonitor(sys, d.MonitorID)
+	case OpUpdateCost:
+		return applyUpdateCost(sys, d)
+	case OpUpdateBudget:
+		spec.Budget = *d.Budget
+		return nil
+	case OpAddAttack:
+		return applyAddAttack(sys, d.Attack)
+	case OpDropAttack:
+		return applyDropAttack(sys, d.AttackID)
+	}
+	return fmt.Errorf("state: unknown delta op %q", d.Op)
+}
+
+func applyAddAsset(sys *model.System, d *Delta) error {
+	for _, a := range sys.Assets {
+		if a.ID == d.Asset.ID {
+			return fmt.Errorf("state: add-asset: asset %q already exists", d.Asset.ID)
+		}
+	}
+	for _, dt := range d.DataTypes {
+		if dt.Asset != d.Asset.ID {
+			return fmt.Errorf("state: add-asset: data type %q belongs to %q, not the new asset %q",
+				dt.ID, dt.Asset, d.Asset.ID)
+		}
+		for _, old := range sys.DataTypes {
+			if old.ID == dt.ID {
+				return fmt.Errorf("state: add-asset: data type %q already exists", dt.ID)
+			}
+		}
+	}
+	sys.Assets = append(sys.Assets, *d.Asset)
+	sys.DataTypes = append(sys.DataTypes, d.DataTypes...)
+	return nil
+}
+
+// applyDropAsset removes the asset and cascades: its data types disappear,
+// monitors hosted on it disappear, other monitors stop producing the removed
+// data types (and disappear when left producing nothing), attack evidence
+// referencing them is stripped, evidence-less steps are dropped, and an
+// attack left with no evidence at all is removed (an unobservable attack is
+// not representable). The cascade keeps the
+// system index-valid by construction; replay re-runs the same cascade, so
+// the rebuilt state is identical.
+func applyDropAsset(sys *model.System, id model.AssetID) error {
+	found := false
+	assets := sys.Assets[:0]
+	for _, a := range sys.Assets {
+		if a.ID == id {
+			found = true
+			continue
+		}
+		assets = append(assets, a)
+	}
+	if !found {
+		return fmt.Errorf("state: drop-asset: unknown asset %q", id)
+	}
+	sys.Assets = assets
+
+	dropped := map[model.DataTypeID]bool{}
+	dts := sys.DataTypes[:0]
+	for _, dt := range sys.DataTypes {
+		if dt.Asset == id {
+			dropped[dt.ID] = true
+			continue
+		}
+		dts = append(dts, dt)
+	}
+	sys.DataTypes = dts
+
+	mons := sys.Monitors[:0]
+	for _, m := range sys.Monitors {
+		if m.Asset == id {
+			continue
+		}
+		prod := m.Produces[:0:0]
+		for _, p := range m.Produces {
+			if !dropped[p] {
+				prod = append(prod, p)
+			}
+		}
+		if len(prod) == 0 {
+			continue // produces nothing observable anymore
+		}
+		m.Produces = prod
+		mons = append(mons, m)
+	}
+	sys.Monitors = mons
+
+	attacks := sys.Attacks[:0]
+	for _, a := range sys.Attacks {
+		steps := a.Steps[:0:0]
+		for _, st := range a.Steps {
+			ev := st.Evidence[:0:0]
+			for _, e := range st.Evidence {
+				if !dropped[e] {
+					ev = append(ev, e)
+				}
+			}
+			if len(ev) > 0 {
+				st.Evidence = ev
+				steps = append(steps, st)
+			}
+		}
+		if len(steps) == 0 {
+			continue
+		}
+		a.Steps = steps
+		attacks = append(attacks, a)
+	}
+	sys.Attacks = attacks
+	return nil
+}
+
+func applyAddMonitor(sys *model.System, m *model.Monitor) error {
+	for _, old := range sys.Monitors {
+		if old.ID == m.ID {
+			return fmt.Errorf("state: add-monitor: monitor %q already exists", m.ID)
+		}
+	}
+	sys.Monitors = append(sys.Monitors, *m)
+	return nil
+}
+
+func applyDropMonitor(sys *model.System, id model.MonitorID) error {
+	for i, m := range sys.Monitors {
+		if m.ID == id {
+			sys.Monitors = append(sys.Monitors[:i:i], sys.Monitors[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("state: drop-monitor: unknown monitor %q", id)
+}
+
+func applyUpdateCost(sys *model.System, d *Delta) error {
+	for i := range sys.Monitors {
+		if sys.Monitors[i].ID != d.MonitorID {
+			continue
+		}
+		if d.CapitalCost != nil {
+			sys.Monitors[i].CapitalCost = *d.CapitalCost
+		}
+		if d.OperationalCost != nil {
+			sys.Monitors[i].OperationalCost = *d.OperationalCost
+		}
+		return nil
+	}
+	return fmt.Errorf("state: update-cost: unknown monitor %q", d.MonitorID)
+}
+
+func applyAddAttack(sys *model.System, a *model.Attack) error {
+	for _, old := range sys.Attacks {
+		if old.ID == a.ID {
+			return fmt.Errorf("state: add-attack: attack %q already exists", a.ID)
+		}
+	}
+	sys.Attacks = append(sys.Attacks, *a)
+	return nil
+}
+
+func applyDropAttack(sys *model.System, id model.AttackID) error {
+	for i, a := range sys.Attacks {
+		if a.ID == id {
+			sys.Attacks = append(sys.Attacks[:i:i], sys.Attacks[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("state: drop-attack: unknown attack %q", id)
+}

@@ -1,0 +1,159 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+// TestDeltaEquivalence is the differential suite behind the incremental
+// solver's headline guarantee: after every committed mutation, the
+// incremental result — whether it came from a sensitivity shortcut, a
+// restated bound skip, or a warm-started search — is equivalent to solving
+// the mutated model from scratch. Sequences are seeded and random, drawing
+// from all eight delta operations, and run across both solve modes, both LP
+// kernels, and worker counts 1 and 4. Equivalence is checked by
+// checkEquivalent: identical proven status, bitwise-equal normalized bounds,
+// and a monitor set that is exactly the scratch set or a verified exact tie.
+func TestDeltaEquivalence(t *testing.T) {
+	configs := []struct {
+		name  string
+		spec  SolveSpec
+		seed  int64
+		steps int
+	}{
+		{"maxutil-sparse-w1", SolveSpec{Kernel: "sparse", Workers: 1}, 1101, 50},
+		{"maxutil-dense-w1", SolveSpec{Kernel: "dense", Workers: 1}, 1102, 14},
+		{"maxutil-sparse-w4", SolveSpec{Kernel: "sparse", Workers: 4}, 1103, 14},
+		{"maxutil-dense-w4", SolveSpec{Kernel: "dense", Workers: 4}, 1104, 8},
+		{"maxutil-corrob2-w1", SolveSpec{Kernel: "sparse", Workers: 1, Corroboration: 2}, 1105, 10},
+		{"mincost-sparse-w1", SolveSpec{MinCost: true, Target: 0.5, Kernel: "sparse", Workers: 1}, 1106, 50},
+		{"mincost-dense-w1", SolveSpec{MinCost: true, Target: 0.45, Kernel: "dense", Workers: 1}, 1107, 14},
+		{"mincost-sparse-w4", SolveSpec{MinCost: true, Target: 0.5, Kernel: "sparse", Workers: 4}, 1108, 14},
+		{"mincost-dense-w4", SolveSpec{MinCost: true, Target: 0.4, Kernel: "dense", Workers: 4}, 1109, 8},
+		{"mincost-corrob2-w1", SolveSpec{MinCost: true, Target: 0.15, Kernel: "sparse", Workers: 1, Corroboration: 2}, 1110, 10},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			t.Parallel()
+			steps := cfg.steps
+			if testing.Short() && steps > 6 {
+				steps = 6
+			}
+			rng := rand.New(rand.NewSource(cfg.seed))
+			// Sequence lengths span 1..50 across the matrix; the seeded
+			// draw keeps each config's exact length reproducible.
+			if steps > 1 {
+				steps = 1 + rng.Intn(steps)
+			}
+
+			// Corroboration needs several producers per data type to be
+			// feasible at all, so those configs get a denser monitor pool.
+			monitors := 24
+			if cfg.spec.Corroboration > 1 {
+				monitors = 56
+			}
+			sys := testSystem(t, cfg.seed, monitors, 16)
+			spec := cfg.spec
+			if !spec.MinCost {
+				spec.Budget = 0.35 * totalCost(sys)
+			}
+
+			store, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer store.Close()
+			tn, err := store.Create("diff", sys, spec)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+
+			requireSets := cfg.spec.Workers <= 1
+			for n := 1; n <= steps; n++ {
+				inc := mutateRandom(t, tn, rng, n)
+				scr, err := tn.SolveScratch()
+				if err != nil {
+					t.Fatalf("step %d: SolveScratch: %v", n, err)
+				}
+				checkEquivalent(t, cfg.name+"/step-"+itoa(n), tn, inc, scr, requireSets)
+				if t.Failed() {
+					t.Fatalf("step %d: stopping after first divergence", n)
+				}
+			}
+
+			snap := store.Stats()
+			if snap.Mutations != uint64(steps) {
+				t.Errorf("mutations counter %d, want %d", snap.Mutations, steps)
+			}
+			if snap.Shortcuts+snap.WarmHits+snap.FullResolves < snap.Mutations {
+				t.Errorf("solve counters %d+%d+%d do not cover %d mutations",
+					snap.Shortcuts, snap.WarmHits, snap.FullResolves, snap.Mutations)
+			}
+		})
+	}
+}
+
+// TestDeltaEquivalenceCertify checks the certified configuration separately:
+// a certify tenant never reuses solver state, so every mutation must match a
+// scratch solve including its certificate.
+func TestDeltaEquivalenceCertify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1201))
+	sys := testSystem(t, 1201, 16, 10)
+	spec := SolveSpec{Budget: 0.35 * totalCost(sys), Workers: 1, Certify: true}
+
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer store.Close()
+	tn, err := store.Create("certified", sys, spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	steps := 6
+	if testing.Short() {
+		steps = 3
+	}
+	for n := 1; n <= steps; n++ {
+		inc := mutateRandom(t, tn, rng, n)
+		if inc.Stats.Shortcut != "" || inc.Stats.WarmStarted || inc.Restated {
+			t.Fatalf("step %d: certified tenant reused solver state: %+v", n, inc.Stats)
+		}
+		if inc.Certificate == nil {
+			t.Fatalf("step %d: certified solve returned no certificate", n)
+		}
+		scr, err := tn.SolveScratch()
+		if err != nil {
+			t.Fatalf("step %d: SolveScratch: %v", n, err)
+		}
+		checkEquivalent(t, "certify/step-"+itoa(n), tn, inc, scr, true)
+	}
+	if got := store.Stats().Shortcuts; got != 0 {
+		t.Errorf("certified tenant recorded %d shortcuts, want 0", got)
+	}
+}
+
+func totalCost(sys *model.System) float64 {
+	sum := 0.0
+	for i := range sys.Monitors {
+		sum += sys.Monitors[i].TotalCost()
+	}
+	return sum
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,46 @@
+package state
+
+import "sync/atomic"
+
+// Stats counts how the incremental machinery resolved mutations, aggregated
+// across a store's tenants. Every committed mutate batch lands in exactly
+// one of the three resolution counters.
+type Stats struct {
+	// Replays counts tenant logs replayed at open (one per tenant log, not
+	// per record).
+	Replays atomic.Uint64
+	// Recovered counts logs whose torn tail was discarded during replay.
+	Recovered atomic.Uint64
+	// Mutations counts committed mutate batches, including replayed ones.
+	Mutations atomic.Uint64
+	// Shortcuts counts batches resolved by a zero-LP-work sensitivity
+	// argument (no-op, reduced-cost, budget-slack).
+	Shortcuts atomic.Uint64
+	// WarmHits counts batches resolved by the LP-bound skip: one warm
+	// relaxation proved the previous optimum still optimal, no search.
+	WarmHits atomic.Uint64
+	// FullResolves counts batches that ran branch-and-bound (warm-seeded
+	// when a prior was available).
+	FullResolves atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of Stats for JSON surfaces.
+type Snapshot struct {
+	Replays      uint64 `json:"replays"`
+	Recovered    uint64 `json:"recovered"`
+	Mutations    uint64 `json:"mutations"`
+	Shortcuts    uint64 `json:"shortcuts"`
+	WarmHits     uint64 `json:"warmHits"`
+	FullResolves uint64 `json:"fullResolves"`
+}
+
+func (s *Stats) snapshot() Snapshot {
+	return Snapshot{
+		Replays:      s.Replays.Load(),
+		Recovered:    s.Recovered.Load(),
+		Mutations:    s.Mutations.Load(),
+		Shortcuts:    s.Shortcuts.Load(),
+		WarmHits:     s.WarmHits.Load(),
+		FullResolves: s.FullResolves.Load(),
+	}
+}

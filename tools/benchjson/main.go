@@ -83,6 +83,9 @@ func main() {
 	speedup := flag.String("speedup", "",
 		"assert slow=fast:minratio — ns/op of benchmark 'slow' must be at least "+
 			"minratio times that of 'fast'; skipped on single-CPU environments")
+	ratio := flag.String("ratio", "",
+		"comma-separated slow=fast:minratio specs asserted unconditionally — for "+
+			"algorithmic speedups that do not depend on core count")
 	throughput := flag.String("throughput", "",
 		"comma-separated loadgen row files to embed as throughput records")
 	goodput := flag.String("goodput", "",
@@ -142,6 +145,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *ratio != "" {
+		for _, spec := range strings.Split(*ratio, ",") {
+			if err := assertRatio(&rep, strings.TrimSpace(spec)); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if *goodput != "" {
 		for _, spec := range strings.Split(*goodput, ",") {
 			if err := assertGoodput(&rep, strings.TrimSpace(spec)); err != nil {
@@ -174,22 +185,34 @@ func main() {
 // is skipped with a warning rather than failed — the recorded JSON still
 // carries both rows for inspection.
 func assertSpeedup(rep *report, spec string) error {
-	names, ratioStr, ok := strings.Cut(spec, ":")
-	if !ok {
-		return fmt.Errorf("speedup spec %q is not slow=fast:minratio", spec)
-	}
-	slow, fast, ok := strings.Cut(names, "=")
-	if !ok {
-		return fmt.Errorf("speedup spec %q is not slow=fast:minratio", spec)
-	}
-	minRatio, err := strconv.ParseFloat(ratioStr, 64)
-	if err != nil || minRatio <= 0 {
-		return fmt.Errorf("speedup spec %q: bad ratio %q", spec, ratioStr)
-	}
 	if rep.Environment.Gomaxprocs == 1 {
 		fmt.Fprintf(os.Stderr,
 			"benchjson: speedup %s SKIPPED: single-CPU environment (gomaxprocs=1)\n", spec)
 		return nil
+	}
+	return assertFloor(rep, spec, "speedup")
+}
+
+// assertRatio enforces a recorded algorithmic-speedup floor, same spec shape
+// as assertSpeedup but asserted unconditionally: the ratio being claimed
+// (e.g. incremental re-solve vs from-scratch) does not depend on core count,
+// so a single-CPU environment is no excuse.
+func assertRatio(rep *report, spec string) error {
+	return assertFloor(rep, spec, "ratio")
+}
+
+func assertFloor(rep *report, spec, kind string) error {
+	names, ratioStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("%s spec %q is not slow=fast:minratio", kind, spec)
+	}
+	slow, fast, ok := strings.Cut(names, "=")
+	if !ok {
+		return fmt.Errorf("%s spec %q is not slow=fast:minratio", kind, spec)
+	}
+	minRatio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || minRatio <= 0 {
+		return fmt.Errorf("%s spec %q: bad ratio %q", kind, spec, ratioStr)
 	}
 	find := func(name string) (benchmark, error) {
 		for _, b := range rep.Benchmarks {
@@ -197,7 +220,7 @@ func assertSpeedup(rep *report, spec string) error {
 				return b, nil
 			}
 		}
-		return benchmark{}, fmt.Errorf("speedup: benchmark %q not found", name)
+		return benchmark{}, fmt.Errorf("%s: benchmark %q not found", kind, name)
 	}
 	sb, err := find(slow)
 	if err != nil {
@@ -209,9 +232,9 @@ func assertSpeedup(rep *report, spec string) error {
 	}
 	ratio := sb.NsPerOp / fb.NsPerOp
 	if ratio < minRatio {
-		return fmt.Errorf("speedup: %s/%s = %.2fx, below required %.2fx", slow, fast, ratio, minRatio)
+		return fmt.Errorf("%s: %s/%s = %.2fx, below required %.2fx", kind, slow, fast, ratio, minRatio)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: speedup %s/%s = %.2fx (>= %.2fx) ok\n", slow, fast, ratio, minRatio)
+	fmt.Fprintf(os.Stderr, "benchjson: %s %s/%s = %.2fx (>= %.2fx) ok\n", kind, slow, fast, ratio, minRatio)
 	return nil
 }
 
