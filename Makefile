@@ -6,16 +6,16 @@
 # and a single-shot E3 benchmark smoke to catch gross solver regressions.
 
 GO ?= go
-BENCH ?= BENCH_PR6.json
+BENCH ?= BENCH_PR9.json
 LOADBENCH ?= BENCH_PR7.json
 STATEBENCH ?= BENCH_PR8.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
 STRESS_N ?= 1000
 
-.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench delta-equivalence state-smoke statebench
+.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench delta-equivalence state-smoke statebench bench-compare bench-compare-advisory
 
-ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence delta-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke state-smoke
+ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence delta-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke state-smoke bench-compare-advisory
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -204,30 +204,54 @@ golden-update:
 	$(GO) test ./internal/experiment -run TestGoldenArtifacts -update -count=1
 
 # Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6
-# runs, BenchmarkE7Scalability and BenchmarkE7Certify (certification
-# overhead vs the m=400/a=100 baseline) at -count=5 (benchjson reports the
-# median and the sample count), the E9 decomposition scale family at
-# -count=5 (every row is a PROVEN-optimal solve; the benchmark itself fails
-# on an unproven return), and a stable 200x simplex run, converted to the
-# repository's benchmark JSON schema by tools/benchjson. The -speedup flag
-# asserts the recorded E9 workers=8 row is at least 3x faster than
-# workers=1, skipped automatically on single-CPU environments. Records
+# runs, BenchmarkE7Scalability, BenchmarkE7Certify (certification overhead
+# vs the m=400/a=100 baseline) and BenchmarkE7Kernels (LU vs eta basis
+# kernel on the same instance) at -count=5 (benchjson reports the median
+# and the sample count), the E9 decomposition scale family plus
+# BenchmarkE9Kernels at -count=5 (every row is a PROVEN-optimal solve; the
+# benchmark itself fails on an unproven return), and a stable 200x simplex
+# run, converted to the repository's benchmark JSON schema by
+# tools/benchjson. All lanes record allocs/bytes per op (-benchmem). The
+# -speedup flag asserts the recorded E9 workers=8 row is at least 3x
+# faster than workers=1, skipped automatically on single-CPU environments.
+# The -ratio flag asserts the LU kernel beats the eta kernel on the E7
+# 400-row bases; no floor is asserted on E9Kernels because the integral
+# coverage rounding collapsed the E9 subproblems to tiny bases where the
+# kernels are at parity (the rows are still recorded as a canary). Records
 # marked single_shot: true carry one wall-clock sample and are noisy.
 # Output file is parametrized: `make bench BENCH=BENCH_PR6.json`.
 bench:
 	$(GO) test -run xxx -bench '^BenchmarkE3OptimalDeployment$$|^BenchmarkE6MinCost$$' \
 		-benchtime=1x -benchmem . | tee bench-1x.txt
-	$(GO) test -run xxx -bench '^BenchmarkE7Scalability$$|^BenchmarkE7Certify$$' \
+	$(GO) test -run xxx -bench '^BenchmarkE7Scalability$$|^BenchmarkE7Certify$$|^BenchmarkE7Kernels$$' \
 		-benchtime=1x -count=5 -benchmem . | tee bench-e7.txt
-	$(GO) test -run xxx -bench '^BenchmarkE9Scale$$' \
-		-benchtime=1x -count=5 -timeout 3600s . | tee bench-e9.txt
+	$(GO) test -run xxx -bench '^BenchmarkE9Scale$$|^BenchmarkE9Kernels$$' \
+		-benchtime=1x -count=5 -benchmem -timeout 3600s . | tee bench-e9.txt
 	$(GO) test -run xxx -bench '^BenchmarkSimplexSolve$$' -benchtime=200x -benchmem . | tee bench-200x.txt
 	$(GO) run ./tools/benchjson \
-		-comment "$(BENCH) benchmarks. E3/E6 numbers are single-shot (-benchtime=1x) and noisy; E7 and E9 entries are the median of 5 repetitions; every E9Scale row is a proven-optimal decomposition solve; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json." \
+		-comment "$(BENCH) benchmarks. E3/E6 numbers are single-shot (-benchtime=1x) and noisy; E7 and E9 entries are the median of 5 repetitions; every E9Scale/E9Kernels row is a proven-optimal decomposition solve; BenchmarkSimplexSolve is a stable -benchtime=200x run. Compare against BENCH_BASELINE.json or diff two files with 'make bench-compare'." \
 		-speedup 'BenchmarkE9Scale/mincost/5000x1000/w1=BenchmarkE9Scale/mincost/5000x1000/w8:3' \
+		-ratio 'BenchmarkE7Kernels/eta=BenchmarkE7Kernels/lu:1.15' \
 		-out $(BENCH) bench-1x.txt=1x bench-e7.txt=1x bench-e9.txt=1x bench-200x.txt=200x
 	rm -f bench-1x.txt bench-e7.txt bench-e9.txt bench-200x.txt
 	@echo "wrote $(BENCH)"
+
+# Cross-file benchmark regression diff: compare two recorded BENCH json
+# files row by row and fail when any shared row's median ns/op regressed
+# by more than MAX_REGRESS percent. Parametrized:
+#   make bench-compare OLD_BENCH=BENCH_PR6.json NEW_BENCH=BENCH_PR9.json
+# The ci hook runs it advisory (never fails the gate): recorded baselines
+# come from different machines and runs, so cross-file deltas are context,
+# not a pass/fail signal.
+OLD_BENCH ?= BENCH_PR6.json
+NEW_BENCH ?= $(BENCH)
+MAX_REGRESS ?= 25
+
+bench-compare:
+	$(GO) run ./tools/benchjson -compare $(OLD_BENCH) -max-regress $(MAX_REGRESS) $(NEW_BENCH)
+
+bench-compare-advisory:
+	-$(GO) run ./tools/benchjson -compare $(OLD_BENCH) -max-regress $(MAX_REGRESS) $(NEW_BENCH)
 
 # Incremental re-optimization benchmark: BenchmarkE10Incremental on an
 # E7-sized (400x100) tenant, median of 5 repetitions. The recorded -ratio

@@ -177,6 +177,31 @@ func BenchmarkE7Certify(b *testing.B) {
 	}
 }
 
+// BenchmarkE7Kernels pits the LU basis kernel (the sparse default) against
+// the retained eta-file kernel on the E7 headline size (400 monitors x 100
+// attacks MaxUtility). The two rows land in the benchmark JSON side by side
+// and `make bench` asserts the recorded eta/lu ratio floor via
+// tools/benchjson -ratio, so the LU speedup is re-proven on every recording
+// environment rather than eyeballed across files.
+func BenchmarkE7Kernels(b *testing.B) {
+	idx := synthIndex(b, 400, 100)
+	budget := idx.System().TotalMonitorCost() * 0.3
+	for _, k := range []struct {
+		name   string
+		kernel lp.Kernel
+	}{{"lu", lp.KernelLU}, {"eta", lp.KernelEta}} {
+		b.Run(k.name, func(b *testing.B) {
+			opt := core.NewOptimizer(idx, core.WithKernel(k.kernel))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.MaxUtility(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE7ScalabilityParallel measures the parallel branch-and-bound on
 // the two hardest E7 sizes across worker counts. On a single-CPU host the
 // extra workers mostly measure coordination overhead; on multi-core hosts
@@ -479,6 +504,38 @@ func BenchmarkE9Scale(b *testing.B) {
 			})
 		}
 	})
+}
+
+// BenchmarkE9Kernels repeats the E9 mincost 5000x1000 single-worker
+// decomposition solve under each sparse kernel. Every solve must still be
+// proven optimal. The integral rounding of coverage right-hand sides
+// (requiredEvidence) collapsed these subproblems to a few nodes over tiny
+// bases, where the two kernels run at parity, so `make bench` asserts no
+// eta/lu floor here — the rows are recorded as a regression canary. The
+// LU advantage is asserted on BenchmarkE7Kernels, whose 400-row bases
+// exercise the factorization.
+func BenchmarkE9Kernels(b *testing.B) {
+	idx := blockIndex(b, 5000, 1000, 100, 0)
+	targets := core.CoverageTargets{Global: 0.9}
+	for _, k := range []struct {
+		name   string
+		kernel lp.Kernel
+	}{{"lu", lp.KernelLU}, {"eta", lp.KernelEta}} {
+		b.Run(k.name, func(b *testing.B) {
+			opt := core.NewOptimizer(idx, core.WithClampToAchievable(),
+				core.WithDecomposition(), core.WithKernel(k.kernel))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := opt.MinCost(targets)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Proven {
+					b.Fatalf("not proven: status %s gap %v", res.Status, res.Gap)
+				}
+			}
+		})
+	}
 }
 
 // stateTenant opens a fresh event-log store in a benchmark temp directory

@@ -225,7 +225,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	wRedundancy := fs.Float64("w-redundancy", 0, "multi-objective weight on redundancy")
 	savePath := fs.String("save", "", "write the resulting deployment as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS, 1 = sequential)")
-	kernel := fs.String("kernel", "", "LP simplex kernel: sparse (default) or dense (the correctness oracle)")
+	kernel := fs.String("kernel", "", "LP simplex kernel: sparse|lu (default, sparse LU with Forrest-Tomlin updates), eta (eta-file oracle) or dense (tableau oracle)")
 	decompose := fs.String("decompose", "auto", "graph-partitioned decomposition solver: auto (on above the size threshold), on, off")
 	certifyFlag := fs.Bool("certify", false, "emit a machine-checkable optimality certificate and verify it")
 	certifyOut := fs.String("certify-out", "", "write the certificate JSON to this file (implies -certify)")
@@ -432,9 +432,13 @@ func printSolverExtras(out io.Writer, st core.SolveStats) {
 		fmt.Fprintf(out, "cover cuts: %d added, %d active at the root\n",
 			st.CutsAdded, st.CutsActive)
 	}
-	if st.Etas > 0 || st.Refactorizations > 0 {
+	if st.Etas > 0 || st.Refactorizations > 0 || st.Updates > 0 {
 		fmt.Fprintf(out, "sparse kernel: %d etas, %d refactorizations, %d devex resets\n",
 			st.Etas, st.Refactorizations, st.DevexResets)
+	}
+	if st.Updates > 0 || st.FactorNnz > 0 {
+		fmt.Fprintf(out, "LU kernel: %d FT updates, %d bound flips, %d adaptive refactorizations, %d factor nonzeros, %d fallbacks\n",
+			st.Updates, st.BoundFlips, st.AdaptiveRefactorizations, st.FactorNnz, st.KernelFallbacks)
 	}
 	if d := st.Decomposition; d != nil {
 		fmt.Fprintf(out, "decomposition: %d segments (%d components, %d cut monitors), %d coordinator iterations, %d subproblem + %d master solves, %d branch nodes, final gap %.2e\n",
@@ -469,17 +473,19 @@ func parseDecompose(mode string) ([]core.Option, error) {
 }
 
 // parseKernel maps the -kernel flag to an LP kernel selector; the empty
-// string defers to the solver default (sparse).
+// string defers to the solver default (sparse, i.e. the LU kernel).
 func parseKernel(name string) (lp.Kernel, error) {
 	switch name {
 	case "":
 		return lp.KernelAuto, nil
-	case "sparse":
-		return lp.KernelSparse, nil
+	case "sparse", "lu":
+		return lp.KernelLU, nil
+	case "eta":
+		return lp.KernelEta, nil
 	case "dense":
 		return lp.KernelDense, nil
 	default:
-		return lp.KernelAuto, fmt.Errorf("unknown -kernel %q (want sparse or dense)", name)
+		return lp.KernelAuto, fmt.Errorf("unknown -kernel %q (want sparse, lu, eta or dense)", name)
 	}
 }
 

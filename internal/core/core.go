@@ -85,6 +85,17 @@ type SolveStats struct {
 	Etas             int `json:"etas,omitempty"`
 	Refactorizations int `json:"refactorizations,omitempty"`
 	DevexResets      int `json:"devexResets,omitempty"`
+	// Updates, BoundFlips, AdaptiveRefactorizations and FactorNnz report
+	// the LU kernel: Forrest-Tomlin updates applied, nonbasic variables
+	// flipped by the long-step dual ratio test, refactorizations forced by
+	// fill growth, unstable updates or pivot drift, and the largest base
+	// factorization's nonzero count. KernelFallbacks counts node solves the
+	// sparse kernel declined to the dense oracle.
+	Updates                  int `json:"updates,omitempty"`
+	BoundFlips               int `json:"boundFlips,omitempty"`
+	AdaptiveRefactorizations int `json:"adaptiveRefactorizations,omitempty"`
+	FactorNnz                int `json:"factorNnz,omitempty"`
+	KernelFallbacks          int `json:"kernelFallbacks,omitempty"`
 	// WarmStarted marks an incremental re-solve that reused a previous
 	// solve's state — a (possibly remapped) root basis snapshot and/or a
 	// repaired incumbent seed; see Prior and the warm entry points
@@ -570,15 +581,18 @@ func (o *Optimizer) fixedSet(existing *model.Deployment) (*model.Deployment, err
 // monitors are considered in sorted order.
 func (o *Optimizer) pruneRedundant(d *model.Deployment, fixed *model.Deployment) {
 	k := o.corroborationLevel()
-	objective := func() float64 { return metrics.CorroboratedUtility(o.idx, d, k) }
-	utility := objective()
+	ev := metrics.NewEvaluator(o.idx)
+	ev.Load(d)
+	utility := ev.CorroboratedUtility(k)
 	for _, id := range d.IDs() {
 		if fixed.Contains(id) {
 			continue
 		}
 		d.Remove(id)
-		if objective() < utility-1e-12 {
+		ev.Remove(id)
+		if ev.CorroboratedUtility(k) < utility-1e-12 {
 			d.Add(id)
+			ev.Add(id)
 		}
 	}
 }
@@ -596,8 +610,14 @@ func (o *Optimizer) pruneRedundant(d *model.Deployment, fixed *model.Deployment)
 func (o *Optimizer) canonicalizeTies(d *model.Deployment, fixed *model.Deployment) {
 	const tol = 1e-9
 	k := o.corroborationLevel()
-	objective := func() float64 { return metrics.CorroboratedUtility(o.idx, d, k) }
+	ev := metrics.NewEvaluator(o.idx)
+	ev.Load(d)
 	all := o.idx.MonitorIDs() // sorted
+	costs := make([]float64, len(all))
+	for i, id := range all {
+		m, _ := o.idx.Monitor(id)
+		costs[i] = m.TotalCost()
+	}
 	for changed := true; changed; {
 		changed = false
 		for _, s := range d.IDs() {
@@ -608,26 +628,29 @@ func (o *Optimizer) canonicalizeTies(d *model.Deployment, fixed *model.Deploymen
 			if !ok {
 				continue
 			}
-			base := objective()
-			for _, u := range all {
+			base := ev.CorroboratedUtility(k)
+			for i, u := range all {
 				if u >= s {
 					break // only strictly earlier replacements shrink the set
 				}
 				if d.Contains(u) {
 					continue
 				}
-				um, _ := o.idx.Monitor(u)
-				if math.Abs(um.TotalCost()-sm.TotalCost()) > tol {
+				if math.Abs(costs[i]-sm.TotalCost()) > tol {
 					continue // cost must be untouched to stay within budget
 				}
 				d.Remove(s)
 				d.Add(u)
-				if math.Abs(objective()-base) <= tol {
+				ev.Remove(s)
+				ev.Add(u)
+				if math.Abs(ev.CorroboratedUtility(k)-base) <= tol {
 					changed = true
 					break
 				}
 				d.Remove(u)
 				d.Add(s)
+				ev.Remove(u)
+				ev.Add(s)
 			}
 		}
 	}
@@ -707,6 +730,12 @@ func newSolveStats(sol *ilp.Solution) SolveStats {
 		Etas:              sol.Etas,
 		Refactorizations:  sol.Refactorizations,
 		DevexResets:       sol.DevexResets,
+
+		Updates:                  sol.Updates,
+		BoundFlips:               sol.BoundFlips,
+		AdaptiveRefactorizations: sol.AdaptiveRefactorizations,
+		FactorNnz:                sol.FactorNnz,
+		KernelFallbacks:          sol.KernelFallbacks,
 	}
 	if len(sol.PerWorker) > 0 {
 		st.PerWorker = make([]WorkerLoad, len(sol.PerWorker))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"secmon/internal/certify"
 	"secmon/internal/ilp"
@@ -258,7 +259,12 @@ func (o *Optimizer) addExpandedCoverage(prob *ilp.Problem, f *formulation, spec 
 
 // requiredEvidence converts an attack's coverage target into a required
 // number of covered evidence items, applying the achievability clamp or
-// reporting infeasibility. A tiny slack absorbs floating-point rounding.
+// reporting infeasibility. The count of covered evidence items any integer
+// deployment attains is integral, so a fractional requirement rounds up to
+// the next integer: the feasible deployments are unchanged while the LP
+// relaxation bound tightens, which prunes branch-and-bound nodes that a
+// fractional right-hand side would leave open. A tiny slack absorbs
+// floating-point rounding on both the product and the row itself.
 func (o *Optimizer) requiredEvidence(aid model.AttackID, targets *CoverageTargets) (float64, error) {
 	ev := o.idx.AttackEvidence(aid)
 	target := targets.Target(aid)
@@ -281,7 +287,7 @@ func (o *Optimizer) requiredEvidence(aid model.AttackID, targets *CoverageTarget
 	if required < 1e-9 {
 		return 0, nil
 	}
-	return required - 1e-9, nil
+	return math.Ceil(required-1e-9) - 1e-9, nil
 }
 
 // monitorIndex locates a monitor's position in the sorted monitor list.

@@ -63,6 +63,10 @@ func TestKernelEquivalenceCaseStudy(t *testing.T) {
 		t.Fatalf("case study: %v", err)
 	}
 	total := idx.System().TotalMonitorCost()
+	kernels := []struct {
+		name string
+		k    lp.Kernel
+	}{{"eta", lp.KernelEta}, {"lu", lp.KernelLU}}
 	for _, frac := range []float64{0.25, 0.55} {
 		budget := total * frac
 		for _, mode := range solverFeatureModes {
@@ -73,12 +77,14 @@ func TestKernelEquivalenceCaseStudy(t *testing.T) {
 				if err != nil {
 					t.Fatalf("dense %s MaxUtility(%v): %v", label, budget, err)
 				}
-				sparse, err := NewOptimizer(idx, WithWorkers(w), WithKernel(lp.KernelSparse),
-					WithSolverOptions(mode.opts...)).MaxUtility(budget)
-				if err != nil {
-					t.Fatalf("sparse %s MaxUtility(%v): %v", label, budget, err)
+				for _, kr := range kernels {
+					sparse, err := NewOptimizer(idx, WithWorkers(w), WithKernel(kr.k),
+						WithSolverOptions(mode.opts...)).MaxUtility(budget)
+					if err != nil {
+						t.Fatalf("%s %s MaxUtility(%v): %v", kr.name, label, budget, err)
+					}
+					checkKernelAgreement(t, idx, kr.name+" "+label, budget, sparse, dense)
 				}
-				checkKernelAgreement(t, idx, label, budget, sparse, dense)
 			}
 		}
 	}
@@ -112,24 +118,48 @@ func TestKernelCounters(t *testing.T) {
 	idx := synthIndex(t, synth.Config{Seed: 7, Monitors: 60, Attacks: 40})
 	budget := idx.System().TotalMonitorCost() * 0.3
 
-	sparse, err := NewOptimizer(idx, WithWorkers(1)).MaxUtility(budget)
+	// Pin the LU kernel: this instance sits below the auto-kernel dimension
+	// crossover, where an unpinned solve would legitimately run the eta
+	// kernel and report eta counters instead.
+	sparse, err := NewOptimizer(idx, WithWorkers(1), WithKernel(lp.KernelLU)).MaxUtility(budget)
 	if err != nil {
 		t.Fatalf("sparse MaxUtility: %v", err)
 	}
-	if sparse.Stats.Etas == 0 {
-		t.Errorf("sparse kernel reported zero etas over %d LP iterations", sparse.Stats.LPIterations)
+	// The LU kernel's pivots apply Forrest-Tomlin updates, never etas.
+	if sparse.Stats.Updates == 0 {
+		t.Errorf("LU kernel reported zero updates over %d LP iterations", sparse.Stats.LPIterations)
 	}
 	if sparse.Stats.Refactorizations == 0 {
-		t.Errorf("sparse kernel reported zero refactorizations across %d nodes", sparse.Stats.Nodes)
+		t.Errorf("LU kernel reported zero refactorizations across %d nodes", sparse.Stats.Nodes)
+	}
+	if sparse.Stats.FactorNnz == 0 {
+		t.Errorf("LU kernel reported zero factorization nonzeros")
+	}
+	if sparse.Stats.Etas != 0 {
+		t.Errorf("LU kernel reported %d etas", sparse.Stats.Etas)
+	}
+
+	eta, err := NewOptimizer(idx, WithWorkers(1), WithKernel(lp.KernelEta)).MaxUtility(budget)
+	if err != nil {
+		t.Fatalf("eta MaxUtility: %v", err)
+	}
+	if eta.Stats.Etas == 0 {
+		t.Errorf("eta kernel reported zero etas over %d LP iterations", eta.Stats.LPIterations)
+	}
+	if eta.Stats.Updates != 0 || eta.Stats.FactorNnz != 0 || eta.Stats.BoundFlips != 0 {
+		t.Errorf("eta kernel reported LU counters: updates=%d factorNnz=%d boundFlips=%d",
+			eta.Stats.Updates, eta.Stats.FactorNnz, eta.Stats.BoundFlips)
 	}
 
 	dense, err := NewOptimizer(idx, WithWorkers(1), WithDenseKernel()).MaxUtility(budget)
 	if err != nil {
 		t.Fatalf("dense MaxUtility: %v", err)
 	}
-	if dense.Stats.Etas != 0 || dense.Stats.Refactorizations != 0 || dense.Stats.DevexResets != 0 {
-		t.Errorf("dense kernel reported sparse counters: etas=%d refactorizations=%d devexResets=%d",
-			dense.Stats.Etas, dense.Stats.Refactorizations, dense.Stats.DevexResets)
+	if dense.Stats.Etas != 0 || dense.Stats.Refactorizations != 0 || dense.Stats.DevexResets != 0 ||
+		dense.Stats.Updates != 0 || dense.Stats.BoundFlips != 0 || dense.Stats.FactorNnz != 0 {
+		t.Errorf("dense kernel reported sparse counters: etas=%d refactorizations=%d devexResets=%d updates=%d boundFlips=%d factorNnz=%d",
+			dense.Stats.Etas, dense.Stats.Refactorizations, dense.Stats.DevexResets,
+			dense.Stats.Updates, dense.Stats.BoundFlips, dense.Stats.FactorNnz)
 	}
 }
 

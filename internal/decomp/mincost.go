@@ -36,7 +36,8 @@ func MinCost(idx *model.Index, required map[model.AttackID]float64, fixed *model
 	}
 
 	// Attacks follow their evidence: the clique coupling guarantees every
-	// evidence item of an attack shares one component.
+	// evidence item of an attack shares one component. The data-type index
+	// map is built once and shared read-only by every segment solve.
 	dataIdx := make(map[model.DataTypeID]int, len(in.data))
 	for i, d := range in.data {
 		dataIdx[d] = i
@@ -85,7 +86,7 @@ func MinCost(idx *model.Index, required map[model.AttackID]float64, fixed *model
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outs[s] = solveMinCostSegment(in, idx, part, s, segAttacks[s], required, cfg)
+			outs[s] = solveMinCostSegment(in, idx, part, dataIdx, s, segAttacks[s], required, cfg)
 		}(s)
 	}
 	wg.Wait()
@@ -142,7 +143,7 @@ func MinCost(idx *model.Index, required map[model.AttackID]float64, fixed *model
 
 // solveMinCostSegment builds and solves the compact MinCost formulation
 // restricted to one component's monitors, data types and attacks.
-func solveMinCostSegment(in *instance, idx *model.Index, part *graph.IndexPartition, s int, attacks []model.AttackID, required map[model.AttackID]float64, cfg Config) (out struct {
+func solveMinCostSegment(in *instance, idx *model.Index, part *graph.IndexPartition, dataIdx map[model.DataTypeID]int, s int, attacks []model.AttackID, required map[model.AttackID]float64, cfg Config) (out struct {
 	sol *ilp.Solution
 	xv  []lp.VarID
 	mon []int
@@ -195,10 +196,6 @@ func solveMinCostSegment(in *instance, idx *model.Index, part *graph.IndexPartit
 		}
 	}
 
-	dataIdx := make(map[model.DataTypeID]int, len(in.data))
-	for i, d := range in.data {
-		dataIdx[d] = i
-	}
 	for _, aid := range attacks {
 		var terms []lp.Term
 		for _, e := range idx.AttackEvidence(aid) {
@@ -212,7 +209,7 @@ func solveMinCostSegment(in *instance, idx *model.Index, part *graph.IndexPartit
 		}
 	}
 
-	if seed := greedyMinCostSeed(in, idx, part, s, attacks, required, zOf); seed != nil {
+	if seed := greedyMinCostSeed(in, idx, part, dataIdx, s, attacks, required, zOf); seed != nil {
 		x := make([]float64, len(out.mon)+len(zOf))
 		zPos := make(map[int]int, len(zOf))
 		pos := len(out.mon)
@@ -246,18 +243,12 @@ func solveMinCostSegment(in *instance, idx *model.Index, part *graph.IndexPartit
 // costliest first. A tight incumbent lets the exact solve prune instead of
 // search; returns nil when greedy cannot reach feasibility (the ILP then
 // decides feasibility itself).
-func greedyMinCostSeed(in *instance, idx *model.Index, part *graph.IndexPartition, s int, attacks []model.AttackID, required map[model.AttackID]float64, zOf map[int]lp.VarID) map[int]bool {
-	dataIdx := make(map[model.DataTypeID]int, len(in.data))
-	for i, d := range in.data {
-		dataIdx[d] = i
-	}
+func greedyMinCostSeed(in *instance, idx *model.Index, part *graph.IndexPartition, dataIdx map[model.DataTypeID]int, s int, attacks []model.AttackID, required map[model.AttackID]float64, zOf map[int]lp.VarID) map[int]bool {
 	// need[d] lists attacks short on coverage that count data type d.
-	attOf := make(map[model.AttackID]int, len(attacks))
 	short := make([]float64, len(attacks))
 	evs := make([][]int, len(attacks))
 	usedBy := make(map[int][]int) // data index -> attack positions counting it
 	for i, aid := range attacks {
-		attOf[aid] = i
 		short[i] = required[aid]
 		for _, e := range idx.AttackEvidence(aid) {
 			d := dataIdx[e]

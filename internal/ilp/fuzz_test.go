@@ -197,12 +197,13 @@ func FuzzSolveMatchesEnumeration(f *testing.F) {
 			t.Fatalf("Enumerate: %v", err)
 		}
 
-		// Both LP kernels must agree with the enumeration oracle.
+		// Every LP kernel must agree with the enumeration oracle.
 		for _, kernel := range []struct {
 			name string
 			opt  Option
 		}{
-			{"sparse", WithKernel(lp.KernelSparse)},
+			{"lu", WithKernel(lp.KernelLU)},
+			{"eta", WithKernel(lp.KernelEta)},
 			{"dense", WithDenseKernel()},
 		} {
 			p2, vars2, _ := inst.build()

@@ -234,12 +234,25 @@ type Solution struct {
 	CertificateNote string
 	// Etas, Refactorizations and DevexResets aggregate the sparse
 	// revised-simplex kernel's effort across every node solve: eta vectors
-	// appended to the basis factorization, from-scratch refactorizations,
-	// and devex reference-framework resets. All three are zero when the
-	// dense tableau kernel ran.
+	// appended to the basis factorization (eta kernel only), from-scratch
+	// refactorizations, and devex reference-framework resets. All are zero
+	// when the dense tableau kernel ran.
 	Etas             int
 	Refactorizations int
 	DevexResets      int
+	// Updates, BoundFlips, AdaptiveRefactorizations and FactorNnz are the
+	// LU kernel's counters summed across node solves (FactorNnz keeps the
+	// largest factorization): Forrest-Tomlin updates applied, nonbasic
+	// variables flipped across their boxes by the long-step dual ratio
+	// test, refactorizations forced by fill growth / unstable updates /
+	// pivot drift rather than the fixed update budget, and the nonzero
+	// count of the base L+U+R factors. KernelFallbacks counts node solves
+	// the sparse kernel declined to the dense oracle.
+	Updates                  int
+	BoundFlips               int
+	AdaptiveRefactorizations int
+	FactorNnz                int
+	KernelFallbacks          int
 	// RootBasis is the final root-relaxation basis snapshot (nil when warm
 	// starts were disabled or the root never solved). Coordinator loops that
 	// re-solve the same problem under perturbed objectives or bounds feed it
@@ -248,21 +261,39 @@ type Solution struct {
 }
 
 // kernelStats accumulates the sparse-kernel effort counters carried on
-// every lp.Solution (all zero under the dense kernel).
+// every lp.Solution (all zero under the dense kernel). Counts sum across
+// node solves except factorNnz, which keeps the largest factorization seen.
 type kernelStats struct {
 	etas, refactorizations, devexResets int
+	updates, boundFlips                 int
+	adaptiveRefacs, kernelFallbacks     int
+	factorNnz                           int
 }
 
 func (k *kernelStats) add(sol *lp.Solution) {
 	k.etas += sol.Etas
 	k.refactorizations += sol.Refactorizations
 	k.devexResets += sol.DevexResets
+	k.updates += sol.Updates
+	k.boundFlips += sol.BoundFlips
+	k.adaptiveRefacs += sol.AdaptiveRefactorizations
+	k.kernelFallbacks += sol.KernelFallbacks
+	if sol.FactorNnz > k.factorNnz {
+		k.factorNnz = sol.FactorNnz
+	}
 }
 
 func (k *kernelStats) merge(o kernelStats) {
 	k.etas += o.etas
 	k.refactorizations += o.refactorizations
 	k.devexResets += o.devexResets
+	k.updates += o.updates
+	k.boundFlips += o.boundFlips
+	k.adaptiveRefacs += o.adaptiveRefacs
+	k.kernelFallbacks += o.kernelFallbacks
+	if o.factorNnz > k.factorNnz {
+		k.factorNnz = o.factorNnz
+	}
 }
 
 // WarmHitRate is the fraction of warm-start attempts the dual simplex
@@ -476,12 +507,22 @@ func WithWorkers(n int) Option {
 }
 
 // node is an open branch-and-bound subproblem, defined by bounds on the
-// integer variables.
+// integer variables. Root-style nodes (the tree root and the transient
+// nodes built by the diving heuristic) carry full lo/hi arrays; branched
+// children instead record the single bound changed relative to their parent
+// and materialize the full box on demand. The delta representation matters:
+// bound clones used to dominate the search's allocation profile, and a
+// child node is now a fixed-size object regardless of variable count.
 type node struct {
-	lo, hi []float64 // per integer variable, parallel to Problem.integer
-	bound  float64   // LP relaxation bound inherited from the parent
-	depth  int
-	seq    int // insertion order; later nodes win ties (plunging)
+	lo, hi []float64 // full bounds, parallel to Problem.integer; nil on branched children
+	parent *node     // chain to the nearest root-style ancestor; nil when lo/hi are set
+	bvar   int       // branched integer-variable index (chain nodes only)
+	bup    bool      // true: lo[bvar] raised to bval; false: hi[bvar] lowered to bval
+	bval   float64
+
+	bound float64 // LP relaxation bound inherited from the parent
+	depth int
+	seq   int // insertion order; later nodes win ties (plunging)
 
 	// basis is the parent's optimal basis: the child differs by one bound,
 	// so the dual simplex usually re-solves it in a handful of pivots. The
@@ -599,6 +640,13 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 		// Reuse the prep workspace: it already holds the factorization of
 		// the final root basis, so the first child re-solves warm.
 		s.lpOpts = append(append([]lp.Option{}, cfg.lpOptions...), lp.WithWorkspace(pr.ws))
+		if cfg.cert == nil {
+			// Node relaxation solutions are consumed immediately (branch
+			// value, incumbent snap, basis capture), so let the LP kernel
+			// recycle the result storage. Certified solves are excluded:
+			// the collector retains each node's dual vector.
+			s.lpOpts = append(s.lpOpts, lp.WithVolatileSolution())
+		}
 		s.warmOpts = append(append([]lp.Option{}, s.lpOpts...), lp.WithWarmStart(nil))
 	}
 	return s.run(pr)
@@ -611,6 +659,7 @@ type search struct {
 	work     *lp.Problem // mutated in place as nodes are explored
 	lpOpts   []lp.Option // cfg.lpOptions plus the reusable simplex workspace
 	warmOpts []lp.Option // lpOpts with a WithWarmStart slot appended
+	bsc      *boundScratch
 	started  time.Time
 	prep     *rootPrep
 
@@ -700,7 +749,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		// A node whose inherited bound cannot beat the incumbent is pruned
 		// without an LP solve.
 		if s.hasInc && nd.bound <= s.incObj+s.pruneSlack() {
-			s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+			certLeafBound(s.cfg.cert, nd)
 			continue
 		}
 
@@ -719,7 +768,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 
 		switch sol.Status {
 		case lp.StatusInfeasible:
-			s.cfg.cert.leafInfeasible(nd.certID, nd.lo, nd.hi)
+			certLeafInfeasible(s.cfg.cert, nd)
 			continue
 		case lp.StatusUnbounded:
 			// The root (handled in prepareRoot) is bounded, and bounded
@@ -738,7 +787,7 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		bound := s.toMax(sol.Objective)
 		s.observePseudoCost(nd, bound)
 		if s.hasInc && bound <= s.incObj+s.pruneSlack() {
-			s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+			certLeafBound(s.cfg.cert, nd)
 			continue
 		}
 
@@ -746,12 +795,15 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 		if branchVar < 0 {
 			// Integral: new incumbent.
 			s.offerIncumbent(sol.X)
-			s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+			certLeafBound(s.cfg.cert, nd)
 			continue
 		}
 
 		// This node's optimal basis warm-starts its children and dives.
 		nd.basis = sol.Basis
+		// Read the branch value now: sol may be a volatile solution whose
+		// backing arrays the dive's re-solves recycle.
+		frac := sol.X[s.prob.integer[branchVar]]
 
 		// Dive until a first incumbent exists: without one, best-first
 		// cannot prune and degrades into breadth-first over bound
@@ -768,12 +820,11 @@ func (s *search) run(pr *rootPrep) (*Solution, error) {
 				return nil, err
 			}
 			if s.hasInc && bound <= s.incObj+s.pruneSlack() {
-				s.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+				certLeafBound(s.cfg.cert, nd)
 				continue
 			}
 		}
 
-		frac := sol.X[s.prob.integer[branchVar]]
 		down, up := s.childNodes(nd, branchVar, frac, bound)
 		fracPart := frac - math.Floor(frac)
 		down.branchedVar, down.branchedUp, down.branchedFrac = branchVar, false, fracPart
@@ -849,10 +900,82 @@ func toMaxForm(maximize bool, obj float64) float64 {
 	return -obj
 }
 
+// boundScratch is reusable storage for materializing a node's bounds: one
+// lo/hi pair sized to the integer-variable count plus the ancestor-walk
+// stack. Each sequential search (and each parallel worker) owns one, so no
+// locking is needed.
+type boundScratch struct {
+	lo, hi []float64
+	chain  []*node
+}
+
+func newBoundScratch(nInt int) *boundScratch {
+	return &boundScratch{lo: make([]float64, nInt), hi: make([]float64, nInt)}
+}
+
+// materializeBounds writes nd's full integer box into lo/hi: the nearest
+// root-style ancestor's arrays overlaid with the branch deltas along the
+// chain, applied root-to-leaf so a deeper re-branching of the same variable
+// wins. The chain scratch is returned for reuse.
+func materializeBounds(nd *node, lo, hi []float64, chain []*node) []*node {
+	chain = chain[:0]
+	r := nd
+	for r.lo == nil {
+		chain = append(chain, r)
+		r = r.parent
+	}
+	copy(lo, r.lo)
+	copy(hi, r.hi)
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		if c.bup {
+			lo[c.bvar] = c.bval
+		} else {
+			hi[c.bvar] = c.bval
+		}
+	}
+	return chain
+}
+
+// cloneBounds materializes nd's bounds into freshly allocated arrays, for
+// consumers outside the hot path (certificate leaves).
+func (nd *node) cloneBounds() (lo, hi []float64) {
+	r := nd
+	for r.lo == nil {
+		r = r.parent
+	}
+	lo = make([]float64, len(r.lo))
+	hi = make([]float64, len(r.hi))
+	materializeBounds(nd, lo, hi, nil)
+	return lo, hi
+}
+
+// certLeafBound records a bound-pruned leaf with the certificate collector,
+// materializing the node's bounds only when a collector is present.
+func certLeafBound(c *certCollector, nd *node) {
+	if c == nil {
+		return
+	}
+	lo, hi := nd.cloneBounds()
+	c.leafBound(nd.certID, nd.certDual, lo, hi)
+}
+
+// certLeafInfeasible records an infeasible leaf with the certificate
+// collector, materializing the node's bounds only when a collector is
+// present.
+func certLeafInfeasible(c *certCollector, nd *node) {
+	if c == nil {
+		return
+	}
+	lo, hi := nd.cloneBounds()
+	c.leafInfeasible(nd.certID, lo, hi)
+}
+
 // applyNodeBounds writes the node's integer bounds into a working problem.
-func applyNodeBounds(work *lp.Problem, integer []lp.VarID, nd *node) error {
+func applyNodeBounds(work *lp.Problem, integer []lp.VarID, nd *node, sc *boundScratch) error {
+	sc.chain = materializeBounds(nd, sc.lo, sc.hi, sc.chain)
 	for k, v := range integer {
-		if err := work.SetVariableBounds(v, nd.lo[k], nd.hi[k]); err != nil {
+		if err := work.SetVariableBounds(v, sc.lo[k], sc.hi[k]); err != nil {
 			return fmt.Errorf("ilp: apply node bounds: %w", err)
 		}
 	}
@@ -863,7 +986,10 @@ func applyNodeBounds(work *lp.Problem, integer []lp.VarID, nd *node) error {
 // and solves the LP relaxation, warm-starting from the node's parent basis
 // when one is available.
 func (s *search) solveRelaxation(nd *node) (*lp.Solution, error) {
-	if err := applyNodeBounds(s.work, s.prob.integer, nd); err != nil {
+	if s.bsc == nil {
+		s.bsc = newBoundScratch(len(s.prob.integer))
+	}
+	if err := applyNodeBounds(s.work, s.prob.integer, nd, s.bsc); err != nil {
 		return nil, err
 	}
 	opts := s.lpOpts
@@ -928,23 +1054,28 @@ func pickBranch(prob *Problem, cfg *options, x []float64, pc func(int) (float64,
 // childNodes creates the floor/ceil children for branching variable k at
 // fractional value frac.
 func (s *search) childNodes(parent *node, k int, frac, bound float64) (down, up *node) {
-	mkChild := func() *node {
-		lo := make([]float64, len(parent.lo))
-		hi := make([]float64, len(parent.hi))
-		copy(lo, parent.lo)
-		copy(hi, parent.hi)
-		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1, basis: parent.basis}
-	}
-	down = mkChild()
-	down.hi[k] = math.Floor(frac)
+	down, up = makeChildren(parent, k, frac, bound, s.cfg.cert)
 	down.seq = s.nextSeq()
-	up = mkChild()
-	up.lo[k] = math.Ceil(frac)
 	up.seq = s.nextSeq()
-	if c := s.cfg.cert; c != nil {
+	return down, up
+}
+
+// makeChildren builds the floor/ceil children of a branched node as bound
+// deltas chained to the parent; shared by the sequential and parallel
+// searches. The parent's basis pointer moves to the children and is cleared
+// on the parent: children warm-start from it directly, and keeping it on
+// every interior chain node would pin one basis snapshot per ancestor for
+// the life of the subtree.
+func makeChildren(parent *node, k int, frac, bound float64, c *certCollector) (down, up *node) {
+	down = &node{parent: parent, bvar: k, bup: false, bval: math.Floor(frac),
+		bound: bound, depth: parent.depth + 1, basis: parent.basis}
+	up = &node{parent: parent, bvar: k, bup: true, bval: math.Ceil(frac),
+		bound: bound, depth: parent.depth + 1, basis: parent.basis}
+	if c != nil {
 		down.certID, up.certID = c.recordBranch(parent.certID, k, frac)
 		down.certDual, up.certDual = parent.certDual, parent.certDual
 	}
+	parent.basis = nil
 	return down, up
 }
 
@@ -1052,10 +1183,9 @@ func diveFrom(prob *Problem, cfg *options, nd *node, x []float64,
 func diveWithCutoff(prob *Problem, cfg *options, nd *node, x []float64, cutoff float64,
 	solve func(*node) (*lp.Solution, error), offer func([]float64)) error {
 	maximize := prob.lp.Sense() == lp.Maximize
-	lo := make([]float64, len(nd.lo))
-	hi := make([]float64, len(nd.hi))
-	copy(lo, nd.lo)
-	copy(hi, nd.hi)
+	lo := make([]float64, len(prob.integer))
+	hi := make([]float64, len(prob.integer))
+	materializeBounds(nd, lo, hi, nil)
 	chain := nd.basis // each dive step warm-starts from the previous optimum
 	cur := x
 	acceptable := func(sol *lp.Solution) bool {
@@ -1138,6 +1268,12 @@ func (s *search) finish(status Status) *Solution {
 		Etas:             s.kstats.etas,
 		Refactorizations: s.kstats.refactorizations,
 		DevexResets:      s.kstats.devexResets,
+
+		Updates:                  s.kstats.updates,
+		BoundFlips:               s.kstats.boundFlips,
+		AdaptiveRefactorizations: s.kstats.adaptiveRefacs,
+		FactorNnz:                s.kstats.factorNnz,
+		KernelFallbacks:          s.kstats.kernelFallbacks,
 	}
 	if pr := s.prep; pr != nil {
 		sol.PresolveFixed = pr.presolveFixed

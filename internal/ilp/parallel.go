@@ -76,6 +76,7 @@ type pworker struct {
 	work     *lp.Problem
 	lpOpts   []lp.Option
 	warmOpts []lp.Option // lpOpts with a WithWarmStart slot appended
+	bsc      *boundScratch
 
 	nodes   int
 	lpIters int
@@ -159,6 +160,13 @@ func (ps *parallelSearch) runWorker(id int) {
 		ps:     ps,
 		work:   ps.prep.work.Clone(), // includes any root cut rows
 		lpOpts: append(append([]lp.Option{}, ps.cfg.lpOptions...), lp.WithWorkspace(lp.NewWorkspace())),
+		bsc:    newBoundScratch(len(ps.prob.integer)),
+	}
+	if ps.cfg.cert == nil {
+		// Same reasoning as the sequential search: node solutions are
+		// consumed before the next solve on this worker's workspace, and
+		// certified solves (which retain node duals) are excluded.
+		w.lpOpts = append(w.lpOpts, lp.WithVolatileSolution())
 	}
 	w.warmOpts = append(append([]lp.Option{}, w.lpOpts...), lp.WithWarmStart(nil))
 	for {
@@ -211,7 +219,7 @@ func (ps *parallelSearch) acquire() (*node, bool) {
 			// A node whose inherited bound cannot beat the incumbent is
 			// pruned without an LP solve.
 			if ps.hasInc && nd.bound <= ps.incObj+pruneSlackFor(&ps.cfg, ps.incObj) {
-				ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+				certLeafBound(ps.cfg.cert, nd)
 				continue
 			}
 			ps.inFlight++
@@ -342,26 +350,12 @@ func (ps *parallelSearch) pseudoCost(k int) (down, up float64) {
 // (nearest-rounding) child last so the frontier tie-break plunges into it
 // first, exactly like the sequential search.
 func (ps *parallelSearch) pushChildren(parent *node, k int, frac, bound float64) {
-	mkChild := func() *node {
-		lo := make([]float64, len(parent.lo))
-		hi := make([]float64, len(parent.hi))
-		copy(lo, parent.lo)
-		copy(hi, parent.hi)
-		return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1, basis: parent.basis}
-	}
-	down := mkChild()
-	down.hi[k] = math.Floor(frac)
-	up := mkChild()
-	up.lo[k] = math.Ceil(frac)
+	// Safe without ps.mu: the collector has its own lock and never
+	// acquires the search's, so no ordering cycle is possible.
+	down, up := makeChildren(parent, k, frac, bound, ps.cfg.cert)
 	fracPart := frac - math.Floor(frac)
 	down.branchedVar, down.branchedUp, down.branchedFrac = k, false, fracPart
 	up.branchedVar, up.branchedUp, up.branchedFrac = k, true, fracPart
-	if c := ps.cfg.cert; c != nil {
-		// Safe without ps.mu: the collector has its own lock and never
-		// acquires the search's, so no ordering cycle is possible.
-		down.certID, up.certID = c.recordBranch(parent.certID, k, frac)
-		down.certDual, up.certDual = parent.certDual, parent.certDual
-	}
 
 	first, second := up, down
 	if fracPart > 0.5 {
@@ -383,7 +377,7 @@ func (ps *parallelSearch) pushChildren(parent *node, k int, frac, bound float64)
 // when one is available (basis snapshots are immutable and shared across
 // workers; each worker restores them into its own workspace).
 func (w *pworker) solveRelaxation(nd *node) (*lp.Solution, error) {
-	if err := applyNodeBounds(w.work, w.ps.prob.integer, nd); err != nil {
+	if err := applyNodeBounds(w.work, w.ps.prob.integer, nd, w.bsc); err != nil {
 		return nil, err
 	}
 	opts := w.lpOpts
@@ -426,7 +420,7 @@ func (w *pworker) process(nd *node) error {
 
 	switch sol.Status {
 	case lp.StatusInfeasible:
-		ps.cfg.cert.leafInfeasible(nd.certID, nd.lo, nd.hi)
+		certLeafInfeasible(ps.cfg.cert, nd)
 		return nil
 	case lp.StatusUnbounded:
 		// The root (handled in prepareRoot) is bounded, and bounded
@@ -446,7 +440,7 @@ func (w *pworker) process(nd *node) error {
 	ps.observePseudoCost(nd, bound)
 	hasInc, incObj := ps.incumbentView()
 	if hasInc && bound <= incObj+pruneSlackFor(&ps.cfg, incObj) {
-		ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+		certLeafBound(ps.cfg.cert, nd)
 		return nil
 	}
 
@@ -454,12 +448,15 @@ func (w *pworker) process(nd *node) error {
 	if branchVar < 0 {
 		// Integral: publish a new incumbent.
 		ps.offerIncumbent(w.work, sol.X)
-		ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+		certLeafBound(ps.cfg.cert, nd)
 		return nil
 	}
 
 	// This node's optimal basis warm-starts its children and dives.
 	nd.basis = sol.Basis
+	// Read the branch value now: sol may be a volatile solution whose
+	// backing arrays the dive's re-solves recycle.
+	frac := sol.X[ps.prob.integer[branchVar]]
 
 	// Dive until a first incumbent exists: without one, best-first cannot
 	// prune and degrades into breadth-first over bound plateaus. (The root
@@ -470,12 +467,11 @@ func (w *pworker) process(nd *node) error {
 			return err
 		}
 		if h, inc := ps.incumbentView(); h && bound <= inc+pruneSlackFor(&ps.cfg, inc) {
-			ps.cfg.cert.leafBound(nd.certID, nd.certDual, nd.lo, nd.hi)
+			certLeafBound(ps.cfg.cert, nd)
 			return nil
 		}
 	}
 
-	frac := sol.X[ps.prob.integer[branchVar]]
 	ps.pushChildren(nd, branchVar, frac, bound)
 	return nil
 }
@@ -498,26 +494,31 @@ func (ps *parallelSearch) assemble() *Solution {
 		warmHits += st.WarmHits
 	}
 	sol := &Solution{
-		Nodes:             ps.nodes,
-		LPIterations:      lpIters,
-		Elapsed:           time.Since(ps.started),
-		RootObjective:     ps.rootObjective,
-		RootDuals:         ps.rootDuals,
-		Workers:           ps.workers,
-		PerWorker:         ps.stats,
-		WarmAttempts:      warmAttempts,
-		WarmHits:          warmHits,
-		WarmIterations:    ps.warmIters + pr.warmIters,
-		ColdIterations:    ps.coldIters + pr.coldIters,
-		ColdSolves:        ps.coldSolves + pr.coldSolves,
-		PresolveFixed:     pr.presolveFixed,
-		PresolveTightened: pr.presolveTightened,
-		CutsAdded:         pr.cutsAdded,
-		CutsActive:        pr.cutsActive,
-		Etas:              ps.kstats.etas + pr.kstats.etas,
-		Refactorizations:  ps.kstats.refactorizations + pr.kstats.refactorizations,
-		DevexResets:       ps.kstats.devexResets + pr.kstats.devexResets,
-		RootBasis:         pr.basis,
+		Nodes:                    ps.nodes,
+		LPIterations:             lpIters,
+		Elapsed:                  time.Since(ps.started),
+		RootObjective:            ps.rootObjective,
+		RootDuals:                ps.rootDuals,
+		Workers:                  ps.workers,
+		PerWorker:                ps.stats,
+		WarmAttempts:             warmAttempts,
+		WarmHits:                 warmHits,
+		WarmIterations:           ps.warmIters + pr.warmIters,
+		ColdIterations:           ps.coldIters + pr.coldIters,
+		ColdSolves:               ps.coldSolves + pr.coldSolves,
+		PresolveFixed:            pr.presolveFixed,
+		PresolveTightened:        pr.presolveTightened,
+		CutsAdded:                pr.cutsAdded,
+		CutsActive:               pr.cutsActive,
+		Etas:                     ps.kstats.etas + pr.kstats.etas,
+		Refactorizations:         ps.kstats.refactorizations + pr.kstats.refactorizations,
+		DevexResets:              ps.kstats.devexResets + pr.kstats.devexResets,
+		Updates:                  ps.kstats.updates + pr.kstats.updates,
+		BoundFlips:               ps.kstats.boundFlips + pr.kstats.boundFlips,
+		AdaptiveRefactorizations: ps.kstats.adaptiveRefacs + pr.kstats.adaptiveRefacs,
+		FactorNnz:                max(ps.kstats.factorNnz, pr.kstats.factorNnz),
+		KernelFallbacks:          ps.kstats.kernelFallbacks + pr.kstats.kernelFallbacks,
+		RootBasis:                pr.basis,
 	}
 	sol.Interrupted = ps.interrupted
 	if ps.hasInc {

@@ -114,8 +114,9 @@ func prepareRoot(p *Problem, cfg *options, started time.Time) (*rootPrep, error)
 	// solve re-solves the root problem under the given integer boxes,
 	// accumulating iteration and warm-start accounting exactly like the
 	// search loops do.
+	bsc := newBoundScratch(len(p.integer))
 	solve := func(lo, hi []float64, basis *lp.Basis) (*lp.Solution, error) {
-		if err := applyNodeBounds(pr.work, p.integer, &node{lo: lo, hi: hi}); err != nil {
+		if err := applyNodeBounds(pr.work, p.integer, &node{lo: lo, hi: hi}, bsc); err != nil {
 			return nil, err
 		}
 		opts := append(append([]lp.Option{}, cfg.lpOptions...), lp.WithWorkspace(pr.ws))

@@ -146,11 +146,13 @@ func checkDualConsistency(t *testing.T, p *Problem, sol *Solution, kernel string
 	}
 }
 
-// FuzzSparseMatchesDense cross-checks the sparse revised simplex against the
-// dense oracle on random bounded LPs: statuses must agree, optimal
-// objectives must match, and each kernel's primal solution and duals must
+// FuzzSparseMatchesDense cross-checks both sparse revised-simplex kernels —
+// the LU default and the retained eta oracle — against the dense tableau on
+// random bounded LPs: statuses must agree three ways, optimal objectives
+// must match, and each kernel's primal solution and duals must
 // independently satisfy feasibility, the reduced-cost identity and the
-// optimality sign conditions.
+// optimality sign conditions. Warm-started re-solves across kernel pairs
+// exercise the shared Basis snapshot layout.
 func FuzzSparseMatchesDense(f *testing.F) {
 	// Seeds spanning the generator's shapes: a knapsack, a >= row forcing
 	// the dual-flip start, an = row, an infinite upper bound (dense
@@ -176,37 +178,56 @@ func FuzzSparseMatchesDense(f *testing.F) {
 		if err != nil {
 			t.Skip() // structurally degenerate instance
 		}
-		sparse, err := p.Clone().Solve(WithSparseKernel())
+		lu, err := p.Clone().Solve(WithKernel(KernelLU))
 		if err != nil {
-			t.Fatalf("sparse Solve: %v (dense says %v)", err, dense.Status)
+			t.Fatalf("lu Solve: %v (dense says %v)", err, dense.Status)
 		}
-		if dense.Status == StatusIterationLimit || sparse.Status == StatusIterationLimit {
+		eta, err := p.Clone().Solve(WithEtaKernel())
+		if err != nil {
+			t.Fatalf("eta Solve: %v (dense says %v)", err, dense.Status)
+		}
+		if dense.Status == StatusIterationLimit || lu.Status == StatusIterationLimit ||
+			eta.Status == StatusIterationLimit {
 			t.Skip()
 		}
-		if dense.Status != sparse.Status {
-			t.Fatalf("status mismatch: sparse %v, dense %v", sparse.Status, dense.Status)
+		if dense.Status != lu.Status || dense.Status != eta.Status {
+			t.Fatalf("status mismatch: lu %v, eta %v, dense %v", lu.Status, eta.Status, dense.Status)
 		}
 		if dense.Status != StatusOptimal {
 			return
 		}
 		scale := 1 + math.Abs(dense.Objective)
-		if math.Abs(dense.Objective-sparse.Objective) > 1e-6*scale {
-			t.Fatalf("objective mismatch: sparse %v, dense %v", sparse.Objective, dense.Objective)
+		for _, k := range []struct {
+			name string
+			sol  *Solution
+		}{{"dense", dense}, {"lu", lu}, {"eta", eta}} {
+			if math.Abs(dense.Objective-k.sol.Objective) > 1e-6*scale {
+				t.Fatalf("objective mismatch: %s %v, dense %v", k.name, k.sol.Objective, dense.Objective)
+			}
+			checkPrimalFeasible(t, p, k.sol.X, k.name)
+			checkDualConsistency(t, p, k.sol, k.name)
 		}
-		checkPrimalFeasible(t, p, dense.X, "dense")
-		checkPrimalFeasible(t, p, sparse.X, "sparse")
-		checkDualConsistency(t, p, dense, "dense")
-		checkDualConsistency(t, p, sparse, "sparse")
 
-		// Warm-started re-solves from the other kernel's captured basis
-		// must agree too: the stable layout is shared.
-		wsol, err := p.Clone().Solve(WithSparseKernel(), WithWarmStart(dense.Basis))
-		if err != nil {
-			t.Fatalf("sparse warm Solve: %v", err)
+		// Warm-started re-solves across kernel pairs must agree too: the
+		// Basis snapshot layout is shared by all three.
+		warms := []struct {
+			name string
+			opt  Option
+			from *Basis
+		}{
+			{"lu from dense", WithKernel(KernelLU), dense.Basis},
+			{"lu from eta", WithKernel(KernelLU), eta.Basis},
+			{"eta from lu", WithEtaKernel(), lu.Basis},
 		}
-		if wsol.Status != StatusOptimal || math.Abs(wsol.Objective-dense.Objective) > 1e-6*scale {
-			t.Fatalf("sparse warm from dense basis: status %v objective %v, want optimal %v",
-				wsol.Status, wsol.Objective, dense.Objective)
+		for _, w := range warms {
+			wsol, err := p.Clone().Solve(w.opt, WithWarmStart(w.from))
+			if err != nil {
+				t.Fatalf("%s warm Solve: %v", w.name, err)
+			}
+			if wsol.Status != StatusOptimal || math.Abs(wsol.Objective-dense.Objective) > 1e-6*scale {
+				t.Fatalf("%s warm basis: status %v objective %v, want optimal %v",
+					w.name, wsol.Status, wsol.Objective, dense.Objective)
+			}
 		}
 	})
 }

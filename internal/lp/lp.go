@@ -340,17 +340,40 @@ type Solution struct {
 	// Warm reports whether the dual simplex completed this solve from a
 	// warm-start basis; false means the two-phase cold path ran.
 	Warm bool
-	// Etas counts the eta vectors appended to the sparse kernel's basis
-	// factorization during this solve (zero on the dense kernel).
+	// Etas counts the eta vectors appended to the eta kernel's basis
+	// factorization during this solve (zero on the dense and LU kernels).
 	Etas int
-	// Refactorizations counts from-scratch rebuilds of the sparse kernel's
-	// eta file during this solve, triggered by eta-count or drift
-	// thresholds (zero on the dense kernel).
+	// Refactorizations counts from-scratch rebuilds of the sparse kernels'
+	// basis factorization during this solve — eta-budget rebuilds on the
+	// eta kernel, Markowitz LU factorizations on the LU kernel (zero on
+	// the dense kernel).
 	Refactorizations int
 	// DevexResets counts devex reference-framework resets during this
 	// solve; after a reset pricing restarts from unit weights, which is
 	// exactly full Dantzig pricing (zero on the dense kernel).
 	DevexResets int
+	// Updates counts Forrest-Tomlin basis updates performed by the LU
+	// kernel during this solve: pivots absorbed into the factorization
+	// without a rebuild (zero on the dense and eta kernels).
+	Updates int
+	// BoundFlips counts nonbasic variables the bound-flipping dual ratio
+	// test moved across their finite box without a pivot; many flips per
+	// pivot is the long-step win on 0/1-structured problems (zero on the
+	// dense and eta kernels).
+	BoundFlips int
+	// FactorNnz is the nonzero count (L + U + pivots) of the LU kernel's
+	// most recent basis factorization, a fill-in health measure (zero on
+	// the dense and eta kernels).
+	FactorNnz int
+	// AdaptiveRefactorizations counts the subset of Refactorizations the
+	// LU kernel triggered adaptively — measured fill growth, an unstable
+	// Forrest-Tomlin update, or factorization drift — rather than on a
+	// basis (re)install (zero on the dense and eta kernels).
+	AdaptiveRefactorizations int
+	// KernelFallbacks counts sparse-kernel declines answered by the dense
+	// two-phase oracle during this solve: a cold-start shape the sparse
+	// kernel does not cover, or a numerically singular (re)factorization.
+	KernelFallbacks int
 }
 
 // Dual returns the shadow price of the given constraint, or 0 if out of
@@ -393,6 +416,11 @@ type options struct {
 	warmBasis     *Basis
 	ctx           context.Context
 	kernel        Kernel
+	// kernelAuto records that kernel came from the package default rather
+	// than an explicit WithKernel pin; auto solves may pick the eta kernel
+	// on small bases (see bindSparse and luAutoMinDim).
+	kernelAuto  bool
+	volatileSol bool
 }
 
 // Kernel selects the simplex implementation used by Solve.
@@ -403,13 +431,24 @@ const (
 	// overridden with SetDefaultKernel).
 	KernelAuto Kernel = iota
 	// KernelSparse is the sparse revised simplex: CSR/CSC constraint
-	// matrix, eta-factorized basis with periodic refactorization, devex
-	// pricing. The default.
+	// matrix, a Markowitz-pivoted LU basis factorization maintained by
+	// Forrest-Tomlin updates with hyper-sparse FTRAN/BTRAN, devex pricing
+	// and a bound-flipping dual ratio test. The default.
 	KernelSparse
 	// KernelDense is the original dense-tableau implementation, kept as the
 	// correctness oracle.
 	KernelDense
+	// KernelEta is the previous sparse revised simplex, whose basis inverse
+	// is a product-form eta file rebuilt on a fixed pivot budget. It is
+	// retained as a second, structurally different oracle for differential
+	// testing of the LU kernel; production solves should prefer
+	// KernelSparse.
+	KernelEta
 )
+
+// KernelLU names the LU-factorized sparse revised simplex explicitly; it is
+// the same kernel as KernelSparse.
+const KernelLU = KernelSparse
 
 // String returns a human-readable kernel name.
 func (k Kernel) String() string {
@@ -420,6 +459,8 @@ func (k Kernel) String() string {
 		return "sparse"
 	case KernelDense:
 		return "dense"
+	case KernelEta:
+		return "eta"
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
 	}
@@ -430,21 +471,20 @@ func (k Kernel) String() string {
 var defaultKernel atomic.Int32
 
 // SetDefaultKernel overrides the package default kernel and returns the
-// previous default. It exists so test suites and command-line tools can pin a
-// kernel globally (the golden-artifact tests pin the dense oracle, whose
-// pivot counts the artifacts record) without threading an option through
-// every call site. Not intended for per-solve selection — use WithKernel.
+// previous raw setting (possibly KernelAuto) so callers can restore it
+// exactly. It exists so test suites and command-line tools can pin a kernel
+// globally (the golden-artifact tests pin the dense oracle, whose pivot
+// counts the artifacts record) without threading an option through every
+// call site. A kernel set here is a pin: solves honor it unconditionally.
+// Only the untouched KernelAuto default lets small-basis solves fall back to
+// the eta kernel. Not intended for per-solve selection — use WithKernel.
 func SetDefaultKernel(k Kernel) Kernel {
-	prev := Kernel(defaultKernel.Swap(int32(k)))
-	if prev == KernelAuto {
-		prev = KernelSparse
-	}
-	return prev
+	return Kernel(defaultKernel.Swap(int32(k)))
 }
 
 // DefaultKernel reports the kernel used by solves that do not select one.
 func DefaultKernel() Kernel {
-	if k := Kernel(defaultKernel.Load()); k == KernelSparse || k == KernelDense {
+	if k := Kernel(defaultKernel.Load()); k == KernelSparse || k == KernelDense || k == KernelEta {
 		return k
 	}
 	return KernelSparse
@@ -462,9 +502,13 @@ func WithKernel(k Kernel) Option { return kernelOption(k) }
 // of the sparse revised simplex.
 func WithDenseKernel() Option { return kernelOption(KernelDense) }
 
-// WithSparseKernel forces the sparse revised simplex kernel, overriding a
-// dense package default.
+// WithSparseKernel forces the sparse revised simplex kernel (the LU
+// factorization), overriding a dense package default.
 func WithSparseKernel() Option { return kernelOption(KernelSparse) }
+
+// WithEtaKernel runs this solve on the retained product-form eta kernel, the
+// pre-LU sparse revised simplex kept as a differential-testing oracle.
+func WithEtaKernel() Option { return kernelOption(KernelEta) }
 
 type maxIterationsOption int
 
@@ -492,6 +536,22 @@ func (o workspaceOption) apply(opts *options) { opts.workspace = o.ws }
 // explores thousands of same-shape relaxations). The workspace must not be
 // shared between concurrent solves; a nil workspace selects the pool.
 func WithWorkspace(ws *Workspace) Option { return workspaceOption{ws: ws} }
+
+type volatileSolutionOption struct{}
+
+func (volatileSolutionOption) apply(opts *options) { opts.volatileSol = true }
+
+// WithVolatileSolution lets the solver reuse one Solution object (and the
+// backing arrays of its X, DualValues and ReducedCosts vectors) across
+// consecutive solves on the same workspace: the returned *Solution and its
+// slices are valid only until the next Solve with that workspace. Callers
+// that keep a solution — an incumbent, a set of duals — must copy what they
+// need before solving again. Branch-and-bound node loops opt in because they
+// discard almost every relaxation solution immediately, and the per-solve
+// result vectors otherwise dominate the search's allocation profile.
+// Solution.Basis snapshots are always freshly allocated and exempt from
+// reuse. Kernels that do not support reuse ignore the option.
+func WithVolatileSolution() Option { return volatileSolutionOption{} }
 
 type warmStartOption struct{ b *Basis }
 
@@ -551,9 +611,14 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if err := cfg.interrupted(); err != nil {
 		return nil, err
 	}
-	if cfg.kernel != KernelSparse && cfg.kernel != KernelDense {
+	if cfg.kernel != KernelSparse && cfg.kernel != KernelDense && cfg.kernel != KernelEta {
 		cfg.kernel = DefaultKernel()
+		// Only the untouched KernelAuto default is dimension-adaptive; a
+		// kernel pinned globally with SetDefaultKernel behaves like a
+		// per-solve WithKernel pin.
+		cfg.kernelAuto = Kernel(defaultKernel.Load()) == KernelAuto
 	}
+	sparseKernel := cfg.kernel == KernelSparse || cfg.kernel == KernelEta
 	ws := cfg.workspace
 	pooled := ws == nil
 	if pooled {
@@ -562,7 +627,7 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 	if cfg.warm && cfg.warmBasis != nil {
 		var sol *Solution
 		var ok bool
-		if cfg.kernel == KernelSparse {
+		if sparseKernel {
 			sol, ok = sparseWarmSolve(p, &cfg, cfg.warmBasis, ws)
 		} else {
 			sol, ok = warmSolve(p, &cfg, cfg.warmBasis, ws)
@@ -574,7 +639,8 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 			return sol, nil
 		}
 	}
-	if cfg.kernel == KernelSparse {
+	fellBack := 0
+	if sparseKernel {
 		sol, ok, err := sparseColdSolve(p, &cfg, ws)
 		if err != nil {
 			if pooled {
@@ -591,11 +657,15 @@ func (p *Problem) Solve(opts ...Option) (*Solution, error) {
 		// The sparse kernel declined (cold-start shape it does not cover, or
 		// numerical trouble): the dense two-phase method is the oracle
 		// fallback and handles every case.
+		fellBack = 1
 	}
 	s := newSimplex(p, cfg, ws)
 	sol, err := s.solve()
-	if err == nil && cfg.warm && sol.Status == StatusOptimal {
-		sol.Basis = s.captureBasis()
+	if err == nil {
+		sol.KernelFallbacks = fellBack
+		if cfg.warm && sol.Status == StatusOptimal {
+			sol.Basis = s.captureBasis()
+		}
 	}
 	if pooled {
 		solvePool.Put(ws)

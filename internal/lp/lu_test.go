@@ -1,0 +1,302 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomLPWithBasis builds a seeded random bounded LP, solves it with the
+// dense oracle and returns the problem together with the captured optimal
+// basis snapshot — a genuine, nonsingular basis the LU tests can factorize.
+func randomLPWithBasis(t *testing.T, seed int64) (*Problem, *Basis) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(10)
+	m := 2 + rng.Intn(8)
+	p := NewProblem(Maximize)
+	for j := 0; j < n; j++ {
+		up := float64(1 + rng.Intn(5))
+		if _, err := p.AddVariable("x", 0, up, rng.Float64()*4-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, n)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				terms = append(terms, Term{Var: VarID(j), Coeff: float64(rng.Intn(7) - 3)})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: VarID(rng.Intn(n)), Coeff: 1})
+		}
+		op := []Op{LE, GE}[rng.Intn(2)]
+		rhs := float64(rng.Intn(15))
+		if op == GE {
+			rhs = -rhs
+		}
+		if _, err := p.AddConstraint("c", terms, op, rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := p.Clone().Solve(WithDenseKernel(), WithWarmStart(nil))
+	if err != nil {
+		t.Fatalf("seed %d: dense solve: %v", seed, err)
+	}
+	if sol.Status != StatusOptimal || sol.Basis == nil {
+		return nil, nil
+	}
+	return p, sol.Basis
+}
+
+// basisColumn scatters the basis matrix column for factorization position i
+// (the column of variable s.st.basis[i], logical columns included) into out.
+func basisColumn(s *spx, i int, out []float64) {
+	clear(out)
+	a := &s.st.mat
+	j := s.st.basis[i]
+	if j < s.n {
+		for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+			out[a.colInd[k]] = a.colVal[k]
+		}
+	} else {
+		out[j-s.n] = a.sigma[j-s.n]
+	}
+}
+
+// checkFtranResidual verifies B*out = v for the current basis.
+func checkFtranResidual(t *testing.T, s *spx, out, v []float64, label string) {
+	t.Helper()
+	m := s.m
+	col := make([]float64, m)
+	res := make([]float64, m)
+	copy(res, v)
+	for i := 0; i < m; i++ {
+		if out[i] == 0 {
+			continue
+		}
+		basisColumn(s, i, col)
+		for r := 0; r < m; r++ {
+			res[r] -= col[r] * out[i]
+		}
+	}
+	for r := 0; r < m; r++ {
+		if math.Abs(res[r]) > 1e-8 {
+			t.Fatalf("%s: ftran residual %v at row %d", label, res[r], r)
+		}
+	}
+}
+
+// checkBtranResidual verifies B^T*out = v for the current basis.
+func checkBtranResidual(t *testing.T, s *spx, out, v []float64, label string) {
+	t.Helper()
+	m := s.m
+	col := make([]float64, m)
+	for i := 0; i < m; i++ {
+		basisColumn(s, i, col)
+		dot := 0.0
+		for r := 0; r < m; r++ {
+			dot += col[r] * out[r]
+		}
+		if math.Abs(dot-v[i]) > 1e-8 {
+			t.Fatalf("%s: btran residual %v at position %d", label, dot-v[i], i)
+		}
+	}
+}
+
+// bindLU factorizes the snapshot's basis on a fresh LU-kernel spx.
+func bindLU(t *testing.T, p *Problem, b *Basis) *spx {
+	t.Helper()
+	cfg := options{tolerance: 1e-9, maxIterations: 1000, kernel: KernelLU}
+	s := bindSparse(p, &cfg, NewWorkspace())
+	if !s.refactor(b.rowBasic) {
+		t.Fatalf("refactor of an optimal dense basis failed")
+	}
+	return s
+}
+
+// TestLUFactorizeSolves factorizes genuine optimal bases across seeds and
+// checks both the dense and the hyper-sparse FTRAN/BTRAN paths by residual:
+// a solve is correct iff B*out = v (resp. B^T*out = v), no oracle needed.
+func TestLUFactorizeSolves(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p, b := randomLPWithBasis(t, seed)
+		if p == nil {
+			continue
+		}
+		s := bindLU(t, p, b)
+		m := s.m
+		rng := rand.New(rand.NewSource(seed * 977))
+
+		// Dense path: a full random vector.
+		v := make([]float64, m)
+		want := make([]float64, m)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+			want[i] = v[i]
+		}
+		out := make([]float64, m)
+		s.st.luf.ftran(v, out, nil, false)
+		checkFtranResidual(t, s, out, want, "dense ftran")
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+			want[i] = v[i]
+		}
+		s.st.luf.btran(v, out, nil)
+		checkBtranResidual(t, s, out, v, "dense btran")
+
+		// Hyper-sparse path: a single-entry vector per position.
+		for i := 0; i < m; i++ {
+			clear(v)
+			clear(want)
+			v[i], want[i] = 1, 1
+			nz := []int32{int32(i)}
+			s.st.luf.ftran(v, out, nz, false)
+			checkFtranResidual(t, s, out, want, "hyper ftran")
+			for r := range v {
+				if v[r] != 0 {
+					t.Fatalf("hyper ftran left input nonzero at %d", r)
+				}
+			}
+			clear(v)
+			v[i] = 1
+			s.st.luf.btran(v, out, nz)
+			checkBtranResidual(t, s, out, v, "hyper btran")
+		}
+	}
+}
+
+// TestLUUpdateResidual drives Forrest-Tomlin updates through real basis
+// changes: each step FTRANs a nonbasic structural column (saving the spike),
+// replaces the most stable pivot row's variable with it, applies update()
+// and re-verifies both solve directions against the changed basis by
+// residual. Declined updates fall back to a fresh factorization, mirroring
+// the solver.
+func TestLUUpdateResidual(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		p, b := randomLPWithBasis(t, seed)
+		if p == nil {
+			continue
+		}
+		s := bindLU(t, p, b)
+		st := s.st
+		m := s.m
+		rng := rand.New(rand.NewSource(seed * 31))
+		inBasis := make(map[int]bool, m)
+		for i := 0; i < m; i++ {
+			inBasis[st.basis[i]] = true
+		}
+		col := make([]float64, m)
+		updates := 0
+		for step := 0; step < 12; step++ {
+			q := rng.Intn(s.n)
+			if inBasis[q] || st.mat.colNNZ(q) == 0 {
+				continue
+			}
+			s.ftranColumn(q, col) // saves the spike for update()
+			r, best := -1, 1e-7
+			for i := 0; i < m; i++ {
+				if a := math.Abs(col[i]); a > best {
+					r, best = i, a
+				}
+			}
+			if r < 0 {
+				continue // q is dependent on the current basis: skip
+			}
+			leave := st.basis[r]
+			if st.luf.update(r) {
+				updates++
+				st.basis[r] = q
+			} else {
+				// Declined update: the factor is torn until refactorized,
+				// exactly as the solver's recordPivot path does.
+				st.basis[r] = q
+				target := make([]int32, m)
+				for i := 0; i < m; i++ {
+					target[i] = int32(st.basis[i])
+				}
+				if !s.refactor(target) {
+					t.Fatalf("seed %d step %d: refactor after declined update failed", seed, step)
+				}
+			}
+			delete(inBasis, leave)
+			inBasis[q] = true
+
+			v := make([]float64, m)
+			want := make([]float64, m)
+			for i := range v {
+				v[i] = rng.Float64()*2 - 1
+				want[i] = v[i]
+			}
+			out := make([]float64, m)
+			st.luf.ftran(v, out, nil, false)
+			checkFtranResidual(t, s, out, want, "post-update ftran")
+			for i := range v {
+				v[i] = rng.Float64()*2 - 1
+			}
+			st.luf.btran(v, out, nil)
+			checkBtranResidual(t, s, out, v, "post-update btran")
+		}
+		if updates > 0 && st.luf.nUpdates == 0 {
+			t.Fatalf("seed %d: applied %d updates but nUpdates is zero", seed, updates)
+		}
+	}
+}
+
+// TestLUSingularFactorize feeds structurally singular targets to factorize:
+// a duplicated column and an all-zero column must both be rejected so the
+// caller can decline to an oracle instead of dividing by a vanishing pivot.
+func TestLUSingularFactorize(t *testing.T) {
+	p := NewProblem(Maximize)
+	for j := 0; j < 4; j++ {
+		if _, err := p.AddVariable("x", 0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// x3 appears in no constraint: its column is structurally empty.
+	terms := []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 2}, {Var: 2, Coeff: 1}}
+	if _, err := p.AddConstraint("c0", terms, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddConstraint("c1", []Term{{Var: 1, Coeff: 1}, {Var: 2, Coeff: 1}}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := options{tolerance: 1e-9, maxIterations: 100, kernel: KernelLU}
+	s := bindSparse(p, &cfg, NewWorkspace())
+	if s.refactor([]int32{0, 0}) {
+		t.Errorf("factorize accepted a duplicated basis column")
+	}
+	if s.refactor([]int32{3, 4}) {
+		t.Errorf("factorize accepted a structurally empty basis column")
+	}
+	if !s.refactor([]int32{0, 1}) {
+		t.Errorf("factorize rejected a nonsingular basis")
+	}
+}
+
+// TestLUKernelWorkspaceAlternation re-solves through one shared workspace
+// alternating kernels: each switch must invalidate the other representation
+// and still produce the dense oracle's optimum.
+func TestLUKernelWorkspaceAlternation(t *testing.T) {
+	p, _ := randomLPWithBasis(t, 11)
+	if p == nil {
+		t.Skip("seed did not produce an optimal instance")
+	}
+	want, err := p.Clone().Solve(WithDenseKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	kernels := []Option{WithKernel(KernelLU), WithEtaKernel(), WithKernel(KernelLU), WithEtaKernel()}
+	for i, k := range kernels {
+		sol, err := p.Clone().Solve(k, WithWorkspace(ws), WithWarmStart(nil))
+		if err != nil {
+			t.Fatalf("alternation %d: %v", i, err)
+		}
+		if sol.Status != want.Status || math.Abs(sol.Objective-want.Objective) > 1e-7 {
+			t.Fatalf("alternation %d: status %v objective %v, want %v %v",
+				i, sol.Status, sol.Objective, want.Status, want.Objective)
+		}
+	}
+}

@@ -1,45 +1,55 @@
 package lp
 
-// Sparse revised simplex: the default kernel.
+// Sparse revised simplex: the shared machinery behind the two sparse
+// kernels, the LU kernel (KernelSparse, the default) and the retained eta
+// kernel (KernelEta, a differential-testing oracle).
 //
 // The dense kernels in simplex.go and warm.go carry an explicit m x (n+m)
 // tableau and pay O(m*(n+m)) per pivot to keep it eliminated. The deployment
 // ILP's constraint matrix is overwhelmingly sparse — each coverage or cost
-// row touches a handful of monitor variables — so this kernel stores the
-// constraint matrix once in CSR/CSC form and represents the basis inverse as
-// a product of eta matrices (product form of the inverse):
+// row touches a handful of monitor variables — so both sparse kernels store
+// the constraint matrix once in CSR/CSC form and never form a tableau; they
+// differ only in how the basis inverse is represented.
 //
-//	B = B0 * E_1 * E_2 * ... * E_k
+// The LU kernel (lu.go) factorizes the basis matrix directly as
+// R_k...R_1 L^-1 B = U via Markowitz-ordered Gaussian elimination under
+// threshold partial pivoting, absorbs each pivot with a Forrest-Tomlin
+// update (one replaced U column plus one row eta R instead of a growing eta
+// file), and solves FTRAN/BTRAN hyper-sparsely: a depth-first reachability
+// closure over the factor pattern restricts the triangular solves to the
+// result's nonzeros. Its refactorization policy is adaptive, not periodic —
+// a rebuild is triggered exactly when (a) accumulated Forrest-Tomlin
+// updates reach luMaxUpdates, (b) the live factor nonzeros exceed
+// luFillGrowth times the post-factorization count (measured fill growth),
+// (c) an update's new diagonal fails its stability test, or (d) the row and
+// column views of a pivot element drift apart past the agreement tolerance
+// in the pivot loop. Triggers (b)-(d) are counted as adaptive
+// refactorizations in the solve stats. It also runs a bound-flipping dual
+// ratio test (sparse_solve.go): one dual pivot flips whole runs of cheap
+// finite-box nonbasic columns across their bounds before the blocking
+// column enters, which suits the almost entirely 0/1-bounded deployment
+// ILP.
 //
-// where B0 = diag(sigma) is the all-logical basis (sigma_i is the logical
-// coefficient of row i: +1 for <= and = rows, -1 for >= rows) and each eta
-// E differs from the identity in a single column. FTRAN (B^-1 v) applies the
-// eta inverses oldest-to-newest after scaling by B0^-1; BTRAN (B^-T y)
-// applies the transposed inverses newest-to-oldest and scales at the end.
-// A pivot appends one eta instead of eliminating the tableau, so its cost is
-// the FTRAN/BTRAN work plus one sparse row scatter — proportional to the
-// nonzeros involved, not to the tableau area.
+// The eta kernel represents the basis inverse as a product form
+// B = B0 * E_1 * ... * E_k over the all-logical base B0 = diag(sigma)
+// (sigma_i is the logical coefficient of row i: +1 for <= and = rows, -1
+// for >= rows), appends one eta per pivot, and rebuilds the file on a fixed
+// budget of refactorEvery etas. It predates the LU kernel and is kept
+// unchanged as a second, structurally different oracle for differential
+// tests; production solves should use the LU kernel.
 //
-// The eta file is rebuilt from scratch ("refactorized") whenever
-// refactorEvery etas have accumulated since the last rebuild: FTRAN/BTRAN
-// cost grows linearly with the accumulated eta nonzeros while a rebuild
-// costs one FTRAN per basic column, so a fixed eta budget keeps the
-// steady-state pivot cost bounded; the rebuild also recomputes the basic
-// values and reduced costs from the fresh factorization, which bounds
-// floating-point drift the incremental updates accumulate. Columns are
-// reinstalled in ascending-nonzero order (a cheap Markowitz-style heuristic)
-// to limit eta fill.
-//
-// The kernel shares the stable column layout of warm.go — columns 0..n-1 are
-// the structural variables, column n+i the logical of row i — so Basis
-// snapshots move freely between the dense and sparse warm paths. It serves
-// both phases of the branch-and-bound inner loop: warm-started dual simplex
-// for children (bound changes only) and a cold start at the root, either a
-// primal devex phase 2 when the all-lower point is feasible or a dual solve
-// from the cost-sign "flip" point when it is dual feasible. The rare
-// remainder (an attractive column with an infinite upper bound from a
-// primal-infeasible start, or a numerically singular refactorization) falls
-// back to the dense two-phase oracle transparently.
+// Both kernels share the stable column layout of warm.go — columns 0..n-1
+// are the structural variables, column n+i the logical of row i — and the
+// same basis-position semantics, so Basis snapshots move freely between the
+// dense, eta and LU warm paths. They serve both phases of the
+// branch-and-bound inner loop: warm-started dual simplex for children
+// (bound changes only) and a cold start at the root, either a primal devex
+// phase 2 when the all-lower point is feasible or a dual solve from the
+// cost-sign "flip" point when it is dual feasible. The rare remainder (an
+// attractive column with an infinite upper bound from a primal-infeasible
+// start, or a numerically singular (re)factorization) falls back to the
+// dense two-phase oracle transparently, counted in
+// Solution.KernelFallbacks.
 
 import (
 	"math"
@@ -243,29 +253,58 @@ type sparseState struct {
 	mat     sparseMatrix
 
 	// Persistent factorization of prob's basis, analogous to warmState.
-	prob     *Problem
-	n, m     int
-	valid    bool   // eta/basis form a consistent factorization of prob
-	basisID  uint64 // Basis.id the statuses/values correspond to; 0 = none
-	eta      etaFile
-	baseEtas int // eta count right after the last refactorization/install
-	basis    []int
-	stat     []varStatus
+	// Exactly one of the two representations is live at a time: luf when
+	// isLU, the eta file otherwise. A kernel switch on the same workspace
+	// invalidates the state, so one kernel never trusts the other's
+	// factorization.
+	prob      *Problem
+	n, m      int
+	valid     bool   // factorization/basis are consistent for prob
+	basisID   uint64 // Basis.id the statuses/values correspond to; 0 = none
+	isLU      bool   // which sparse kernel owns the state
+	eta       etaFile
+	luf       luFactor
+	baseEtas  int // eta count right after the last refactorization/install
+	basis     []int
+	stat      []varStatus
 	x, lo, up []float64
 	cost, d   []float64
 	devexW    []float64
 
 	// Scratch.
-	col, rho  []float64 // m-length FTRAN/BTRAN vectors
-	arow      []float64 // (n+m)-length pivot-row scatter
-	atouch    []int32   // columns touched in arow
-	amark     []int64   // stamp per column guarding atouch
-	astamp    int64
-	acc       []float64 // matrix-build accumulator, n-length
-	accMark   []int32   // matrix-build scratch, max(n,m)-length
-	order     []int32   // refactorization column ordering
-	inTarget  []bool
-	rowFree   []bool
+	col, rho []float64 // m-length FTRAN/BTRAN vectors
+	arow     []float64 // (n+m)-length pivot-row scatter
+	atouch   []int32   // columns touched in arow
+	amark    []int64   // stamp per column guarding atouch
+	astamp   int64
+	acc      []float64 // matrix-build accumulator, n-length
+	accMark  []int32   // matrix-build scratch, max(n,m)-length
+	order    []int32   // refactorization column ordering
+	inTarget []bool
+	rowFree  []bool
+
+	// LU-kernel scratch. rowv is the row-space FTRAN workload vector and
+	// posv the position-space BTRAN seed vector; both are kept all-zero
+	// between uses so the hyper-sparse solves never pay an O(m) clear.
+	rowv   []float64
+	posv   []float64
+	nzbuf  []int32  // input-pattern scratch for ftran/btran
+	target []int32  // renumber/refactor target-basis scratch
+	cands  []bfCand // bound-flipping ratio test candidates, ratio-sorted
+	flips  []int32  // columns flipped by the current BFRT pivot
+
+	// Reused result storage for WithVolatileSolution solves: one Solution
+	// object and one backing array for its three result vectors, recycled
+	// across solves on this workspace instead of allocated per solve.
+	volSol Solution
+	volBuf []float64
+}
+
+// bfCand is one bound-flipping dual ratio test candidate: nonbasic column j
+// with dual ratio d_j/a_j.
+type bfCand struct {
+	ratio float64
+	j     int32
 }
 
 func i32s(buf *[]int32, n int) []int32 {
@@ -284,26 +323,40 @@ func i64s(buf *[]int64, n int) []int64 {
 
 // spx is one sparse revised-simplex solve bound to a workspace's state.
 type spx struct {
-	cfg  *options
-	prob *Problem
-	st   *sparseState
+	cfg         *options
+	prob        *Problem
+	st          *sparseState
 	n, m, nCols int
-	negate bool
-	dtol   float64
+	negate      bool
+	lu          bool // LU kernel; false runs the retained eta kernel
+	dtol        float64
 
-	iterations int
-	degenerate int
-	useBland   bool
+	iterations                          int
+	degenerate                          int
+	useBland                            bool
 	etas, refactorizations, devexResets int
+	ftUpdates, boundFlips               int
+	adaptiveRefacs                      int
 }
 
 // bindSparse sizes the state for the problem and refreshes the matrix cache,
 // invalidating the factorization when the cached matrix does not describe
-// this problem's rows.
+// this problem's rows or was built by the other sparse kernel.
 func bindSparse(p *Problem, cfg *options, ws *Workspace) *spx {
 	n, m := len(p.vars), len(p.cons)
 	st := &ws.sparse
 	s := &spx{cfg: cfg, prob: p, st: st, n: n, m: m, nCols: n + m, negate: p.sense == Minimize}
+	// The LU machinery amortizes only past a few hundred rows; below the
+	// crossover the eta file's cheap cold starts and short product-form
+	// solves win, so auto-kernel solves pick by basis dimension. Explicit
+	// WithKernel pins are honored unconditionally — differential tests and
+	// kernel benchmarks need the pinned kernel, not the heuristic.
+	s.lu = cfg.kernel != KernelEta && !(cfg.kernelAuto && m < luAutoMinDim)
+	if st.isLU != s.lu {
+		st.isLU = s.lu
+		st.valid = false
+		st.basisID = 0
+	}
 	if st.matProb != p || st.mat.n != n || st.mat.m != m {
 		st.acc = f64(&st.acc, n, true)
 		wide := n
@@ -334,6 +387,12 @@ func bindSparse(p *Problem, cfg *options, ws *Workspace) *spx {
 	st.rho = f64(&st.rho, m, false)
 	st.arow = f64(&st.arow, s.nCols, false)
 	st.amark = i64s(&st.amark, s.nCols)
+	if s.lu {
+		// rowv/posv carry an all-zero invariant between uses; growing them
+		// yields fresh zeroed memory, so only sizing is needed here.
+		st.rowv = f64(&st.rowv, m, cap(st.rowv) < m)
+		st.posv = f64(&st.posv, m, cap(st.posv) < m)
+	}
 	return s
 }
 
@@ -406,10 +465,31 @@ func (s *spx) columnInto(c int, v []float64) {
 	}
 }
 
-// ftranColumn computes B^-1 times stable column c into v.
+// ftranColumn computes B^-1 times stable column c into v (position space).
+// On the LU kernel the solve is hyper-sparse off the column's own pattern
+// and leaves the partial-FTRAN spike saved for a Forrest-Tomlin update.
 func (s *spx) ftranColumn(c int, v []float64) {
-	s.columnInto(c, v)
 	a := &s.st.mat
+	if s.lu {
+		st := s.st
+		w := st.rowv // all-zero; luf.ftran consumes it back to zero
+		nz := st.nzbuf[:0]
+		if c < s.n {
+			for k := a.colPtr[c]; k < a.colPtr[c+1]; k++ {
+				i := a.colInd[k]
+				w[i] = a.colVal[k]
+				nz = append(nz, i)
+			}
+		} else {
+			i := int32(c - s.n)
+			w[i] = a.sigma[i]
+			nz = append(nz, i)
+		}
+		st.nzbuf = nz
+		st.luf.ftran(w, v, nz, true)
+		return
+	}
+	s.columnInto(c, v)
 	if c < s.n {
 		for k := a.colPtr[c]; k < a.colPtr[c+1]; k++ {
 			i := a.colInd[k]
@@ -425,6 +505,14 @@ func (s *spx) ftranColumn(c int, v []float64) {
 
 // btranRow computes rho = B^-T e_r into v: row r of B^-1.
 func (s *spx) btranRow(r int, v []float64) {
+	if s.lu {
+		st := s.st
+		st.posv[r] = 1
+		st.nzbuf = append(st.nzbuf[:0], int32(r))
+		st.luf.btran(st.posv, v, st.nzbuf)
+		st.posv[r] = 0 // restore the all-zero invariant
+		return
+	}
 	clear(v)
 	v[r] = 1
 	s.st.eta.btran(v)
@@ -476,11 +564,35 @@ func (s *spx) appendEta(w []float64, r int) {
 	}
 }
 
+// recordPivot absorbs the pivot at basis position r into the factorization:
+// an appended eta on the eta kernel, a Forrest-Tomlin update on the LU
+// kernel. An unstable update falls back to an adaptive refactorization of
+// the (already updated) basis; false reports a singular rebuild. w is the
+// FTRANed entering column (used by the eta kernel only; the LU update works
+// from the spike its ftran saved).
+func (s *spx) recordPivot(w []float64, r int) bool {
+	if !s.lu {
+		s.appendEta(w, r)
+		return true
+	}
+	if s.st.luf.update(r) {
+		s.ftUpdates++
+		return true
+	}
+	s.adaptiveRefacs++
+	return s.renumber()
+}
+
 // installColumns greedily pivots the target basis columns into the current
 // factorization, mirroring the dense installBasis: each missing target
 // column is FTRANed and pivoted into the free row where it has the largest
-// magnitude. It reports false on duplicate targets or a (numerically)
-// singular basis.
+// magnitude. On the eta kernel each pivot appends an eta; on the LU kernel
+// it is absorbed as a Forrest-Tomlin update off the spike the FTRAN saved,
+// so a warm start whose basis differs from the factorized one in a handful
+// of columns costs a handful of sparse updates instead of a from-scratch
+// refactorization. It reports false on duplicate targets, a (numerically)
+// singular basis, or a declined update — after which the LU factor is torn
+// and the caller must refactorize.
 func (s *spx) installColumns(target []int32) bool {
 	st := s.st
 	inTarget := bools(&st.inTarget, s.nCols, true)
@@ -519,18 +631,80 @@ func (s *spx) installColumns(target []int32) bool {
 		if best < 0 {
 			return false
 		}
-		s.appendEta(st.col, best)
+		if s.lu {
+			if !st.luf.update(best) {
+				return false
+			}
+			s.ftUpdates++
+		} else {
+			s.appendEta(st.col, best)
+		}
 		st.basis[best] = c
 		rowFree[best] = false
 	}
 	return true
 }
 
-// refactor rebuilds the eta file from the all-logical base for the given
-// target basis, installing structural columns in ascending-nonzero order to
-// limit fill. On success the caller must recompute x and d.
+// luInstall attempts the incremental warm install on a still-valid LU
+// factorization: when the target basis differs from the factorized one in
+// few enough columns to fit the remaining Forrest-Tomlin update budget (and
+// the diff is small relative to m, where updates beat a Markowitz rebuild),
+// the missing columns are pivoted in as updates. A false return leaves the
+// caller to refactorize from scratch; the factor may be torn by a declined
+// mid-install update, which the rebuild repairs.
+func (s *spx) luInstall(target []int32) bool {
+	st := s.st
+	missing := 0
+	for _, c := range target {
+		if st.stat[c] != statusBasic {
+			missing++
+		}
+	}
+	if missing == 0 {
+		// The factorized basis already spans the target set (possibly in a
+		// different position order, which the simplex never observes).
+		return true
+	}
+	if st.luf.nUpdates+missing > s.luBudget() || missing*4 > s.m+3 {
+		return false
+	}
+	return s.installColumns(target)
+}
+
+// luBudget is the effective Forrest-Tomlin update budget between
+// refactorizations: half the basis dimension, clamped to
+// [luMinUpdates, luMaxUpdates]. Every FTRAN/BTRAN applies the whole
+// accumulated row-eta chain, so on small bases the chain outgrows the cost
+// of simply refactorizing long before the flat cap is reached.
+func (s *spx) luBudget() int {
+	b := s.m / 2
+	if b > luMaxUpdates {
+		return luMaxUpdates
+	}
+	if b < luMinUpdates {
+		return luMinUpdates
+	}
+	return b
+}
+
+// refactor rebuilds the basis factorization from scratch for the given
+// target basis. On the LU kernel this is a Markowitz LU of the target
+// columns, which keeps the position order of target; on the eta kernel the
+// eta file is rebuilt from the all-logical base, installing structural
+// columns in ascending-nonzero order to limit fill (which may permute
+// positions). On success the caller must recompute x and d.
 func (s *spx) refactor(target []int32) bool {
 	st := s.st
+	if s.lu {
+		s.refactorizations++
+		if !st.luf.factorize(s, target) {
+			return false
+		}
+		for i := 0; i < s.m; i++ {
+			st.basis[i] = int(target[i])
+		}
+		return true
+	}
 	st.eta.reset()
 	for i := 0; i < s.m; i++ {
 		st.basis[i] = s.n + i
@@ -565,11 +739,25 @@ func (s *spx) refactor(target []int32) bool {
 	return ok
 }
 
-// maybeRefactor rebuilds the factorization once the eta budget is spent,
-// refreshing the basic values and reduced costs from scratch to shed drift.
-// It reports false on a singular rebuild (numerical abort).
+// maybeRefactor applies each kernel's refactorization policy after a pivot:
+// the eta kernel rebuilds once the fixed eta budget is spent; the LU kernel
+// rebuilds adaptively, when accumulated Forrest-Tomlin updates reach
+// luMaxUpdates or the live factor nonzeros show fill growth past
+// luFillGrowth times the post-factorization baseline. It reports false on a
+// singular rebuild (numerical abort).
 func (s *spx) maybeRefactor() bool {
 	st := s.st
+	if s.lu {
+		luf := &st.luf
+		if luf.nUpdates >= s.luBudget() {
+			return s.renumber()
+		}
+		if float64(luf.liveNnz()) > luFillGrowth*float64(luf.baseNnz) {
+			s.adaptiveRefacs++
+			return s.renumber()
+		}
+		return true
+	}
 	if st.eta.count()-st.baseEtas < refactorEvery {
 		return true
 	}
@@ -580,14 +768,12 @@ func (s *spx) maybeRefactor() bool {
 // iterate from it.
 func (s *spx) renumber() bool {
 	st := s.st
-	order := i32s(&st.order, s.m)
+	// refactor mutates st.basis (and, on the eta kernel, sorts its own view
+	// of st.order), so hand it a stable copy of the current basis.
+	target := i32s(&st.target, s.m)
 	for i := 0; i < s.m; i++ {
-		order[i] = int32(st.basis[i])
+		target[i] = int32(st.basis[i])
 	}
-	// refactor sorts into its own view of st.order; hand it a copy of the
-	// current basis via the same buffer is safe because it reads target
-	// fully before mutating basis.
-	target := append([]int32(nil), order...)
 	if !s.refactor(target) {
 		st.valid = false
 		st.basisID = 0
@@ -628,6 +814,16 @@ func (s *spx) computeX() {
 			v[i] -= a.sigma[i] * xv
 		}
 	}
+	if s.lu {
+		// v is a true row-space right-hand side; the LU factors carry the
+		// logical signs themselves, so no B0 scaling applies. The solve is
+		// dense (the RHS generally is), consuming v back to zero.
+		st.luf.ftran(v, st.rho, nil, false)
+		for i := 0; i < s.m; i++ {
+			st.x[st.basis[i]] = st.rho[i]
+		}
+		return
+	}
 	for i := 0; i < s.m; i++ {
 		if a.sigma[i] < 0 {
 			v[i] = -v[i]
@@ -645,13 +841,23 @@ func (s *spx) computeD() {
 	st := s.st
 	a := &st.mat
 	y := st.rho
-	for i := 0; i < s.m; i++ {
-		y[i] = st.cost[st.basis[i]]
-	}
-	st.eta.btran(y)
-	for i := 0; i < s.m; i++ {
-		if a.sigma[i] < 0 {
-			y[i] = -y[i]
+	if s.lu {
+		// Position-space basic costs in, true row-space duals out; the LU
+		// factors include the logical signs, so no B0 scaling applies.
+		cb := st.col
+		for i := 0; i < s.m; i++ {
+			cb[i] = st.cost[st.basis[i]]
+		}
+		st.luf.btran(cb, y, nil)
+	} else {
+		for i := 0; i < s.m; i++ {
+			y[i] = st.cost[st.basis[i]]
+		}
+		st.eta.btran(y)
+		for i := 0; i < s.m; i++ {
+			if a.sigma[i] < 0 {
+				y[i] = -y[i]
+			}
 		}
 	}
 	for j := 0; j < s.n; j++ {
@@ -669,19 +875,53 @@ func (s *spx) computeD() {
 	}
 }
 
+// solutionOut returns the Solution object a finished solve should fill:
+// freshly allocated normally, the workspace's recycled one (reset to zero)
+// under WithVolatileSolution.
+func (s *spx) solutionOut() *Solution {
+	if !s.cfg.volatileSol {
+		return &Solution{}
+	}
+	s.st.volSol = Solution{}
+	return &s.st.volSol
+}
+
 // extract builds a Solution from an optimal sparse iterate, mirroring the
 // dense paths' clamping and sign conventions exactly.
 func (s *spx) extract(warm bool) *Solution {
 	st := s.st
-	sol := &Solution{
-		Status:           StatusOptimal,
-		Iterations:       s.iterations,
-		Warm:             warm,
-		Etas:             s.etas,
-		Refactorizations: s.refactorizations,
-		DevexResets:      s.devexResets,
+	sol := s.solutionOut()
+	sol.Status = StatusOptimal
+	sol.Iterations = s.iterations
+	sol.Warm = warm
+	sol.Etas = s.etas
+	sol.Refactorizations = s.refactorizations
+	sol.DevexResets = s.devexResets
+	sol.Updates = s.ftUpdates
+	sol.BoundFlips = s.boundFlips
+	sol.AdaptiveRefactorizations = s.adaptiveRefacs
+	if s.lu {
+		sol.FactorNnz = st.luf.baseNnz
 	}
-	sol.X = make([]float64, s.n)
+	// One backing array for the three result vectors: node solves in
+	// branch-and-bound build Solutions at a high rate, and the allocator and
+	// GC costs of three small slices per solve are measurable at the E9
+	// scale. Full slice expressions keep the views append-safe. Volatile
+	// solves recycle the workspace's array; every element is overwritten
+	// below, so no clear is needed.
+	need := 2*s.n + s.m
+	var buf []float64
+	if s.cfg.volatileSol {
+		if cap(st.volBuf) < need {
+			st.volBuf = make([]float64, need)
+		}
+		buf = st.volBuf[:need]
+	} else {
+		buf = make([]float64, need)
+	}
+	sol.X = buf[:s.n:s.n]
+	sol.DualValues = buf[s.n : s.n+s.m : s.n+s.m]
+	sol.ReducedCosts = buf[s.n+s.m : need : need]
 	obj := 0.0
 	for j := 0; j < s.n; j++ {
 		v := st.x[j]
@@ -703,11 +943,9 @@ func (s *spx) extract(warm bool) *Solution {
 	if s.negate {
 		senseSign = -1
 	}
-	sol.DualValues = make([]float64, s.m)
 	for i := 0; i < s.m; i++ {
 		sol.DualValues[i] = senseSign * -st.mat.sigma[i] * st.d[s.n+i]
 	}
-	sol.ReducedCosts = make([]float64, s.n)
 	for j := 0; j < s.n; j++ {
 		sol.ReducedCosts[j] = senseSign * st.d[j]
 	}

@@ -56,14 +56,20 @@ func sparseWarmSolve(p *Problem, cfg *options, b *Basis, ws *Workspace) (*Soluti
 // conclude builds a minimal Solution carrying the solve counters for
 // outcomes without a value vector.
 func (s *spx) conclude(status Status, warm bool) *Solution {
-	return &Solution{
-		Status:           status,
-		Iterations:       s.iterations,
-		Warm:             warm,
-		Etas:             s.etas,
-		Refactorizations: s.refactorizations,
-		DevexResets:      s.devexResets,
+	sol := s.solutionOut()
+	sol.Status = status
+	sol.Iterations = s.iterations
+	sol.Warm = warm
+	sol.Etas = s.etas
+	sol.Refactorizations = s.refactorizations
+	sol.DevexResets = s.devexResets
+	sol.Updates = s.ftUpdates
+	sol.BoundFlips = s.boundFlips
+	sol.AdaptiveRefactorizations = s.adaptiveRefacs
+	if s.lu {
+		sol.FactorNnz = s.st.luf.baseNnz
 	}
+	return sol
 }
 
 // install (re)factorizes the sparse state so that b is the current basis,
@@ -77,7 +83,17 @@ func (s *spx) install(b *Basis) bool {
 		st.basisID = 0
 		return false
 	}
-	if st.valid {
+	if s.lu {
+		// Prefer the incremental install on a still-valid factorization:
+		// branch-and-bound siblings share most of their basis with the
+		// factorized one, so pivoting the few differing columns in as
+		// Forrest-Tomlin updates beats a from-scratch Markowitz rebuild.
+		// Larger diffs, a spent update budget, or a torn factor fall back to
+		// refactorizing the snapshot directly.
+		if !(st.valid && s.luInstall(b.rowBasic)) && !s.refactor(b.rowBasic) {
+			return fail()
+		}
+	} else if st.valid {
 		if !s.installColumns(b.rowBasic) || st.eta.count()-st.baseEtas >= refactorEvery {
 			// Incremental install failed on the stale factorization, or the
 			// eta chain it produced is already past the budget: rebuild.
@@ -139,15 +155,24 @@ func (s *spx) rebind() bool {
 		moved = true
 	}
 	if moved {
-		for i := 0; i < s.m; i++ {
-			if a.sigma[i] < 0 {
-				v[i] = -v[i]
+		if s.lu {
+			st.luf.ftran(v, st.rho, nil, false)
+			for i := 0; i < s.m; i++ {
+				if st.rho[i] != 0 {
+					st.x[st.basis[i]] -= st.rho[i]
+				}
 			}
-		}
-		st.eta.ftran(v)
-		for i := 0; i < s.m; i++ {
-			if v[i] != 0 {
-				st.x[st.basis[i]] -= v[i]
+		} else {
+			for i := 0; i < s.m; i++ {
+				if a.sigma[i] < 0 {
+					v[i] = -v[i]
+				}
+			}
+			st.eta.ftran(v)
+			for i := 0; i < s.m; i++ {
+				if v[i] != 0 {
+					st.x[st.basis[i]] -= v[i]
+				}
 			}
 		}
 	}
@@ -273,10 +298,194 @@ func (s *spx) pickEntering(below bool) int {
 	return best
 }
 
+// pickEnteringBFRT is the bound-flipping (long-step) dual ratio test used by
+// the LU kernel outside Bland mode. Eligible candidates are collected with
+// the same rules as pickEntering and sorted by ratio; walking them in order,
+// a candidate whose box is finite and whose flip leaves the leaving
+// variable's infeasibility positive is recorded in st.flips and skipped —
+// the dual objective keeps improving without spending a pivot — until a
+// blocking candidate becomes the entering column. Among near-tie ratios at
+// the block the largest pivot magnitude wins, matching pickEntering's
+// stability tie-break. If every candidate flips with infeasibility to
+// spare, the dual is unbounded and the primal infeasible: -1 is returned
+// and no flips are recorded.
+func (s *spx) pickEnteringBFRT(r int, below bool) int {
+	const pivTol = 1e-9
+	st := s.st
+	st.flips = st.flips[:0]
+	sign := 1.0
+	if !below {
+		sign = -1
+	}
+	cands := st.cands[:0]
+	for _, j32 := range st.atouch {
+		j := int(j32)
+		if st.stat[j] == statusBasic || st.lo[j] == st.up[j] {
+			continue
+		}
+		a := sign * st.arow[j]
+		var ratio float64
+		switch st.stat[j] {
+		case statusLower:
+			if a >= -pivTol {
+				continue
+			}
+			ratio = st.d[j] / a // d <= 0, a < 0 => ratio >= 0
+		case statusUpper:
+			if a <= pivTol {
+				continue
+			}
+			ratio = st.d[j] / a // d >= 0, a > 0 => ratio >= 0
+		}
+		if ratio < 0 {
+			ratio = 0
+		}
+		cands = append(cands, bfCand{ratio: ratio, j: j32})
+	}
+	st.cands = cands
+	if len(cands) == 0 {
+		return -1
+	}
+	sortBFCands(cands)
+	leave := st.basis[r]
+	var delta float64 // current primal infeasibility of the leaving variable
+	if below {
+		delta = st.lo[leave] - st.x[leave]
+	} else {
+		delta = st.x[leave] - st.up[leave]
+	}
+	block := -1
+	for idx := range cands {
+		j := int(cands[idx].j)
+		width := st.up[j] - st.lo[j]
+		gain := math.Abs(st.arow[j]) * width
+		if math.IsInf(width, 1) || delta-gain <= s.cfg.tolerance {
+			block = idx
+			break
+		}
+		st.flips = append(st.flips, cands[idx].j)
+		delta -= gain
+	}
+	if block < 0 {
+		st.flips = st.flips[:0]
+		return -1
+	}
+	best := cands[block]
+	bestAbs := math.Abs(st.arow[best.j])
+	for _, c := range cands[block+1:] {
+		if c.ratio > best.ratio+s.cfg.tolerance {
+			break
+		}
+		if a := math.Abs(st.arow[c.j]); a > bestAbs {
+			best, bestAbs = c, a
+		}
+	}
+	return int(best.j)
+}
+
+// sortBFCands sorts ratio-test candidates by ascending ratio, breaking ties
+// on column index for determinism. Insertion sort below a small cutoff,
+// sift-down heapsort above it; no allocation either way.
+func sortBFCands(a []bfCand) {
+	less := func(x, y bfCand) bool {
+		return x.ratio < y.ratio || (x.ratio == y.ratio && x.j < y.j)
+	}
+	if len(a) <= 24 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && less(v, a[j]) {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	n := len(a)
+	sift := func(root, end int) {
+		for {
+			c := 2*root + 1
+			if c >= end {
+				return
+			}
+			if c+1 < end && less(a[c], a[c+1]) {
+				c++
+			}
+			if !less(a[root], a[c]) {
+				return
+			}
+			a[root], a[c] = a[c], a[root]
+			root = c
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		sift(0, end)
+	}
+}
+
+// applyBoundFlips moves the recorded columns across their boxes and restores
+// the basic values with a single FTRAN of the accumulated right-hand-side
+// delta. Reduced costs are untouched here: each flipped column's ratio is at
+// most the entering ratio, so the caller's post-pivot reduced-cost update
+// carries its d across zero to the sign that is dual feasible at the new
+// bound. The flips must therefore always be followed by the pivot whose
+// ratio test chose them.
+func (s *spx) applyBoundFlips() {
+	st := s.st
+	a := &st.mat
+	w := st.rowv // all-zero between calls; ftran consumes it back to zero
+	nz := st.nzbuf[:0]
+	for _, j32 := range st.flips {
+		j := int(j32)
+		var nv float64
+		if st.stat[j] == statusLower {
+			st.stat[j] = statusUpper
+			nv = st.up[j]
+		} else {
+			st.stat[j] = statusLower
+			nv = st.lo[j]
+		}
+		d := nv - st.x[j]
+		st.x[j] = nv
+		if d == 0 {
+			continue
+		}
+		if j < s.n {
+			for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+				i := a.colInd[k]
+				if w[i] == 0 {
+					nz = append(nz, i)
+				}
+				w[i] += a.colVal[k] * d
+			}
+		} else {
+			i := int32(j - s.n)
+			if w[i] == 0 {
+				nz = append(nz, i)
+			}
+			w[i] += a.sigma[i] * d
+		}
+	}
+	st.nzbuf = nz
+	s.boundFlips += len(st.flips)
+	st.flips = st.flips[:0]
+	st.luf.ftran(w, st.rho, nz, false)
+	for i := 0; i < s.m; i++ {
+		if st.rho[i] != 0 {
+			st.x[st.basis[i]] -= st.rho[i]
+		}
+	}
+}
+
 // dualIterate runs dual-simplex pivots until primal feasibility (optimal), a
 // proven infeasibility, the iteration budget, or a numerical abort. Each
-// pivot costs one BTRAN, one sparse row scatter, one FTRAN and one eta
-// append — no tableau elimination.
+// pivot costs one BTRAN, one sparse row scatter, one FTRAN and one basis
+// update (eta append or Forrest-Tomlin) — no tableau elimination.
 func (s *spx) dualIterate() Status {
 	st := s.st
 	justRefactored := false
@@ -295,19 +504,28 @@ func (s *spx) dualIterate() Status {
 		}
 		s.btranRow(r, st.rho)
 		s.pivotRowInto(st.rho)
-		q := s.pickEntering(below)
+		var q int
+		if s.lu && !s.useBland {
+			q = s.pickEnteringBFRT(r, below)
+		} else {
+			q = s.pickEntering(below)
+		}
 		if q < 0 {
 			return StatusInfeasible
 		}
 		s.ftranColumn(q, st.col)
 		piv := st.col[r]
 		// The row (BTRAN) and column (FTRAN) views of the pivot element must
-		// agree; drift past the tolerance means the eta file has degraded, so
-		// rebuild once and re-pick. A disagreement right after a rebuild is a
-		// genuine numerical failure: abort to the dense oracle.
+		// agree; drift past the tolerance means the factorization has
+		// degraded, so rebuild once and re-pick. A disagreement right after
+		// a rebuild is a genuine numerical failure: abort to the dense
+		// oracle.
 		if math.Abs(piv-st.arow[q]) > 1e-7*(1+math.Abs(piv)) || math.Abs(piv) < 1e-11 {
 			if justRefactored {
 				return statusAbort
+			}
+			if s.lu {
+				s.adaptiveRefacs++
 			}
 			if !s.renumber() {
 				return statusAbort
@@ -316,6 +534,14 @@ func (s *spx) dualIterate() Status {
 			continue
 		}
 		justRefactored = false
+		// Apply the bound flips the long-step ratio test chose. This sits
+		// after the drift check on purpose: an aborted pick must not leave
+		// flipped columns whose reduced costs were never updated. The flip
+		// FTRAN does not save a spike, so the entering column's spike from
+		// ftranColumn above survives for the Forrest-Tomlin update below.
+		if len(st.flips) > 0 {
+			s.applyBoundFlips()
+		}
 		s.iterations++
 		if math.Abs(st.d[q]) <= s.cfg.tolerance {
 			s.degenerate++
@@ -357,7 +583,9 @@ func (s *spx) dualIterate() Status {
 		st.d[q] = 0
 		st.basis[r] = q
 		st.stat[q] = statusBasic
-		s.appendEta(st.col, r)
+		if !s.recordPivot(st.col, r) {
+			return statusAbort
+		}
 		if !s.maybeRefactor() {
 			return statusAbort
 		}
@@ -572,7 +800,9 @@ func (s *spx) primalIterate() Status {
 		}
 		st.basis[r] = q
 		st.stat[q] = statusBasic
-		s.appendEta(st.col, r)
+		if !s.recordPivot(st.col, r) {
+			return statusAbort
+		}
 		if !s.maybeRefactor() {
 			return statusAbort
 		}
@@ -587,11 +817,24 @@ func sparseColdSolve(p *Problem, cfg *options, ws *Workspace) (sol *Solution, ok
 	s := bindSparse(p, cfg, ws)
 	st := s.st
 
-	// Start from the all-logical basis: an empty eta file over B0.
-	st.eta.reset()
-	st.baseEtas = 0
-	for i := 0; i < s.m; i++ {
-		st.basis[i] = s.n + i
+	// Start from the all-logical basis: an empty eta file over B0 for the
+	// eta kernel, a (trivial) fresh factorization for the LU kernel.
+	if s.lu {
+		target := i32s(&st.target, s.m)
+		for i := 0; i < s.m; i++ {
+			target[i] = int32(s.n + i)
+		}
+		if !s.refactor(target) {
+			st.valid = false
+			st.basisID = 0
+			return nil, false, nil
+		}
+	} else {
+		st.eta.reset()
+		st.baseEtas = 0
+		for i := 0; i < s.m; i++ {
+			st.basis[i] = s.n + i
+		}
 	}
 	st.valid = true
 	st.basisID = 0

@@ -192,12 +192,31 @@ func TestWorkspaceKernelAlternation(t *testing.T) {
 // counters and the dense kernel reports none.
 func TestSparseCountersPopulated(t *testing.T) {
 	sparse, dense := solveBoth(t, buildBoundedLP())
-	if sparse.Etas == 0 {
-		t.Errorf("sparse solve reported zero etas")
+	// The sparse default is the LU kernel: pivots land as Forrest-Tomlin
+	// updates (or refactorizations when an update is declined), never etas.
+	if sparse.Updates == 0 && sparse.Refactorizations == 0 {
+		t.Errorf("sparse solve reported zero updates and zero refactorizations")
+	}
+	if sparse.FactorNnz == 0 {
+		t.Errorf("sparse solve reported zero factorization nonzeros")
+	}
+	if sparse.Etas != 0 {
+		t.Errorf("LU kernel reported %d etas", sparse.Etas)
 	}
 	if dense.Etas != 0 || dense.Refactorizations != 0 || dense.DevexResets != 0 {
 		t.Errorf("dense solve reported sparse counters: %d/%d/%d",
 			dense.Etas, dense.Refactorizations, dense.DevexResets)
+	}
+	eta, err := buildBoundedLP().Solve(WithEtaKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eta.Etas == 0 {
+		t.Errorf("eta kernel reported zero etas")
+	}
+	if eta.Updates != 0 || eta.FactorNnz != 0 {
+		t.Errorf("eta kernel reported LU counters: updates=%d factorNnz=%d",
+			eta.Updates, eta.FactorNnz)
 	}
 }
 
@@ -249,7 +268,52 @@ func TestSetDefaultKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if sol.Updates == 0 && sol.Refactorizations == 0 {
+		t.Errorf("sparse default kernel reported zero updates and refactorizations")
+	}
+	SetDefaultKernel(KernelEta)
+	sol, err = buildBoundedLP().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sol.Etas == 0 {
-		t.Errorf("sparse default kernel reported zero etas")
+		t.Errorf("eta default kernel reported zero etas")
+	}
+}
+
+// TestAutoKernelDimensionDispatch checks that a solve with no kernel pin —
+// neither WithKernel nor SetDefaultKernel — routes small bases to the eta
+// kernel (below luAutoMinDim the eta file's cheap cold starts win), while an
+// explicit sparse pin on the same problem runs the LU machinery.
+func TestAutoKernelDimensionDispatch(t *testing.T) {
+	prev := SetDefaultKernel(KernelAuto)
+	defer SetDefaultKernel(prev)
+
+	auto, err := buildBoundedLP().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Etas == 0 {
+		t.Errorf("auto kernel on a tiny basis reported zero etas")
+	}
+	if auto.Updates != 0 || auto.FactorNnz != 0 {
+		t.Errorf("auto kernel on a tiny basis ran the LU machinery: %d updates, %d factor nonzeros",
+			auto.Updates, auto.FactorNnz)
+	}
+
+	pinned, err := buildBoundedLP().Solve(WithSparseKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Etas != 0 {
+		t.Errorf("pinned sparse kernel reported %d etas", pinned.Etas)
+	}
+	if pinned.Updates == 0 && pinned.Refactorizations == 0 {
+		t.Errorf("pinned sparse kernel reported zero updates and refactorizations")
+	}
+	if auto.Objective != pinned.Objective {
+		if math.Abs(auto.Objective-pinned.Objective) > 1e-9*(1+math.Abs(pinned.Objective)) {
+			t.Errorf("auto objective %v, pinned sparse objective %v", auto.Objective, pinned.Objective)
+		}
 	}
 }

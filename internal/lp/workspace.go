@@ -15,15 +15,15 @@ import "sync"
 // Solutions returned by Solve never alias workspace memory, so they stay
 // valid after the workspace is reused.
 type Workspace struct {
-	tab, x, upper, cost        []float64
-	shift, structUpper         []float64
-	structCost, rhs            []float64
-	d, c1                      []float64
-	rowDualSign                []float64
-	basis, colOf               []int
-	structOrig, rowDualCol     []int
-	status                     []varStatus
-	redundant, rowFlipped      []bool
+	tab, x, upper, cost    []float64
+	shift, structUpper     []float64
+	structCost, rhs        []float64
+	d, c1                  []float64
+	rowDualSign            []float64
+	basis, colOf           []int
+	structOrig, rowDualCol []int
+	status                 []varStatus
+	redundant, rowFlipped  []bool
 
 	warm warmState // dense dual-simplex warm-start state; see warm.go
 
@@ -41,20 +41,20 @@ type Workspace struct {
 // warm solves (see warm.go). The cold simplex buffers above are separate on
 // purpose: a cold fallback must not clobber a still-useful factorization.
 type warmState struct {
-	tab, beta     []float64 // m x (n+m) tableau B^-1 A and B^-1 b
-	x, lo, up     []float64 // values and bounds per stable column
-	cost, d       []float64 // maximize-form costs and reduced costs
-	basis         []int     // basic stable column per row
-	stat          []varStatus
-	inTarget      []bool // scratch: target-basis membership
-	rowFree       []bool // scratch: rows whose basic column is being evicted
-	nzb           []int  // scratch: nonbasic columns with nonzero value
-	colRow        []int  // scratch: owning row per cold slack/artificial column
-	prob          *Problem
-	basisID       uint64 // Basis.id the statuses/values correspond to; 0 = none
-	n, m          int
-	valid         bool // tab/beta/basis form a consistent factorization of prob
-	pivots        int  // pivots since the last from-scratch refactorization
+	tab, beta []float64 // m x (n+m) tableau B^-1 A and B^-1 b
+	x, lo, up []float64 // values and bounds per stable column
+	cost, d   []float64 // maximize-form costs and reduced costs
+	basis     []int     // basic stable column per row
+	stat      []varStatus
+	inTarget  []bool // scratch: target-basis membership
+	rowFree   []bool // scratch: rows whose basic column is being evicted
+	nzb       []int  // scratch: nonbasic columns with nonzero value
+	colRow    []int  // scratch: owning row per cold slack/artificial column
+	prob      *Problem
+	basisID   uint64 // Basis.id the statuses/values correspond to; 0 = none
+	n, m      int
+	valid     bool // tab/beta/basis form a consistent factorization of prob
+	pivots    int  // pivots since the last from-scratch refactorization
 }
 
 // NewWorkspace returns an empty workspace.

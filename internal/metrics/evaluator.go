@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"secmon/internal/model"
+)
+
+// Evaluator computes corroborated utility for a deployment that is mutated
+// one monitor at a time, without allocating per evaluation. It assigns each
+// data type an integer ordinal once at construction and keeps the per-type
+// producer counts of the loaded deployment in a flat slice, so Add, Remove
+// and CorroboratedUtility touch no maps keyed by string identifiers — the
+// dominant cost of calling the pure functions in a tight swap loop.
+//
+// The evaluator mirrors CoveredData/CorroboratedUtility exactly: load a
+// deployment, then keep every Deployment.Add/Remove paired with the matching
+// Evaluator.Add/Remove. An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	idx *model.Index
+
+	// ord maps a monitor to the ordinals of the data types it produces;
+	// monitors unknown to the index are absent and contribute nothing,
+	// matching CoveredData's skip of unresolvable identifiers.
+	ord map[model.MonitorID][]int32
+
+	// attacks holds, per attack in system order, the precomputed weight,
+	// inverse evidence count and evidence ordinals.
+	attacks []evalAttack
+
+	totalWeight float64
+
+	// counts[o] is the number of loaded monitors producing data type
+	// ordinal o — the redundancy CoveredData reports.
+	counts []int32
+}
+
+type evalAttack struct {
+	weight float64
+	invLen float64
+	ev     []int32
+}
+
+// NewEvaluator builds the ordinal structures for the index. Construction is
+// O(monitors + attack evidence); amortize it over many evaluations.
+func NewEvaluator(idx *model.Index) *Evaluator {
+	dts := idx.DataTypeIDs()
+	dtOrd := make(map[model.DataTypeID]int32, len(dts))
+	for i, dt := range dts {
+		dtOrd[dt] = int32(i)
+	}
+	e := &Evaluator{
+		idx:         idx,
+		ord:         make(map[model.MonitorID][]int32, len(idx.System().Monitors)),
+		totalWeight: idx.System().TotalAttackWeight(),
+		counts:      make([]int32, len(dts)),
+	}
+	for i := range idx.System().Monitors {
+		m := &idx.System().Monitors[i]
+		ords := make([]int32, 0, len(m.Produces))
+		for _, dt := range m.Produces {
+			ords = append(ords, dtOrd[dt])
+		}
+		e.ord[m.ID] = ords
+	}
+	e.attacks = make([]evalAttack, 0, len(idx.System().Attacks))
+	for _, a := range idx.System().Attacks {
+		ev := idx.AttackEvidence(a.ID)
+		ea := evalAttack{weight: model.AttackWeight(a)}
+		if len(ev) > 0 {
+			ea.invLen = 1 / float64(len(ev))
+			ea.ev = make([]int32, len(ev))
+			for j, dt := range ev {
+				ea.ev[j] = dtOrd[dt]
+			}
+		}
+		e.attacks = append(e.attacks, ea)
+	}
+	return e
+}
+
+// Load resets the evaluator's producer counts to the given deployment.
+func (e *Evaluator) Load(d *model.Deployment) {
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	d.Each(e.Add)
+}
+
+// Add registers one more deployed copy of the monitor. Unknown monitors are
+// ignored, as in CoveredData.
+func (e *Evaluator) Add(id model.MonitorID) {
+	for _, o := range e.ord[id] {
+		e.counts[o]++
+	}
+}
+
+// Remove unregisters a deployed copy of the monitor previously counted by
+// Load or Add.
+func (e *Evaluator) Remove(id model.MonitorID) {
+	for _, o := range e.ord[id] {
+		e.counts[o]--
+	}
+}
+
+// CorroboratedUtility returns CorroboratedUtility(idx, d, k) for the loaded
+// deployment state: the attack-weight-normalized coverage counting only
+// evidence produced by at least k loaded monitors (k <= 1 gives Utility).
+func (e *Evaluator) CorroboratedUtility(k int) float64 {
+	if e.totalWeight == 0 {
+		return 0
+	}
+	need := int32(k)
+	if need < 1 {
+		need = 1
+	}
+	sum := 0.0
+	for i := range e.attacks {
+		a := &e.attacks[i]
+		if len(a.ev) == 0 {
+			continue
+		}
+		n := 0
+		for _, o := range a.ev {
+			if e.counts[o] >= need {
+				n++
+			}
+		}
+		sum += a.weight * float64(n) * a.invLen
+	}
+	return sum / e.totalWeight
+}

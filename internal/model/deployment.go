@@ -54,6 +54,15 @@ func (d *Deployment) IDs() []MonitorID {
 	return out
 }
 
+// Each calls f for every deployed monitor in unspecified order. It avoids
+// the sort cost of IDs for callers whose result is order-independent, such
+// as redundancy counting.
+func (d *Deployment) Each(f func(MonitorID)) {
+	for id := range d.members {
+		f(id)
+	}
+}
+
 // Clone returns an independent copy of the deployment.
 func (d *Deployment) Clone() *Deployment {
 	cp := &Deployment{members: make(map[MonitorID]bool, len(d.members))}

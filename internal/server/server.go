@@ -249,9 +249,11 @@ type OptimizeRequest struct {
 	// Workers is the branch-and-bound worker count (0 = GOMAXPROCS,
 	// 1 = sequential).
 	Workers int `json:"workers,omitempty"`
-	// Kernel selects the LP simplex kernel: "sparse" (the default) or
-	// "dense" (the correctness oracle). It participates in the solution
-	// cache key, so results computed by different kernels never alias.
+	// Kernel selects the LP simplex kernel: "sparse"/"lu" (the default,
+	// sparse LU factorization with Forrest-Tomlin updates), "eta" (the
+	// retained eta-file kernel) or "dense" (the tableau correctness
+	// oracle). It participates in the solution cache key, so results
+	// computed by different kernels never alias.
 	Kernel string `json:"kernel,omitempty"`
 	// Certify makes the solve emit a machine-checkable optimality
 	// certificate, echoed in the result and verified server-side before the
@@ -542,13 +544,15 @@ func (s *Server) solveOptimize(ctx context.Context, req *OptimizeRequest, key st
 	opts := []core.Option{core.WithContext(ctx), core.WithWorkers(req.Workers)}
 	switch req.Kernel {
 	case "":
-	case "sparse":
-		opts = append(opts, core.WithKernel(lp.KernelSparse))
+	case "sparse", "lu":
+		opts = append(opts, core.WithKernel(lp.KernelLU))
+	case "eta":
+		opts = append(opts, core.WithKernel(lp.KernelEta))
 	case "dense":
 		opts = append(opts, core.WithDenseKernel())
 	default:
 		return errReply(http.StatusBadRequest,
-			fmt.Errorf("optimize: unknown kernel %q (want sparse or dense)", req.Kernel))
+			fmt.Errorf("optimize: unknown kernel %q (want sparse, lu, eta or dense)", req.Kernel))
 	}
 	if req.Clamp {
 		opts = append(opts, core.WithClampToAchievable())
@@ -609,6 +613,7 @@ func (s *Server) solveOptimize(ctx context.Context, req *OptimizeRequest, key st
 	if err != nil {
 		return errReply(statusFor(err), err)
 	}
+	s.stats.recordKernel(&res.Stats)
 
 	// A certified response is never cached (or served) without the server
 	// itself re-checking the certificate: the cache must only ever hold
@@ -755,6 +760,11 @@ func (s *Server) solveSweep(ctx context.Context, req *SweepRequest, key string, 
 		}
 		if err != nil {
 			return errReply(statusFor(err), err)
+		}
+		for i := range solved {
+			if p := solved[i].Optimal; p != nil {
+				s.stats.recordKernel(&p.Stats)
+			}
 		}
 		j := 0
 		for i, have := range havePoint {

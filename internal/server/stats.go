@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"secmon/internal/core"
 	"secmon/internal/state"
 )
 
@@ -21,8 +22,37 @@ type serveStats struct {
 	cacheHits      atomic.Int64 // responses served verbatim from the full-response LRU
 	sweepPointHits atomic.Int64 // sweep budget points assembled from the per-point LRU
 
+	// Cumulative LP-kernel effort across every optimizer run the server
+	// performed, for capacity planning; exposed under "kernel" in /v1/stats.
+	etas             atomic.Int64
+	refactorizations atomic.Int64
+	ftUpdates        atomic.Int64
+	boundFlips       atomic.Int64
+	adaptiveRefacs   atomic.Int64
+	kernelFallbacks  atomic.Int64
+
 	mu      sync.Mutex
 	tenants map[string]int64 // solve-slot dispatches per tenant
+}
+
+// recordKernel folds one solve's kernel counters into the cumulative totals.
+func (st *serveStats) recordKernel(ks *core.SolveStats) {
+	st.etas.Add(int64(ks.Etas))
+	st.refactorizations.Add(int64(ks.Refactorizations))
+	st.ftUpdates.Add(int64(ks.Updates))
+	st.boundFlips.Add(int64(ks.BoundFlips))
+	st.adaptiveRefacs.Add(int64(ks.AdaptiveRefactorizations))
+	st.kernelFallbacks.Add(int64(ks.KernelFallbacks))
+}
+
+// kernelStatsBody is the "kernel" object of GET /v1/stats.
+type kernelStatsBody struct {
+	Etas                     int64 `json:"etas"`
+	Refactorizations         int64 `json:"refactorizations"`
+	Updates                  int64 `json:"updates"`
+	BoundFlips               int64 `json:"boundFlips"`
+	AdaptiveRefactorizations int64 `json:"adaptiveRefactorizations"`
+	KernelFallbacks          int64 `json:"kernelFallbacks"`
 }
 
 func newServeStats() *serveStats {
@@ -62,6 +92,9 @@ type statsResponse struct {
 	InFlight       int64            `json:"inFlight"`
 	CacheEntries   int              `json:"cacheEntries"`
 	Tenants        map[string]int64 `json:"tenants"`
+	// Kernel carries the cumulative LP-kernel effort counters across every
+	// optimizer run (optimize and sweep); absent until the first solve.
+	Kernel *kernelStatsBody `json:"kernel,omitempty"`
 	// State carries the incremental-solve counters of the tenant state
 	// store (replays, sensitivity shortcuts, warm hits, full re-solves);
 	// absent when the server runs without a StateDir.
@@ -80,8 +113,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := s.store.Stats()
 		stateSnap = &snap
 	}
+	var kernel *kernelStatsBody
+	if k := (kernelStatsBody{
+		Etas:                     s.stats.etas.Load(),
+		Refactorizations:         s.stats.refactorizations.Load(),
+		Updates:                  s.stats.ftUpdates.Load(),
+		BoundFlips:               s.stats.boundFlips.Load(),
+		AdaptiveRefactorizations: s.stats.adaptiveRefacs.Load(),
+		KernelFallbacks:          s.stats.kernelFallbacks.Load(),
+	}); k != (kernelStatsBody{}) {
+		kernel = &k
+	}
 	body, _ := json.Marshal(statsResponse{
 		State:          stateSnap,
+		Kernel:         kernel,
 		Coalesced:      s.stats.coalesced.Load(),
 		Queued:         s.stats.queued.Load(),
 		Rejected:       s.stats.rejected.Load(),

@@ -92,7 +92,37 @@ func main() {
 		"comma-separated new=base:minratio specs — goodput_rps of throughput row "+
 			"'new' must be at least minratio times that of 'base', at equal or "+
 			"better p99 (5% tolerance)")
+	compare := flag.String("compare", "",
+		"old BENCH json to diff against: `-compare old.json new.json` prints a "+
+			"per-row ns/op (and B/op, allocs/op) delta table for names present in both")
+	maxRegress := flag.Float64("max-regress", 0,
+		"with -compare: fail when any shared row's median ns/op regressed by more "+
+			"than this percentage (single-shot rows are reported but never gate)")
 	flag.Parse()
+
+	if *compare != "" {
+		// The documented shape is `-compare old.json new.json -max-regress
+		// pct`; the standard flag package stops at the first positional, so
+		// pick the trailing flag back up by hand.
+		args := flag.Args()
+		if len(args) == 3 && args[1] == "-max-regress" {
+			v, err := strconv.ParseFloat(args[2], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -max-regress %q\n", args[2])
+				os.Exit(2)
+			}
+			*maxRegress, args = v, args[:1]
+		}
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-max-regress pct]")
+			os.Exit(2)
+		}
+		if err := compareReports(*compare, args[0], *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 && *throughput == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchjson [-comment C] [-out F] [-throughput rows.json,...] file=benchtime ...")
 		os.Exit(2)
@@ -176,6 +206,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// compareReports diffs the benchmark rows shared by two BENCH json files and
+// optionally gates on regression: with maxRegress > 0, any shared row whose
+// new median ns/op exceeds the old by more than that percentage fails the
+// run. Single-shot rows (one sample at -benchtime=1x) are printed for
+// context but never gate — their deltas are dominated by run-to-run noise.
+// Rows present in only one file are listed as added/removed, not errors, so
+// the gate survives benchmark renames without blocking a PR.
+func compareReports(oldPath, newPath string, maxRegress float64) error {
+	load := func(path string) (*report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldRows := make(map[string]benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldRows[b.Name] = b
+	}
+	var regressed []string
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldRows[nb.Name]
+		if !ok {
+			fmt.Printf("+ %-60s %12.0f ns/op (new row)\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		pct := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		noise := ""
+		if nb.SingleShot || ob.SingleShot {
+			noise = "  [single-shot: not gated]"
+		}
+		extra := ""
+		if ob.AllocsPerOp != 0 || nb.AllocsPerOp != 0 {
+			extra = fmt.Sprintf("  allocs %d -> %d, bytes %d -> %d",
+				ob.AllocsPerOp, nb.AllocsPerOp, ob.BytesPerOp, nb.BytesPerOp)
+		}
+		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+7.1f%%%s%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pct, extra, noise)
+		if maxRegress > 0 && noise == "" && pct > maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", nb.Name, pct))
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Printf("- %-60s %12.0f ns/op (removed row)\n", ob.Name, ob.NsPerOp)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d row(s) regressed beyond %.1f%%: %s",
+			len(regressed), maxRegress, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // assertSpeedup enforces a recorded parallel-speedup floor, specified as
