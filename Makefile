@@ -9,13 +9,14 @@ GO ?= go
 BENCH ?= BENCH_PR9.json
 LOADBENCH ?= BENCH_PR7.json
 STATEBENCH ?= BENCH_PR8.json
+CAMPBENCH ?= BENCH_PR10.json
 FUZZTIME ?= 5s
 SERVE_ADDR ?= 127.0.0.1:8643
 STRESS_N ?= 1000
 
-.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench delta-equivalence state-smoke statebench bench-compare bench-compare-advisory
+.PHONY: ci lint vet build test race race-solver kernel-equivalence decomp-equivalence certify stress stress-smoke bench-smoke fuzz-smoke serve-smoke sweep-equivalence load-smoke loadbench golden-update bench delta-equivalence state-smoke statebench campaign-smoke campaignbench bench-compare bench-compare-advisory
 
-ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence delta-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke state-smoke bench-compare-advisory
+ci: lint build race kernel-equivalence decomp-equivalence sweep-equivalence delta-equivalence certify stress-smoke bench-smoke fuzz-smoke serve-smoke load-smoke state-smoke campaign-smoke bench-compare-advisory
 
 # staticcheck is preferred when it is on PATH; plain go vet is the fallback
 # so CI works on minimal toolchain images.
@@ -149,6 +150,8 @@ fuzz-smoke:
 		-fuzz FuzzMutationLog -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/state -run FuzzIncrementalMatchesScratch \
 		-fuzz FuzzIncrementalMatchesScratch -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/campaign -run FuzzCampaignReplay \
+		-fuzz FuzzCampaignReplay -fuzztime $(FUZZTIME)
 
 # End-to-end serve smoke: build secmon, start `secmon serve`, POST an
 # optimize request with a deadline, then SIGTERM and require a clean drain
@@ -199,9 +202,43 @@ state-smoke:
 	echo "state-smoke: ok"
 	@rm -rf secmon-smoke state-smoke.dir state-smoke.log
 
-# Regenerate the E1-E8 golden artifacts after an intentional output change.
+# Regenerate the E1-E8 golden artifacts and the campaign-replay goldens
+# after an intentional output change.
 golden-update:
 	$(GO) test ./internal/experiment -run TestGoldenArtifacts -update -count=1
+	$(GO) test ./internal/campaign -run TestGoldenCampaigns -update -count=1
+
+# Campaign-replay smoke: the seeded golden scenarios plus an end-to-end CLI
+# determinism check — the same seeded replay with -check must emit
+# byte-identical JSON (and report convergence) at workers 1 and 4.
+campaign-smoke:
+	$(GO) test ./internal/campaign -run 'TestGoldenCampaigns|TestReplayDeterminism|TestWorkerInvariance|TestMonotoneDetection' -count=1
+	$(GO) build -o secmon-smoke ./cmd/secmon
+	@set -e; \
+	./secmon-smoke simulate-campaign -all -seed 7 -trials 500 -warmup 50 \
+		-benign-rate 15 -check -json -workers 1 > campaign-w1.json; \
+	./secmon-smoke simulate-campaign -all -seed 7 -trials 500 -warmup 50 \
+		-benign-rate 15 -check -json -workers 4 > campaign-w4.json; \
+	cmp campaign-w1.json campaign-w4.json || \
+		{ echo "campaign-smoke: workers 1 vs 4 output differs"; exit 1; }; \
+	grep -q '"converged": true' campaign-w1.json || \
+		{ echo "campaign-smoke: replay did not converge to the analytic metrics"; exit 1; }; \
+	echo "campaign-smoke: ok"
+	@rm -f secmon-smoke campaign-w1.json campaign-w4.json
+
+# Campaign engine throughput benchmark: BenchmarkCampaignThroughput replays
+# 20k case-study campaigns with a benign background at workers {1,4},
+# median of 5 repetitions; tools/benchjson records the custom events/s and
+# trials/s metrics under "extra". Output: `make campaignbench
+# CAMPBENCH=BENCH_PR10.json`.
+campaignbench:
+	$(GO) test -run xxx -bench '^BenchmarkCampaignThroughput$$' \
+		-benchtime=1x -count=5 -benchmem . | tee bench-campaign.txt
+	$(GO) run ./tools/benchjson \
+		-comment "$(CAMPBENCH) campaign simulation engine benchmarks (BenchmarkCampaignThroughput, 20k case-study campaigns per op with benign background at 20 events/unit-time, manifest 0.9 / capture 0.8 / lateral 0.1, median of 5). The extra map records simulated events/s (attack + benign) and campaigns/s; w1 vs w4 shows the parallel-worker scaling of the event loop. Wall-clock numbers are machine-dependent." \
+		-out $(CAMPBENCH) bench-campaign.txt=1x
+	rm -f bench-campaign.txt
+	@echo "wrote $(CAMPBENCH)"
 
 # Full benchmark sweep matching BENCH_BASELINE.json: single-shot E3/E6
 # runs, BenchmarkE7Scalability, BenchmarkE7Certify (certification overhead

@@ -10,6 +10,7 @@ import (
 	"io"
 	"testing"
 
+	"secmon/internal/campaign"
 	"secmon/internal/casestudy"
 	"secmon/internal/certify"
 	"secmon/internal/core"
@@ -754,4 +755,34 @@ func BenchmarkE10Incremental(b *testing.B) {
 	}
 	b.Run("stream20-warm", func(b *testing.B) { stream(b, stateTenant(b), false) })
 	b.Run("stream20-scratch", func(b *testing.B) { stream(b, stateTenant(b), true) })
+}
+
+// BenchmarkCampaignThroughput measures the discrete-event campaign engine on
+// the case study with the full deployment and a benign background, reporting
+// simulated events and campaigns per second as extra metrics alongside the
+// usual ns/op. The workload is fixed (20k campaigns) so events/s is
+// comparable across worker counts and commits.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	idx := caseIndex(b)
+	d := model.NewDeployment(idx.MonitorIDs()...)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			cfg := campaign.Config{
+				Seed: 1, Trials: 20_000, Warmup: 1000, Workers: workers,
+				BenignRate: 20, ManifestProb: 0.9, CaptureProb: 0.8, LateralProb: 0.1,
+			}
+			var events, benign int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := campaign.Run(idx, d, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events, benign = sum.Events, sum.BenignEvents
+			}
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(events+benign)/perOp, "events/s")
+			b.ReportMetric(float64(cfg.Trials)/perOp, "trials/s")
+		})
+	}
 }

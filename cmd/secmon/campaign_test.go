@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"secmon/internal/state"
+)
+
+func TestSimulateCampaignText(t *testing.T) {
+	out := mustRunCLI(t, "simulate-campaign", "-all", "-seed", "5", "-trials", "200", "-benign-rate", "10")
+	for _, want := range []string{
+		"200 campaigns replayed",
+		"detection-rate",
+		"earliness",
+		"evidence-recall",
+		"benign alerts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateCampaignJSONDeterministicAcrossWorkers(t *testing.T) {
+	args := []string{"simulate-campaign", "-all", "-seed", "7", "-trials", "300",
+		"-warmup", "30", "-benign-rate", "20", "-check", "-json"}
+	one := mustRunCLI(t, append(args, "-workers", "1")...)
+	four := mustRunCLI(t, append(args, "-workers", "4")...)
+	if one != four {
+		t.Error("simulate-campaign -json output differs between -workers 1 and 4")
+	}
+	var body struct {
+		Summary   json.RawMessage `json:"summary"`
+		Converged *bool           `json:"converged"`
+	}
+	if err := json.Unmarshal([]byte(one), &body); err != nil {
+		t.Fatalf("decode -json output: %v", err)
+	}
+	if body.Summary == nil || body.Converged == nil {
+		t.Fatalf("-check -json output missing summary/converged:\n%s", one)
+	}
+	if !*body.Converged {
+		t.Error("full-deployment replay reported divergence")
+	}
+}
+
+func TestSimulateCampaignBudgetFraction(t *testing.T) {
+	out := mustRunCLI(t, "simulate-campaign", "-budget-fraction", "0.5",
+		"-seed", "3", "-trials", "150", "-check")
+	if !strings.Contains(out, "convergence check: all estimators within their analytic bounds") {
+		t.Errorf("optimized half-budget deployment did not converge:\n%s", out)
+	}
+}
+
+func TestSimulateCampaignRejectsBadFlags(t *testing.T) {
+	if _, err := runCLI(t, "simulate-campaign", "-monitors", "no-such-monitor"); err == nil {
+		t.Error("unknown monitor accepted")
+	}
+	if _, err := runCLI(t, "simulate-campaign", "-all", "-trials", "-3"); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := runCLI(t, "simulate-campaign", "-all", "-lateral", "1.5"); err == nil {
+		t.Error("out-of-range lateral probability accepted")
+	}
+}
+
+// TestSimulateCampaignFeedbackRoundTrip drives the full control loop from
+// the CLI: a lossy replay writes shortfall deltas, and `secmon mutate`
+// applies them to a freshly created tenant.
+func TestSimulateCampaignFeedbackRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "deltas.json")
+	out := mustRunCLI(t, "simulate-campaign", "-budget-fraction", "0.25",
+		"-seed", "11", "-trials", "4000", "-lateral", "0.8",
+		"-manifest", "0.6", "-capture", "0.5",
+		"-feedback", deltaPath, "-boost", "2")
+	if !strings.Contains(out, "feedback deltas") {
+		t.Fatalf("no feedback confirmation printed:\n%s", out)
+	}
+	raw, err := os.ReadFile(deltaPath)
+	if err != nil {
+		t.Fatalf("read deltas: %v", err)
+	}
+	var deltas []state.Delta
+	if err := json.Unmarshal(raw, &deltas); err != nil {
+		t.Fatalf("decode deltas: %v", err)
+	}
+	if len(deltas) == 0 {
+		t.Fatal("lossy lateral replay produced no feedback deltas")
+	}
+
+	stateDir := filepath.Join(dir, "state")
+	mustRunCLI(t, "mutate", "-state-dir", stateDir, "-tenant", "fb",
+		"-create", "-budget-fraction", "0.5", "-deltas", deltaPath)
+}

@@ -17,6 +17,7 @@
 //	sweep        trace the utility-vs-budget curve with baselines
 //	synth        generate a synthetic system model as JSON
 //	simulate     Monte-Carlo attack simulation against a deployment
+//	simulate-campaign  discrete-event multi-stage campaign replay with CIs
 //	graph        export the model (and optional deployment) as GraphViz DOT
 //	trace        generate/replay attack event traces and attribute them
 //	report       write a Markdown monitoring assessment for a deployment
@@ -64,6 +65,8 @@ func run(args []string, out io.Writer) error {
 		return cmdSynth(rest, out)
 	case "simulate":
 		return cmdSimulate(rest, out)
+	case "simulate-campaign":
+		return cmdSimulateCampaign(rest, out)
 	case "graph":
 		return cmdGraph(rest, out)
 	case "trace":
@@ -100,6 +103,7 @@ subcommands:
   sweep        trace the utility-vs-budget curve with baselines
   synth        generate a synthetic system model as JSON
   simulate     Monte-Carlo attack simulation against a deployment
+  simulate-campaign  discrete-event multi-stage campaign replay with CIs
   graph        export the model (and optional deployment) as GraphViz DOT
   trace        generate/replay attack event traces and attribute them
   report       write a Markdown monitoring assessment for a deployment

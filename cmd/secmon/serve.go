@@ -54,7 +54,7 @@ func cmdServe(args []string, out io.Writer) error {
 		DisableCoalescing: *noCoalesce,
 		StateDir:          *stateDir,
 	})
-	surfaces := "POST /v1/optimize, POST /v1/sweep, GET /v1/stats, GET /v1/healthz"
+	surfaces := "POST /v1/optimize, POST /v1/sweep, POST /v1/simulate, GET /v1/stats, GET /v1/healthz"
 	if *stateDir != "" {
 		surfaces += ", /v1/tenants delta API"
 	}

@@ -1,0 +1,303 @@
+// Package campaign is a seeded discrete-event simulation engine that
+// replays thousands of concurrent multi-stage attack campaigns against a
+// chosen deployment and measures what the deployment actually detects —
+// closing the loop between the closed-form metrics of internal/metrics and
+// observed behavior on event streams.
+//
+// A campaign is one execution of a catalog attack lifted onto the topology:
+// campaigns arrive as a Poisson process, each stage is one attack step
+// executing at an asset, stages are separated by seeded exponential dwell
+// times, and a campaign may optionally deviate from its scripted path by
+// lateral movement along the asset adjacency derived by internal/graph.
+// Stage evidence manifests as timestamped events; every monitor producing
+// the event's data type rolls an independent capture, and captures by
+// deployed monitors raise alerts. A Poisson benign-event background,
+// weighted by the per-kind volumes of internal/catalog, charges an
+// alert-fatigue cost against every deployed monitor firing on benign
+// traffic.
+//
+// The engine reports the empirical detection rate, the detection earliness
+// in event time (one minus the detected fraction of the campaign's
+// lifetime, NOT the step index), the per-campaign evidence recall, the
+// per-monitor alert volume and the false-positive load — the statistical
+// estimators carry 99% confidence half-widths from the method of batch
+// means. Because inter-stage dwells are i.i.d., the expected event-time
+// earliness of a campaign detected at stage i of k equals 1 - i/k exactly
+// (E[S_i/S_k] = i/k by exchangeability for any i.i.d. positive dwell
+// distribution), so the empirical estimators converge to the analytic
+// internal/metrics values; Analytic computes those closed-form targets and
+// Prediction.Check asserts convergence within the confidence bounds —
+// divergence is a reportable bug in either the engine or the metrics, not a
+// flake.
+//
+// Determinism contract: a run is a pure function of (index, deployment,
+// Config). Every campaign owns an RNG stream derived from the seed and its
+// arrival ordinal, capture rolls cover ALL producers of a data type
+// (deployment membership only decides whether a captured roll raises an
+// alert), and aggregation runs in arrival order — so summaries are
+// byte-identical across worker counts and detection is monotone under added
+// monitors.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"secmon/internal/model"
+)
+
+// ErrBadConfig is returned for out-of-range simulation parameters.
+var ErrBadConfig = errors.New("campaign: invalid configuration")
+
+// ErrNoAttacks is returned when the system has no attack with at least one
+// step: there is nothing to replay as a campaign.
+var ErrNoAttacks = errors.New("campaign: no multi-step attacks in system")
+
+// Config parameterizes a campaign simulation run. The zero value selects
+// the documented defaults.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Trials is the number of campaigns to replay (default 1000).
+	Trials int
+	// Warmup is the number of initial campaigns excluded from the
+	// statistical estimators (they are still simulated and counted in the
+	// event/alert volumes). Must be smaller than Trials.
+	Warmup int
+	// Workers is the number of parallel simulation workers (default 1).
+	// The summary is byte-identical for every worker count.
+	Workers int
+	// ArrivalRate is the mean number of campaign arrivals per unit of
+	// simulated time (default 1); arrivals are Poisson.
+	ArrivalRate float64
+	// BenignRate is the mean number of benign background events per unit
+	// time (default 0: no background). Benign events never detect anything;
+	// they only charge alert fatigue against monitors firing on them.
+	BenignRate float64
+	// DwellMean is the mean inter-stage dwell time (default 1); dwells are
+	// exponential.
+	DwellMean float64
+	// ManifestProb is the probability that an evidence data type of an
+	// executing stage actually produces an event (default 1).
+	ManifestProb float64
+	// CaptureProb is the probability that a monitor producing an event's
+	// data type records it (default 1); each producer rolls independently.
+	CaptureProb float64
+	// LateralProb is the per-stage probability that the campaign deviates
+	// from its scripted path by hopping to a random adjacent asset (default
+	// 0). After a hop, the stage's evidence manifests only where it is
+	// co-located with the new foothold, so detection degrades.
+	LateralProb float64
+	// Batches is the batch-means batch count for the confidence intervals
+	// (default 20).
+	Batches int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Trials == 0 {
+		c.Trials = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ArrivalRate == 0 {
+		c.ArrivalRate = 1
+	}
+	if c.DwellMean == 0 {
+		c.DwellMean = 1
+	}
+	if c.ManifestProb == 0 {
+		c.ManifestProb = 1
+	}
+	if c.CaptureProb == 0 {
+		c.CaptureProb = 1
+	}
+	if c.Batches == 0 {
+		c.Batches = 20
+	}
+	switch {
+	case c.Trials < 0:
+		return c, fmt.Errorf("%w: trials %d", ErrBadConfig, c.Trials)
+	case c.Warmup < 0 || c.Warmup >= c.Trials:
+		return c, fmt.Errorf("%w: warmup %d of %d trials", ErrBadConfig, c.Warmup, c.Trials)
+	case c.ArrivalRate <= 0 || math.IsNaN(c.ArrivalRate) || math.IsInf(c.ArrivalRate, 0):
+		return c, fmt.Errorf("%w: arrival rate %v", ErrBadConfig, c.ArrivalRate)
+	case c.BenignRate < 0 || math.IsNaN(c.BenignRate) || math.IsInf(c.BenignRate, 0):
+		return c, fmt.Errorf("%w: benign rate %v", ErrBadConfig, c.BenignRate)
+	case c.DwellMean <= 0 || math.IsNaN(c.DwellMean) || math.IsInf(c.DwellMean, 0):
+		return c, fmt.Errorf("%w: dwell mean %v", ErrBadConfig, c.DwellMean)
+	case c.ManifestProb < 0 || c.ManifestProb > 1 || math.IsNaN(c.ManifestProb):
+		return c, fmt.Errorf("%w: manifest probability %v", ErrBadConfig, c.ManifestProb)
+	case c.CaptureProb < 0 || c.CaptureProb > 1 || math.IsNaN(c.CaptureProb):
+		return c, fmt.Errorf("%w: capture probability %v", ErrBadConfig, c.CaptureProb)
+	case c.LateralProb < 0 || c.LateralProb > 1 || math.IsNaN(c.LateralProb):
+		return c, fmt.Errorf("%w: lateral probability %v", ErrBadConfig, c.LateralProb)
+	case c.Batches < 2:
+		return c, fmt.Errorf("%w: batches %d", ErrBadConfig, c.Batches)
+	}
+	return c, nil
+}
+
+// Estimate is one statistical estimator with its batch-means confidence
+// interval.
+type Estimate struct {
+	// Mean is the sample mean over the measured campaigns.
+	Mean float64 `json:"mean"`
+	// HalfWidth99 is the 99% confidence half-width from the method of batch
+	// means (Student-t over the batch-mean variance); -1 when fewer than
+	// two batches carry data.
+	HalfWidth99 float64 `json:"halfWidth99"`
+	// Batches is the number of batches the half-width was computed from.
+	Batches int `json:"batches"`
+}
+
+// AttackOutcome aggregates the measured campaigns of one attack.
+type AttackOutcome struct {
+	Attack model.AttackID `json:"attack"`
+	Weight float64        `json:"weight"`
+	// Campaigns is the number of measured (post-warmup) campaigns that
+	// replayed this attack; Detected of them raised at least one alert.
+	Campaigns int `json:"campaigns"`
+	Detected  int `json:"detected"`
+	// DetectionRate estimates the probability that a campaign of this
+	// attack is detected at all.
+	DetectionRate Estimate `json:"detectionRate"`
+	// Earliness estimates the event-time detection earliness: one minus
+	// the fraction of the campaign's lifetime that had elapsed at the first
+	// alert, 0 for undetected campaigns. Its expectation equals
+	// metrics.AttackEarliness under ideal probabilities.
+	Earliness Estimate `json:"earliness"`
+	// EvidenceRecall estimates the fraction of distinct manifested evidence
+	// captured per campaign; its expectation equals metrics.AttackCoverage
+	// under ideal probabilities.
+	EvidenceRecall Estimate `json:"evidenceRecall"`
+}
+
+// MonitorLoad is the alert volume one deployed monitor sustained across the
+// whole run: its share of the triage workload, the alert-fatigue charge.
+type MonitorLoad struct {
+	Monitor model.MonitorID `json:"monitor"`
+	// AttackAlerts counts captures of genuine campaign evidence.
+	AttackAlerts int64 `json:"attackAlerts"`
+	// BenignAlerts counts firings on benign background events — pure alert
+	// fatigue; BenignPerTime is that volume per unit of simulated time.
+	BenignAlerts  int64   `json:"benignAlerts"`
+	BenignPerTime float64 `json:"benignPerTime"`
+}
+
+// Summary is the outcome of one campaign simulation run. It contains no
+// wall-clock measurements: equal seeds produce byte-identical summaries.
+type Summary struct {
+	Seed int64 `json:"seed"`
+	// Campaigns is the number of campaigns simulated; Measured excludes
+	// the warmup prefix and is what the estimators were computed from.
+	Campaigns int `json:"campaigns"`
+	Measured  int `json:"measured"`
+	// Horizon is the simulated time span (last campaign end or arrival).
+	Horizon float64 `json:"horizon"`
+	// MaxConcurrent is the peak number of simultaneously active campaigns.
+	MaxConcurrent int `json:"maxConcurrent"`
+	// Events counts manifested attack evidence events; BenignEvents the
+	// background events.
+	Events       int64 `json:"events"`
+	BenignEvents int64 `json:"benignEvents"`
+	// AttackAlerts and BenignAlerts are the alert totals across deployed
+	// monitors; FalsePositiveLoad is BenignAlerts per unit time.
+	AttackAlerts      int64   `json:"attackAlerts"`
+	BenignAlerts      int64   `json:"benignAlerts"`
+	FalsePositiveLoad float64 `json:"falsePositiveLoad"`
+	// DetectionRate, Earliness and EvidenceRecall are the campaign-weighted
+	// estimators; because campaigns sample attacks proportionally to their
+	// weight, these converge to the attack-weight-normalized analytic
+	// metrics (metrics.DetectionRate, metrics.Earliness, metrics.Utility)
+	// under ideal probabilities.
+	DetectionRate  Estimate        `json:"detectionRate"`
+	Earliness      Estimate        `json:"earliness"`
+	EvidenceRecall Estimate        `json:"evidenceRecall"`
+	PerAttack      []AttackOutcome `json:"perAttack"`
+	Monitors       []MonitorLoad   `json:"monitors"`
+}
+
+// Run replays cfg.Trials campaigns against the deployment and returns the
+// measured summary. It is a pure function of its arguments: equal inputs
+// yield byte-identical summaries for any worker count.
+func Run(idx *model.Index, d *model.Deployment, cfg Config) (*Summary, error) {
+	return RunContext(context.Background(), idx, d, cfg)
+}
+
+// RunContext is Run under a context: a cancelled or expired context aborts
+// the simulation and returns the context's error.
+func RunContext(ctx context.Context, idx *model.Index, d *model.Deployment, cfg Config) (*Summary, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := newEngine(idx, d, c)
+	if err != nil {
+		return nil, err
+	}
+	return eng.run(ctx)
+}
+
+// estimate computes the sample mean and the 99% batch-means confidence
+// half-width of vals, split into up to `batches` contiguous batches.
+func estimate(vals []float64, batches int) Estimate {
+	n := len(vals)
+	if n == 0 {
+		return Estimate{HalfWidth99: -1}
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if batches > n {
+		batches = n
+	}
+	if batches < 2 {
+		return Estimate{Mean: mean, HalfWidth99: -1, Batches: batches}
+	}
+	means := make([]float64, batches)
+	for i := 0; i < batches; i++ {
+		lo, hi := i*n/batches, (i+1)*n/batches
+		s := 0.0
+		for _, v := range vals[lo:hi] {
+			s += v
+		}
+		means[i] = s / float64(hi-lo)
+	}
+	grand := 0.0
+	for _, m := range means {
+		grand += m
+	}
+	grand /= float64(batches)
+	s2 := 0.0
+	for _, m := range means {
+		s2 += (m - grand) * (m - grand)
+	}
+	s2 /= float64(batches - 1)
+	hw := tQuant995(batches-1) * math.Sqrt(s2/float64(batches))
+	return Estimate{Mean: mean, HalfWidth99: hw, Batches: batches}
+}
+
+// tQuant995 returns the 0.995 quantile of Student's t distribution (the
+// two-sided 99% multiplier) for df degrees of freedom. Above the table it
+// returns the df=30 value, which is conservative (wider) for every larger
+// df.
+func tQuant995(df int) float64 {
+	table := []float64{
+		0, 63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+		3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+		2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+		2.763, 2.756, 2.750,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return table[len(table)-1]
+}

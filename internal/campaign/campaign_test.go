@@ -1,0 +1,357 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"secmon/internal/casestudy"
+	"secmon/internal/model"
+)
+
+func testIndex(t testing.TB) *model.Index {
+	t.Helper()
+	idx, err := casestudy.BuildIndex()
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+// halfDeployment deploys every other monitor of the case study: enough
+// coverage to detect something, enough gaps to leave variance in the
+// estimators.
+func halfDeployment(idx *model.Index) *model.Deployment {
+	d := model.NewDeployment()
+	for i, id := range idx.MonitorIDs() {
+		if i%2 == 0 {
+			d.Add(id)
+		}
+	}
+	return d
+}
+
+func summaryJSON(t testing.TB, sum *Summary) []byte {
+	t.Helper()
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	idx := testIndex(t)
+	bad := []Config{
+		{Trials: -1},
+		{Trials: 10, Warmup: 10},
+		{Warmup: -1},
+		{ArrivalRate: -2},
+		{ArrivalRate: math.NaN()},
+		{BenignRate: -1},
+		{DwellMean: -1},
+		{ManifestProb: 1.5},
+		{CaptureProb: -0.5},
+		{LateralProb: 2},
+		{Batches: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(idx, nil, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v: got %v, want ErrBadConfig", cfg, err)
+		}
+	}
+	if _, err := Analytic(idx, nil, Config{Batches: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Analytic bad config: got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestNoReplayableAttacks(t *testing.T) {
+	// Model validation already rejects step-less attacks, so the only index
+	// with nothing to replay is one with no attacks at all.
+	sys := &model.System{
+		Name:      "attack-free",
+		Assets:    []model.Asset{{ID: "a", Name: "a"}},
+		DataTypes: []model.DataType{{ID: "d", Name: "d", Asset: "a"}},
+		Monitors:  []model.Monitor{{ID: "m", Name: "m", Asset: "a", Produces: []model.DataTypeID{"d"}}},
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	if _, err := Run(idx, nil, Config{Trials: 10}); !errors.Is(err, ErrNoAttacks) {
+		t.Errorf("Run: got %v, want ErrNoAttacks", err)
+	}
+	if _, err := Analytic(idx, nil, Config{}); !errors.Is(err, ErrNoAttacks) {
+		t.Errorf("Analytic: got %v, want ErrNoAttacks", err)
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	idx := testIndex(t)
+	d := halfDeployment(idx)
+	sum, err := Run(idx, d, Config{Seed: 1, Trials: 500, Warmup: 50, BenignRate: 20})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Campaigns != 500 || sum.Measured != 450 {
+		t.Errorf("campaigns %d measured %d, want 500/450", sum.Campaigns, sum.Measured)
+	}
+	if sum.Events == 0 {
+		t.Error("no attack events manifested")
+	}
+	if sum.BenignEvents == 0 {
+		t.Error("no benign background events at BenignRate 20")
+	}
+	if sum.AttackAlerts == 0 {
+		t.Error("no attack alerts under half deployment")
+	}
+	if sum.Horizon <= 0 {
+		t.Errorf("horizon %v, want > 0", sum.Horizon)
+	}
+	if sum.MaxConcurrent < 1 {
+		t.Errorf("max concurrent %d, want >= 1", sum.MaxConcurrent)
+	}
+	if m := sum.DetectionRate.Mean; m <= 0 || m > 1 {
+		t.Errorf("detection rate %v outside (0, 1]", m)
+	}
+	if sum.DetectionRate.HalfWidth99 < 0 {
+		t.Error("detection rate carries no confidence interval")
+	}
+	if len(sum.PerAttack) == 0 {
+		t.Error("no per-attack outcomes")
+	}
+	if len(sum.Monitors) != len(d.IDs()) {
+		t.Errorf("%d monitor loads, want %d", len(sum.Monitors), len(d.IDs()))
+	}
+	var attackAlerts, benignAlerts int64
+	for _, m := range sum.Monitors {
+		attackAlerts += m.AttackAlerts
+		benignAlerts += m.BenignAlerts
+	}
+	if attackAlerts != sum.AttackAlerts || benignAlerts != sum.BenignAlerts {
+		t.Errorf("alert totals %d/%d do not match per-monitor sums %d/%d",
+			sum.AttackAlerts, sum.BenignAlerts, attackAlerts, benignAlerts)
+	}
+	if sum.FalsePositiveLoad <= 0 {
+		t.Error("no false-positive load despite benign background and deployed monitors")
+	}
+}
+
+func TestEmptyDeploymentDetectsNothing(t *testing.T) {
+	idx := testIndex(t)
+	sum, err := Run(idx, nil, Config{Seed: 3, Trials: 300, BenignRate: 10})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.DetectionRate.Mean != 0 || sum.Earliness.Mean != 0 || sum.EvidenceRecall.Mean != 0 {
+		t.Errorf("empty deployment detected something: %+v", sum.DetectionRate)
+	}
+	if sum.AttackAlerts != 0 || sum.BenignAlerts != 0 {
+		t.Errorf("empty deployment raised alerts: %d attack, %d benign", sum.AttackAlerts, sum.BenignAlerts)
+	}
+	if sum.Events == 0 || sum.BenignEvents == 0 {
+		t.Error("events must still manifest (and be counted) without any deployed monitor")
+	}
+	if len(sum.Monitors) != 0 {
+		t.Errorf("%d monitor loads for an empty deployment", len(sum.Monitors))
+	}
+}
+
+// TestReplayDeterminism pins the determinism contract: equal seeds are
+// byte-identical, different seeds are not.
+func TestReplayDeterminism(t *testing.T) {
+	idx := testIndex(t)
+	d := halfDeployment(idx)
+	cfg := Config{Seed: 42, Trials: 400, BenignRate: 15, ManifestProb: 0.8, CaptureProb: 0.9, LateralProb: 0.2}
+	a, err := Run(idx, d, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(idx, d, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ja, jb := summaryJSON(t, a), summaryJSON(t, b); string(ja) != string(jb) {
+		t.Error("same seed produced different summaries")
+	}
+	cfg.Seed = 43
+	c, err := Run(idx, d, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(summaryJSON(t, a)) == string(summaryJSON(t, c)) {
+		t.Error("different seeds produced identical summaries")
+	}
+}
+
+// TestWorkerInvariance pins the acceptance contract: the summary is
+// byte-identical across worker counts 1 and 4 (and a few others).
+func TestWorkerInvariance(t *testing.T) {
+	idx := testIndex(t)
+	d := halfDeployment(idx)
+	base := Config{Seed: 7, Trials: 600, Warmup: 60, BenignRate: 25,
+		ManifestProb: 0.85, CaptureProb: 0.9, LateralProb: 0.15}
+	ref, err := Run(idx, d, base)
+	if err != nil {
+		t.Fatalf("Run workers=1: %v", err)
+	}
+	refJSON := summaryJSON(t, ref)
+	for _, w := range []int{2, 3, 4, 7} {
+		cfg := base
+		cfg.Workers = w
+		sum, err := Run(idx, d, cfg)
+		if err != nil {
+			t.Fatalf("Run workers=%d: %v", w, err)
+		}
+		if got := summaryJSON(t, sum); string(got) != string(refJSON) {
+			t.Errorf("workers=%d summary differs from workers=1", w)
+		}
+	}
+}
+
+// TestMonotoneDetection pins the other determinism consequence: adding a
+// monitor never loses a detection, because capture rolls are drawn for every
+// producer whether or not it is deployed.
+func TestMonotoneDetection(t *testing.T) {
+	idx := testIndex(t)
+	cfg := Config{Seed: 11, Trials: 500, ManifestProb: 0.7, CaptureProb: 0.6}
+	d := model.NewDeployment()
+	prev := -1.0
+	var prevAlerts int64
+	for _, id := range idx.MonitorIDs() {
+		d.Add(id)
+		sum, err := Run(idx, d, cfg)
+		if err != nil {
+			t.Fatalf("Run with %d monitors: %v", len(d.IDs()), err)
+		}
+		if sum.DetectionRate.Mean < prev-1e-12 {
+			t.Errorf("adding %s decreased detection: %v -> %v", id, prev, sum.DetectionRate.Mean)
+		}
+		if sum.AttackAlerts < prevAlerts {
+			t.Errorf("adding %s decreased attack alerts: %d -> %d", id, prevAlerts, sum.AttackAlerts)
+		}
+		prev, prevAlerts = sum.DetectionRate.Mean, sum.AttackAlerts
+	}
+}
+
+func TestWarmupExcludedFromEstimators(t *testing.T) {
+	idx := testIndex(t)
+	d := halfDeployment(idx)
+	full, err := Run(idx, d, Config{Seed: 5, Trials: 200})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	warm, err := Run(idx, d, Config{Seed: 5, Trials: 200, Warmup: 150})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if warm.Measured != 50 {
+		t.Errorf("measured %d, want 50", warm.Measured)
+	}
+	// The alert volumes cover all campaigns; they must match the full run.
+	if warm.AttackAlerts != full.AttackAlerts || warm.Events != full.Events {
+		t.Errorf("warmup changed simulated volumes: %d/%d vs %d/%d",
+			warm.AttackAlerts, warm.Events, full.AttackAlerts, full.Events)
+	}
+	total := 0
+	for _, a := range warm.PerAttack {
+		total += a.Campaigns
+	}
+	if total != warm.Measured {
+		t.Errorf("per-attack campaigns sum to %d, want %d", total, warm.Measured)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	idx := testIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, idx, halfDeployment(idx), Config{Seed: 1, Trials: 50_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	if e := estimate(nil, 20); e.HalfWidth99 != -1 {
+		t.Errorf("empty sample: %+v", e)
+	}
+	if e := estimate([]float64{3}, 20); e.Mean != 3 || e.HalfWidth99 != -1 {
+		t.Errorf("single sample: %+v", e)
+	}
+	// A constant sample has a zero-width interval whatever the batching.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 0.25
+	}
+	e := estimate(vals, 20)
+	if e.Mean != 0.25 || e.HalfWidth99 != 0 || e.Batches != 20 {
+		t.Errorf("constant sample: %+v", e)
+	}
+	// An alternating sample: mean 0.5 and a positive half-width.
+	for i := range vals {
+		vals[i] = float64(i % 2)
+	}
+	e = estimate(vals, 10)
+	if e.Mean != 0.5 || e.HalfWidth99 < 0 {
+		t.Errorf("alternating sample: %+v", e)
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if !math.IsInf(tQuant995(0), 1) {
+		t.Error("df=0 must be infinite")
+	}
+	if got := tQuant995(1); got != 63.657 {
+		t.Errorf("df=1: %v", got)
+	}
+	if got := tQuant995(19); got != 2.861 {
+		t.Errorf("df=19: %v", got)
+	}
+	if got := tQuant995(1000); got != 2.750 {
+		t.Errorf("df=1000 must clamp to the df=30 value, got %v", got)
+	}
+}
+
+func TestShard(t *testing.T) {
+	for _, tc := range []struct{ total, workers int }{{10, 3}, {7, 7}, {100, 4}, {5, 1}} {
+		covered := 0
+		prevHi := 0
+		for w := 0; w < tc.workers; w++ {
+			lo, hi := shard(tc.total, tc.workers, w)
+			if lo != prevHi {
+				t.Errorf("shard(%d,%d,%d) lo=%d, want %d", tc.total, tc.workers, w, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.total || prevHi != tc.total {
+			t.Errorf("shards of (%d,%d) cover %d, end at %d", tc.total, tc.workers, covered, prevHi)
+		}
+	}
+}
+
+// TestLateralMovementDegradesDetection: hopping off the scripted path
+// suppresses off-foothold evidence, so detection under lateral movement must
+// not exceed the scripted baseline (same seed, same draws until the hop).
+func TestLateralMovementDegradesDetection(t *testing.T) {
+	idx := testIndex(t)
+	d := halfDeployment(idx)
+	base, err := Run(idx, d, Config{Seed: 9, Trials: 4000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	lat, err := Run(idx, d, Config{Seed: 9, Trials: 4000, LateralProb: 0.6})
+	if err != nil {
+		t.Fatalf("Run lateral: %v", err)
+	}
+	if lat.EvidenceRecall.Mean > base.EvidenceRecall.Mean+1e-9 {
+		t.Errorf("lateral movement increased evidence recall: %v > %v",
+			lat.EvidenceRecall.Mean, base.EvidenceRecall.Mean)
+	}
+	if lat.Events >= base.Events {
+		t.Errorf("lateral movement should suppress some events: %d >= %d", lat.Events, base.Events)
+	}
+}

@@ -1,0 +1,460 @@
+package campaign
+
+import (
+	"container/heap"
+	"context"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"secmon/internal/catalog"
+	"secmon/internal/graph"
+	"secmon/internal/model"
+)
+
+// evidencePlan is one evidence item of a stage, resolved against the index:
+// the ordinals of ALL its producers (deployed or not — capture rolls must
+// not depend on the deployment, or adding a monitor would perturb the RNG
+// stream and break detection monotonicity).
+type evidencePlan struct {
+	dt        model.DataTypeID
+	asset     model.AssetID
+	producers []int
+}
+
+// stagePlan is one attack step lifted onto the topology. asset is the
+// scripted foothold: the asset of the stage's first located evidence.
+type stagePlan struct {
+	asset    model.AssetID
+	evidence []evidencePlan
+}
+
+// attackPlan is one replayable attack: an attack with at least one step.
+type attackPlan struct {
+	id     model.AttackID
+	weight float64
+	steps  []stagePlan
+}
+
+// run is the live state of one campaign.
+type run struct {
+	plan    *attackPlan
+	arrival float64
+	rng     *rand.Rand
+
+	asset      model.AssetID // current foothold
+	detected   bool
+	detectTime float64
+	end        float64
+	events     int64
+	manifested map[model.DataTypeID]bool
+	captured   map[model.DataTypeID]bool
+}
+
+// event is one pending stage execution in a worker's event queue.
+type event struct {
+	at    float64
+	seq   int64
+	c     *run
+	stage int
+}
+
+// eventQueue is a min-heap of pending events ordered by (time, sequence),
+// the discrete-event simulation's priority queue.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// engine holds everything a campaign run precomputes from the index and the
+// deployment.
+type engine struct {
+	idx *model.Index
+	d   *model.Deployment
+	cfg Config
+
+	monIDs   []model.MonitorID
+	deployed []bool
+	plans    []attackPlan
+	cumW     []float64 // cumulative plan weights for weighted sampling
+	adj      map[model.AssetID][]model.AssetID
+
+	// Benign background tables: one entry per data type, with cumulative
+	// catalog-volume weights for sampling which kind of benign event fires.
+	benignDTs [][]int // producer ordinals per data type
+	benignCum []float64
+
+	campaigns []*run
+}
+
+// mix derives an independent RNG seed from the master seed and a stream
+// ordinal (splitmix64), so every campaign owns its own stream regardless of
+// which worker simulates it.
+func mix(seed, stream int64) int64 {
+	z := uint64(seed) ^ (uint64(stream) * 0x9e3779b97f4a7c15)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func newEngine(idx *model.Index, d *model.Deployment, cfg Config) (*engine, error) {
+	if d == nil {
+		d = model.NewDeployment()
+	}
+	e := &engine{idx: idx, d: d, cfg: cfg, monIDs: idx.MonitorIDs()}
+	ord := make(map[model.MonitorID]int, len(e.monIDs))
+	e.deployed = make([]bool, len(e.monIDs))
+	for i, id := range e.monIDs {
+		ord[id] = i
+		e.deployed[i] = d.Contains(id)
+	}
+
+	producers := func(dt model.DataTypeID) []int {
+		ids := idx.Producers(dt)
+		out := make([]int, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, ord[id])
+		}
+		return out
+	}
+	assetOf := func(dt model.DataTypeID) model.AssetID {
+		if info, ok := idx.DataType(dt); ok {
+			return info.Asset
+		}
+		return ""
+	}
+
+	total := 0.0
+	for _, aid := range idx.AttackIDs() {
+		attack, _ := idx.Attack(aid)
+		if len(attack.Steps) == 0 {
+			continue
+		}
+		plan := attackPlan{id: aid, weight: model.AttackWeight(*attack)}
+		for _, step := range attack.Steps {
+			sp := stagePlan{}
+			for _, dt := range step.Evidence {
+				ep := evidencePlan{dt: dt, asset: assetOf(dt), producers: producers(dt)}
+				if sp.asset == "" {
+					sp.asset = ep.asset
+				}
+				sp.evidence = append(sp.evidence, ep)
+			}
+			plan.steps = append(plan.steps, sp)
+		}
+		e.plans = append(e.plans, plan)
+		total += plan.weight
+		e.cumW = append(e.cumW, total)
+	}
+	if len(e.plans) == 0 {
+		return nil, ErrNoAttacks
+	}
+
+	if cfg.LateralProb > 0 {
+		e.adj = graph.AssetAdjacency(idx)
+	}
+	if cfg.BenignRate > 0 {
+		cum := 0.0
+		for _, dt := range idx.DataTypeIDs() {
+			kind, _, _ := strings.Cut(string(dt), "@")
+			w := catalog.BenignEventRate(catalog.DataKind(kind))
+			cum += w
+			e.benignDTs = append(e.benignDTs, producers(dt))
+			e.benignCum = append(e.benignCum, cum)
+		}
+		if cum == 0 { // no recognizable kinds: fall back to uniform volume
+			for i := range e.benignCum {
+				e.benignCum[i] = float64(i + 1)
+			}
+		}
+	}
+	return e, nil
+}
+
+// pickWeighted samples an index from a cumulative weight array.
+func pickWeighted(rng *rand.Rand, cum []float64) int {
+	r := rng.Float64() * cum[len(cum)-1]
+	i := sort.SearchFloat64s(cum, r)
+	if i == len(cum) { // r == total weight, a measure-zero edge
+		i = len(cum) - 1
+	}
+	return i
+}
+
+// stage executes one campaign stage at simulated time `at`: the optional
+// lateral hop, then the manifestation and capture rolls of the stage's
+// evidence. The RNG draw sequence never depends on the deployment.
+func (e *engine) stage(c *run, si int, at float64, alerts []int64) {
+	step := &c.plan.steps[si]
+	hopped := false
+	if e.cfg.LateralProb > 0 && si > 0 && c.rng.Float64() < e.cfg.LateralProb {
+		if nbrs := e.adj[c.asset]; len(nbrs) > 0 {
+			c.asset = nbrs[c.rng.Intn(len(nbrs))]
+			hopped = true
+		}
+	}
+	if !hopped && step.asset != "" {
+		c.asset = step.asset // follow the scripted path
+	}
+	for i := range step.evidence {
+		ev := &step.evidence[i]
+		if hopped && ev.asset != "" && ev.asset != c.asset {
+			continue // off-foothold evidence does not manifest after a hop
+		}
+		if e.cfg.ManifestProb < 1 && c.rng.Float64() >= e.cfg.ManifestProb {
+			continue
+		}
+		c.events++
+		c.manifested[ev.dt] = true
+		for _, ord := range ev.producers {
+			if e.cfg.CaptureProb < 1 && c.rng.Float64() >= e.cfg.CaptureProb {
+				continue
+			}
+			if !e.deployed[ord] {
+				continue
+			}
+			alerts[ord]++
+			c.captured[ev.dt] = true
+			if !c.detected {
+				c.detected, c.detectTime = true, at
+			}
+		}
+	}
+}
+
+// worker drains one shard of campaigns through a local discrete-event loop:
+// an event queue interleaves the stages of every concurrently active
+// campaign in time order. Campaigns are independent, so sharding them across
+// workers changes nothing observable.
+func (e *engine) worker(ctx context.Context, lo, hi int, alerts []int64) error {
+	q := make(eventQueue, 0, hi-lo)
+	seq := int64(0)
+	for _, c := range e.campaigns[lo:hi] {
+		q = append(q, event{at: c.arrival, seq: seq, c: c})
+		seq++
+	}
+	heap.Init(&q)
+	pops := 0
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		if pops++; pops&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		c := ev.c
+		e.stage(c, ev.stage, ev.at, alerts)
+		dwell := c.rng.ExpFloat64() * e.cfg.DwellMean
+		if ev.stage+1 < len(c.plan.steps) {
+			heap.Push(&q, event{at: ev.at + dwell, seq: seq, c: c, stage: ev.stage + 1})
+			seq++
+		} else {
+			c.end = ev.at + dwell // the final stage occupies one dwell too
+		}
+	}
+	return nil
+}
+
+// shard returns the half-open campaign range of worker w out of n.
+func shard(total, workers, w int) (int, int) {
+	base, rem := total/workers, total%workers
+	lo := w*base + min(w, rem)
+	size := base
+	if w < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func (e *engine) run(ctx context.Context) (*Summary, error) {
+	cfg := e.cfg
+
+	// Phase 1 — schedule. All arrival randomness comes from one master
+	// stream drawn up front, so the schedule is independent of workers.
+	master := rand.New(rand.NewSource(mix(cfg.Seed, 0)))
+	e.campaigns = make([]*run, cfg.Trials)
+	t := 0.0
+	for i := range e.campaigns {
+		t += master.ExpFloat64() / cfg.ArrivalRate
+		e.campaigns[i] = &run{
+			plan:       &e.plans[pickWeighted(master, e.cumW)],
+			arrival:    t,
+			rng:        rand.New(rand.NewSource(mix(cfg.Seed, int64(i)+1))),
+			manifested: make(map[model.DataTypeID]bool),
+			captured:   make(map[model.DataTypeID]bool),
+		}
+	}
+	lastArrival := t
+
+	// Phase 2 — replay, sharded across workers. Each worker owns a
+	// contiguous campaign range and a private alert counter array; integer
+	// counters merge order-independently, so the result is byte-identical
+	// for every worker count.
+	workers := cfg.Workers
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	alerts := make([][]int64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		alerts[w] = make([]int64, len(e.monIDs))
+		lo, hi := shard(cfg.Trials, workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = e.worker(ctx, lo, hi, alerts[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sum := &Summary{Seed: cfg.Seed, Campaigns: cfg.Trials, Measured: cfg.Trials - cfg.Warmup}
+	attackAlerts := make([]int64, len(e.monIDs))
+	for _, wa := range alerts {
+		for i, n := range wa {
+			attackAlerts[i] += n
+		}
+	}
+
+	// Horizon and peak concurrency from the campaign intervals.
+	horizon := lastArrival
+	starts := make([]float64, len(e.campaigns))
+	ends := make([]float64, len(e.campaigns))
+	for i, c := range e.campaigns {
+		starts[i], ends[i] = c.arrival, c.end
+		if c.end > horizon {
+			horizon = c.end
+		}
+		sum.Events += c.events
+	}
+	sort.Float64s(starts)
+	sort.Float64s(ends)
+	cur := 0
+	for i, j := 0, 0; i < len(starts); {
+		if ends[j] <= starts[i] {
+			cur--
+			j++
+			continue
+		}
+		cur++
+		i++
+		if cur > sum.MaxConcurrent {
+			sum.MaxConcurrent = cur
+		}
+	}
+	sum.Horizon = horizon
+
+	// Phase 3 — benign background, one seeded stream over the full horizon.
+	// Benign events only charge alert fatigue; they cannot detect anything,
+	// so simulating them after the campaigns changes no campaign outcome.
+	benignAlerts := make([]int64, len(e.monIDs))
+	if cfg.BenignRate > 0 && len(e.benignCum) > 0 {
+		brng := rand.New(rand.NewSource(mix(cfg.Seed, -1)))
+		bt := 0.0
+		n := 0
+		for {
+			bt += brng.ExpFloat64() / cfg.BenignRate
+			if bt > horizon {
+				break
+			}
+			if n++; n&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			sum.BenignEvents++
+			for _, ord := range e.benignDTs[pickWeighted(brng, e.benignCum)] {
+				if cfg.CaptureProb < 1 && brng.Float64() >= cfg.CaptureProb {
+					continue
+				}
+				if !e.deployed[ord] {
+					continue
+				}
+				benignAlerts[ord]++
+			}
+		}
+	}
+
+	// Phase 4 — estimators over the measured (post-warmup) campaigns, in
+	// arrival order.
+	measured := e.campaigns[cfg.Warmup:]
+	det := make([]float64, len(measured))
+	earl := make([]float64, len(measured))
+	rec := make([]float64, len(measured))
+	byPlan := make(map[*attackPlan][]int, len(e.plans))
+	for i, c := range measured {
+		if c.detected {
+			det[i] = 1
+			denom := c.end - c.arrival
+			if denom > 0 {
+				earl[i] = 1 - (c.detectTime-c.arrival)/denom
+			} else {
+				earl[i] = 1
+			}
+		}
+		if len(c.manifested) > 0 {
+			rec[i] = float64(len(c.captured)) / float64(len(c.manifested))
+		}
+		byPlan[c.plan] = append(byPlan[c.plan], i)
+	}
+	sum.DetectionRate = estimate(det, cfg.Batches)
+	sum.Earliness = estimate(earl, cfg.Batches)
+	sum.EvidenceRecall = estimate(rec, cfg.Batches)
+
+	for pi := range e.plans {
+		plan := &e.plans[pi]
+		idxs := byPlan[plan]
+		out := AttackOutcome{Attack: plan.id, Weight: plan.weight, Campaigns: len(idxs)}
+		pdet := make([]float64, len(idxs))
+		pearl := make([]float64, len(idxs))
+		prec := make([]float64, len(idxs))
+		for k, i := range idxs {
+			pdet[k], pearl[k], prec[k] = det[i], earl[i], rec[i]
+			if det[i] == 1 {
+				out.Detected++
+			}
+		}
+		out.DetectionRate = estimate(pdet, cfg.Batches)
+		out.Earliness = estimate(pearl, cfg.Batches)
+		out.EvidenceRecall = estimate(prec, cfg.Batches)
+		sum.PerAttack = append(sum.PerAttack, out)
+	}
+
+	for i, id := range e.monIDs {
+		if !e.deployed[i] {
+			continue
+		}
+		load := MonitorLoad{Monitor: id, AttackAlerts: attackAlerts[i], BenignAlerts: benignAlerts[i]}
+		if horizon > 0 {
+			load.BenignPerTime = float64(benignAlerts[i]) / horizon
+		}
+		sum.AttackAlerts += load.AttackAlerts
+		sum.BenignAlerts += load.BenignAlerts
+		sum.Monitors = append(sum.Monitors, load)
+	}
+	if horizon > 0 {
+		sum.FalsePositiveLoad = float64(sum.BenignAlerts) / horizon
+	}
+	return sum, nil
+}

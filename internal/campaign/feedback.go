@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"secmon/internal/model"
+	"secmon/internal/state"
+)
+
+// Shortfall is one attack whose measured detection rate fell short of its
+// analytic prediction by more than the confidence half-width: the campaign
+// dynamics (lateral movement, missed manifestations) ate detection the
+// closed-form model promised.
+type Shortfall struct {
+	Attack model.AttackID `json:"attack"`
+	Weight float64        `json:"weight"`
+	// Empirical and Predicted are the measured and analytic detection
+	// rates; Shortfall is their gap (predicted minus empirical, positive).
+	Empirical float64 `json:"empirical"`
+	Predicted float64 `json:"predicted"`
+	Shortfall float64 `json:"shortfall"`
+}
+
+// Shortfalls extracts the statistically significant per-attack detection
+// shortfalls of a run: attacks whose empirical detection rate sits below
+// the analytic prediction by more than the 99% half-width. Attacks without
+// a usable confidence interval are skipped.
+func Shortfalls(sum *Summary, pred *Prediction) []Shortfall {
+	byID := make(map[model.AttackID]*AttackPrediction, len(pred.PerAttack))
+	for i := range pred.PerAttack {
+		byID[pred.PerAttack[i].Attack] = &pred.PerAttack[i]
+	}
+	var out []Shortfall
+	for _, o := range sum.PerAttack {
+		ap, ok := byID[o.Attack]
+		if !ok || o.DetectionRate.HalfWidth99 < 0 {
+			continue
+		}
+		gap := ap.DetectionProb - o.DetectionRate.Mean
+		if gap <= o.DetectionRate.HalfWidth99 {
+			continue
+		}
+		out = append(out, Shortfall{
+			Attack:    o.Attack,
+			Weight:    o.Weight,
+			Empirical: o.DetectionRate.Mean,
+			Predicted: ap.DetectionProb,
+			Shortfall: gap,
+		})
+	}
+	return out
+}
+
+// FeedbackDeltas converts measured detection shortfalls into a typed delta
+// batch for the event-sourced tenant state (internal/state), closing the
+// control loop: each short attack is re-weighted to weight*(1 +
+// boost*shortfall), so the next incremental re-optimization buys coverage
+// where the campaigns showed the deployment actually underdelivers. The
+// batch is applied atomically by Tenant.Mutate; boost defaults to 1 when
+// non-positive.
+func FeedbackDeltas(idx *model.Index, shortfalls []Shortfall, boost float64) ([]state.Delta, error) {
+	if boost <= 0 || math.IsNaN(boost) {
+		boost = 1
+	}
+	var deltas []state.Delta
+	for _, sf := range shortfalls {
+		attack, ok := idx.Attack(sf.Attack)
+		if !ok {
+			return nil, fmt.Errorf("campaign: feedback for unknown attack %q", sf.Attack)
+		}
+		boosted := *attack
+		boosted.Steps = append([]model.AttackStep(nil), attack.Steps...)
+		boosted.Weight = model.AttackWeight(*attack) * (1 + boost*sf.Shortfall)
+		deltas = append(deltas,
+			state.Delta{Op: state.OpDropAttack, AttackID: sf.Attack},
+			state.Delta{Op: state.OpAddAttack, Attack: &boosted},
+		)
+	}
+	return deltas, nil
+}

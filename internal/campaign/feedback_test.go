@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"testing"
+
+	"secmon/internal/model"
+	"secmon/internal/state"
+)
+
+func TestShortfallsFlagOnlySignificantGaps(t *testing.T) {
+	pred := &Prediction{PerAttack: []AttackPrediction{
+		{Attack: "a", Weight: 2, DetectionProb: 0.9},
+		{Attack: "b", Weight: 1, DetectionProb: 0.5},
+		{Attack: "c", Weight: 1, DetectionProb: 0.4},
+	}}
+	sum := &Summary{PerAttack: []AttackOutcome{
+		// Far below prediction, tight interval: a real shortfall.
+		{Attack: "a", DetectionRate: Estimate{Mean: 0.5, HalfWidth99: 0.05}},
+		// Below prediction but inside the interval: statistical noise.
+		{Attack: "b", DetectionRate: Estimate{Mean: 0.45, HalfWidth99: 0.1}},
+		// No usable interval: never flagged.
+		{Attack: "c", DetectionRate: Estimate{Mean: 0.1, HalfWidth99: -1}},
+	}}
+	got := Shortfalls(sum, pred)
+	if len(got) != 1 {
+		t.Fatalf("got %d shortfalls, want 1: %+v", len(got), got)
+	}
+	sf := got[0]
+	if sf.Attack != "a" || sf.Empirical != 0.5 || sf.Predicted != 0.9 {
+		t.Errorf("unexpected shortfall: %+v", sf)
+	}
+	if diff := sf.Shortfall - 0.4; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("shortfall gap %v, want 0.4", sf.Shortfall)
+	}
+}
+
+// TestLateralShortfalls produces shortfalls through the genuine mechanism:
+// heavy lateral movement pulls empirical detection below the scripted-path
+// analytic ceiling, which is exactly the measured-vs-promised gap the
+// feedback loop reweights on. Probabilities stay below ideal — with certain
+// manifestation and capture the case study detects every campaign from any
+// foothold and no gap can open.
+func TestLateralShortfalls(t *testing.T) {
+	idx := testIndex(t)
+	d := halfDeployment(idx)
+	cfg := Config{
+		Seed: 77, Trials: 20_000, LateralProb: 0.8,
+		ManifestProb: 0.6, CaptureProb: 0.5, Workers: 4,
+	}
+	sum, err := Run(idx, d, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	pred, err := Analytic(idx, d, cfg)
+	if err != nil {
+		t.Fatalf("Analytic: %v", err)
+	}
+	shortfalls := Shortfalls(sum, pred)
+	if len(shortfalls) == 0 {
+		t.Fatal("heavy lateral movement produced no measurable detection shortfall")
+	}
+	for _, sf := range shortfalls {
+		if sf.Shortfall <= 0 {
+			t.Errorf("non-positive shortfall recorded: %+v", sf)
+		}
+		if sf.Empirical >= sf.Predicted {
+			t.Errorf("shortfall without a gap: %+v", sf)
+		}
+	}
+
+	deltas, err := FeedbackDeltas(idx, shortfalls, 1)
+	if err != nil {
+		t.Fatalf("FeedbackDeltas: %v", err)
+	}
+	if len(deltas) != 2*len(shortfalls) {
+		t.Fatalf("%d deltas for %d shortfalls, want drop+add pairs", len(deltas), len(shortfalls))
+	}
+	for i := 0; i < len(deltas); i += 2 {
+		drop, add := deltas[i], deltas[i+1]
+		if drop.Op != state.OpDropAttack || add.Op != state.OpAddAttack {
+			t.Fatalf("delta pair %d is %s/%s, want drop-attack/add-attack", i/2, drop.Op, add.Op)
+		}
+		if add.Attack == nil || drop.AttackID != add.Attack.ID {
+			t.Fatalf("delta pair %d drops %q but adds %+v", i/2, drop.AttackID, add.Attack)
+		}
+		orig, _ := idx.Attack(add.Attack.ID)
+		if add.Attack.Weight <= model.AttackWeight(*orig) {
+			t.Errorf("attack %s weight %v not boosted above %v",
+				add.Attack.ID, add.Attack.Weight, model.AttackWeight(*orig))
+		}
+	}
+}
+
+func TestFeedbackDeltasUnknownAttack(t *testing.T) {
+	idx := testIndex(t)
+	_, err := FeedbackDeltas(idx, []Shortfall{{Attack: "no-such-attack", Shortfall: 0.5}}, 1)
+	if err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}
+
+// TestFeedbackClosesControlLoop applies the generated delta batch to an
+// event-sourced tenant: the mutation must commit, re-solve, and leave the
+// tenant's model carrying the boosted weight.
+func TestFeedbackClosesControlLoop(t *testing.T) {
+	idx := testIndex(t)
+	store, err := state.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("state.Open: %v", err)
+	}
+	defer store.Close()
+	tenant, err := store.Create("campaign-feedback", idx.System(),
+		state.SolveSpec{Budget: idx.System().TotalMonitorCost() * 0.5})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	aid := idx.AttackIDs()[0]
+	attack, _ := idx.Attack(aid)
+	origWeight := model.AttackWeight(*attack)
+	shortfalls := []Shortfall{{Attack: aid, Weight: origWeight, Empirical: 0.3, Predicted: 0.8, Shortfall: 0.5}}
+	deltas, err := FeedbackDeltas(idx, shortfalls, 2)
+	if err != nil {
+		t.Fatalf("FeedbackDeltas: %v", err)
+	}
+	if _, err := tenant.Mutate(deltas); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+
+	var got float64
+	for _, a := range tenant.System().Attacks {
+		if a.ID == aid {
+			got = model.AttackWeight(a)
+		}
+	}
+	want := origWeight * (1 + 2*0.5)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("tenant weight for %s is %v after feedback, want %v", aid, got, want)
+	}
+}

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+
+	"secmon/internal/model"
+	"secmon/internal/synth"
+)
+
+// fuzzIndex is the fixed synthetic system every FuzzCampaignReplay input
+// replays against; building it per input would drown the fuzzer in setup.
+func fuzzIndex(t testing.TB) *model.Index {
+	t.Helper()
+	sys, err := synth.Generate(synth.Config{Seed: 11, Monitors: 8, Attacks: 5})
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	return idx
+}
+
+// FuzzCampaignReplay drives the engine over fuzzed seeds, deployments and
+// probabilities asserting the three replay invariants on every input: no
+// panic, byte-identical summaries for equal seeds and across worker counts
+// {1, 4}, and monotone detection under an added monitor.
+func FuzzCampaignReplay(f *testing.F) {
+	idx := fuzzIndex(f)
+	monitors := idx.MonitorIDs()
+
+	f.Add(int64(1), byte(16), byte(0xff), byte(100), byte(100), byte(0))
+	f.Add(int64(-7), byte(40), byte(0x35), byte(70), byte(80), byte(30))
+	f.Add(int64(9999), byte(3), byte(0x01), byte(50), byte(25), byte(100))
+
+	f.Fuzz(func(t *testing.T, seed int64, trialsB, mask, mp, cp, lp byte) {
+		trials := 4 + int(trialsB%48)
+		d := model.NewDeployment()
+		for i, id := range monitors {
+			if mask>>(i%8)&1 == 1 {
+				d.Add(id)
+			}
+		}
+		cfg := Config{
+			Seed:         seed,
+			Trials:       trials,
+			ManifestProb: float64(mp%101) / 100,
+			CaptureProb:  float64(cp%101) / 100,
+			LateralProb:  float64(lp%101) / 100,
+			BenignRate:   float64(mask % 4),
+		}
+		run := func(workers int) *Summary {
+			t.Helper()
+			c := cfg
+			c.Workers = workers
+			sum, err := Run(idx, d, c)
+			if err != nil {
+				t.Fatalf("Run(workers=%d, cfg=%+v): %v", workers, c, err)
+			}
+			return sum
+		}
+		marshal := func(sum *Summary) string {
+			t.Helper()
+			b, err := json.Marshal(sum)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			return string(b)
+		}
+
+		base := run(1)
+		if again := run(1); marshal(again) != marshal(base) {
+			t.Fatal("replay with the same seed produced different summaries")
+		}
+		if wide := run(4); marshal(wide) != marshal(base) {
+			t.Fatal("workers=4 summary differs from workers=1")
+		}
+
+		// Adding any undeployed monitor must never lose a detection: capture
+		// rolls are drawn for every producer regardless of deployment, so
+		// the sample paths are unchanged and detection is monotone.
+		for _, id := range monitors {
+			if !d.Contains(id) {
+				d.Add(id)
+				grown, err := Run(idx, d, cfg)
+				if err != nil {
+					t.Fatalf("Run with added %s: %v", id, err)
+				}
+				if grown.DetectionRate.Mean < base.DetectionRate.Mean-1e-12 {
+					t.Fatalf("adding %s decreased detection %v -> %v",
+						id, base.DetectionRate.Mean, grown.DetectionRate.Mean)
+				}
+				if grown.AttackAlerts < base.AttackAlerts {
+					t.Fatalf("adding %s decreased attack alerts %d -> %d",
+						id, base.AttackAlerts, grown.AttackAlerts)
+				}
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+// Regenerate the campaign golden artifacts after an intentional output
+// change with:
+//
+//	go test ./internal/campaign -run TestGoldenCampaigns -update
+//
+// (wired into `make golden-update`). Summaries carry no wall-clock fields —
+// unlike the E1-E8 goldens there are no durations to scrub; the committed
+// bytes are exactly what every seeded run reproduces.
+var updateGolden = flag.Bool("update", false, "rewrite golden campaign artifacts")
+
+// singleStageSystem is a deliberately tiny topology whose attacks all have
+// exactly one step: detection and earliness collapse to the same event, the
+// sharpest corner of the estimator math.
+func singleStageSystem(t *testing.T) *model.Index {
+	t.Helper()
+	sys := &model.System{
+		Name: "single-stage",
+		Assets: []model.Asset{
+			{ID: "web", Name: "web server"},
+			{ID: "db", Name: "database"},
+		},
+		DataTypes: []model.DataType{
+			{ID: "http@web", Name: "http access", Asset: "web"},
+			{ID: "query@db", Name: "db query log", Asset: "db"},
+		},
+		Monitors: []model.Monitor{
+			{ID: "weblog", Name: "web logger", Asset: "web", Produces: []model.DataTypeID{"http@web"}, CapitalCost: 10},
+			{ID: "dblog", Name: "db auditor", Asset: "db", Produces: []model.DataTypeID{"query@db"}, CapitalCost: 20},
+		},
+		Attacks: []model.Attack{
+			{ID: "defacement", Name: "defacement", Weight: 2, Steps: []model.AttackStep{
+				{Name: "exploit", Evidence: []model.DataTypeID{"http@web"}},
+			}},
+			{ID: "exfiltration", Name: "exfiltration", Weight: 1, Steps: []model.AttackStep{
+				{Name: "dump", Evidence: []model.DataTypeID{"query@db"}},
+			}},
+		},
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	return idx
+}
+
+// goldenScenarios are the three pinned campaign runs: a single-stage system,
+// a lateral-movement replay on the case study, and a high-benign-noise run
+// charging alert fatigue. Each is small enough to diff by eye but exercises
+// a distinct engine path.
+func goldenScenarios(t *testing.T) []struct {
+	name string
+	idx  *model.Index
+	d    *model.Deployment
+	cfg  Config
+} {
+	t.Helper()
+	caseIdx := testIndex(t)
+	return []struct {
+		name string
+		idx  *model.Index
+		d    *model.Deployment
+		cfg  Config
+	}{
+		{
+			name: "single-stage",
+			idx:  singleStageSystem(t),
+			d:    model.NewDeployment("weblog"),
+			cfg:  Config{Seed: 1, Trials: 200, ManifestProb: 0.9, CaptureProb: 0.8},
+		},
+		{
+			name: "lateral-movement",
+			idx:  caseIdx,
+			d:    halfDeployment(caseIdx),
+			cfg:  Config{Seed: 2, Trials: 300, Warmup: 30, LateralProb: 0.35},
+		},
+		{
+			name: "high-benign-noise",
+			idx:  caseIdx,
+			d:    halfDeployment(caseIdx),
+			cfg:  Config{Seed: 3, Trials: 250, BenignRate: 60, ManifestProb: 0.85, CaptureProb: 0.9},
+		},
+	}
+}
+
+func TestGoldenCampaigns(t *testing.T) {
+	for _, sc := range goldenScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			sum, err := Run(sc.idx, sc.d, sc.cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got, err := json.MarshalIndent(sum, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", sc.name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatalf("mkdir testdata: %v", err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("summary diverges from %s (regenerate with -update if intended)\ngot:  %.200s...\nwant: %.200s...",
+					path, got, want)
+			}
+		})
+	}
+}

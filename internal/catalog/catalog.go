@@ -392,3 +392,45 @@ func KindObservableOn(kind DataKind, role Role) bool {
 	}
 	return false
 }
+
+// BenignEventRate returns the relative volume of benign (non-attack) events
+// a data kind carries during normal operation, on an arbitrary scale where
+// a database audit record is 1. High-volume telemetry (netflow, HTTP access
+// logs) dominates the benign background a monitoring pipeline must triage,
+// while signature-driven kinds (NIDS alerts, WAF logs) fire rarely when
+// nothing is wrong. Campaign simulations weight their benign background by
+// these volumes; unknown kinds default to 1.
+func BenignEventRate(kind DataKind) float64 {
+	switch kind {
+	case KindNetflow:
+		return 40
+	case KindHTTPAccess:
+		return 30
+	case KindLBAccess:
+		return 25
+	case KindFirewallLog:
+		return 20
+	case KindDNSLog:
+		return 15
+	case KindSyslog:
+		return 10
+	case KindAppLog:
+		return 8
+	case KindDBQueryLog:
+		return 6
+	case KindAuthLog:
+		return 3
+	case KindHTTPError, KindProcAudit:
+		return 2
+	case KindDBAudit:
+		return 1
+	case KindFIMEvent:
+		return 0.5
+	case KindWAFLog:
+		return 0.3
+	case KindNIDSAlert:
+		return 0.1
+	default:
+		return 1
+	}
+}

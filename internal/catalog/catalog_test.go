@@ -141,3 +141,23 @@ func TestKindObservableOn(t *testing.T) {
 		t.Error("unknown kind observable")
 	}
 }
+
+func TestBenignEventRates(t *testing.T) {
+	// Every cataloged kind must carry a positive benign volume so the
+	// campaign benign background never divides by zero.
+	for _, spec := range DataKindSpecs() {
+		if rate := BenignEventRate(spec.Kind); rate <= 0 {
+			t.Errorf("kind %s has non-positive benign rate %v", spec.Kind, rate)
+		}
+	}
+	// Volume ordering: raw telemetry floods, signature alerts trickle.
+	if BenignEventRate(KindNetflow) <= BenignEventRate(KindAuthLog) {
+		t.Error("netflow should outrank auth-log in benign volume")
+	}
+	if BenignEventRate(KindNIDSAlert) >= BenignEventRate(KindDBAudit) {
+		t.Error("nids-alert should fire less than db-audit baseline")
+	}
+	if got := BenignEventRate("ghost"); got != 1 {
+		t.Errorf("unknown kind benign rate %v, want default 1", got)
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"sort"
+
+	"secmon/internal/model"
+)
+
+// AssetAdjacency derives the lateral-movement topology of a system from its
+// attack library: two assets are adjacent when some attack has consecutive
+// steps whose evidence is located on them — exactly the asset-to-asset
+// transitions multi-stage intrusions are modeled to traverse. The result
+// maps every asset that appears on such a path to its sorted neighbor list;
+// assets never visited by a multi-step attack are absent. Evidence not tied
+// to a single asset contributes no edges.
+func AssetAdjacency(idx *model.Index) map[model.AssetID][]model.AssetID {
+	assetsOf := func(evidence []model.DataTypeID) []model.AssetID {
+		seen := make(map[model.AssetID]bool)
+		var out []model.AssetID
+		for _, dt := range evidence {
+			info, ok := idx.DataType(dt)
+			if !ok || info.Asset == "" || seen[info.Asset] {
+				continue
+			}
+			seen[info.Asset] = true
+			out = append(out, info.Asset)
+		}
+		return out
+	}
+
+	edges := make(map[model.AssetID]map[model.AssetID]bool)
+	link := func(a, b model.AssetID) {
+		if a == b {
+			return
+		}
+		for _, pair := range [2][2]model.AssetID{{a, b}, {b, a}} {
+			if edges[pair[0]] == nil {
+				edges[pair[0]] = make(map[model.AssetID]bool)
+			}
+			edges[pair[0]][pair[1]] = true
+		}
+	}
+	for _, aid := range idx.AttackIDs() {
+		attack, _ := idx.Attack(aid)
+		for i := 1; i < len(attack.Steps); i++ {
+			for _, from := range assetsOf(attack.Steps[i-1].Evidence) {
+				for _, to := range assetsOf(attack.Steps[i].Evidence) {
+					link(from, to)
+				}
+			}
+		}
+	}
+
+	out := make(map[model.AssetID][]model.AssetID, len(edges))
+	for a, nbrs := range edges {
+		list := make([]model.AssetID, 0, len(nbrs))
+		for b := range nbrs {
+			list = append(list, b)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[a] = list
+	}
+	return out
+}

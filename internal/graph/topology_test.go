@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+func TestAssetAdjacencyCaseStudy(t *testing.T) {
+	idx := testIndex(t)
+	adj := AssetAdjacency(idx)
+	if len(adj) == 0 {
+		t.Fatal("case study has multi-step attacks but the adjacency is empty")
+	}
+	for a, neighbors := range adj {
+		if len(neighbors) == 0 {
+			t.Errorf("asset %s listed with no neighbors", a)
+		}
+		if !sort.SliceIsSorted(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] }) {
+			t.Errorf("asset %s has unsorted neighbors %v", a, neighbors)
+		}
+		for _, b := range neighbors {
+			if b == a {
+				t.Errorf("asset %s is its own neighbor", a)
+			}
+			// Edges are bidirectional: b must list a back.
+			back := false
+			for _, c := range adj[b] {
+				if c == a {
+					back = true
+				}
+			}
+			if !back {
+				t.Errorf("edge %s -> %s has no reverse edge", a, b)
+			}
+		}
+	}
+}
+
+func TestAssetAdjacencyFromSteps(t *testing.T) {
+	sys := &model.System{
+		Name: "adjacency",
+		Assets: []model.Asset{
+			{ID: "edge", Name: "edge"}, {ID: "app", Name: "app"}, {ID: "db", Name: "db"},
+		},
+		DataTypes: []model.DataType{
+			{ID: "e1", Name: "e1", Asset: "edge"},
+			{ID: "a1", Name: "a1", Asset: "app"},
+			{ID: "d1", Name: "d1", Asset: "db"},
+		},
+		Monitors: []model.Monitor{
+			{ID: "m", Name: "m", Asset: "edge", Produces: []model.DataTypeID{"e1"}, CapitalCost: 1},
+		},
+		Attacks: []model.Attack{
+			// edge -> app -> db chain; the single-step attack adds no edges.
+			{ID: "chain", Name: "chain", Steps: []model.AttackStep{
+				{Name: "s1", Evidence: []model.DataTypeID{"e1"}},
+				{Name: "s2", Evidence: []model.DataTypeID{"a1"}},
+				{Name: "s3", Evidence: []model.DataTypeID{"d1"}},
+			}},
+			{ID: "solo", Name: "solo", Steps: []model.AttackStep{
+				{Name: "s1", Evidence: []model.DataTypeID{"d1"}},
+			}},
+		},
+	}
+	idx, err := model.NewIndex(sys)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	adj := AssetAdjacency(idx)
+	want := map[model.AssetID][]model.AssetID{
+		"edge": {"app"},
+		"app":  {"db", "edge"},
+		"db":   {"app"},
+	}
+	if len(adj) != len(want) {
+		t.Fatalf("adjacency %v, want %v", adj, want)
+	}
+	for a, ns := range want {
+		got := adj[a]
+		if len(got) != len(ns) {
+			t.Errorf("asset %s: neighbors %v, want %v", a, got, ns)
+			continue
+		}
+		for i := range ns {
+			if got[i] != ns[i] {
+				t.Errorf("asset %s: neighbors %v, want %v", a, got, ns)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"testing"
+
+	"secmon/internal/model"
+)
+
+func TestDetectionRateMatchesCoverageIndicator(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment()
+	for i, id := range idx.MonitorIDs() {
+		if i%2 == 0 {
+			d.Add(id)
+		}
+	}
+	// DetectionRate is the weight-normalized sum over attacks with any
+	// analytic coverage.
+	want, total := 0.0, 0.0
+	for _, a := range idx.System().Attacks {
+		w := model.AttackWeight(a)
+		total += w
+		if AttackCoverage(idx, d, a.ID) > 0 {
+			want += w
+		}
+	}
+	want /= total
+	if got := DetectionRate(idx, d); !approx(got, want) {
+		t.Errorf("DetectionRate %v, want %v", got, want)
+	}
+}
+
+func TestDetectionRateMonotoneAndBounded(t *testing.T) {
+	idx := testIndex(t)
+	d := model.NewDeployment()
+	if got := DetectionRate(idx, d); got != 0 {
+		t.Errorf("empty deployment DetectionRate %v, want 0", got)
+	}
+	prev := 0.0
+	for _, id := range idx.MonitorIDs() {
+		d.Add(id)
+		got := DetectionRate(idx, d)
+		if got < prev {
+			t.Fatalf("adding %s decreased DetectionRate %v -> %v", id, prev, got)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("DetectionRate %v out of [0,1]", got)
+		}
+		prev = got
+	}
+	if prev != 1 {
+		t.Errorf("full deployment DetectionRate %v, want 1 (every attack covered)", prev)
+	}
+}

@@ -249,6 +249,26 @@ func CorroboratedUtility(idx *model.Index, d *model.Deployment, k int) float64 {
 	return sum / total
 }
 
+// DetectionRate returns the attack-weight-normalized fraction of attacks
+// the deployment can detect at all: those with at least one covered
+// evidence item. It is the analytic ceiling any empirical detection-rate
+// estimate (internal/campaign, internal/simulate) converges to under ideal
+// manifestation and capture probabilities.
+func DetectionRate(idx *model.Index, d *model.Deployment) float64 {
+	total := idx.System().TotalAttackWeight()
+	if total == 0 {
+		return 0
+	}
+	covered := CoveredData(idx, d)
+	sum := 0.0
+	for _, a := range idx.System().Attacks {
+		if attackCoverage(idx, covered, a.ID) > 0 {
+			sum += model.AttackWeight(a)
+		}
+	}
+	return sum / total
+}
+
 // AttackEarliness returns how early in the attack's step sequence the
 // deployment first observes evidence: 1 when the first step is observable,
 // decreasing linearly with the index of the earliest observable step, and 0

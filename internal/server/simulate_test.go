@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"secmon/internal/model"
+)
+
+func decodeSimulate(t *testing.T, body []byte) SimulateResponse {
+	t.Helper()
+	var out SimulateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode response %s: %v", body, err)
+	}
+	return out
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SimulateRequest{All: true, Seed: 7, Trials: 400, Warmup: 40, BenignRate: 10, Check: true}
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "miss" {
+		t.Errorf("first request cache header %q, want miss", got)
+	}
+	out := decodeSimulate(t, body)
+	if out.Summary == nil {
+		t.Fatal("response missing summary")
+	}
+	if out.Summary.Measured != 360 || out.Summary.Campaigns != 400 {
+		t.Errorf("measured/campaigns = %d/%d, want 360/400",
+			out.Summary.Measured, out.Summary.Campaigns)
+	}
+	if out.Summary.DetectionRate.Mean <= 0 {
+		t.Errorf("full deployment detection %v, want > 0", out.Summary.DetectionRate.Mean)
+	}
+	if out.Analytic == nil || out.Converged == nil {
+		t.Fatal("check requested but analytic/converged missing")
+	}
+	if !*out.Converged || len(out.Divergences) != 0 {
+		t.Errorf("full-deployment replay diverged: %v", out.Divergences)
+	}
+
+	// Identical request: served verbatim from the cache.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached status = %d, body %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get(cacheHeader); got != "hit" {
+		t.Errorf("second request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached response bytes differ from the original")
+	}
+
+	// The deadline stays out of the cache key: a deadline variant of the
+	// same replay still hits.
+	req.DeadlineMillis = 60_000
+	resp3, _ := postJSON(t, ts.URL+"/v1/simulate", req)
+	if got := resp3.Header.Get(cacheHeader); got != "hit" {
+		t.Errorf("deadline-variant cache header %q, want hit", got)
+	}
+}
+
+func TestSimulateWorkerInvarianceOverHTTP(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	base := SimulateRequest{All: true, Seed: 3, Trials: 300, BenignRate: 5, LateralProb: 0.2}
+
+	req1 := base
+	req1.Workers = 1
+	_, body1 := postJSON(t, ts.URL+"/v1/simulate", req1)
+	req4 := base
+	req4.Workers = 4
+	_, body4 := postJSON(t, ts.URL+"/v1/simulate", req4)
+
+	sum1 := decodeSimulate(t, body1).Summary
+	sum4 := decodeSimulate(t, body4).Summary
+	if sum1 == nil || sum4 == nil {
+		t.Fatal("missing summary")
+	}
+	if sum1.DetectionRate != sum4.DetectionRate || sum1.Events != sum4.Events ||
+		sum1.AttackAlerts != sum4.AttackAlerts || sum1.BenignAlerts != sum4.BenignAlerts {
+		t.Errorf("workers=1 and workers=4 summaries differ:\n%+v\n%+v", sum1, sum4)
+	}
+}
+
+func TestSimulateRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		req  SimulateRequest
+		want int
+	}{
+		"unknown monitor": {SimulateRequest{Monitors: []model.MonitorID{"no-such-monitor"}}, http.StatusBadRequest},
+		"bad config":      {SimulateRequest{All: true, Trials: -5}, http.StatusBadRequest},
+		"bad probability": {SimulateRequest{All: true, ManifestProb: 2}, http.StatusBadRequest},
+		"long tenant":     {SimulateRequest{All: true, Tenant: string(make([]byte, 65))}, http.StatusBadRequest},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/simulate", tc.req)
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/simulate")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSimulateCountsInStats(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{All: true, Seed: 1, Trials: 50})
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Simulations != 1 {
+		t.Errorf("simulations counter = %d, want 1", stats.Simulations)
+	}
+	if stats.Solves != 0 {
+		t.Errorf("solves counter = %d, want 0 (replays are not solves)", stats.Solves)
+	}
+}

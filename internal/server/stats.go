@@ -19,6 +19,7 @@ type serveStats struct {
 	rejected       atomic.Int64 // 429s from a full admission queue
 	timeouts       atomic.Int64 // 408s from a deadline expiring while queued or coalesced
 	solves         atomic.Int64 // underlying optimizer runs (optimize + sweep)
+	simulations    atomic.Int64 // campaign replays run by /v1/simulate
 	cacheHits      atomic.Int64 // responses served verbatim from the full-response LRU
 	sweepPointHits atomic.Int64 // sweep budget points assembled from the per-point LRU
 
@@ -87,6 +88,7 @@ type statsResponse struct {
 	Rejected       int64            `json:"rejected"`
 	Timeouts       int64            `json:"timeouts"`
 	Solves         int64            `json:"solves"`
+	Simulations    int64            `json:"simulations"`
 	CacheHits      int64            `json:"cacheHits"`
 	SweepPointHits int64            `json:"sweepPointHits"`
 	InFlight       int64            `json:"inFlight"`
@@ -132,6 +134,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:       s.stats.rejected.Load(),
 		Timeouts:       s.stats.timeouts.Load(),
 		Solves:         s.stats.solves.Load(),
+		Simulations:    s.stats.simulations.Load(),
 		CacheHits:      s.stats.cacheHits.Load(),
 		SweepPointHits: s.stats.sweepPointHits.Load(),
 		InFlight:       s.inFlight.Load(),

@@ -1,0 +1,80 @@
+package simulate
+
+import (
+	"testing"
+
+	"secmon/internal/model"
+)
+
+// Regression tests for trialEarliness: detection earliness follows the
+// captured event with the earliest event TIME, not the smallest step index.
+// On generated traces the two coincide, which is how the step-index variant
+// survived — a reordered or externally attributed trace exposes the
+// difference.
+func twoStepAttack() *model.Attack {
+	return &model.Attack{
+		ID:   "two-step",
+		Name: "two step",
+		Steps: []model.AttackStep{
+			{Name: "recon", Evidence: []model.DataTypeID{"a"}},
+			{Name: "exfil", Evidence: []model.DataTypeID{"b"}},
+		},
+	}
+}
+
+func TestTrialEarlinessUsesEventTime(t *testing.T) {
+	attack := twoStepAttack()
+	captured := []model.MonitorID{"m"}
+
+	// The later step is observed first in event time: detection happens at
+	// its event, so earliness counts from step index 1, not 0.
+	events := []Event{
+		{Time: 5, Attack: attack.ID, Step: "recon", Data: "a", CapturedBy: captured},
+		{Time: 1, Attack: attack.ID, Step: "exfil", Data: "b", CapturedBy: captured},
+	}
+	if got := trialEarliness(attack, events); got != 0.5 {
+		t.Errorf("later step captured at earlier time: earliness %v, want 0.5", got)
+	}
+
+	// A later event from an earlier step must not improve earliness.
+	events[0].Time, events[1].Time = 1, 5
+	if got := trialEarliness(attack, events); got != 1 {
+		t.Errorf("first step captured first: earliness %v, want 1", got)
+	}
+}
+
+func TestTrialEarlinessTieBreaksTowardEarlierStep(t *testing.T) {
+	attack := twoStepAttack()
+	captured := []model.MonitorID{"m"}
+	events := []Event{
+		{Time: 3, Attack: attack.ID, Step: "exfil", Data: "b", CapturedBy: captured},
+		{Time: 3, Attack: attack.ID, Step: "recon", Data: "a", CapturedBy: captured},
+	}
+	if got := trialEarliness(attack, events); got != 1 {
+		t.Errorf("equal-time tie: earliness %v, want 1 (earlier step wins)", got)
+	}
+}
+
+func TestTrialEarlinessIgnoresUncapturedAndForeign(t *testing.T) {
+	attack := twoStepAttack()
+	captured := []model.MonitorID{"m"}
+
+	// Nothing captured: no detection, earliness 0.
+	events := []Event{
+		{Time: 0, Attack: attack.ID, Step: "recon", Data: "a"},
+		{Time: 1, Attack: attack.ID, Step: "exfil", Data: "b"},
+	}
+	if got := trialEarliness(attack, events); got != 0 {
+		t.Errorf("uncaptured trace: earliness %v, want 0", got)
+	}
+
+	// A captured event attributed to an unknown step cannot count as this
+	// attack's detection, even if it is the earliest.
+	events = []Event{
+		{Time: 0, Attack: attack.ID, Step: "not-a-step", Data: "a", CapturedBy: captured},
+		{Time: 2, Attack: attack.ID, Step: "exfil", Data: "b", CapturedBy: captured},
+	}
+	if got := trialEarliness(attack, events); got != 0.5 {
+		t.Errorf("foreign step captured: earliness %v, want 0.5", got)
+	}
+}

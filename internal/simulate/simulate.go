@@ -242,25 +242,35 @@ func trialRecall(attack *model.Attack, events []Event) (evidenceRecall, stepReca
 }
 
 // trialEarliness computes the detection earliness of one captured trace:
-// based on the index of the earliest attack step with a captured event.
+// based on the step of the captured event with the earliest event TIME, not
+// the smallest step index. The two coincide on generated traces (time grows
+// with step order), but externally attributed or reordered traces can
+// observe a later step first — detection happens when the first event is
+// seen, so that is the step that counts. When several captured events share
+// the earliest timestamp, the tie breaks toward the earlier step, matching
+// the campaign-time semantics of internal/campaign.
 func trialEarliness(attack *model.Attack, events []Event) float64 {
 	stepIndex := make(map[string]int, len(attack.Steps))
 	for i, step := range attack.Steps {
 		stepIndex[step.Name] = i
 	}
-	earliest := -1
+	bestTime, bestStep := 0, -1
 	for _, e := range events {
 		if len(e.CapturedBy) == 0 {
 			continue
 		}
-		if i, ok := stepIndex[e.Step]; ok && (earliest < 0 || i < earliest) {
-			earliest = i
+		i, ok := stepIndex[e.Step]
+		if !ok {
+			continue
+		}
+		if bestStep < 0 || e.Time < bestTime || (e.Time == bestTime && i < bestStep) {
+			bestTime, bestStep = e.Time, i
 		}
 	}
-	if earliest < 0 {
+	if bestStep < 0 {
 		return 0
 	}
-	return 1 - float64(earliest)/float64(len(attack.Steps))
+	return 1 - float64(bestStep)/float64(len(attack.Steps))
 }
 
 // detected applies the detection rule to one trial.

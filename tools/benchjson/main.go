@@ -47,6 +47,9 @@ type benchmark struct {
 	// SingleShot flags a one-iteration, one-repetition measurement whose
 	// ns/op is a single wall-clock sample, not a statistic.
 	SingleShot bool `json:"single_shot,omitempty"`
+	// Extra carries custom b.ReportMetric units (e.g. "events/s",
+	// "trials/s"), median across repetitions like the standard metrics.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // throughputRow is a serving-layer load measurement produced by
@@ -489,6 +492,18 @@ func collapseRepetitions(in []benchmark) []benchmark {
 		}
 		b.BytesPerOp = int64(medianF(g, func(b benchmark) float64 { return float64(b.BytesPerOp) }))
 		b.AllocsPerOp = int64(medianF(g, func(b benchmark) float64 { return float64(b.AllocsPerOp) }))
+		units := make(map[string]bool)
+		for _, s := range g {
+			for u := range s.Extra {
+				units[u] = true
+			}
+		}
+		for u := range units {
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[u] = medianF(g, func(b benchmark) float64 { return b.Extra[u] })
+		}
 		out = append(out, b)
 	}
 	return out
@@ -524,13 +539,19 @@ func parseBenchLine(line, benchtime string) (benchmark, error) {
 		if err != nil {
 			return benchmark{}, fmt.Errorf("bad value in %q: %w", line, err)
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			b.NsPerOp = val
 		case "B/op":
 			b.BytesPerOp = int64(val)
 		case "allocs/op":
 			b.AllocsPerOp = int64(val)
+		default:
+			// A custom b.ReportMetric unit (events/s, trials/s, ...).
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = val
 		}
 	}
 	if b.NsPerOp == 0 {
